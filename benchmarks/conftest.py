@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark suite.
+
+Workload facts are generated once per session; every benchmark then
+re-runs only the analysis under measurement.  ``RESULTS_DIR`` collects
+the regenerated paper artifacts (the Figure 6 table and friends) so the
+benchmark run leaves inspectable output behind.
+"""
+
+import os
+
+import pytest
+
+from repro.bench.workloads import DACAPO_NAMES, dacapo_program
+from repro.frontend.factgen import generate_facts
+
+#: Size multiplier for the synthetic DaCapo analogues.
+SCALE = int(os.environ.get("REPRO_BENCH_SCALE", "3"))
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def workload_facts():
+    """Facts for all seven synthetic benchmarks at the session scale."""
+    return {
+        name: generate_facts(dacapo_program(name, scale=SCALE))
+        for name in DACAPO_NAMES
+    }
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR

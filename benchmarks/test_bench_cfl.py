@@ -1,0 +1,67 @@
+"""Experiment E9: CFL-reachability solvers vs the rule-based analysis.
+
+Times the three context-insensitive solvers on the same programs: the
+generic Melski–Reps CFL-reachability solver over ``L_F`` (the executable
+form of paper Section 2.1), the specialized flows-to fixpoint, and the
+m = 0 instantiation of the deduction rules — all three provably equal
+on points-to results (tested), with very different constants.  Also
+measures the locality advantage of demand-driven queries.
+"""
+
+import pytest
+
+from repro.cfl.demand import DemandPointsTo
+from repro.cfl.grammar import flows_to_pairs
+from repro.cfl.pag import build_pag
+from repro.cfl.solver import FlowsToSolver
+from repro.core.analysis import analyze
+from repro.core.config import config_by_name
+
+
+@pytest.fixture(scope="module")
+def pag(workload_facts):
+    return build_pag(workload_facts["luindex"])
+
+
+def test_time_generic_cfl(benchmark, pag):
+    benchmark.pedantic(lambda: flows_to_pairs(pag), rounds=3, iterations=1)
+
+
+def test_time_specialized_fixpoint(benchmark, pag):
+    benchmark.pedantic(
+        lambda: FlowsToSolver(pag).solve(), rounds=3, iterations=1
+    )
+
+
+def test_time_m0_rules(benchmark, workload_facts):
+    facts = workload_facts["luindex"]
+    config = config_by_name("insensitive")
+    benchmark.pedantic(lambda: analyze(facts, config), rounds=3, iterations=1)
+
+
+def test_equivalence_at_benchmark_scale(benchmark, pag, workload_facts):
+    generic = benchmark.pedantic(
+        lambda: flows_to_pairs(pag), rounds=1, iterations=1
+    )
+    fixpoint = FlowsToSolver(pag).solve().flows_to_pairs()
+    rules = analyze(workload_facts["luindex"], config_by_name("insensitive"))
+    from_rules = {(h, y) for (y, h) in rules.pts_ci()}
+    assert generic == fixpoint == from_rules
+
+
+def test_demand_locality(benchmark, pag):
+    """A single query touches a fraction of the program's variables."""
+    exhaustive = FlowsToSolver(pag).solve()
+    query_var = next(iter(sorted(
+        v for v in pag.nodes() - pag.heap_nodes() if v.endswith("/p")
+    )))
+
+    def query_once():
+        demand = DemandPointsTo(pag)
+        return demand.query(query_var), demand
+
+    (answer, demand) = benchmark.pedantic(query_once, rounds=3, iterations=1)
+    assert answer == exhaustive.points_to(query_var)
+    demanded, total = demand.coverage()
+    print(f"\ndemand query for {query_var}: touched {demanded}/{total} variables")
+    assert demanded < total

@@ -1,0 +1,76 @@
+"""Experiment E16: demand-driven workloads (the paper's future work).
+
+Measures, on a workload analogue:
+
+* the cost of one demand query vs the exhaustive analysis;
+* the fraction of the program a query touches (locality);
+* the paper's anticipated synergy — under the transformer abstraction a
+  demanded method's local facts stay compact even though the demand
+  slice pulls in its whole caller cone.
+"""
+
+import pytest
+
+from repro.core.analysis import analyze
+from repro.core.config import config_by_name
+from repro.core.demand import DemandPointerAnalysis
+
+
+def _query_var(facts):
+    # A utility formal: deep in the program, many callers.
+    return sorted(
+        y for (y, p, _o) in facts.formal if p.endswith("Util.process")
+    )[0]
+
+
+def test_time_exhaustive_reference(benchmark, workload_facts):
+    facts = workload_facts["xalan"]
+    config = config_by_name("2-object+H", "transformer-string")
+    benchmark.pedantic(
+        lambda: analyze(facts, config), rounds=3, iterations=1,
+        warmup_rounds=1,
+    )
+
+
+@pytest.mark.parametrize("abstraction", ["context-string", "transformer-string"])
+def test_time_single_demand_query(benchmark, workload_facts, abstraction):
+    facts = workload_facts["xalan"]
+    var = _query_var(facts)
+    config = config_by_name("2-object+H", abstraction)
+
+    def query_once():
+        demand = DemandPointerAnalysis(facts, config)
+        return demand.points_to(var), demand
+
+    (answer, demand) = benchmark.pedantic(
+        query_once, rounds=3, iterations=1, warmup_rounds=1
+    )
+    exhaustive = analyze(facts, config)
+    assert answer == exhaustive.points_to(var)
+    sliced, total = demand.coverage()
+    print(
+        f"\n{abstraction}: query touched {sliced}/{total} input facts"
+        f" ({sliced / total * 100:.0f}%)"
+    )
+    assert sliced < total
+
+
+def test_demand_synergy_with_transformer_strings(benchmark, workload_facts):
+    """The demanded method's own facts do not multiply with the size of
+    the demanded caller cone under transformer strings — they do under
+    context strings (the paper's closing observation)."""
+    facts = workload_facts["xalan"]
+    var = _query_var(facts)
+
+    def measure():
+        out = {}
+        for abstraction in ("context-string", "transformer-string"):
+            demand = DemandPointerAnalysis(
+                facts, config_by_name("2-object+H", abstraction)
+            )
+            out[abstraction] = len(demand.points_to_with_contexts(var))
+        return out
+
+    counts = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(f"\ncontext facts for {var}: {counts}")
+    assert counts["transformer-string"] <= counts["context-string"]

@@ -1,0 +1,46 @@
+"""Experiment E2: paper Figure 5 — the derivation-compactness example.
+
+Benchmarks both abstractions on the Figure 5 program at m = 1, h = 1
+call-site sensitivity and asserts the paper's exact fact counts
+(12 vs 5 pts facts, 4 vs 3 call facts, identical CI results).
+"""
+
+import pytest
+
+from repro.core.analysis import analyze
+from repro.core.config import config_by_name
+from repro.frontend.factgen import facts_from_source
+from repro.frontend.paper_programs import FIGURE_5
+
+
+@pytest.fixture(scope="module")
+def facts():
+    return facts_from_source(FIGURE_5)
+
+
+@pytest.mark.parametrize("abstraction", ["context-string", "transformer-string"])
+def test_time_figure5(benchmark, facts, abstraction):
+    config = config_by_name("1-call+H", abstraction)
+    result = benchmark.pedantic(
+        lambda: analyze(facts, config), rounds=5, iterations=10,
+        warmup_rounds=1,
+    )
+    expected_pts = 12 if abstraction == "context-string" else 5
+    expected_call = 4 if abstraction == "context-string" else 3
+    assert len(result.pts) == expected_pts
+    assert len(result.call) == expected_call
+
+
+def test_fact_reduction_matches_paper(benchmark, facts):
+    cs = analyze(facts, config_by_name("1-call+H", "context-string"))
+    ts = benchmark.pedantic(
+        lambda: analyze(facts, config_by_name("1-call+H", "transformer-string")),
+        rounds=3, iterations=1,
+    )
+    assert (len(cs.pts), len(ts.pts)) == (12, 5)
+    assert cs.pts_ci() == ts.pts_ci()
+    print(
+        f"\nFigure 5: pts {len(cs.pts)} -> {len(ts.pts)}"
+        f" ({(1 - len(ts.pts) / len(cs.pts)) * 100:.0f}% fewer),"
+        f" call {len(cs.call)} -> {len(ts.call)}"
+    )

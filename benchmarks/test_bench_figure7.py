@@ -1,0 +1,79 @@
+"""Experiment E4: paper Figure 7 — subsuming facts and their cost.
+
+Measures the `bloat` analogue (whose AST pattern is the paper's worked
+example of subsuming facts) under 1-call+H with and without the
+subsumed-fact elimination the paper sketches as future work, and pins
+Figure 7's program behaviour.
+"""
+
+import pytest
+
+from repro.core.analysis import analyze
+from repro.core.config import config_by_name
+from repro.frontend.factgen import facts_from_source
+from repro.frontend.paper_programs import FIGURE_7
+
+
+@pytest.mark.parametrize("eliminate", [False, True],
+                         ids=["plain", "eliminate-subsumed"])
+def test_time_bloat_subsumption_ablation(benchmark, workload_facts, eliminate):
+    facts = workload_facts["bloat"]
+    config = config_by_name(
+        "1-call+H", "transformer-string", eliminate_subsumed=eliminate
+    )
+    result = benchmark.pedantic(
+        lambda: analyze(facts, config), rounds=3, iterations=1,
+        warmup_rounds=1,
+    )
+    if eliminate:
+        assert result.stats.facts_subsumed > 0
+
+
+def test_elimination_reduces_facts_not_precision(benchmark, workload_facts):
+    facts = workload_facts["bloat"]
+    plain = analyze(facts, config_by_name("1-call+H", "transformer-string"))
+    pruned = benchmark.pedantic(
+        lambda: analyze(
+            facts,
+            config_by_name(
+                "1-call+H", "transformer-string", eliminate_subsumed=True
+            ),
+        ),
+        rounds=1, iterations=1,
+    )
+    assert pruned.total_facts() < plain.total_facts()
+    assert pruned.pts_ci() == plain.pts_ci()
+    assert pruned.hpts_ci() == plain.hpts_ci()
+    print(
+        f"\nbloat/1-call+H: {plain.total_facts()} facts,"
+        f" {plain.subsumption_ratio() * 100:.1f}% of pts facts subsumed;"
+        f" elimination leaves {pruned.total_facts()} facts"
+    )
+
+
+def test_figure7_program_subsumption(benchmark):
+    facts = facts_from_source(FIGURE_7)
+    config = config_by_name("1-call+H", "transformer-string")
+    result = benchmark.pedantic(
+        lambda: analyze(facts, config), rounds=5, iterations=10,
+        warmup_rounds=1,
+    )
+    assert result.subsumption_ratio() == 0.25
+
+
+def test_bloat_subsumption_exceeds_other_benchmarks(benchmark, workload_facts):
+    """Paper Section 8: bloat suffers the most from subsuming facts."""
+
+    def measure():
+        return {
+            name: analyze(
+                facts, config_by_name("1-call+H", "transformer-string")
+            ).subsumption_ratio()
+            for name, facts in workload_facts.items()
+        }
+
+    ratios = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print("\nsubsumption ratios at 1-call+H:", {
+        k: round(v, 4) for k, v in sorted(ratios.items())
+    })
+    assert ratios["bloat"] > 0

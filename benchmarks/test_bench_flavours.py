@@ -1,0 +1,74 @@
+"""Beyond-paper flavours: does the transformer-string advantage carry?
+
+The paper evaluates call-site, object, and type sensitivity; its
+parameterization also admits plain object sensitivity (the Section 2.2
+contrast) and uniform hybrid sensitivity (citation [6]).  This bench
+extends Figure 6's comparison to those flavours — the abstraction
+difference should behave like the flavour each one generalizes
+(plain object ~ call-site shape; hybrid ~ object shape).
+"""
+
+import pytest
+
+from repro.bench.harness import run_cell
+from repro.core.analysis import analyze
+from repro.core.config import config_by_name
+
+FLAVOURS = ("2-plain-object+H", "2-hybrid+H")
+
+
+@pytest.mark.parametrize("configuration", FLAVOURS)
+@pytest.mark.parametrize("abstraction", ["context-string", "transformer-string"])
+def test_time_flavour(benchmark, workload_facts, configuration, abstraction):
+    facts = workload_facts["chart"]
+    config = config_by_name(configuration, abstraction)
+    benchmark.pedantic(
+        lambda: analyze(facts, config), rounds=3, iterations=1,
+        warmup_rounds=1,
+    )
+
+
+@pytest.mark.parametrize("configuration", FLAVOURS)
+def test_fact_reduction_carries_over(benchmark, workload_facts, configuration):
+    def measure():
+        rows = {}
+        for name in ("chart", "xalan", "luindex"):
+            cell = run_cell(workload_facts[name], name, configuration)
+            rows[name] = cell
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(f"\n{configuration}:")
+    for name, cell in rows.items():
+        print(
+            f"  {name:8s} total {cell.context_string.total:5d} ->"
+            f" {cell.transformer_string.total:5d}"
+            f" ({cell.total_decrease() * 100:5.1f}% fewer facts)"
+        )
+        assert cell.total_decrease() > 0, (name, configuration)
+        for relation in ("pts", "hpts", "call"):
+            assert cell.ci_increase(relation) == 0
+
+
+def test_hybrid_vs_object_precision(benchmark, workload_facts):
+    """Hybrid and full object sensitivity are *incomparable* at fixed
+    context depth (Kastrinis & Smaragdakis): the hybrid's call-site
+    pushes separate static wrappers but consume depth that object
+    contexts would have used.  On this workload the divergence is small
+    and one-sided; both refine the context-insensitive result."""
+    facts = workload_facts["luindex"]
+    insensitive = analyze(facts, config_by_name("insensitive"))
+    obj = analyze(facts, config_by_name("2-object+H"))
+    hybrid = benchmark.pedantic(
+        lambda: analyze(facts, config_by_name("2-hybrid+H")),
+        rounds=1, iterations=1,
+    )
+    assert obj.pts_ci() <= insensitive.pts_ci()
+    assert hybrid.pts_ci() <= insensitive.pts_ci()
+    divergence = len(hybrid.pts_ci() ^ obj.pts_ci())
+    print(
+        f"\n2-hybrid+H vs 2-object+H: {len(hybrid.pts_ci())} vs"
+        f" {len(obj.pts_ci())} CI pts facts, symmetric difference"
+        f" {divergence}"
+    )
+    assert divergence < 0.1 * len(obj.pts_ci())

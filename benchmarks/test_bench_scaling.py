@@ -1,0 +1,59 @@
+"""Experiment E14 (beyond-paper): how the abstraction gap scales.
+
+The paper measures fixed program sizes; this bench grows one synthetic
+benchmark and tracks both abstractions' fact counts.  The ``scale``
+knob grows the driver code linearly (call sites, container traffic,
+per-context payload) while the context-multiplying structures stay
+fixed, so the *relative* reduction should stay substantial and roughly
+stable rather than collapse — the regime in which the paper's technique
+pays for itself.
+"""
+
+import pytest
+
+from repro.bench.harness import run_cell
+from repro.bench.workloads import dacapo_program
+from repro.frontend.factgen import generate_facts
+
+SCALES = (1, 2, 4)
+
+
+def test_reduction_does_not_degrade_with_scale(benchmark):
+    def measure():
+        rows = []
+        for scale in SCALES:
+            facts = generate_facts(dacapo_program("chart", scale=scale))
+            cell = run_cell(facts, "chart", "2-object+H")
+            rows.append(
+                (
+                    scale,
+                    cell.context_string.total,
+                    cell.transformer_string.total,
+                    cell.total_decrease(),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print("\nchart @ 2-object+H:")
+    print(f"{'scale':>6s} {'cs facts':>9s} {'ts facts':>9s} {'reduction':>10s}")
+    for (scale, cs_total, ts_total, decrease) in rows:
+        print(f"{scale:6d} {cs_total:9d} {ts_total:9d} {decrease * 100:9.1f}%")
+    reductions = [decrease for (_, _, _, decrease) in rows]
+    # The relative gap must stay substantial — not collapse — as the
+    # program grows.
+    assert all(r > 0.4 for r in reductions)
+    assert reductions[-1] >= reductions[0] - 0.15
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_time_scaling_transformer(benchmark, scale):
+    from repro.core.analysis import analyze
+    from repro.core.config import config_by_name
+
+    facts = generate_facts(dacapo_program("chart", scale=scale))
+    config = config_by_name("2-object+H", "transformer-string")
+    benchmark.pedantic(
+        lambda: analyze(facts, config), rounds=3, iterations=1,
+        warmup_rounds=1,
+    )

@@ -1,0 +1,66 @@
+"""Experiment E6: the 2-type+H precision column of Figure 6.
+
+The paper reports a marginal precision loss for transformer strings
+under type sensitivity (geometric mean +0.7% context-insensitive pts
+facts).  This bench measures the context-insensitive increases across
+the workload suite and on the dedicated witness program, and times the
+type-sensitive analyses.
+"""
+
+import pytest
+
+from repro.core.analysis import analyze
+from repro.core.config import config_by_name
+from repro.frontend.factgen import facts_from_source
+from repro.frontend.paper_programs import TYPE_PRECISION_LOSS
+
+
+@pytest.mark.parametrize("abstraction", ["context-string", "transformer-string"])
+def test_time_2type_h(benchmark, workload_facts, abstraction):
+    facts = workload_facts["eclipse"]
+    config = config_by_name("2-type+H", abstraction)
+    benchmark.pedantic(
+        lambda: analyze(facts, config), rounds=3, iterations=1,
+        warmup_rounds=1,
+    )
+
+
+def test_ci_increase_across_suite(benchmark, workload_facts):
+    """Transformer strings may add context-insensitive facts only under
+    type sensitivity, and only marginally (paper: ~0.7% geomean)."""
+
+    def measure():
+        rows = []
+        for name, facts in sorted(workload_facts.items()):
+            cs = analyze(facts, config_by_name("2-type+H", "context-string"))
+            ts = analyze(
+                facts, config_by_name("2-type+H", "transformer-string")
+            )
+            assert ts.pts_ci() >= cs.pts_ci(), name
+            increase = len(ts.pts_ci()) - len(cs.pts_ci())
+            rows.append((name, len(cs.pts_ci()), increase))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print("\n2-type+H CI pts facts (context strings, +increase):")
+    for (name, base, increase) in rows:
+        print(f"  {name:10s} {base:6d} (+{increase})")
+    total_base = sum(base for (_, base, _) in rows)
+    total_increase = sum(inc for (_, _, inc) in rows)
+    assert total_increase <= 0.05 * total_base  # marginal, as in the paper
+
+
+def test_witness_program_quantifies_loss(benchmark):
+    facts = facts_from_source(TYPE_PRECISION_LOSS)
+    config = config_by_name("2-type+H", "transformer-string")
+    ts = benchmark.pedantic(
+        lambda: analyze(facts, config), rounds=5, iterations=10,
+        warmup_rounds=1,
+    )
+    cs = analyze(facts, config_by_name("2-type+H", "context-string"))
+    extra = len(ts.pts_ci()) - len(cs.pts_ci())
+    assert extra > 0
+    print(
+        f"\ntype witness: {len(cs.pts_ci())} CI pts facts with context"
+        f" strings, +{extra} with transformer strings"
+    )

@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Case study: analyzing an event-bus application.
+
+A small but realistic program in the analyzed Java subset — an event
+bus with handler registration, event factories, virtual dispatch over a
+handler hierarchy, a static configuration registry, and error events
+thrown and caught — analyzed across the paper's configuration matrix.
+
+The report shows, per configuration:
+
+* whether the analysis can tell the two buses' event streams apart
+  (the precision question a client like a race detector would ask);
+* the context-sensitive fact counts under both abstractions (the
+  Figure 6 quantities, on real-looking code);
+
+and finishes with a provenance drill-down on the one imprecision the
+cheap configurations share.
+
+Run:  python examples/case_study_eventbus.py
+"""
+
+from repro import AnalysisConfig, Flavour, analyze, config_by_name
+
+PROGRAM = """
+class Event { Object payload; }
+class ClickEvent extends Event { }
+class KeyEvent extends Event { }
+
+class Config { static Object theme; }
+
+class Handler {
+    Object handle(Event e) { return e; }
+}
+class Logger extends Handler {
+    Object handle(Event e) {
+        Object seen = e;
+        return seen;
+    }
+}
+class Validator extends Handler {
+    Object handle(Event e) {
+        if (...) {
+            Event bad = new Event(); // hBadEvent
+            throw bad;
+        }
+        return e;
+    }
+}
+
+class Bus {
+    Handler handler;
+    Event last;
+    void subscribe(Handler h) { handler = h; }
+    Object publish(Event e) {
+        last = e;
+        Handler h = handler;
+        Object r = h.handle(e); // cDispatch
+        return r;
+    }
+    Event latest() { Event e = last; return e; }
+}
+
+class EventFactory {
+    Event makeClick() {
+        ClickEvent e = new ClickEvent(); // hClick
+        return e;
+    }
+    Event makeKey() {
+        KeyEvent e = new KeyEvent(); // hKey
+        return e;
+    }
+}
+
+class App {
+    public static void main(String[] args) {
+        Object style = new Config(); // hTheme
+        Config.theme = style;
+
+        EventFactory factory = new EventFactory(); // hFactory
+        Bus uiBus = new Bus(); // hUiBus
+        Bus inputBus = new Bus(); // hInputBus
+
+        Logger logger = new Logger(); // hLogger
+        Validator validator = new Validator(); // hValidator
+        uiBus.subscribe(logger); // c1
+        inputBus.subscribe(validator); // c2
+
+        Event click = factory.makeClick(); // c3
+        Event key = factory.makeKey(); // c4
+
+        try {
+            Object uiResult = uiBus.publish(click); // c5
+            Object inputResult = inputBus.publish(key); // c6
+        } catch (Event oops) {
+            Object report = oops;
+        }
+
+        Event uiLatest = uiBus.latest(); // c7
+        Event inputLatest = inputBus.latest(); // c8
+    }
+}
+"""
+
+CONFIGURATIONS = (
+    "insensitive", "1-call", "1-call+H", "1-object", "2-object+H",
+    "2-hybrid+H", "2-type+H",
+)
+
+
+def main() -> None:
+    print("Event-bus case study: can the analysis keep the two buses'"
+          " event streams apart?\n")
+    header = (
+        f"{'configuration':14s} {'uiLatest':22s} {'inputLatest':22s}"
+        f" {'separated?':10s} {'facts cs':>9s} {'facts ts':>9s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for name in CONFIGURATIONS:
+        ts = analyze(PROGRAM, config_by_name(name, "transformer-string"))
+        cs = analyze(PROGRAM, config_by_name(name, "context-string"))
+        ui = sorted(ts.points_to("App.main/uiLatest"))
+        inp = sorted(ts.points_to("App.main/inputLatest"))
+        separated = "yes" if (ui, inp) == (["hClick"], ["hKey"]) else "no"
+        print(
+            f"{name:14s} {','.join(ui):22s} {','.join(inp):22s}"
+            f" {separated:10s} {cs.total_facts():9d} {ts.total_facts():9d}"
+        )
+        assert cs.pts_ci() >= ts.pts_ci() or cs.pts_ci() == ts.pts_ci()
+
+    best = analyze(PROGRAM, config_by_name("2-object+H"))
+    print("\nUnder 2-object+H:")
+    print("  dispatch targets of cDispatch:",
+          sorted(p for (i, p) in best.call_graph() if i == "cDispatch"))
+    print("  validator may throw:",
+          sorted(best.thrown_exceptions("Validator.handle")))
+    print("  caught by `oops`:", sorted(best.points_to("App.main/oops")))
+    print("  Config.theme holds:",
+          sorted(best.static_field_points_to("Config.theme")))
+
+    print("\nWhy does the insensitive analysis conflate the buses?"
+          "  (provenance for inputLatest → hClick at m = 0: the shared"
+          " `subscribe`/`publish` bodies merge both buses' flows)\n")
+    tracked = analyze(
+        PROGRAM,
+        AnalysisConfig(
+            flavour=Flavour.CALL_SITE, m=0, h=0, track_provenance=True
+        ),
+    )
+    print(tracked.explain_points_to("App.main/inputLatest", "hClick",
+                                    max_depth=6))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""The Section 7 pipeline: parameterized rules → plain Datalog.
+
+Shows the paper's implementation technique end to end:
+
+1. instantiate the parameterized deduction rules for a 1-call-site,
+   1-heap transformer-string analysis with *configuration
+   specialization* — every relation with a transformer-string attribute
+   split per ``x*w?e*`` configuration, ``comp``/``merge`` inlined as
+   shared variables;
+2. print a sample of the emitted plain-Datalog rules (including the
+   paper's worked ``hpts__xe ⋈ hload__xe`` instance);
+3. evaluate the program on the bottom-up engine and check it against
+   the worklist solver fact for fact.
+
+Run:  python examples/datalog_compilation.py
+"""
+
+from repro import analyze, config_by_name
+from repro.compile.emit import compile_transformer_analysis
+from repro.core.sensitivity import Flavour
+from repro.datalog.parser import format_rule
+from repro.frontend.factgen import facts_from_source
+from repro.frontend.paper_programs import FIGURE_5
+
+
+def main() -> None:
+    facts = facts_from_source(FIGURE_5)
+    compiled = compile_transformer_analysis(facts, Flavour.CALL_SITE, 1, 1)
+    rules = compiled.program.rules
+
+    print(f"emitted {len(rules)} plain Datalog rules; a sample:\n")
+    shown = 0
+    for rule in rules:
+        text = format_rule(rule)
+        if "hpts__xe" in text and "hload__xe" in text:
+            print("  " + text + "      <- the paper's worked example")
+            shown += 1
+    for rule in rules:
+        if rule.head.pred.startswith("pts__") and len(rule.body) == 2 and shown < 8:
+            print("  " + format_rule(rule))
+            shown += 1
+
+    result = compiled.run()
+    print(f"\nengine derived {len(result.pts)} pts facts:")
+    for fact in sorted(result.pts, key=str):
+        print("  ", fact)
+
+    solver_result = analyze(facts, config_by_name("1-call+H", "transformer-string"))
+    assert result.pts == solver_result.pts
+    assert result.call == solver_result.call
+    print("\nDatalog engine and worklist solver agree fact-for-fact.")
+
+    stats = result.engine.stats
+    print(
+        f"engine: {stats.facts_derived} facts in {stats.rounds} semi-naive"
+        f" rounds, {stats.rule_evaluations} rule evaluations,"
+        f" {stats.seconds * 1000:.1f} ms"
+    )
+
+
+if __name__ == "__main__":
+    main()

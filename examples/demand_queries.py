@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Demand-driven points-to queries (the CFL-reachability view).
+
+The paper's insight comes from the CFL-reachability formulation, whose
+signature strength is *local* reasoning: a single points-to query can be
+answered by traversing backward from the queried variable instead of
+computing the whole relation.  This example builds the Pointer
+Assignment Graph of paper Figure 2 for a program with two independent
+"islands" of data flow and shows that:
+
+* the demand-driven query answers match the exhaustive solver, and
+* a query only explores its own island (the coverage statistic).
+
+Run:  python examples/demand_queries.py
+"""
+
+from repro.cfl.demand import DemandPointsTo
+from repro.cfl.pag import build_pag
+from repro.cfl.solver import FlowsToSolver
+from repro.frontend.factgen import facts_from_source
+
+PROGRAM = """
+class Doc { Object title; }
+class Index {
+    Doc current;
+    void add(Doc d) { current = d; }
+    Doc lookup() { Doc d = current; return d; }
+}
+class Render {
+    static Object style(Object s) { return s; }
+}
+class App {
+    public static void main(String[] args) {
+        Index idx = new Index(); // hidx
+        Doc d = new Doc(); // hdoc
+        idx.add(d); // c1
+        Doc found = idx.lookup(); // c2
+
+        Object theme = new App(); // htheme
+        Object styled = Render.style(theme); // c3
+    }
+}
+"""
+
+
+def main() -> None:
+    facts = facts_from_source(PROGRAM)
+    pag = build_pag(facts)
+    print(
+        f"PAG: {len(pag.nodes())} nodes, {pag.edge_count()} edges,"
+        f" fields {sorted(pag.fields())}"
+    )
+
+    exhaustive = FlowsToSolver(pag).solve()
+
+    demand = DemandPointsTo(pag)
+    for var in ("App.main/styled", "App.main/found"):
+        answer = demand.query(var)
+        assert answer == exhaustive.points_to(var)
+        demanded, total = demand.coverage()
+        print(
+            f"query {var}: → {{{', '.join(sorted(answer))}}}"
+            f"   (explored {demanded}/{total} variables so far)"
+        )
+
+    print(
+        "\nThe style() island was answered without touching the Index"
+        " island; querying `found` then pulled in the heap round trip."
+    )
+    print(
+        "Exhaustive flows-to relation:",
+        sorted(exhaustive.flows_to_pairs()),
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""The Doop-style pipeline: source → facts directory → analysis.
+
+The paper's toolchain generates input relations from Java bytecode with
+Soot and feeds them to a Datalog engine.  This example mirrors that
+pipeline with the library's frontend:
+
+1. parse a Java-subset program and generate the input relations;
+2. serialize them to a Doop-style directory of tab-separated ``.facts``
+   files (``AssignHeapAllocation.facts``, ``VirtualMethodInvocation.facts``, …);
+3. read the directory back — as one would with externally produced
+   facts — and run the 2-object+H analysis on it.
+
+Run:  python examples/doop_facts_pipeline.py [facts-dir]
+"""
+
+import os
+import sys
+import tempfile
+
+from repro import analyze, config_by_name, parse_program, generate_facts
+from repro.frontend.doopfacts import read_facts, write_facts
+
+PROGRAM = """
+class Event { Object payload; }
+class Queue {
+    Event slot;
+    void put(Event e) { slot = e; }
+    Event take() { Event e = slot; return e; }
+}
+class Producer {
+    Event produce() {
+        Event e = new Event(); // ev
+        return e;
+    }
+}
+class App {
+    public static void main(String[] args) {
+        Producer p = new Producer(); // prod
+        Queue q = new Queue(); // queue
+        Event e1 = p.produce(); // c1
+        q.put(e1); // c2
+        Event e2 = q.take(); // c3
+    }
+}
+"""
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        directory = sys.argv[1]
+    else:
+        directory = os.path.join(tempfile.mkdtemp(prefix="repro-"), "facts")
+
+    # 1. frontend: source → input relations.
+    program = parse_program(PROGRAM)
+    facts = generate_facts(program)
+    print(f"generated {sum(facts.counts().values())} input facts:")
+    for name, count in sorted(facts.counts().items()):
+        if count:
+            print(f"  {name:16s} {count}")
+
+    # 2. serialize in Doop's on-disk convention.
+    write_facts(facts, directory)
+    print(f"\nwrote facts directory: {directory}")
+    for filename in sorted(os.listdir(directory)):
+        path = os.path.join(directory, filename)
+        with open(path) as handle:
+            rows = sum(1 for _ in handle)
+        print(f"  {filename:34s} {rows:3d} rows")
+
+    # 3. read back and analyze, as with externally produced facts.
+    loaded = read_facts(directory)
+    result = analyze(loaded, config_by_name("2-object+H"))
+    print("\n2-object+H analysis of the loaded facts:")
+    print("  e2 points to:", sorted(result.points_to("App.main/e2")))
+    print("  call graph:", sorted(result.call_graph()))
+    print(
+        f"  {result.total_facts()} context-sensitive facts in"
+        f" {result.seconds * 1000:.1f} ms"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Provenance: *why* does a variable point to an allocation site?
+
+Every derived fact corresponds to a deduction-rule instance (paper
+Figure 3).  With ``track_provenance=True`` the solver records the first
+derivation of each fact, and ``explain_points_to`` renders the full
+tree — the executable counterpart of the paper's worked derivations
+(e.g. the Figure 5 table's third column of rule names).
+
+This example answers two questions about the paper's Figure 1 program:
+
+1. why is ``x1 → h1`` derived under 1-call-site sensitivity?  (the
+   precise flow through ``id``);
+2. why is ``z → h1`` derived without heap context?  (the imprecise flow
+   through the conflated ``m1`` objects — the exact imprecision one
+   level of heap context removes).
+
+Run:  python examples/explain_derivations.py
+"""
+
+from repro import AnalysisConfig, Flavour, analyze, config_by_name
+from repro.frontend.paper_programs import FIGURE_1
+
+
+def main() -> None:
+    config = AnalysisConfig(
+        flavour=Flavour.CALL_SITE, m=1, h=0, track_provenance=True
+    )
+    result = analyze(FIGURE_1, config)
+
+    print("Why does x1 point to h1?  (precise: the id(x) round trip)\n")
+    print(result.explain_points_to("T.main/x1", "h1"))
+
+    print("\n" + "=" * 72)
+    print("\nWhy does z point to h1 without heap context?  (imprecise:\n"
+          "a and b share the abstract object m1, so a.f and b.f alias)\n")
+    print(result.explain_points_to("T.main/z", "h1"))
+
+    print("\n" + "=" * 72)
+    with_heap = analyze(FIGURE_1, config_by_name("1-call+H"))
+    print(
+        "\nWith one level of heap context (1-call+H), z points to:"
+        f" {sorted(with_heap.points_to('T.main/z')) or '∅'} — the"
+        " derivation above is no longer possible because the two m1"
+        " objects carry the distinct heap contexts c6 and c7."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: context-sensitive pointer analysis on the paper's Figure 1.
+
+Runs the example program of *Context Transformations for Pointer
+Analysis* (Thiessen & Lhoták, PLDI 2017) under several flavours of
+context sensitivity and shows how each one resolves — or fails to
+resolve — the points-to sets the paper discusses in Section 2:
+
+* 1-call-site separates ``id``'s three call sites (x1/y1 precise) but
+  merges ``id2``'s internal call site (x2/y2 imprecise);
+* 1-object merges everything called on receiver ``h3`` (x1/y1
+  imprecise) but keeps the ``h4``/``h5`` receivers apart (x2/y2
+  precise);
+* one level of heap context separates the two objects returned by ``m``
+  so that ``a.f`` and ``b.f`` no longer alias and ``z`` points nowhere.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import AnalysisConfig, Flavour, analyze, config_by_name
+from repro.frontend.paper_programs import FIGURE_1
+
+INTERESTING = ("x1", "y1", "x2", "y2", "z")
+
+
+def show(label: str, config: AnalysisConfig) -> None:
+    result = analyze(FIGURE_1, config)
+    sets = "  ".join(
+        f"{name}→{{{', '.join(sorted(result.points_to(f'T.main/{name}'))) or '∅'}}}"
+        for name in INTERESTING
+    )
+    sizes = result.relation_sizes()
+    print(f"{label:14s} {sets}")
+    print(
+        f"{'':14s} |pts|={sizes['pts']}, |hpts|={sizes['hpts']},"
+        f" |call|={sizes['call']}, analyzed in {result.seconds * 1000:.1f} ms"
+    )
+
+
+def main() -> None:
+    print("Figure 1 under different context-sensitivity configurations\n")
+    show("insensitive", config_by_name("insensitive"))
+    show("1-call", config_by_name("1-call"))
+    show("2-call", config_by_name("2-call"))
+    show("1-object", config_by_name("1-object"))
+    show("1-call+H", config_by_name("1-call+H"))
+    show("2-object+H", config_by_name("2-object+H"))
+
+    print("\nBoth abstractions, same precision (Theorem 6.2 in practice):")
+    for abstraction in ("context-string", "transformer-string"):
+        config = AnalysisConfig(
+            abstraction=abstraction, flavour=Flavour.OBJECT, m=2, h=1
+        )
+        result = analyze(FIGURE_1, config)
+        print(
+            f"  {abstraction:19s} total context-sensitive facts:"
+            f" {result.total_facts():3d}, CI pts facts: {len(result.pts_ci())}"
+        )
+
+    result = analyze(FIGURE_1, config_by_name("2-object+H"))
+    print("\nCall graph edges:", sorted(result.call_graph()))
+    print("Reachable methods:", sorted(result.reachable_methods()))
+
+
+if __name__ == "__main__":
+    main()

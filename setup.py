@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The metadata lives in pyproject.toml; this file exists so that the
+package can be installed in environments without the ``wheel`` package
+(``python setup.py develop`` / ``pip install -e . --no-build-isolation``
+on older toolchains).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,49 @@
+"""repro — a reproduction of *Context Transformations for Pointer
+Analysis* (Rei Thiessen and Ondřej Lhoták, PLDI 2017).
+
+The package implements the paper's context-transformation algebra, its
+parameterized deduction rules under both the traditional context-string
+abstraction and the paper's transformer-string abstraction, the three
+flavours of context sensitivity (call-site, object, type), a Datalog
+substrate with the Section 7 configuration-specialization compiler, a
+CFL-reachability formulation, a Java-subset frontend with Doop-style
+facts I/O, and the benchmark harness that regenerates the paper's
+evaluation tables.
+
+Public entry points::
+
+    from repro import analyze, AnalysisConfig, Flavour, parse_program
+
+    result = analyze(java_source, AnalysisConfig(
+        abstraction="transformer-string", flavour=Flavour.OBJECT, m=2, h=1,
+    ))
+    result.points_to("T.main/x")
+"""
+
+from repro.core.analysis import PointerAnalysis, analyze
+from repro.core.config import AnalysisConfig, PAPER_CONFIGURATIONS, config_by_name
+from repro.core.demand import DemandPointerAnalysis
+from repro.core.results import AnalysisResult
+from repro.core.sensitivity import Flavour
+from repro.core.transformer_strings import TransformerString
+from repro.frontend.factgen import FactSet, facts_from_source, generate_facts
+from repro.frontend.parser import parse_program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalysisConfig",
+    "AnalysisResult",
+    "DemandPointerAnalysis",
+    "FactSet",
+    "Flavour",
+    "PAPER_CONFIGURATIONS",
+    "PointerAnalysis",
+    "TransformerString",
+    "analyze",
+    "config_by_name",
+    "facts_from_source",
+    "generate_facts",
+    "parse_program",
+    "__version__",
+]

@@ -1,0 +1,249 @@
+"""A concrete interpreter for IR programs — the soundness oracle.
+
+Static analyses over-approximate run-time behaviour; the decisive test
+of soundness is therefore an actual execution.  This module interprets
+an IR program concretely — allocations create objects tagged with their
+site, virtual calls dispatch on the receiver's run-time class, fields
+and statics hold real references — and records every binding observed:
+
+* ``var_points_to``: every ``(variable, allocation site)`` a variable
+  ever held;
+* ``heap_points_to``: every ``(base site, field, value site)`` stored;
+* ``static_points_to``, ``call_edges``, ``executed_methods``,
+  ``escaped_exceptions``.
+
+Each recorded event corresponds to a concrete state, so a sound
+analysis **must** include it in the matching context-insensitive
+projection; ``tests/integration/test_soundness_concrete.py`` fuzzes this
+against every configuration.
+
+Semantics notes.  The IR is the flow-insensitive bag the parser
+produces (branches flattened, statement order kept), so the interpreter
+executes each method body sequentially; ``return`` records the return
+value and continues, ``throw`` records the exception and continues —
+both are executions of the abstract semantics' statement bag, which the
+analysis covers by construction.  Recursion and unbounded call chains
+are handled by a global *step budget*: when it is exhausted the
+execution stops cleanly, and the bindings observed so far still form a
+valid execution prefix.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.frontend import ir
+
+
+@dataclass(frozen=True)
+class ConcreteObject:
+    """A run-time object: identity plus its allocation site and class."""
+
+    identity: int
+    site: str
+    cls: str
+
+
+class _BudgetExhausted(Exception):
+    """Raised internally to unwind when the step budget runs out."""
+
+
+@dataclass
+class Observations:
+    """Everything a run observed, in analysis-comparable shape."""
+
+    var_points_to: Set[Tuple[str, str]] = field(default_factory=set)
+    heap_points_to: Set[Tuple[str, str, str]] = field(default_factory=set)
+    static_points_to: Set[Tuple[str, str]] = field(default_factory=set)
+    call_edges: Set[Tuple[str, str]] = field(default_factory=set)
+    executed_methods: Set[str] = field(default_factory=set)
+    escaped_exceptions: Set[Tuple[str, str]] = field(default_factory=set)
+    steps: int = 0
+
+
+class ConcreteInterpreter:
+    """Executes an IR program and accumulates :class:`Observations`."""
+
+    def __init__(self, program: ir.Program, step_budget: int = 20000,
+                 max_call_depth: int = 120):
+        self.program = program
+        self.step_budget = step_budget
+        self.max_call_depth = max_call_depth
+        self._depth = 0
+        self.observed = Observations()
+        self._ids = itertools.count()
+        self._fields: Dict[Tuple[int, str], ConcreteObject] = {}
+        self._statics: Dict[str, ConcreteObject] = {}
+        self._static_field_names: Dict[Tuple[str, str], str] = {}
+        for cls in program.classes.values():
+            for name in cls.static_fields:
+                self._static_field_names[(cls.name, name)] = (
+                    f"{cls.name}.{name}"
+                )
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> Observations:
+        main = self.program.main_method
+        try:
+            self._execute(main, args=[], receiver=None)
+        except _BudgetExhausted:
+            pass
+        return self.observed
+
+    # ------------------------------------------------------------------
+
+    def _tick(self) -> None:
+        self.observed.steps += 1
+        if self.observed.steps > self.step_budget:
+            raise _BudgetExhausted()
+
+    def _bind(self, env: Dict[str, ConcreteObject], var: str,
+              value: Optional[ConcreteObject]) -> None:
+        if value is None:
+            return
+        env[var] = value
+        self.observed.var_points_to.add((var, value.site))
+
+    def _resolve_static_field(self, cls: str, name: str) -> Optional[str]:
+        declaring = self.program.resolve_static_field(cls, name)
+        if declaring is None:
+            return None
+        return f"{declaring}.{name}"
+
+    def _execute(
+        self,
+        method: ir.Method,
+        args: List[Optional[ConcreteObject]],
+        receiver: Optional[ConcreteObject],
+    ) -> Tuple[Optional[ConcreteObject], List[ConcreteObject]]:
+        """Run one method; returns (return value, escaped exceptions).
+
+        Calls beyond ``max_call_depth`` are skipped (their edge is still
+        recorded by the caller) — like the step budget, this truncates
+        the execution to a valid prefix rather than crashing on deep
+        recursion.
+        """
+        if self._depth >= self.max_call_depth:
+            return None, []
+        self._depth += 1
+        try:
+            return self._execute_body(method, args, receiver)
+        finally:
+            self._depth -= 1
+
+    def _execute_body(
+        self,
+        method: ir.Method,
+        args: List[Optional[ConcreteObject]],
+        receiver: Optional[ConcreteObject],
+    ) -> Tuple[Optional[ConcreteObject], List[ConcreteObject]]:
+        self.observed.executed_methods.add(method.qualified_name)
+        env: Dict[str, ConcreteObject] = {}
+        if receiver is not None:
+            self._bind(env, method.this_var, receiver)
+        for formal, value in zip(method.params, args):
+            self._bind(env, formal, value)
+
+        return_value: Optional[ConcreteObject] = None
+        raised: List[ConcreteObject] = []
+
+        for statement in method.body:
+            self._tick()
+            if isinstance(statement, ir.New):
+                obj = ConcreteObject(
+                    next(self._ids), statement.label, statement.type
+                )
+                self._bind(env, statement.dst, obj)
+            elif isinstance(statement, ir.Assign):
+                self._bind(env, statement.dst, env.get(statement.src))
+            elif isinstance(statement, ir.Store):
+                base = env.get(statement.base)
+                value = env.get(statement.src)
+                if base is not None and value is not None:
+                    self._fields[(base.identity, statement.field)] = value
+                    self.observed.heap_points_to.add(
+                        (base.site, statement.field, value.site)
+                    )
+            elif isinstance(statement, ir.Load):
+                base = env.get(statement.base)
+                if base is not None:
+                    value = self._fields.get((base.identity, statement.field))
+                    self._bind(env, statement.dst, value)
+            elif isinstance(statement, ir.StaticStore):
+                signature = self._resolve_static_field(
+                    statement.cls, statement.field
+                )
+                value = env.get(statement.src)
+                if signature is not None and value is not None:
+                    self._statics[signature] = value
+                    self.observed.static_points_to.add(
+                        (signature, value.site)
+                    )
+            elif isinstance(statement, ir.StaticLoad):
+                signature = self._resolve_static_field(
+                    statement.cls, statement.field
+                )
+                if signature is not None:
+                    self._bind(env, statement.dst, self._statics.get(signature))
+            elif isinstance(statement, ir.Return):
+                value = env.get(statement.src)
+                if value is not None:
+                    return_value = value
+            elif isinstance(statement, ir.Throw):
+                value = env.get(statement.src)
+                if value is not None:
+                    raised.append(value)
+            elif isinstance(statement, ir.VirtualCall):
+                recv = env.get(statement.base)
+                if recv is None:
+                    continue
+                signature = f"{statement.name}/{len(statement.args)}"
+                target = self.program.resolve_method(recv.cls, signature)
+                if target is None or target.is_static:
+                    continue
+                self.observed.call_edges.add(
+                    (statement.label, target.qualified_name)
+                )
+                result, escaped = self._execute(
+                    target, [env.get(a) for a in statement.args], recv
+                )
+                raised.extend(escaped)
+                if statement.dst is not None:
+                    self._bind(env, statement.dst, result)
+            elif isinstance(statement, ir.StaticCall):
+                signature = f"{statement.name}/{len(statement.args)}"
+                target = self.program.resolve_method(statement.cls, signature)
+                if target is None or not target.is_static:
+                    continue
+                self.observed.call_edges.add(
+                    (statement.label, target.qualified_name)
+                )
+                result, escaped = self._execute(
+                    target, [env.get(a) for a in statement.args], None
+                )
+                raised.extend(escaped)
+                if statement.dst is not None:
+                    self._bind(env, statement.dst, result)
+            else:  # pragma: no cover - exhaustive over the IR
+                raise ValueError(f"unknown statement {statement!r}")
+
+        # Exceptions raised here or escaped from callees: caught by this
+        # method's catch variables (recorded as bindings) and considered
+        # escaping as well — matching the flow-insensitive THROW/EPROP/
+        # ECATCH over-approximation from below.
+        for exception in raised:
+            for catch in method.catch_vars():
+                self._bind(env, catch, exception)
+            self.observed.escaped_exceptions.add(
+                (method.qualified_name, exception.site)
+            )
+        return return_value, raised
+
+
+def run_concrete(program: ir.Program, step_budget: int = 20000) -> Observations:
+    """Execute ``program`` and return what the run observed."""
+    return ConcreteInterpreter(program, step_budget).run()

@@ -1,0 +1,803 @@
+"""Synthetic DaCapo-analogue workloads.
+
+The paper evaluates on seven DaCapo 2006 benchmarks processed by Soot.
+Neither the DaCapo jars nor a JVM frontend are available here, so each
+benchmark is replaced by a *synthetic analogue*: a deterministic
+generator that emits a Java-subset IR program exhibiting the structural
+features the paper attributes to (or that characterize) the original —
+at a scale a pure-Python analysis completes in seconds.  Figure 6
+compares two abstractions on the *same* input, so its shape survives
+this substitution (see DESIGN.md, Substitutions).
+
+Building blocks (the cost/imprecision generators of the pointer-analysis
+literature):
+
+* **shared static utilities** — identity and heap-roundtrip helpers
+  called from every corner of the program.  A method reachable under
+  ``N`` contexts has every local fact enumerated ``N`` times by context
+  strings but represented once (``ε``) by transformer strings — the
+  heart of the paper's fact-count reduction;
+* **wrapper chains** — receiver-polymorphic identity methods calling
+  into the utilities at every level (Figure 1's ``id``/``id2`` shape at
+  depth, times a configurable receiver population);
+* **factories** — ``make()`` methods whose product is routed through an
+  identity helper before being returned: the Figure 5 pattern whose
+  return-composition generates the quadratic context-string
+  cross-product under ``+H`` configurations;
+* **containers** — one-slot collections written from many sites;
+* **dispatch hierarchies** — subclasses reached through a container, so
+  one call site fans out to many targets;
+* **AST-with-parent-pointers plus a stack** — the `bloat` pattern of
+  paper Section 8, producing subsuming transformer-string facts through
+  dual data-flow paths.
+
+Each named benchmark mixes these blocks with different weights.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.frontend import ir
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Weights for the building blocks of one synthetic benchmark."""
+
+    name: str
+    seed: int = 7
+    value_classes: int = 3      # allocation types passed around
+    wrapper_chains: int = 2     # independent identity-method chains
+    chain_depth: int = 3        # calls per chain
+    receivers_per_chain: int = 3  # receiver objects per chain class
+    factories: int = 2          # classes with `make()` factory methods
+    containers: int = 2         # one-slot containers
+    hierarchy_width: int = 0    # subclasses in the dispatch hierarchy
+    ast_nodes: int = 0          # nodes built in the bloat-style pattern
+    call_sites: int = 6         # wrapper invocations from main
+    factory_sites: int = 4      # factory invocations from main
+    container_ops: int = 4      # store/load pairs through containers
+    tree_levels: int = 0        # depth of the allocator tree
+    tree_branch: int = 2        # allocation sites per allocator level
+    tree_roots: int = 2         # root objects of the allocator tree
+    tree_work: int = 2          # boxed-work rounds per allocator method
+    use_static_registry: bool = False  # global config read by the worker
+    worker_throws: bool = False        # worker throws; main catches
+    reflective_width: int = 0          # receiver types per "reflective" site
+    reflective_sites: int = 0          # number of such mega-dispatch sites
+
+
+class _Builder:
+    """Accumulates a program; guarantees globally unique site labels."""
+
+    def __init__(self, spec: WorkloadSpec):
+        self.spec = spec
+        self.rng = random.Random(spec.seed)
+        self.program = ir.Program()
+        self._heap_count = 0
+        self._invk_count = 0
+        self._var_count = 0
+        self.util_class: Optional[str] = None
+        self.reflective: Optional[Tuple[str, List[str]]] = None
+
+    def heap_label(self) -> str:
+        self._heap_count += 1
+        return f"{self.spec.name}/h{self._heap_count}"
+
+    def invk_label(self) -> str:
+        self._invk_count += 1
+        return f"{self.spec.name}/c{self._invk_count}"
+
+    def fresh_var(self, method: ir.Method) -> str:
+        self._var_count += 1
+        return method.local(f"v{self._var_count}")
+
+
+def generate(spec: WorkloadSpec) -> ir.Program:
+    """Build the synthetic program for ``spec`` (deterministic)."""
+    builder = _Builder(spec)
+    program = builder.program
+
+    _add_shared_util(builder)
+    value_classes = _add_value_classes(builder)
+    chains = [_add_wrapper_chain(builder, k) for k in range(spec.wrapper_chains)]
+    factories = [_add_factory(builder, k) for k in range(spec.factories)]
+    containers = [_add_container(builder, k) for k in range(spec.containers)]
+    hierarchy = _add_hierarchy(builder) if spec.hierarchy_width else None
+    ast = _add_ast_classes(builder) if spec.ast_nodes else None
+    builder.reflective = (
+        _add_reflective_targets(builder) if spec.reflective_width else None
+    )
+    tree_root = _add_allocator_tree(builder) if spec.tree_levels else None
+    reflective = builder.reflective
+
+    main_cls = program.add_class(ir.ClassDecl(f"{spec.name}_Main"))
+    main = main_cls.add_method(
+        ir.Method(
+            "main", main_cls.name,
+            (f"{main_cls.name}.main/args",), is_static=True,
+        )
+    )
+    program.main_class = main_cls.name
+
+    values = _allocate_values(builder, main, value_classes)
+    _drive_wrappers(builder, main, chains, values)
+    made = _drive_factories(builder, main, factories)
+    _drive_containers(builder, main, containers, values + made)
+    if hierarchy is not None:
+        _drive_hierarchy(
+            builder, main, hierarchy, containers[0] if containers else None
+        )
+    if ast is not None:
+        _drive_ast(builder, main, ast)
+    if tree_root is not None:
+        _drive_allocator_tree(builder, main, tree_root)
+    if reflective is not None:
+        _drive_reflective(builder, main, reflective)
+
+    program.validate()
+    return program
+
+
+# ---------------------------------------------------------------------------
+# Building blocks.
+# ---------------------------------------------------------------------------
+
+def _add_shared_util(builder: _Builder) -> None:
+    """Static helpers with local state, shared by the whole program.
+
+    ``id(p)`` is a static identity; ``process(p)`` routes its argument
+    through a locally allocated one-slot box.  Every reachable context
+    of these methods costs the context-string abstraction a copy of all
+    their local facts; the transformer abstraction stores each once.
+    """
+    name = builder.spec.name
+    box = builder.program.add_class(ir.ClassDecl(f"{name}_UBox"))
+    box.fields.append("slot")
+
+    util = builder.program.add_class(ir.ClassDecl(f"{name}_Util"))
+    builder.util_class = util.name
+
+    ident = util.add_method(
+        ir.Method("id", util.name, (f"{util.name}.id/p",), is_static=True)
+    )
+    ident.body.append(ir.Return(ident.params[0]))
+
+    process = util.add_method(
+        ir.Method(
+            "process", util.name, (f"{util.name}.process/p",), is_static=True
+        )
+    )
+    (param,) = process.params
+    box_var = process.local("b")
+    out = process.local("r")
+    process.body.append(ir.New(box_var, box.name, builder.heap_label()))
+    process.body.append(ir.Store(box_var, "slot", param))
+    process.body.append(ir.Load(out, box_var, "slot"))
+    process.body.append(ir.Return(out))
+
+
+def _util_call(builder: _Builder, method: ir.Method, kind: str, arg: str) -> str:
+    """Emit ``out = Util.kind(arg)`` inside ``method``; returns out."""
+    out = builder.fresh_var(method)
+    method.body.append(
+        ir.StaticCall(
+            out, builder.util_class, kind, (arg,), builder.invk_label()
+        )
+    )
+    return out
+
+
+def _add_value_classes(builder: _Builder) -> List[str]:
+    names = []
+    for k in range(builder.spec.value_classes):
+        name = f"{builder.spec.name}_V{k}"
+        builder.program.add_class(ir.ClassDecl(name))
+        names.append(name)
+    return names
+
+
+def _add_wrapper_chain(builder: _Builder, index: int) -> Tuple[str, str]:
+    """A class with instance identity methods ``w0 → w1 → … → wd``,
+    each level detouring through the shared static utilities."""
+    cls = builder.program.add_class(
+        ir.ClassDecl(f"{builder.spec.name}_Wrap{index}")
+    )
+    depth = builder.spec.chain_depth
+    for level in range(depth):
+        method = cls.add_method(
+            ir.Method(f"w{level}", cls.name, (f"{cls.name}.w{level}/p",))
+        )
+        current = _util_call(
+            builder, method, "process" if level % 2 else "id", method.params[0]
+        )
+        if level + 1 < depth:
+            result = method.local("r")
+            method.body.append(
+                ir.VirtualCall(
+                    result, method.this_var, f"w{level + 1}",
+                    (current,), builder.invk_label(),
+                )
+            )
+            method.body.append(ir.Return(result))
+        else:
+            method.body.append(ir.Return(current))
+    return (cls.name, "w0")
+
+
+def _add_factory(builder: _Builder, index: int) -> Tuple[str, str]:
+    """A class whose ``make()`` returns a fresh product, routed through
+    the static identity — Figure 5's ``m()``, whose return composition
+    produces the context-string cross-product under ``+H`` configs."""
+    product = builder.program.add_class(
+        ir.ClassDecl(f"{builder.spec.name}_P{index}")
+    )
+    product.fields.append("payload")
+    cls = builder.program.add_class(
+        ir.ClassDecl(f"{builder.spec.name}_F{index}")
+    )
+    make = cls.add_method(ir.Method("make", cls.name))
+    fresh = make.local("n")
+    make.body.append(ir.New(fresh, product.name, builder.heap_label()))
+    routed = _util_call(builder, make, "id", fresh)
+    make.body.append(ir.Return(routed))
+    return (cls.name, product.name)
+
+
+def _add_container(builder: _Builder, index: int) -> str:
+    """A one-slot container with ``add``/``get`` instance methods."""
+    cls = builder.program.add_class(
+        ir.ClassDecl(f"{builder.spec.name}_C{index}")
+    )
+    cls.fields.append("elem")
+    add = cls.add_method(ir.Method("add", cls.name, (f"{cls.name}.add/v",)))
+    routed = _util_call(builder, add, "id", add.params[0])
+    add.body.append(ir.Store(add.this_var, "elem", routed))
+    get = cls.add_method(ir.Method("get", cls.name))
+    out = get.local("r")
+    get.body.append(ir.Load(out, get.this_var, "elem"))
+    get.body.append(ir.Return(out))
+    return cls.name
+
+
+def _add_hierarchy(builder: _Builder) -> Tuple[str, List[str]]:
+    """``Base`` with ``width`` subclasses, each overriding ``produce``
+    to return its own product type."""
+    base = builder.program.add_class(
+        ir.ClassDecl(f"{builder.spec.name}_Base")
+    )
+    produce = base.add_method(ir.Method("produce", base.name))
+    fresh = produce.local("n")
+    produce.body.append(ir.New(fresh, base.name, builder.heap_label()))
+    produce.body.append(ir.Return(fresh))
+    subclasses = []
+    for k in range(builder.spec.hierarchy_width):
+        sub = builder.program.add_class(
+            ir.ClassDecl(f"{builder.spec.name}_Sub{k}", base.name)
+        )
+        method = sub.add_method(ir.Method("produce", sub.name))
+        fresh = method.local("n")
+        method.body.append(ir.New(fresh, sub.name, builder.heap_label()))
+        method.body.append(ir.Return(fresh))
+        subclasses.append(sub.name)
+    return (base.name, subclasses)
+
+
+def _add_allocator_tree(builder: _Builder) -> str:
+    """An allocation chain: each level's ``grow()`` allocates the next
+    level's objects at ``branch`` sites, calls ``grow()`` on each, and
+    does local boxed work.
+
+    Under k-limited analyses the method contexts of level ``l`` are the
+    pairs (own allocation site, parent allocation site) — roughly
+    ``branch²`` contexts per level — so context strings enumerate every
+    level's local facts ``branch²`` times, while transformer strings
+    keep one ``ε`` fact per local and one ``ŝ`` call edge per site.
+    This is the dominant fact-count gap of the 2-object+H column
+    (objects allocating sub-objects is the bread and butter of real
+    Java heaps).  Returns the root class name.
+    """
+    spec = builder.spec
+    name = spec.name
+    box = builder.program.add_class(ir.ClassDecl(f"{name}_TBox"))
+    box.fields.append("slot")
+
+    # A shared worker: every tree level allocates one locally and calls
+    # ``work()``.  Because the allocation sites live in *different
+    # classes*, the worker's method is reachable under one context per
+    # level even under type sensitivity — the context multiplication
+    # that lets the 2-type+H column exercise the abstraction difference.
+    worker = builder.program.add_class(ir.ClassDecl(f"{name}_Worker"))
+    work = worker.add_method(ir.Method("work", worker.name))
+    _tree_local_work(builder, work, box.name)
+    if spec.use_static_registry:
+        # A program-wide registry read from every worker context: the
+        # paper's static-field extension.  Context strings enumerate the
+        # loaded value per reachable context; transformer strings keep a
+        # single wildcard fact.
+        registry = builder.program.add_class(ir.ClassDecl(f"{name}_Reg"))
+        registry.static_fields.append("conf")
+        seed = work.local("conf_seed")
+        work.body.append(ir.New(seed, box.name, builder.heap_label()))
+        work.body.append(ir.StaticStore(registry.name, "conf", seed))
+        loaded = builder.fresh_var(work)
+        work.body.append(ir.StaticLoad(loaded, registry.name, "conf"))
+    if spec.worker_throws:
+        # The exception extension: the worker throws a locally allocated
+        # exception, which escapes through every tree level to main.
+        exc = builder.program.add_class(ir.ClassDecl(f"{name}_Exc"))
+        thrown = work.local("boom")
+        work.body.append(ir.New(thrown, exc.name, builder.heap_label()))
+        work.body.append(ir.Throw(thrown))
+    if builder.reflective is not None:
+        # Conservatively-modelled reflection *inside* the context-
+        # multiplied worker: every reachable context of work() pays one
+        # mega-dispatch over all reflective targets — the jython/hsqldb
+        # blowup the paper excludes (see _add_reflective_targets).
+        holder_cls, targets = builder.reflective
+        holder = builder.fresh_var(work)
+        work.body.append(ir.New(holder, holder_cls, builder.heap_label()))
+        for target in targets[1:]:
+            instance = builder.fresh_var(work)
+            work.body.append(ir.New(instance, target, builder.heap_label()))
+            work.body.append(
+                ir.VirtualCall(None, holder, "add", (instance,),
+                               builder.invk_label())
+            )
+        merged = builder.fresh_var(work)
+        work.body.append(
+            ir.VirtualCall(merged, holder, "get", (), builder.invk_label())
+        )
+        result = builder.fresh_var(work)
+        work.body.append(
+            ir.VirtualCall(result, merged, "invoke", (work.this_var,),
+                           builder.invk_label())
+        )
+    work.body.append(ir.Return(work.this_var))
+
+    # Leaf level: local work only.
+    leaf = builder.program.add_class(ir.ClassDecl(f"{name}_T{spec.tree_levels}"))
+    grow = leaf.add_method(ir.Method("grow", leaf.name))
+    _tree_local_work(builder, grow, box.name)
+    _use_worker(builder, grow, worker.name)
+    grow.body.append(ir.Return(grow.this_var))
+
+    previous = leaf.name
+    for level in range(spec.tree_levels - 1, -1, -1):
+        cls = builder.program.add_class(ir.ClassDecl(f"{name}_T{level}"))
+        grow = cls.add_method(ir.Method("grow", cls.name))
+        _tree_local_work(builder, grow, box.name)
+        _use_worker(builder, grow, worker.name)
+        first_child = None
+        for _ in range(spec.tree_branch):
+            child = builder.fresh_var(grow)
+            grow.body.append(ir.New(child, previous, builder.heap_label()))
+            grown = builder.fresh_var(grow)
+            grow.body.append(
+                ir.VirtualCall(grown, child, "grow", (), builder.invk_label())
+            )
+            if first_child is None:
+                first_child = grown
+        grow.body.append(ir.Return(first_child))
+        previous = cls.name
+    return previous
+
+
+def _use_worker(builder: _Builder, method: ir.Method, worker_cls: str) -> None:
+    worker = builder.fresh_var(method)
+    method.body.append(ir.New(worker, worker_cls, builder.heap_label()))
+    out = builder.fresh_var(method)
+    method.body.append(
+        ir.VirtualCall(out, worker, "work", (), builder.invk_label())
+    )
+
+
+def _tree_local_work(builder: _Builder, method: ir.Method, box_cls: str) -> None:
+    """Local allocations plus store/load round trips — the per-context
+    payload that context strings replicate once per reachable context."""
+    for _ in range(builder.spec.tree_work):
+        box_var = builder.fresh_var(method)
+        payload = builder.fresh_var(method)
+        out = builder.fresh_var(method)
+        method.body.append(ir.New(box_var, box_cls, builder.heap_label()))
+        method.body.append(ir.New(payload, box_cls, builder.heap_label()))
+        method.body.append(ir.Store(box_var, "slot", payload))
+        method.body.append(ir.Load(out, box_var, "slot"))
+
+
+def _drive_allocator_tree(builder: _Builder, main: ir.Method, root_cls: str) -> None:
+    for _ in range(builder.spec.tree_roots):
+        root = builder.fresh_var(main)
+        main.body.append(ir.New(root, root_cls, builder.heap_label()))
+        out = builder.fresh_var(main)
+        main.body.append(
+            ir.VirtualCall(out, root, "grow", (), builder.invk_label())
+        )
+    if builder.spec.worker_throws:
+        # main catches whatever escapes the tree.
+        catch = main.local("caught")
+        main.add_catch_var(catch)
+
+
+def _add_reflective_targets(builder: _Builder) -> Tuple[str, List[str]]:
+    """Conservatively-modelled reflection (the paper's exclusion note).
+
+    The paper drops ``jython`` and ``hsqldb`` because "context-sensitive
+    analyses of the two programs do not scale due to overly conservative
+    handling of Java reflection": a reflective call is modelled as
+    possibly dispatching to *any* compatible target.  We reproduce that
+    shape with a dispatcher whose receiver set contains one instance of
+    every target class, each ``invoke`` implementation allocating its
+    own result and calling back into the shared utilities — so every
+    mega-site multiplies contexts by the target width.
+
+    Returns ``(dispatch container class, target class names)``.
+    """
+    spec = builder.spec
+    name = spec.name
+    base = builder.program.add_class(ir.ClassDecl(f"{name}_Reflect"))
+    invoke = base.add_method(
+        ir.Method("invoke", base.name, (f"{base.name}.invoke/arg",))
+    )
+    out = invoke.local("r")
+    invoke.body.append(ir.New(out, base.name, builder.heap_label()))
+    invoke.body.append(ir.Return(out))
+
+    targets = [base.name]
+    for k in range(spec.reflective_width):
+        target = builder.program.add_class(
+            ir.ClassDecl(f"{name}_R{k}", base.name)
+        )
+        target.fields.append("slot")
+        method = ir.Method("invoke", target.name, (f"{target.name}.invoke/arg",))
+        target.add_method(method)
+        fresh = method.local("r")
+        method.body.append(ir.New(fresh, target.name, builder.heap_label()))
+        routed = _util_call(builder, method, "process", method.params[0])
+        method.body.append(ir.Store(fresh, "slot", routed))
+        method.body.append(ir.Return(fresh))
+        targets.append(target.name)
+
+    holder = builder.program.add_class(ir.ClassDecl(f"{name}_RHolder"))
+    holder.fields.append("elem")
+    add = holder.add_method(
+        ir.Method("add", holder.name, (f"{holder.name}.add/v",))
+    )
+    add.body.append(ir.Store(add.this_var, "elem", add.params[0]))
+    get = holder.add_method(ir.Method("get", holder.name))
+    got = get.local("r")
+    get.body.append(ir.Load(got, get.this_var, "elem"))
+    get.body.append(ir.Return(got))
+    return (holder.name, targets)
+
+
+def _drive_reflective(builder, main, reflective) -> None:
+    spec = builder.spec
+    holder_cls, targets = reflective
+    holder = builder.fresh_var(main)
+    main.body.append(ir.New(holder, holder_cls, builder.heap_label()))
+    for target in targets[1:]:
+        instance = builder.fresh_var(main)
+        main.body.append(ir.New(instance, target, builder.heap_label()))
+        main.body.append(
+            ir.VirtualCall(None, holder, "add", (instance,),
+                           builder.invk_label())
+        )
+    payload = builder.fresh_var(main)
+    main.body.append(ir.New(payload, holder_cls, builder.heap_label()))
+    for _ in range(spec.reflective_sites):
+        merged = builder.fresh_var(main)
+        main.body.append(
+            ir.VirtualCall(merged, holder, "get", (), builder.invk_label())
+        )
+        result = builder.fresh_var(main)
+        main.body.append(
+            ir.VirtualCall(result, merged, "invoke", (payload,),
+                           builder.invk_label())
+        )
+
+
+def _add_ast_classes(builder: _Builder) -> Dict[str, str]:
+    """The `bloat` pattern: nodes whose parent pointers are set inside a
+    helper invoked at node-construction time, with every node also
+    pushed onto a stack (paper Section 8)."""
+    name = builder.spec.name
+    node = builder.program.add_class(ir.ClassDecl(f"{name}_Node"))
+    node.fields.append("parent")
+    set_parent = node.add_method(
+        ir.Method("setParent", node.name, (f"{node.name}.setParent/p",))
+    )
+    set_parent.body.append(
+        ir.Store(set_parent.this_var, "parent", set_parent.params[0])
+    )
+    get_parent = node.add_method(ir.Method("getParent", node.name))
+    out = get_parent.local("r")
+    get_parent.body.append(ir.Load(out, get_parent.this_var, "parent"))
+    get_parent.body.append(ir.Return(out))
+
+    # Figure 7's intra-method pattern verbatim: a local allocation
+    # stored into and re-read from a field of ``this``, so the local
+    # points to its site both directly (ε) and through the heap
+    # (``Č·Ĉ`` per reachable context) — the source of subsuming facts.
+    touch = node.add_method(ir.Method("touch", node.name))
+    scratch = touch.local("v")
+    touch.body.append(ir.New(scratch, node.name, builder.heap_label()))
+    touch.body.append(ir.Store(touch.this_var, "parent", scratch))
+    touch.body.append(ir.Load(scratch, touch.this_var, "parent"))
+
+    stack = builder.program.add_class(ir.ClassDecl(f"{name}_Stack"))
+    stack.fields.append("top")
+    push = stack.add_method(
+        ir.Method("push", stack.name, (f"{stack.name}.push/v",))
+    )
+    push.body.append(ir.Store(push.this_var, "top", push.params[0]))
+    pop = stack.add_method(ir.Method("pop", stack.name))
+    out = pop.local("r")
+    pop.body.append(ir.Load(out, pop.this_var, "top"))
+    pop.body.append(ir.Return(out))
+
+    factory = builder.program.add_class(ir.ClassDecl(f"{name}_AstBuilder"))
+    attach = factory.add_method(
+        ir.Method(
+            "attach", factory.name,
+            (f"{factory.name}.attach/child", f"{factory.name}.attach/st"),
+            is_static=True,
+        )
+    )
+    child, st = attach.params
+    fresh = attach.local("n")
+    attach.body.append(ir.New(fresh, node.name, builder.heap_label()))
+    attach.body.append(
+        ir.VirtualCall(None, child, "setParent", (fresh,), builder.invk_label())
+    )
+    attach.body.append(
+        ir.VirtualCall(None, st, "push", (fresh,), builder.invk_label())
+    )
+    attach.body.append(
+        ir.VirtualCall(None, fresh, "touch", (), builder.invk_label())
+    )
+    attach.body.append(ir.Return(fresh))
+    return {
+        "node": node.name,
+        "stack": stack.name,
+        "builder": factory.name,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Driving code in main.
+# ---------------------------------------------------------------------------
+
+def _allocate_values(builder, main, value_classes) -> List[str]:
+    variables = []
+    for cls in value_classes:
+        var = builder.fresh_var(main)
+        main.body.append(ir.New(var, cls, builder.heap_label()))
+        variables.append(var)
+    return variables
+
+
+def _drive_wrappers(builder, main, chains, values) -> None:
+    spec = builder.spec
+    receivers = []
+    for (cls, _entry) in chains:
+        for _ in range(spec.receivers_per_chain):
+            var = builder.fresh_var(main)
+            main.body.append(ir.New(var, cls, builder.heap_label()))
+            receivers.append(var)
+    if not receivers or not values:
+        return
+    for _ in range(spec.call_sites):
+        recv = builder.rng.choice(receivers)
+        value = builder.rng.choice(values)
+        out = builder.fresh_var(main)
+        main.body.append(
+            ir.VirtualCall(out, recv, "w0", (value,), builder.invk_label())
+        )
+
+
+def _drive_factories(builder, main, factories) -> List[str]:
+    spec = builder.spec
+    made = []
+    receivers = []
+    for (cls, _product) in factories:
+        var = builder.fresh_var(main)
+        main.body.append(ir.New(var, cls, builder.heap_label()))
+        receivers.append(var)
+    if not receivers:
+        return made
+    for _ in range(spec.factory_sites):
+        recv = builder.rng.choice(receivers)
+        out = builder.fresh_var(main)
+        main.body.append(
+            ir.VirtualCall(out, recv, "make", (), builder.invk_label())
+        )
+        made.append(out)
+    return made
+
+
+def _drive_containers(builder, main, containers, values) -> None:
+    spec = builder.spec
+    instances = []
+    for cls in containers:
+        var = builder.fresh_var(main)
+        main.body.append(ir.New(var, cls, builder.heap_label()))
+        instances.append(var)
+    if not instances or not values:
+        return
+    for _ in range(spec.container_ops):
+        container = builder.rng.choice(instances)
+        value = builder.rng.choice(values)
+        main.body.append(
+            ir.VirtualCall(None, container, "add", (value,), builder.invk_label())
+        )
+        out = builder.fresh_var(main)
+        main.body.append(
+            ir.VirtualCall(out, container, "get", (), builder.invk_label())
+        )
+
+
+def _drive_hierarchy(builder, main, hierarchy, container_cls) -> None:
+    base, subclasses = hierarchy
+    if container_cls is None:
+        return
+    mixer = builder.fresh_var(main)
+    main.body.append(ir.New(mixer, container_cls, builder.heap_label()))
+    for sub in subclasses:
+        var = builder.fresh_var(main)
+        main.body.append(ir.New(var, sub, builder.heap_label()))
+        main.body.append(
+            ir.VirtualCall(None, mixer, "add", (var,), builder.invk_label())
+        )
+    # Pull a merged receiver back out and dispatch through it: the call
+    # site fans out to every subclass implementation.
+    merged = builder.fresh_var(main)
+    main.body.append(
+        ir.VirtualCall(merged, mixer, "get", (), builder.invk_label())
+    )
+    out = builder.fresh_var(main)
+    main.body.append(
+        ir.VirtualCall(out, merged, "produce", (), builder.invk_label())
+    )
+
+
+def _drive_ast(builder, main, ast) -> None:
+    spec = builder.spec
+    stack_var = builder.fresh_var(main)
+    main.body.append(ir.New(stack_var, ast["stack"], builder.heap_label()))
+    current = builder.fresh_var(main)
+    main.body.append(ir.New(current, ast["node"], builder.heap_label()))
+    for _ in range(spec.ast_nodes):
+        parent = builder.fresh_var(main)
+        main.body.append(
+            ir.StaticCall(
+                parent, ast["builder"], "attach",
+                (current, stack_var), builder.invk_label(),
+            )
+        )
+        current = parent
+    # Read back through both paths: the parent field and the stack.
+    via_parent = builder.fresh_var(main)
+    main.body.append(
+        ir.VirtualCall(via_parent, current, "getParent", (), builder.invk_label())
+    )
+    via_stack = builder.fresh_var(main)
+    main.body.append(
+        ir.VirtualCall(via_stack, stack_var, "pop", (), builder.invk_label())
+    )
+
+
+# ---------------------------------------------------------------------------
+# The seven DaCapo analogues.
+# ---------------------------------------------------------------------------
+
+def dacapo_specs(scale: int = 1) -> Dict[str, WorkloadSpec]:
+    """Specs for the paper's seven benchmarks, at a size multiplier.
+
+    The weights follow each original's character: ``antlr`` is
+    call-chain heavy, ``bloat`` is dominated by the AST/stack pattern,
+    ``chart`` allocates through many factories, ``eclipse`` has the
+    widest dispatch, ``luindex`` is the smallest and most uniform,
+    ``pmd`` mixes hierarchies and wrappers, ``xalan`` is container
+    heavy.
+    """
+    s = scale
+    return {
+        "antlr": WorkloadSpec(
+            "antlr", seed=11, tree_levels=4, tree_branch=3, tree_roots=2, tree_work=2 * s, value_classes=4, wrapper_chains=3,
+            chain_depth=5, receivers_per_chain=3 * s, factories=2,
+            containers=2, call_sites=12 * s, factory_sites=4 * s,
+            container_ops=4 * s,
+        ),
+        "bloat": WorkloadSpec(
+            "bloat", seed=13, tree_levels=3, tree_branch=2, tree_roots=2, tree_work=2 * s, worker_throws=True, value_classes=3, wrapper_chains=2,
+            chain_depth=3, receivers_per_chain=2 * s, factories=1,
+            containers=2, ast_nodes=10 * s, call_sites=8 * s,
+            factory_sites=3 * s, container_ops=4 * s,
+        ),
+        "chart": WorkloadSpec(
+            "chart", seed=17, tree_levels=3, tree_branch=3, tree_roots=2, tree_work=3 * s, use_static_registry=True, worker_throws=True, value_classes=4, wrapper_chains=2,
+            chain_depth=3, receivers_per_chain=3 * s, factories=5,
+            containers=3, call_sites=10 * s, factory_sites=8 * s,
+            container_ops=5 * s,
+        ),
+        "eclipse": WorkloadSpec(
+            "eclipse", seed=19, tree_levels=4, tree_branch=2, tree_roots=2, tree_work=2 * s, use_static_registry=True, value_classes=3, wrapper_chains=2,
+            chain_depth=4, receivers_per_chain=3 * s, factories=2,
+            containers=3, hierarchy_width=6, call_sites=10 * s,
+            factory_sites=4 * s, container_ops=5 * s,
+        ),
+        "luindex": WorkloadSpec(
+            "luindex", seed=23, tree_levels=3, tree_branch=3, tree_roots=2, tree_work=1 * s, value_classes=2, wrapper_chains=2,
+            chain_depth=3, receivers_per_chain=2 * s, factories=2,
+            containers=2, call_sites=6 * s, factory_sites=3 * s,
+            container_ops=3 * s,
+        ),
+        "pmd": WorkloadSpec(
+            "pmd", seed=29, tree_levels=3, tree_branch=3, tree_roots=2, tree_work=2 * s, worker_throws=True, value_classes=3, wrapper_chains=3,
+            chain_depth=3, receivers_per_chain=2 * s, factories=2,
+            containers=2, hierarchy_width=4, call_sites=9 * s,
+            factory_sites=3 * s, container_ops=3 * s,
+        ),
+        "xalan": WorkloadSpec(
+            "xalan", seed=31, tree_levels=3, tree_branch=3, tree_roots=2, tree_work=3 * s, use_static_registry=True, value_classes=4, wrapper_chains=2,
+            chain_depth=4, receivers_per_chain=3 * s, factories=2,
+            containers=4, call_sites=9 * s, factory_sites=4 * s,
+            container_ops=7 * s,
+        ),
+    }
+
+
+def excluded_specs(scale: int = 1) -> Dict[str, WorkloadSpec]:
+    """Analogues of the benchmarks the paper *excludes* (Section 8):
+    ``jython``/``hsqldb`` "do not scale due to overly conservative
+    handling of Java reflection" and ``lusearch`` "is too similar to
+    luindex".  Kept out of the Figure 6 suite, like the paper, but
+    generated so the exclusion rationale itself can be measured
+    (``benchmarks/test_bench_excluded.py``)."""
+    s = scale
+    return {
+        "jython": WorkloadSpec(
+            "jython", seed=37, value_classes=3, wrapper_chains=2,
+            chain_depth=3, receivers_per_chain=2 * s, factories=2,
+            containers=2, call_sites=8 * s, factory_sites=3 * s,
+            container_ops=4 * s, tree_levels=3, tree_branch=2,
+            tree_roots=2, tree_work=2 * s,
+            reflective_width=10 * s, reflective_sites=4 * s,
+        ),
+        "hsqldb": WorkloadSpec(
+            "hsqldb", seed=41, value_classes=3, wrapper_chains=2,
+            chain_depth=3, receivers_per_chain=2 * s, factories=2,
+            containers=3, call_sites=8 * s, factory_sites=3 * s,
+            container_ops=5 * s, tree_levels=3, tree_branch=2,
+            tree_roots=2, tree_work=2 * s,
+            reflective_width=8 * s, reflective_sites=5 * s,
+        ),
+        "lusearch": WorkloadSpec(
+            # "too similar to luindex": the same weights, another seed.
+            "lusearch", seed=43, value_classes=2, wrapper_chains=2,
+            chain_depth=3, receivers_per_chain=2 * s, factories=2,
+            containers=2, call_sites=6 * s, factory_sites=3 * s,
+            container_ops=3 * s, tree_levels=3, tree_branch=3,
+            tree_roots=2, tree_work=1 * s,
+        ),
+    }
+
+
+def dacapo_program(name: str, scale: int = 1) -> ir.Program:
+    """The synthetic analogue of one DaCapo benchmark (evaluated or
+    excluded)."""
+    specs = dacapo_specs(scale)
+    specs.update(excluded_specs(scale))
+    return generate(specs[name])
+
+
+DACAPO_NAMES: Tuple[str, ...] = (
+    "antlr", "bloat", "chart", "eclipse", "luindex", "pmd", "xalan",
+)
+
+#: The benchmarks the paper excludes from Figure 6 (see excluded_specs).
+EXCLUDED_NAMES: Tuple[str, ...] = ("jython", "hsqldb", "lusearch")

@@ -1,0 +1,180 @@
+"""The field-flow language ``L_F`` and a generic CFL-reachability solver.
+
+Section 2.1.1 of the paper defines ``L_F`` by the productions::
+
+    flowsto → new flows*
+    flowsto̅ → flows̅* new̅
+    alias   → flowsto̅ flowsto
+    flows   → assign | store[f] alias load[f]
+    flows̅   → assign̅ | load̅[f] alias store̅[f]
+
+over the alphabet Σ_F, where every edge has a backwards (barred)
+counterpart.  ``x`` points to ``h`` iff there is an ``L_F``-path from
+``h`` to ``x``.
+
+This module provides:
+
+* :func:`lf_grammar` — the ``L_F`` productions instantiated for a given
+  field set, in normalized (≤2 symbols per right-hand side) form;
+* :class:`CFLSolver` — a generic all-pairs CFL-reachability solver
+  (Melski–Reps style worklist over derived edges), usable with any
+  normalized grammar.  Cubic; intended for small graphs and as the
+  executable specification against which the optimized
+  :mod:`repro.cfl.solver` fixpoint is tested.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+
+@dataclass(frozen=True)
+class Production:
+    """``lhs → rhs`` with ``len(rhs) ∈ {1, 2}`` (normalized)."""
+
+    lhs: str
+    rhs: Tuple[str, ...]
+
+    def __post_init__(self):
+        if not 1 <= len(self.rhs) <= 2:
+            raise ValueError(f"production {self} is not normalized")
+
+
+@dataclass(frozen=True)
+class Grammar:
+    """A normalized context-free grammar over edge-label symbols."""
+
+    productions: Tuple[Production, ...]
+
+    def symbols(self) -> FrozenSet[str]:
+        out = set()
+        for p in self.productions:
+            out.add(p.lhs)
+            out.update(p.rhs)
+        return frozenset(out)
+
+
+def bar(symbol: str) -> str:
+    """The backwards counterpart of a symbol (involutive)."""
+    return symbol[:-4] if symbol.endswith("_bar") else symbol + "_bar"
+
+
+def lf_grammar(fields: Iterable[str]) -> Grammar:
+    """``L_F`` for the given fields, normalized to binary productions.
+
+    Non-terminals: ``flowsto``, ``flowsto_bar``, ``alias``, ``flows``,
+    ``flows_bar`` plus the helper ``sa[f]`` (= ``store[f] alias``) and
+    ``la[f]`` (= ``load_bar[f] alias``) introduced by normalization.
+    """
+    productions: List[Production] = [
+        # flowsto → new | flowsto flows
+        Production("flowsto", ("new",)),
+        Production("flowsto", ("flowsto", "flows")),
+        # flowsto̅ → new̅ | flows̅ flowsto̅
+        Production("flowsto_bar", ("new_bar",)),
+        Production("flowsto_bar", ("flows_bar", "flowsto_bar")),
+        # alias → flowsto̅ flowsto
+        Production("alias", ("flowsto_bar", "flowsto")),
+        # flows → assign ;  flows̅ → assign̅
+        Production("flows", ("assign",)),
+        Production("flows_bar", ("assign_bar",)),
+    ]
+    for f in sorted(set(fields)):
+        productions += [
+            # flows → store[f] alias load[f]
+            Production(f"sa[{f}]", (f"store[{f}]", "alias")),
+            Production("flows", (f"sa[{f}]", f"load[{f}]")),
+            # flows̅ → load̅[f] alias store̅[f]
+            Production(f"la[{f}]", (f"load[{f}]_bar", "alias")),
+            Production("flows_bar", (f"la[{f}]", f"store[{f}]_bar")),
+        ]
+    return Grammar(tuple(productions))
+
+
+class CFLSolver:
+    """All-pairs CFL-reachability over a labelled edge set.
+
+    Edges are ``(source, label, target)`` triples; the solver derives
+    every ``(source, nonterminal, target)`` edge licensed by the grammar
+    using the classical worklist algorithm: when an edge ``(u, B, v)``
+    is discovered, unary productions ``A → B`` yield ``(u, A, v)`` and
+    binary productions ``A → B C`` / ``A → C B`` combine it with
+    adjacent ``C`` edges.
+    """
+
+    def __init__(self, grammar: Grammar):
+        self.grammar = grammar
+        self.unary: Dict[str, List[str]] = defaultdict(list)
+        self.binary_left: Dict[str, List[Tuple[str, str]]] = defaultdict(list)
+        self.binary_right: Dict[str, List[Tuple[str, str]]] = defaultdict(list)
+        for p in grammar.productions:
+            if len(p.rhs) == 1:
+                self.unary[p.rhs[0]].append(p.lhs)
+            else:
+                left, right = p.rhs
+                self.binary_left[left].append((right, p.lhs))
+                self.binary_right[right].append((left, p.lhs))
+
+    def solve(
+        self, edges: Iterable[Tuple[str, str, str]]
+    ) -> Set[Tuple[str, str, str]]:
+        """All derivable ``(source, symbol, target)`` edges (terminals
+        included)."""
+        derived: Set[Tuple[str, str, str]] = set()
+        out_by: Dict[Tuple[str, str], Set[str]] = defaultdict(set)
+        in_by: Dict[Tuple[str, str], Set[str]] = defaultdict(set)
+        worklist: List[Tuple[str, str, str]] = []
+
+        def add(source: str, symbol: str, target: str) -> None:
+            edge = (source, symbol, target)
+            if edge not in derived:
+                derived.add(edge)
+                out_by[(source, symbol)].add(target)
+                in_by[(target, symbol)].add(source)
+                worklist.append(edge)
+
+        for (source, label, target) in edges:
+            add(source, label, target)
+
+        while worklist:
+            source, symbol, target = worklist.pop()
+            for lhs in self.unary[symbol]:
+                add(source, lhs, target)
+            # (source -symbol-> target)(target -right-> w)  =>  source -lhs-> w
+            for (right, lhs) in self.binary_left[symbol]:
+                for w in list(out_by[(target, right)]):
+                    add(source, lhs, w)
+            # (w -left-> source)(source -symbol-> target)  =>  w -lhs-> target
+            for (left, lhs) in self.binary_right[symbol]:
+                for w in list(in_by[(source, left)]):
+                    add(w, lhs, target)
+        return derived
+
+
+def pag_terminal_edges(pag) -> Set[Tuple[str, str, str]]:
+    """The terminal edge set of a PAG, with barred reverses, labelled in
+    the grammar's vocabulary (field-indexed store/load)."""
+    edges: Set[Tuple[str, str, str]] = set()
+    for edge in pag.edges:
+        if edge.label in ("store", "load"):
+            label = f"{edge.label}[{edge.field}]"
+        else:
+            label = edge.label
+        edges.add((edge.source, label, edge.target))
+        edges.add((edge.target, bar(label), edge.source))
+    return edges
+
+
+def flows_to_pairs(pag) -> Set[Tuple[str, str]]:
+    """All ``(heap, variable)`` pairs with an ``L_F``-path, via the
+    generic solver (context-insensitive points-to, Section 2.1.1)."""
+    solver = CFLSolver(lf_grammar(pag.fields()))
+    derived = solver.solve(pag_terminal_edges(pag))
+    heaps = pag.heap_nodes()
+    return {
+        (source, target)
+        for (source, symbol, target) in derived
+        if symbol == "flowsto" and source in heaps
+    }

@@ -1,0 +1,259 @@
+"""Pointer Assignment Graphs (paper Section 2.1, Figure 2).
+
+A PAG is the graph representation of a program over which the
+CFL-reachability formulation runs: nodes are variables and heap
+allocation sites, and edges carry the labels of the paper's Figure 2
+(``new``, ``assign``, ``store[f]``, ``load[f]``), with interprocedural
+``assign`` edges additionally tagged by the call site below the arrow.
+
+Constructing the interprocedural edges requires a call graph; the paper
+notes on-the-fly construction is essential for precision, so the default
+builder takes the call graph produced by a (cheap, context-insensitive)
+run of the rule-based analysis.  A class-hierarchy-analysis builder is
+provided as the conservative alternative.
+
+Reachability gating mirrors the deduction rules: ``new`` edges are only
+added for allocations in reachable methods, so the exhaustive
+CFL-reachability result coincides exactly with the context-insensitive
+rule-based analysis (tested in ``tests/cfl/test_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.frontend.factgen import FactSet
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A labelled PAG edge; ``call_site`` tags interprocedural assigns."""
+
+    source: str
+    target: str
+    label: str            # "new" | "assign" | "store" | "load"
+    field: Optional[str] = None
+    call_site: Optional[str] = None
+    entering: bool = True  # for call-tagged edges: entry (ĉ) vs exit (č)
+
+
+@dataclass
+class PAG:
+    """A pointer assignment graph."""
+
+    edges: List[Edge] = field(default_factory=list)
+    #: Nodes standing for static fields (globals), not variables.
+    static_field_nodes: Set[str] = field(default_factory=set)
+    #: adjacency: label -> source -> [(target, field, call_site)]
+    _out: Dict[str, Dict[str, List[Edge]]] = field(
+        default_factory=lambda: defaultdict(lambda: defaultdict(list))
+    )
+    _in: Dict[str, Dict[str, List[Edge]]] = field(
+        default_factory=lambda: defaultdict(lambda: defaultdict(list))
+    )
+
+    def add(self, edge: Edge) -> None:
+        self.edges.append(edge)
+        self._out[edge.label][edge.source].append(edge)
+        self._in[edge.label][edge.target].append(edge)
+
+    def out_edges(self, label: str, source: str) -> List[Edge]:
+        """Edges with ``label`` leaving ``source``."""
+        return self._out[label].get(source, [])
+
+    def in_edges(self, label: str, target: str) -> List[Edge]:
+        """Edges with ``label`` entering ``target``."""
+        return self._in[label].get(target, [])
+
+    def nodes(self) -> FrozenSet[str]:
+        return frozenset(
+            n for e in self.edges for n in (e.source, e.target)
+        )
+
+    def heap_nodes(self) -> FrozenSet[str]:
+        """Sources of ``new`` edges."""
+        return frozenset(e.source for e in self.edges if e.label == "new")
+
+    def fields(self) -> FrozenSet[str]:
+        return frozenset(
+            e.field for e in self.edges if e.field is not None
+        )
+
+    def edge_count(self) -> int:
+        return len(self.edges)
+
+
+def cha_call_graph(facts: FactSet) -> Set[Tuple[str, str]]:
+    """Class-hierarchy-analysis call graph: every virtual invocation may
+    dispatch to any implementation of its signature, and every method is
+    considered reachable.  Conservative but points-to-free."""
+    graph: Set[Tuple[str, str]] = set()
+    for (inv, callee, _caller) in facts.static_invoke:
+        graph.add((inv, callee))
+    implementations = defaultdict(set)
+    for (method, _type, signature) in facts.implements:
+        implementations[signature].add(method)
+    for (inv, _recv, signature) in facts.virtual_invoke:
+        for method in implementations[signature]:
+            graph.add((inv, method))
+    return graph
+
+
+def analysis_call_graph(facts: FactSet) -> Tuple[Set[Tuple[str, str]], Set[str]]:
+    """The on-the-fly call graph: run the context-insensitive rule-based
+    analysis and return its call edges plus reachable-method set."""
+    from repro.core.analysis import analyze
+    from repro.core.config import config_by_name
+
+    result = analyze(facts, config_by_name("insensitive"))
+    return set(result.call_graph()), set(result.reachable_methods())
+
+
+def build_pag(
+    facts: FactSet,
+    call_graph: Optional[Iterable[Tuple[str, str]]] = None,
+    reachable: Optional[Set[str]] = None,
+    receiver_points_to: Optional[dict] = None,
+) -> PAG:
+    """Build the PAG of Figure 2 for ``facts``.
+
+    ``call_graph`` defaults to the on-the-fly (context-insensitive
+    analysis) call graph, in which case ``reachable`` defaults to its
+    reachable methods and ``receiver_points_to`` to its points-to sets
+    (used to bind receiver *objects* to ``this`` per dispatch target —
+    without it, a polymorphic receiver's whole points-to set reaches the
+    ``this`` of every target, a strict over-approximation).  Pass
+    :func:`cha_call_graph` output for the conservative variant (with
+    ``reachable=None`` meaning "everything").
+    """
+    if call_graph is None:
+        from repro.core.analysis import analyze
+        from repro.core.config import config_by_name
+
+        result = analyze(facts, config_by_name("insensitive"))
+        call_graph = set(result.call_graph())
+        if reachable is None:
+            reachable = set(result.reachable_methods())
+        if receiver_points_to is None:
+            receiver_points_to = {}
+            for (var, heap) in result.pts_ci():
+                receiver_points_to.setdefault(var, set()).add(heap)
+    else:
+        call_graph = set(call_graph)
+
+    pag = PAG()
+    for (heap, var, method) in facts.assign_new:
+        if reachable is None or method in reachable:
+            pag.add(Edge(heap, var, "new"))
+    for (src, dst) in facts.assign:
+        pag.add(Edge(src, dst, "assign"))
+    for (value, fld, base) in facts.store:
+        pag.add(Edge(value, base, "store", field=fld))
+    for (base, fld, dst) in facts.load:
+        pag.add(Edge(base, dst, "load", field=fld))
+
+    # Static fields: each is a global node flowed through plain assigns
+    # (contexts cannot distinguish a global, so this is exact for the
+    # context-insensitive analysis).  Loads are reachability-gated like
+    # allocations.
+    for (value, fld) in facts.static_store:
+        pag.add(Edge(value, fld, "assign"))
+        pag.static_field_nodes.add(fld)
+    for (fld, dst, method) in facts.static_load:
+        pag.static_field_nodes.add(fld)
+        if reachable is None or method in reachable:
+            pag.add(Edge(fld, dst, "assign"))
+
+    # Exceptions: a thrown value flows to every catch variable of the
+    # throwing method and of its transitive callers — the CI image of
+    # the THROW/EPROP/ECATCH rules.
+    _add_exception_edges(pag, facts, call_graph)
+
+    # Interprocedural assignments (parameter passing / returns / this).
+    _add_call_edges(pag, facts, call_graph, receiver_points_to)
+    return pag
+
+
+def _add_exception_edges(pag: PAG, facts: FactSet, call_graph) -> None:
+    """``throw`` values flow to catch vars of the method and all its
+    transitive callers (the context-insensitive THROW/EPROP/ECATCH)."""
+    if not facts.throw_var:
+        return
+    callers_of = defaultdict(set)
+    for (inv, callee) in call_graph:
+        caller = facts.invocation_parent.get(inv)
+        if caller is not None:
+            callers_of[callee].add(caller)
+    catch_vars = defaultdict(list)
+    for (var, method) in facts.catch_var:
+        catch_vars[method].append(var)
+
+    for (thrown, method) in facts.throw_var:
+        # Upward closure over the caller graph.
+        seen = {method}
+        frontier = [method]
+        while frontier:
+            current = frontier.pop()
+            for catch in catch_vars.get(current, ()):
+                pag.add(Edge(thrown, catch, "assign"))
+            for caller in callers_of.get(current, ()):
+                if caller not in seen:
+                    seen.add(caller)
+                    frontier.append(caller)
+
+
+def _add_call_edges(pag, facts, call_graph, receiver_points_to) -> None:
+    formals = defaultdict(dict)
+    for (var, method, index) in facts.formal:
+        formals[method][index] = var
+    this_vars = dict((m, v) for (v, m) in facts.this_var)
+    returns = defaultdict(list)
+    for (var, method) in facts.return_var:
+        returns[method].append(var)
+    actuals = defaultdict(list)
+    for (var, inv, index) in facts.actual:
+        actuals[inv].append((index, var))
+    assign_returns = defaultdict(list)
+    for (inv, var) in facts.assign_return:
+        assign_returns[inv].append(var)
+    receivers = {
+        inv: (recv, sig) for (inv, recv, sig) in facts.virtual_invoke
+    }
+    heap_type = dict(facts.heap_type)
+    implements_at = {}
+    for (method, cls, sig) in facts.implements:
+        implements_at[(cls, sig)] = method
+
+    for (inv, callee) in call_graph:
+        for (index, arg) in actuals[inv]:
+            formal = formals[callee].get(index)
+            if formal is not None:
+                pag.add(
+                    Edge(arg, formal, "assign", call_site=inv, entering=True)
+                )
+        for ret_var in returns[callee]:
+            for dst in assign_returns[inv]:
+                pag.add(
+                    Edge(ret_var, dst, "assign", call_site=inv, entering=False)
+                )
+        this_var = this_vars.get(callee)
+        recv_info = receivers.get(inv)
+        if this_var is None or recv_info is None:
+            continue
+        recv, sig = recv_info
+        if receiver_points_to is None:
+            # Conservative (CHA-style): the whole receiver set reaches
+            # `this` of every dispatch target.
+            pag.add(
+                Edge(recv, this_var, "assign", call_site=inv, entering=True)
+            )
+        else:
+            # Dispatch-filtered: bind exactly the receiver objects whose
+            # type resolves this signature to this callee — matching the
+            # VIRT rule's per-(H, Q) derivation.
+            for heap in receiver_points_to.get(recv, ()):
+                cls = heap_type.get(heap)
+                if cls is not None and implements_at.get((cls, sig)) == callee:
+                    pag.add(Edge(heap, this_var, "new"))

@@ -1,0 +1,249 @@
+"""Command-line interface: ``python -m repro <command> …``.
+
+Subcommands:
+
+``analyze``
+    Run a pointer analysis over Java-subset source or a Doop-style
+    facts directory and print points-to sets, the call graph, and
+    statistics.
+
+``facts``
+    Generate a Doop-style ``.facts`` directory from source.
+
+``emit``
+    Instantiate the deduction rules for a configuration and write the
+    resulting plain-Datalog program (the Section 7 front-end).
+
+``figure6``
+    Regenerate the paper's Figure 6 table on the synthetic DaCapo
+    analogues.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.analysis import analyze
+from repro.core.config import config_by_name
+
+_CONFIG_CHOICES = (
+    "insensitive", "1-call", "1-call+H", "2-call", "2-call+H",
+    "1-object", "2-object+H", "1-type", "2-type+H",
+    "1-plain-object", "2-plain-object+H", "1-hybrid", "2-hybrid+H",
+    "3-call", "3-call+2H", "3-object+2H",
+)
+
+_ABSTRACTIONS = {
+    "ts": "transformer-string",
+    "cs": "context-string",
+    "transformer-string": "transformer-string",
+    "context-string": "context-string",
+}
+
+
+def _load_facts(args):
+    from repro.frontend.doopfacts import read_facts
+    from repro.frontend.factgen import facts_from_source
+
+    if args.facts_dir:
+        return read_facts(args.facts_dir)
+    if not args.source:
+        raise SystemExit("error: provide a source file or --facts-dir")
+    with open(args.source, encoding="utf-8") as handle:
+        return facts_from_source(handle.read())
+
+
+def _analysis_config(args):
+    return config_by_name(
+        args.config,
+        _ABSTRACTIONS[args.abstraction],
+        eliminate_subsumed=args.eliminate_subsumed,
+    )
+
+
+def cmd_analyze(args) -> int:
+    facts = _load_facts(args)
+    result = analyze(facts, _analysis_config(args))
+    if args.var:
+        for var in args.var:
+            targets = ", ".join(sorted(result.points_to(var))) or "∅"
+            print(f"{var} -> {{{targets}}}")
+    else:
+        by_var = {}
+        for (var, heap) in sorted(result.pts_ci()):
+            by_var.setdefault(var, []).append(heap)
+        for var, heaps in sorted(by_var.items()):
+            print(f"{var} -> {{{', '.join(sorted(heaps))}}}")
+    if args.call_graph:
+        print("\ncall graph:")
+        for (inv, method) in sorted(result.call_graph()):
+            print(f"  {inv} -> {method}")
+    if args.stats:
+        sizes = result.relation_sizes()
+        print(
+            f"\n|pts|={sizes['pts']} |hpts|={sizes['hpts']}"
+            f" |call|={sizes['call']} total={result.total_facts()}"
+            f" time={result.seconds * 1000:.1f}ms"
+            f" config={result.config.describe()}"
+        )
+    if args.dot:
+        from repro.core.graphviz import call_graph_dot
+
+        with open(args.dot, "w", encoding="utf-8") as handle:
+            handle.write(call_graph_dot(result))
+        print(f"wrote call-graph DOT to {args.dot}")
+    return 0
+
+
+def cmd_facts(args) -> int:
+    from repro.frontend.doopfacts import write_facts
+    from repro.frontend.factgen import facts_from_source
+
+    with open(args.source, encoding="utf-8") as handle:
+        facts = facts_from_source(handle.read())
+    write_facts(facts, args.out)
+    print(f"wrote {sum(facts.counts().values())} facts to {args.out}")
+    return 0
+
+
+def cmd_emit(args) -> int:
+    from repro.compile.emit import compile_transformer_analysis
+    from repro.core.config import config_by_name as by_name
+    from repro.datalog.parser import format_program
+
+    facts = _load_facts(args)
+    config = by_name(args.config)
+    compiled = compile_transformer_analysis(
+        facts, config.flavour, config.m, config.h
+    )
+    text = format_program(compiled.program)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(
+            f"wrote {len(compiled.program.rules)} Datalog rules to {args.out}"
+        )
+    else:
+        print(text)
+    return 0
+
+
+def cmd_query(args) -> int:
+    from repro.core.demand import DemandPointerAnalysis
+
+    facts = _load_facts(args)
+    demand = DemandPointerAnalysis(facts, _analysis_config(args))
+    for var in args.var:
+        targets = ", ".join(sorted(demand.points_to(var))) or "∅"
+        print(f"{var} -> {{{targets}}}")
+    sliced, total = demand.coverage()
+    print(
+        f"\ndemand slice: {sliced}/{total} input facts"
+        f" ({sliced / total * 100 if total else 0:.0f}%)"
+    )
+    return 0
+
+
+def cmd_figure6(args) -> int:
+    from repro.bench.harness import run_figure6
+    from repro.bench.report import format_csv, format_figure6
+
+    table = run_figure6(scale=args.scale, repetitions=args.repetitions)
+    print(format_figure6(
+        table, title=f"Figure 6 (synthetic analogues, scale={args.scale})"
+    ))
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as handle:
+            handle.write(format_csv(table))
+        print(f"\nwrote CSV to {args.csv}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Context Transformations for Pointer Analysis"
+        " (PLDI 2017) — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p):
+        p.add_argument("source", nargs="?", help="Java-subset source file")
+        p.add_argument("--facts-dir", help="Doop-style facts directory")
+        p.add_argument(
+            "--config", default="2-object+H", choices=_CONFIG_CHOICES,
+            help="context-sensitivity configuration (default: 2-object+H)",
+        )
+
+    p_analyze = sub.add_parser("analyze", help="run a pointer analysis")
+    add_common(p_analyze)
+    p_analyze.add_argument(
+        "--abstraction", default="ts", choices=sorted(_ABSTRACTIONS),
+        help="context abstraction (ts = transformer strings)",
+    )
+    p_analyze.add_argument(
+        "--var", action="append",
+        help="print only this variable's points-to set (repeatable)",
+    )
+    p_analyze.add_argument(
+        "--call-graph", action="store_true", help="print the call graph"
+    )
+    p_analyze.add_argument(
+        "--stats", action="store_true", help="print relation sizes and time"
+    )
+    p_analyze.add_argument(
+        "--eliminate-subsumed", action="store_true",
+        help="drop subsumed transformer-string facts (Section 8)",
+    )
+    p_analyze.add_argument(
+        "--dot", help="write the call graph as Graphviz DOT to this file"
+    )
+    p_analyze.set_defaults(func=cmd_analyze)
+
+    p_query = sub.add_parser(
+        "query", help="demand-driven points-to queries (no exhaustive run)"
+    )
+    add_common(p_query)
+    p_query.add_argument(
+        "--abstraction", default="ts", choices=sorted(_ABSTRACTIONS),
+        help="context abstraction (ts = transformer strings)",
+    )
+    p_query.add_argument(
+        "--var", action="append", required=True,
+        help="variable to query (repeatable)",
+    )
+    p_query.add_argument(
+        "--eliminate-subsumed", action="store_true",
+        help=argparse.SUPPRESS,
+    )
+    p_query.set_defaults(func=cmd_query)
+
+    p_facts = sub.add_parser("facts", help="generate a Doop-style facts dir")
+    p_facts.add_argument("source", help="Java-subset source file")
+    p_facts.add_argument("--out", required=True, help="output directory")
+    p_facts.set_defaults(func=cmd_facts)
+
+    p_emit = sub.add_parser(
+        "emit", help="emit the specialized plain-Datalog program"
+    )
+    add_common(p_emit)
+    p_emit.add_argument("--out", help="output file (default: stdout)")
+    p_emit.set_defaults(func=cmd_emit)
+
+    p_fig = sub.add_parser("figure6", help="regenerate the Figure 6 table")
+    p_fig.add_argument("--scale", type=int, default=2)
+    p_fig.add_argument("--repetitions", type=int, default=1)
+    p_fig.add_argument("--csv", help="also write machine-readable CSV here")
+    p_fig.set_defaults(func=cmd_figure6)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

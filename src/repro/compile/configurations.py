@@ -1,0 +1,113 @@
+"""Transformer-string configurations (paper Section 7).
+
+A *configuration* of a transformer string records its number of exits
+(pops), whether it carries a wildcard, and its number of entries
+(pushes) — everything about its shape except the concrete context
+elements.  Configurations are written as the paper's regular expression
+``x* w? e*``: ``xxwe`` is two exits, a wildcard, one entry.
+
+The Section 7 implementation technique replaces each relation carrying a
+transformer-string attribute by one specialized relation per
+configuration, with the string's elements flattened into ordinary
+attributes.  For the ``pts`` relation of a 2-method/1-heap analysis
+(domain ``CtxtT^t_{1,2}``) this yields the paper's twelve
+configurations: two exit counts × three entry counts × wildcard or not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.transformer_strings import TransformerString
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """The shape ``x^pops w? e^pushes`` of a transformer string."""
+
+    pops: int
+    wildcard: bool
+    pushes: int
+
+    @property
+    def tag(self) -> str:
+        """The paper's subscript string, e.g. ``"xxwe"`` (``""`` for ε)."""
+        return (
+            "x" * self.pops
+            + ("w" if self.wildcard else "")
+            + "e" * self.pushes
+        )
+
+    @property
+    def context_arity(self) -> int:
+        """Number of flattened context attributes."""
+        return self.pops + self.pushes
+
+    def predicate_name(self, base: str) -> str:
+        """The specialized relation name, e.g. ``pts__xxwe``."""
+        return f"{base}__{self.tag}"
+
+    def __repr__(self) -> str:
+        return f"Configuration({self.tag!r})"
+
+
+def enumerate_configurations(i: int, j: int) -> Tuple[Configuration, ...]:
+    """All configurations of the domain ``CtxtT^t_{i,j}``.
+
+    ``(i+1) · (j+1) · 2`` configurations, ordered by (pops, wildcard,
+    pushes) for deterministic rule generation.
+    """
+    return tuple(
+        Configuration(pops, wildcard, pushes)
+        for pops in range(i + 1)
+        for wildcard in (False, True)
+        for pushes in range(j + 1)
+    )
+
+
+def configuration_of(t: TransformerString) -> Configuration:
+    """The configuration of a concrete transformer string."""
+    return Configuration(len(t.pops), t.wildcard, len(t.pushes))
+
+
+def encode(t: TransformerString) -> Tuple[str, Tuple[str, ...]]:
+    """Flatten a transformer string into ``(tag, context attributes)``.
+
+    The attribute order is pops first (in pop order: first element is
+    the first context element stripped) then pushes (in result-prefix
+    order: first element ends up top-most) — matching the paper's
+    ``pts(Y, H, X1·X2·∗·Ê1) becomes ptst_xxwe(Y, H, X1, X2, E1)``.
+    """
+    return (configuration_of(t).tag, t.pops + t.pushes)
+
+
+def decode(tag: str, attributes: Tuple[str, ...]) -> TransformerString:
+    """Inverse of :func:`encode`."""
+    config = parse_tag(tag)
+    if len(attributes) != config.context_arity:
+        raise ValueError(
+            f"configuration {tag!r} expects {config.context_arity}"
+            f" attributes, got {len(attributes)}"
+        )
+    return TransformerString(
+        pops=attributes[: config.pops],
+        wildcard=config.wildcard,
+        pushes=attributes[config.pops :],
+    )
+
+
+def parse_tag(tag: str) -> Configuration:
+    """Parse a subscript string back into a :class:`Configuration`."""
+    pops = 0
+    position = 0
+    while position < len(tag) and tag[position] == "x":
+        pops += 1
+        position += 1
+    wildcard = position < len(tag) and tag[position] == "w"
+    if wildcard:
+        position += 1
+    pushes = len(tag) - position
+    if tag[position:] != "e" * pushes:
+        raise ValueError(f"malformed configuration tag {tag!r}")
+    return Configuration(pops, wildcard, pushes)

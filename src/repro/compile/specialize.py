@@ -1,0 +1,536 @@
+"""Symbolic specialization of the deduction rules (paper Section 7).
+
+The transformer-string instantiation becomes efficient Datalog by
+*decomposing transformer strings into every possible configuration*:
+each derived relation is split into one relation per configuration with
+the string's context elements flattened into attributes, every rule is
+duplicated for every combination of body configurations, and the
+``comp``/``inv``/``record``/``merge``/``merge_s`` operations are
+evaluated *symbolically* at compile time — a composition of two symbolic
+strings turns the cancelling push/pop positions into shared rule
+variables, which is exactly what restores indexable equi-joins.
+
+The paper's worked example, reproduced by this module verbatim::
+
+    hpts__xe(G, F, H, X, M), hload__xe(G, F, M, E)  ⊢  pts__xe(Y, H, X, E)
+
+(the unifier identifies ``hpts``'s entry with ``hload``'s exit as the
+shared variable ``M``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.compile.configurations import Configuration, enumerate_configurations
+from repro.core.sensitivity import Flavour
+from repro.datalog.ast import Const, Literal, Rule, Term, Var
+
+
+@dataclass(frozen=True)
+class SymbolicTransformer:
+    """A transformer string whose context elements are Datalog terms."""
+
+    pops: Tuple[Term, ...]
+    wildcard: bool
+    pushes: Tuple[Term, ...]
+
+    @property
+    def configuration(self) -> Configuration:
+        return Configuration(len(self.pops), self.wildcard, len(self.pushes))
+
+    @property
+    def attributes(self) -> Tuple[Term, ...]:
+        """Flattened context attributes: pops then pushes."""
+        return self.pops + self.pushes
+
+
+#: Pairs of terms that must be equal for a composition to succeed.
+Constraints = List[Tuple[Term, Term]]
+
+
+def fresh_symbolic(config: Configuration, prefix: str) -> SymbolicTransformer:
+    """A symbolic string of shape ``config`` with fresh variables.
+
+    Variable names are capitalized so generated rules survive a round
+    trip through the text syntax (capital-initial = variable).
+    """
+    tag = prefix.upper()
+    return SymbolicTransformer(
+        pops=tuple(Var(f"{tag}x{k}") for k in range(config.pops)),
+        wildcard=config.wildcard,
+        pushes=tuple(Var(f"{tag}e{k}") for k in range(config.pushes)),
+    )
+
+
+def inverse_symbolic(t: SymbolicTransformer) -> SymbolicTransformer:
+    """``inv``: swap pops and pushes (same variables)."""
+    return SymbolicTransformer(t.pushes, t.wildcard, t.pops)
+
+
+def compose_symbolic(
+    x: SymbolicTransformer, y: SymbolicTransformer
+) -> Tuple[SymbolicTransformer, Constraints]:
+    """``match(X·Y)`` at the symbolic level.
+
+    Returns the resulting shape plus the equality constraints between
+    ``x``'s pushes and ``y``'s pops; with fresh variables a symbolic
+    composition never bottoms out — the constraints become shared
+    variables, and the runtime ``⊥`` case is precisely a failed join.
+    """
+    overlap = min(len(x.pushes), len(y.pops))
+    constraints: Constraints = list(zip(x.pushes[:overlap], y.pops[:overlap]))
+    wildcard = x.wildcard or y.wildcard
+    if len(y.pops) > len(x.pushes):
+        pops = x.pops if x.wildcard else x.pops + y.pops[overlap:]
+        pushes = y.pushes
+    else:
+        pops = x.pops
+        pushes = y.pushes if y.wildcard else y.pushes + x.pushes[overlap:]
+    return SymbolicTransformer(pops, wildcard, pushes), constraints
+
+
+def trunc_symbolic(t: SymbolicTransformer, i: int, j: int) -> SymbolicTransformer:
+    """``trunc_{i,j}`` at the symbolic level (Lemma 4.2 shape)."""
+    if len(t.pops) <= i and len(t.pushes) <= j:
+        return t
+    return SymbolicTransformer(t.pops[:i], True, t.pushes[:j])
+
+
+def solve_constraints(constraints: Constraints) -> Optional[Dict[Var, Term]]:
+    """Most-general unifier of the equality constraints, or ``None``."""
+    substitution: Dict[Var, Term] = {}
+
+    def find(term: Term) -> Term:
+        while isinstance(term, Var) and term in substitution:
+            term = substitution[term]
+        return term
+
+    for left, right in constraints:
+        root_left, root_right = find(left), find(right)
+        if root_left == root_right:
+            continue
+        if isinstance(root_left, Var):
+            substitution[root_left] = root_right
+        elif isinstance(root_right, Var):
+            substitution[root_right] = root_left
+        else:
+            return None
+    # Path-compress so application is a single dict lookup.
+    return {var: find(var) for var in substitution}
+
+
+def apply_substitution(literal: Literal, subst: Dict[Var, Term]) -> Literal:
+    if not subst:
+        return literal
+    return Literal(
+        literal.pred,
+        tuple(subst.get(t, t) if isinstance(t, Var) else t for t in literal.args),
+        literal.negated,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Rule generation.
+# ---------------------------------------------------------------------------
+
+def _v(*names: str) -> Tuple[Var, ...]:
+    return tuple(Var(n) for n in names)
+
+
+class TransformerSpecializer:
+    """Instantiates Figure 3 into configuration-specialized Datalog.
+
+    ``reach`` is specialized by context-prefix *length* (``reach_0``,
+    ``reach_1``, …) since the shapes of ``merge_s`` and ``target``
+    depend on it, just as transformer shapes depend on configurations.
+    """
+
+    def __init__(self, flavour: Flavour, m: int, h: int):
+        from repro.core.sensitivity import validate_levels
+
+        validate_levels(flavour, m, h)
+        self.flavour = flavour
+        self.m = m
+        self.h = h
+        self.pts_configs = enumerate_configurations(h, m)
+        self.hpts_configs = enumerate_configurations(h, h)
+        self.call_configs = enumerate_configurations(m, m)
+        self.spts_configs = enumerate_configurations(h, 0)
+
+    # -- atoms over specialized predicates --------------------------------
+
+    @staticmethod
+    def spec_atom(base: str, entity: Sequence[Term], t: SymbolicTransformer) -> Literal:
+        return Literal(
+            t.configuration.predicate_name(base),
+            tuple(entity) + t.attributes,
+        )
+
+    @staticmethod
+    def reach_atom(method: Term, context: Sequence[Term]) -> Literal:
+        return Literal(f"reach_{len(context)}", (method,) + tuple(context))
+
+    # -- rule families --------------------------------------------------------
+
+    def rules(self) -> List[Rule]:
+        out: List[Rule] = []
+        out += self.assign_rules()
+        out += self.load_rules()
+        out += self.store_rules()
+        out += self.indirect_rules()
+        out += self.param_rules()
+        out += self.return_rules()
+        out += self.virtual_rules()
+        out += self.static_rules()
+        out += self.reach_rules()
+        out += self.new_rules()
+        out += self.static_field_rules()
+        out += self.exception_rules()
+        for rule in out:
+            rule.validate()
+        return out
+
+    def assign_rules(self) -> List[Rule]:
+        (z, y, h) = _v("Z", "Y", "H")
+        rules = []
+        for config in self.pts_configs:
+            t = fresh_symbolic(config, "a")
+            rules.append(
+                Rule(
+                    self.spec_atom("pts", (y, h), t),
+                    (
+                        Literal("assign", (z, y)),
+                        self.spec_atom("pts", (z, h), t),
+                    ),
+                )
+            )
+        return rules
+
+    def load_rules(self) -> List[Rule]:
+        (y, g, f, z) = _v("Y", "G", "F", "Z")
+        rules = []
+        for config in self.pts_configs:
+            t = fresh_symbolic(config, "a")
+            rules.append(
+                Rule(
+                    self.spec_atom("hload", (g, f, z), t),
+                    (
+                        self.spec_atom("pts", (y, g), t),
+                        Literal("load", (y, f, z)),
+                    ),
+                )
+            )
+        return rules
+
+    def _binary_comp_rules(
+        self,
+        head_base: str,
+        head_entity: Sequence[Term],
+        left_base: str,
+        left_entity: Sequence[Term],
+        left_configs: Sequence[Configuration],
+        right_base: str,
+        right_entity: Sequence[Term],
+        right_configs: Sequence[Configuration],
+        extra_body: Sequence[Literal],
+        invert_right: bool,
+        trunc_to: Tuple[int, int],
+    ) -> List[Rule]:
+        """Shared scaffold for STORE / IND / PARAM / RET instantiation."""
+        rules = []
+        for left_config, right_config in itertools.product(
+            left_configs, right_configs
+        ):
+            left = fresh_symbolic(left_config, "b")
+            right = fresh_symbolic(right_config, "c")
+            operand = inverse_symbolic(right) if invert_right else right
+            composed, constraints = compose_symbolic(left, operand)
+            composed = trunc_symbolic(composed, *trunc_to)
+            subst = solve_constraints(constraints)
+            if subst is None:  # pragma: no cover - no constants involved
+                continue
+            body = [
+                self.spec_atom(left_base, left_entity, left),
+                *extra_body,
+                self.spec_atom(right_base, right_entity, right),
+            ]
+            head = self.spec_atom(head_base, head_entity, composed)
+            rules.append(
+                Rule(
+                    apply_substitution(head, subst),
+                    tuple(apply_substitution(lit, subst) for lit in body),
+                )
+            )
+        return rules
+
+    def store_rules(self) -> List[Rule]:
+        # hpts(G,F,H, B;inv(C)) :- pts(X,H,B), store(X,F,Z), pts(Z,G,C).
+        (x, h, f, z, g) = _v("X", "H", "F", "Z", "G")
+        return self._binary_comp_rules(
+            "hpts", (g, f, h),
+            "pts", (x, h), self.pts_configs,
+            "pts", (z, g), self.pts_configs,
+            extra_body=[Literal("store", (x, f, z))],
+            invert_right=True,
+            trunc_to=(self.h, self.h),
+        )
+
+    def indirect_rules(self) -> List[Rule]:
+        # pts(Y,H, B;C) :- hpts(G,F,H,B), hload(G,F,Y,C).
+        (g, f, h, y) = _v("G", "F", "H", "Y")
+        return self._binary_comp_rules(
+            "pts", (y, h),
+            "hpts", (g, f, h), self.hpts_configs,
+            "hload", (g, f, y), self.pts_configs,
+            extra_body=[],
+            invert_right=False,
+            trunc_to=(self.h, self.m),
+        )
+
+    def param_rules(self) -> List[Rule]:
+        # pts(Y,H, B;C) :- pts(Z,H,B), actual(Z,I,O), call(I,P,C),
+        #                  formal(Y,P,O).
+        (z, h, i, o, p, y) = _v("Z", "H", "I", "O", "P", "Y")
+        rules = self._binary_comp_rules(
+            "pts", (y, h),
+            "pts", (z, h), self.pts_configs,
+            "call", (i, p), self.call_configs,
+            extra_body=[Literal("actual", (z, i, o))],
+            invert_right=False,
+            trunc_to=(self.h, self.m),
+        )
+        # append formal(Y, P, O) to every body (needs head var Y bound).
+        return [
+            Rule(r.head, r.body + (Literal("formal", (y, p, o)),))
+            for r in rules
+        ]
+
+    def return_rules(self) -> List[Rule]:
+        # pts(Y,H, B;inv(C)) :- pts(Z,H,B), return_var(Z,P), call(I,P,C),
+        #                       assign_return(I,Y).
+        (z, h, p, i, y) = _v("Z", "H", "P", "I", "Y")
+        rules = self._binary_comp_rules(
+            "pts", (y, h),
+            "pts", (z, h), self.pts_configs,
+            "call", (i, p), self.call_configs,
+            extra_body=[Literal("return_var", (z, p))],
+            invert_right=True,
+            trunc_to=(self.h, self.m),
+        )
+        return [
+            Rule(r.head, r.body + (Literal("assign_return", (i, y)),))
+            for r in rules
+        ]
+
+    # -- virtual invocations ---------------------------------------------------
+
+    def _merge_symbolic(
+        self, receiver: SymbolicTransformer, heap: Var, inv: Var, class_type: Var
+    ) -> SymbolicTransformer:
+        """``merge`` per Figure 4, evaluated on the symbolic string."""
+        if self.flavour in (Flavour.CALL_SITE, Flavour.PLAIN_OBJECT):
+            restricted, constraints = compose_symbolic(
+                inverse_symbolic(receiver), receiver
+            )
+            # inv(B);B unifies B's pops with themselves: no-op constraints.
+            assert all(left == right for left, right in constraints)
+            element = inv if self.flavour is Flavour.CALL_SITE else heap
+            edge, _ = compose_symbolic(
+                restricted,
+                SymbolicTransformer((), False, (element,)),
+            )
+        elif self.flavour in (Flavour.OBJECT, Flavour.HYBRID):
+            edge, _ = compose_symbolic(
+                inverse_symbolic(receiver),
+                SymbolicTransformer((), False, (heap,)),
+            )
+        else:
+            edge, _ = compose_symbolic(
+                inverse_symbolic(receiver),
+                SymbolicTransformer((), False, (class_type,)),
+            )
+        return trunc_symbolic(edge, self.m, self.m)
+
+    def virtual_rules(self) -> List[Rule]:
+        (i, z, s, h, t, q, y, ct) = _v("I", "Z", "S", "H", "T", "Q", "Y", "CT")
+        rules = []
+        for config in self.pts_configs:
+            receiver = fresh_symbolic(config, "b")
+            edge = self._merge_symbolic(receiver, h, i, ct)
+            this_pts, constraints = compose_symbolic(receiver, edge)
+            this_pts = trunc_symbolic(this_pts, self.h, self.m)
+            subst = solve_constraints(constraints)
+            assert subst is not None
+            body = [
+                Literal("virtual_invoke", (i, z, s)),
+                self.spec_atom("pts", (z, h), receiver),
+                Literal("heap_type", (h, t)),
+                Literal("implements", (q, t, s)),
+            ]
+            if self.flavour is Flavour.TYPE:
+                body.append(Literal("class_of", (h, ct)))
+            call_head = self.spec_atom("call", (i, q), edge)
+            rules.append(
+                Rule(
+                    apply_substitution(call_head, subst),
+                    tuple(apply_substitution(lit, subst) for lit in body),
+                )
+            )
+            this_head = self.spec_atom("pts", (y, h), this_pts)
+            this_body = body + [Literal("this_var", (y, q))]
+            rules.append(
+                Rule(
+                    apply_substitution(this_head, subst),
+                    tuple(apply_substitution(lit, subst) for lit in this_body),
+                )
+            )
+        return rules
+
+    # -- static invocations and reachability -----------------------------------
+
+    def static_rules(self) -> List[Rule]:
+        (i, q, p) = _v("I", "Q", "P")
+        rules = []
+        for length in range(self.m + 1):
+            context = _v(*(f"M{k}" for k in range(length)))
+            if self.flavour in (Flavour.CALL_SITE, Flavour.HYBRID):
+                edge = trunc_symbolic(
+                    SymbolicTransformer((), False, (i,)), self.m, self.m
+                )
+            else:
+                edge = SymbolicTransformer(context, False, context)
+            rules.append(
+                Rule(
+                    self.spec_atom("call", (i, q), edge),
+                    (
+                        Literal("static_invoke", (i, q, p)),
+                        self.reach_atom(p, context),
+                    ),
+                )
+            )
+        return rules
+
+    def reach_rules(self) -> List[Rule]:
+        (i, p) = _v("I", "P")
+        rules = []
+        for config in self.call_configs:
+            t = fresh_symbolic(config, "c")
+            rules.append(
+                Rule(
+                    self.reach_atom(p, t.pushes),
+                    (self.spec_atom("call", (i, p), t),),
+                )
+            )
+        return rules
+
+    def new_rules(self) -> List[Rule]:
+        (h, y, p) = _v("H", "Y", "P")
+        epsilon = SymbolicTransformer((), False, ())
+        rules = []
+        for length in range(self.m + 1):
+            context = _v(*(f"M{k}" for k in range(length)))
+            rules.append(
+                Rule(
+                    self.spec_atom("pts", (y, h), epsilon),
+                    (
+                        Literal("assign_new", (h, y, p)),
+                        self.reach_atom(p, context),
+                    ),
+                )
+            )
+        return rules
+
+    # -- static fields (paper extension) ---------------------------------------
+
+    def static_field_rules(self) -> List[Rule]:
+        """SSTORE / SLOAD: the global-scope projections specialize like
+        everything else — ``to_global`` is ``trunc_{h,0}`` at the
+        symbolic level, ``from_global`` forces the wildcard shape."""
+        (x, h, f, y, p) = _v("X", "H", "F", "Y", "P")
+        rules = []
+        for config in self.pts_configs:
+            t = fresh_symbolic(config, "b")
+            projected = trunc_symbolic(
+                SymbolicTransformer(t.pops, t.wildcard, t.pushes), self.h, 0
+            )
+            rules.append(
+                Rule(
+                    self.spec_atom("spts", (f, h), projected),
+                    (
+                        self.spec_atom("pts", (x, h), t),
+                        Literal("static_store", (x, f)),
+                    ),
+                )
+            )
+        for config in self.spts_configs:
+            t = fresh_symbolic(config, "s")
+            retargeted = SymbolicTransformer(t.pops, True, ())
+            for length in range(self.m + 1):
+                context = _v(*(f"M{k}" for k in range(length)))
+                rules.append(
+                    Rule(
+                        self.spec_atom("pts", (y, h), retargeted),
+                        (
+                            Literal("static_load", (f, y, p)),
+                            self.reach_atom(p, context),
+                            self.spec_atom("spts", (f, h), t),
+                        ),
+                    )
+                )
+        return rules
+
+    # -- exceptions (paper extension) -------------------------------------------
+
+    def exception_rules(self) -> List[Rule]:
+        """THROW / EPROP / ECATCH over the pts configurations."""
+        (z, h, p, y, i, q, p2) = _v("Z", "H", "P", "Y", "I", "Q", "P2")
+        rules = []
+        for config in self.pts_configs:
+            t = fresh_symbolic(config, "b")
+            rules.append(
+                Rule(
+                    self.spec_atom("texc", (p, h), t),
+                    (
+                        self.spec_atom("pts", (z, h), t),
+                        Literal("throw_var", (z, p)),
+                    ),
+                )
+            )
+            rules.append(
+                Rule(
+                    self.spec_atom("pts", (y, h), t),
+                    (
+                        self.spec_atom("texc", (p, h), t),
+                        Literal("catch_var", (y, p)),
+                    ),
+                )
+            )
+        prop = self._binary_comp_rules(
+            "texc", (p2, h),
+            "texc", (q, h), self.pts_configs,
+            "call", (i, q), self.call_configs,
+            extra_body=[],
+            invert_right=True,
+            trunc_to=(self.h, self.m),
+        )
+        rules.extend(
+            Rule(r.head, r.body + (Literal("invocation_parent", (i, p2)),))
+            for r in prop
+        )
+        return rules
+
+    # -- entry fact -----------------------------------------------------------
+
+    def entry_fact(self, main_method: str) -> Rule:
+        from repro.core.contexts import ENTRY_CONTEXT, prefix
+
+        context = prefix(ENTRY_CONTEXT, self.m)
+        return Rule(
+            Literal(
+                f"reach_{len(context)}",
+                (Const(main_method),) + tuple(Const(c) for c in context),
+            )
+        )

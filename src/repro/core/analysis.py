@@ -1,0 +1,83 @@
+"""The top-level pointer-analysis API.
+
+Typical use::
+
+    from repro import PointerAnalysis, AnalysisConfig, Flavour
+
+    config = AnalysisConfig(
+        abstraction="transformer-string", flavour=Flavour.OBJECT, m=2, h=1
+    )
+    result = PointerAnalysis(source_text, config).run()
+    result.points_to("T.main/x2")     # {"h1"}
+    result.call_graph()
+    result.relation_sizes()
+
+The analysis accepts Java-subset source text, a parsed
+:class:`repro.frontend.ir.Program`, or a pre-generated
+:class:`repro.frontend.factgen.FactSet` (e.g. read from a Doop-style
+facts directory via :func:`repro.frontend.doopfacts.read_facts`).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.core.config import AnalysisConfig
+from repro.core.domains import make_domain
+from repro.core.results import AnalysisResult
+from repro.core.solver import Solver
+from repro.frontend.factgen import FactSet, generate_facts
+from repro.frontend.ir import Program
+
+
+class PointerAnalysis:
+    """Context-sensitive pointer analysis per the parameterized rules."""
+
+    def __init__(
+        self,
+        program: Union[str, Program, FactSet],
+        config: AnalysisConfig = AnalysisConfig(),
+    ):
+        self.config = config
+        self.facts = _to_facts(program)
+        self.domain = make_domain(
+            config.abstraction,
+            config.flavour,
+            config.m,
+            config.h,
+            class_of=self.facts.class_of_heap,
+        )
+
+    def run(self) -> AnalysisResult:
+        """Evaluate the rules to fixpoint and return the result."""
+        solver = Solver(
+            self.facts,
+            self.domain,
+            eliminate_subsumed=self.config.eliminate_subsumed,
+            naive_transformer_index=self.config.naive_transformer_index,
+            track_provenance=self.config.track_provenance,
+        )
+        solver.solve()
+        return AnalysisResult(self.config, solver)
+
+
+def analyze(
+    program: Union[str, Program, FactSet],
+    config: AnalysisConfig = AnalysisConfig(),
+) -> AnalysisResult:
+    """One-shot convenience wrapper around :class:`PointerAnalysis`."""
+    return PointerAnalysis(program, config).run()
+
+
+def _to_facts(program: Union[str, Program, FactSet]) -> FactSet:
+    if isinstance(program, FactSet):
+        return program
+    if isinstance(program, Program):
+        return generate_facts(program)
+    if isinstance(program, str):
+        from repro.frontend.parser import parse_program
+
+        return generate_facts(parse_program(program))
+    raise TypeError(
+        f"expected source text, Program or FactSet, got {type(program).__name__}"
+    )

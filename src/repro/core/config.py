@@ -1,0 +1,98 @@
+"""Analysis configuration: one point in the paper's instantiation space.
+
+An :class:`AnalysisConfig` names an abstraction (context strings or
+transformer strings), a flavour of context sensitivity, and the levels
+``m`` (method contexts) and ``h`` (heap contexts).  The five
+configurations of the paper's evaluation (Section 8) are provided as
+:data:`PAPER_CONFIGURATIONS`, in the paper's naming scheme:
+``1-call``, ``1-call+H``, ``1-object``, ``2-object+H``, ``2-type+H``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Tuple
+
+from repro.core.sensitivity import Flavour, validate_levels
+
+
+@dataclass(frozen=True)
+class AnalysisConfig:
+    """Selects an instantiation of the parameterized deduction rules."""
+
+    abstraction: str = "transformer-string"
+    flavour: Flavour = Flavour.CALL_SITE
+    m: int = 1
+    h: int = 0
+    eliminate_subsumed: bool = False
+    #: Ablation switch (Section 7): bucket transformer-string facts by
+    #: entity attributes only, losing the context-join index.
+    naive_transformer_index: bool = False
+    #: Record one derivation per fact for ``AnalysisResult.explain``.
+    track_provenance: bool = False
+
+    def __post_init__(self) -> None:
+        validate_levels(self.flavour, self.m, self.h)
+        if self.abstraction not in ("context-string", "transformer-string"):
+            raise ValueError(
+                f"unknown abstraction {self.abstraction!r}; expected"
+                " 'context-string' or 'transformer-string'"
+            )
+
+    def with_abstraction(self, abstraction: str) -> "AnalysisConfig":
+        """The same sensitivity under the other abstraction."""
+        return replace(self, abstraction=abstraction)
+
+    @property
+    def sensitivity_name(self) -> str:
+        """The paper's name for the sensitivity, e.g. ``2-object+H``
+        (deeper heap levels are spelled ``+2H`` etc.)."""
+        heap = f"+{self.h}H" if self.h > 1 else ("+H" if self.h else "")
+        flavour = {
+            "call-site": "call", "object": "object", "type": "type",
+            "plain-object": "plain-object", "hybrid": "hybrid",
+        }[self.flavour.value]
+        return f"{self.m}-{flavour}{heap}"
+
+    def describe(self) -> str:
+        return f"{self.sensitivity_name}/{self.abstraction}"
+
+
+def _paper_config(name: str) -> Tuple[Flavour, int, int]:
+    return {
+        "1-call": (Flavour.CALL_SITE, 1, 0),
+        "1-call+H": (Flavour.CALL_SITE, 1, 1),
+        "2-call": (Flavour.CALL_SITE, 2, 0),
+        "2-call+H": (Flavour.CALL_SITE, 2, 1),
+        "1-object": (Flavour.OBJECT, 1, 0),
+        "2-object+H": (Flavour.OBJECT, 2, 1),
+        "1-type": (Flavour.TYPE, 1, 0),
+        "2-type+H": (Flavour.TYPE, 2, 1),
+        "insensitive": (Flavour.CALL_SITE, 0, 0),
+        # Beyond-paper flavours (see Flavour's docstring):
+        "1-plain-object": (Flavour.PLAIN_OBJECT, 1, 0),
+        "2-plain-object+H": (Flavour.PLAIN_OBJECT, 2, 1),
+        "1-hybrid": (Flavour.HYBRID, 1, 0),
+        "2-hybrid+H": (Flavour.HYBRID, 2, 1),
+        # Deeper-than-paper levels (the parameterization is uniform in
+        # m and h; these exist to exercise it):
+        "3-call": (Flavour.CALL_SITE, 3, 0),
+        "3-call+2H": (Flavour.CALL_SITE, 3, 2),
+        "3-object+2H": (Flavour.OBJECT, 3, 2),
+    }[name]
+
+
+def config_by_name(name: str, abstraction: str = "transformer-string",
+                   **kwargs) -> AnalysisConfig:
+    """Build a configuration from a paper-style sensitivity name."""
+    flavour, m, h = _paper_config(name)
+    return AnalysisConfig(
+        abstraction=abstraction, flavour=flavour, m=m, h=h, **kwargs
+    )
+
+
+#: The five context-sensitivity configurations evaluated in the paper,
+#: in Figure 6's column order.
+PAPER_CONFIGURATIONS: Tuple[str, ...] = (
+    "1-call", "1-call+H", "1-object", "2-object+H", "2-type+H",
+)

@@ -1,0 +1,86 @@
+"""Context strings: the traditional abstraction (paper Section 4.1).
+
+A pair ``(A, B)`` of k-limited context strings represents the
+transformation over ``P(Ctxt*)`` that maps any set intersecting the cone
+``{A·C}`` to the full cone ``{B·C}``, and everything else to the empty
+set.  The domain ``CtxtT^c_{i,j}`` bounds ``|A| ≤ i`` and ``|B| ≤ j``.
+
+Composition is the exact-middle join the Doop family of analyses
+performs implicitly: ``(U, V) ; (V, W) = (U, W)``, with any other
+combination composing to the empty transformation.  (That rule is sound
+only because the analysis always composes pairs whose middle strings are
+drawn from the same truncation length — a property the deduction rules of
+paper Figure 3 maintain by construction; see the ``comp`` domain
+annotations there.)
+
+A pair ``(A, B)`` denotes exactly the same transformation as the
+wildcard transformer string ``Ǎ·*·B̂`` — the correspondence exploited by
+the paper's soundness argument, and checked by our property tests.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.core.contexts import MethodContext, prefix
+from repro.core.transformations import ContextSet
+from repro.core.transformer_strings import TransformerString
+
+#: A context-string pair ``(A, B)``: source (e.g. heap) context string
+#: first, destination (e.g. method) context string second.
+ContextStringPair = Tuple[MethodContext, MethodContext]
+
+
+def make_pair(source: MethodContext, dest: MethodContext) -> ContextStringPair:
+    """Build a pair, normalizing the components to plain tuples."""
+    return (tuple(source), tuple(dest))
+
+
+def compose(
+    x: ContextStringPair, y: ContextStringPair
+) -> Optional[ContextStringPair]:
+    """``comp^c``: ``(U, V) ; (V, W) = (U, W)``; ``None`` otherwise."""
+    if x[1] != y[0]:
+        return None
+    return (x[0], y[1])
+
+
+def inverse(x: ContextStringPair) -> ContextStringPair:
+    """``inv^c((U, V)) = (V, U)``."""
+    return (x[1], x[0])
+
+
+def target(x: ContextStringPair) -> MethodContext:
+    """``target^c((U, V)) = V``: the destination (callee) context."""
+    return x[1]
+
+
+def in_domain(x: ContextStringPair, i: int, j: int) -> bool:
+    """True iff ``x ∈ CtxtT^c_{i,j}``."""
+    return len(x[0]) <= i and len(x[1]) <= j
+
+
+def truncate(x: ContextStringPair, i: int, j: int) -> ContextStringPair:
+    """Truncate both components into ``CtxtT^c_{i,j}``."""
+    return (prefix(x[0], i), prefix(x[1], j))
+
+
+def to_transformer_string(x: ContextStringPair) -> TransformerString:
+    """The transformer string ``Ǎ·*·B̂`` denoting the same transformation."""
+    return TransformerString(pops=x[0], wildcard=True, pushes=x[1])
+
+
+def semantics(x: ContextStringPair, contexts: ContextSet) -> ContextSet:
+    """Apply the denoted transformation to a set of contexts (oracle)."""
+    source, dest = x
+    if _meets_cone(contexts, source):
+        return ContextSet.cone(dest)
+    return ContextSet.empty()
+
+
+def _meets_cone(contexts: ContextSet, cone_prefix: MethodContext) -> bool:
+    """True iff ``contexts`` intersects the cone of ``cone_prefix``."""
+    popped = contexts
+    for a in cone_prefix:
+        popped = popped.apply_pop(a)
+    return not popped.is_empty()

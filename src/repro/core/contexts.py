@@ -1,0 +1,109 @@
+"""Calling contexts and elemental context values.
+
+The paper's domain of *method contexts* is ``Ctxts = Ctxt* ∪ {err}``:
+finite strings over a set ``Ctxt`` of elemental contexts, plus a
+distinguished error context that marks infeasible data-flow paths.  The
+meaning of an elemental context depends on the flavour of context
+sensitivity in force:
+
+* call-site sensitivity — ``Ctxt`` is the set of invocation sites;
+* object sensitivity   — ``Ctxt`` is the set of heap allocation sites;
+* type sensitivity     — ``Ctxt`` is the set of class types.
+
+This module fixes the concrete representation used throughout the
+library: an elemental context is an interned ``str``, a method context is
+a ``tuple`` of elemental contexts with the *top-most* (most recent)
+element first, and the error context is the singleton :data:`ERR`.
+
+The special element :data:`ENTRY` is the paper's ``entry`` context for
+program entry points; ``reach(main, (ENTRY,))`` seeds every analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+#: Type alias for an elemental context (a call site, allocation site or
+#: class type, depending on the flavour of sensitivity).
+CtxtElem = str
+
+#: Type alias for a method context: a string over ``Ctxt`` with the
+#: top-most element first, e.g. ``("c1", "c4", "<entry>")``.
+MethodContext = Tuple[CtxtElem, ...]
+
+
+class _ErrContext:
+    """The error context ``err`` marking infeasible paths.
+
+    A singleton; all primitive transformations map ``err`` to ``err``.
+    """
+
+    _instance = None
+
+    def __new__(cls) -> "_ErrContext":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "err"
+
+    def __reduce__(self):
+        return (_ErrContext, ())
+
+
+#: The unique error context.
+ERR = _ErrContext()
+
+#: The distinguished elemental context for program entry points.
+ENTRY: CtxtElem = "<entry>"
+
+#: The initial method context of ``main`` (and other entry points).
+ENTRY_CONTEXT: MethodContext = (ENTRY,)
+
+#: The empty method context.
+EMPTY_CONTEXT: MethodContext = ()
+
+
+def prefix(s: MethodContext, i: int) -> MethodContext:
+    """Return ``prefix_i(s)``: the prefix of ``s`` of length ``min(|s|, i)``.
+
+    Matches the paper's Section 2.3 string helper.  ``i`` may be zero (the
+    empty prefix); negative values are treated as zero, which lets callers
+    write ``prefix(m, k - 1)`` without special-casing ``k == 0``.
+    """
+    if i <= 0:
+        return ()
+    return s[:i]
+
+
+def drop(s: MethodContext, i: int) -> MethodContext:
+    """Return ``drop_i(s)``: the suffix of ``s`` of length ``|s| - min(|s|, i)``."""
+    if i <= 0:
+        return s
+    return s[i:]
+
+
+def is_prefix(p: MethodContext, s: MethodContext) -> bool:
+    """True iff ``p`` is a prefix of ``s``."""
+    return len(p) <= len(s) and s[: len(p)] == p
+
+
+def context_universe(elements, max_length: int):
+    """Enumerate every method context over ``elements`` up to ``max_length``.
+
+    Used by the ground-truth semantics (:mod:`repro.core.transformations`)
+    and by property-based tests to build small finite universes of
+    contexts on which abstract and concrete operations can be compared
+    exhaustively.
+
+    The universe is returned as a list ordered by length then
+    lexicographically, beginning with the empty context.
+    """
+    elements = sorted(set(elements))
+    universe = [()]
+    frontier = [()]
+    for _ in range(max_length):
+        frontier = [(e,) + ctx for ctx in frontier for e in elements]
+        universe.extend(frontier)
+    return universe

@@ -1,0 +1,268 @@
+"""Abstraction domains binding an algebra to a flavour and levels.
+
+A :class:`AbstractionDomain` packages every non-logical symbol of the
+parameterized deduction rules (paper Figure 3) for one point in the
+instantiation space: *abstraction* × *flavour* × *(m, h)*.  The solver
+(:mod:`repro.core.solver`) is written once against this interface; the
+Section 7 compiler consumes the same information symbolically.
+
+The ``comp`` operation takes the truncation bounds ``(i, j)`` of the
+target domain ``CtxtT_{i,j}`` because, as Figure 3 notes, ``comp`` is
+polymorphic: the same rule set composes ``CtxtT_{h,m} × CtxtT_{m,m} →
+CtxtT_{h,m}`` in PARAM but ``CtxtT_{h,m} × CtxtT_{m,h} → CtxtT_{h,h}``
+in STORE.  Context strings never need the bounds (their components stay
+within bounds by construction); transformer strings truncate.
+
+``comp_out_key``/``comp_in_key`` expose an optional equality key for the
+two sides of a composition so the solver can index facts by it: for
+context strings the middle string must match exactly, which restores the
+paper's three-attribute joins.  Transformer strings return ``None`` —
+their composition is not an equality join (that is the whole point of
+the paper's Section 7 specialization, reproduced in
+:mod:`repro.compile`).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from functools import lru_cache
+from typing import Hashable, Optional, Tuple
+
+from repro.core import context_strings as cs
+from repro.core import sensitivity as sens
+from repro.core import transformer_strings as ts
+from repro.core.contexts import ENTRY_CONTEXT, MethodContext, prefix
+from repro.core.sensitivity import ClassOf, Flavour
+
+
+class AbstractionDomain(ABC):
+    """All non-logical symbols of Figure 3 for one instantiation."""
+
+    #: Short name of the abstraction ("context-string" / "transformer-string").
+    abstraction: str
+
+    def __init__(self, flavour: Flavour, m: int, h: int,
+                 class_of: Optional[ClassOf] = None):
+        sens.validate_levels(flavour, m, h)
+        if flavour is Flavour.TYPE and class_of is None:
+            raise ValueError("type sensitivity requires a class_of function")
+        self.flavour = flavour
+        self.m = m
+        self.h = h
+        self.class_of = class_of
+
+    # -- context transformation algebra ---------------------------------
+
+    @abstractmethod
+    def comp(self, x, y, i: int, j: int):
+        """``comp(x, y)`` into ``CtxtT_{i,j}``, or ``None`` for ``⊥``."""
+
+    @abstractmethod
+    def inv(self, x):
+        """The semigroup inverse of ``x``."""
+
+    @abstractmethod
+    def target(self, x) -> MethodContext:
+        """The callee method-context (prefix) of a call-edge transformation."""
+
+    # -- flavour symbols ---------------------------------------------------
+
+    @abstractmethod
+    def record(self, m_ctx: MethodContext):
+        """Context transformation for a heap allocation in context ``m_ctx``."""
+
+    @abstractmethod
+    def merge(self, heap: str, inv: str, receiver):
+        """Call-edge transformation for a virtual invocation."""
+
+    @abstractmethod
+    def merge_s(self, inv: str, m_ctx: MethodContext):
+        """Call-edge transformation for a static invocation."""
+
+    # -- static fields (paper extension; see factgen docstring) ----------
+
+    @abstractmethod
+    def to_global(self, t):
+        """Project a ``pts`` transformation for storage in a static
+        field: the destination (method-context) side is dropped, since
+        static fields are global — the result lives in ``CtxtT_{h,0}``."""
+
+    @abstractmethod
+    def from_global(self, t, m_ctx: MethodContext):
+        """Re-target a static-field transformation at a load occurring
+        in method context ``m_ctx`` — the result lives in
+        ``CtxtT_{h,m}``."""
+
+    # -- solver support -----------------------------------------------------
+
+    def entry_context(self) -> MethodContext:
+        """The truncated method context seeding ``reach(main, ·)``."""
+        return prefix(ENTRY_CONTEXT, self.m)
+
+    # -- join indexing (the Section 7 technique, in worklist form) --------
+    #
+    # ``comp(x, y)`` can only succeed when the *out* side of ``x`` is
+    # compatible with the *in* side of ``y``.  Each domain exposes the
+    # two sides as tuples plus the bucket keys under which a fact must
+    # be stored (``insert_keys``) and probed (``probe_keys``) so that a
+    # probe enumerates exactly the compatible partners:
+    #
+    # * context strings — compatibility is *equality* of the shared
+    #   middle context: one bucket per context (Doop's indexing);
+    # * transformer strings — compatibility is *prefix-compatibility*
+    #   of the cancelling push/pop segments: a fact with segment ``s``
+    #   lives in the length-graded buckets ``("ge", k, s[:k])`` for all
+    #   ``k`` plus ``("eq", |s|, s)``; a probe for segment ``p`` reads
+    #   ``("ge", |p|, p)`` (partners with longer-or-equal segments) and
+    #   ``("eq", j, p[:j])`` for ``j < |p|`` (strictly shorter
+    #   partners).  The buckets are disjoint, so every compatible
+    #   partner is visited exactly once and no incompatible one ever —
+    #   the same effect as the paper's configuration-specialized
+    #   relations, realized as a tuple-at-a-time index.
+
+    @abstractmethod
+    def key_out(self, t) -> Tuple:
+        """The out-side segment of ``t`` (its pushes / destination)."""
+
+    @abstractmethod
+    def key_in(self, t) -> Tuple:
+        """The in-side segment of ``t`` (its pops / source)."""
+
+    def insert_keys(self, segment: Tuple) -> Tuple[Hashable, ...]:
+        """Bucket keys a fact with this segment is stored under."""
+        return (segment,)
+
+    def probe_keys(self, segment: Tuple) -> Tuple[Hashable, ...]:
+        """Bucket keys enumerating all facts compatible with ``segment``."""
+        return (segment,)
+
+    def describe(self) -> str:
+        """Human-readable instantiation tag, e.g. ``2-object+H/transformer``."""
+        heap_tag = f"+{self.h}H" if self.h else ""
+        return f"{self.m}-{self.flavour.value}{heap_tag}/{self.abstraction}"
+
+
+class ContextStringDomain(AbstractionDomain):
+    """The traditional pairs-of-k-limited-strings abstraction."""
+
+    abstraction = "context-string"
+
+    def comp(self, x, y, i: int, j: int):
+        return cs.compose(x, y)
+
+    def inv(self, x):
+        return cs.inverse(x)
+
+    def target(self, x) -> MethodContext:
+        return cs.target(x)
+
+    def record(self, m_ctx: MethodContext):
+        return sens.record_cs(m_ctx, self.h)
+
+    def merge(self, heap: str, inv: str, receiver):
+        return sens.merge_cs(
+            self.flavour, heap, inv, receiver, self.m, self.class_of
+        )
+
+    def merge_s(self, inv: str, m_ctx: MethodContext):
+        return sens.merge_s_cs(self.flavour, inv, m_ctx, self.m)
+
+    def to_global(self, t):
+        return (t[0], ())
+
+    def from_global(self, t, m_ctx: MethodContext):
+        return (t[0], m_ctx)
+
+    def key_out(self, t) -> Tuple:
+        return t[1]
+
+    def key_in(self, t) -> Tuple:
+        return t[0]
+
+
+class TransformerStringDomain(AbstractionDomain):
+    """The paper's transformer-string abstraction."""
+
+    abstraction = "transformer-string"
+
+    def comp(self, x, y, i: int, j: int):
+        return ts.compose_trunc(x, y, i, j)
+
+    def inv(self, x):
+        return ts.inverse(x)
+
+    def target(self, x) -> MethodContext:
+        return x.pushes
+
+    def record(self, m_ctx: MethodContext):
+        return sens.record_ts(m_ctx, self.h)
+
+    def merge(self, heap: str, inv: str, receiver):
+        return sens.merge_ts(
+            self.flavour, heap, inv, receiver, self.m, self.class_of
+        )
+
+    def merge_s(self, inv: str, m_ctx: MethodContext):
+        return sens.merge_s_ts(self.flavour, inv, m_ctx, self.m)
+
+    def to_global(self, t):
+        from repro.core.transformer_strings import trunc
+
+        return trunc(t, self.h, 0)
+
+    def from_global(self, t, m_ctx: MethodContext):
+        # A static field is readable from every context: the wildcard
+        # expresses that in one fact (vs one fact per reachable context
+        # for context strings) — the abstraction's compactness extends
+        # naturally to the global scope.
+        from repro.core.transformer_strings import TransformerString
+
+        return TransformerString(t.pops, True, ())
+
+    def key_out(self, t) -> Tuple:
+        return t.pushes
+
+    def key_in(self, t) -> Tuple:
+        return t.pops
+
+    def insert_keys(self, segment: Tuple) -> Tuple[Hashable, ...]:
+        return _transformer_insert_keys(segment)
+
+    def probe_keys(self, segment: Tuple) -> Tuple[Hashable, ...]:
+        return _transformer_probe_keys(segment)
+
+
+@lru_cache(maxsize=None)
+def _transformer_insert_keys(segment: Tuple) -> Tuple[Hashable, ...]:
+    length = len(segment)
+    keys = tuple(("ge", k, segment[:k]) for k in range(length + 1))
+    return keys + (("eq", length, segment),)
+
+
+@lru_cache(maxsize=None)
+def _transformer_probe_keys(segment: Tuple) -> Tuple[Hashable, ...]:
+    length = len(segment)
+    return (("ge", length, segment),) + tuple(
+        ("eq", j, segment[:j]) for j in range(length)
+    )
+
+
+def make_domain(
+    abstraction: str,
+    flavour: Flavour,
+    m: int,
+    h: int,
+    class_of: Optional[ClassOf] = None,
+) -> AbstractionDomain:
+    """Factory over the instantiation space.
+
+    ``abstraction`` is ``"context-string"`` or ``"transformer-string"``
+    (the prefixes ``"cs"``/``"ts"`` are accepted as shorthand).
+    """
+    key = abstraction.lower()
+    if key in ("context-string", "cs", "context_strings", "context-strings"):
+        return ContextStringDomain(flavour, m, h, class_of)
+    if key in ("transformer-string", "ts", "transformer_strings",
+               "transformer-strings"):
+        return TransformerStringDomain(flavour, m, h, class_of)
+    raise ValueError(f"unknown abstraction {abstraction!r}")

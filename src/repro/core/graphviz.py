@@ -1,0 +1,85 @@
+"""Graphviz (DOT) exports for analysis results and PAGs.
+
+Small, dependency-free renderers for the two graphs users most often
+want to look at: the context-insensitive call graph of an analysis and
+the pointer assignment graph of Section 2.1.  The output is plain DOT
+text, consumable by ``dot -Tsvg`` (not invoked here — no subprocesses).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+from repro.core.results import AnalysisResult
+
+
+def _quote(name: str) -> str:
+    escaped = name.replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def call_graph_dot(result: AnalysisResult, title: str = "call graph") -> str:
+    """The context-insensitive call graph as DOT.
+
+    Nodes are methods; edges are labelled by invocation sites.  The
+    entry point is drawn as a double circle.
+    """
+    lines = [f"digraph {_quote(title)} {{", "    rankdir=LR;"]
+    methods: Set[str] = set(result.reachable_methods())
+    parents = result._solver.invocation_parent
+    main = result._solver.facts.main_method
+    for method in sorted(methods):
+        shape = "doublecircle" if method == main else "box"
+        lines.append(f"    {_quote(method)} [shape={shape}];")
+    for (inv, callee) in sorted(result.call_graph()):
+        caller = parents.get(inv, "?")
+        lines.append(
+            f"    {_quote(caller)} -> {_quote(callee)}"
+            f" [label={_quote(inv)}];"
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def points_to_dot(
+    result: AnalysisResult,
+    variables: Optional[Iterable[str]] = None,
+    title: str = "points-to",
+) -> str:
+    """The context-insensitive points-to relation as a bipartite DOT
+    graph (variables → allocation sites), optionally restricted."""
+    wanted = set(variables) if variables is not None else None
+    lines = [f"digraph {_quote(title)} {{", "    rankdir=LR;"]
+    edges = [
+        (var, heap)
+        for (var, heap) in sorted(result.pts_ci())
+        if wanted is None or var in wanted
+    ]
+    for heap in sorted({h for (_, h) in edges}):
+        lines.append(f"    {_quote(heap)} [shape=ellipse, style=filled];")
+    for var in sorted({v for (v, _) in edges}):
+        lines.append(f"    {_quote(var)} [shape=box];")
+    for (var, heap) in edges:
+        lines.append(f"    {_quote(var)} -> {_quote(heap)};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def pag_dot(pag, title: str = "PAG") -> str:
+    """A pointer assignment graph as DOT (Figure 2's edge labels)."""
+    lines = [f"digraph {_quote(title)} {{", "    rankdir=LR;"]
+    for heap in sorted(pag.heap_nodes()):
+        lines.append(f"    {_quote(heap)} [shape=ellipse, style=filled];")
+    for edge in pag.edges:
+        label = edge.label
+        if edge.field is not None:
+            label += f"[{edge.field}]"
+        if edge.call_site is not None:
+            marker = "(" if edge.entering else ")"
+            label += f" {marker}{edge.call_site}"
+        lines.append(
+            f"    {_quote(edge.source)} -> {_quote(edge.target)}"
+            f" [label={_quote(label)}];"
+        )
+    lines.append("}")
+    return "\n".join(lines) + "\n"

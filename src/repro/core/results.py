@@ -1,0 +1,306 @@
+"""Analysis results: projections, call graphs, statistics, subsumption.
+
+An :class:`AnalysisResult` wraps the derived relations of one solver run
+and provides the views the paper's evaluation uses:
+
+* the *context-insensitive projections* of ``pts``, ``hpts`` and
+  ``call`` (Section 6: the context attribute existentially projected
+  out), which are how the two abstractions' precision is compared;
+* the context-sensitive relation sizes (the quantities of Figure 6);
+* subsuming-fact detection for transformer strings (Section 8 /
+  Figure 7).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.core.config import AnalysisConfig
+from repro.core.solver import Solver
+
+
+class AnalysisResult:
+    """The outcome of one pointer-analysis run."""
+
+    def __init__(self, config: AnalysisConfig, solver: Solver):
+        self.config = config
+        self._solver = solver
+        self.stats = solver.stats
+
+    # -- raw context-sensitive relations ---------------------------------
+
+    @property
+    def pts(self) -> Set[Tuple[str, str, object]]:
+        """``pts(Y, H, A)`` facts."""
+        return self._solver.pts
+
+    @property
+    def hpts(self) -> Set[Tuple[str, str, str, object]]:
+        """``hpts(G, F, H, A)`` facts."""
+        return self._solver.hpts
+
+    @property
+    def call(self) -> Set[Tuple[str, str, object]]:
+        """``call(I, P, C)`` facts."""
+        return self._solver.call
+
+    @property
+    def reach(self) -> Set[Tuple[str, Tuple[str, ...]]]:
+        """``reach(P, M)`` facts."""
+        return self._solver.reach
+
+    @property
+    def spts(self) -> Set[Tuple[str, str, object]]:
+        """``spts(F, H, A)`` facts (static fields; paper extension)."""
+        return self._solver.spts
+
+    @property
+    def texc(self) -> Set[Tuple[str, str, object]]:
+        """``texc(P, H, A)`` facts (exceptions escaping ``P``)."""
+        return self._solver.texc
+
+    # -- context-insensitive projections (paper Section 6) -----------------
+
+    def points_to(self, var: str) -> FrozenSet[str]:
+        """The set of allocation sites ``var`` may point to."""
+        return frozenset(h for (y, h, _) in self.pts if y == var)
+
+    def points_to_with_contexts(self, var: str) -> FrozenSet[Tuple[str, object]]:
+        """``(H, A)`` pairs for ``var``: pointee site and transformation."""
+        return frozenset((h, a) for (y, h, a) in self.pts if y == var)
+
+    def pts_ci(self) -> FrozenSet[Tuple[str, str]]:
+        """The context-insensitive points-to relation."""
+        return frozenset((y, h) for (y, h, _) in self.pts)
+
+    def hpts_ci(self) -> FrozenSet[Tuple[str, str, str]]:
+        """The context-insensitive heap-points-to relation."""
+        return frozenset((g, f, h) for (g, f, h, _) in self.hpts)
+
+    def call_graph(self) -> FrozenSet[Tuple[str, str]]:
+        """The context-insensitive call graph: ``(invocation, method)``."""
+        return frozenset((i, p) for (i, p, _) in self.call)
+
+    def reachable_methods(self) -> FrozenSet[str]:
+        """Methods reachable from the entry point."""
+        return frozenset(p for (p, _) in self.reach)
+
+    def may_alias(self, var_a: str, var_b: str) -> bool:
+        """True iff the two variables may point to a common site."""
+        return bool(self.points_to(var_a) & self.points_to(var_b))
+
+    def static_field_points_to(self, field: str) -> FrozenSet[str]:
+        """Allocation sites a static field (``"Cls.f"``) may hold."""
+        return frozenset(h for (f, h, _) in self.spts if f == field)
+
+    def thrown_exceptions(self, method: str) -> FrozenSet[str]:
+        """Allocation sites of exceptions that may escape ``method``."""
+        return frozenset(h for (p, h, _) in self.texc if p == method)
+
+    def field_may_alias(self, heap_a: str, heap_b: str, field: str) -> bool:
+        """True iff ``heap_a.field`` and ``heap_b.field`` may hold a
+        common object — the Figure 1 heap-context test for ``a.f``/``b.f``."""
+        targets_a = {h for (g, f, h) in self.hpts_ci() if g == heap_a and f == field}
+        targets_b = {h for (g, f, h) in self.hpts_ci() if g == heap_b and f == field}
+        return bool(targets_a & targets_b)
+
+    # -- sizes and statistics (Figure 6 quantities) ---------------------------
+
+    def relation_sizes(self) -> Dict[str, int]:
+        """Context-sensitive fact counts of ``pts``, ``hpts``, ``call``."""
+        return {
+            "pts": len(self.pts),
+            "hpts": len(self.hpts),
+            "call": len(self.call),
+        }
+
+    def total_facts(self) -> int:
+        """The "Total" row of Figure 6: |pts| + |hpts| + |call|."""
+        return sum(self.relation_sizes().values())
+
+    def ci_sizes(self) -> Dict[str, int]:
+        """Context-insensitive fact counts (precision comparison)."""
+        return {
+            "pts": len(self.pts_ci()),
+            "hpts": len(self.hpts_ci()),
+            "call": len(self.call_graph()),
+        }
+
+    @property
+    def seconds(self) -> float:
+        """Wall-clock analysis time."""
+        return self.stats.seconds
+
+    # -- subsumption analysis (paper Section 8 / Figure 7) ----------------------
+
+    def subsumed_pts_facts(self) -> List[Tuple[str, str, object, object]]:
+        """Pairs of pts facts where one transformer subsumes the other.
+
+        Returns ``(var, heap, general, specific)`` tuples; only
+        meaningful (and non-empty) under the transformer-string
+        abstraction.  Paper Section 8 attributes the smaller-than-
+        fact-count time reductions to such facts.
+        """
+        if self.config.abstraction != "transformer-string":
+            return []
+        from repro.core.transformer_strings import subsumes
+
+        by_entity = defaultdict(list)
+        for (var, heap, trans) in self.pts:
+            by_entity[(var, heap)].append(trans)
+        found = []
+        for (var, heap), transformers in by_entity.items():
+            for general in transformers:
+                for specific in transformers:
+                    if general is not specific and subsumes(general, specific):
+                        found.append((var, heap, general, specific))
+        return found
+
+    # -- comparing analyses -------------------------------------------------
+
+    def compare_to(self, other: "AnalysisResult") -> "ResultComparison":
+        """Precision/size comparison against another run on the same
+        program (e.g. two configurations, or the two abstractions)."""
+        return ResultComparison(self, other)
+
+    # -- provenance (requires AnalysisConfig.track_provenance) --------------
+
+    def derivation(self, fact_key: Tuple) -> Optional[Tuple]:
+        """The recorded ``(rule, premises, note)`` for one fact key.
+
+        Fact keys are ``("pts", var, heap, trans)``,
+        ``("call", inv, method, trans)``, ``("reach", method, ctx)``,
+        ``("hpts", g, f, h, trans)``, ``("hload", g, f, y, trans)``,
+        ``("spts", f, h, trans)`` or ``("texc", p, h, trans)``.
+        Returns ``None`` for input facts and the entry seed.
+        """
+        if not self.config.track_provenance:
+            raise ValueError(
+                "run with AnalysisConfig(track_provenance=True) to record"
+                " derivations"
+            )
+        return self._solver.provenance.get(fact_key)
+
+    def explain(self, fact_key: Tuple, max_depth: int = 12) -> str:
+        """A rendered derivation tree for ``fact_key``.
+
+        Shows, for each fact, the rule that first derived it and its
+        premises, recursively (each fact expanded once; repeats are
+        marked ``[see above]``).
+        """
+        lines: List[str] = []
+        expanded = set()
+
+        def render(key: Tuple, depth: int) -> None:
+            indent = "  " * depth
+            label = self._format_fact(key)
+            why = self._solver.provenance.get(key) if (
+                self.config.track_provenance
+            ) else None
+            if why is None:
+                lines.append(f"{indent}{label}")
+                return
+            rule, premises, note = why
+            if key in expanded:
+                lines.append(f"{indent}{label}   [{rule}; see above]")
+                return
+            expanded.add(key)
+            lines.append(f"{indent}{label}   [{rule}: {note}]")
+            if depth < max_depth:
+                for premise in premises:
+                    render(premise, depth + 1)
+            elif premises:
+                lines.append(f"{indent}  …")
+
+        if not self.config.track_provenance:
+            raise ValueError(
+                "run with AnalysisConfig(track_provenance=True) to record"
+                " derivations"
+            )
+        render(tuple(fact_key), 0)
+        return "\n".join(lines)
+
+    def explain_points_to(self, var: str, heap: str, max_depth: int = 12) -> str:
+        """Why may ``var`` point to ``heap``?  One tree per context fact."""
+        keys = [
+            ("pts", y, h, a) for (y, h, a) in self.pts
+            if y == var and h == heap
+        ]
+        if not keys:
+            return f"{var} does not point to {heap}"
+        return "\n".join(self.explain(key, max_depth) for key in sorted(keys, key=str))
+
+    @staticmethod
+    def _format_fact(key: Tuple) -> str:
+        kind, *rest = key
+        if kind == "reach":
+            method, ctx = rest
+            return f"reach({method}, {'·'.join(ctx) or 'ε'})"
+        return f"{kind}({', '.join(str(r) for r in rest)})"
+
+    def subsumption_ratio(self) -> float:
+        """Fraction of pts facts subsumed by a sibling fact."""
+        if not self.pts:
+            return 0.0
+        subsumed = {(v, h, s) for (v, h, _, s) in self.subsumed_pts_facts()}
+        return len(subsumed) / len(self.pts)
+
+
+class ResultComparison:
+    """Precision and size relationship between two analysis runs."""
+
+    def __init__(self, left: AnalysisResult, right: AnalysisResult):
+        self.left = left
+        self.right = right
+
+    def left_only_pts(self) -> FrozenSet[Tuple[str, str]]:
+        """CI points-to facts the left analysis derives and the right
+        refutes (i.e. where the right is more precise)."""
+        return self.left.pts_ci() - self.right.pts_ci()
+
+    def right_only_pts(self) -> FrozenSet[Tuple[str, str]]:
+        return self.right.pts_ci() - self.left.pts_ci()
+
+    def equally_precise(self) -> bool:
+        """Identical CI projections (Theorem 6.2's observable)."""
+        return (
+            self.left.pts_ci() == self.right.pts_ci()
+            and self.left.hpts_ci() == self.right.hpts_ci()
+            and self.left.call_graph() == self.right.call_graph()
+        )
+
+    def precision_relation(self) -> str:
+        """One of ``"equal"``, ``"left-more-precise"``,
+        ``"right-more-precise"``, ``"incomparable"``."""
+        if self.equally_precise():
+            return "equal"
+        left_extra = bool(self.left_only_pts()) or (
+            self.left.call_graph() > self.right.call_graph()
+        )
+        right_extra = bool(self.right_only_pts()) or (
+            self.right.call_graph() > self.left.call_graph()
+        )
+        if left_extra and not right_extra:
+            return "right-more-precise"
+        if right_extra and not left_extra:
+            return "left-more-precise"
+        return "incomparable"
+
+    def fact_reduction(self) -> float:
+        """Fractional decrease of total context-sensitive facts, right
+        relative to left (the Figure 6 quantity)."""
+        left_total = self.left.total_facts()
+        if left_total == 0:
+            return 0.0
+        return 1.0 - self.right.total_facts() / left_total
+
+    def summary(self) -> str:
+        return (
+            f"precision: {self.precision_relation()};"
+            f" facts {self.left.total_facts()} ->"
+            f" {self.right.total_facts()}"
+            f" ({self.fact_reduction() * 100:+.1f}% reduction);"
+            f" time {self.left.seconds * 1000:.1f}ms ->"
+            f" {self.right.seconds * 1000:.1f}ms"
+        )

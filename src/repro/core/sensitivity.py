@@ -1,0 +1,209 @@
+"""Flavours of context sensitivity (paper Figure 4).
+
+The parameterized deduction rules of Figure 3 are closed over five
+non-logical symbols — ``record``, ``merge``, ``merge_s``, ``target`` and
+``comp``/``inv`` — whose definitions select both the *abstraction*
+(context strings vs transformer strings) and the *flavour* (call-site,
+full-object, or type sensitivity).  This module provides the flavour
+functions for both abstractions, exactly as listed in Figure 4:
+
+========== ===================== =========================================
+symbol      context strings        transformer strings
+========== ===================== =========================================
+record      ``(prefix_h(M), M)``   ``ε``
+merge       per flavour            per flavour (built from ``inv``/``;``)
+merge_s     per flavour            per flavour
+========== ===================== =========================================
+
+``merge`` receives the heap allocation site ``H`` of the receiver, the
+invocation site ``I``, and the receiver's points-to context
+transformation; it produces the call-edge transformation from caller
+method context to callee method context.  ``merge_s`` does the same for
+static invocations from a reachable method context.
+
+For type sensitivity ``classOf(H)`` is the class type in which the
+method containing allocation site ``H`` is implemented; it is supplied
+by the caller as a function, since it is a property of the program under
+analysis rather than of the abstraction.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional
+
+from repro.core import transformer_strings as ts
+from repro.core.contexts import MethodContext, prefix
+from repro.core.context_strings import ContextStringPair
+from repro.core.transformer_strings import TransformerString
+
+#: Maps a heap allocation site to the class type that contains it.
+ClassOf = Callable[[str], str]
+
+
+class Flavour(enum.Enum):
+    """Flavours of context sensitivity.
+
+    The paper evaluates call-site, (full) object, and type sensitivity.
+    Two more are provided because the parameterized rules make them a
+    Figure 4 entry each:
+
+    * ``PLAIN_OBJECT`` — the object-sensitivity variant of Milanova et
+      al. that the paper's Section 2.2 contrasts with full object
+      sensitivity ("id is invoked with the method context
+      [h4, h4, entry] under plain object sensitivity"): the receiver's
+      allocation site is prefixed to the *invoking method's* context
+      rather than to the receiver's heap context;
+    * ``HYBRID`` — the uniform hybrid of Kastrinis & Smaragdakis
+      (cited as [6]): object contexts at virtual invocations, call-site
+      pushes at static invocations.
+    """
+
+    CALL_SITE = "call-site"
+    OBJECT = "object"
+    TYPE = "type"
+    PLAIN_OBJECT = "plain-object"
+    HYBRID = "hybrid"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def validate_levels(flavour: Flavour, m: int, h: int) -> None:
+    """Enforce the level constraints of paper Figure 3's caption.
+
+    ``0 ≤ h ≤ m`` is assumed for call-site sensitivity (and for plain
+    object sensitivity, whose contexts likewise grow one element per
+    invocation) and ``0 ≤ h = m − 1`` for full object, type, and hybrid
+    sensitivity (whose method contexts are one element atop a heap
+    context).
+    """
+    if m < 0 or h < 0:
+        raise ValueError(f"context levels must be non-negative, got m={m}, h={h}")
+    if flavour in (Flavour.CALL_SITE, Flavour.PLAIN_OBJECT):
+        if h > m:
+            raise ValueError(
+                f"{flavour.value} sensitivity requires h <= m, got m={m}, h={h}"
+            )
+    else:
+        if h != m - 1:
+            raise ValueError(
+                f"{flavour.value} sensitivity requires h = m - 1, got m={m}, h={h}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Context-string flavour functions (left column of Figure 4).
+# ---------------------------------------------------------------------------
+
+def record_cs(m_ctx: MethodContext, h: int) -> ContextStringPair:
+    """``record^c(M) = (prefix_h(M), M)`` for every flavour."""
+    return (prefix(m_ctx, h), m_ctx)
+
+
+def merge_cs(
+    flavour: Flavour,
+    heap: str,
+    inv: str,
+    receiver: ContextStringPair,
+    m: int,
+    class_of: Optional[ClassOf] = None,
+) -> ContextStringPair:
+    """``merge^c``: the call edge for a virtual invocation.
+
+    * call-site:     ``(M, I·prefix_{m−1}(M))``
+    * object/hybrid: ``(M, H·H′)`` where the receiver pair is ``(H′, M)``
+    * type:          ``(M, classOf(H)·H′)``
+    * plain object:  ``(M, H·prefix_{m−1}(M))`` — the allocation site is
+      prefixed to the *invoking* context (paper Section 2.2's contrast)
+    """
+    heap_ctx, m_ctx = receiver
+    if flavour is Flavour.CALL_SITE:
+        callee = prefix((inv,) + prefix(m_ctx, m - 1), m)
+    elif flavour in (Flavour.OBJECT, Flavour.HYBRID):
+        callee = prefix((heap,) + heap_ctx, m)
+    elif flavour is Flavour.PLAIN_OBJECT:
+        callee = prefix((heap,) + prefix(m_ctx, m - 1), m)
+    else:
+        if class_of is None:
+            raise ValueError("type sensitivity requires a class_of function")
+        callee = prefix((class_of(heap),) + heap_ctx, m)
+    return (m_ctx, callee)
+
+
+def merge_s_cs(
+    flavour: Flavour, inv: str, m_ctx: MethodContext, m: int
+) -> ContextStringPair:
+    """``merge_s^c``: the call edge for a static invocation.
+
+    * call-site/hybrid: ``(M, I·prefix_{m−1}(M))``
+    * object/plain-object/type: ``(M, M)`` — context inherited.
+    """
+    if flavour in (Flavour.CALL_SITE, Flavour.HYBRID):
+        return (m_ctx, prefix((inv,) + prefix(m_ctx, m - 1), m))
+    return (m_ctx, m_ctx)
+
+
+# ---------------------------------------------------------------------------
+# Transformer-string flavour functions (right column of Figure 4).
+# ---------------------------------------------------------------------------
+
+def record_ts(m_ctx: MethodContext, h: int) -> TransformerString:
+    """``record^t(_) = ε``: a single identity fact replaces the enumeration."""
+    return TransformerString.identity()
+
+
+def merge_ts(
+    flavour: Flavour,
+    heap: str,
+    inv: str,
+    receiver: TransformerString,
+    m: int,
+    class_of: Optional[ClassOf] = None,
+) -> Optional[TransformerString]:
+    """``merge^t``: the call-edge transformer for a virtual invocation.
+
+    * call-site: ``trunc_{m,m}(inv(B) ; B ; Î)`` — the idempotent
+      ``inv(B); B`` restricts to the image of the receiver's points-to
+      transformation, then the call site is prefixed;
+    * object/hybrid: ``inv(B) ; Ĥ`` — written ``B̌·w·Â·Ĥ`` in Figure 4;
+    * plain object: ``trunc_{m,m}(inv(B) ; B ; Ĥ)`` — like call-site,
+      but prefixing the allocation site to the invoking context;
+    * type:      ``inv(B) ; classOf(H)^``.
+
+    The result is ``None`` (no call edge) only if composition bottoms
+    out, which cannot happen for well-formed receiver transformations but
+    is handled uniformly.
+    """
+    if flavour in (Flavour.CALL_SITE, Flavour.PLAIN_OBJECT):
+        restricted = ts.compose(ts.inverse(receiver), receiver)
+        if restricted is None:
+            return None
+        element = inv if flavour is Flavour.CALL_SITE else heap
+        edge = ts.compose(restricted, TransformerString.entry((element,)))
+    elif flavour in (Flavour.OBJECT, Flavour.HYBRID):
+        edge = ts.compose(ts.inverse(receiver), TransformerString.entry((heap,)))
+    else:
+        if class_of is None:
+            raise ValueError("type sensitivity requires a class_of function")
+        edge = ts.compose(
+            ts.inverse(receiver), TransformerString.entry((class_of(heap),))
+        )
+    if edge is None:
+        return None
+    return ts.trunc(edge, m, m)
+
+
+def merge_s_ts(
+    flavour: Flavour, inv: str, m_ctx: MethodContext, m: int
+) -> TransformerString:
+    """``merge_s^t``: the call-edge transformer for a static invocation.
+
+    * call-site/hybrid: ``Î``;
+    * object/plain-object/type: ``M̌·M̂`` — the guard that passes exactly
+      the contexts with prefix ``M`` through unchanged (Section 3's
+      ``Ň·N̂``).
+    """
+    if flavour in (Flavour.CALL_SITE, Flavour.HYBRID):
+        return ts.trunc(TransformerString.entry((inv,)), m, m)
+    return TransformerString.guard(m_ctx)

@@ -1,0 +1,700 @@
+"""Worklist evaluation of the parameterized deduction rules (Figure 3).
+
+This is the library's fast path: a tuple-at-a-time semi-naive solver
+hand-specialized to the eleven rules of paper Figure 3, parameterized by
+an :class:`repro.core.domains.AbstractionDomain`.  Each newly derived
+fact is pushed on a worklist; popping a fact fires exactly the rules in
+which it can participate, joining against the already-derived portion of
+the other relations — the classical semi-naive discipline, so every rule
+instance fires exactly once.
+
+Indexing mirrors the paper's Section 7 discussion.  Every derived
+relation carrying a context transformation is indexed by its entity
+attributes *plus* domain-provided join-compatibility buckets
+(:meth:`AbstractionDomain.insert_keys` / ``probe_keys``): for context
+strings the bucket is the shared middle context, recovering Doop's
+three-attribute joins; for transformer strings the buckets realize the
+configuration specialization's prefix-compatible joins — probing
+enumerates exactly the composable partners.  The
+``naive_transformer_index`` switch reverts to entity-only buckets (the
+two-attribute join the paper warns about); the effect is measured by
+``benchmarks/test_bench_indexing.py``.
+
+Derived relations and their context-transformation domains:
+
+* ``pts(Y, H, A)``      with ``A ∈ CtxtT_{h,m}``
+* ``hpts(G, F, H, A)``  with ``A ∈ CtxtT_{h,h}``
+* ``hload(G, F, Y, A)`` with ``A ∈ CtxtT_{h,m}``
+* ``call(I, P, C)``     with ``C ∈ CtxtT_{m,m}``
+* ``reach(P, M)``       with ``M`` a method-context prefix
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict, deque
+from typing import Dict, Hashable, List, Set, Tuple
+
+from repro.core.domains import AbstractionDomain
+from repro.frontend.factgen import FactSet
+
+
+class SolverStats:
+    """Counters describing one solver run."""
+
+    def __init__(self) -> None:
+        self.facts_derived = 0
+        self.facts_deduplicated = 0
+        self.facts_subsumed = 0
+        self.rule_firings = 0
+        self.seconds = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "facts_derived": self.facts_derived,
+            "facts_deduplicated": self.facts_deduplicated,
+            "facts_subsumed": self.facts_subsumed,
+            "rule_firings": self.rule_firings,
+            "seconds": self.seconds,
+        }
+
+
+class Solver:
+    """Evaluates the Figure 3 rules over one program and one domain.
+
+    ``eliminate_subsumed`` enables the paper's Section 8 future-work
+    optimization for transformer strings: a new ``pts``/``hpts``/``call``
+    fact is dropped when an already-derived fact on the same entity tuple
+    subsumes it (its wildcard concretization covers the new fact).  This
+    never changes the context-insensitive projection — the subsuming fact
+    derives a superset of the subsumed fact's consequences — but reduces
+    the number of stored facts.
+    """
+
+    def __init__(
+        self,
+        facts: FactSet,
+        domain: AbstractionDomain,
+        eliminate_subsumed: bool = False,
+        naive_transformer_index: bool = False,
+        track_provenance: bool = False,
+    ):
+        self.facts = facts
+        self.domain = domain
+        self.eliminate_subsumed = (
+            eliminate_subsumed and domain.abstraction == "transformer-string"
+        )
+        # Ablation switch (Section 7): with the naive index, transformer
+        # facts are bucketed by entity attributes only — every probe
+        # scans all of an entity's facts and filters with `comp`, the
+        # two-attribute join the paper warns about.  The default is the
+        # prefix-compatible bucket scheme (see AbstractionDomain).
+        self.naive_transformer_index = (
+            naive_transformer_index
+            and domain.abstraction == "transformer-string"
+        )
+        # When enabled, the first derivation of every fact is recorded
+        # as (rule name, premise fact keys, note); see
+        # AnalysisResult.explain for the rendered derivation trees.
+        self.track_provenance = track_provenance
+        self.provenance: Dict[Tuple, Tuple] = {}
+        self.stats = SolverStats()
+        self._build_input_indices()
+        self._init_derived()
+
+    # ------------------------------------------------------------------
+    # Input indexing.
+    # ------------------------------------------------------------------
+
+    def _build_input_indices(self) -> None:
+        facts = self.facts
+        self.assign_by_src = _multimap((src, dst) for (src, dst) in facts.assign)
+        self.store_by_value = _multimap(
+            (x, (f, z)) for (x, f, z) in facts.store
+        )
+        self.store_by_base = _multimap(
+            (z, (x, f)) for (x, f, z) in facts.store
+        )
+        self.load_by_base = _multimap(
+            (y, (f, z)) for (y, f, z) in facts.load
+        )
+        self.actual_by_var = _multimap(
+            (z, (i, o)) for (z, i, o) in facts.actual
+        )
+        self.actual_by_inv = _multimap(
+            (i, (z, o)) for (z, i, o) in facts.actual
+        )
+        self.formal_at = _multimap(
+            ((p, o), y) for (y, p, o) in facts.formal
+        )
+        self.assign_return_by_inv = _multimap(facts.assign_return)
+        self.return_by_var = _multimap(facts.return_var)
+        self.returns_of_method = _multimap(
+            (p, z) for (z, p) in facts.return_var
+        )
+        self.virtual_by_recv = _multimap(
+            (z, (i, s)) for (i, z, s) in facts.virtual_invoke
+        )
+        self.heap_type_of: Dict[str, str] = dict(facts.heap_type)
+        self.implements_at = _multimap(
+            ((t, s), q) for (q, t, s) in facts.implements
+        )
+        self.this_var_of: Dict[str, str] = {
+            method: var for (var, method) in facts.this_var
+        }
+        self.assign_new_by_method = _multimap(
+            (p, (h, y)) for (h, y, p) in facts.assign_new
+        )
+        self.static_invokes_in = _multimap(
+            (p, (i, q)) for (i, q, p) in facts.static_invoke
+        )
+        # Static fields (SSTORE / SLOAD).
+        self.static_store_by_var = _multimap(facts.static_store)
+        self.static_load_by_field = _multimap(
+            (f, (y, p)) for (f, y, p) in facts.static_load
+        )
+        self.static_loads_in = _multimap(
+            (p, (f, y)) for (f, y, p) in facts.static_load
+        )
+        # Exceptions (THROW / EPROP / ECATCH).
+        self.throw_by_var = _multimap(facts.throw_var)
+        self.catch_vars_of = _multimap(
+            (p, y) for (y, p) in facts.catch_var
+        )
+        self.invocation_parent = dict(facts.invocation_parent)
+
+    def _init_derived(self) -> None:
+        self.pts: Set[Tuple[str, str, object]] = set()
+        self.hpts: Set[Tuple[str, str, str, object]] = set()
+        self.hload: Set[Tuple[str, str, str, object]] = set()
+        self.call: Set[Tuple[str, str, object]] = set()
+        self.reach: Set[Tuple[str, Tuple[str, ...]]] = set()
+        self.spts: Set[Tuple[str, str, object]] = set()
+        self.texc: Set[Tuple[str, str, object]] = set()
+
+        self.pts_index: Dict[Tuple[str, Hashable], List] = defaultdict(list)
+        self.hpts_index: Dict[Tuple[str, str, Hashable], List] = defaultdict(list)
+        self.hload_index: Dict[Tuple[str, str, Hashable], List] = defaultdict(list)
+        self.call_by_inv: Dict[Tuple[str, Hashable], List] = defaultdict(list)
+        self.call_by_callee: Dict[Tuple[str, Hashable], List] = defaultdict(list)
+        self.reach_by_method = _multimap(())
+        self.spts_by_field: Dict[str, List] = defaultdict(list)
+        self.texc_index: Dict[Tuple[str, Hashable], List] = defaultdict(list)
+
+        # Per-entity transformer lists, maintained only when subsumption
+        # elimination is enabled (so its cost is paid only in that mode).
+        self._entity_transformers: Dict[Tuple, List] = defaultdict(list)
+
+        self._worklist: deque = deque()
+
+    # ------------------------------------------------------------------
+    # Fact insertion.
+    # ------------------------------------------------------------------
+
+    def _subsumed(self, entity: Tuple, candidate) -> bool:
+        """Subsumption check for one entity tuple (only in ablation mode)."""
+        if not self.eliminate_subsumed:
+            return False
+        from repro.core.transformer_strings import subsumes
+
+        existing = self._entity_transformers[entity]
+        if any(subsumes(old, candidate) for old in existing):
+            return True
+        existing.append(candidate)
+        return False
+
+    _NAIVE_KEY = ("all",)
+
+    def _index(self, index, entity, segment, payload) -> None:
+        if self.naive_transformer_index:
+            index[(entity, self._NAIVE_KEY)].append(payload)
+            return
+        for key in self.domain.insert_keys(segment):
+            index[(entity, key)].append(payload)
+
+    def _probe(self, index, entity, segment):
+        if self.naive_transformer_index:
+            bucket = index.get((entity, self._NAIVE_KEY))
+            if bucket:
+                yield from bucket
+            return
+        for key in self.domain.probe_keys(segment):
+            bucket = index.get((entity, key))
+            if bucket:
+                yield from bucket
+
+    def add_pts(self, var: str, heap: str, trans, why=None) -> None:
+        fact = (var, heap, trans)
+        if fact in self.pts:
+            self.stats.facts_deduplicated += 1
+            return
+        if self._subsumed(("pts", var, heap), trans):
+            self.stats.facts_subsumed += 1
+            return
+        self.pts.add(fact)
+        if self.track_provenance:
+            self.provenance[("pts",) + fact] = why
+        self._index(self.pts_index, var, self.domain.key_out(trans), (heap, trans))
+        self.stats.facts_derived += 1
+        self._worklist.append(("pts", fact))
+
+    def add_hpts(self, base_heap: str, field: str, heap: str, trans,
+                 why=None) -> None:
+        fact = (base_heap, field, heap, trans)
+        if fact in self.hpts:
+            self.stats.facts_deduplicated += 1
+            return
+        if self._subsumed(("hpts", base_heap, field, heap), trans):
+            self.stats.facts_subsumed += 1
+            return
+        self.hpts.add(fact)
+        if self.track_provenance:
+            self.provenance[("hpts",) + fact] = why
+        self._index(
+            self.hpts_index, (base_heap, field),
+            self.domain.key_out(trans), (heap, trans),
+        )
+        self.stats.facts_derived += 1
+        self._worklist.append(("hpts", fact))
+
+    def add_hload(self, base_heap: str, field: str, var: str, trans,
+                  why=None) -> None:
+        fact = (base_heap, field, var, trans)
+        if fact in self.hload:
+            self.stats.facts_deduplicated += 1
+            return
+        self.hload.add(fact)
+        if self.track_provenance:
+            self.provenance[("hload",) + fact] = why
+        self._index(
+            self.hload_index, (base_heap, field),
+            self.domain.key_in(trans), (var, trans),
+        )
+        self.stats.facts_derived += 1
+        self._worklist.append(("hload", fact))
+
+    def add_call(self, inv: str, method: str, trans, why=None) -> None:
+        fact = (inv, method, trans)
+        if fact in self.call:
+            self.stats.facts_deduplicated += 1
+            return
+        if self._subsumed(("call", inv, method), trans):
+            self.stats.facts_subsumed += 1
+            return
+        self.call.add(fact)
+        if self.track_provenance:
+            self.provenance[("call",) + fact] = why
+        self._index(
+            self.call_by_inv, inv, self.domain.key_in(trans), (method, trans)
+        )
+        self._index(
+            self.call_by_callee, method,
+            self.domain.key_out(trans), (inv, trans),
+        )
+        self.stats.facts_derived += 1
+        self._worklist.append(("call", fact))
+
+    def add_reach(self, method: str, context: Tuple[str, ...],
+                  why=None) -> None:
+        fact = (method, context)
+        if fact in self.reach:
+            self.stats.facts_deduplicated += 1
+            return
+        self.reach.add(fact)
+        if self.track_provenance:
+            self.provenance[("reach",) + fact] = why
+        self.reach_by_method[method].append(context)
+        self.stats.facts_derived += 1
+        self._worklist.append(("reach", fact))
+
+    def add_spts(self, field: str, heap: str, trans, why=None) -> None:
+        fact = (field, heap, trans)
+        if fact in self.spts:
+            self.stats.facts_deduplicated += 1
+            return
+        self.spts.add(fact)
+        if self.track_provenance:
+            self.provenance[("spts",) + fact] = why
+        self.spts_by_field[field].append((heap, trans))
+        self.stats.facts_derived += 1
+        self._worklist.append(("spts", fact))
+
+    def add_texc(self, method: str, heap: str, trans, why=None) -> None:
+        fact = (method, heap, trans)
+        if fact in self.texc:
+            self.stats.facts_deduplicated += 1
+            return
+        if self._subsumed(("texc", method, heap), trans):
+            self.stats.facts_subsumed += 1
+            return
+        self.texc.add(fact)
+        if self.track_provenance:
+            self.provenance[("texc",) + fact] = why
+        self._index(
+            self.texc_index, method, self.domain.key_out(trans), (heap, trans)
+        )
+        self.stats.facts_derived += 1
+        self._worklist.append(("texc", fact))
+
+    # ------------------------------------------------------------------
+    # Main loop.
+    # ------------------------------------------------------------------
+
+    def solve(self) -> "Solver":
+        """Run to fixpoint; returns ``self`` for chaining."""
+        start = time.perf_counter()
+        if self.facts.main_method is None:
+            raise ValueError("fact set has no main method")
+        # [ENTRY] reach(main, [entry]).
+        self.add_reach(
+            self.facts.main_method, self.domain.entry_context(),
+            why=("ENTRY", (), "program entry point"),
+        )
+        while self._worklist:
+            kind, fact = self._worklist.popleft()
+            if kind == "pts":
+                self._on_pts(*fact)
+            elif kind == "hpts":
+                self._on_hpts(*fact)
+            elif kind == "hload":
+                self._on_hload(*fact)
+            elif kind == "call":
+                self._on_call(*fact)
+            elif kind == "reach":
+                self._on_reach(*fact)
+            elif kind == "spts":
+                self._on_spts(*fact)
+            else:
+                self._on_texc(*fact)
+        self.stats.seconds = time.perf_counter() - start
+        return self
+
+    # ------------------------------------------------------------------
+    # Rule firings, grouped by triggering fact.
+    # ------------------------------------------------------------------
+
+    def _on_pts(self, var: str, heap: str, trans) -> None:
+        domain = self.domain
+        h, m = domain.h, domain.m
+        out_segment = domain.key_out(trans)
+        self.stats.rule_firings += 1
+
+        # [ASSIGN] pts(Z,H,A), assign(Z,Y) => pts(Y,H,A).
+        for dst in self.assign_by_src.get(var, ()):
+            self.add_pts(
+                dst, heap, trans,
+                why=("ASSIGN", (("pts", var, heap, trans),),
+                     f"{dst} = {var}"),
+            )
+
+        # [LOAD] pts(Y,G,A), load(Y,F,Z) => hload(G,F,Z,A).
+        for (field, dst) in self.load_by_base.get(var, ()):
+            self.add_hload(
+                heap, field, dst, trans,
+                why=("LOAD", (("pts", var, heap, trans),),
+                     f"{dst} = {var}.{field}"),
+            )
+
+        # [STORE], this fact as the stored value pts(X,H,B):
+        #   pts(X,H,B), store(X,F,Z), pts(Z,G,C) => hpts(G,F,H, B;inv(C)).
+        # comp(B, inv(C)) joins B's out side with C's out side.
+        for (field, base) in self.store_by_value.get(var, ()):
+            for (base_heap, base_trans) in self._probe(
+                self.pts_index, base, out_segment
+            ):
+                composed = domain.comp(trans, domain.inv(base_trans), h, h)
+                if composed is not None:
+                    self.add_hpts(
+                        base_heap, field, heap, composed,
+                        why=("STORE", (("pts", var, heap, trans),
+                                       ("pts", base, base_heap, base_trans)),
+                             f"{base}.{field} = {var}"),
+                    )
+
+        # [STORE], this fact as the base pointer pts(Z,G,C):
+        for (value, field) in self.store_by_base.get(var, ()):
+            for (value_heap, value_trans) in self._probe(
+                self.pts_index, value, out_segment
+            ):
+                composed = domain.comp(value_trans, domain.inv(trans), h, h)
+                if composed is not None:
+                    self.add_hpts(
+                        heap, field, value_heap, composed,
+                        why=("STORE", (("pts", value, value_heap, value_trans),
+                                       ("pts", var, heap, trans)),
+                             f"{var}.{field} = {value}"),
+                    )
+
+        # [PARAM] pts(Z,H,B), actual(Z,I,O), call(I,P,C), formal(Y,P,O)
+        #         => pts(Y,H, B;C): B's out side joins C's in side.
+        for (inv, index) in self.actual_by_var.get(var, ()):
+            for (callee, call_trans) in self._probe(
+                self.call_by_inv, inv, out_segment
+            ):
+                for formal in self.formal_at.get((callee, index), ()):
+                    composed = domain.comp(trans, call_trans, h, m)
+                    if composed is not None:
+                        self.add_pts(
+                            formal, heap, composed,
+                            why=("PARAM", (("pts", var, heap, trans),
+                                           ("call", inv, callee, call_trans)),
+                                 f"argument {var} passed at {inv}"),
+                        )
+
+        # [RET] pts(Z,H,B), return(Z,P), call(I,P,C), assign_return(I,Y)
+        #       => pts(Y,H, B;inv(C)): B's out side joins C's out side.
+        for callee in self.return_by_var.get(var, ()):
+            for (inv, call_trans) in self._probe(
+                self.call_by_callee, callee, out_segment
+            ):
+                for dst in self.assign_return_by_inv.get(inv, ()):
+                    composed = domain.comp(trans, domain.inv(call_trans), h, m)
+                    if composed is not None:
+                        self.add_pts(
+                            dst, heap, composed,
+                            why=("RET", (("pts", var, heap, trans),
+                                         ("call", inv, callee, call_trans)),
+                                 f"{var} returned to {dst} at {inv}"),
+                        )
+
+        # [SSTORE] pts(X,H,B), static_store(X,F) => spts(F,H, toGlobal(B)).
+        for field in self.static_store_by_var.get(var, ()):
+            self.add_spts(
+                field, heap, domain.to_global(trans),
+                why=("SSTORE", (("pts", var, heap, trans),),
+                     f"{field} = {var}"),
+            )
+
+        # [THROW] pts(Z,H,B), throw_var(Z,P) => texc(P,H,B).
+        for method in self.throw_by_var.get(var, ()):
+            self.add_texc(
+                method, heap, trans,
+                why=("THROW", (("pts", var, heap, trans),),
+                     f"throw {var} in {method}"),
+            )
+
+        # [VIRT] virtual_invoke(I,Z,S), pts(Z,H,B), heap_type(H,T),
+        #        implements(Q,T,S), this_var(Y,Q), C = merge(H,I,B)
+        #        => pts(Y,H, B;C), call(I,Q,C).
+        recv_sites = self.virtual_by_recv.get(var, ())
+        if recv_sites:
+            heap_class = self.heap_type_of.get(heap)
+            if heap_class is not None:
+                for (inv, signature) in recv_sites:
+                    for callee in self.implements_at.get(
+                        (heap_class, signature), ()
+                    ):
+                        edge = domain.merge(heap, inv, trans)
+                        if edge is None:
+                            continue
+                        self.add_call(
+                            inv, callee, edge,
+                            why=("VIRT", (("pts", var, heap, trans),),
+                                 f"{inv} dispatches to {callee} via {heap}"),
+                        )
+                        this_var = self.this_var_of.get(callee)
+                        if this_var is not None:
+                            composed = domain.comp(trans, edge, h, m)
+                            if composed is not None:
+                                self.add_pts(
+                                    this_var, heap, composed,
+                                    why=("VIRT",
+                                         (("pts", var, heap, trans),),
+                                         f"receiver {var} bound to this"
+                                         f" of {callee}"),
+                                )
+
+    def _on_hpts(self, base_heap: str, field: str, heap: str, trans) -> None:
+        # [IND] hpts(G,F,H,B), hload(G,F,Y,C) => pts(Y,H, B;C).
+        domain = self.domain
+        self.stats.rule_firings += 1
+        for (var, load_trans) in self._probe(
+            self.hload_index, (base_heap, field), domain.key_out(trans)
+        ):
+            composed = domain.comp(trans, load_trans, domain.h, domain.m)
+            if composed is not None:
+                self.add_pts(
+                    var, heap, composed,
+                    why=("IND", (("hpts", base_heap, field, heap, trans),
+                                 ("hload", base_heap, field, var, load_trans)),
+                         f"{var} loads {base_heap}.{field}"),
+                )
+
+    def _on_hload(self, base_heap: str, field: str, var: str, trans) -> None:
+        # [IND], triggered from the load side.
+        domain = self.domain
+        self.stats.rule_firings += 1
+        for (heap, store_trans) in self._probe(
+            self.hpts_index, (base_heap, field), domain.key_in(trans)
+        ):
+            composed = domain.comp(store_trans, trans, domain.h, domain.m)
+            if composed is not None:
+                self.add_pts(
+                    var, heap, composed,
+                    why=("IND", (("hpts", base_heap, field, heap, store_trans),
+                                 ("hload", base_heap, field, var, trans)),
+                         f"{var} loads {base_heap}.{field}"),
+                )
+
+    def _on_call(self, inv: str, callee: str, trans) -> None:
+        domain = self.domain
+        h, m = domain.h, domain.m
+        self.stats.rule_firings += 1
+
+        # [REACH] call(I,P,A) => reach(P, target(A)).
+        self.add_reach(
+            callee, domain.target(trans),
+            why=("REACH", (("call", inv, callee, trans),),
+                 f"{callee} called from {inv}"),
+        )
+
+        # [PARAM], triggered from the call edge: C's in side joins B's
+        # out side.
+        in_segment = domain.key_in(trans)
+        for (arg, index) in self.actual_by_inv.get(inv, ()):
+            for formal in self.formal_at.get((callee, index), ()):
+                for (heap, arg_trans) in self._probe(
+                    self.pts_index, arg, in_segment
+                ):
+                    composed = domain.comp(arg_trans, trans, h, m)
+                    if composed is not None:
+                        self.add_pts(
+                            formal, heap, composed,
+                            why=("PARAM", (("pts", arg, heap, arg_trans),
+                                           ("call", inv, callee, trans)),
+                                 f"argument {arg} passed at {inv}"),
+                        )
+
+        # [RET], triggered from the call edge: C's out side joins B's
+        # out side (through inv).
+        out_segment = domain.key_out(trans)
+        dsts = self.assign_return_by_inv.get(inv, ())
+        if dsts:
+            for ret_var in self.returns_of_method.get(callee, ()):
+                for (heap, ret_trans) in self._probe(
+                    self.pts_index, ret_var, out_segment
+                ):
+                    composed = domain.comp(ret_trans, domain.inv(trans), h, m)
+                    if composed is not None:
+                        for dst in dsts:
+                            self.add_pts(
+                                dst, heap, composed,
+                                why=("RET", (("pts", ret_var, heap, ret_trans),
+                                             ("call", inv, callee, trans)),
+                                     f"{ret_var} returned to {dst} at {inv}"),
+                            )
+
+        # [EPROP], triggered from the call edge: exceptions already known
+        # to escape the callee propagate to this caller.
+        caller = self.invocation_parent.get(inv)
+        if caller is not None:
+            for (heap, exc_trans) in self._probe(
+                self.texc_index, callee, out_segment
+            ):
+                composed = domain.comp(exc_trans, domain.inv(trans), h, m)
+                if composed is not None:
+                    self.add_texc(
+                        caller, heap, composed,
+                        why=("EPROP", (("texc", callee, heap, exc_trans),
+                                       ("call", inv, callee, trans)),
+                             f"exception escapes {callee} into {caller}"),
+                    )
+
+    def _on_reach(self, method: str, context: Tuple[str, ...]) -> None:
+        domain = self.domain
+        self.stats.rule_firings += 1
+
+        # [NEW] assign_new(H,Y,P), reach(P,M) => pts(Y,H, record(M)).
+        for (heap, var) in self.assign_new_by_method.get(method, ()):
+            self.add_pts(
+                var, heap, domain.record(context),
+                why=("NEW", (("reach", method, context),),
+                     f"{var} = new … at {heap}"),
+            )
+
+        # [STATIC] static_invoke(I,Q,P), reach(P,B) => call(I,Q, merge_s(I,B)).
+        for (inv, callee) in self.static_invokes_in.get(method, ()):
+            self.add_call(
+                inv, callee, domain.merge_s(inv, context),
+                why=("STATIC", (("reach", method, context),),
+                     f"static call {inv} in {method}"),
+            )
+
+        # [SLOAD] static_load(F,Y,P), reach(P,M), spts(F,H,C)
+        #         => pts(Y,H, fromGlobal(C,M)).
+        for (field, var) in self.static_loads_in.get(method, ()):
+            for (heap, trans) in self.spts_by_field.get(field, ()):
+                self.add_pts(
+                    var, heap, domain.from_global(trans, context),
+                    why=("SLOAD", (("spts", field, heap, trans),
+                                   ("reach", method, context)),
+                         f"{var} = {field}"),
+                )
+
+    def _on_spts(self, field: str, heap: str, trans) -> None:
+        # [SLOAD], triggered from the static-field side.
+        domain = self.domain
+        self.stats.rule_firings += 1
+        for (var, method) in self.static_load_by_field.get(field, ()):
+            for context in self.reach_by_method.get(method, ()):
+                self.add_pts(
+                    var, heap, domain.from_global(trans, context),
+                    why=("SLOAD", (("spts", field, heap, trans),
+                                   ("reach", method, context)),
+                         f"{var} = {field}"),
+                )
+
+    def _on_texc(self, method: str, heap: str, trans) -> None:
+        domain = self.domain
+        self.stats.rule_firings += 1
+
+        # [ECATCH] texc(P,H,A), catch_var(Y,P) => pts(Y,H,A).
+        for var in self.catch_vars_of.get(method, ()):
+            self.add_pts(
+                var, heap, trans,
+                why=("ECATCH", (("texc", method, heap, trans),),
+                     f"caught by {var} in {method}"),
+            )
+
+        # [EPROP] texc(Q,H,B), call(I,Q,C) => texc(parent(I),H, B;inv(C)).
+        out_segment = domain.key_out(trans)
+        for (inv, call_trans) in self._probe(
+            self.call_by_callee, method, out_segment
+        ):
+            caller = self.invocation_parent.get(inv)
+            if caller is None:
+                continue
+            composed = domain.comp(
+                trans, domain.inv(call_trans), domain.h, domain.m
+            )
+            if composed is not None:
+                self.add_texc(
+                    caller, heap, composed,
+                    why=("EPROP", (("texc", method, heap, trans),
+                                   ("call", inv, method, call_trans)),
+                         f"exception escapes {method} into {caller}"),
+                )
+
+    # ------------------------------------------------------------------
+    # Result accessors.
+    # ------------------------------------------------------------------
+
+    def relation_sizes(self) -> Dict[str, int]:
+        """Sizes of the context-sensitive derived relations (Figure 6
+        counts the first three; ``spts``/``texc`` are the extensions)."""
+        return {
+            "pts": len(self.pts),
+            "hpts": len(self.hpts),
+            "call": len(self.call),
+            "hload": len(self.hload),
+            "reach": len(self.reach),
+            "spts": len(self.spts),
+            "texc": len(self.texc),
+        }
+
+
+def _multimap(pairs):
+    mapping: Dict = defaultdict(list)
+    for key, value in pairs:
+        mapping[key].append(value)
+    return mapping

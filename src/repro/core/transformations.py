@@ -1,0 +1,277 @@
+"""Ground-truth semantics of context transformations (paper Section 3).
+
+The paper defines primitive transformations over ``Ctxts = Ctxt* ∪ {err}``:
+
+* ``â`` (*entry*, push): ``â(M) = a·M`` and ``â(err) = err``;
+* ``ǎ`` (*exit*, pop): ``ǎ(a·M) = M`` and ``ǎ(M) = err`` otherwise;
+
+and, for the abstractions of Section 4, lifts them to transformations
+over *sets* of method contexts (``err`` disappears: it contributes the
+empty set) together with a wildcard ``*`` that maps any non-empty set of
+contexts to the set of *all* contexts.
+
+This module implements those semantics directly and naively, to serve as
+the *oracle* against which the efficient symbolic representations
+(:mod:`repro.core.transformer_strings` and
+:mod:`repro.core.context_strings`) are validated by unit and
+property-based tests.  Nothing in the analysis hot path imports it.
+
+Because ``Ctxt*`` is infinite, the set ``*`` produces cannot be
+enumerated.  Sets of contexts are therefore represented as either a
+``frozenset`` of concrete contexts or the symbolic token :data:`ALL`
+standing for all of ``Ctxt*``.  Every primitive transformation is exact
+on this representation:
+
+* ``push(a)(ALL)`` is the set of all contexts beginning with ``a`` —
+  which is *not* ``ALL``, so a push is tracked through ``ALL`` by keeping
+  a pending prefix (see :class:`ContextSet`);
+* ``pop(a)(ALL) = ALL`` (every context is ``a·M`` for some ``M``);
+* ``*`` of anything non-empty is ``ALL``.
+
+Composition uses the paper's postfix convention: ``f ; g = g ∘ f``
+(first apply ``f``, then ``g``), and a word ``a1·…·an`` denotes
+``a1 ; … ; an``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, Iterable, Sequence, Tuple, Union
+
+from repro.core.contexts import ERR, MethodContext, _ErrContext
+
+Context = Union[MethodContext, _ErrContext]
+
+#: A transformation over single contexts (the un-lifted Section 3 view).
+ContextFn = Callable[[Context], Context]
+
+
+# ---------------------------------------------------------------------------
+# Single-context primitives (Section 3).
+# ---------------------------------------------------------------------------
+
+def push(a: str) -> ContextFn:
+    """The primitive entry transformation ``â``: prefix ``a``."""
+
+    def fn(m: Context) -> Context:
+        if m is ERR:
+            return ERR
+        return (a,) + m
+
+    fn.__name__ = f"push[{a}]"
+    return fn
+
+
+def pop(a: str) -> ContextFn:
+    """The primitive exit transformation ``ǎ``: strip a leading ``a``."""
+
+    def fn(m: Context) -> Context:
+        if m is ERR or not m or m[0] != a:
+            return ERR
+        return m[1:]
+
+    fn.__name__ = f"pop[{a}]"
+    return fn
+
+
+def identity() -> ContextFn:
+    """The identity transformation ``ε``."""
+
+    def fn(m: Context) -> Context:
+        return m
+
+    fn.__name__ = "identity"
+    return fn
+
+
+def compose(*fns: ContextFn) -> ContextFn:
+    """Postfix composition: ``compose(f, g)(m) = g(f(m))``."""
+
+    def fn(m: Context) -> Context:
+        for f in fns:
+            m = f(m)
+        return m
+
+    return fn
+
+
+def apply_word_to_context(word: Sequence[ContextFn], m: Context) -> Context:
+    """Apply a word of single-context primitives left-to-right."""
+    for f in word:
+        m = f(m)
+    return m
+
+
+# ---------------------------------------------------------------------------
+# Set semantics with a symbolic ALL (Section 4 lifting).
+# ---------------------------------------------------------------------------
+
+#: Letters of the lifted alphabet ``T_W``: ``("push", a)``, ``("pop", a)``
+#: or ``("*",)``.
+Letter = Tuple[str, ...]
+
+WILDCARD: Letter = ("*",)
+
+
+def push_letter(a: str) -> Letter:
+    """The alphabet letter for ``â``."""
+    return ("push", a)
+
+
+def pop_letter(a: str) -> Letter:
+    """The alphabet letter for ``ǎ``."""
+    return ("pop", a)
+
+
+class ContextSet:
+    """A set of method contexts, possibly infinite.
+
+    The representation is a pair ``(prefixes, concrete)``:
+
+    * ``prefixes`` — a frozenset of context strings ``P`` such that every
+      context with prefix ``P`` belongs to the set (``()`` ∈ prefixes
+      means the set is all of ``Ctxt*``);
+    * ``concrete`` — a frozenset of individual contexts in the set.
+
+    This is closed under all three primitive letters, which is exactly
+    what is needed to evaluate transformer words precisely:
+
+    * ``push a`` prepends ``a`` to every prefix and every concrete context;
+    * ``pop a`` filters/strips by leading ``a`` — and a prefix ``()``
+      (everything) survives a pop unchanged, since every context is
+      ``a·M`` for some ``M``;
+    * ``*`` maps any non-empty set to everything.
+    """
+
+    __slots__ = ("prefixes", "concrete")
+
+    def __init__(
+        self,
+        concrete: Iterable[MethodContext] = (),
+        prefixes: Iterable[MethodContext] = (),
+    ):
+        self.prefixes: FrozenSet[MethodContext] = frozenset(prefixes)
+        self.concrete: FrozenSet[MethodContext] = frozenset(concrete)
+
+    # -- constructors -------------------------------------------------
+
+    @staticmethod
+    def of(*contexts: MethodContext) -> "ContextSet":
+        """The finite set of the given contexts."""
+        return ContextSet(concrete=contexts)
+
+    @staticmethod
+    def everything() -> "ContextSet":
+        """All of ``Ctxt*``."""
+        return ContextSet(prefixes=((),))
+
+    @staticmethod
+    def empty() -> "ContextSet":
+        """The empty set of contexts."""
+        return ContextSet()
+
+    @staticmethod
+    def cone(prefix: MethodContext) -> "ContextSet":
+        """All contexts that have ``prefix`` as a prefix."""
+        return ContextSet(prefixes=(prefix,))
+
+    # -- queries -------------------------------------------------------
+
+    def is_empty(self) -> bool:
+        """True iff the set contains no context."""
+        return not self.prefixes and not self.concrete
+
+    def __contains__(self, ctx: MethodContext) -> bool:
+        if ctx in self.concrete:
+            return True
+        return any(ctx[: len(p)] == p for p in self.prefixes)
+
+    def restrict(self, max_length: int) -> FrozenSet[MethodContext]:
+        """Not meaningful in general; only used for display in tests."""
+        return frozenset(c for c in self.concrete if len(c) <= max_length)
+
+    # -- primitive letters ----------------------------------------------
+
+    def apply_push(self, a: str) -> "ContextSet":
+        """Image under ``â``."""
+        return ContextSet(
+            concrete=((a,) + c for c in self.concrete),
+            prefixes=((a,) + p for p in self.prefixes),
+        )
+
+    def apply_pop(self, a: str) -> "ContextSet":
+        """Image under ``ǎ``."""
+        concrete = set(c[1:] for c in self.concrete if c and c[0] == a)
+        prefixes = set()
+        for p in self.prefixes:
+            if not p:
+                # Everything with prefix () contains a·M for every M.
+                prefixes.add(())
+            elif p[0] == a:
+                prefixes.add(p[1:])
+        return ContextSet(concrete=concrete, prefixes=prefixes)
+
+    def apply_wildcard(self) -> "ContextSet":
+        """Image under ``*``."""
+        if self.is_empty():
+            return ContextSet.empty()
+        return ContextSet.everything()
+
+    def apply_letter(self, letter: Letter) -> "ContextSet":
+        """Image under a single alphabet letter."""
+        if letter[0] == "push":
+            return self.apply_push(letter[1])
+        if letter[0] == "pop":
+            return self.apply_pop(letter[1])
+        if letter == WILDCARD:
+            return self.apply_wildcard()
+        raise ValueError(f"unknown letter {letter!r}")
+
+    # -- normalization & comparison --------------------------------------
+
+    def _normalized(self) -> Tuple[FrozenSet[MethodContext], FrozenSet[MethodContext]]:
+        """Drop concrete contexts and prefixes subsumed by shorter prefixes."""
+        minimal = set()
+        for p in sorted(self.prefixes, key=len):
+            if not any(p[: len(q)] == q for q in minimal):
+                minimal.add(p)
+        concrete = frozenset(
+            c for c in self.concrete
+            if not any(c[: len(q)] == q for q in minimal)
+        )
+        return frozenset(minimal), concrete
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ContextSet):
+            return NotImplemented
+        return self._normalized() == other._normalized()
+
+    def __hash__(self) -> int:
+        return hash(self._normalized())
+
+    def __repr__(self) -> str:
+        prefixes, concrete = self._normalized()
+        parts = [f"{'·'.join(p) or 'ε'}…" for p in sorted(prefixes)]
+        parts += ["·".join(c) or "ε" for c in sorted(concrete)]
+        return "{" + ", ".join(parts) + "}"
+
+
+def apply_word(word: Sequence[Letter], contexts: ContextSet) -> ContextSet:
+    """Apply a word over ``T_W`` left-to-right (postfix composition)."""
+    for letter in word:
+        contexts = contexts.apply_letter(letter)
+    return contexts
+
+
+def words_equal_on(
+    word_a: Sequence[Letter],
+    word_b: Sequence[Letter],
+    inputs: Iterable[ContextSet],
+) -> bool:
+    """True iff the two words agree on every given input set.
+
+    All transformations denoted by words distribute over union except for
+    the non-emptiness test of ``*``; agreement on singleton inputs plus
+    one non-trivial set therefore implies agreement everywhere — tests
+    construct their input collections accordingly.
+    """
+    return all(apply_word(word_a, x) == apply_word(word_b, x) for x in inputs)

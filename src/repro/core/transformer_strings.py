@@ -1,0 +1,353 @@
+"""Transformer strings: the paper's abstraction of context transformations.
+
+A *transformer string* (paper Section 4.2) is a word over the alphabet
+``T_W = {â, ǎ | a ∈ Ctxt} ∪ {*}`` together with the bottom element
+``⊥``.  The rewriting function ``match`` reduces any word to one of three
+canonical shapes (Lemma 4.1):
+
+* ``Ǎ·B̂``      — pops the string ``A`` off the front of a context and
+  then pushes the string ``B`` (an injective partial map);
+* ``Ǎ·*·B̂``    — tests that the input has prefix ``A`` (non-emptiness of
+  the popped set) and maps to *all* contexts with prefix ``B``;
+* ``⊥``         — the empty transformation.
+
+We represent a canonical transformer string as an immutable triple
+``(pops, wildcard, pushes)`` where ``pops`` and ``pushes`` are context
+strings (tuples, top-most element first).  Note the orientation
+convention, which follows the paper's Section 2.3 notation: for a context
+string ``M = m1·…·mn``,
+
+* ``M̌ = m̌1·…·m̌n`` pops ``m1`` first (so it strips the prefix ``M``), and
+* ``M̂ = m̂n·…·m̂1`` pushes ``mn`` first (so it *prefixes* ``M``).
+
+Storing ``pushes`` as the context string that ends up prefixed (rather
+than as the letter sequence) makes ``semantics`` direct: with no
+wildcard, ``(A, B)`` maps a context ``A·C`` to ``B·C``; with a wildcard
+it maps any set containing some ``A·C`` to the cone of all ``B·C'``.
+
+The domain ``CtxtT^t_{i,j}`` of paper Section 4.2 limits ``|pops| ≤ i``
+and ``|pushes| ≤ j``; :func:`trunc` maps an arbitrary canonical string
+into the domain, introducing a wildcard when truncation loses letters
+(Lemma 4.2: truncation only ever *adds* behaviours, never removes them).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Iterable, List, Optional, Tuple
+
+from repro.core.contexts import MethodContext
+from repro.core.transformations import (
+    ContextSet,
+    Letter,
+    WILDCARD,
+    pop_letter,
+    push_letter,
+)
+
+
+class TransformerString:
+    """A canonical transformer string ``Ǎ·w·B̂`` (never ``⊥``).
+
+    Instances are immutable, hashable, and interned per-field as plain
+    tuples.  ``⊥`` is represented *outside* this class by ``None`` in
+    composition results: ``compose`` returns ``None`` when the match
+    fails, mirroring the paper's ``comp`` predicate which derives no fact
+    for ``⊥``.
+    """
+
+    __slots__ = ("pops", "wildcard", "pushes", "_hash")
+
+    def __init__(
+        self,
+        pops: Tuple[str, ...] = (),
+        wildcard: bool = False,
+        pushes: Tuple[str, ...] = (),
+    ):
+        self.pops = tuple(pops)
+        self.wildcard = bool(wildcard)
+        self.pushes = tuple(pushes)
+        self._hash = hash((self.pops, self.wildcard, self.pushes))
+
+    # -- constructors ---------------------------------------------------
+
+    @staticmethod
+    def identity() -> "TransformerString":
+        """The identity transformation ``ε``."""
+        return _IDENTITY
+
+    @staticmethod
+    def entry(context: MethodContext) -> "TransformerString":
+        """``M̂``: prefix the context string ``M``."""
+        return TransformerString(pushes=tuple(context))
+
+    @staticmethod
+    def exit(context: MethodContext) -> "TransformerString":
+        """``M̌``: strip the prefix ``M``."""
+        return TransformerString(pops=tuple(context))
+
+    @staticmethod
+    def guard(context: MethodContext) -> "TransformerString":
+        """``M̌·M̂``: the idempotent that keeps only contexts with prefix ``M``."""
+        return TransformerString(pops=tuple(context), pushes=tuple(context))
+
+    @staticmethod
+    def top() -> "TransformerString":
+        """``*``: any non-empty set of contexts maps to all contexts."""
+        return _TOP
+
+    # -- structure -------------------------------------------------------
+
+    @property
+    def configuration(self) -> str:
+        """The Section 7 configuration tag ``x*w?e*`` of this string.
+
+        ``x`` letters count pops (exits), ``w`` marks a wildcard, and
+        ``e`` letters count pushes (entries).  Example: ``Ǎ·*·b̂`` with
+        ``|A| = 2`` has configuration ``"xxwe"``.
+        """
+        return (
+            "x" * len(self.pops)
+            + ("w" if self.wildcard else "")
+            + "e" * len(self.pushes)
+        )
+
+    def letters(self) -> List[Letter]:
+        """The word over ``T_W`` this canonical string denotes.
+
+        Pops emit ``pops`` in order (``m̌1`` first strips the first
+        element); pushes emit ``pushes`` reversed (``m̂n`` first so that
+        ``pushes[0]`` ends up on top).
+        """
+        word: List[Letter] = [pop_letter(a) for a in self.pops]
+        if self.wildcard:
+            word.append(WILDCARD)
+        word.extend(push_letter(a) for a in reversed(self.pushes))
+        return word
+
+    def semantics(self, contexts: ContextSet) -> ContextSet:
+        """Apply the denoted transformation to a set of contexts (oracle)."""
+        from repro.core.transformations import apply_word
+
+        return apply_word(self.letters(), contexts)
+
+    def is_identity(self) -> bool:
+        """True iff this is ``ε``."""
+        return not self.pops and not self.wildcard and not self.pushes
+
+    # -- equality ----------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, TransformerString):
+            return NotImplemented
+        return (
+            self.pops == other.pops
+            and self.wildcard == other.wildcard
+            and self.pushes == other.pushes
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        parts = [f"{a}ˇ" for a in self.pops]
+        if self.wildcard:
+            parts.append("*")
+        parts.extend(f"{a}ˆ" for a in reversed(self.pushes))
+        return "⟨" + "·".join(parts) + "⟩" if parts else "⟨ε⟩"
+
+
+_IDENTITY = TransformerString()
+_TOP = TransformerString(wildcard=True)
+
+
+@lru_cache(maxsize=None)
+def compose(
+    x: TransformerString, y: TransformerString
+) -> Optional[TransformerString]:
+    """``match(X·Y)``: compose two canonical strings, or ``None`` for ``⊥``.
+
+    The concatenated word is ``X.popš · w1 · X.pusheŝ · Y.popš · w2 ·
+    Y.pusheŝ``; the only non-canonical juxtaposition is ``X``'s pushes
+    against ``Y``'s pops, which cancel pairwise from the top of the stack
+    (``X.pushes[0]`` is the top-most pushed element and ``Y.pops[0]`` is
+    the first element popped).  A disagreement anywhere in the overlap is
+    the paper's ``match(…·â·b̌·…) = ⊥`` case.  Leftover pops extend
+    ``X.pops`` unless ``X`` carries a wildcard (``match(…·*·ǎ·…) =
+    match(…·*·…)``); leftover pushes survive in front of ``Y.pushes``
+    unless ``Y`` carries a wildcard (``match(…·â·*·…) = match(…·*·…)``).
+    """
+    b, c = x.pushes, y.pops
+    overlap = min(len(b), len(c))
+    if b[:overlap] != c[:overlap]:
+        return None
+
+    pops = x.pops
+    wildcard = x.wildcard or y.wildcard
+    if len(c) > len(b):
+        # Y pops more than X pushed: the excess pops reach X's input —
+        # unless X's wildcard absorbs them.
+        if not x.wildcard:
+            pops = x.pops + c[len(b):]
+        pushes = y.pushes
+    else:
+        # X pushed at least as much as Y pops: the surviving pushes sit
+        # beneath Y's own pushes — unless Y's wildcard absorbs them.
+        if y.wildcard:
+            pushes = y.pushes
+        else:
+            pushes = y.pushes + b[overlap:]
+    return TransformerString(pops, wildcard, pushes)
+
+
+@lru_cache(maxsize=None)
+def inverse(t: TransformerString) -> TransformerString:
+    """The semigroup inverse: ``inv(Ǎ·w·B̂) = B̌·w·Â``.
+
+    Satisfies ``t ; inv(t) ; t = t`` and ``inv(t) ; t ; inv(t) = inv(t)``
+    (the inverse-semigroup laws of Section 3).
+    """
+    return TransformerString(t.pushes, t.wildcard, t.pops)
+
+
+@lru_cache(maxsize=None)
+def trunc(t: TransformerString, i: int, j: int) -> TransformerString:
+    """``trunc_{i,j}``: force the string into ``CtxtT^t_{i,j}``.
+
+    If both sides already fit, the string is unchanged; otherwise both
+    sides are cut to their first ``i`` (resp. ``j``) elements and a
+    wildcard is inserted to conservatively stand for the lost suffix
+    (Lemma 4.2).
+    """
+    if len(t.pops) <= i and len(t.pushes) <= j:
+        return t
+    return TransformerString(t.pops[:i], True, t.pushes[:j])
+
+
+def compose_trunc(
+    x: TransformerString, y: TransformerString, i: int, j: int
+) -> Optional[TransformerString]:
+    """The paper's ``comp`` macro: ``trunc_{i,j}(match(X·Y))`` or ``None``."""
+    composed = compose(x, y)
+    if composed is None:
+        return None
+    return trunc(composed, i, j)
+
+
+def in_domain(t: TransformerString, i: int, j: int) -> bool:
+    """True iff ``t ∈ CtxtT^t_{i,j}``."""
+    return len(t.pops) <= i and len(t.pushes) <= j
+
+
+def match_word(letters: Iterable[Letter]) -> Optional[TransformerString]:
+    """Canonicalize an arbitrary word over ``T_W`` (the full ``match``).
+
+    Returns the canonical :class:`TransformerString` or ``None`` for
+    ``⊥``.  This is the reference implementation of the paper's
+    rewriting system, used by tests to confirm that :func:`compose`
+    agrees with letter-by-letter reduction and that all application
+    orders of the rewrite rules converge (confluence).
+    """
+    result: Optional[TransformerString] = TransformerString.identity()
+    for letter in letters:
+        if result is None:
+            return None
+        if letter[0] == "push":
+            step = TransformerString(pushes=(letter[1],))
+        elif letter[0] == "pop":
+            step = TransformerString(pops=(letter[1],))
+        elif letter == WILDCARD:
+            step = TransformerString.top()
+        else:
+            raise ValueError(f"unknown letter {letter!r}")
+        result = compose(result, step)
+    return result
+
+
+def concretize(
+    t: TransformerString,
+    elements: Iterable[str],
+    source_length: int,
+    dest_length: int,
+) -> frozenset:
+    """The context-string pairs a transformer string stands for.
+
+    Enumerates every pair ``(prefix_i(M), prefix_j(M'))`` with
+    ``M' ∈ t({M})`` over the universe of contexts built from
+    ``elements`` — the paper's observation that "the traditional
+    representation of context information is the explicit enumeration of
+    input-output mapping pairs of these transformations", made
+    executable.  ``source_length``/``dest_length`` are the truncation
+    lengths ``i``/``j`` of the context-string domain being compared
+    against.
+
+    Exponential in the universe; intended for tests and exposition
+    (e.g. Figure 5: concretizing ``ε`` at ``i = j = 1`` over
+    ``{m1, m2}`` yields exactly ``{(m1, m1), (m2, m2)}``).
+    """
+    from repro.core.contexts import context_universe
+
+    # Inputs must be long enough that truncation to `source_length` is
+    # surjective onto the pair domain; popping consumes up to len(pops).
+    depth = max(source_length, dest_length) + len(t.pops) + len(t.pushes)
+    pairs = set()
+    for context in context_universe(elements, depth):
+        from repro.core.transformations import ContextSet
+
+        image = t.semantics(ContextSet.of(context))
+        source = context[:source_length]
+        for out in image.concrete:
+            pairs.add((source, out[:dest_length]))
+        for prefix in image.prefixes:
+            # A cone's truncations: every extension of the prefix, cut.
+            if len(prefix) >= dest_length:
+                pairs.add((source, prefix[:dest_length]))
+            else:
+                for extension in context_universe(
+                    elements, dest_length - len(prefix)
+                ):
+                    pairs.add(
+                        (source, (prefix + extension)[:dest_length])
+                    )
+    return frozenset(pairs)
+
+
+def subsumes(general: TransformerString, specific: TransformerString) -> bool:
+    """True iff every behaviour of ``specific`` is implied by ``general``.
+
+    Paper Section 8 calls ``specific`` a *subsumed fact* when both are
+    attached to the same points-to tuple.  Two cases:
+
+    * ``Ǎ·*·B̂`` subsumes ``Ǎ'·w·B̂'`` whenever ``A`` is a prefix of
+      ``A'`` and ``B`` is a prefix of ``B'`` (its cone-shaped image
+      covers anything the more specific string can produce);
+    * a wildcard-free ``Ǎ·B̂`` (a partial bijection ``A·C ↦ B·C``)
+      subsumes exactly its guarded restrictions ``(A·E)ˇ·(B·E)ˆ`` — the
+      paper's Figure 7 example, where ``ε`` subsumes ``Č·Ĉ``.
+    """
+    if general == specific:
+        return True
+    if not general.wildcard:
+        if specific.wildcard:
+            return False
+        la, lb = len(general.pops), len(general.pushes)
+        if (
+            specific.pops[:la] != general.pops
+            or specific.pushes[:lb] != general.pushes
+        ):
+            return False
+        # The remainders must be one and the same extension E.
+        return specific.pops[la:] == specific.pushes[lb:]
+    if len(general.pops) > len(specific.pops):
+        return False
+    if len(general.pushes) > len(specific.pushes):
+        return False
+    return (
+        specific.pops[: len(general.pops)] == general.pops
+        and specific.pushes[: len(general.pushes)] == general.pushes
+    )
+
+
+#: Convenient aliases matching the paper's symbols.
+EPSILON = TransformerString.identity()
+STAR = TransformerString.top()

@@ -1,0 +1,190 @@
+"""Abstract syntax for Datalog programs.
+
+The paper's implementation instantiates its parameterized deduction
+rules into *plain Datalog* evaluated bottom-up (Section 7).  This module
+defines the rule language our engine evaluates:
+
+* terms are :class:`Var` or :class:`Const`;
+* a :class:`Literal` is a possibly negated atom ``pred(t1, …, tn)``;
+* a :class:`Rule` is ``head :- body`` (a fact when the body is empty);
+* a :class:`Program` is a list of rules plus extensional facts.
+
+Builtin predicates (registered Python relations, used for the context
+constructors the context-string instantiation needs) are ordinary
+literals whose predicate name is bound in the engine's builtin table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple, Union
+
+
+@dataclass(frozen=True)
+class Var:
+    """A rule variable.  Conventionally spelled with a leading capital."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Const:
+    """A constant term: any hashable Python value."""
+
+    value: object
+
+    def __repr__(self) -> str:
+        if isinstance(self.value, str):
+            return f'"{self.value}"'
+        return repr(self.value)
+
+
+Term = Union[Var, Const]
+
+
+@dataclass(frozen=True)
+class Literal:
+    """An atom ``pred(args)``, possibly negated."""
+
+    pred: str
+    args: Tuple[Term, ...]
+    negated: bool = False
+
+    def __repr__(self) -> str:
+        bang = "!" if self.negated else ""
+        args = ", ".join(map(repr, self.args))
+        return f"{bang}{self.pred}({args})"
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    def variables(self) -> Set[Var]:
+        return {t for t in self.args if isinstance(t, Var)}
+
+
+def atom(pred: str, *args) -> Literal:
+    """Convenience constructor: strings starting with an uppercase letter
+    or underscore become variables; everything else is a constant."""
+    return Literal(pred, tuple(_term(a) for a in args))
+
+
+def negated(pred: str, *args) -> Literal:
+    """A negated atom (see :func:`atom` for the term convention)."""
+    return Literal(pred, tuple(_term(a) for a in args), negated=True)
+
+
+def _term(value) -> Term:
+    if isinstance(value, (Var, Const)):
+        return value
+    if isinstance(value, str) and value and (value[0].isupper() or value[0] == "_"):
+        return Var(value)
+    return Const(value)
+
+
+@dataclass(frozen=True)
+class Rule:
+    """``head :- body.``  A fact when the body is empty."""
+
+    head: Literal
+    body: Tuple[Literal, ...] = ()
+
+    def __repr__(self) -> str:
+        if not self.body:
+            return f"{self.head!r}."
+        return f"{self.head!r} :- {', '.join(map(repr, self.body))}."
+
+    def is_fact(self) -> bool:
+        return not self.body
+
+    def validate(self) -> None:
+        """Range-restriction (safety) checks.
+
+        Every head variable and every variable of a negated literal must
+        occur in some positive body literal.  Builtins are positive
+        literals here; the engine additionally checks their groundness
+        at evaluation time.
+        """
+        if self.head.negated:
+            raise ValueError(f"negated head in {self!r}")
+        positive_vars: Set[Var] = set()
+        for lit in self.body:
+            if not lit.negated:
+                positive_vars |= lit.variables()
+        unsafe = self.head.variables() - positive_vars
+        if unsafe:
+            raise ValueError(
+                f"unsafe head variables {sorted(v.name for v in unsafe)}"
+                f" in {self!r}"
+            )
+        for lit in self.body:
+            if lit.negated:
+                loose = lit.variables() - positive_vars
+                if loose:
+                    raise ValueError(
+                        f"unsafe variables {sorted(v.name for v in loose)}"
+                        f" in negated literal of {self!r}"
+                    )
+
+
+@dataclass
+class Program:
+    """A Datalog program: rules plus extensional (input) facts."""
+
+    rules: List[Rule] = field(default_factory=list)
+    facts: Dict[str, Set[Tuple]] = field(default_factory=dict)
+
+    def rule(self, head: Literal, *body: Literal) -> Rule:
+        """Append and return ``head :- body.``"""
+        new_rule = Rule(head, tuple(body))
+        new_rule.validate()
+        self.rules.append(new_rule)
+        return new_rule
+
+    def fact(self, pred: str, *values) -> None:
+        """Add one extensional fact."""
+        self.facts.setdefault(pred, set()).add(tuple(values))
+
+    def add_facts(self, pred: str, rows: Iterable[Sequence]) -> None:
+        """Bulk-add extensional facts."""
+        target = self.facts.setdefault(pred, set())
+        target.update(tuple(row) for row in rows)
+
+    def idb_predicates(self) -> FrozenSet[str]:
+        """Predicates defined by at least one rule head."""
+        return frozenset(r.head.pred for r in self.rules)
+
+    def edb_predicates(self) -> FrozenSet[str]:
+        """Predicates that appear only as inputs."""
+        heads = self.idb_predicates()
+        used = {
+            lit.pred for r in self.rules for lit in r.body
+        } | set(self.facts)
+        return frozenset(used - heads)
+
+    def validate(self) -> None:
+        for rule in self.rules:
+            rule.validate()
+        arities: Dict[str, int] = {}
+        for rule in self.rules:
+            for lit in (rule.head, *rule.body):
+                known = arities.setdefault(lit.pred, lit.arity)
+                if known != lit.arity:
+                    raise ValueError(
+                        f"predicate {lit.pred!r} used with arities"
+                        f" {known} and {lit.arity}"
+                    )
+        for pred, rows in self.facts.items():
+            for row in rows:
+                known = arities.setdefault(pred, len(row))
+                if known != len(row):
+                    raise ValueError(
+                        f"fact {pred}{row!r} has arity {len(row)},"
+                        f" expected {known}"
+                    )
+
+    def __len__(self) -> int:
+        return len(self.rules)

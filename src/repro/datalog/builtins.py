@@ -1,0 +1,120 @@
+"""Builtin (functional) predicates for the Datalog engine.
+
+Doop relies on LogicBlox's functional predicates for context
+construction (``record``/``merge`` are "constructors" there); our engine
+mirrors that with *builtins*: Python callables evaluated during rule
+bodies.  A builtin receives the literal's argument tuple with variables
+already substituted where bound (unbound positions arrive as
+:class:`repro.datalog.ast.Var`) and yields completed argument tuples.
+
+The engine evaluates body literals left to right, so a rule must order
+its literals such that a builtin's required inputs are bound by the time
+it is reached; builtins raise :class:`BuiltinBindingError` otherwise.
+
+The standard comparison builtins operate on fully bound arguments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Iterator, Tuple
+
+from repro.datalog.ast import Var
+
+#: A builtin maps a partially bound argument tuple to completed tuples.
+BuiltinFn = Callable[[Tuple], Iterator[Tuple]]
+
+
+class BuiltinBindingError(ValueError):
+    """A builtin was invoked with required arguments unbound."""
+
+
+def _require_bound(args: Tuple, name: str) -> Tuple:
+    if any(isinstance(a, Var) for a in args):
+        raise BuiltinBindingError(
+            f"builtin {name!r} requires all arguments bound, got {args!r}"
+        )
+    return args
+
+
+def _comparison(name: str, op: Callable[[object, object], bool]) -> BuiltinFn:
+    def fn(args: Tuple) -> Iterator[Tuple]:
+        left, right = _require_bound(args, name)
+        if op(left, right):
+            yield args
+
+    return fn
+
+
+def builtin_succ(args: Tuple) -> Iterator[Tuple]:
+    """``succ(X, Y)``: ``Y = X + 1``; either side may be unbound."""
+    left, right = args
+    if not isinstance(left, Var) and isinstance(right, Var):
+        yield (left, left + 1)
+    elif isinstance(left, Var) and not isinstance(right, Var):
+        yield (right - 1, right)
+    elif not isinstance(left, Var):
+        if right == left + 1:
+            yield args
+    else:
+        raise BuiltinBindingError("succ/2 requires at least one bound side")
+
+
+DEFAULT_BUILTINS: Dict[str, BuiltinFn] = {
+    "eq": _comparison("eq", lambda a, b: a == b),
+    "neq": _comparison("neq", lambda a, b: a != b),
+    "lt": _comparison("lt", lambda a, b: a < b),
+    "le": _comparison("le", lambda a, b: a <= b),
+    "gt": _comparison("gt", lambda a, b: a > b),
+    "ge": _comparison("ge", lambda a, b: a >= b),
+    "succ": builtin_succ,
+}
+
+
+def function_builtin(name: str, fn: Callable, out_positions: Tuple[int, ...]) -> BuiltinFn:
+    """Wrap a plain function as a builtin.
+
+    Input positions are every position not in ``out_positions``; they
+    must be bound.  ``fn`` receives the input values in positional order
+    and returns ``None`` for failure, an output *tuple* of arity
+    ``len(out_positions)`` for one result, or a list of such tuples for
+    multiple results.  (Always a tuple, even for a single output — this
+    keeps output values that are themselves tuples, like packed calling
+    contexts, unambiguous.)
+    """
+
+    def builtin(args: Tuple) -> Iterator[Tuple]:
+        inputs = tuple(
+            a for i, a in enumerate(args) if i not in out_positions
+        )
+        if any(isinstance(a, Var) for a in inputs):
+            raise BuiltinBindingError(
+                f"builtin {name!r} requires bound inputs, got {args!r}"
+            )
+        result = fn(*inputs)
+        if result is None:
+            return
+        if isinstance(result, tuple):
+            results: Iterable[Tuple] = [result]
+        elif isinstance(result, list):
+            results = result
+        else:
+            raise TypeError(
+                f"builtin {name!r} must return None, a tuple or a list"
+                f" of tuples, got {type(result).__name__}"
+            )
+        for out in results:
+            if len(out) != len(out_positions):
+                raise TypeError(
+                    f"builtin {name!r} returned {len(out)} outputs,"
+                    f" expected {len(out_positions)}"
+                )
+            completed = list(args)
+            for position, value in zip(out_positions, out):
+                existing = completed[position]
+                if not isinstance(existing, Var) and existing != value:
+                    break  # bound output disagrees: no match
+                completed[position] = value
+            else:
+                yield tuple(completed)
+
+    return builtin

@@ -1,0 +1,433 @@
+"""A compiling back-end: Datalog → specialized Python source.
+
+The paper's engine "compiles Datalog to native code using the LLVM
+Compiler Infrastructure" (Section 8) — evaluation cost per tuple is a
+few machine instructions, not an interpreter dispatch.  This module is
+the Python analogue: every (rule × delta-position) pair is compiled to
+a dedicated Python function of nested loops over precomputed hash
+indices, with variable bindings as locals and constant/repeat checks
+inlined.  A shared driver runs the usual stratified semi-naive
+fixpoint, calling the generated functions.
+
+The speedup over the interpreting :class:`repro.datalog.engine.Engine`
+comes from exactly what the paper's LLVM back-end buys: no per-literal
+unification machinery, no bindings dictionaries, and join indices whose
+key columns are fixed at compile time.  Results are bit-identical
+(cross-checked in ``tests/datalog/test_codegen.py`` and differentially
+against the worklist solver).
+
+Bodies are evaluated in author order, exactly like the interpreter (the
+delta variant only changes the *source* of the delta literal), so the
+binding discipline rule authors rely on for builtins and negation is
+preserved and the two engines are observationally identical.
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from collections import defaultdict
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.datalog.ast import Const, Literal, Program, Rule, Var
+from repro.datalog.builtins import DEFAULT_BUILTINS, BuiltinFn
+from repro.datalog.engine import EngineStats
+from repro.datalog.stratify import stratify
+
+
+def _mangle(name: str) -> str:
+    return re.sub(r"\W", "_", name)
+
+
+class _RuleCompiler:
+    """Emits one Python function for (rule, delta position or None)."""
+
+    def __init__(self, rule: Rule, delta_position: Optional[int],
+                 builtin_names: Set[str], index_plan: Set[Tuple[str, Tuple[int, ...]]],
+                 function_name: str):
+        self.rule = rule
+        self.delta_position = delta_position
+        self.builtin_names = builtin_names
+        self.index_plan = index_plan
+        self.function_name = function_name
+        self.lines: List[str] = []
+        self.indent = 1
+        self.loop_depth = 0
+        self.bound: Dict[Var, str] = {}
+        self.fresh = itertools.count()
+
+    def emit(self, line: str) -> None:
+        self.lines.append("    " * self.indent + line)
+
+    def emit_guard(self, condition: str) -> None:
+        """Skip the current candidate when ``condition`` holds.
+
+        Inside a loop that is ``continue``; before any loop has been
+        opened a failed guard means the whole rule yields nothing."""
+        self.emit(f"if {condition}:")
+        self.indent += 1
+        self.emit("continue" if self.loop_depth else "return")
+        self.indent -= 1
+
+    def open_loop(self, header: str) -> None:
+        self.emit(header)
+        self.indent += 1
+        self.loop_depth += 1
+
+    def local(self, hint: str = "t") -> str:
+        return f"_{hint}{next(self.fresh)}"
+
+    # -- literal ordering -------------------------------------------------
+
+    def _ordered_body(self) -> List[Tuple[int, Literal]]:
+        """Author order, exactly as the interpreting engine evaluates.
+
+        The delta variant only changes the *source* of the delta
+        literal (the round's frontier instead of the full relation);
+        keeping the order preserves the binding discipline rule authors
+        rely on for builtins and negation.
+        """
+        return list(enumerate(self.rule.body))
+
+    # -- code emission ------------------------------------------------------
+
+    def compile(self) -> str:
+        self.lines.append(f"def {self.function_name}(db, idx, delta, out):")
+        for index, literal in self._ordered_body():
+            if index == self.delta_position:
+                self._emit_delta_scan(literal)
+            elif literal.pred in self.builtin_names:
+                self._emit_builtin(literal)
+            elif literal.negated:
+                self._emit_negation(literal)
+            else:
+                self._emit_lookup(literal)
+        self._emit_head()
+        if len(self.lines) == 1:
+            self.emit("pass")
+        return "\n".join(self.lines)
+
+    def _term_expr(self, term) -> Optional[str]:
+        if isinstance(term, Const):
+            return f"_C[{self._const_id(term)}]"
+        return self.bound.get(term)
+
+    _consts: List[object]
+
+    def set_const_pool(self, pool: List[object]) -> None:
+        self._consts = pool
+
+    def _const_id(self, term: Const) -> int:
+        for position, value in enumerate(self._consts):
+            if type(value) is type(term.value) and value == term.value:
+                return position
+        self._consts.append(term.value)
+        return len(self._consts) - 1
+
+    def _destructure(self, literal: Literal, row: str) -> None:
+        # Left-to-right, interleaving binds and equality guards, so a
+        # repeated variable's second occurrence checks against its first
+        # (edge(X, X) selects the diagonal) and constants filter rows.
+        pending_checks: List[str] = []
+        for position, term in enumerate(literal.args):
+            if isinstance(term, Const):
+                pending_checks.append(
+                    f"{row}[{position}] != {self._term_expr(term)}"
+                )
+            elif term in self.bound:
+                pending_checks.append(
+                    f"{row}[{position}] != {self.bound[term]}"
+                )
+            else:
+                if pending_checks:
+                    self.emit_guard(" or ".join(pending_checks))
+                    pending_checks = []
+                name = self.local(_mangle(term.name))
+                self.emit(f"{name} = {row}[{position}]")
+                self.bound[term] = name
+        if pending_checks:
+            self.emit_guard(" or ".join(pending_checks))
+
+    def _emit_delta_scan(self, literal: Literal) -> None:
+        row = self.local("d")
+        self.open_loop(f"for {row} in delta:")
+        self._destructure(literal, row)
+
+    def _emit_lookup(self, literal: Literal) -> None:
+        bound_positions = tuple(
+            position
+            for position, term in enumerate(literal.args)
+            if isinstance(term, Const) or term in self.bound
+        )
+        row = self.local("r")
+        if len(bound_positions) == len(literal.args):
+            # Fully bound: membership test.
+            key = ", ".join(self._term_expr(t) for t in literal.args)
+            trailing = "," if len(literal.args) == 1 else ""
+            self.emit_guard(
+                f"({key}{trailing}) not in db[{self._pred_id(literal.pred)}]"
+            )
+            return
+        self.index_plan.add((literal.pred, bound_positions))
+        if bound_positions:
+            key_terms = [literal.args[p] for p in bound_positions]
+            key = ", ".join(self._term_expr(t) for t in key_terms)
+            trailing = "," if len(key_terms) == 1 else ""
+            source = (
+                f"idx[{self._index_id(literal.pred, bound_positions)}]"
+                f".get(({key}{trailing}), _EMPTY)"
+            )
+        else:
+            source = f"db[{self._pred_id(literal.pred)}]"
+        self.open_loop(f"for {row} in {source}:")
+        self._destructure(literal, row)
+
+    _pred_ids: Dict[str, int]
+    _index_ids: Dict[Tuple[str, Tuple[int, ...]], int]
+
+    def set_tables(self, pred_ids, index_ids) -> None:
+        self._pred_ids = pred_ids
+        self._index_ids = index_ids
+
+    def _pred_id(self, pred: str) -> int:
+        return self._pred_ids.setdefault(pred, len(self._pred_ids))
+
+    def _index_id(self, pred: str, positions: Tuple[int, ...]) -> int:
+        return self._index_ids.setdefault(
+            (pred, positions), len(self._index_ids)
+        )
+
+    def _emit_negation(self, literal: Literal) -> None:
+        if any(self._term_expr(t) is None for t in literal.args):
+            raise ValueError(
+                f"negated literal {literal!r} reached with unbound"
+                f" variables in {self.rule!r}"
+            )
+        key = ", ".join(self._term_expr(t) for t in literal.args)
+        trailing = "," if len(literal.args) == 1 else ""
+        self.emit_guard(
+            f"({key}{trailing}) in db[{self._pred_id(literal.pred)}]"
+        )
+
+    _var_pool: List[Var]
+
+    def set_var_pool(self, pool: List[Var]) -> None:
+        self._var_pool = pool
+
+    def _emit_builtin(self, literal: Literal) -> None:
+        args = []
+        unbound: List[Tuple[int, Var]] = []
+        for position, term in enumerate(literal.args):
+            expr = self._term_expr(term)
+            if expr is None:
+                # Unbound positions receive the Var object itself, as the
+                # interpreting engine does (builtins detect Vars).
+                self._var_pool.append(term)
+                args.append(f"_V[{len(self._var_pool) - 1}]")
+                unbound.append((position, term))
+            else:
+                args.append(expr)
+        row = self.local("b")
+        self.open_loop(
+            f"for {row} in _B[{self._builtin_id(literal.pred)}]"
+            f"(({', '.join(args)}{',' if len(args) == 1 else ''})):"
+        )
+        for position, term in unbound:
+            if term not in self.bound:
+                name = self.local(_mangle(term.name))
+                self.emit(f"{name} = {row}[{position}]")
+                self.bound[term] = name
+
+    _builtin_ids: Dict[str, int]
+
+    def set_builtin_table(self, table: Dict[str, int]) -> None:
+        self._builtin_ids = table
+
+    def _builtin_id(self, pred: str) -> int:
+        return self._builtin_ids.setdefault(pred, len(self._builtin_ids))
+
+    def _emit_head(self) -> None:
+        head = self.rule.head
+        key = ", ".join(self._term_expr(t) for t in head.args)
+        trailing = "," if len(head.args) == 1 else ""
+        self.emit(f"out.append(({key}{trailing}))")
+
+
+class CompiledEngine:
+    """Drop-in counterpart of :class:`repro.datalog.engine.Engine` whose
+    rule bodies are compiled to Python functions."""
+
+    def __init__(self, program: Program,
+                 builtins: Optional[Dict[str, BuiltinFn]] = None):
+        program.validate()
+        self.program = program
+        self.builtins: Dict[str, BuiltinFn] = dict(DEFAULT_BUILTINS)
+        if builtins:
+            self.builtins.update(builtins)
+        overlap = set(self.builtins) & (
+            program.idb_predicates() | set(program.facts)
+        )
+        if overlap:
+            raise ValueError(
+                f"predicates {sorted(overlap)} are both builtins and"
+                " stored relations"
+            )
+        self.stats = EngineStats()
+        self._compile()
+
+    # -- compilation -----------------------------------------------------
+
+    def _compile(self) -> None:
+        builtin_names = set(self.builtins)
+        self._pred_ids: Dict[str, int] = {}
+        self._index_ids: Dict[Tuple[str, Tuple[int, ...]], int] = {}
+        self._builtin_ids: Dict[str, int] = {}
+        self._const_pool: List[object] = []
+        self._var_pool: List[Var] = []
+        index_plan: Set[Tuple[str, Tuple[int, ...]]] = set()
+
+        sources: List[str] = []
+        #: (head pred, delta pred or None, function name) per variant.
+        self.variants: List[Tuple[str, Optional[str], str]] = []
+        rules = [r for r in self.program.rules if not r.is_fact()]
+        for rule_number, rule in enumerate(rules):
+            positions: List[Optional[int]] = [None]
+            positions += [
+                i for i, lit in enumerate(rule.body)
+                if not lit.negated and lit.pred not in builtin_names
+                and lit.pred in self.program.idb_predicates()
+            ]
+            for variant_number, delta_position in enumerate(positions):
+                name = f"_rule{rule_number}_v{variant_number}"
+                compiler = _RuleCompiler(
+                    rule, delta_position, builtin_names, index_plan, name
+                )
+                compiler.set_tables(self._pred_ids, self._index_ids)
+                compiler.set_builtin_table(self._builtin_ids)
+                compiler.set_const_pool(self._const_pool)
+                compiler.set_var_pool(self._var_pool)
+                sources.append(compiler.compile())
+                delta_pred = (
+                    None if delta_position is None
+                    else rule.body[delta_position].pred
+                )
+                self.variants.append((rule.head.pred, delta_pred, name))
+
+        # Make sure every predicate mentioned anywhere has a table id.
+        for rule in self.program.rules:
+            for literal in (rule.head, *rule.body):
+                if literal.pred not in builtin_names:
+                    self._pred_ids.setdefault(
+                        literal.pred, len(self._pred_ids)
+                    )
+        for pred in self.program.facts:
+            self._pred_ids.setdefault(pred, len(self._pred_ids))
+
+        self.source = "\n\n".join(sources)
+        builtin_table: List[Optional[BuiltinFn]] = [None] * len(self._builtin_ids)
+        for name, table_id in self._builtin_ids.items():
+            builtin_table[table_id] = self.builtins[name]
+        namespace = {
+            "_B": builtin_table,
+            "_C": self._const_pool,
+            "_V": self._var_pool,
+            "_EMPTY": (),
+        }
+        exec(compile(self.source, "<datalog-codegen>", "exec"), namespace)
+        self._functions = {
+            name: namespace[name] for (_, _, name) in self.variants
+        }
+        self._index_plan = sorted(self._index_ids)
+
+    # -- storage -----------------------------------------------------------
+
+    def _init_storage(self) -> None:
+        n_preds = len(self._pred_ids)
+        self._db: List[Set[Tuple]] = [set() for _ in range(n_preds)]
+        self._idx: List[Dict] = [defaultdict(list) for _ in self._index_ids]
+        self._indices_of: Dict[str, List[Tuple[Tuple[int, ...], Dict]]] = (
+            defaultdict(list)
+        )
+        for (pred, positions), index_id in self._index_ids.items():
+            self._indices_of[pred].append((positions, self._idx[index_id]))
+
+    def _insert(self, pred: str, row: Tuple) -> bool:
+        table = self._db[self._pred_ids[pred]]
+        if row in table:
+            return False
+        table.add(row)
+        for (positions, index) in self._indices_of.get(pred, ()):
+            index[tuple(row[p] for p in positions)].append(row)
+        return True
+
+    # -- evaluation -----------------------------------------------------------
+
+    def run(self) -> Dict[str, Set[Tuple]]:
+        import time
+
+        start = time.perf_counter()
+        self._init_storage()
+        for pred, rows in self.program.facts.items():
+            for row in rows:
+                self._insert(pred, row)
+        for rule in self.program.rules:
+            if rule.is_fact():
+                self._insert(
+                    rule.head.pred,
+                    tuple(t.value for t in rule.head.args),
+                )
+
+        strata = stratify(self.program, set(self.builtins))
+        for stratum in strata:
+            self._evaluate_stratum(stratum)
+        self.stats.seconds = time.perf_counter() - start
+        # Mirror the interpreting engine's view: fact relations plus
+        # every rule-head relation (body-only EDB names stay hidden).
+        visible = set(self.program.facts) | {
+            rule.head.pred for rule in self.program.rules
+        }
+        return {
+            pred: set(self._db[self._pred_ids[pred]]) for pred in visible
+        }
+
+    def _evaluate_stratum(self, stratum: Set[str]) -> None:
+        full_variants = []
+        by_delta: Dict[str, List[Tuple[str, object]]] = defaultdict(list)
+        for (head, delta_pred, name) in self.variants:
+            if head not in stratum:
+                continue
+            if delta_pred is None:
+                full_variants.append((head, self._functions[name]))
+            else:
+                by_delta[delta_pred].append((head, self._functions[name]))
+
+        # Round zero: full evaluation.
+        delta: Dict[str, List[Tuple]] = defaultdict(list)
+        for (head, fn) in full_variants:
+            out: List[Tuple] = []
+            fn(self._db, self._idx, (), out)
+            self.stats.rule_evaluations += 1
+            for row in out:
+                if self._insert(head, row):
+                    delta[head].append(row)
+                    self.stats.facts_derived += 1
+        # Semi-naive rounds: only variants whose delta predicate moved.
+        while delta:
+            self.stats.rounds += 1
+            new_delta: Dict[str, List[Tuple]] = defaultdict(list)
+            for delta_pred, rows in delta.items():
+                for (head, fn) in by_delta.get(delta_pred, ()):
+                    out = []
+                    fn(self._db, self._idx, rows, out)
+                    self.stats.rule_evaluations += 1
+                    for row in out:
+                        if self._insert(head, row):
+                            new_delta[head].append(row)
+                            self.stats.facts_derived += 1
+            delta = new_delta
+
+    def query(self, pred: str) -> Set[Tuple]:
+        pid = self._pred_ids.get(pred)
+        if pid is None or not hasattr(self, "_db"):
+            return set()
+        return set(self._db[pid])

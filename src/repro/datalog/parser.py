@@ -1,0 +1,193 @@
+"""Text syntax for Datalog programs.
+
+Accepts the conventional notation::
+
+    % transitive closure
+    path(X, Y) :- edge(X, Y).
+    path(X, Z) :- edge(X, Y), path(Y, Z).
+    edge("a", "b").
+    source(X) :- node(X), !incoming(X).
+
+Conventions:
+
+* identifiers starting with an uppercase letter or ``_`` are variables
+  (a bare ``_`` is an anonymous variable, fresh at each occurrence);
+* double-quoted strings and integers are constants, as are identifiers
+  starting with a lowercase letter;
+* ``!`` prefixes a negated literal;
+* ``%`` and ``//`` start line comments.
+
+The emitted Datalog of :mod:`repro.compile` round-trips through this
+parser (tested), mirroring the paper's front-end whose "output … is a
+plain Datalog program".
+"""
+
+from __future__ import annotations
+
+import itertools
+import re
+from typing import Iterator, List, Tuple
+
+from repro.datalog.ast import Const, Literal, Program, Rule, Term, Var
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<comment>%[^\n]*|//[^\n]*)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<number>-?\d+)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_']*)
+  | (?P<implies>:-)
+  | (?P<punct>[(),.!])
+    """,
+    re.VERBOSE,
+)
+
+
+class DatalogSyntaxError(SyntaxError):
+    """Raised on malformed Datalog text."""
+
+
+def _tokens(text: str) -> Iterator[Tuple[str, str]]:
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            line = text.count("\n", 0, position) + 1
+            raise DatalogSyntaxError(
+                f"unexpected character {text[position]!r} at line {line}"
+            )
+        position = match.end()
+        kind = match.lastgroup
+        if kind in ("ws", "comment"):
+            continue
+        yield kind, match.group()
+    yield "eof", ""
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.tokens: List[Tuple[str, str]] = list(_tokens(text))
+        self.position = 0
+        self._anon = itertools.count()
+
+    def peek(self) -> Tuple[str, str]:
+        return self.tokens[self.position]
+
+    def next(self) -> Tuple[str, str]:
+        token = self.tokens[self.position]
+        if token[0] != "eof":
+            self.position += 1
+        return token
+
+    def expect(self, kind: str, text: str = None) -> Tuple[str, str]:
+        token = self.next()
+        if token[0] != kind or (text is not None and token[1] != text):
+            raise DatalogSyntaxError(
+                f"expected {text or kind}, got {token[1]!r}"
+            )
+        return token
+
+    def parse(self) -> Program:
+        program = Program()
+        while self.peek()[0] != "eof":
+            head = self.parse_literal()
+            if head.negated:
+                raise DatalogSyntaxError(f"negated head {head!r}")
+            body: List[Literal] = []
+            kind, text = self.next()
+            if (kind, text) == ("implies", ":-"):
+                while True:
+                    body.append(self.parse_literal())
+                    kind, text = self.next()
+                    if (kind, text) == ("punct", "."):
+                        break
+                    if (kind, text) != ("punct", ","):
+                        raise DatalogSyntaxError(
+                            f"expected ',' or '.', got {text!r}"
+                        )
+            elif (kind, text) != ("punct", "."):
+                raise DatalogSyntaxError(f"expected ':-' or '.', got {text!r}")
+            rule = Rule(head, tuple(body))
+            rule.validate()
+            program.rules.append(rule)
+        return program
+
+    def parse_literal(self) -> Literal:
+        negated = False
+        if self.peek() == ("punct", "!"):
+            self.next()
+            negated = True
+        kind, name = self.next()
+        if kind != "ident":
+            raise DatalogSyntaxError(f"expected predicate name, got {name!r}")
+        args: List[Term] = []
+        if self.peek() == ("punct", "("):
+            self.next()
+            if self.peek() != ("punct", ")"):
+                while True:
+                    args.append(self.parse_term())
+                    kind, text = self.next()
+                    if (kind, text) == ("punct", ")"):
+                        break
+                    if (kind, text) != ("punct", ","):
+                        raise DatalogSyntaxError(
+                            f"expected ',' or ')', got {text!r}"
+                        )
+            else:
+                self.next()
+        return Literal(name, tuple(args), negated=negated)
+
+    def parse_term(self) -> Term:
+        kind, text = self.next()
+        if kind == "string":
+            return Const(text[1:-1].replace('\\"', '"').replace("\\\\", "\\"))
+        if kind == "number":
+            return Const(int(text))
+        if kind == "ident":
+            if text == "_":
+                return Var(f"_anon{next(self._anon)}")
+            if text[0].isupper() or text[0] == "_":
+                return Var(text)
+            return Const(text)
+        raise DatalogSyntaxError(f"expected a term, got {text!r}")
+
+
+def parse_datalog(text: str) -> Program:
+    """Parse Datalog source text into a :class:`Program`."""
+    return _Parser(text).parse()
+
+
+def format_term(term: Term) -> str:
+    """Render a term back to source syntax."""
+    if isinstance(term, Var):
+        return term.name
+    value = term.value
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, str) and re.fullmatch(r"[a-z][A-Za-z0-9_']*", value):
+        return value
+    escaped = str(value).replace("\\", "\\\\").replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def format_literal(literal: Literal) -> str:
+    """Render a literal back to source syntax."""
+    bang = "!" if literal.negated else ""
+    if not literal.args:
+        return f"{bang}{literal.pred}()"
+    args = ", ".join(format_term(t) for t in literal.args)
+    return f"{bang}{literal.pred}({args})"
+
+
+def format_rule(rule: Rule) -> str:
+    """Render a rule back to source syntax."""
+    if rule.is_fact():
+        return f"{format_literal(rule.head)}."
+    body = ", ".join(format_literal(lit) for lit in rule.body)
+    return f"{format_literal(rule.head)} :- {body}."
+
+
+def format_program(program: Program) -> str:
+    """Render a whole program (rules only; facts are data, not text)."""
+    return "\n".join(format_rule(rule) for rule in program.rules) + "\n"

@@ -1,0 +1,172 @@
+"""Doop-style tab-separated ``.facts`` directory reader/writer.
+
+The paper's evaluation consumes relations produced by Doop's Soot-based
+fact generator.  This module serializes a :class:`FactSet` to — and
+reconstructs one from — a directory of TSV files in Doop's on-disk
+convention (one relation per file, one tuple per line, tab-separated,
+UTF-8).  The file names follow Doop's vocabulary where a direct
+counterpart exists:
+
+======================================  ==========================
+file                                     FactSet relation
+======================================  ==========================
+``ActualParam.facts``                    ``actual``        (O, I, Z)
+``AssignLocal.facts``                    ``assign``        (Z, Y)
+``AssignHeapAllocation.facts``           ``assign_new``    (H, Y, P)
+``AssignReturnValue.facts``              ``assign_return`` (I, Y)
+``FormalParam.facts``                    ``formal``        (O, P, Y)
+``HeapAllocation-Type.facts``            ``heap_type``     (H, T)
+``MethodImplements.facts``               ``implements``    (Q, T, S)
+``LoadInstanceField.facts``              ``load``          (Y, F, Z)
+``ReturnVar.facts``                      ``return_var``    (Z, P)
+``StaticMethodInvocation.facts``         ``static_invoke`` (I, Q, P)
+``StoreInstanceField.facts``             ``store``         (X, F, Z)
+``ThisVar.facts``                        ``this_var``      (Y, Q)
+``VirtualMethodInvocation.facts``        ``virtual_invoke``(I, Z, S)
+``HeapAllocation-Class.facts``           ``class_of``      (H, C)
+``InvocationParent.facts``               ``invocation_parent`` (I, P)
+``MainMethod.facts``                     ``main_method``   (P)
+======================================  ==========================
+
+Note the Doop argument orders for ``ActualParam`` and ``FormalParam``
+(index first), which this module follows on disk while the in-memory
+:class:`FactSet` keeps the paper's literal order.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.frontend.factgen import FactSet
+
+_SIMPLE_FILES = (
+    ("AssignLocal.facts", "assign"),
+    ("AssignHeapAllocation.facts", "assign_new"),
+    ("AssignReturnValue.facts", "assign_return"),
+    ("HeapAllocation-Type.facts", "heap_type"),
+    ("MethodImplements.facts", "implements"),
+    ("LoadInstanceField.facts", "load"),
+    ("ReturnVar.facts", "return_var"),
+    ("StaticMethodInvocation.facts", "static_invoke"),
+    ("StoreInstanceField.facts", "store"),
+    ("ThisVar.facts", "this_var"),
+    ("VirtualMethodInvocation.facts", "virtual_invoke"),
+    ("StoreStaticField.facts", "static_store"),
+    ("LoadStaticField.facts", "static_load"),
+    ("ThrowVar.facts", "throw_var"),
+    ("CatchVar.facts", "catch_var"),
+)
+
+
+class DoopFactsError(ValueError):
+    """Raised on malformed facts directories."""
+
+
+def _write_rows(path: str, rows: Iterable[Sequence[str]]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        for row in sorted(tuple(map(str, r)) for r in rows):
+            for item in row:
+                if "\t" in item or "\n" in item:
+                    raise DoopFactsError(
+                        f"value {item!r} contains a tab/newline and cannot be"
+                        f" serialized to {os.path.basename(path)}"
+                    )
+            handle.write("\t".join(row) + "\n")
+
+
+def _read_rows(path: str, arity: int) -> List[Tuple[str, ...]]:
+    if not os.path.exists(path):
+        return []
+    rows = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, start=1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            row = tuple(line.split("\t"))
+            if len(row) != arity:
+                raise DoopFactsError(
+                    f"{os.path.basename(path)}:{lineno}: expected {arity}"
+                    f" columns, got {len(row)}"
+                )
+            rows.append(row)
+    return rows
+
+
+def write_facts(facts: FactSet, directory: str) -> None:
+    """Serialize ``facts`` into ``directory`` (created if necessary)."""
+    os.makedirs(directory, exist_ok=True)
+    for filename, attr in _SIMPLE_FILES:
+        _write_rows(os.path.join(directory, filename), getattr(facts, attr))
+    _write_rows(
+        os.path.join(directory, "ActualParam.facts"),
+        [(str(o), i, z) for (z, i, o) in facts.actual],
+    )
+    _write_rows(
+        os.path.join(directory, "FormalParam.facts"),
+        [(str(o), p, y) for (y, p, o) in facts.formal],
+    )
+    _write_rows(
+        os.path.join(directory, "HeapAllocation-Class.facts"),
+        facts.class_of.items(),
+    )
+    _write_rows(
+        os.path.join(directory, "InvocationParent.facts"),
+        facts.invocation_parent.items(),
+    )
+    _write_rows(
+        os.path.join(directory, "MainMethod.facts"),
+        [(facts.main_method,)] if facts.main_method else [],
+    )
+
+
+def read_facts(directory: str) -> FactSet:
+    """Reconstruct a :class:`FactSet` from a facts directory."""
+    if not os.path.isdir(directory):
+        raise DoopFactsError(f"{directory!r} is not a directory")
+    facts = FactSet()
+    arities = {
+        "assign": 2, "assign_new": 3, "assign_return": 2, "heap_type": 2,
+        "implements": 3, "load": 3, "return_var": 2, "static_invoke": 3,
+        "store": 3, "this_var": 2, "virtual_invoke": 3,
+        "static_store": 2, "static_load": 3, "throw_var": 2, "catch_var": 2,
+    }
+    for filename, attr in _SIMPLE_FILES:
+        rows = _read_rows(os.path.join(directory, filename), arities[attr])
+        getattr(facts, attr).update(rows)
+    for (o, i, z) in _read_rows(os.path.join(directory, "ActualParam.facts"), 3):
+        facts.actual.add((z, i, _int(o, "ActualParam")))
+    for (o, p, y) in _read_rows(os.path.join(directory, "FormalParam.facts"), 3):
+        facts.formal.add((y, p, _int(o, "FormalParam")))
+    for (h, c) in _read_rows(
+        os.path.join(directory, "HeapAllocation-Class.facts"), 2
+    ):
+        facts.class_of[h] = c
+    for (i, p) in _read_rows(os.path.join(directory, "InvocationParent.facts"), 2):
+        facts.invocation_parent[i] = p
+    mains = _read_rows(os.path.join(directory, "MainMethod.facts"), 1)
+    if len(mains) > 1:
+        raise DoopFactsError("MainMethod.facts lists more than one entry point")
+    facts.main_method = mains[0][0] if mains else None
+    return facts
+
+
+def _int(text: str, where: str) -> int:
+    try:
+        return int(text)
+    except ValueError:
+        raise DoopFactsError(f"{where}: parameter index {text!r} is not an integer")
+
+
+def facts_equal(a: FactSet, b: FactSet) -> bool:
+    """Structural equality over every relation and auxiliary map."""
+    return (
+        all(
+            getattr(a, name) == getattr(b, name)
+            for name in a.relation_names()
+        )
+        and a.class_of == b.class_of
+        and a.invocation_parent == b.invocation_parent
+        and a.main_method == b.main_method
+    )

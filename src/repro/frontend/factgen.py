@@ -1,0 +1,225 @@
+"""Fact generation: IR programs → the input relations of paper Figure 3.
+
+This plays the role of Doop's Soot-based fact generator.  The produced
+:class:`FactSet` carries exactly the input predicates the deduction
+rules consume:
+
+=====================  =======================================================
+relation                meaning (paper Figure 3)
+=====================  =======================================================
+``actual(Z, I, O)``     ``Z`` is the ``O``-th actual of invocation ``I``
+``assign(Z, Y)``        statement ``Y = Z`` (value flows ``Z → Y``)
+``assign_new(H, Y, P)`` ``Y = new …`` at site ``H`` inside method ``P``
+``assign_return(I, Y)`` the return value of invocation ``I`` is stored in ``Y``
+``formal(Y, P, O)``     ``Y`` is the ``O``-th formal of method ``P``
+``heap_type(H, T)``     objects allocated at ``H`` have type ``T``
+``implements(Q, T, S)`` invoking signature ``S`` on a ``T`` dispatches to ``Q``
+``load(Y, F, Z)``       statement ``Z = Y.F``
+``return_var(Z, P)``    ``Z`` is a return value of method ``P``
+``static_invoke(I,Q,P)`` invocation ``I`` in method ``P`` calls static ``Q``
+``store(X, F, Z)``      statement ``Z.F = X``
+``this_var(Y, Q)``      ``Y`` is the receiver variable of method ``Q``
+``virtual_invoke(I,Z,S)`` invocation ``I`` with receiver ``Z`` and signature ``S``
+``static_store(X, F)``  statement ``Cls.F = X`` (static field)
+``static_load(F, Y, P)`` statement ``Y = Cls.F`` inside method ``P``
+``throw_var(X, P)``     statement ``throw X`` inside method ``P``
+``catch_var(Y, P)``     ``Y`` is bound by a ``catch`` clause of method ``P``
+=====================  =======================================================
+
+Static fields and exceptions are the extensions the paper notes are
+"present in the evaluated implementation" though elided from its
+presentation; the matching deduction rules live in
+:mod:`repro.core.solver` (SSTORE/SLOAD and THROW/EPROP/ECATCH).  Static
+field signatures are qualified by the *declaring* class (``Base.f``
+even when accessed as ``Sub.f``), resolved through the hierarchy here.
+
+plus three auxiliary maps that are properties of the program rather than
+relations joined by the rules: ``class_of`` (allocation site → the class
+implementing the containing method; used by type sensitivity),
+``invocation_parent`` (call site → containing method; used by the CFL
+module) and ``main_method``.
+
+Field signatures are the bare field names: the analysis is field-
+sensitive but untyped, so two unrelated classes sharing a field name are
+conservatively merged — the same choice a signature-keyed analysis makes
+when the frontend cannot resolve static types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set, Tuple
+
+from repro.frontend import ir
+
+
+@dataclass
+class FactSet:
+    """The input relations of the parameterized deduction rules."""
+
+    actual: Set[Tuple[str, str, int]] = field(default_factory=set)
+    assign: Set[Tuple[str, str]] = field(default_factory=set)
+    assign_new: Set[Tuple[str, str, str]] = field(default_factory=set)
+    assign_return: Set[Tuple[str, str]] = field(default_factory=set)
+    formal: Set[Tuple[str, str, int]] = field(default_factory=set)
+    heap_type: Set[Tuple[str, str]] = field(default_factory=set)
+    implements: Set[Tuple[str, str, str]] = field(default_factory=set)
+    load: Set[Tuple[str, str, str]] = field(default_factory=set)
+    return_var: Set[Tuple[str, str]] = field(default_factory=set)
+    static_invoke: Set[Tuple[str, str, str]] = field(default_factory=set)
+    store: Set[Tuple[str, str, str]] = field(default_factory=set)
+    this_var: Set[Tuple[str, str]] = field(default_factory=set)
+    virtual_invoke: Set[Tuple[str, str, str]] = field(default_factory=set)
+    static_store: Set[Tuple[str, str]] = field(default_factory=set)
+    static_load: Set[Tuple[str, str, str]] = field(default_factory=set)
+    throw_var: Set[Tuple[str, str]] = field(default_factory=set)
+    catch_var: Set[Tuple[str, str]] = field(default_factory=set)
+
+    class_of: Dict[str, str] = field(default_factory=dict)
+    invocation_parent: Dict[str, str] = field(default_factory=dict)
+    main_method: Optional[str] = None
+
+    def class_of_heap(self, heap: str) -> str:
+        """``classOf(H)`` for type sensitivity (paper Section 5)."""
+        return self.class_of[heap]
+
+    def relation_names(self) -> Tuple[str, ...]:
+        """The names of the thirteen input relations, in schema order."""
+        return (
+            "actual", "assign", "assign_new", "assign_return", "formal",
+            "heap_type", "implements", "load", "return_var",
+            "static_invoke", "store", "this_var", "virtual_invoke",
+            "static_store", "static_load", "throw_var", "catch_var",
+        )
+
+    def counts(self) -> Dict[str, int]:
+        """Sizes of all input relations (for reports and tests)."""
+        return {name: len(getattr(self, name)) for name in self.relation_names()}
+
+
+class FactGenError(ValueError):
+    """Raised on programs the rules cannot model (e.g. duplicate labels)."""
+
+
+def generate_facts(program: ir.Program) -> FactSet:
+    """Produce the input relations for ``program``.
+
+    Raises :class:`FactGenError` on duplicate site labels, calls to
+    unresolvable static methods, or a missing entry point.
+    """
+    program.validate()
+    facts = FactSet()
+    seen_sites: Dict[str, str] = {}
+
+    def claim_site(label: str, where: str) -> None:
+        if label in seen_sites:
+            raise FactGenError(
+                f"site label {label!r} used in both {seen_sites[label]} and {where}"
+            )
+        seen_sites[label] = where
+
+    for cls in program.classes.values():
+        for method in cls.methods.values():
+            _method_facts(program, facts, cls, method, claim_site)
+
+    _hierarchy_facts(program, facts)
+
+    if program.main_class is not None:
+        facts.main_method = program.main_method.qualified_name
+    else:
+        raise FactGenError("program has no static main(String[]) entry point")
+    return facts
+
+
+def _method_facts(program, facts, cls, method, claim_site) -> None:
+    name = method.qualified_name
+    for index, param in enumerate(method.params):
+        facts.formal.add((param, name, index))
+    if not method.is_static:
+        facts.this_var.add((method.this_var, name))
+    for catch in method.catch_vars():
+        facts.catch_var.add((catch, name))
+
+    def static_field_signature(cls_name: str, field_name: str) -> str:
+        declaring = program.resolve_static_field(cls_name, field_name)
+        if declaring is None:
+            raise FactGenError(
+                f"no static field {field_name!r} in class {cls_name!r}"
+                f" (used in {name})"
+            )
+        return f"{declaring}.{field_name}"
+
+    for stmt in method.body:
+        if isinstance(stmt, ir.Assign):
+            facts.assign.add((stmt.src, stmt.dst))
+        elif isinstance(stmt, ir.New):
+            claim_site(stmt.label, name)
+            facts.assign_new.add((stmt.label, stmt.dst, name))
+            facts.heap_type.add((stmt.label, stmt.type))
+            facts.class_of[stmt.label] = cls.name
+        elif isinstance(stmt, ir.Load):
+            facts.load.add((stmt.base, stmt.field, stmt.dst))
+        elif isinstance(stmt, ir.Store):
+            facts.store.add((stmt.src, stmt.field, stmt.base))
+        elif isinstance(stmt, ir.Return):
+            facts.return_var.add((stmt.src, name))
+        elif isinstance(stmt, ir.StaticStore):
+            facts.static_store.add(
+                (stmt.src, static_field_signature(stmt.cls, stmt.field))
+            )
+        elif isinstance(stmt, ir.StaticLoad):
+            facts.static_load.add(
+                (static_field_signature(stmt.cls, stmt.field), stmt.dst, name)
+            )
+        elif isinstance(stmt, ir.Throw):
+            facts.throw_var.add((stmt.src, name))
+        elif isinstance(stmt, ir.VirtualCall):
+            claim_site(stmt.label, name)
+            signature = f"{stmt.name}/{len(stmt.args)}"
+            facts.virtual_invoke.add((stmt.label, stmt.base, signature))
+            facts.invocation_parent[stmt.label] = name
+            for index, arg in enumerate(stmt.args):
+                facts.actual.add((arg, stmt.label, index))
+            if stmt.dst is not None:
+                facts.assign_return.add((stmt.label, stmt.dst))
+        elif isinstance(stmt, ir.StaticCall):
+            claim_site(stmt.label, name)
+            signature = f"{stmt.name}/{len(stmt.args)}"
+            callee = program.resolve_method(stmt.cls, signature)
+            if callee is None or not callee.is_static:
+                raise FactGenError(
+                    f"cannot resolve static call {stmt.cls}.{stmt.name}"
+                    f"/{len(stmt.args)} in {name}"
+                )
+            facts.static_invoke.add((stmt.label, callee.qualified_name, name))
+            facts.invocation_parent[stmt.label] = name
+            for index, arg in enumerate(stmt.args):
+                facts.actual.add((arg, stmt.label, index))
+            if stmt.dst is not None:
+                facts.assign_return.add((stmt.label, stmt.dst))
+        else:
+            raise FactGenError(f"unknown statement {stmt!r} in {name}")
+
+
+def _hierarchy_facts(program, facts) -> None:
+    """``implements(Q, T, S)``: dynamic-dispatch resolution per type."""
+    signatures = {
+        m.signature
+        for cls in program.classes.values()
+        for m in cls.methods.values()
+        if not m.is_static
+    }
+    for cls_name in program.classes:
+        for signature in signatures:
+            target = program.resolve_method(cls_name, signature)
+            if target is not None and not target.is_static:
+                facts.implements.add(
+                    (target.qualified_name, cls_name, signature)
+                )
+
+
+def facts_from_source(source: str) -> FactSet:
+    """Convenience: parse Java-subset source text and generate facts."""
+    from repro.frontend.parser import parse_program
+
+    return generate_facts(parse_program(source))

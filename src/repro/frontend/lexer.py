@@ -1,0 +1,127 @@
+"""Lexer for the analyzed Java subset.
+
+Produces a stream of :class:`Token` objects.  Two departures from a
+conventional lexer serve the reproduction:
+
+* trailing ``// label`` comments are *kept* (kind ``COMMENT``) because
+  the paper's figures use them to name allocation and call sites
+  (``x = new T(); // h1``), and the parser attaches them to the
+  preceding statement as a site label;
+* the ellipsis ``...`` is a token so that paper snippets like
+  ``if(...)`` lex cleanly (conditions are ignored by the
+  flow-insensitive analysis anyway).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+KEYWORDS = frozenset(
+    {
+        "class", "extends", "static", "public", "private", "protected",
+        "final", "abstract", "void", "new", "return", "if", "else",
+        "while", "this", "null", "true", "false", "throw", "try",
+        "catch", "finally",
+    }
+)
+
+PUNCTUATION = (
+    "...", "==", "!=", "&&", "||", "<=", ">=",
+    "{", "}", "(", ")", "[", "]", ";", ",", ".", "=", "!", "<", ">",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token: ``kind`` is ``ID``, ``KEYWORD``, ``PUNCT``,
+    ``COMMENT``, ``NUMBER``, ``STRING`` or ``EOF``."""
+
+    kind: str
+    text: str
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"{self.kind}({self.text!r})@{self.line}:{self.column}"
+
+
+class LexError(SyntaxError):
+    """Raised on an unrecognized character."""
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source``, keeping line comments, dropping block comments."""
+    return list(_tokens(source))
+
+
+def _tokens(source: str) -> Iterator[Token]:
+    i = 0
+    line = 1
+    col = 1
+    n = len(source)
+
+    def advance(text: str) -> None:
+        nonlocal i, line, col
+        for ch in text:
+            i += 1
+            if ch == "\n":
+                line += 1
+                col = 1
+            else:
+                col += 1
+
+    while i < n:
+        ch = source[i]
+        if ch in " \t\r\n":
+            advance(ch)
+            continue
+        if source.startswith("//", i):
+            end = source.find("\n", i)
+            if end == -1:
+                end = n
+            text = source[i + 2 : end].strip()
+            yield Token("COMMENT", text, line, col)
+            advance(source[i:end])
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end == -1:
+                raise LexError(f"unterminated block comment at line {line}")
+            advance(source[i : end + 2])
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = "KEYWORD" if text in KEYWORDS else "ID"
+            yield Token(kind, text, line, col)
+            advance(text)
+            continue
+        if ch.isdigit():
+            j = i
+            while j < n and (source[j].isdigit() or source[j] == "."):
+                j += 1
+            text = source[i:j]
+            yield Token("NUMBER", text, line, col)
+            advance(text)
+            continue
+        if ch == '"':
+            j = i + 1
+            while j < n and source[j] != '"':
+                j += 2 if source[j] == "\\" else 1
+            if j >= n:
+                raise LexError(f"unterminated string literal at line {line}")
+            text = source[i : j + 1]
+            yield Token("STRING", text, line, col)
+            advance(text)
+            continue
+        for punct in PUNCTUATION:
+            if source.startswith(punct, i):
+                yield Token("PUNCT", punct, line, col)
+                advance(punct)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r} at line {line}:{col}")
+    yield Token("EOF", "", line, col)

@@ -1,0 +1,577 @@
+"""Parser for the analyzed Java subset.
+
+Builds :class:`repro.frontend.ir.Program` values from source text.  The
+subset covers exactly the constructs the paper's deduction rules model
+(Figure 2's statement table plus classes, inheritance and both flavours
+of invocation), which suffices to transcribe every figure of the paper
+verbatim and to express the synthetic DaCapo-analogue workloads.
+
+Supported grammar (informally)::
+
+    program   := class*
+    class     := mods "class" ID ("extends" ID)? "{" member* "}"
+    member    := mods type ID ";"                      field
+               | mods type ID "(" params ")" block     method
+    stmt      := type ID ("=" expr)? ";"               local declaration
+               | lvalue "=" expr ";"
+               | call-expr ";"
+               | "return" expr? ";"
+               | "if" "(" … ")" stmt ("else" stmt)?    condition ignored
+               | "while" "(" … ")" stmt                condition ignored
+               | block
+    lvalue    := ID | ID "." ID | "this" "." ID
+    expr      := "new" ID "(" ")"
+               | atom ("." ID ("(" atoms ")")?)?       load or virtual call
+               | ID "(" atoms ")"                      unqualified call
+               | atom | "null" | literal
+    atom      := ID | "this"
+
+Two conventions from the paper's figures are honoured:
+
+* a trailing ``// label`` comment names the allocation or call site
+  introduced by the statement on that line (``x = new T(); // h1``);
+* ``if (...)`` / ``while (...)`` conditions are skipped wholesale — the
+  analysis is flow-insensitive, so both branches simply contribute their
+  statements.
+
+Name resolution: an unqualified identifier is a local/parameter if one
+is in scope, otherwise a field of the enclosing class (an implicit
+``this.f``, as used in the paper's Figure 7).  An unqualified call
+``m(a)`` resolves to a static call if the enclosing class hierarchy
+declares a static ``m`` of matching arity, and to a virtual call on
+``this`` otherwise (both forms appear in the paper's figures).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.frontend import ir
+from repro.frontend.lexer import Token, tokenize
+
+
+class ParseError(SyntaxError):
+    """Raised on malformed input, with source position information."""
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        # Comments are pulled out of the main stream but remembered by
+        # line so statement labels can be recovered.
+        self.comments_by_line = {
+            t.line: t.text for t in tokens if t.kind == "COMMENT"
+        }
+        self.tokens = [t for t in tokens if t.kind != "COMMENT"]
+        self.pos = 0
+        # Pre-scan the class names so that `Cls.f` static-field accesses
+        # resolve even when `Cls` is declared later in the file.
+        self.class_names = {
+            self.tokens[i + 1].text
+            for i in range(len(self.tokens) - 1)
+            if self.tokens[i].kind == "KEYWORD"
+            and self.tokens[i].text == "class"
+            and self.tokens[i + 1].kind == "ID"
+        }
+
+    # -- token utilities ---------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def next(self) -> Token:
+        token = self.tokens[self.pos]
+        if token.kind != "EOF":
+            self.pos += 1
+        return token
+
+    def error(self, message: str) -> ParseError:
+        t = self.peek()
+        return ParseError(f"{message} (at line {t.line}:{t.column}, got {t!r})")
+
+    def expect(self, kind: str, text: Optional[str] = None) -> Token:
+        token = self.peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            raise self.error(f"expected {text or kind}")
+        return self.next()
+
+    def at(self, kind: str, text: Optional[str] = None) -> bool:
+        token = self.peek()
+        return token.kind == kind and (text is None or token.text == text)
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        if self.at(kind, text):
+            return self.next()
+        return None
+
+    # -- program structure ---------------------------------------------------
+
+    def parse_program(self) -> ir.Program:
+        program = ir.Program()
+        while not self.at("EOF"):
+            program.add_class(self.parse_class())
+        for cls in program.classes.values():
+            if "main/1" in cls.methods and cls.methods["main/1"].is_static:
+                program.main_class = cls.name
+                break
+        program.validate()
+        return program
+
+    def _modifiers(self) -> Tuple[bool, ...]:
+        is_static = False
+        while self.peek().kind == "KEYWORD" and self.peek().text in (
+            "public", "private", "protected", "static", "final", "abstract",
+        ):
+            if self.next().text == "static":
+                is_static = True
+        return (is_static,)
+
+    def parse_class(self) -> ir.ClassDecl:
+        self._modifiers()
+        self.expect("KEYWORD", "class")
+        name = self.expect("ID").text
+        superclass = None
+        if self.accept("KEYWORD", "extends"):
+            superclass = self.expect("ID").text
+        decl = ir.ClassDecl(name, superclass)
+        self.expect("PUNCT", "{")
+        while not self.accept("PUNCT", "}"):
+            self.parse_member(decl)
+        return decl
+
+    def _type(self) -> str:
+        token = self.peek()
+        if token.kind == "KEYWORD" and token.text == "void":
+            self.next()
+            return "void"
+        name = self.expect("ID").text
+        while self.at("PUNCT", "["):
+            self.next()
+            self.expect("PUNCT", "]")
+            name += "[]"
+        return name
+
+    def parse_member(self, decl: ir.ClassDecl) -> None:
+        (is_static,) = self._modifiers()
+        self._type()  # declared type; the analysis is type-agnostic
+        name = self.expect("ID").text
+        if self.accept("PUNCT", ";"):
+            if is_static:
+                decl.static_fields.append(name)
+            else:
+                decl.fields.append(name)
+            return
+        if self.at("PUNCT", "="):
+            raise self.error("field initializers are not supported")
+        self.expect("PUNCT", "(")
+        method = ir.Method(name=name, cls=decl.name, is_static=is_static)
+        params: List[str] = []
+        param_names: List[str] = []
+        if not self.at("PUNCT", ")"):
+            while True:
+                self._type()
+                pname = self.expect("ID").text
+                param_names.append(pname)
+                params.append(method.local(pname))
+                if not self.accept("PUNCT", ","):
+                    break
+        self.expect("PUNCT", ")")
+        method.params = tuple(params)
+        decl.add_method(method)
+        body = _MethodBody(self, method, decl, param_names)
+        body.parse_block()
+
+    def parse_source_label(self, line: int) -> Optional[str]:
+        """The ``// label`` comment attached to ``line``, if any."""
+        text = self.comments_by_line.get(line)
+        if text and text.split():
+            return text.split()[0].rstrip(";,")
+        return None
+
+
+class _MethodBody:
+    """Parses one method body, resolving names and desugaring expressions."""
+
+    def __init__(
+        self,
+        parser: _Parser,
+        method: ir.Method,
+        decl: ir.ClassDecl,
+        param_names: List[str],
+    ):
+        self.p = parser
+        self.method = method
+        self.decl = decl
+        self.locals = set(param_names)
+        self.temp_count = 0
+        self.auto_site = 0
+
+    # -- helpers --------------------------------------------------------------
+
+    def fresh_temp(self) -> str:
+        self.temp_count += 1
+        name = f"$t{self.temp_count}"
+        self.locals.add(name)
+        return name
+
+    def site_label(self, line: int, kind: str) -> str:
+        label = self.p.parse_source_label(line)
+        if label is not None:
+            return label
+        self.auto_site += 1
+        return f"{self.method.qualified_name}/{kind}${self.auto_site}"
+
+    def resolve_var(self, name: str) -> str:
+        """A readable/writable variable: local or implicit this-field."""
+        if name == "this":
+            if self.method.is_static:
+                raise self.p.error(f"'this' used in static {self.method.name}")
+            return self.method.this_var
+        if name in self.locals:
+            return self.method.local(name)
+        return name  # caller decides whether it is a field or a class name
+
+    def is_local(self, name: str) -> bool:
+        return name == "this" or name in self.locals
+
+    def is_field_of_this(self, name: str) -> bool:
+        # Only meaningful in instance methods.
+        if self.method.is_static:
+            return False
+        # Field resolution walks the (possibly still partial) hierarchy:
+        # within a single class declaration only local fields are known.
+        return name in self.decl.fields
+
+    def emit(self, stmt) -> None:
+        self.method.body.append(stmt)
+
+    # -- statements -------------------------------------------------------------
+
+    def parse_block(self) -> None:
+        self.p.expect("PUNCT", "{")
+        while not self.p.accept("PUNCT", "}"):
+            self.parse_statement()
+
+    def parse_statement(self) -> None:
+        if self.p.at("PUNCT", "{"):
+            self.parse_block()
+            return
+        if self.p.at("KEYWORD", "if"):
+            self.p.next()
+            self._skip_parenthesized()
+            self.parse_statement()
+            if self.p.accept("KEYWORD", "else"):
+                self.parse_statement()
+            return
+        if self.p.at("KEYWORD", "while"):
+            self.p.next()
+            self._skip_parenthesized()
+            self.parse_statement()
+            return
+        if self.p.at("KEYWORD", "return"):
+            self.p.next()
+            if self.p.accept("PUNCT", ";"):
+                return
+            var = self.parse_expression_into_var(allow_temp=True)
+            self.p.expect("PUNCT", ";")
+            if var is not None:
+                self.emit(ir.Return(var))
+            return
+        if self.p.at("KEYWORD", "throw"):
+            self.p.next()
+            var = self.parse_expression_into_var(allow_temp=True)
+            self.p.expect("PUNCT", ";")
+            if var is not None:
+                self.emit(ir.Throw(var))
+            return
+        if self.p.at("KEYWORD", "try"):
+            self.p.next()
+            self.parse_block()
+            saw_catch = False
+            while self.p.at("KEYWORD", "catch"):
+                saw_catch = True
+                self.p.next()
+                self.p.expect("PUNCT", "(")
+                self.p._type()  # exception type: catch-all approximation
+                name = self.p.expect("ID").text
+                self.p.expect("PUNCT", ")")
+                self.locals.add(name)
+                self.method.add_catch_var(self.method.local(name))
+                self.parse_block()
+            if self.p.accept("KEYWORD", "finally"):
+                self.parse_block()
+            elif not saw_catch:
+                raise self.p.error("try without catch or finally")
+            return
+        self.parse_simple_statement()
+
+    def _is_class_name(self, name: str) -> bool:
+        return not self.is_local(name) and name in self.p.class_names
+
+    def _parse_store(self, base_name: str, field_name: str) -> None:
+        if self._is_class_name(base_name):
+            src = self.parse_expression_into_var(allow_temp=True)
+            if src is not None:
+                self.emit(ir.StaticStore(base_name, field_name, src))
+            return
+        base = self._require_var(base_name)
+        src = self.parse_expression_into_var(allow_temp=True)
+        if src is not None:
+            self.emit(ir.Store(base, field_name, src))
+
+    def _skip_parenthesized(self) -> None:
+        self.p.expect("PUNCT", "(")
+        depth = 1
+        while depth:
+            token = self.p.next()
+            if token.kind == "EOF":
+                raise self.p.error("unterminated condition")
+            if token.kind == "PUNCT" and token.text == "(":
+                depth += 1
+            elif token.kind == "PUNCT" and token.text == ")":
+                depth -= 1
+
+    def parse_simple_statement(self) -> None:
+        # Local declaration: `Type name ...` — two IDs in a row (allowing
+        # array types), where the second is followed by `=` or `;`.
+        if self._at_declaration():
+            self.p.next()  # type name
+            while self.p.at("PUNCT", "["):
+                self.p.next()
+                self.p.expect("PUNCT", "]")
+            name = self.p.expect("ID").text
+            self.locals.add(name)
+            dst = self.method.local(name)
+            if self.p.accept("PUNCT", ";"):
+                return
+            self.p.expect("PUNCT", "=")
+            self.parse_rhs_into(dst)
+            self.p.expect("PUNCT", ";")
+            return
+
+        # Otherwise: assignment or bare call.
+        if self.p.at("KEYWORD", "this") or self.p.at("ID"):
+            first = self.p.next()
+            if self.p.at("PUNCT", "."):
+                self.p.next()
+                second = self.p.expect("ID").text
+                if self.p.at("PUNCT", "("):
+                    # base.m(args); or Class.m(args);
+                    self._parse_call(first.text, second, dst=None, line=first.line)
+                    self.p.expect("PUNCT", ";")
+                    return
+                self.p.expect("PUNCT", "=")
+                self._parse_store(first.text, second)
+                self.p.expect("PUNCT", ";")
+                return
+            if self.p.at("PUNCT", "("):
+                # unqualified call m(args);
+                self._parse_call(None, first.text, dst=None, line=first.line)
+                self.p.expect("PUNCT", ";")
+                return
+            self.p.expect("PUNCT", "=")
+            name = first.text
+            if self.is_local(name):
+                self.parse_rhs_into(self.resolve_var(name))
+            elif self.is_field_of_this(name) or self._field_somewhere(name):
+                # implicit this.f = …
+                src = self.parse_expression_into_var(allow_temp=True)
+                if src is not None:
+                    self.emit(
+                        ir.Store(self.method.this_var, name, src)
+                    )
+                self.p.expect("PUNCT", ";")
+                return
+            else:
+                # Treat as a fresh local introduced by assignment.
+                self.locals.add(name)
+                self.parse_rhs_into(self.method.local(name))
+            self.p.expect("PUNCT", ";")
+            return
+        raise self.p.error("expected a statement")
+
+    def _field_somewhere(self, name: str) -> bool:
+        # A field inherited from a superclass that is declared in the same
+        # source file earlier; conservative textual check.
+        return not self.method.is_static and name not in self.locals
+
+    def _at_declaration(self) -> bool:
+        if not self.p.at("ID"):
+            return False
+        offset = 1
+        while (
+            self.p.peek(offset).kind == "PUNCT"
+            and self.p.peek(offset).text == "["
+        ):
+            if not (
+                self.p.peek(offset + 1).kind == "PUNCT"
+                and self.p.peek(offset + 1).text == "]"
+            ):
+                return False
+            offset += 2
+        return self.p.peek(offset).kind == "ID"
+
+    # -- expressions --------------------------------------------------------------
+
+    def parse_rhs_into(self, dst: str) -> None:
+        """Parse an expression and bind its value to ``dst``."""
+        token = self.p.peek()
+        if token.kind == "KEYWORD" and token.text == "null":
+            self.p.next()
+            return
+        if token.kind in ("NUMBER", "STRING") or (
+            token.kind == "KEYWORD" and token.text in ("true", "false")
+        ):
+            self.p.next()
+            return
+        if token.kind == "KEYWORD" and token.text == "new":
+            self._parse_new(dst)
+            return
+        # atom, atom.field, atom.m(args), or unqualified m(args)
+        first = self.p.next()
+        if first.kind == "KEYWORD" and first.text == "this":
+            base_name = "this"
+        elif first.kind == "ID":
+            base_name = first.text
+        else:
+            raise self.p.error("expected an expression")
+
+        if self.p.at("PUNCT", "("):
+            self._parse_call(None, base_name, dst=dst, line=first.line)
+            return
+        if self.p.at("PUNCT", "."):
+            self.p.next()
+            member = self.p.expect("ID").text
+            if self.p.at("PUNCT", "("):
+                self._parse_call(base_name, member, dst=dst, line=first.line)
+                return
+            if self._is_class_name(base_name):
+                self.emit(ir.StaticLoad(dst, base_name, member))
+                return
+            # Field load: base.f
+            base = self._require_var(base_name)
+            self.emit(ir.Load(dst, base, member))
+            return
+        # Plain variable (or implicit this-field) copy.
+        if self.is_local(base_name):
+            self.emit(ir.Assign(dst, self.resolve_var(base_name)))
+        elif not self.method.is_static:
+            self.emit(ir.Load(dst, self.method.this_var, base_name))
+        else:
+            raise self.p.error(f"unknown variable {base_name!r}")
+
+    def parse_expression_into_var(self, allow_temp: bool) -> Optional[str]:
+        """Parse an expression, returning a variable holding its value."""
+        token = self.p.peek()
+        if token.kind == "KEYWORD" and token.text == "null":
+            self.p.next()
+            return None
+        if token.kind in ("NUMBER", "STRING"):
+            self.p.next()
+            return None
+        # Simple variable fast-path (no desugaring temp needed).
+        if (
+            (token.kind == "ID" or (token.kind == "KEYWORD" and token.text == "this"))
+            and self.p.peek(1).kind == "PUNCT"
+            and self.p.peek(1).text in (";", ",", ")")
+            and self.is_local(token.text)
+        ):
+            self.p.next()
+            return self.resolve_var(token.text)
+        if not allow_temp:
+            raise self.p.error("expected a variable")
+        temp = self.fresh_temp()
+        self.parse_rhs_into(self.method.local(temp))
+        return self.method.local(temp)
+
+    def _require_var(self, name: str) -> str:
+        if self.is_local(name):
+            return self.resolve_var(name)
+        if not self.method.is_static:
+            # implicit this-field used as a base: load it into a temp.
+            temp = self.method.local(self.fresh_temp())
+            self.emit(ir.Load(temp, self.method.this_var, name))
+            return temp
+        raise self.p.error(f"unknown variable {name!r}")
+
+    def _parse_new(self, dst: str) -> None:
+        line = self.p.expect("KEYWORD", "new").line
+        type_name = self.p.expect("ID").text
+        self.p.expect("PUNCT", "(")
+        if not self.p.at("PUNCT", ")"):
+            raise self.p.error("constructor arguments are not supported")
+        self.p.expect("PUNCT", ")")
+        label = self.site_label(line, "new")
+        self.emit(ir.New(dst, type_name, label))
+
+    def _parse_args(self) -> Tuple[str, ...]:
+        self.p.expect("PUNCT", "(")
+        args: List[str] = []
+        if not self.p.at("PUNCT", ")"):
+            while True:
+                var = self.parse_expression_into_var(allow_temp=True)
+                if var is None:
+                    raise self.p.error("null/literal arguments are not supported")
+                args.append(var)
+                if not self.p.accept("PUNCT", ","):
+                    break
+        self.p.expect("PUNCT", ")")
+        return tuple(args)
+
+    def _parse_call(
+        self,
+        base_name: Optional[str],
+        method_name: str,
+        dst: Optional[str],
+        line: int,
+    ) -> None:
+        args = self._parse_args()
+        label = self.site_label(line, "invk")
+        if base_name is None:
+            # Unqualified call: static if the enclosing class declares (or
+            # will dispatch to) a static method of this name, else this.m().
+            target = self._lookup_unqualified(method_name, len(args))
+            if target is not None and target.is_static:
+                self.emit(
+                    ir.StaticCall(dst, target.cls, method_name, args, label)
+                )
+                return
+            if self.method.is_static and target is None:
+                raise self.p.error(
+                    f"unqualified call to unknown method {method_name!r}"
+                )
+            if self.method.is_static:
+                raise self.p.error(
+                    f"instance method {method_name!r} called from static context"
+                )
+            self.emit(
+                ir.VirtualCall(
+                    dst, self.method.this_var,
+                    method_name, args, label,
+                )
+            )
+            return
+        if self.is_local(base_name):
+            self.emit(
+                ir.VirtualCall(
+                    dst, self.resolve_var(base_name), method_name, args, label
+                )
+            )
+            return
+        if not self.method.is_static and self.is_field_of_this(base_name):
+            temp = self.method.local(self.fresh_temp())
+            self.emit(ir.Load(temp, self.method.this_var, base_name))
+            self.emit(ir.VirtualCall(dst, temp, method_name, args, label))
+            return
+        # Otherwise treat the base as a class name: a static call.
+        self.emit(ir.StaticCall(dst, base_name, method_name, args, label))
+
+    def _lookup_unqualified(self, name: str, arity: int) -> Optional[ir.Method]:
+        signature = f"{name}/{arity}"
+        if signature in self.decl.methods:
+            return self.decl.methods[signature]
+        return None
+
+
+def parse_program(source: str) -> ir.Program:
+    """Parse Java-subset source text into an IR :class:`Program`."""
+    return _Parser(tokenize(source)).parse_program()

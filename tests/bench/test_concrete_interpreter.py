@@ -1,0 +1,146 @@
+"""Unit tests for the concrete interpreter's semantics."""
+
+import pytest
+
+from repro.bench.concrete import ConcreteInterpreter, run_concrete
+from repro.frontend.parser import parse_program
+
+
+def observe(source, **kwargs):
+    return run_concrete(parse_program(source), **kwargs)
+
+
+class TestObjectIdentity:
+    def test_fields_are_per_object(self):
+        observed = observe(
+            """
+            class Box { Object f; }
+            class M {
+                public static void main(String[] args) {
+                    Box a = new Box(); // ba
+                    Box b = new Box(); // bb
+                    Object v = new M(); // hv
+                    a.f = v;
+                    Object x = a.f;
+                    Object y = b.f;
+                }
+            }
+            """
+        )
+        assert ("M.main/x", "hv") in observed.var_points_to
+        assert not any(v == "M.main/y" for (v, _) in observed.var_points_to)
+
+    def test_two_objects_same_site_are_distinct(self):
+        observed = observe(
+            """
+            class Box { Object f; }
+            class M {
+                static Box mk() { Box b = new Box(); // site
+                    return b; }
+                public static void main(String[] args) {
+                    Box a = M.mk(); // c1
+                    Box b = M.mk(); // c2
+                    Object v = new M(); // hv
+                    a.f = v;
+                    Object y = b.f;
+                }
+            }
+            """
+        )
+        # Same abstract site, different concrete objects: y stays unbound.
+        assert not any(v == "M.main/y" for (v, _) in observed.var_points_to)
+
+
+class TestDispatch:
+    SOURCE = """
+    class A { Object mk() { Object o = new A(); // ha
+        return o; } }
+    class B extends A { Object mk() { Object o = new B(); // hb
+        return o; } }
+    class M {
+        public static void main(String[] args) {
+            A x = new B(); // recv
+            Object r = x.mk(); // c1
+        }
+    }
+    """
+
+    def test_runtime_type_selects_override(self):
+        observed = observe(self.SOURCE)
+        assert ("c1", "B.mk") in observed.call_edges
+        assert ("c1", "A.mk") not in observed.call_edges
+        assert ("M.main/r", "hb") in observed.var_points_to
+        assert "A.mk" not in observed.executed_methods
+
+
+class TestStatics:
+    def test_static_fields_are_shared(self):
+        observed = observe(
+            """
+            class G { static Object slot; }
+            class M {
+                static void put(Object v) { G.slot = v; }
+                static Object get() { Object r = G.slot; return r; }
+                public static void main(String[] args) {
+                    Object v = new M(); // hv
+                    M.put(v); // c1
+                    Object r = M.get(); // c2
+                }
+            }
+            """
+        )
+        assert ("G.slot", "hv") in observed.static_points_to
+        assert ("M.main/r", "hv") in observed.var_points_to
+
+
+class TestExceptions:
+    def test_exception_escapes_and_binds_catch(self):
+        observed = observe(
+            """
+            class Exc { }
+            class M {
+                static void boom() { Exc e = new Exc(); // he
+                    throw e; }
+                public static void main(String[] args) {
+                    try { M.boom(); // c1
+                    } catch (Exc caught) { }
+                }
+            }
+            """
+        )
+        assert ("M.boom", "he") in observed.escaped_exceptions
+        assert ("M.main", "he") in observed.escaped_exceptions
+        assert ("M.main/caught", "he") in observed.var_points_to
+
+
+class TestBudgets:
+    RECURSIVE = """
+    class M {
+        static Object spin(Object p) {
+            Object q = M.spin(p); // rec
+            return p;
+        }
+        public static void main(String[] args) {
+            Object x = new M(); // h1
+            Object r = M.spin(x); // c1
+        }
+    }
+    """
+
+    def test_step_budget(self):
+        observed = observe(self.RECURSIVE, step_budget=50)
+        assert observed.steps <= 51
+
+    def test_depth_cap(self):
+        program = parse_program(self.RECURSIVE)
+        interpreter = ConcreteInterpreter(
+            program, step_budget=10**6, max_call_depth=10
+        )
+        observed = interpreter.run()
+        # Terminates quickly despite the huge step budget.
+        assert observed.steps < 1000
+        assert ("M.spin/p", "h1") in observed.var_points_to
+
+    def test_prefix_is_still_observable(self):
+        observed = observe(self.RECURSIVE, step_budget=50)
+        assert ("M.main/x", "h1") in observed.var_points_to

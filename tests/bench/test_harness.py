@@ -1,0 +1,105 @@
+"""Tests for the Figure 6 harness and report formatter."""
+
+import pytest
+
+from repro.bench.harness import Figure6, run_cell, run_figure6
+from repro.bench.report import format_cell_summary, format_figure6
+from repro.bench.workloads import dacapo_program
+from repro.frontend.factgen import generate_facts
+
+
+@pytest.fixture(scope="module")
+def small_table():
+    return run_figure6(
+        benchmarks=("luindex", "bloat"),
+        configurations=("1-call", "2-object+H"),
+        scale=1,
+    )
+
+
+class TestHarness:
+    def test_cell_quantities(self):
+        facts = generate_facts(dacapo_program("luindex"))
+        cell = run_cell(facts, "luindex", "2-object+H")
+        assert set(cell.context_string.sizes) == {"pts", "hpts", "call"}
+        assert cell.context_string.total > 0
+        assert cell.transformer_string.total > 0
+        assert cell.context_string.seconds > 0
+
+    def test_decrease_math(self):
+        facts = generate_facts(dacapo_program("luindex"))
+        cell = run_cell(facts, "luindex", "2-object+H")
+        expected = 1 - cell.transformer_string.total / cell.context_string.total
+        assert cell.total_decrease() == pytest.approx(expected)
+
+    def test_size_decrease_none_for_empty_relation(self):
+        facts = generate_facts(dacapo_program("luindex"))
+        cell = run_cell(facts, "luindex", "1-call")
+        # hpts is context-insensitive at h=0: sizes equal, decrease 0.
+        assert cell.size_decrease("hpts") == pytest.approx(0.0)
+
+    def test_table_accessors(self, small_table):
+        assert small_table.benchmarks() == ["luindex", "bloat"]
+        assert small_table.configurations() == ["1-call", "2-object+H"]
+        cell = small_table.cell("bloat", "1-call")
+        assert cell.benchmark == "bloat"
+        with pytest.raises(KeyError):
+            small_table.cell("bloat", "9-quantum")
+
+    def test_geomeans(self, small_table):
+        decrease = small_table.geomean_total_decrease("2-object+H")
+        assert 0 < decrease < 1
+        # time geomean is defined (sign depends on machine noise).
+        small_table.geomean_time_decrease("2-object+H")
+
+    def test_geomean_of_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Figure6().geomean_total_decrease("1-call")
+
+    def test_ci_increase_zero_under_object(self, small_table):
+        cell = small_table.cell("luindex", "2-object+H")
+        assert cell.ci_increase("pts") == 0
+
+
+class TestDatalogEngineHarness:
+    def test_sizes_match_solver_engine(self):
+        facts = generate_facts(dacapo_program("luindex"))
+        solver_cell = run_cell(facts, "luindex", "1-call+H", engine="solver")
+        datalog_cell = run_cell(facts, "luindex", "1-call+H", engine="datalog")
+        assert (
+            solver_cell.context_string.sizes
+            == datalog_cell.context_string.sizes
+        )
+        assert (
+            solver_cell.transformer_string.sizes
+            == datalog_cell.transformer_string.sizes
+        )
+        assert (
+            solver_cell.context_string.ci_sizes
+            == datalog_cell.context_string.ci_sizes
+        )
+
+    def test_unknown_engine_rejected(self):
+        facts = generate_facts(dacapo_program("luindex"))
+        with pytest.raises(ValueError, match="engine"):
+            run_cell(facts, "luindex", "1-call", engine="quantum")
+
+
+class TestReport:
+    def test_format_contains_all_rows(self, small_table):
+        text = format_figure6(small_table)
+        for token in ("luindex", "bloat", "pts", "hpts", "call", "Total",
+                      "Time", "Mean", "1-call", "2-object+H"):
+            assert token in text
+
+    def test_type_column_shows_ci_increase(self):
+        table = run_figure6(
+            benchmarks=("luindex",), configurations=("2-type+H",), scale=1
+        )
+        text = format_figure6(table)
+        assert "(+0" in text
+
+    def test_cell_summary(self, small_table):
+        summary = format_cell_summary(small_table.cell("bloat", "2-object+H"))
+        assert "bloat/2-object+H" in summary
+        assert "fewer facts" in summary

@@ -1,0 +1,55 @@
+"""Tests for the report formatter internals."""
+
+import pytest
+
+from repro.bench.report import _cell_size, _quantity
+
+
+class TestQuantityFormatting:
+    def test_small(self):
+        assert _quantity(0) == "0"
+        assert _quantity(9999) == "9999"
+
+    def test_thousands(self):
+        assert _quantity(10_000) == "10k"
+        assert _quantity(152_700) == "153k"
+
+    def test_millions(self):
+        assert _quantity(13_300_000) == "13.3M"
+        assert _quantity(1_000_000) == "1.0M"
+
+
+class TestCellFormatting:
+    def _cell(self, cs_sizes, ts_sizes):
+        from repro.bench.harness import Cell, Measurement
+
+        return Cell(
+            benchmark="b",
+            configuration="1-call",
+            context_string=Measurement(cs_sizes, dict(cs_sizes), 0.01),
+            transformer_string=Measurement(ts_sizes, dict(ts_sizes), 0.008),
+        )
+
+    def test_size_decrease_rendering(self):
+        cell = self._cell(
+            {"pts": 100, "hpts": 10, "call": 5},
+            {"pts": 70, "hpts": 10, "call": 5},
+        )
+        text = _cell_size(cell, "pts", type_column=False)
+        assert "100" in text
+        assert "30.0%" in text
+
+    def test_empty_relation_shows_dash(self):
+        cell = self._cell(
+            {"pts": 100, "hpts": 0, "call": 5},
+            {"pts": 70, "hpts": 0, "call": 5},
+        )
+        assert "—" in _cell_size(cell, "hpts", type_column=False)
+
+    def test_type_column_adds_ci_increase(self):
+        cell = self._cell(
+            {"pts": 100, "hpts": 10, "call": 5},
+            {"pts": 100, "hpts": 10, "call": 5},
+        )
+        text = _cell_size(cell, "pts", type_column=True)
+        assert "(+0)" in text

@@ -1,0 +1,116 @@
+"""Tests for the L_F grammar and the generic CFL-reachability solver."""
+
+import pytest
+
+from repro.cfl.grammar import CFLSolver, Grammar, Production, bar, lf_grammar
+
+
+class TestBar:
+    def test_involutive(self):
+        assert bar("assign") == "assign_bar"
+        assert bar(bar("assign")) == "assign"
+
+    def test_field_labels(self):
+        assert bar("store[f]") == "store[f]_bar"
+
+
+class TestGrammarConstruction:
+    def test_productions_normalized(self):
+        grammar = lf_grammar(["f", "g"])
+        assert all(1 <= len(p.rhs) <= 2 for p in grammar.productions)
+
+    def test_field_instantiation(self):
+        grammar = lf_grammar(["f"])
+        symbols = grammar.symbols()
+        assert "store[f]" in symbols
+        assert "load[f]_bar" in symbols
+
+    def test_no_fields(self):
+        grammar = lf_grammar([])
+        assert "flows" in grammar.symbols()
+
+    def test_unnormalized_production_rejected(self):
+        with pytest.raises(ValueError):
+            Production("a", ("b", "c", "d"))
+        with pytest.raises(ValueError):
+            Production("a", ())
+
+
+class TestGenericSolver:
+    def test_balanced_parentheses(self):
+        # matched → ( matched ) | matched matched | ε is not directly
+        # expressible (ε); use: m → o c | o mc ; mc → m c  (one-or-more).
+        grammar = Grammar(
+            (
+                Production("m", ("open", "close")),
+                Production("m", ("open", "mc")),
+                Production("mc", ("m", "close")),
+                Production("m", ("m", "m")),
+            )
+        )
+        solver = CFLSolver(grammar)
+        edges = {
+            ("1", "open", "2"),
+            ("2", "open", "3"),
+            ("3", "close", "4"),
+            ("4", "close", "5"),
+        }
+        derived = solver.solve(edges)
+        assert ("2", "m", "4") in derived
+        assert ("1", "m", "5") in derived
+        assert ("1", "m", "4") not in derived
+
+    def test_unary_chains(self):
+        grammar = Grammar(
+            (
+                Production("b", ("a",)),
+                Production("c", ("b",)),
+            )
+        )
+        derived = CFLSolver(grammar).solve({("x", "a", "y")})
+        assert ("x", "c", "y") in derived
+
+    def test_transitive_closure_grammar(self):
+        grammar = Grammar(
+            (
+                Production("path", ("edge",)),
+                Production("path", ("path", "path")),
+            )
+        )
+        edges = {(str(i), "edge", str(i + 1)) for i in range(6)}
+        derived = CFLSolver(grammar).solve(edges)
+        paths = {(s, t) for (s, sym, t) in derived if sym == "path"}
+        assert len(paths) == 21
+
+    def test_flowsto_through_field(self):
+        # h -new-> w ; w -store[f]-> x ; h2 -new-> x ; h2 -new-> y ;
+        # y -load[f]-> z : h flows to z.
+        grammar = lf_grammar(["f"])
+        edges = set()
+        for (s, label, t) in [
+            ("h", "new", "w"),
+            ("w", "store[f]", "x"),
+            ("h2", "new", "x"),
+            ("h2", "new", "y"),
+            ("y", "load[f]", "z"),
+        ]:
+            edges.add((s, label, t))
+            edges.add((t, bar(label), s))
+        derived = CFLSolver(grammar).solve(edges)
+        assert ("h", "flowsto", "z") in derived
+        assert ("h2", "flowsto", "z") not in derived
+
+    def test_mismatched_fields_blocked(self):
+        grammar = lf_grammar(["f", "g"])
+        edges = set()
+        for (s, label, t) in [
+            ("h", "new", "w"),
+            ("w", "store[f]", "x"),
+            ("h2", "new", "x"),
+            ("h2", "new", "y"),
+            ("y", "load[g]", "z"),
+        ]:
+            edges.add((s, label, t))
+            edges.add((t, bar(label), s))
+        derived = CFLSolver(grammar).solve(edges)
+        assert ("h", "flowsto", "z") not in derived

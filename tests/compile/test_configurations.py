@@ -1,0 +1,95 @@
+"""Tests for transformer-string configurations (experiment E8)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compile.configurations import (
+    Configuration,
+    configuration_of,
+    decode,
+    encode,
+    enumerate_configurations,
+    parse_tag,
+)
+from repro.core.transformer_strings import TransformerString
+
+ALPHABET = ("a", "b", "c")
+
+transformer_strings = st.builds(
+    TransformerString,
+    pops=st.lists(st.sampled_from(ALPHABET), max_size=3).map(tuple),
+    wildcard=st.booleans(),
+    pushes=st.lists(st.sampled_from(ALPHABET), max_size=3).map(tuple),
+)
+
+
+class TestEnumeration:
+    def test_paper_count_12_for_2m1h_pts_domain(self):
+        """Section 7: "the domain of transformer strings for the pts
+        relation … in a 2-method-1-heap … instantiation has 12
+        configurations"."""
+        assert len(enumerate_configurations(1, 2)) == 12
+
+    def test_paper_count_8_for_1m1h(self):
+        """Section 7: a 1-method-1-heap instantiation "has 8
+        configurations of transformer strings"."""
+        assert len(enumerate_configurations(1, 1)) == 8
+
+    def test_general_count(self):
+        for i in range(4):
+            for j in range(4):
+                assert len(enumerate_configurations(i, j)) == (
+                    (i + 1) * (j + 1) * 2
+                )
+
+    def test_deterministic_order(self):
+        assert enumerate_configurations(1, 1) == enumerate_configurations(1, 1)
+
+    def test_tags_unique(self):
+        tags = [c.tag for c in enumerate_configurations(2, 3)]
+        assert len(tags) == len(set(tags))
+
+
+class TestTags:
+    def test_tag_format(self):
+        assert Configuration(2, True, 1).tag == "xxwe"
+        assert Configuration(0, False, 0).tag == ""
+        assert Configuration(0, True, 0).tag == "w"
+        assert Configuration(1, False, 2).tag == "xee"
+
+    def test_predicate_name(self):
+        assert Configuration(2, True, 1).predicate_name("pts") == "pts__xxwe"
+
+    def test_parse_tag_roundtrip(self):
+        for config in enumerate_configurations(3, 3):
+            assert parse_tag(config.tag) == config
+
+    def test_parse_malformed(self):
+        with pytest.raises(ValueError):
+            parse_tag("exw")
+        with pytest.raises(ValueError):
+            parse_tag("xwx")
+
+    def test_context_arity(self):
+        assert Configuration(2, True, 1).context_arity == 3
+
+
+class TestEncodeDecode:
+    def test_paper_example(self):
+        """pts(Y, H, X1·X2·∗·Ê1) becomes ptst_xxwe(Y, H, X1, X2, E1)."""
+        t = TransformerString(("X1", "X2"), True, ("E1",))
+        tag, attributes = encode(t)
+        assert tag == "xxwe"
+        assert attributes == ("X1", "X2", "E1")
+
+    def test_decode_arity_checked(self):
+        with pytest.raises(ValueError, match="attributes"):
+            decode("xe", ("only-one",))
+
+    @given(transformer_strings)
+    @settings(max_examples=200, deadline=None)
+    def test_roundtrip(self, t):
+        tag, attributes = encode(t)
+        assert decode(tag, attributes) == t
+        assert configuration_of(t).tag == tag

@@ -1,0 +1,188 @@
+"""Cross-validation: all three compiled Datalog paths must reproduce the
+worklist solver fact-for-fact (the strongest correctness check in the
+repository — four independent implementations of the same rules)."""
+
+import pytest
+
+from repro import analyze, config_by_name
+from repro.compile.emit import (
+    compile_context_string_analysis,
+    compile_transformer_analysis,
+    compile_transformer_analysis_naive,
+)
+from repro.core.sensitivity import Flavour
+from repro.frontend.factgen import FactSet, facts_from_source
+from repro.frontend.paper_programs import ALL_PROGRAMS
+
+CONFIGS = [
+    ("1-call", Flavour.CALL_SITE, 1, 0),
+    ("1-call+H", Flavour.CALL_SITE, 1, 1),
+    ("1-object", Flavour.OBJECT, 1, 0),
+    ("2-object+H", Flavour.OBJECT, 2, 1),
+    ("2-type+H", Flavour.TYPE, 2, 1),
+]
+
+EXTRA_PROGRAM = """
+class Node { Object value; Node next; }
+class List {
+    Node head;
+    void push(Object v) {
+        Node n = new Node(); // alloc_node
+        n.value = v;
+        n.next = head;
+        head = n;
+    }
+    Object peek() {
+        Node n = head;
+        Object v = n.value;
+        return v;
+    }
+}
+class M {
+    public static void main(String[] args) {
+        List l1 = new List(); // l1
+        List l2 = new List(); // l2
+        Object a = new M(); // ha
+        Object b = new M(); // hb
+        l1.push(a); // p1
+        l2.push(b); // p2
+        Object x = l1.peek(); // q1
+        Object y = l2.peek(); // q2
+    }
+}
+"""
+
+EXTENSIONS_PROGRAM = """
+class Exc { }
+class Config { static Object current; }
+class Loader {
+    static Object init() {
+        Object c = new Config(); // hc
+        Config.current = c;
+        return c;
+    }
+}
+class Worker {
+    Object step() {
+        Object cfg = Config.current;
+        if (...) {
+            Exc e = new Exc(); // he
+            throw e;
+        }
+        return cfg;
+    }
+}
+class M {
+    public static void main(String[] args) {
+        Object a = Loader.init(); // c1
+        Worker w = new Worker(); // hw
+        try {
+            Object r = w.step(); // c2
+        } catch (Exc ex) {
+            Object oops = ex;
+        }
+    }
+}
+"""
+
+PROGRAMS = dict(
+    ALL_PROGRAMS, container=EXTRA_PROGRAM, extensions=EXTENSIONS_PROGRAM
+)
+
+
+@pytest.fixture(scope="module")
+def all_facts():
+    return {name: facts_from_source(src) for name, src in PROGRAMS.items()}
+
+
+@pytest.mark.parametrize("program_name", sorted(PROGRAMS))
+@pytest.mark.parametrize("config_name,flavour,m,h", CONFIGS)
+class TestSpecializedTransformerAgreesWithSolver:
+    def test_all_relations_identical(
+        self, all_facts, program_name, config_name, flavour, m, h
+    ):
+        facts = all_facts[program_name]
+        solver = analyze(facts, config_by_name(config_name, "transformer-string"))
+        compiled = compile_transformer_analysis(facts, flavour, m, h).run()
+        assert compiled.pts == solver.pts
+        assert compiled.hpts == solver.hpts
+        assert compiled.call == solver.call
+        assert compiled.reach == solver.reach
+        assert compiled.spts == solver.spts
+        assert compiled.texc == solver.texc
+
+
+@pytest.mark.parametrize("program_name", sorted(PROGRAMS))
+@pytest.mark.parametrize("config_name,flavour,m,h", CONFIGS)
+class TestNaiveTransformerAgreesWithSolver:
+    def test_pts_and_call_identical(
+        self, all_facts, program_name, config_name, flavour, m, h
+    ):
+        facts = all_facts[program_name]
+        solver = analyze(facts, config_by_name(config_name, "transformer-string"))
+        compiled = compile_transformer_analysis_naive(facts, flavour, m, h).run()
+        assert compiled.pts == solver.pts
+        assert compiled.call == solver.call
+
+
+@pytest.mark.parametrize("program_name", sorted(PROGRAMS))
+@pytest.mark.parametrize("config_name,flavour,m,h", CONFIGS)
+class TestContextStringProgramAgreesWithSolver:
+    def test_all_relations_identical(
+        self, all_facts, program_name, config_name, flavour, m, h
+    ):
+        facts = all_facts[program_name]
+        solver = analyze(facts, config_by_name(config_name, "context-string"))
+        compiled = compile_context_string_analysis(facts, flavour, m, h).run()
+        assert compiled.pts == solver.pts
+        assert compiled.hpts == solver.hpts
+        assert compiled.call == solver.call
+        assert compiled.reach == solver.reach
+        assert compiled.spts == solver.spts
+        assert compiled.texc == solver.texc
+
+
+class TestCompiledResultViews:
+    def test_ci_projections(self, all_facts):
+        compiled = compile_transformer_analysis(
+            all_facts["figure5"], Flavour.CALL_SITE, 1, 1
+        ).run()
+        assert ("T.main/x", "h1") in compiled.pts_ci()
+        assert ("m1", "T.m") in compiled.call_graph()
+
+    def test_description_strings(self, all_facts):
+        facts = all_facts["figure5"]
+        spec = compile_transformer_analysis(facts, Flavour.OBJECT, 2, 1)
+        assert "specialized" in spec.description
+        naive = compile_transformer_analysis_naive(facts, Flavour.OBJECT, 2, 1)
+        assert "naive" in naive.description
+
+    def test_missing_main_rejected(self):
+        empty = FactSet()
+        with pytest.raises(ValueError, match="main"):
+            compile_transformer_analysis(empty, Flavour.CALL_SITE, 1, 0)
+        with pytest.raises(ValueError, match="main"):
+            compile_context_string_analysis(empty, Flavour.CALL_SITE, 1, 0)
+
+    def test_specialized_program_is_pure_datalog(self, all_facts):
+        compiled = compile_transformer_analysis(
+            all_facts["figure1"], Flavour.OBJECT, 2, 1
+        )
+        assert compiled.builtins == {}
+
+    def test_specialized_program_round_trips_through_text_syntax(
+        self, all_facts
+    ):
+        from repro.datalog.parser import format_program, parse_datalog
+
+        compiled = compile_transformer_analysis(
+            all_facts["figure5"], Flavour.CALL_SITE, 1, 1
+        )
+        text = format_program(compiled.program)
+        reparsed = parse_datalog(text)
+        reparsed.facts = compiled.program.facts
+        from repro.datalog.engine import Engine
+
+        raw_a = Engine(compiled.program).run()
+        raw_b = Engine(reparsed).run()
+        assert raw_a == raw_b

@@ -1,0 +1,194 @@
+"""Tests for symbolic specialization: the symbolic algebra must mirror
+the concrete one, and the generated rule sets must match the paper's
+counts and worked example."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compile.configurations import Configuration, enumerate_configurations
+from repro.compile.specialize import (
+    SymbolicTransformer,
+    TransformerSpecializer,
+    apply_substitution,
+    compose_symbolic,
+    fresh_symbolic,
+    inverse_symbolic,
+    solve_constraints,
+    trunc_symbolic,
+)
+from repro.core import transformer_strings as ts
+from repro.core.sensitivity import Flavour
+from repro.core.transformer_strings import TransformerString
+from repro.datalog.ast import Const, Literal, Var
+
+ALPHABET = ("a", "b", "c")
+
+concrete_strings = st.builds(
+    TransformerString,
+    pops=st.lists(st.sampled_from(ALPHABET), max_size=2).map(tuple),
+    wildcard=st.booleans(),
+    pushes=st.lists(st.sampled_from(ALPHABET), max_size=2).map(tuple),
+)
+
+
+def to_symbolic(t: TransformerString) -> SymbolicTransformer:
+    return SymbolicTransformer(
+        tuple(Const(a) for a in t.pops),
+        t.wildcard,
+        tuple(Const(a) for a in t.pushes),
+    )
+
+
+def to_concrete(t: SymbolicTransformer) -> TransformerString:
+    assert all(isinstance(term, Const) for term in t.attributes)
+    return TransformerString(
+        tuple(term.value for term in t.pops),
+        t.wildcard,
+        tuple(term.value for term in t.pushes),
+    )
+
+
+class TestSymbolicMirrorsConcrete:
+    @given(concrete_strings, concrete_strings)
+    @settings(max_examples=300, deadline=None)
+    def test_compose(self, x, y):
+        """Symbolic composition + constraint solving on ground strings
+        equals concrete composition (⊥ iff unification fails)."""
+        result, constraints = compose_symbolic(to_symbolic(x), to_symbolic(y))
+        substitution = solve_constraints(constraints)
+        concrete = ts.compose(x, y)
+        if concrete is None:
+            assert substitution is None
+        else:
+            assert substitution == {}
+            assert to_concrete(result) == concrete
+
+    @given(concrete_strings)
+    @settings(max_examples=100, deadline=None)
+    def test_inverse(self, x):
+        assert to_concrete(inverse_symbolic(to_symbolic(x))) == ts.inverse(x)
+
+    @given(
+        concrete_strings,
+        st.integers(min_value=0, max_value=2),
+        st.integers(min_value=0, max_value=2),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_trunc(self, x, i, j):
+        assert to_concrete(trunc_symbolic(to_symbolic(x), i, j)) == ts.trunc(
+            x, i, j
+        )
+
+
+class TestConstraintSolving:
+    def test_var_var_unifies(self):
+        subst = solve_constraints([(Var("A"), Var("B"))])
+        assert apply_substitution(
+            Literal("p", (Var("A"), Var("B"))), subst
+        ).args[0] == apply_substitution(
+            Literal("p", (Var("A"), Var("B"))), subst
+        ).args[1]
+
+    def test_var_const_binds(self):
+        subst = solve_constraints([(Var("A"), Const("k"))])
+        lit = apply_substitution(Literal("p", (Var("A"),)), subst)
+        assert lit.args == (Const("k"),)
+
+    def test_const_mismatch_fails(self):
+        assert solve_constraints([(Const("a"), Const("b"))]) is None
+
+    def test_transitive_chain(self):
+        subst = solve_constraints(
+            [(Var("A"), Var("B")), (Var("B"), Const("k")), (Var("A"), Const("k"))]
+        )
+        assert subst is not None
+        lit = apply_substitution(Literal("p", (Var("A"), Var("B"))), subst)
+        assert lit.args == (Const("k"), Const("k"))
+
+    def test_empty_constraints(self):
+        assert solve_constraints([]) == {}
+
+
+class TestPaperWorkedExample:
+    """Section 7: composing the xe configuration with itself yields the
+    rule hpts__xe(G,F,H,X,M), hload__xe(G,F,M,E) ⊢ pts__xe(Y,H,X,E)."""
+
+    def test_ind_xe_xe_instance(self):
+        specializer = TransformerSpecializer(Flavour.CALL_SITE, 1, 1)
+        rules = specializer.indirect_rules()
+        matching = [
+            r
+            for r in rules
+            if r.body[0].pred == "hpts__xe" and r.body[1].pred == "hload__xe"
+        ]
+        assert len(matching) == 1
+        rule = matching[0]
+        assert rule.head.pred == "pts__xe"
+        # The join variable: hpts's entry must be hload's exit.
+        hpts_entry = rule.body[0].args[-1]
+        hload_exit = rule.body[1].args[3]
+        assert hpts_entry == hload_exit
+        # Head carries hpts's exit and hload's entry.
+        assert rule.head.args[2] == rule.body[0].args[3]
+        assert rule.head.args[3] == rule.body[1].args[-1]
+
+    def test_ind_instantiated_64_times_at_1m1h(self):
+        """Section 7: "the IND. rule is instantiated 64 times"."""
+        specializer = TransformerSpecializer(Flavour.CALL_SITE, 1, 1)
+        assert len(specializer.indirect_rules()) == 64
+
+
+class TestRuleGeneration:
+    @pytest.mark.parametrize(
+        "flavour,m,h",
+        [
+            (Flavour.CALL_SITE, 1, 0),
+            (Flavour.CALL_SITE, 1, 1),
+            (Flavour.CALL_SITE, 0, 0),
+            (Flavour.OBJECT, 1, 0),
+            (Flavour.OBJECT, 2, 1),
+            (Flavour.TYPE, 2, 1),
+        ],
+    )
+    def test_all_rules_are_safe(self, flavour, m, h):
+        for rule in TransformerSpecializer(flavour, m, h).rules():
+            rule.validate()
+
+    def test_rule_counts_scale_with_configurations(self):
+        small = len(TransformerSpecializer(Flavour.CALL_SITE, 1, 0).rules())
+        large = len(TransformerSpecializer(Flavour.CALL_SITE, 2, 1).rules())
+        assert large > small
+
+    def test_type_flavour_adds_class_of_literal(self):
+        rules = TransformerSpecializer(Flavour.TYPE, 2, 1).virtual_rules()
+        assert all(
+            any(lit.pred == "class_of" for lit in r.body) for r in rules
+        )
+        rules_obj = TransformerSpecializer(Flavour.OBJECT, 2, 1).virtual_rules()
+        assert not any(
+            any(lit.pred == "class_of" for lit in r.body) for r in rules_obj
+        )
+
+    def test_static_rules_object_guard_shape(self):
+        """merge_s under object sensitivity is M̌·M̂: the call head's pops
+        and pushes repeat the same reach-context variables."""
+        rules = TransformerSpecializer(Flavour.OBJECT, 2, 1).static_rules()
+        two = [r for r in rules if r.body[1].pred == "reach_2"]
+        assert len(two) == 1
+        head = two[0].head
+        assert head.pred == "call__xxee"
+        assert head.args[2:4] == head.args[4:6]
+
+    def test_entry_fact(self):
+        specializer = TransformerSpecializer(Flavour.CALL_SITE, 2, 1)
+        fact = specializer.entry_fact("T.main")
+        assert fact.head.pred == "reach_1"
+        assert fact.head.args == (Const("T.main"), Const("<entry>"))
+
+    def test_entry_fact_m0(self):
+        specializer = TransformerSpecializer(Flavour.CALL_SITE, 0, 0)
+        fact = specializer.entry_fact("T.main")
+        assert fact.head.pred == "reach_0"

@@ -1,0 +1,188 @@
+"""Inverse-semigroup theory for the transformer-string algebra.
+
+Paper Section 3: "The set of context transformations is an inverse
+semigroup, which is a semigroup with unique inverses."  That statement
+is about ``CtxtT`` — the closure of the primitive push/pop letters
+under composition, which our *wildcard-free* canonical strings
+represent exactly.  Beyond the defining laws, an inverse semigroup
+satisfies a body of classical theory — idempotents commute, inverses
+are unique, ``(st)⁻¹ = t⁻¹s⁻¹``, the natural partial order behaves —
+all checked here as free oracles.
+
+The wildcard ``*`` only enters with Section 4's *abstraction*
+(truncation), and it genuinely weakens the structure: the extended
+domain still satisfies the regular laws ``t;t⁻¹;t = t``, but its
+idempotents no longer commute (``*`` and a guard are a counterexample,
+pinned below) — so the abstract domain is a regular *-semigroup, not an
+inverse semigroup.  The paper's theorems only need soundness of
+truncation (Lemma 4.2), which is unaffected.
+
+(⊥ completes the structure: composition with ⊥ is ⊥ and ⊥⁻¹ = ⊥; the
+helpers below extend the operations accordingly.)
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.transformer_strings import (
+    EPSILON,
+    TransformerString,
+    compose,
+    inverse,
+    subsumes,
+)
+
+ALPHABET = ("a", "b")
+
+strings = st.builds(
+    TransformerString,
+    pops=st.lists(st.sampled_from(ALPHABET), max_size=2).map(tuple),
+    wildcard=st.booleans(),
+    pushes=st.lists(st.sampled_from(ALPHABET), max_size=2).map(tuple),
+)
+
+#: The exact representation of the paper's CtxtT (no abstraction).
+exact_strings = st.builds(
+    TransformerString,
+    pops=st.lists(st.sampled_from(ALPHABET), max_size=2).map(tuple),
+    wildcard=st.just(False),
+    pushes=st.lists(st.sampled_from(ALPHABET), max_size=2).map(tuple),
+)
+
+
+def comp(x, y):
+    """Composition extended to ⊥ (represented as None)."""
+    if x is None or y is None:
+        return None
+    return compose(x, y)
+
+
+def inv(x):
+    return None if x is None else inverse(x)
+
+
+def small_universe(wildcards: bool = False):
+    """Every canonical string with segments of length ≤ 1 over {a}."""
+    segments = [(), ("a",)]
+    return [
+        TransformerString(pops, wildcard, pushes)
+        for pops in segments
+        for wildcard in ((False, True) if wildcards else (False,))
+        for pushes in segments
+    ]
+
+
+class TestSemigroupLaws:
+    @given(strings, strings, strings)
+    @settings(max_examples=200, deadline=None)
+    def test_associativity_with_bottom(self, x, y, z):
+        assert comp(comp(x, y), z) == comp(x, comp(y, z))
+
+    @given(strings)
+    @settings(max_examples=100, deadline=None)
+    def test_identity_element(self, x):
+        assert comp(EPSILON, x) == x
+        assert comp(x, EPSILON) == x
+
+    @given(strings, strings)
+    @settings(max_examples=200, deadline=None)
+    def test_antidistributive_inverse(self, x, y):
+        """(x ; y)⁻¹ = y⁻¹ ; x⁻¹."""
+        assert inv(comp(x, y)) == comp(inv(y), inv(x))
+
+
+class TestIdempotents:
+    @given(strings)
+    @settings(max_examples=100, deadline=None)
+    def test_x_xinv_is_idempotent(self, x):
+        e = comp(x, inv(x))
+        assert comp(e, e) == e
+
+    @given(exact_strings, exact_strings)
+    @settings(max_examples=200, deadline=None)
+    def test_idempotents_commute_without_wildcards(self, x, y):
+        """The defining property separating inverse semigroups from
+        regular semigroups: idempotents form a commutative subsemigroup.
+        Holds exactly on the paper's CtxtT (wildcard-free strings)."""
+        e = comp(x, inv(x))
+        f = comp(y, inv(y))
+        assert comp(e, f) == comp(f, e)
+
+    def test_wildcard_breaks_idempotent_commutation(self):
+        """The abstraction's ``*`` is idempotent but does not commute
+        with guards: the abstract domain is regular, not inverse."""
+        star = TransformerString((), True, ())
+        guard = TransformerString(("a",), False, ("a",))
+        assert comp(star, star) == star
+        assert comp(guard, guard) == guard
+        assert comp(star, guard) != comp(guard, star)
+
+    @given(strings)
+    @settings(max_examples=100, deadline=None)
+    def test_idempotent_shape(self, x):
+        """x ; x⁻¹ is a guard: equal pop and push segments."""
+        e = comp(x, inv(x))
+        if e is not None:
+            assert e.pops == e.pushes
+
+
+class TestUniqueInverses:
+    def test_inverse_unique_on_small_universe(self):
+        """For every t in (wildcard-free) CtxtT, exactly one s in the
+        universe satisfies both t;s;t = t and s;t;s = s — inverse(t)."""
+        universe = small_universe(wildcards=False)
+        for t in universe:
+            witnesses = [
+                s
+                for s in universe
+                if comp(comp(t, s), t) == t and comp(comp(s, t), s) == s
+            ]
+            assert witnesses == [inverse(t)] or inverse(t) in witnesses
+            # uniqueness:
+            assert len(witnesses) == 1, (t, witnesses)
+
+
+class TestNaturalPartialOrder:
+    """In an inverse semigroup, s ≤ t iff s = e;t for an idempotent e.
+    For transformer strings the natural order coincides with semantic
+    restriction, which `subsumes` captures in the wildcard-free case."""
+
+    def test_guard_below_identity(self):
+        guard = TransformerString(("a",), False, ("a",))
+        # guard = guard ; ε and guard is idempotent: guard ≤ ε.
+        assert comp(guard, EPSILON) == guard
+        assert comp(guard, guard) == guard
+        assert subsumes(EPSILON, guard)
+
+    @given(strings, strings)
+    @settings(max_examples=200, deadline=None)
+    def test_restriction_is_subsumed(self, x, y):
+        """e;x for idempotent e = y;y⁻¹ is a restriction of x, so x
+        subsumes it whenever both exist and x is wildcard-free."""
+        e = comp(y, inv(y))
+        restricted = comp(e, x)
+        if restricted is None or x.wildcard or e is None or e.wildcard:
+            return
+        assert subsumes(x, restricted), (x, y, restricted)
+
+
+class TestExhaustiveSmallUniverse:
+    def test_composition_closed(self):
+        universe = small_universe()
+        closure = set(universe)
+        for x, y in itertools.product(universe, repeat=2):
+            out = comp(x, y)
+            if out is not None:
+                # Segments can grow by at most the partner's length.
+                assert len(out.pops) <= 2 and len(out.pushes) <= 2
+                closure.add(out)
+        # The closure over length-1 segments stays within length-2 shapes.
+        assert all(
+            len(t.pops) <= 2 and len(t.pushes) <= 2 for t in closure
+        )
+
+    def test_inverse_is_involution_on_universe(self):
+        for t in small_universe():
+            assert inverse(inverse(t)) == t

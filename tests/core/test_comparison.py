@@ -1,0 +1,84 @@
+"""Tests for ResultComparison and the CSV report export."""
+
+import pytest
+
+from repro import analyze, config_by_name
+from repro.frontend.paper_programs import FIGURE_1, FIGURE_5, TYPE_PRECISION_LOSS
+
+
+class TestResultComparison:
+    def test_equal_abstractions(self):
+        cs = analyze(FIGURE_5, config_by_name("1-call+H", "context-string"))
+        ts = analyze(FIGURE_5, config_by_name("1-call+H", "transformer-string"))
+        comparison = cs.compare_to(ts)
+        assert comparison.equally_precise()
+        assert comparison.precision_relation() == "equal"
+        assert comparison.fact_reduction() > 0.4  # 17 -> 9 facts
+
+    def test_more_context_is_more_precise(self):
+        one = analyze(FIGURE_1, config_by_name("1-call"))
+        two = analyze(FIGURE_1, config_by_name("2-call"))
+        comparison = one.compare_to(two)
+        assert comparison.precision_relation() == "right-more-precise"
+        assert ("T.main/x2", "h2") in comparison.left_only_pts()
+        assert comparison.right_only_pts() == frozenset()
+
+    def test_reversed_comparison(self):
+        one = analyze(FIGURE_1, config_by_name("1-call"))
+        two = analyze(FIGURE_1, config_by_name("2-call"))
+        assert two.compare_to(one).precision_relation() == "left-more-precise"
+
+    def test_type_loss_witness(self):
+        cs = analyze(
+            TYPE_PRECISION_LOSS, config_by_name("2-type+H", "context-string")
+        )
+        ts = analyze(
+            TYPE_PRECISION_LOSS,
+            config_by_name("2-type+H", "transformer-string"),
+        )
+        comparison = cs.compare_to(ts)
+        assert comparison.precision_relation() == "left-more-precise"
+        assert ("M.main/u", "s2") in comparison.right_only_pts()
+
+    def test_incomparable(self):
+        call = analyze(FIGURE_1, config_by_name("1-call"))
+        obj = analyze(FIGURE_1, config_by_name("1-object"))
+        comparison = call.compare_to(obj)
+        # 1-call is precise on x1/y1 and imprecise on x2/y2; 1-object the
+        # reverse — neither dominates.
+        assert comparison.precision_relation() == "incomparable"
+
+    def test_summary_text(self):
+        cs = analyze(FIGURE_5, config_by_name("1-call+H", "context-string"))
+        ts = analyze(FIGURE_5, config_by_name("1-call+H", "transformer-string"))
+        summary = cs.compare_to(ts).summary()
+        assert "precision: equal" in summary
+        assert "reduction" in summary
+
+
+class TestCsvExport:
+    def test_csv_shape(self):
+        from repro.bench.harness import run_figure6
+        from repro.bench.report import format_csv
+
+        table = run_figure6(
+            benchmarks=("luindex",), configurations=("1-call", "2-object+H"),
+            scale=1,
+        )
+        csv = format_csv(table)
+        lines = csv.strip().splitlines()
+        assert lines[0].startswith("benchmark,configuration,abstraction")
+        # one header + 2 configurations × 2 abstractions.
+        assert len(lines) == 1 + 4
+        assert any("transformer-string" in line for line in lines[1:])
+        first = lines[1].split(",")
+        assert first[0] == "luindex"
+        assert int(first[6]) == sum(int(x) for x in first[3:6])
+
+    def test_cli_figure6_csv(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "fig6.csv"
+        assert main(["figure6", "--scale", "1", "--csv", str(out)]) == 0
+        assert out.exists()
+        assert "wrote CSV" in capsys.readouterr().out

@@ -1,0 +1,74 @@
+"""Tests for analysis configuration objects."""
+
+import pytest
+
+from repro.core.config import (
+    PAPER_CONFIGURATIONS,
+    AnalysisConfig,
+    config_by_name,
+)
+from repro.core.sensitivity import Flavour
+
+
+class TestAnalysisConfig:
+    def test_defaults(self):
+        cfg = AnalysisConfig()
+        assert cfg.abstraction == "transformer-string"
+        assert cfg.flavour is Flavour.CALL_SITE
+        assert (cfg.m, cfg.h) == (1, 0)
+
+    def test_invalid_abstraction(self):
+        with pytest.raises(ValueError, match="abstraction"):
+            AnalysisConfig(abstraction="bdd")
+
+    def test_invalid_levels(self):
+        with pytest.raises(ValueError):
+            AnalysisConfig(flavour=Flavour.OBJECT, m=2, h=0)
+        with pytest.raises(ValueError):
+            AnalysisConfig(flavour=Flavour.CALL_SITE, m=1, h=2)
+
+    def test_with_abstraction(self):
+        cfg = AnalysisConfig(abstraction="context-string")
+        other = cfg.with_abstraction("transformer-string")
+        assert other.abstraction == "transformer-string"
+        assert (other.flavour, other.m, other.h) == (cfg.flavour, cfg.m, cfg.h)
+
+    def test_frozen(self):
+        cfg = AnalysisConfig()
+        with pytest.raises(Exception):
+            cfg.m = 3
+
+
+class TestNames:
+    @pytest.mark.parametrize(
+        "name,flavour,m,h",
+        [
+            ("1-call", Flavour.CALL_SITE, 1, 0),
+            ("1-call+H", Flavour.CALL_SITE, 1, 1),
+            ("2-call", Flavour.CALL_SITE, 2, 0),
+            ("1-object", Flavour.OBJECT, 1, 0),
+            ("2-object+H", Flavour.OBJECT, 2, 1),
+            ("2-type+H", Flavour.TYPE, 2, 1),
+            ("insensitive", Flavour.CALL_SITE, 0, 0),
+        ],
+    )
+    def test_config_by_name(self, name, flavour, m, h):
+        cfg = config_by_name(name)
+        assert (cfg.flavour, cfg.m, cfg.h) == (flavour, m, h)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            config_by_name("9-quantum")
+
+    @pytest.mark.parametrize("name", PAPER_CONFIGURATIONS)
+    def test_sensitivity_name_roundtrips(self, name):
+        assert config_by_name(name).sensitivity_name == name
+
+    def test_describe(self):
+        cfg = config_by_name("2-object+H", "context-string")
+        assert cfg.describe() == "2-object+H/context-string"
+
+    def test_paper_configurations_are_the_five_of_figure6(self):
+        assert PAPER_CONFIGURATIONS == (
+            "1-call", "1-call+H", "1-object", "2-object+H", "2-type+H",
+        )

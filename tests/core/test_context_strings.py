@@ -1,0 +1,100 @@
+"""Tests for the context-string abstraction and its correspondence with
+wildcard transformer strings (paper Section 4.1)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import context_strings as cs
+from repro.core.transformations import ContextSet
+from repro.core.transformer_strings import TransformerString
+
+ALPHABET = ("a", "b", "c")
+
+strings = st.lists(st.sampled_from(ALPHABET), max_size=3).map(tuple)
+pairs = st.tuples(strings, strings)
+
+SAMPLE_INPUTS = [
+    ContextSet.empty(),
+    ContextSet.of(()),
+    ContextSet.of(("a",)),
+    ContextSet.of(("a", "b", "c")),
+    ContextSet.of(("c", "b"), ("a", "c")),
+    ContextSet.everything(),
+    ContextSet.cone(("a",)),
+]
+
+
+class TestPairOperations:
+    def test_compose_matching_middle(self):
+        assert cs.compose((("u",), ("v",)), (("v",), ("w",))) == (("u",), ("w",))
+
+    def test_compose_mismatch_is_none(self):
+        assert cs.compose((("u",), ("v",)), (("x",), ("w",))) is None
+
+    def test_compose_requires_exact_middle_not_prefix(self):
+        assert cs.compose((("u",), ("v", "z")), (("v",), ("w",))) is None
+
+    def test_inverse(self):
+        assert cs.inverse((("u",), ("v", "w"))) == (("v", "w"), ("u",))
+
+    def test_target(self):
+        assert cs.target((("u",), ("v",))) == ("v",)
+
+    def test_in_domain(self):
+        assert cs.in_domain((("a",), ("b", "c")), 1, 2)
+        assert not cs.in_domain((("a", "b"), ()), 1, 0)
+
+    def test_truncate(self):
+        assert cs.truncate((("a", "b"), ("c", "d", "e")), 1, 2) == (
+            ("a",),
+            ("c", "d"),
+        )
+
+    def test_make_pair_normalizes(self):
+        assert cs.make_pair(["a"], ("b",)) == (("a",), ("b",))
+
+
+class TestSemantics:
+    def test_maps_cone_to_cone(self):
+        out = cs.semantics((("a",), ("b",)), ContextSet.of(("a", "x")))
+        assert out == ContextSet.cone(("b",))
+
+    def test_empty_when_no_intersection(self):
+        out = cs.semantics((("a",), ("b",)), ContextSet.of(("c",)))
+        assert out.is_empty()
+
+    def test_empty_input(self):
+        assert cs.semantics((("a",), ("b",)), ContextSet.empty()).is_empty()
+
+    def test_empty_source_matches_everything(self):
+        out = cs.semantics(((), ("b",)), ContextSet.of(("q", "r")))
+        assert out == ContextSet.cone(("b",))
+
+
+class TestCorrespondenceWithTransformerStrings:
+    """(A, B) denotes the same transformation as Ǎ·*·B̂."""
+
+    def test_example(self):
+        pair = (("h4",), ("c4", "e"))
+        t = cs.to_transformer_string(pair)
+        assert t == TransformerString(("h4",), True, ("c4", "e"))
+
+    @given(pairs)
+    @settings(max_examples=200, deadline=None)
+    def test_semantics_agree(self, pair):
+        t = cs.to_transformer_string(pair)
+        for s in SAMPLE_INPUTS:
+            assert cs.semantics(pair, s) == t.semantics(s)
+
+    @given(pairs, pairs)
+    @settings(max_examples=200, deadline=None)
+    def test_pair_composition_is_sound_wrt_transformers(self, x, y):
+        """Pair composition under-approximates wildcard-string composition
+        only by refusing non-exact middles; when it fires, results agree."""
+        from repro.core.transformer_strings import compose as t_compose
+
+        composed = cs.compose(x, y)
+        if composed is not None:
+            tx, ty = cs.to_transformer_string(x), cs.to_transformer_string(y)
+            tc = t_compose(tx, ty)
+            assert tc == cs.to_transformer_string(composed)

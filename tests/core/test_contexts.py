@@ -1,0 +1,108 @@
+"""Unit tests for the context representation helpers."""
+
+import pickle
+
+from repro.core.contexts import (
+    EMPTY_CONTEXT,
+    ENTRY,
+    ENTRY_CONTEXT,
+    ERR,
+    context_universe,
+    drop,
+    is_prefix,
+    prefix,
+)
+
+
+class TestPrefixDrop:
+    def test_prefix_shorter_than_string(self):
+        assert prefix(("a", "b", "c"), 2) == ("a", "b")
+
+    def test_prefix_longer_than_string(self):
+        assert prefix(("a",), 5) == ("a",)
+
+    def test_prefix_zero(self):
+        assert prefix(("a", "b"), 0) == ()
+
+    def test_prefix_negative_is_empty(self):
+        assert prefix(("a", "b"), -1) == ()
+
+    def test_prefix_of_empty(self):
+        assert prefix((), 3) == ()
+
+    def test_drop_shorter_than_string(self):
+        assert drop(("a", "b", "c"), 1) == ("b", "c")
+
+    def test_drop_everything(self):
+        assert drop(("a", "b"), 5) == ()
+
+    def test_drop_zero(self):
+        assert drop(("a", "b"), 0) == ("a", "b")
+
+    def test_drop_negative_is_identity(self):
+        assert drop(("a", "b"), -2) == ("a", "b")
+
+    def test_prefix_drop_partition(self):
+        s = ("x", "y", "z", "w")
+        for i in range(6):
+            assert prefix(s, i) + drop(s, i) == s
+
+
+class TestIsPrefix:
+    def test_empty_is_prefix_of_everything(self):
+        assert is_prefix((), ("a", "b"))
+        assert is_prefix((), ())
+
+    def test_proper_prefix(self):
+        assert is_prefix(("a",), ("a", "b"))
+
+    def test_equal_strings(self):
+        assert is_prefix(("a", "b"), ("a", "b"))
+
+    def test_not_a_prefix(self):
+        assert not is_prefix(("b",), ("a", "b"))
+
+    def test_longer_is_not_prefix(self):
+        assert not is_prefix(("a", "b", "c"), ("a", "b"))
+
+
+class TestErrContext:
+    def test_singleton(self):
+        from repro.core.contexts import _ErrContext
+
+        assert _ErrContext() is ERR
+
+    def test_repr(self):
+        assert repr(ERR) == "err"
+
+    def test_pickle_roundtrip_preserves_identity(self):
+        assert pickle.loads(pickle.dumps(ERR)) is ERR
+
+
+class TestEntry:
+    def test_entry_context_is_singleton_string(self):
+        assert ENTRY_CONTEXT == (ENTRY,)
+
+    def test_empty_context(self):
+        assert EMPTY_CONTEXT == ()
+
+
+class TestContextUniverse:
+    def test_sizes(self):
+        # 1 + 2 + 4 + 8 contexts over a two-element alphabet up to length 3.
+        universe = context_universe(["a", "b"], 3)
+        assert len(universe) == 15
+
+    def test_contains_empty(self):
+        assert () in context_universe(["a"], 2)
+
+    def test_max_length_respected(self):
+        universe = context_universe(["a", "b"], 2)
+        assert max(len(c) for c in universe) == 2
+
+    def test_no_duplicates(self):
+        universe = context_universe(["a", "b", "a"], 2)
+        assert len(universe) == len(set(universe))
+
+    def test_zero_length(self):
+        assert context_universe(["a"], 0) == [()]

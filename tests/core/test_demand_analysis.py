@@ -1,0 +1,115 @@
+"""Tests for demand-driven context-sensitive analysis (the paper's
+future-work synergy, realized by query slicing)."""
+
+import pytest
+
+from repro import analyze, config_by_name
+from repro.bench.fuzz import random_program
+from repro.core.demand import DemandPointerAnalysis
+from repro.frontend.factgen import facts_from_source, generate_facts
+from repro.frontend.paper_programs import ALL_PROGRAMS, FIGURE_1
+
+TWO_ISLANDS = """
+class Left { Object hold; }
+class Right { Object hold; }
+class M {
+    static Object idL(Object p) { return p; }
+    static Object idR(Object q) { return q; }
+    public static void main(String[] args) {
+        Object a = new Left(); // ha
+        Object la = M.idL(a); // c1
+        Left box = new Left(); // hbox
+        box.hold = la;
+        Object b = new Right(); // hb
+        Object rb = M.idR(b); // c2
+        Right rbox = new Right(); // hrbox
+        rbox.hold = rb;
+    }
+}
+"""
+
+
+class TestExactness:
+    @pytest.mark.parametrize("program_name", sorted(ALL_PROGRAMS))
+    @pytest.mark.parametrize("config_name", ["1-call", "1-call+H", "2-object+H"])
+    def test_matches_exhaustive_everywhere(self, program_name, config_name):
+        facts = facts_from_source(ALL_PROGRAMS[program_name])
+        full = analyze(facts, config_by_name(config_name))
+        demand = DemandPointerAnalysis(facts, config_by_name(config_name))
+        for var in sorted({y for (y, _) in full.pts_ci()}):
+            assert demand.points_to(var) == full.points_to(var), var
+            assert demand.points_to_with_contexts(var) == (
+                full.points_to_with_contexts(var)
+            ), var
+
+    def test_empty_answer_for_pointerless_var(self):
+        facts = facts_from_source(FIGURE_1)
+        demand = DemandPointerAnalysis(facts, config_by_name("1-call"))
+        assert demand.points_to("T.main/nonexistent") == frozenset()
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("abstraction", ["context-string", "transformer-string"])
+    def test_fuzz_corpus(self, seed, abstraction):
+        facts = generate_facts(random_program(seed, size=3))
+        config = config_by_name("1-call+H", abstraction)
+        full = analyze(facts, config)
+        demand = DemandPointerAnalysis(facts, config)
+        variables = sorted({y for (y, _) in full.pts_ci()})[:10]
+        for var in variables:
+            assert demand.points_to(var) == full.points_to(var), (seed, var)
+
+    def test_exceptions_query(self):
+        source = """
+        class Exc { }
+        class M {
+            static void boom() { Exc e = new Exc(); // he
+                throw e; }
+            public static void main(String[] args) {
+                M.boom(); // c1
+            }
+        }
+        """
+        facts = facts_from_source(source)
+        demand = DemandPointerAnalysis(facts, config_by_name("1-call"))
+        assert demand.thrown_exceptions("M.main") == {"he"}
+        assert demand.thrown_exceptions("M.boom") == {"he"}
+
+
+class TestLocality:
+    def test_query_slices_its_island(self):
+        facts = facts_from_source(TWO_ISLANDS)
+        demand = DemandPointerAnalysis(facts, config_by_name("1-call"))
+        demand.points_to("M.main/la")
+        sliced, total = demand.coverage()
+        assert 0 < sliced < total
+        # The Right island's identity chain is untouched.
+        assert "M.idR/q" not in demand.vars
+
+    def test_slice_grows_monotonically(self):
+        facts = facts_from_source(TWO_ISLANDS)
+        demand = DemandPointerAnalysis(facts, config_by_name("1-call"))
+        demand.points_to("M.main/la")
+        first, _ = demand.coverage()
+        demand.points_to("M.main/rb")
+        second, _ = demand.coverage()
+        assert second > first
+
+    def test_repeated_queries_reuse_slice(self):
+        facts = facts_from_source(TWO_ISLANDS)
+        demand = DemandPointerAnalysis(facts, config_by_name("1-call"))
+        assert demand.points_to("M.main/la") == demand.points_to("M.main/la")
+        first, _ = demand.coverage()
+        demand.points_to("M.main/la")
+        assert demand.coverage()[0] == first
+
+    def test_transformer_strings_keep_demand_results_compact(self):
+        """The paper's synergy: a demanded method's local facts stay
+        single-ε even though the slice pulled in many callers."""
+        from repro.core.transformer_strings import EPSILON
+
+        facts = facts_from_source(ALL_PROGRAMS["figure5"])
+        demand = DemandPointerAnalysis(
+            facts, config_by_name("1-call+H", "transformer-string")
+        )
+        contexts = demand.points_to_with_contexts("T.m/h")
+        assert contexts == frozenset({("h1", EPSILON)})

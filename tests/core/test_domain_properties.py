@@ -1,0 +1,142 @@
+"""Property tests over the Figure 4 flavour functions.
+
+For every flavour, the two abstractions' ``merge``/``merge_s`` outputs
+must correspond: the transformer edge applied to the concretization of
+the receiver pair must cover the context-string edge's mapping.  These
+generalize the hand-picked cases in ``test_sensitivity.py`` to random
+receivers across all five flavours.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import sensitivity as sens
+from repro.core.context_strings import to_transformer_string
+from repro.core.sensitivity import Flavour
+from repro.core.transformations import ContextSet
+
+ELEMENTS = ("c1", "c2", "h1", "h2")
+
+contexts = st.lists(st.sampled_from(ELEMENTS), max_size=2).map(tuple)
+
+FLAVOURS = [
+    Flavour.CALL_SITE, Flavour.OBJECT, Flavour.TYPE,
+    Flavour.PLAIN_OBJECT, Flavour.HYBRID,
+]
+
+
+def class_of(heap: str) -> str:
+    return f"T{heap}"
+
+
+def pair_for(flavour: Flavour, heap_ctx, m_ctx, m):
+    """A well-formed receiver pair for the flavour's level discipline."""
+    h = m if flavour in (Flavour.CALL_SITE, Flavour.PLAIN_OBJECT) else m - 1
+    return (heap_ctx[:h], m_ctx[:m])
+
+
+DEFAULT_SAMPLES = [
+    ContextSet.of(()),
+    ContextSet.of(("c1",)),
+    ContextSet.of(("c1", "c2")),
+    ContextSet.of(("h1", "c2")),
+    ContextSet.everything(),
+]
+
+
+def covers(general, specific, samples=None) -> bool:
+    """Every concrete output of ``specific`` appears in ``general``."""
+    if samples is None:
+        samples = DEFAULT_SAMPLES
+    for sample in samples:
+        out_general = general.semantics(sample)
+        out_specific = specific.semantics(sample)
+        for ctx in out_specific.concrete:
+            if ctx not in out_general:
+                return False
+        for prefix in out_specific.prefixes:
+            if prefix not in out_general and not any(
+                prefix[: len(q)] == q for q in out_general.prefixes
+            ):
+                return False
+    return True
+
+
+class TestMergeCorrespondence:
+    @pytest.mark.parametrize("flavour", FLAVOURS)
+    @given(heap_ctx=contexts, m_ctx=contexts)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_edges_correspond(self, flavour, heap_ctx, m_ctx):
+        m = 2
+        receiver_pair = pair_for(flavour, heap_ctx, m_ctx, m)
+        edge_cs = sens.merge_cs(
+            flavour, "h1", "c1", receiver_pair, m, class_of
+        )
+        edge_ts = sens.merge_ts(
+            flavour, "h1", "c1", to_transformer_string(receiver_pair),
+            m, class_of,
+        )
+        assert edge_ts is not None
+        # The CS edge (a wildcard transformer) concretizes everything the
+        # TS edge maps on receiver-compatible inputs — i.e. the TS edge
+        # is a refinement of the CS edge.
+        assert covers(to_transformer_string(edge_cs), edge_ts)
+
+    @pytest.mark.parametrize("flavour", FLAVOURS)
+    @given(m_ctx=contexts)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_s_edges_correspond(self, flavour, m_ctx):
+        """On contexts within the reach-prefix cone (the contexts the
+        context-string fact describes), the TS edge refines the CS edge;
+        outside that cone the TS edge is deliberately more general (one
+        fact covering every reach context)."""
+        m = 2
+        context = m_ctx[:m]
+        edge_cs = sens.merge_s_cs(flavour, "c9", context, m)
+        edge_ts = sens.merge_s_ts(flavour, "c9", context, m)
+        on_cone = [
+            ContextSet.of(context),
+            ContextSet.of(context + ("c2",)),
+            ContextSet.cone(context),
+        ]
+        assert covers(
+            to_transformer_string(edge_cs), edge_ts, samples=on_cone
+        )
+
+    @pytest.mark.parametrize("flavour", FLAVOURS)
+    @given(m_ctx=contexts)
+    @settings(max_examples=40, deadline=None)
+    def test_record_correspondence(self, flavour, m_ctx):
+        h = 1
+        context = m_ctx[:2]
+        record_cs = sens.record_cs(context, h)
+        record_ts = sens.record_ts(context, h)
+        on_cone = [
+            ContextSet.of(context),
+            ContextSet.of(context + ("h2",)),
+            ContextSet.cone(context),
+        ]
+        # On the enumerated context, ε refines (prefix_h(M), M).
+        assert covers(
+            to_transformer_string(record_cs), record_ts, samples=on_cone
+        )
+
+    @pytest.mark.parametrize("flavour", FLAVOURS)
+    @given(heap_ctx=contexts, m_ctx=contexts)
+    @settings(max_examples=60, deadline=None)
+    def test_edge_targets_agree(self, flavour, heap_ctx, m_ctx):
+        """The CS edge's destination context is reachable under the TS
+        edge's target prefix (the REACH rule's consistency)."""
+        m = 2
+        receiver_pair = pair_for(flavour, heap_ctx, m_ctx, m)
+        edge_cs = sens.merge_cs(flavour, "h1", "c1", receiver_pair, m, class_of)
+        edge_ts = sens.merge_ts(
+            flavour, "h1", "c1", to_transformer_string(receiver_pair),
+            m, class_of,
+        )
+        cs_target = edge_cs[1]
+        ts_target = edge_ts.pushes
+        assert cs_target[: len(ts_target)] == ts_target or (
+            ts_target[: len(cs_target)] == cs_target
+        )

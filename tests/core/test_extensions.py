@@ -1,0 +1,193 @@
+"""Solver tests for the static-field and exception rules (the paper's
+"present in the evaluated implementation" extensions)."""
+
+import pytest
+
+from repro import analyze, config_by_name
+
+ABSTRACTIONS = ("context-string", "transformer-string")
+
+STATIC_FIELD_PROGRAM = """
+class Registry { static Object value; }
+class Producer {
+    static void publish(Object v) { Registry.value = v; }
+}
+class Consumer {
+    static Object fetch() {
+        Object r = Registry.value;
+        return r;
+    }
+}
+class M {
+    public static void main(String[] args) {
+        Object a = new M(); // ha
+        Object b = new M(); // hb
+        Producer.publish(a); // c1
+        Producer.publish(b); // c2
+        Object got = Consumer.fetch(); // c3
+    }
+}
+"""
+
+EXCEPTION_PROGRAM = """
+class ExcA { }
+class ExcB { }
+class Deep {
+    static void boom() {
+        ExcA e = new ExcA(); // ea
+        throw e;
+    }
+}
+class Mid {
+    static void relay() {
+        Deep.boom(); // c1
+    }
+}
+class M {
+    public static void main(String[] args) {
+        try {
+            Mid.relay(); // c2
+        } catch (ExcA caught) {
+            Object seen = caught;
+        }
+        ExcB other = new ExcB(); // eb
+    }
+}
+"""
+
+
+@pytest.mark.parametrize("abstraction", ABSTRACTIONS)
+class TestStaticFields:
+    def test_static_field_is_a_global_join_point(self, abstraction):
+        r = analyze(STATIC_FIELD_PROGRAM, config_by_name("2-call", abstraction))
+        assert r.static_field_points_to("Registry.value") == {"ha", "hb"}
+        assert r.points_to("M.main/got") == {"ha", "hb"}
+
+    def test_reader_in_unreachable_method_gets_nothing(self, abstraction):
+        source = STATIC_FIELD_PROGRAM.replace(
+            "Object got = Consumer.fetch(); // c3", ""
+        )
+        r = analyze(source, config_by_name("1-call", abstraction))
+        assert r.points_to("Consumer.fetch/r") == set()
+
+    def test_spts_counts_exposed(self, abstraction):
+        r = analyze(STATIC_FIELD_PROGRAM, config_by_name("1-call", abstraction))
+        assert len(r.spts) >= 1
+
+
+class TestStaticFieldCompactness:
+    def test_transformer_strings_store_one_fact_per_site(self):
+        """Under +H configurations context strings enumerate the loaded
+        value per reachable context of the loading method; transformer
+        strings use a single wildcard fact."""
+        cs = analyze(
+            STATIC_FIELD_PROGRAM, config_by_name("2-call+H", "context-string")
+        )
+        ts = analyze(
+            STATIC_FIELD_PROGRAM,
+            config_by_name("2-call+H", "transformer-string"),
+        )
+        cs_r = [a for (y, h, a) in cs.pts if y == "Consumer.fetch/r"]
+        ts_r = [a for (y, h, a) in ts.pts if y == "Consumer.fetch/r"]
+        assert len(ts_r) <= len(cs_r)
+        assert cs.pts_ci() == ts.pts_ci()
+
+
+@pytest.mark.parametrize("abstraction", ABSTRACTIONS)
+class TestExceptions:
+    def test_exception_propagates_up_call_chain(self, abstraction):
+        r = analyze(EXCEPTION_PROGRAM, config_by_name("2-call", abstraction))
+        assert r.thrown_exceptions("Deep.boom") == {"ea"}
+        assert r.thrown_exceptions("Mid.relay") == {"ea"}
+        assert r.thrown_exceptions("M.main") == {"ea"}
+
+    def test_catch_binds_exception_object(self, abstraction):
+        r = analyze(EXCEPTION_PROGRAM, config_by_name("2-call", abstraction))
+        assert r.points_to("M.main/caught") == {"ea"}
+        assert r.points_to("M.main/seen") == {"ea"}
+
+    def test_unthrown_object_not_caught(self, abstraction):
+        r = analyze(EXCEPTION_PROGRAM, config_by_name("2-call", abstraction))
+        assert "eb" not in r.points_to("M.main/caught")
+
+    def test_exceptions_in_unreachable_code_ignored(self, abstraction):
+        source = """
+        class Exc { }
+        class Dead { static void never() { Exc e = new Exc(); // he
+            throw e; } }
+        class M { public static void main(String[] args) { } }
+        """
+        r = analyze(source, config_by_name("1-call", abstraction))
+        assert r.texc == set()
+
+
+class TestExceptionContextSensitivity:
+    SOURCE = """
+    class Exc { }
+    class Thrower {
+        static void go(Object p) {
+            throw p;
+        }
+    }
+    class M {
+        public static void main(String[] args) {
+            Object e1 = new Exc(); // e1
+            Object e2 = new Exc(); // e2
+            try { Thrower.go(e1); // c1
+            } catch (Exc a) { Object got1 = a; }
+            try { Thrower.go(e2); // c2
+            } catch (Exc b) { Object got2 = b; }
+        }
+    }
+    """
+
+    @pytest.mark.parametrize("abstraction", ABSTRACTIONS)
+    def test_flow_insensitive_catch_merges(self, abstraction):
+        # Both catch vars live in main: texc(main) holds both objects, so
+        # the flow-insensitive catch rule merges them — identically under
+        # both abstractions.
+        r = analyze(self.SOURCE, config_by_name("1-call", abstraction))
+        assert r.points_to("M.main/a") == {"e1", "e2"}
+        assert r.thrown_exceptions("Thrower.go") == {"e1", "e2"}
+
+    def test_abstractions_agree_on_texc_projection(self):
+        for config_name in ("1-call", "1-call+H", "2-object+H"):
+            cs = analyze(self.SOURCE, config_by_name(config_name, "context-string"))
+            ts = analyze(
+                self.SOURCE, config_by_name(config_name, "transformer-string")
+            )
+            assert {(p, h) for (p, h, _) in cs.texc} == {
+                (p, h) for (p, h, _) in ts.texc
+            }, config_name
+
+
+class TestExtensionsPreserveCoreBehaviour:
+    @pytest.mark.parametrize("program", [STATIC_FIELD_PROGRAM, EXCEPTION_PROGRAM])
+    @pytest.mark.parametrize(
+        "config_name", ["insensitive", "1-call", "1-call+H", "1-object",
+                        "2-object+H"]
+    )
+    def test_ci_projection_equality_still_holds(self, program, config_name):
+        cs = analyze(program, config_by_name(config_name, "context-string"))
+        ts = analyze(program, config_by_name(config_name, "transformer-string"))
+        assert cs.pts_ci() == ts.pts_ci()
+        assert cs.call_graph() == ts.call_graph()
+        assert {(f, h) for (f, h, _) in cs.spts} == {
+            (f, h) for (f, h, _) in ts.spts
+        }
+
+    def test_subsumption_elimination_safe_with_extensions(self):
+        plain = analyze(
+            EXCEPTION_PROGRAM,
+            config_by_name("1-call+H", "transformer-string"),
+        )
+        pruned = analyze(
+            EXCEPTION_PROGRAM,
+            config_by_name(
+                "1-call+H", "transformer-string", eliminate_subsumed=True
+            ),
+        )
+        assert plain.pts_ci() == pruned.pts_ci()
+        assert {(p, h) for (p, h, _) in plain.texc} == {
+            (p, h) for (p, h, _) in pruned.texc
+        }

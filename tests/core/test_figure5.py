@@ -1,0 +1,115 @@
+"""Gold test: the exact derivation tables of paper Figure 5.
+
+At m = 1, h = 1 under call-site sensitivity, the context-string
+instantiation derives twelve pts and four call facts for the example
+program; the transformer-string instantiation derives five and three,
+with identical context-insensitive projections.  Every fact in the
+paper's table is pinned literally (the paper prints ``entry`` for our
+``<entry>`` sentinel).
+"""
+
+from repro import analyze, config_by_name
+from repro.core.transformer_strings import TransformerString
+from repro.frontend.paper_programs import FIGURE_5
+
+EPS = TransformerString.identity()
+
+
+def run(abstraction):
+    return analyze(FIGURE_5, config_by_name("1-call+H", abstraction))
+
+
+class TestContextStringColumn:
+    def expected_pts(self):
+        return {
+            ("T.m/h", "h1", (("m1",), ("m1",))),
+            ("T.m/h", "h1", (("m2",), ("m2",))),
+            ("T.id/p", "h1", (("m1",), ("id1",))),
+            ("T.id/p", "h1", (("m2",), ("id1",))),
+            ("T.m/r", "h1", (("m1",), ("m1",))),
+            ("T.m/r", "h1", (("m2",), ("m1",))),
+            ("T.m/r", "h1", (("m1",), ("m2",))),
+            ("T.m/r", "h1", (("m2",), ("m2",))),
+            ("T.main/x", "h1", (("m1",), ("<entry>",))),
+            ("T.main/x", "h1", (("m2",), ("<entry>",))),
+            ("T.main/y", "h1", (("m1",), ("<entry>",))),
+            ("T.main/y", "h1", (("m2",), ("<entry>",))),
+        }
+
+    def test_pts_facts_exactly_as_in_paper(self):
+        assert run("context-string").pts == self.expected_pts()
+
+    def test_call_facts_exactly_as_in_paper(self):
+        assert run("context-string").call == {
+            ("m1", "T.m", (("<entry>",), ("m1",))),
+            ("m2", "T.m", (("<entry>",), ("m2",))),
+            ("id1", "T.id", (("m1",), ("id1",))),
+            ("id1", "T.id", (("m2",), ("id1",))),
+        }
+
+    def test_reach_facts(self):
+        assert run("context-string").reach == {
+            ("T.main", ("<entry>",)),
+            ("T.m", ("m1",)),
+            ("T.m", ("m2",)),
+            ("T.id", ("id1",)),
+        }
+
+    def test_r_cannot_distinguish_m1_m2(self):
+        """The heap objects returned from m1 and m2 are conflated: r's
+        facts include the cross pairs (m1, m2) and (m2, m1)."""
+        crosses = {
+            f for f in run("context-string").pts
+            if f[0] == "T.m/r" and f[2][0] != f[2][1]
+        }
+        assert len(crosses) == 2
+
+
+class TestTransformerStringColumn:
+    def test_pts_facts_exactly_as_in_paper(self):
+        assert run("transformer-string").pts == {
+            ("T.m/h", "h1", EPS),
+            ("T.id/p", "h1", TransformerString.entry(("id1",))),
+            ("T.m/r", "h1", EPS),
+            ("T.main/x", "h1", TransformerString.exit(("m1",))),
+            ("T.main/y", "h1", TransformerString.exit(("m2",))),
+        }
+
+    def test_call_facts_exactly_as_in_paper(self):
+        assert run("transformer-string").call == {
+            ("m1", "T.m", TransformerString.entry(("m1",))),
+            ("m2", "T.m", TransformerString.entry(("m2",))),
+            ("id1", "T.id", TransformerString.entry(("id1",))),
+        }
+
+    def test_reach_facts_match_paper(self):
+        assert run("transformer-string").reach == {
+            ("T.main", ("<entry>",)),
+            ("T.m", ("m1",)),
+            ("T.m", ("m2",)),
+            ("T.id", ("id1",)),
+        }
+
+    def test_r_is_a_single_identity_fact(self):
+        """Composing ε with id1̂ then id1̌ yields ε: the compact
+        representation that motivates the paper (Section 6)."""
+        facts = [f for f in run("transformer-string").pts if f[0] == "T.m/r"]
+        assert facts == [("T.m/r", "h1", EPS)]
+
+
+class TestColumnsAgree:
+    def test_fact_count_reduction(self):
+        cs, ts = run("context-string"), run("transformer-string")
+        assert len(cs.pts) == 12 and len(ts.pts) == 5
+        assert len(cs.call) == 4 and len(ts.call) == 3
+
+    def test_ci_projections_identical(self):
+        cs, ts = run("context-string"), run("transformer-string")
+        assert cs.pts_ci() == ts.pts_ci()
+        assert cs.call_graph() == ts.call_graph()
+
+    def test_points_to_results(self):
+        for abstraction in ("context-string", "transformer-string"):
+            r = run(abstraction)
+            assert r.points_to("T.main/x") == {"h1"}
+            assert r.points_to("T.main/y") == {"h1"}

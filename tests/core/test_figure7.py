@@ -1,0 +1,94 @@
+"""Gold test: paper Figure 7 — subsuming facts from multiple data-flow
+paths under a 1-call+H transformer-string analysis (Section 8)."""
+
+from repro import analyze, config_by_name
+from repro.core.transformer_strings import TransformerString
+from repro.frontend.paper_programs import FIGURE_7
+
+EPS = TransformerString.identity()
+C1_GUARD = TransformerString.guard(("c1",))
+
+
+def run(**kwargs):
+    return analyze(
+        FIGURE_7, config_by_name("1-call+H", "transformer-string", **kwargs)
+    )
+
+
+class TestDerivedFactsMatchPaper:
+    """The derivation table in Figure 7, fact for fact."""
+
+    def test_pts_facts(self):
+        assert run().pts == {
+            ("T.main/t", "h2", EPS),
+            ("T.m/this", "h2", TransformerString.entry(("c1",))),
+            ("T.m/v", "h1", EPS),
+            ("T.m/v", "h1", C1_GUARD),  # via the store/load round trip
+        }
+
+    def test_hpts_fact(self):
+        assert run().hpts == {
+            ("h2", "f", "h1", TransformerString.exit(("c1",))),
+        }
+
+    def test_call_fact(self):
+        assert run().call == {
+            ("c1", "T.m", TransformerString.entry(("c1",))),
+        }
+
+    def test_v_reached_through_two_paths(self):
+        """v points to h1 both directly (ε) and through the heap
+        (č1·ĉ1) — the two data-flow paths of the paper's discussion."""
+        facts = {a for (y, h, a) in run().pts if y == "T.m/v"}
+        assert facts == {EPS, C1_GUARD}
+
+
+class TestSubsumption:
+    def test_subsumed_fact_detected(self):
+        found = run().subsumed_pts_facts()
+        assert found == [("T.m/v", "h1", EPS, C1_GUARD)]
+
+    def test_subsumption_ratio(self):
+        assert run().subsumption_ratio() == 0.25
+
+    def test_elimination_drops_the_guarded_fact(self):
+        r = run(eliminate_subsumed=True)
+        facts = {a for (y, h, a) in r.pts if y == "T.m/v"}
+        assert facts == {EPS}
+
+    def test_elimination_preserves_ci_projection(self):
+        plain, eliminated = run(), run(eliminate_subsumed=True)
+        assert plain.pts_ci() == eliminated.pts_ci()
+        assert plain.hpts_ci() == eliminated.hpts_ci()
+        assert plain.call_graph() == eliminated.call_graph()
+        assert eliminated.stats.facts_subsumed >= 1
+
+    def test_context_string_analysis_has_no_subsumption(self):
+        r = analyze(FIGURE_7, config_by_name("1-call+H", "context-string"))
+        assert r.subsumed_pts_facts() == []
+
+    def test_elimination_flag_ignored_for_context_strings(self):
+        r = analyze(
+            FIGURE_7,
+            config_by_name(
+                "1-call+H", "context-string", eliminate_subsumed=True
+            ),
+        )
+        assert r.stats.facts_subsumed == 0
+
+
+class TestEnumerationParity:
+    """Since every invocation of m has a receiver, pts(v, h1, Č·Ĉ) is
+    derived for every reachable context C of m — here just c1 — giving
+    the same enumeration as context strings for that entity."""
+
+    def test_context_string_column(self):
+        r = analyze(FIGURE_7, config_by_name("1-call+H", "context-string"))
+        v_facts = {(h, a) for (y, h, a) in r.pts if y == "T.m/v"}
+        assert v_facts == {("h1", (("c1",), ("c1",)))}
+
+    def test_ci_projections_agree(self):
+        r_cs = analyze(FIGURE_7, config_by_name("1-call+H", "context-string"))
+        r_ts = run()
+        assert r_cs.pts_ci() == r_ts.pts_ci()
+        assert r_cs.hpts_ci() == r_ts.hpts_ci()

@@ -1,0 +1,133 @@
+"""Tests for the beyond-paper flavours: plain object sensitivity
+(paper Section 2.2's contrast case) and uniform hybrid sensitivity
+(the paper's citation [6])."""
+
+import pytest
+
+from repro import analyze, config_by_name
+from repro.bench.fuzz import random_program
+from repro.compile.emit import compile_transformer_analysis
+from repro.core.sensitivity import Flavour, validate_levels
+from repro.frontend.factgen import generate_facts
+from repro.frontend.paper_programs import FIGURE_1
+
+STATIC_WRAPPER = """
+class Util { static Object id(Object p) { return p; } }
+class M {
+    public static void main(String[] args) {
+        Object a = new M(); // ha
+        Object b = new M(); // hb
+        Object x1 = Util.id(a); // s1
+        Object x2 = Util.id(b); // s2
+    }
+}
+"""
+
+
+class TestLevels:
+    def test_plain_object_allows_h_le_m(self):
+        validate_levels(Flavour.PLAIN_OBJECT, 2, 0)
+        validate_levels(Flavour.PLAIN_OBJECT, 2, 2)
+
+    def test_hybrid_requires_h_eq_m_minus_1(self):
+        validate_levels(Flavour.HYBRID, 2, 1)
+        with pytest.raises(ValueError):
+            validate_levels(Flavour.HYBRID, 2, 0)
+
+    def test_config_names(self):
+        for name in ("1-plain-object", "2-plain-object+H", "1-hybrid",
+                     "2-hybrid+H"):
+            cfg = config_by_name(name)
+            assert cfg.sensitivity_name == name
+
+
+class TestPlainVsFullObject:
+    """Paper Section 2.2: "the receiver object for the subsequent
+    invocation of id inside id2 stays the same, and thus id is invoked
+    with the same method context of [h4, entry]" under *full* object
+    sensitivity, whereas "id is invoked with the method context of
+    [h4, h4, entry] under plain object sensitivity"."""
+
+    def test_full_object_contexts_of_id(self):
+        r = analyze(FIGURE_1, config_by_name("2-object+H", "context-string"))
+        contexts = {m for (p, m) in r.reach if p == "T.id"}
+        assert ("h4", "<entry>") in contexts
+        assert not any(m == ("h4", "h4") for m in contexts)
+
+    def test_plain_object_contexts_of_id(self):
+        r = analyze(
+            FIGURE_1, config_by_name("2-plain-object+H", "context-string")
+        )
+        contexts = {m for (p, m) in r.reach if p == "T.id"}
+        assert ("h4", "h4") in contexts  # the paper's [h4, h4, entry]
+
+    @pytest.mark.parametrize("name", ["1-plain-object", "2-plain-object+H"])
+    def test_plain_object_still_separates_x2_y2(self, name):
+        r = analyze(FIGURE_1, config_by_name(name))
+        assert r.points_to("T.main/x2") == {"h1"}
+        assert r.points_to("T.main/y2") == {"h2"}
+
+
+class TestHybrid:
+    def test_static_wrappers_precise_under_hybrid(self):
+        """Object sensitivity merges static-call contexts (the callee
+        inherits the caller's single context); the hybrid's call-site
+        push keeps the two wrapper invocations apart."""
+        obj = analyze(STATIC_WRAPPER, config_by_name("1-object"))
+        hybrid = analyze(STATIC_WRAPPER, config_by_name("1-hybrid"))
+        assert obj.points_to("M.main/x1") == {"ha", "hb"}
+        assert hybrid.points_to("M.main/x1") == {"ha"}
+        assert hybrid.points_to("M.main/x2") == {"hb"}
+
+    def test_hybrid_keeps_object_contexts_for_virtuals(self):
+        r = analyze(FIGURE_1, config_by_name("2-hybrid+H", "context-string"))
+        contexts = {m for (p, m) in r.reach if p == "T.id"}
+        assert ("h4", "<entry>") in contexts
+        # Figure 1's x2/y2 stay precise, as under full object sensitivity.
+        assert r.points_to("T.main/x2") == {"h1"}
+
+
+class TestAbstractionParity:
+    """The new flavours inherit the paper's precision-equality property
+    (their merges are the call-site/object shapes with different pushed
+    elements)."""
+
+    CONFIGS = ("1-plain-object", "2-plain-object+H", "1-hybrid", "2-hybrid+H")
+
+    @pytest.mark.parametrize("config_name", CONFIGS)
+    def test_ci_projection_equality_on_corpus(self, config_name):
+        from repro.frontend.paper_programs import ALL_PROGRAMS
+
+        sources = dict(ALL_PROGRAMS, static_wrapper=STATIC_WRAPPER)
+        for name, source in sources.items():
+            cs = analyze(source, config_by_name(config_name, "context-string"))
+            ts = analyze(source, config_by_name(config_name, "transformer-string"))
+            assert cs.pts_ci() == ts.pts_ci(), (name, config_name)
+            assert cs.call_graph() == ts.call_graph(), (name, config_name)
+
+    @pytest.mark.parametrize("config_name", CONFIGS)
+    @pytest.mark.parametrize("seed", range(6))
+    def test_ci_projection_equality_on_fuzz(self, config_name, seed):
+        facts = generate_facts(random_program(seed, size=3))
+        cs = analyze(facts, config_by_name(config_name, "context-string"))
+        ts = analyze(facts, config_by_name(config_name, "transformer-string"))
+        assert cs.pts_ci() == ts.pts_ci()
+        assert cs.call_graph() == ts.call_graph()
+
+
+class TestDatalogPathSupportsNewFlavours:
+    @pytest.mark.parametrize(
+        "flavour,m,h",
+        [(Flavour.PLAIN_OBJECT, 2, 1), (Flavour.HYBRID, 2, 1)],
+    )
+    def test_specialized_program_matches_solver(self, flavour, m, h):
+        facts = generate_facts(random_program(3, size=3))
+        name = (
+            "2-plain-object+H" if flavour is Flavour.PLAIN_OBJECT
+            else "2-hybrid+H"
+        )
+        solver = analyze(facts, config_by_name(name, "transformer-string"))
+        compiled = compile_transformer_analysis(facts, flavour, m, h).run()
+        assert compiled.pts == solver.pts
+        assert compiled.call == solver.call
+        assert compiled.texc == solver.texc

@@ -1,0 +1,70 @@
+"""Tests for the DOT exports."""
+
+import pytest
+
+from repro import analyze, config_by_name
+from repro.cfl.pag import build_pag
+from repro.core.graphviz import call_graph_dot, pag_dot, points_to_dot
+from repro.frontend.factgen import facts_from_source
+from repro.frontend.paper_programs import FIGURE_1
+
+
+@pytest.fixture(scope="module")
+def result():
+    return analyze(FIGURE_1, config_by_name("1-call"))
+
+
+class TestCallGraphDot:
+    def test_structure(self, result):
+        dot = call_graph_dot(result)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert '"T.main" [shape=doublecircle];' in dot
+        assert '"T.main" -> "T.id" [label="c2"];' in dot
+
+    def test_all_edges_present(self, result):
+        dot = call_graph_dot(result)
+        assert dot.count("->") == len(result.call_graph())
+
+    def test_title(self, result):
+        assert 'digraph "my graph"' in call_graph_dot(result, title="my graph")
+
+
+class TestPointsToDot:
+    def test_bipartite_shapes(self, result):
+        dot = points_to_dot(result)
+        assert '"h1" [shape=ellipse, style=filled];' in dot
+        assert '"T.main/x" [shape=box];' in dot
+        assert '"T.main/x" -> "h1";' in dot
+
+    def test_restriction(self, result):
+        dot = points_to_dot(result, variables=["T.main/x1"])
+        assert '"T.main/x1" -> "h1";' in dot
+        assert '"T.main/y1"' not in dot
+
+    def test_quoting(self):
+        r = analyze(
+            'class A { public static void main(String[] args) '
+            '{ Object x = new A(); // h"1\n } }',
+            config_by_name("1-call"),
+        )
+        dot = points_to_dot(r)
+        assert '\\"' in dot
+
+
+class TestPagDot:
+    def test_edges_with_labels(self):
+        facts = facts_from_source(FIGURE_1)
+        pag = build_pag(facts)
+        dot = pag_dot(pag)
+        assert "store[f]" in dot
+        assert "load[f]" in dot
+        assert dot.count("->") == len(pag.edges)
+
+    def test_call_site_markers(self):
+        facts = facts_from_source(FIGURE_1)
+        from repro.cfl.pag import cha_call_graph
+
+        pag = build_pag(facts, call_graph=cha_call_graph(facts))
+        dot = pag_dot(pag)
+        assert "(c2" in dot  # entry edge marker

@@ -1,0 +1,144 @@
+"""Tests for fact provenance and derivation trees."""
+
+import pytest
+
+from repro import AnalysisConfig, Flavour, analyze, config_by_name
+from repro.frontend.paper_programs import FIGURE_1, FIGURE_5
+
+
+def run(source, **kwargs):
+    return analyze(
+        source,
+        AnalysisConfig(
+            flavour=Flavour.CALL_SITE, m=1, h=0, track_provenance=True,
+            **kwargs,
+        ),
+    )
+
+
+class TestRecording:
+    def test_every_derived_fact_has_provenance_or_is_seed(self):
+        r = run(FIGURE_1)
+        solver = r._solver
+        for (y, h, a) in solver.pts:
+            assert ("pts", y, h, a) in solver.provenance
+        for fact in solver.call:
+            assert ("call",) + fact in solver.provenance
+        for fact in solver.reach:
+            assert ("reach",) + fact in solver.provenance
+
+    def test_entry_seed(self):
+        r = run(FIGURE_1)
+        why = r.derivation(("reach", "T.main", ("<entry>",)))
+        assert why[0] == "ENTRY"
+
+    def test_first_derivation_kept(self):
+        r = run(FIGURE_1)
+        # x1 points to h1; some rule derived it with premises.
+        keys = [
+            ("pts", y, h, a)
+            for (y, h, a) in r.pts
+            if y == "T.main/x1" and h == "h1"
+        ]
+        assert keys
+        rule, premises, note = r.derivation(keys[0])
+        assert rule in ("RET", "PARAM", "ASSIGN", "IND")
+        assert premises
+
+    def test_disabled_by_default(self):
+        r = analyze(FIGURE_1, config_by_name("1-call"))
+        with pytest.raises(ValueError, match="track_provenance"):
+            r.explain(("pts", "T.main/x1", "h1", None))
+        assert r._solver.provenance == {}
+
+
+class TestExplain:
+    def test_tree_reaches_entry(self):
+        r = run(FIGURE_1)
+        text = r.explain_points_to("T.main/x1", "h1")
+        assert "ENTRY" in text
+        assert "NEW" in text
+        assert text.splitlines()[0].startswith("pts(T.main/x1, h1")
+
+    def test_indirect_flow_explained_through_heap(self):
+        r = run(FIGURE_1)
+        text = r.explain_points_to("T.main/z", "h1")
+        assert "IND" in text
+        assert "STORE" in text
+        assert "LOAD" in text
+
+    def test_repeats_collapsed(self):
+        r = run(FIGURE_1)
+        text = r.explain_points_to("T.main/z", "h1")
+        assert "see above" in text
+
+    def test_missing_fact(self):
+        r = run(FIGURE_1)
+        assert "does not point to" in r.explain_points_to("T.main/x1", "h99")
+
+    def test_depth_limit(self):
+        r = run(FIGURE_1)
+        shallow = r.explain_points_to("T.main/z", "h1", max_depth=1)
+        assert "…" in shallow
+
+    def test_static_call_provenance(self):
+        r = analyze(
+            FIGURE_5,
+            AnalysisConfig(
+                flavour=Flavour.CALL_SITE, m=1, h=1, track_provenance=True
+            ),
+        )
+        text = r.explain_points_to("T.main/x", "h1")
+        assert "STATIC" in text or "RET" in text
+
+    def test_provenance_works_for_context_strings(self):
+        r = run(FIGURE_1, abstraction="context-string")
+        text = r.explain_points_to("T.main/x1", "h1")
+        assert "RET" in text or "PARAM" in text
+
+
+class TestExtensionsProvenance:
+    SOURCE = """
+    class Exc { }
+    class Reg { static Object slot; }
+    class M {
+        static void boom() {
+            Exc e = new Exc(); // he
+            throw e;
+        }
+        public static void main(String[] args) {
+            Object v = new M(); // hv
+            Reg.slot = v;
+            Object r = Reg.slot;
+            try { M.boom(); // c1
+            } catch (Exc caught) { }
+        }
+    }
+    """
+
+    def test_static_field_chain(self):
+        r = run(self.SOURCE)
+        text = r.explain_points_to("M.main/r", "hv")
+        assert "SLOAD" in text
+        assert "SSTORE" in text
+
+    def test_exception_chain(self):
+        r = run(self.SOURCE)
+        text = r.explain_points_to("M.main/caught", "he")
+        assert "ECATCH" in text
+        assert "EPROP" in text
+        assert "THROW" in text
+
+
+class TestProvenanceDoesNotChangeResults:
+    def test_identical_relations(self):
+        plain = analyze(FIGURE_1, config_by_name("2-object+H"))
+        tracked = analyze(
+            FIGURE_1,
+            AnalysisConfig(
+                flavour=Flavour.OBJECT, m=2, h=1, track_provenance=True
+            ),
+        )
+        assert plain.pts == tracked.pts
+        assert plain.call == tracked.call
+        assert plain.hpts == tracked.hpts

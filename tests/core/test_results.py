@@ -1,0 +1,74 @@
+"""Tests for the AnalysisResult views."""
+
+import pytest
+
+from repro import analyze, config_by_name
+from repro.frontend.paper_programs import FIGURE_1
+
+ALIAS_SOURCE = """
+class Box { Object f; }
+class M {
+    public static void main(String[] args) {
+        Object o = new M(); // ho
+        Box p = new Box(); // hp
+        Box q = p;
+        Box r = new Box(); // hr
+        p.f = o;
+    }
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def result():
+    return analyze(ALIAS_SOURCE, config_by_name("1-call"))
+
+
+class TestProjections:
+    def test_points_to_unknown_var_is_empty(self, result):
+        assert result.points_to("M.main/nothing") == frozenset()
+
+    def test_points_to_with_contexts(self, result):
+        facts = result.points_to_with_contexts("M.main/p")
+        assert {h for (h, _) in facts} == {"hp"}
+
+    def test_pts_ci_contains_all_vars(self, result):
+        ci = result.pts_ci()
+        assert ("M.main/p", "hp") in ci
+        assert ("M.main/q", "hp") in ci
+
+    def test_may_alias(self, result):
+        assert result.may_alias("M.main/p", "M.main/q")
+        assert not result.may_alias("M.main/p", "M.main/r")
+        assert not result.may_alias("M.main/p", "M.main/o")
+
+    def test_hpts_ci(self, result):
+        assert result.hpts_ci() == {("hp", "f", "ho")}
+
+    def test_field_may_alias_same_heap(self):
+        r = analyze(FIGURE_1, config_by_name("1-call"))
+        # without heap context both a.f and b.f resolve through m1.
+        assert r.field_may_alias("m1", "m1", "f")
+
+    def test_ci_sizes_match_projections(self, result):
+        sizes = result.ci_sizes()
+        assert sizes["pts"] == len(result.pts_ci())
+        assert sizes["hpts"] == len(result.hpts_ci())
+        assert sizes["call"] == len(result.call_graph())
+
+    def test_seconds_positive(self, result):
+        assert result.seconds > 0
+
+
+class TestSubsumptionViews:
+    def test_context_string_result_reports_none(self):
+        r = analyze(ALIAS_SOURCE, config_by_name("1-call", "context-string"))
+        assert r.subsumed_pts_facts() == []
+        assert r.subsumption_ratio() == 0.0
+
+    def test_ratio_zero_when_no_pts(self):
+        r = analyze(
+            "class M { public static void main(String[] args) { } }",
+            config_by_name("1-call"),
+        )
+        assert r.subsumption_ratio() == 0.0

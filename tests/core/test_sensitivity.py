@@ -1,0 +1,261 @@
+"""Tests for the Figure 4 flavour functions and the abstraction domains.
+
+The key cross-abstraction property: under every flavour, the call-edge
+transformation computed for transformer strings must denote (at least)
+the same context mapping as the context-string pair, when the receiver's
+points-to transformation corresponds.
+"""
+
+import pytest
+
+from repro.core import sensitivity as sens
+from repro.core.context_strings import to_transformer_string
+from repro.core.domains import (
+    ContextStringDomain,
+    TransformerStringDomain,
+    make_domain,
+)
+from repro.core.sensitivity import Flavour
+from repro.core.transformations import ContextSet
+from repro.core.transformer_strings import EPSILON, STAR, TransformerString
+
+
+class TestValidateLevels:
+    def test_call_site_accepts_h_le_m(self):
+        sens.validate_levels(Flavour.CALL_SITE, 2, 0)
+        sens.validate_levels(Flavour.CALL_SITE, 2, 2)
+
+    def test_call_site_rejects_h_gt_m(self):
+        with pytest.raises(ValueError):
+            sens.validate_levels(Flavour.CALL_SITE, 1, 2)
+
+    def test_object_requires_h_eq_m_minus_1(self):
+        sens.validate_levels(Flavour.OBJECT, 2, 1)
+        with pytest.raises(ValueError):
+            sens.validate_levels(Flavour.OBJECT, 2, 0)
+
+    def test_type_requires_h_eq_m_minus_1(self):
+        sens.validate_levels(Flavour.TYPE, 1, 0)
+        with pytest.raises(ValueError):
+            sens.validate_levels(Flavour.TYPE, 1, 1)
+
+    def test_negative_levels_rejected(self):
+        with pytest.raises(ValueError):
+            sens.validate_levels(Flavour.CALL_SITE, -1, 0)
+
+
+class TestContextStringFlavours:
+    def test_record_truncates_heap_side(self):
+        assert sens.record_cs(("c1", "c4"), 1) == (("c1",), ("c1", "c4"))
+
+    def test_record_zero_heap(self):
+        assert sens.record_cs(("c1",), 0) == ((), ("c1",))
+
+    def test_merge_call_site(self):
+        pair = sens.merge_cs(
+            Flavour.CALL_SITE, "h9", "i1", (("x",), ("c1", "c2")), m=2
+        )
+        assert pair == (("c1", "c2"), ("i1", "c1"))
+
+    def test_merge_object(self):
+        pair = sens.merge_cs(
+            Flavour.OBJECT, "h9", "i1", (("h3",), ("h3", "e")), m=2
+        )
+        assert pair == (("h3", "e"), ("h9", "h3"))
+
+    def test_merge_type(self):
+        pair = sens.merge_cs(
+            Flavour.TYPE, "h9", "i1", (("T0",), ("T0", "e")), m=2,
+            class_of=lambda h: "T" + h[1:],
+        )
+        assert pair == (("T0", "e"), ("T9", "T0"))
+
+    def test_merge_type_requires_class_of(self):
+        with pytest.raises(ValueError):
+            sens.merge_cs(Flavour.TYPE, "h9", "i1", ((), ("e",)), m=1)
+
+    def test_merge_s_call_site(self):
+        assert sens.merge_s_cs(Flavour.CALL_SITE, "i2", ("c9",), m=1) == (
+            ("c9",),
+            ("i2",),
+        )
+
+    def test_merge_s_object_keeps_context(self):
+        assert sens.merge_s_cs(Flavour.OBJECT, "i2", ("h1", "e"), m=2) == (
+            ("h1", "e"),
+            ("h1", "e"),
+        )
+
+    def test_merge_call_site_m0_degrades(self):
+        pair = sens.merge_cs(Flavour.CALL_SITE, "h", "i", ((), ()), m=0)
+        assert pair == ((), ())
+
+
+class TestTransformerFlavours:
+    def test_record_is_identity(self):
+        assert sens.record_ts(("c1", "c4"), 1) == EPSILON
+
+    def test_merge_s_call_site_is_entry(self):
+        t = sens.merge_s_ts(Flavour.CALL_SITE, "i1", ("c9",), m=2)
+        assert t == TransformerString(pushes=("i1",))
+
+    def test_merge_s_object_is_guard(self):
+        t = sens.merge_s_ts(Flavour.OBJECT, "i1", ("h1", "e"), m=2)
+        assert t == TransformerString(("h1", "e"), False, ("h1", "e"))
+
+    def test_merge_call_site_restricts_then_pushes(self):
+        # Receiver pts transformer ε: call edge is just Î (truncated).
+        t = sens.merge_ts(Flavour.CALL_SITE, "h9", "i1", EPSILON, m=2)
+        assert t == TransformerString(pushes=("i1",))
+
+    def test_merge_call_site_truncation(self):
+        # Receiver with a 2-push transformer at m=2: pushing I overflows.
+        receiver = TransformerString(pushes=("c1", "c2"))
+        t = sens.merge_ts(Flavour.CALL_SITE, "h9", "i1", receiver, m=2)
+        assert t == TransformerString(("c1", "c2"), True, ("i1", "c1"))
+
+    def test_merge_object(self):
+        # Section 3: merge = B⁻¹ ; Ĥ.
+        receiver = TransformerString(("h3",), False, ("c4",))
+        t = sens.merge_ts(Flavour.OBJECT, "h9", "i1", receiver, m=2)
+        assert t == TransformerString(("c4",), False, ("h9", "h3"))
+
+    def test_merge_type_uses_class_of(self):
+        receiver = EPSILON
+        t = sens.merge_ts(
+            Flavour.TYPE, "h9", "i1", receiver, m=1, class_of=lambda h: "Tk"
+        )
+        assert t == TransformerString((), False, ("Tk",))
+
+    def test_merge_type_requires_class_of(self):
+        with pytest.raises(ValueError):
+            sens.merge_ts(Flavour.TYPE, "h9", "i1", EPSILON, m=1)
+
+
+class TestCrossAbstractionAgreement:
+    """When the receiver facts correspond ((A,B) pair vs Ǎ·*·B̂ string),
+    merge must produce corresponding call edges (up to subsumption)."""
+
+    SAMPLES = [
+        ContextSet.of(("c1", "c2")),
+        ContextSet.of(("c2", "c1")),
+        ContextSet.of(("h3", "e")),
+        ContextSet.everything(),
+        ContextSet.empty(),
+    ]
+
+    def _assert_covers(self, t_general, t_specific):
+        for s in self.SAMPLES:
+            out_g = t_general.semantics(s)
+            out_s = t_specific.semantics(s)
+            for ctx in out_s.concrete:
+                assert ctx in out_g
+            for p in out_s.prefixes:
+                assert any(p[: len(q)] == q for q in out_g.prefixes) or p in out_g.prefixes
+
+    def test_merge_object_agrees(self):
+        pair = (("h3",), ("h3", "e"))
+        edge_cs = sens.merge_cs(Flavour.OBJECT, "h9", "i1", pair, m=2)
+        edge_ts = sens.merge_ts(
+            Flavour.OBJECT, "h9", "i1", to_transformer_string(pair), m=2
+        )
+        # The pair edge denotes Ǎ·*·B̂ built from edge_cs; the transformer
+        # edge applied after the pair's concretization must cover it.
+        self._assert_covers(to_transformer_string(edge_cs), edge_ts)
+
+    def test_merge_call_site_agrees(self):
+        pair = (("x",), ("c1", "c2"))
+        edge_cs = sens.merge_cs(Flavour.CALL_SITE, "h9", "i1", pair, m=2)
+        edge_ts = sens.merge_ts(
+            Flavour.CALL_SITE, "h9", "i1", to_transformer_string(pair), m=2
+        )
+        self._assert_covers(to_transformer_string(edge_cs), edge_ts)
+
+
+class TestDomains:
+    def test_make_domain_shorthands(self):
+        assert isinstance(
+            make_domain("cs", Flavour.CALL_SITE, 1, 0), ContextStringDomain
+        )
+        assert isinstance(
+            make_domain("ts", Flavour.CALL_SITE, 1, 0), TransformerStringDomain
+        )
+
+    def test_make_domain_unknown(self):
+        with pytest.raises(ValueError):
+            make_domain("bdd", Flavour.CALL_SITE, 1, 0)
+
+    def test_type_domain_requires_class_of(self):
+        with pytest.raises(ValueError):
+            make_domain("ts", Flavour.TYPE, 2, 1)
+
+    def test_entry_context_truncation(self):
+        d = make_domain("cs", Flavour.CALL_SITE, 2, 1)
+        assert d.entry_context() == ("<entry>",)
+        d0 = make_domain("cs", Flavour.CALL_SITE, 0, 0)
+        assert d0.entry_context() == ()
+
+    def test_describe(self):
+        d = make_domain("ts", Flavour.OBJECT, 2, 1)
+        assert d.describe() == "2-object+1H/transformer-string"
+        d2 = make_domain("cs", Flavour.CALL_SITE, 1, 0)
+        assert d2.describe() == "1-call-site/context-string"
+
+    def test_join_keys_context_strings(self):
+        d = make_domain("cs", Flavour.CALL_SITE, 1, 1)
+        pair = (("u",), ("v",))
+        assert d.key_out(pair) == ("v",)
+        assert d.key_in(pair) == ("u",)
+        assert d.insert_keys(("v",)) == (("v",),)
+        assert d.probe_keys(("v",)) == (("v",),)
+
+    def test_join_keys_transformer_strings(self):
+        d = make_domain("ts", Flavour.CALL_SITE, 2, 1)
+        t = TransformerString(("a",), True, ("b", "c"))
+        assert d.key_out(t) == ("b", "c")
+        assert d.key_in(t) == ("a",)
+        assert set(d.insert_keys(("b", "c"))) == {
+            ("ge", 0, ()), ("ge", 1, ("b",)), ("ge", 2, ("b", "c")),
+            ("eq", 2, ("b", "c")),
+        }
+        assert set(d.probe_keys(("b", "c"))) == {
+            ("ge", 2, ("b", "c")), ("eq", 0, ()), ("eq", 1, ("b",)),
+        }
+
+    def test_insert_and_probe_keys_meet_iff_prefix_compatible(self):
+        """The bucket scheme is exact: a stored segment is found by a
+        probe iff the two segments are prefix-compatible, exactly once."""
+        import itertools
+
+        d = make_domain("ts", Flavour.CALL_SITE, 2, 2)
+        alphabet = ("a", "b")
+        segments = [
+            tuple(s)
+            for n in range(3)
+            for s in itertools.product(alphabet, repeat=n)
+        ]
+        for stored in segments:
+            for probed in segments:
+                overlap = min(len(stored), len(probed))
+                compatible = stored[:overlap] == probed[:overlap]
+                hits = len(
+                    set(d.insert_keys(stored)) & set(d.probe_keys(probed))
+                )
+                assert hits == (1 if compatible else 0), (stored, probed)
+
+    def test_domain_comp_truncates_transformers(self):
+        d = make_domain("ts", Flavour.CALL_SITE, 1, 1)
+        x = TransformerString(pushes=("a", "b"))
+        out = d.comp(x, EPSILON, 1, 1)
+        assert out == TransformerString((), True, ("a",))
+
+    def test_domain_comp_context_strings_exact(self):
+        d = make_domain("cs", Flavour.CALL_SITE, 1, 1)
+        assert d.comp((("u",), ("v",)), (("v",), ("w",)), 1, 1) == (("u",), ("w",))
+        assert d.comp((("u",), ("v",)), (("z",), ("w",)), 1, 1) is None
+
+    def test_domain_target(self):
+        dts = make_domain("ts", Flavour.CALL_SITE, 2, 1)
+        assert dts.target(TransformerString(("a",), True, ("i1", "c"))) == ("i1", "c")
+        dcs = make_domain("cs", Flavour.CALL_SITE, 2, 1)
+        assert dcs.target((("a",), ("i1", "c"))) == ("i1", "c")

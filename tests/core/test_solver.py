@@ -1,0 +1,350 @@
+"""Unit tests for the worklist solver: each deduction rule in isolation,
+plus dedup/statistics behaviour."""
+
+import pytest
+
+from repro import analyze, config_by_name
+from repro.core.config import AnalysisConfig
+from repro.core.domains import make_domain
+from repro.core.sensitivity import Flavour
+from repro.core.solver import Solver
+from repro.frontend.factgen import FactSet, facts_from_source
+
+
+def run(source, sensitivity="1-call", abstraction="transformer-string"):
+    return analyze(source, config_by_name(sensitivity, abstraction))
+
+
+def wrap_main(body):
+    return (
+        "class M { public static void main(String[] args) {\n%s\n} }" % body
+    )
+
+
+class TestNewAndAssign:
+    def test_new_rule(self):
+        r = run(wrap_main("Object x = new M(); // h1"))
+        assert r.points_to("M.main/x") == {"h1"}
+
+    def test_assign_chain(self):
+        r = run(wrap_main(
+            "Object x = new M(); // h1\n Object y = x; Object z = y;"
+        ))
+        assert r.points_to("M.main/z") == {"h1"}
+
+    def test_assign_is_directional(self):
+        r = run(wrap_main(
+            "Object x = new M(); // h1\n Object y = new M(); // h2\n y = x;"
+        ))
+        assert r.points_to("M.main/y") == {"h1", "h2"}
+        assert r.points_to("M.main/x") == {"h1"}
+
+    def test_unreachable_method_derives_nothing(self):
+        r = run(
+            "class M { static void dead() { Object d = new M(); // h9\n } "
+            "public static void main(String[] args) { } }"
+        )
+        assert r.pts_ci() == frozenset()
+        assert r.reachable_methods() == {"M.main"}
+
+
+class TestHeapAccess:
+    SOURCE = """
+    class Box { Object f; }
+    class M {
+        public static void main(String[] args) {
+            Box b = new Box(); // hb
+            Object o = new M(); // ho
+            b.f = o;
+            Object r = b.f;
+        }
+    }
+    """
+
+    def test_store_load_roundtrip(self):
+        r = run(self.SOURCE)
+        assert r.points_to("M.main/r") == {"ho"}
+        assert r.hpts_ci() == {("hb", "f", "ho")}
+
+    def test_different_fields_do_not_mix(self):
+        r = run(
+            """
+            class Box { Object f; Object g; }
+            class M {
+                public static void main(String[] args) {
+                    Box b = new Box(); // hb
+                    Object o = new M(); // ho
+                    b.f = o;
+                    Object r = b.g;
+                }
+            }
+            """
+        )
+        assert r.points_to("M.main/r") == set()
+
+    def test_different_base_objects_do_not_mix(self):
+        r = run(
+            """
+            class Box { Object f; }
+            class M {
+                public static void main(String[] args) {
+                    Box b1 = new Box(); // hb1
+                    Box b2 = new Box(); // hb2
+                    Object o = new M(); // ho
+                    b1.f = o;
+                    Object r = b2.f;
+                }
+            }
+            """
+        )
+        assert r.points_to("M.main/r") == set()
+
+    def test_aliased_bases_mix(self):
+        r = run(
+            """
+            class Box { Object f; }
+            class M {
+                public static void main(String[] args) {
+                    Box b1 = new Box(); // hb
+                    Box b2 = b1;
+                    Object o = new M(); // ho
+                    b1.f = o;
+                    Object r = b2.f;
+                }
+            }
+            """
+        )
+        assert r.points_to("M.main/r") == {"ho"}
+
+
+class TestCalls:
+    def test_param_and_return_static(self):
+        r = run(
+            """
+            class M {
+                static Object id(Object p) { return p; }
+                public static void main(String[] args) {
+                    Object x = new M(); // h1
+                    Object y = M.id(x); // c1
+                }
+            }
+            """
+        )
+        assert r.points_to("M.id/p") == {"h1"}
+        assert r.points_to("M.main/y") == {"h1"}
+
+    def test_virtual_dispatch_selects_override(self):
+        r = run(
+            """
+            class A { Object mk() { return new A(); // ha\n } }
+            class B extends A { Object mk() { return new B(); // hb\n } }
+            class M {
+                public static void main(String[] args) {
+                    A o = new B(); // recv
+                    Object r = o.mk(); // c1
+                }
+            }
+            """
+        )
+        assert r.points_to("M.main/r") == {"hb"}
+        assert ("c1", "B.mk") in r.call_graph()
+        assert ("c1", "A.mk") not in r.call_graph()
+
+    def test_virtual_dispatch_on_inherited_method(self):
+        r = run(
+            """
+            class A { Object mk() { return new A(); // ha\n } }
+            class B extends A { }
+            class M {
+                public static void main(String[] args) {
+                    A o = new B(); // recv
+                    Object r = o.mk(); // c1
+                }
+            }
+            """
+        )
+        assert ("c1", "A.mk") in r.call_graph()
+        assert r.points_to("M.main/r") == {"ha"}
+
+    def test_this_receives_receiver_object(self):
+        r = run(
+            """
+            class A { Object self() { return this; } }
+            class M {
+                public static void main(String[] args) {
+                    A o = new A(); // recv
+                    Object r = o.self(); // c1
+                }
+            }
+            """
+        )
+        assert r.points_to("A.self/this") == {"recv"}
+        assert r.points_to("M.main/r") == {"recv"}
+
+    def test_dispatch_is_points_to_driven(self):
+        # No allocation flows to the receiver: no call edge at all.
+        r = run(
+            """
+            class A { void go() { } }
+            class M {
+                public static void main(String[] args) {
+                    A o = null;
+                    o.go(); // c1
+                }
+            }
+            """
+        )
+        assert r.call_graph() == frozenset()
+
+    def test_multiple_actuals(self):
+        r = run(
+            """
+            class M {
+                static Object second(Object a, Object b) { return b; }
+                public static void main(String[] args) {
+                    Object x = new M(); // h1
+                    Object y = new M(); // h2
+                    Object r = M.second(x, y); // c1
+                }
+            }
+            """
+        )
+        assert r.points_to("M.main/r") == {"h2"}
+
+    def test_recursion_terminates_and_is_sound(self):
+        r = run(
+            """
+            class M {
+                static Object loop(Object p) {
+                    Object q = M.loop(p); // rec
+                    return p;
+                }
+                public static void main(String[] args) {
+                    Object x = new M(); // h1
+                    Object r = M.loop(x); // c1
+                }
+            }
+            """,
+            sensitivity="2-call",
+        )
+        assert "h1" in r.points_to("M.main/r")
+        assert "h1" in r.points_to("M.loop/p")
+
+    def test_recursion_object_sensitive_transformers(self):
+        r = run(
+            """
+            class A {
+                Object spin(Object p) {
+                    Object q = spin(p); // rec
+                    return p;
+                }
+            }
+            class M {
+                public static void main(String[] args) {
+                    A o = new A(); // recv
+                    Object x = new M(); // h1
+                    Object r = o.spin(x); // c1
+                }
+            }
+            """,
+            sensitivity="2-object+H",
+        )
+        assert "h1" in r.points_to("M.main/r")
+
+
+class TestSolverMechanics:
+    def test_missing_main_raises(self):
+        facts = FactSet()
+        domain = make_domain("ts", Flavour.CALL_SITE, 1, 0)
+        with pytest.raises(ValueError, match="no main"):
+            Solver(facts, domain).solve()
+
+    def test_stats_populated(self):
+        source = wrap_main("Object x = new M(); // h1\n Object y = x;")
+        r = run(source)
+        assert r.stats.facts_derived >= 3
+        assert r.stats.seconds > 0
+        assert set(r.stats.as_dict()) == {
+            "facts_derived", "facts_deduplicated", "facts_subsumed",
+            "rule_firings", "seconds",
+        }
+
+    def test_deduplication_counted(self):
+        # x points to h1 through two assign paths: second derivation dedups.
+        source = wrap_main(
+            "Object a = new M(); // h1\n Object b = a; Object c = a;"
+            " Object d = b; d = c;"
+        )
+        r = run(source)
+        assert r.stats.facts_deduplicated >= 1
+
+    def test_relation_sizes_keys(self):
+        r = run(wrap_main("Object x = new M(); // h1"))
+        assert set(r.relation_sizes()) == {"pts", "hpts", "call"}
+        assert r.total_facts() == sum(r.relation_sizes().values())
+
+    @pytest.mark.parametrize("abstraction", ["context-string", "transformer-string"])
+    def test_m0_context_insensitive_runs(self, abstraction):
+        r = run(wrap_main("Object x = new M(); // h1"),
+                sensitivity="insensitive", abstraction=abstraction)
+        assert r.points_to("M.main/x") == {"h1"}
+
+
+class TestNaiveIndexAblation:
+    """The Section 7 indexing ablation must never change results."""
+
+    def test_identical_results_on_corpus(self):
+        from repro.frontend.paper_programs import ALL_PROGRAMS
+
+        for name, source in ALL_PROGRAMS.items():
+            for sensitivity in ("1-call+H", "2-object+H"):
+                indexed = analyze(
+                    source, config_by_name(sensitivity, "transformer-string")
+                )
+                naive = analyze(
+                    source,
+                    config_by_name(
+                        sensitivity, "transformer-string",
+                        naive_transformer_index=True,
+                    ),
+                )
+                assert indexed.pts == naive.pts, (name, sensitivity)
+                assert indexed.hpts == naive.hpts, (name, sensitivity)
+                assert indexed.call == naive.call, (name, sensitivity)
+
+    def test_flag_is_inert_for_context_strings(self):
+        source = wrap_main("Object x = new M(); // h1")
+        r = analyze(
+            source,
+            config_by_name(
+                "1-call", "context-string", naive_transformer_index=True
+            ),
+        )
+        assert r.points_to("M.main/x") == {"h1"}
+
+
+class TestEliminateSubsumedSoundness:
+    SOURCES = []
+
+    def test_elimination_never_changes_ci_results(self):
+        from repro.frontend.paper_programs import ALL_PROGRAMS
+
+        for name, source in ALL_PROGRAMS.items():
+            for sensitivity in ("1-call", "1-call+H", "2-object+H"):
+                plain = analyze(
+                    source,
+                    config_by_name(sensitivity, "transformer-string"),
+                )
+                pruned = analyze(
+                    source,
+                    config_by_name(
+                        sensitivity, "transformer-string",
+                        eliminate_subsumed=True,
+                    ),
+                )
+                assert plain.pts_ci() == pruned.pts_ci(), (name, sensitivity)
+                assert plain.hpts_ci() == pruned.hpts_ci(), (name, sensitivity)
+                assert plain.call_graph() == pruned.call_graph(), (
+                    name, sensitivity,
+                )
+                assert pruned.total_facts() <= plain.total_facts()

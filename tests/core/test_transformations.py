@@ -1,0 +1,180 @@
+"""Tests for the ground-truth semantics of context transformations.
+
+These pin down the Section 3 definitions (single-context primitives) and
+the :class:`ContextSet` machinery that the property tests later rely on
+as an oracle, including the worked path examples P, P′ and P″ from the
+paper's Sections 2.2–3 (experiment E7 of DESIGN.md).
+"""
+
+from repro.core.contexts import ERR
+from repro.core.transformations import (
+    ContextSet,
+    WILDCARD,
+    apply_word,
+    apply_word_to_context,
+    compose,
+    identity,
+    pop,
+    pop_letter,
+    push,
+    push_letter,
+)
+
+
+class TestSingleContextPrimitives:
+    def test_push_prefixes(self):
+        assert push("a")(("b",)) == ("a", "b")
+
+    def test_push_on_err(self):
+        assert push("a")(ERR) is ERR
+
+    def test_pop_strips_matching(self):
+        assert pop("a")(("a", "b")) == ("b",)
+
+    def test_pop_mismatch_is_err(self):
+        assert pop("a")(("b",)) is ERR
+
+    def test_pop_empty_is_err(self):
+        assert pop("a")(()) is ERR
+
+    def test_pop_on_err(self):
+        assert pop("a")(ERR) is ERR
+
+    def test_identity(self):
+        assert identity()(("x",)) == ("x",)
+
+    def test_compose_is_postfix(self):
+        # compose(f, g) applies f first: push a then push b gives (b, a, …).
+        fn = compose(push("a"), push("b"))
+        assert fn(()) == ("b", "a")
+
+    def test_push_then_pop_is_identity(self):
+        fn = compose(push("a"), pop("a"))
+        assert fn(("x",)) == ("x",)
+
+    def test_pop_then_push_guards(self):
+        fn = compose(pop("a"), push("a"))
+        assert fn(("a", "x")) == ("a", "x")
+        assert fn(("b", "x")) is ERR
+
+
+class TestPaperSection3Paths:
+    """The worked examples on paths P, P′ and P″ (Figure 1's program)."""
+
+    def test_path_p_builds_id_context(self):
+        # P realizes [ĉ4, ĉ1]: prefix c4, then prefix c1.
+        word = [push("c4"), push("c1")]
+        assert apply_word_to_context(word, ("entry",)) == ("c1", "c4", "entry")
+
+    def test_path_p_prime_unwinds(self):
+        # P′ realizes [č1, č4]: drop c1 then drop c4.
+        word = [pop("c1"), pop("c4")]
+        assert apply_word_to_context(word, ("c1", "c4", "entry")) == ("entry",)
+
+    def test_p_then_p_prime_is_identity(self):
+        word = [push("c4"), push("c1"), pop("c1"), pop("c4")]
+        assert apply_word_to_context(word, ("entry",)) == ("entry",)
+
+    def test_path_p_double_prime_is_infeasible(self):
+        # P″ realizes [ĉ4, ĉ1, č1, č5]: the c5 exit cannot match the c4 entry.
+        word = [push("c4"), push("c1"), pop("c1"), pop("c5")]
+        assert apply_word_to_context(word, ("entry",)) is ERR
+
+
+class TestContextSet:
+    def test_of_and_contains(self):
+        s = ContextSet.of(("a",), ("b", "c"))
+        assert ("a",) in s
+        assert ("b", "c") in s
+        assert ("c",) not in s
+
+    def test_everything_contains_all(self):
+        s = ContextSet.everything()
+        assert () in s
+        assert ("zebra", "yak") in s
+
+    def test_empty(self):
+        assert ContextSet.empty().is_empty()
+        assert not ContextSet.of(("a",)).is_empty()
+
+    def test_cone_membership(self):
+        s = ContextSet.cone(("a", "b"))
+        assert ("a", "b") in s
+        assert ("a", "b", "c") in s
+        assert ("a",) not in s
+
+    def test_push_on_concrete(self):
+        s = ContextSet.of(("x",)).apply_push("a")
+        assert ("a", "x") in s
+        assert ("x",) not in s
+
+    def test_push_on_cone(self):
+        s = ContextSet.cone(("b",)).apply_push("a")
+        assert ("a", "b") in s
+        assert ("a", "b", "z") in s
+        assert ("a",) not in s
+
+    def test_pop_on_concrete(self):
+        s = ContextSet.of(("a", "x"), ("b", "y")).apply_pop("a")
+        assert ("x",) in s
+        assert ("y",) not in s
+
+    def test_pop_on_everything_is_everything(self):
+        s = ContextSet.everything().apply_pop("a")
+        assert s == ContextSet.everything()
+
+    def test_pop_on_cone(self):
+        s = ContextSet.cone(("a", "b")).apply_pop("a")
+        assert s == ContextSet.cone(("b",))
+        assert ContextSet.cone(("a",)).apply_pop("z").is_empty()
+
+    def test_wildcard_of_nonempty(self):
+        assert ContextSet.of(()).apply_wildcard() == ContextSet.everything()
+
+    def test_wildcard_of_empty(self):
+        assert ContextSet.empty().apply_wildcard().is_empty()
+
+    def test_equality_normalizes_subsumed_members(self):
+        a = ContextSet(concrete=[("a", "b")], prefixes=[("a",)])
+        b = ContextSet(prefixes=[("a",)])
+        assert a == b
+
+    def test_equality_normalizes_subsumed_prefixes(self):
+        a = ContextSet(prefixes=[("a",), ("a", "b")])
+        b = ContextSet(prefixes=[("a",)])
+        assert a == b
+
+    def test_hash_consistent_with_eq(self):
+        a = ContextSet(concrete=[("a", "b")], prefixes=[("a",)])
+        b = ContextSet(prefixes=[("a",)])
+        assert hash(a) == hash(b)
+
+
+class TestApplyWord:
+    def test_wildcard_rewrites_hold_semantically(self):
+        # â·* ≡ * on any non-empty input.
+        x = ContextSet.of(("q",))
+        lhs = apply_word([push_letter("a"), WILDCARD], x)
+        rhs = apply_word([WILDCARD], x)
+        assert lhs == rhs
+
+    def test_wildcard_pop_rewrite(self):
+        # *·ǎ ≡ * over the infinite context domain.
+        x = ContextSet.of(("q",))
+        lhs = apply_word([WILDCARD, pop_letter("a")], x)
+        rhs = apply_word([WILDCARD], x)
+        assert lhs == rhs
+
+    def test_push_pop_cancellation(self):
+        x = ContextSet.of(("q",), ("r", "s"))
+        lhs = apply_word([push_letter("a"), pop_letter("a")], x)
+        assert lhs == x
+
+    def test_push_pop_mismatch_empties(self):
+        x = ContextSet.of(("q",))
+        lhs = apply_word([push_letter("a"), pop_letter("b")], x)
+        assert lhs.is_empty()
+
+    def test_wildcard_on_empty_stays_empty(self):
+        lhs = apply_word([push_letter("a"), WILDCARD], ContextSet.empty())
+        assert lhs.is_empty()

@@ -1,0 +1,392 @@
+"""Unit and property tests for transformer strings (paper Section 4.2).
+
+The hypothesis properties validate the symbolic operations against the
+ground-truth :mod:`repro.core.transformations` oracle: canonical
+composition must coincide with letter-by-letter semantic application,
+`trunc` must only add behaviours (Lemma 4.2), and the algebra must be an
+inverse semigroup (Section 3).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.transformations import ContextSet
+from repro.core.transformer_strings import (
+    EPSILON,
+    STAR,
+    TransformerString,
+    compose,
+    compose_trunc,
+    concretize,
+    in_domain,
+    inverse,
+    match_word,
+    subsumes,
+    trunc,
+)
+
+ALPHABET = ("a", "b", "c")
+
+context_strings = st.tuples(
+    *[st.sampled_from(ALPHABET)] * 0
+) | st.lists(st.sampled_from(ALPHABET), max_size=3).map(tuple)
+
+transformer_strings = st.builds(
+    TransformerString,
+    pops=st.lists(st.sampled_from(ALPHABET), max_size=3).map(tuple),
+    wildcard=st.booleans(),
+    pushes=st.lists(st.sampled_from(ALPHABET), max_size=3).map(tuple),
+)
+
+#: Input collections that distinguish transformations: singletons up to
+#: length 4 would be huge, so use a curated spread plus the full cone.
+SAMPLE_INPUTS = [
+    ContextSet.empty(),
+    ContextSet.of(()),
+    ContextSet.of(("a",)),
+    ContextSet.of(("b", "a")),
+    ContextSet.of(("a", "b", "c")),
+    ContextSet.of(("a", "a", "a", "b")),
+    ContextSet.of(("c", "b", "a"), ("a", "c")),
+    ContextSet.everything(),
+    ContextSet.cone(("a", "b")),
+]
+
+
+def semantically_equal(x: TransformerString, y: TransformerString) -> bool:
+    return all(x.semantics(s) == y.semantics(s) for s in SAMPLE_INPUTS)
+
+
+class TestConstructionAndRepr:
+    def test_identity(self):
+        t = TransformerString.identity()
+        assert t.is_identity()
+        assert t.configuration == ""
+
+    def test_entry_pushes_whole_string(self):
+        t = TransformerString.entry(("c1", "c4"))
+        assert t.pushes == ("c1", "c4")
+        assert t.semantics(ContextSet.of(("e",))) == ContextSet.of(("c1", "c4", "e"))
+
+    def test_exit_pops_whole_string(self):
+        t = TransformerString.exit(("c1", "c4"))
+        assert t.semantics(ContextSet.of(("c1", "c4", "e"))) == ContextSet.of(("e",))
+        assert t.semantics(ContextSet.of(("c4", "c1", "e"))).is_empty()
+
+    def test_guard_passes_matching_contexts(self):
+        t = TransformerString.guard(("n",))
+        assert t.semantics(ContextSet.of(("n", "x"))) == ContextSet.of(("n", "x"))
+        assert t.semantics(ContextSet.of(("m", "x"))).is_empty()
+
+    def test_top_maps_to_everything(self):
+        assert STAR.semantics(ContextSet.of(("q",))) == ContextSet.everything()
+
+    def test_configuration_tags(self):
+        t = TransformerString(("a", "b"), True, ("c",))
+        assert t.configuration == "xxwe"
+        assert STAR.configuration == "w"
+        assert EPSILON.configuration == ""
+
+    def test_repr_of_identity(self):
+        assert repr(EPSILON) == "⟨ε⟩"
+
+    def test_hash_and_eq(self):
+        x = TransformerString(("a",), False, ("b",))
+        y = TransformerString(("a",), False, ("b",))
+        assert x == y
+        assert hash(x) == hash(y)
+        assert x != STAR
+
+
+class TestCompose:
+    def test_identity_left_and_right(self):
+        t = TransformerString(("a",), True, ("b", "c"))
+        assert compose(EPSILON, t) == t
+        assert compose(t, EPSILON) == t
+
+    def test_full_cancellation(self):
+        # M̂ ; M̌ = ε.
+        m = ("c1", "c4")
+        assert compose(
+            TransformerString.entry(m), TransformerString.exit(m)
+        ) == EPSILON
+
+    def test_mismatch_is_bottom(self):
+        assert compose(
+            TransformerString.entry(("a",)), TransformerString.exit(("b",))
+        ) is None
+
+    def test_partial_cancellation_leftover_pops(self):
+        # pushes (a) then pops (a, b): net pop b.
+        x = TransformerString(pushes=("a",))
+        y = TransformerString(pops=("a", "b"))
+        assert compose(x, y) == TransformerString(pops=("b",))
+
+    def test_partial_cancellation_leftover_pushes(self):
+        # pushes (a, b) then pops (a): net: context becomes b·ξ.
+        x = TransformerString(pushes=("a", "b"))
+        y = TransformerString(pops=("a",))
+        assert compose(x, y) == TransformerString(pushes=("b",))
+
+    def test_wildcard_absorbs_excess_pops(self):
+        # (*, push a) ; pops (a, z) — the z pop dies in the wildcard.
+        x = TransformerString((), True, ("a",))
+        y = TransformerString(pops=("a", "z"))
+        assert compose(x, y) == TransformerString((), True, ())
+
+    def test_wildcard_absorbs_leftover_pushes(self):
+        # push (a, b) ; (pop a then *): surviving push b absorbed by *.
+        x = TransformerString(pushes=("a", "b"))
+        y = TransformerString(("a",), True, ())
+        assert compose(x, y) == STAR
+
+    def test_pushes_stack_beneath(self):
+        x = TransformerString(pushes=("b",))
+        y = TransformerString(pushes=("a",))
+        # First prefix b, then prefix a: result prefix is a·b.
+        assert compose(x, y) == TransformerString(pushes=("a", "b"))
+
+    def test_mismatch_through_wildcard_is_still_bottom(self):
+        x = TransformerString((), True, ("a",))
+        y = TransformerString(pops=("b",))
+        assert compose(x, y) is None
+
+    def test_figure5_composition_chain(self):
+        # ε ; id1̂ ; id1̌ = ε — the chain that keeps r's points-to compact.
+        step1 = compose(EPSILON, TransformerString.entry(("id1",)))
+        step2 = compose(step1, TransformerString.exit(("id1",)))
+        assert step2 == EPSILON
+
+
+class TestInverse:
+    def test_swaps_sides(self):
+        t = TransformerString(("a", "b"), True, ("c",))
+        assert inverse(t) == TransformerString(("c",), True, ("a", "b"))
+
+    def test_involution(self):
+        t = TransformerString(("a",), False, ("b", "c"))
+        assert inverse(inverse(t)) == t
+
+    def test_inverse_of_identity(self):
+        assert inverse(EPSILON) == EPSILON
+
+
+class TestTrunc:
+    def test_noop_when_in_domain(self):
+        t = TransformerString(("a",), False, ("b",))
+        # == rather than `is`: trunc is memoized, so an equal string from
+        # an earlier call may be returned.
+        assert trunc(t, 1, 1) == t
+
+    def test_cuts_and_adds_wildcard(self):
+        t = TransformerString(("a", "b"), False, ("c", "d", "e"))
+        out = trunc(t, 1, 2)
+        assert out == TransformerString(("a",), True, ("c", "d"))
+
+    def test_zero_levels_yield_star(self):
+        t = TransformerString(("a",), False, ("b",))
+        assert trunc(t, 0, 0) == STAR
+
+    def test_in_domain(self):
+        assert in_domain(TransformerString(("a",), True, ()), 1, 0)
+        assert not in_domain(TransformerString(("a", "b"), False, ()), 1, 2)
+
+    def test_compose_trunc_bottom_propagates(self):
+        x = TransformerString.entry(("a",))
+        y = TransformerString.exit(("b",))
+        assert compose_trunc(x, y, 2, 2) is None
+
+
+class TestMatchWord:
+    def test_empty_word(self):
+        assert match_word([]) == EPSILON
+
+    def test_matches_letters_of_canonical_strings(self):
+        t = TransformerString(("a", "b"), True, ("c",))
+        assert match_word(t.letters()) == t
+
+    def test_detects_bottom(self):
+        from repro.core.transformations import pop_letter, push_letter
+
+        assert match_word([push_letter("a"), pop_letter("b")]) is None
+
+
+class TestSubsumes:
+    def test_reflexive(self):
+        t = TransformerString(("a",), False, ("b",))
+        assert subsumes(t, t)
+
+    def test_star_subsumes_everything(self):
+        assert subsumes(STAR, TransformerString(("a", "b"), False, ("c",)))
+        assert subsumes(STAR, EPSILON)
+
+    def test_wildcard_prefix_subsumption(self):
+        general = TransformerString(("m1",), True, ())
+        specific = TransformerString(("m1", "m2"), True, ("x",))
+        assert subsumes(general, specific)
+
+    def test_wildcard_free_subsumes_only_itself(self):
+        general = TransformerString(("a",), False, ("b",))
+        specific = TransformerString(("a", "c"), False, ("b",))
+        assert not subsumes(general, specific)
+
+    def test_longer_general_does_not_subsume(self):
+        general = TransformerString(("a", "b"), True, ())
+        specific = TransformerString(("a",), True, ())
+        assert not subsumes(general, specific)
+
+    def test_subsumption_is_semantic(self):
+        # If general subsumes specific, every output of specific is
+        # contained in general's output, on every sample input.
+        general = TransformerString(("a",), True, ("b",))
+        specific = TransformerString(("a", "c"), True, ("b", "d"))
+        assert subsumes(general, specific)
+        for s in SAMPLE_INPUTS:
+            out_g = general.semantics(s)
+            out_s = specific.semantics(s)
+            assert all(
+                ctx in out_g for ctx in out_s.concrete
+            ), f"input {s}: {out_s} not within {out_g}"
+
+
+class TestConcretize:
+    """The paper's core observation, executable: a context-string fact
+    table is the explicit enumeration of a transformer string."""
+
+    def test_identity_enumerates_diagonal(self):
+        """Figure 5: pts(h, h1, ε) stands for the pairs (m1, m1) and
+        (m2, m2) the context-string column lists."""
+        pairs = concretize(EPSILON, ["m1", "m2"], 1, 1)
+        assert (("m1",), ("m1",)) in pairs
+        assert (("m2",), ("m2",)) in pairs
+        assert (("m1",), ("m2",)) not in pairs
+
+    def test_entry_enumerates_per_source(self):
+        """Figure 5: pts(p, h1, id1̂) stands for (m1, id1) and (m2, id1)."""
+        pairs = concretize(
+            TransformerString.entry(("id1",)), ["m1", "m2", "id1"], 1, 1
+        )
+        assert (("m1",), ("id1",)) in pairs
+        assert (("m2",), ("id1",)) in pairs
+        assert (("m1",), ("m1",)) not in pairs
+
+    def test_full_length_pair_concretizes_to_itself(self):
+        from repro.core.context_strings import to_transformer_string
+
+        pair = (("m1",), ("id1",))
+        assert concretize(
+            to_transformer_string(pair), ["m1", "id1"], 1, 1
+        ) == frozenset({pair})
+
+    @given(
+        st.lists(st.sampled_from(("a", "b")), min_size=1, max_size=2).map(tuple),
+        st.lists(st.sampled_from(("a", "b")), min_size=1, max_size=2).map(tuple),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_pair_roundtrip_property(self, source, dest):
+        """A full-length pair's transformer concretizes back to exactly
+        that pair at its own truncation lengths."""
+        from repro.core.context_strings import to_transformer_string
+
+        pair = (source, dest)
+        pairs = concretize(
+            to_transformer_string(pair), ("a", "b"), len(source), len(dest)
+        )
+        assert pairs == frozenset({pair})
+
+    def test_subsumption_implies_concretization_containment(self):
+        general = TransformerString(("a",), True, ())
+        specific = TransformerString(("a", "b"), True, ("a",))
+        assert subsumes(general, specific)
+        general_pairs = concretize(general, ("a", "b"), 2, 1)
+        specific_pairs = concretize(specific, ("a", "b"), 2, 1)
+        assert specific_pairs <= general_pairs
+
+
+# ---------------------------------------------------------------------------
+# Property-based validation against the ground-truth oracle.
+# ---------------------------------------------------------------------------
+
+
+class TestAlgebraProperties:
+    @given(transformer_strings, transformer_strings)
+    @settings(max_examples=300, deadline=None)
+    def test_compose_agrees_with_semantics(self, x, y):
+        composed = compose(x, y)
+        for s in SAMPLE_INPUTS:
+            expected = y.semantics(x.semantics(s))
+            if composed is None:
+                assert expected.is_empty()
+            else:
+                assert composed.semantics(s) == expected
+
+    @given(transformer_strings, transformer_strings, transformer_strings)
+    @settings(max_examples=200, deadline=None)
+    def test_compose_is_associative(self, x, y, z):
+        def comp3(a, b, c):
+            ab = compose(a, b)
+            return None if ab is None else compose(ab, c)
+
+        def comp3r(a, b, c):
+            bc = compose(b, c)
+            return None if bc is None else compose(a, bc)
+
+        assert comp3(x, y, z) == comp3r(x, y, z)
+
+    @given(transformer_strings)
+    @settings(max_examples=200, deadline=None)
+    def test_inverse_semigroup_laws(self, t):
+        ti = inverse(t)
+        t_ti_t = compose(compose(t, ti), t)
+        ti_t_ti = compose(compose(ti, t), ti)
+        assert t_ti_t == t
+        assert ti_t_ti == ti
+
+    @given(transformer_strings)
+    @settings(max_examples=200, deadline=None)
+    def test_inverse_agrees_with_semantics(self, t):
+        # inv(t) must map t's outputs back onto (at least) its inputs:
+        # for the identity-like composition t ; inv(t) ; t = t this is
+        # already checked; here we check inv is semantically the converse
+        # relation on concrete samples.
+        ti = inverse(t)
+        for s in SAMPLE_INPUTS:
+            image = t.semantics(s)
+            back = ti.semantics(image)
+            # every context of s that t maps somewhere must be recovered.
+            for ctx in s.concrete:
+                if not t.semantics(ContextSet.of(ctx)).is_empty():
+                    assert ctx in back
+
+    @given(
+        transformer_strings,
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_trunc_is_conservative(self, t, i, j):
+        """Lemma 4.2: A(X) ⊆ trunc_{i,j}(A)(X) for all X."""
+        truncated = trunc(t, i, j)
+        assert in_domain(truncated, i, j)
+        for s in SAMPLE_INPUTS:
+            precise = t.semantics(s)
+            coarse = truncated.semantics(s)
+            for ctx in precise.concrete:
+                assert ctx in coarse
+            for p in precise.prefixes:
+                assert p in coarse or any(
+                    p[: len(q)] == q for q in coarse.prefixes
+                )
+
+    @given(transformer_strings)
+    @settings(max_examples=100, deadline=None)
+    def test_letters_roundtrip(self, t):
+        """Lemma 4.1: canonical strings are fixed points of match."""
+        assert match_word(t.letters()) == t
+
+    @given(transformer_strings, transformer_strings)
+    @settings(max_examples=200, deadline=None)
+    def test_match_of_concatenated_words(self, x, y):
+        """match over the raw concatenated letter word equals compose."""
+        assert match_word(x.letters() + y.letters()) == compose(x, y)

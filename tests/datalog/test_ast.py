@@ -1,0 +1,94 @@
+"""Tests for the Datalog AST and safety validation."""
+
+import pytest
+
+from repro.datalog.ast import Const, Literal, Program, Rule, Var, atom, negated
+
+
+class TestTerms:
+    def test_atom_uppercase_is_var(self):
+        lit = atom("p", "X", "y", 3)
+        assert lit.args == (Var("X"), Const("y"), Const(3))
+
+    def test_atom_underscore_is_var(self):
+        lit = atom("p", "_X")
+        assert isinstance(lit.args[0], Var)
+
+    def test_explicit_terms_pass_through(self):
+        lit = atom("p", Var("q"), Const("Q"))
+        assert lit.args == (Var("q"), Const("Q"))
+
+    def test_negated_constructor(self):
+        lit = negated("p", "X")
+        assert lit.negated
+
+    def test_variables(self):
+        lit = atom("p", "X", "y", "Z")
+        assert lit.variables() == {Var("X"), Var("Z")}
+
+    def test_repr(self):
+        assert repr(atom("p", "X", "c")) == 'p(X, "c")'
+        assert repr(negated("q", 1)) == "!q(1)"
+
+
+class TestRuleSafety:
+    def test_safe_rule_validates(self):
+        Rule(atom("p", "X"), (atom("q", "X"),)).validate()
+
+    def test_unsafe_head_rejected(self):
+        with pytest.raises(ValueError, match="unsafe head"):
+            Rule(atom("p", "X", "Y"), (atom("q", "X"),)).validate()
+
+    def test_unsafe_negation_rejected(self):
+        with pytest.raises(ValueError, match="negated"):
+            Rule(
+                atom("p", "X"),
+                (atom("q", "X"), negated("r", "Y")),
+            ).validate()
+
+    def test_negated_head_rejected(self):
+        with pytest.raises(ValueError, match="negated head"):
+            Rule(negated("p", "X"), (atom("q", "X"),)).validate()
+
+    def test_ground_fact_is_safe(self):
+        Rule(atom("p", "a", 1)).validate()
+
+    def test_is_fact(self):
+        assert Rule(atom("p", "a")).is_fact()
+        assert not Rule(atom("p", "X"), (atom("q", "X"),)).is_fact()
+
+
+class TestProgram:
+    def test_rule_helper_validates(self):
+        program = Program()
+        program.rule(atom("p", "X"), atom("q", "X"))
+        assert len(program) == 1
+        with pytest.raises(ValueError):
+            program.rule(atom("p", "X"), atom("q", "Y"))
+
+    def test_fact_helpers(self):
+        program = Program()
+        program.fact("edge", "a", "b")
+        program.add_facts("edge", [("b", "c"), ("c", "d")])
+        assert program.facts["edge"] == {("a", "b"), ("b", "c"), ("c", "d")}
+
+    def test_idb_edb_partition(self):
+        program = Program()
+        program.rule(atom("path", "X", "Y"), atom("edge", "X", "Y"))
+        program.fact("edge", "a", "b")
+        assert program.idb_predicates() == {"path"}
+        assert program.edb_predicates() == {"edge"}
+
+    def test_arity_mismatch_rejected(self):
+        program = Program()
+        program.rule(atom("p", "X"), atom("q", "X"))
+        program.rule(atom("p", "X", "X"), atom("q", "X"))
+        with pytest.raises(ValueError, match="arities"):
+            program.validate()
+
+    def test_fact_arity_mismatch_rejected(self):
+        program = Program()
+        program.rule(atom("p", "X"), atom("q", "X"))
+        program.fact("q", "a", "b")
+        with pytest.raises(ValueError, match="arity"):
+            program.validate()

@@ -1,0 +1,222 @@
+"""Tests for the compiling Datalog back-end.
+
+The compiled engine must agree with the interpreting engine bit-for-bit
+on every program shape the repository uses — classic recursion,
+negation, builtins, the pointer-analysis instantiations, magic-set
+transforms, and random fuzz programs.
+"""
+
+import pytest
+
+from repro.bench.fuzz import random_program
+from repro.compile.emit import (
+    compile_context_string_analysis,
+    compile_transformer_analysis,
+    compile_transformer_analysis_naive,
+)
+from repro.core.sensitivity import Flavour
+from repro.datalog.ast import Program, atom, negated
+from repro.datalog.builtins import function_builtin
+from repro.datalog.codegen import CompiledEngine
+from repro.datalog.engine import Engine, evaluate
+from repro.datalog.magic import magic_transform
+from repro.frontend.factgen import facts_from_source, generate_facts
+from repro.frontend.paper_programs import FIGURE_1, FIGURE_5
+
+
+def assert_same(program, builtins=None):
+    interpreted = Engine(program, builtins).run()
+    compiled = CompiledEngine(program, builtins).run()
+    assert compiled == interpreted
+    return compiled
+
+
+class TestClassicPrograms:
+    def test_transitive_closure(self):
+        program = Program()
+        program.rule(atom("path", "X", "Y"), atom("edge", "X", "Y"))
+        program.rule(
+            atom("path", "X", "Z"), atom("edge", "X", "Y"), atom("path", "Y", "Z")
+        )
+        program.add_facts("edge", [(i, i + 1) for i in range(25)])
+        result = assert_same(program)
+        assert len(result["path"]) == 25 * 26 // 2
+
+    def test_nonlinear_recursion(self):
+        program = Program()
+        program.rule(atom("path", "X", "Y"), atom("edge", "X", "Y"))
+        program.rule(
+            atom("path", "X", "Z"), atom("path", "X", "Y"), atom("path", "Y", "Z")
+        )
+        program.add_facts("edge", [(i, i + 1) for i in range(12)])
+        assert_same(program)
+
+    def test_same_generation(self):
+        program = Program()
+        program.rule(atom("sg", "X", "X"), atom("person", "X"))
+        program.rule(
+            atom("sg", "X", "Y"),
+            atom("parent", "X", "XP"),
+            atom("sg", "XP", "YP"),
+            atom("parent", "Y", "YP"),
+        )
+        program.add_facts("person", [("a",), ("c1",), ("c2",), ("d",)])
+        program.add_facts("parent", [("c1", "a"), ("c2", "a"), ("d", "c1")])
+        assert_same(program)
+
+    def test_stratified_negation(self):
+        program = Program()
+        program.rule(atom("node", "X"), atom("edge", "X", "_A"))
+        program.rule(atom("node", "Y"), atom("edge", "_B", "Y"))
+        program.rule(atom("reach", "a"))
+        program.rule(atom("reach", "Y"), atom("reach", "X"), atom("edge", "X", "Y"))
+        program.rule(
+            atom("unreachable", "X"), atom("node", "X"), negated("reach", "X")
+        )
+        program.add_facts("edge", [("a", "b"), ("d", "e")])
+        result = assert_same(program)
+        assert result["unreachable"] == {("d",), ("e",)}
+
+    def test_constants_and_repeats(self):
+        program = Program()
+        program.rule(atom("from_a", "Y"), atom("edge", "a", "Y"))
+        program.rule(atom("loop", "X"), atom("edge", "X", "X"))
+        program.rule(atom("tagged", "x", "Y"), atom("edge", "Y", "Y"))
+        program.add_facts("edge", [("a", "b"), ("c", "c")])
+        result = assert_same(program)
+        assert result["from_a"] == {("b",)}
+        assert result["tagged"] == {("x", "c")}
+
+    def test_builtins(self):
+        double = function_builtin("double", lambda x: (2 * x,), out_positions=(1,))
+        program = Program()
+        program.rule(atom("big", "X"), atom("n", "X"), atom("gt", "X", 2))
+        program.rule(atom("d", "X", "Y"), atom("n", "X"), atom("double", "X", "Y"))
+        program.rule(atom("next", "X", "Y"), atom("n", "X"), atom("succ", "X", "Y"))
+        program.add_facts("n", [(1,), (3,), (4,)])
+        result = assert_same(program, {"double": double})
+        assert result["d"] == {(1, 2), (3, 6), (4, 8)}
+
+    def test_zero_arity(self):
+        program = Program()
+        program.rule(atom("flag"))
+        program.rule(atom("out", "X"), atom("flag"), atom("q", "X"))
+        program.add_facts("q", [(7,)])
+        result = assert_same(program)
+        assert result["out"] == {(7,)}
+
+    def test_facts_as_rules(self):
+        program = Program()
+        program.rule(atom("edge", "a", "b"))
+        program.rule(atom("path", "X", "Y"), atom("edge", "X", "Y"))
+        assert_same(program)
+
+    def test_tuple_valued_constants(self):
+        program = Program()
+        program.rule(atom("p", "C"), atom("q", "C"))
+        program.add_facts("q", [((("a", "b"),))])
+        assert_same(program)
+
+
+class TestPointerAnalysisPrograms:
+    @pytest.mark.parametrize(
+        "compiler,flavour,m,h",
+        [
+            (compile_transformer_analysis, Flavour.CALL_SITE, 1, 1),
+            (compile_transformer_analysis, Flavour.OBJECT, 2, 1),
+            (compile_transformer_analysis_naive, Flavour.CALL_SITE, 1, 1),
+            (compile_context_string_analysis, Flavour.OBJECT, 2, 1),
+        ],
+    )
+    def test_matches_interpreter_on_figure1(self, compiler, flavour, m, h):
+        facts = facts_from_source(FIGURE_1)
+        compiled_analysis = compiler(facts, flavour, m, h)
+        assert_same(compiled_analysis.program, compiled_analysis.builtins)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_interpreter_on_fuzz(self, seed):
+        facts = generate_facts(random_program(seed, size=3))
+        compiled_analysis = compile_transformer_analysis(
+            facts, Flavour.CALL_SITE, 1, 1
+        )
+        assert_same(compiled_analysis.program, compiled_analysis.builtins)
+
+    def test_magic_transformed_program(self):
+        # The CI instantiation keeps the adorned program small enough
+        # for the (slow) interpreting reference run.
+        facts = facts_from_source(FIGURE_5)
+        compiled_analysis = compile_transformer_analysis(
+            facts, Flavour.CALL_SITE, 0, 0
+        )
+        magic, answer = magic_transform(
+            compiled_analysis.program, "pts__", ("T.m/h", None)
+        )
+        result = assert_same(magic)
+        assert result.get(answer)
+
+
+class TestEngineMechanics:
+    def test_stats(self):
+        program = Program()
+        program.rule(atom("path", "X", "Y"), atom("edge", "X", "Y"))
+        program.rule(
+            atom("path", "X", "Z"), atom("edge", "X", "Y"), atom("path", "Y", "Z")
+        )
+        program.add_facts("edge", [(i, i + 1) for i in range(10)])
+        engine = CompiledEngine(program)
+        engine.run()
+        assert engine.stats.facts_derived == 55
+        assert engine.stats.rounds >= 8
+
+    def test_query_before_and_after_run(self):
+        program = Program()
+        program.rule(atom("p", "X"), atom("q", "X"))
+        program.add_facts("q", [(1,)])
+        engine = CompiledEngine(program)
+        assert engine.query("p") == set()
+        engine.run()
+        assert engine.query("p") == {(1,)}
+        assert engine.query("absent") == set()
+
+    def test_generated_source_is_inspectable(self):
+        program = Program()
+        program.rule(atom("p", "X"), atom("q", "X"))
+        engine = CompiledEngine(program)
+        assert "def _rule0_v0" in engine.source
+        assert "out.append" in engine.source
+
+    def test_rerun_is_idempotent(self):
+        program = Program()
+        program.rule(atom("path", "X", "Y"), atom("edge", "X", "Y"))
+        program.rule(
+            atom("path", "X", "Z"), atom("edge", "X", "Y"), atom("path", "Y", "Z")
+        )
+        program.add_facts("edge", [(1, 2), (2, 3)])
+        engine = CompiledEngine(program)
+        assert engine.run()["path"] == engine.run()["path"]
+
+    def test_builtin_collision_rejected(self):
+        program = Program()
+        program.rule(atom("eq", "X", "X"), atom("n", "X"))
+        program.add_facts("n", [(1,)])
+        with pytest.raises(ValueError, match="builtins"):
+            CompiledEngine(program)
+
+    def test_unsafe_negation_order_rejected_at_compile_time(self):
+        program = Program()
+        # Negation before its variables are bound: the interpreter fails
+        # at run time; the compiler rejects at build time.
+        rule = Program()
+        rule.rules.append(
+            type(program.rules)() if False else None
+        )
+        from repro.datalog.ast import Literal, Rule, Var
+
+        bad = Rule(
+            Literal("p", (Var("X"),)),
+            (Literal("r", (Var("X"),), negated=True), Literal("q", (Var("X"),))),
+        )
+        program.rules.append(bad)
+        program.add_facts("q", [(1,)])
+        with pytest.raises(ValueError, match="unbound"):
+            CompiledEngine(program)

@@ -1,0 +1,231 @@
+"""Tests for the semi-naive Datalog engine: classic programs, negation,
+builtins, statistics."""
+
+import pytest
+
+from repro.datalog.ast import Program, atom, negated
+from repro.datalog.builtins import BuiltinBindingError, function_builtin
+from repro.datalog.engine import Engine, evaluate
+from repro.datalog.stratify import StratificationError
+
+
+def chain_edges(n):
+    return [(i, i + 1) for i in range(n)]
+
+
+class TestTransitiveClosure:
+    def program(self, edges):
+        program = Program()
+        program.rule(atom("path", "X", "Y"), atom("edge", "X", "Y"))
+        program.rule(
+            atom("path", "X", "Z"), atom("edge", "X", "Y"), atom("path", "Y", "Z")
+        )
+        program.add_facts("edge", edges)
+        return program
+
+    def test_chain(self):
+        result = evaluate(self.program(chain_edges(5)))
+        assert len(result["path"]) == 15  # 5+4+3+2+1
+
+    def test_cycle(self):
+        result = evaluate(self.program([("a", "b"), ("b", "c"), ("c", "a")]))
+        assert len(result["path"]) == 9  # complete relation on 3 nodes
+
+    def test_right_recursive_variant_agrees(self):
+        left = evaluate(self.program(chain_edges(8)))["path"]
+        program = Program()
+        program.rule(atom("path", "X", "Y"), atom("edge", "X", "Y"))
+        program.rule(
+            atom("path", "X", "Z"), atom("path", "X", "Y"), atom("edge", "Y", "Z")
+        )
+        program.add_facts("edge", chain_edges(8))
+        right = evaluate(program)["path"]
+        assert left == right
+
+    def test_empty_edb(self):
+        result = evaluate(self.program([]))
+        assert result.get("path", set()) == set()
+
+
+class TestSameGeneration:
+    def test_same_generation(self):
+        program = Program()
+        program.rule(atom("sg", "X", "X"), atom("person", "X"))
+        program.rule(
+            atom("sg", "X", "Y"),
+            atom("parent", "X", "XP"),
+            atom("sg", "XP", "YP"),
+            atom("parent", "Y", "YP"),
+        )
+        program.add_facts("person", [("a",), ("b",), ("c1",), ("c2",), ("d",)])
+        program.add_facts(
+            "parent",
+            [("c1", "a"), ("c2", "a"), ("d", "c1")],
+        )
+        result = evaluate(program)
+        assert ("c1", "c2") in result["sg"]
+        assert ("c2", "c1") in result["sg"]
+        assert ("d", "c1") not in result["sg"]
+
+
+class TestConstantsAndRepeatedVars:
+    def test_constant_in_body_filters(self):
+        program = Program()
+        program.rule(atom("from_a", "Y"), atom("edge", "a", "Y"))
+        program.add_facts("edge", [("a", "b"), ("c", "d")])
+        assert evaluate(program)["from_a"] == {("b",)}
+
+    def test_constant_in_head(self):
+        program = Program()
+        program.rule(atom("tagged", "x", "Y"), atom("edge", "Y", "Y"))
+        program.add_facts("edge", [("b", "b"), ("a", "c")])
+        assert evaluate(program)["tagged"] == {("x", "b")}
+
+    def test_repeated_variable_selects_diagonal(self):
+        program = Program()
+        program.rule(atom("loop", "X"), atom("edge", "X", "X"))
+        program.add_facts("edge", [("a", "a"), ("a", "b"), ("b", "b")])
+        assert evaluate(program)["loop"] == {("a",), ("b",)}
+
+    def test_facts_as_rules(self):
+        program = Program()
+        program.rule(atom("edge", "a", "b"))
+        program.rule(atom("path", "X", "Y"), atom("edge", "X", "Y"))
+        assert evaluate(program)["path"] == {("a", "b")}
+
+
+class TestNegation:
+    def test_stratified_negation(self):
+        program = Program()
+        program.rule(atom("node", "X"), atom("edge", "X", "_A"))
+        program.rule(atom("node", "Y"), atom("edge", "_B", "Y"))
+        program.rule(atom("reach", "a"))
+        program.rule(
+            atom("reach", "Y"), atom("reach", "X"), atom("edge", "X", "Y")
+        )
+        program.rule(
+            atom("unreachable", "X"), atom("node", "X"), negated("reach", "X")
+        )
+        program.add_facts("edge", [("a", "b"), ("b", "c"), ("d", "e")])
+        result = evaluate(program)
+        assert result["unreachable"] == {("d",), ("e",)}
+
+    def test_unstratifiable_rejected(self):
+        program = Program()
+        program.rule(atom("p", "X"), atom("n", "X"), negated("q", "X"))
+        program.rule(atom("q", "X"), atom("n", "X"), negated("p", "X"))
+        program.add_facts("n", [("a",)])
+        with pytest.raises(StratificationError):
+            Engine(program).run()
+
+    def test_negation_on_edb(self):
+        program = Program()
+        program.rule(
+            atom("missing", "X"), atom("candidate", "X"), negated("present", "X")
+        )
+        program.add_facts("candidate", [("a",), ("b",)])
+        program.add_facts("present", [("a",)])
+        assert evaluate(program)["missing"] == {("b",)}
+
+
+class TestBuiltins:
+    def test_comparison(self):
+        program = Program()
+        program.rule(
+            atom("big", "X"), atom("n", "X"), atom("gt", "X", 2)
+        )
+        program.add_facts("n", [(1,), (2,), (3,), (4,)])
+        assert evaluate(program)["big"] == {(3,), (4,)}
+
+    def test_neq_filters_pairs(self):
+        program = Program()
+        program.rule(
+            atom("distinct", "X", "Y"),
+            atom("n", "X"),
+            atom("n", "Y"),
+            atom("neq", "X", "Y"),
+        )
+        program.add_facts("n", [(1,), (2,)])
+        assert evaluate(program)["distinct"] == {(1, 2), (2, 1)}
+
+    def test_succ_generates(self):
+        program = Program()
+        program.rule(atom("next", "X", "Y"), atom("n", "X"), atom("succ", "X", "Y"))
+        program.add_facts("n", [(1,), (5,)])
+        assert evaluate(program)["next"] == {(1, 2), (5, 6)}
+
+    def test_function_builtin(self):
+        double = function_builtin("double", lambda x: (2 * x,), out_positions=(1,))
+        program = Program()
+        program.rule(atom("d", "X", "Y"), atom("n", "X"), atom("double", "X", "Y"))
+        program.add_facts("n", [(3,), (4,)])
+        result = evaluate(program, builtins={"double": double})
+        assert result["d"] == {(3, 6), (4, 8)}
+
+    def test_function_builtin_failure_is_no_match(self):
+        half = function_builtin(
+            "half", lambda x: (x // 2,) if x % 2 == 0 else None, out_positions=(1,)
+        )
+        program = Program()
+        program.rule(atom("h", "X", "Y"), atom("n", "X"), atom("half", "X", "Y"))
+        program.add_facts("n", [(4,), (5,)])
+        result = evaluate(program, builtins={"half": half})
+        assert result["h"] == {(4, 2)}
+
+    def test_function_builtin_checks_bound_output(self):
+        double = function_builtin("double", lambda x: (2 * x,), out_positions=(1,))
+        program = Program()
+        program.rule(atom("ok", "X"), atom("pair", "X", "Y"), atom("double", "X", "Y"))
+        program.add_facts("pair", [(2, 4), (3, 7)])
+        result = evaluate(program, builtins={"double": double})
+        assert result["ok"] == {(2,)}
+
+    def test_unbound_comparison_raises(self):
+        program = Program()
+        program.rule(atom("bad", "X"), atom("gt", "X", 2), atom("n", "X"))
+        program.add_facts("n", [(3,)])
+        with pytest.raises(BuiltinBindingError):
+            evaluate(program)
+
+    def test_builtin_name_collision_rejected(self):
+        program = Program()
+        program.rule(atom("eq", "X", "X"), atom("n", "X"))
+        program.add_facts("n", [(1,)])
+        with pytest.raises(ValueError, match="builtins"):
+            Engine(program)
+
+
+class TestEngineMechanics:
+    def test_stats(self):
+        program = Program()
+        program.rule(atom("path", "X", "Y"), atom("edge", "X", "Y"))
+        program.rule(
+            atom("path", "X", "Z"), atom("edge", "X", "Y"), atom("path", "Y", "Z")
+        )
+        program.add_facts("edge", chain_edges(10))
+        engine = Engine(program)
+        engine.run()
+        assert engine.stats.facts_derived == 55
+        assert engine.stats.rounds >= 8
+        assert engine.stats.seconds > 0
+
+    def test_query_accessor(self):
+        program = Program()
+        program.rule(atom("p", "X"), atom("q", "X"))
+        program.add_facts("q", [(1,)])
+        engine = Engine(program)
+        engine.run()
+        assert engine.query("p") == {(1,)}
+        assert engine.query("absent") == set()
+
+    def test_multi_strata_pipeline(self):
+        # Three dependent strata through two negations.
+        program = Program()
+        program.rule(atom("a", "X"), atom("base", "X"))
+        program.rule(atom("b", "X"), atom("base", "X"), negated("a", "X"))
+        program.rule(atom("c", "X"), atom("universe", "X"), negated("b", "X"))
+        program.add_facts("base", [(1,)])
+        program.add_facts("universe", [(1,), (2,)])
+        result = evaluate(program)
+        assert result.get("b", set()) == set()
+        assert result["c"] == {(1,), (2,)}

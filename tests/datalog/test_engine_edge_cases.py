@@ -1,0 +1,132 @@
+"""Edge-case tests for the Datalog engine."""
+
+import pytest
+
+from repro.datalog.ast import Program, Rule, atom, negated
+from repro.datalog.engine import Engine, evaluate
+
+
+class TestRecursionShapes:
+    def test_mutual_recursion(self):
+        program = Program()
+        program.rule(atom("even", 0))
+        program.rule(atom("even", "Y"), atom("odd", "X"), atom("succ", "X", "Y"),
+                     atom("le", "Y", 10))
+        program.rule(atom("odd", "Y"), atom("even", "X"), atom("succ", "X", "Y"),
+                     atom("le", "Y", 10))
+        result = evaluate(program)
+        assert result["even"] == {(n,) for n in range(0, 11, 2)}
+        assert result["odd"] == {(n,) for n in range(1, 11, 2)}
+
+    def test_nonlinear_recursion(self):
+        # path(X,Z) :- path(X,Y), path(Y,Z): both body literals IDB.
+        program = Program()
+        program.rule(atom("path", "X", "Y"), atom("edge", "X", "Y"))
+        program.rule(
+            atom("path", "X", "Z"), atom("path", "X", "Y"), atom("path", "Y", "Z")
+        )
+        program.add_facts("edge", [(i, i + 1) for i in range(16)])
+        assert len(evaluate(program)["path"]) == 16 * 17 // 2
+
+    def test_self_loop_edges(self):
+        program = Program()
+        program.rule(atom("path", "X", "Y"), atom("edge", "X", "Y"))
+        program.rule(
+            atom("path", "X", "Z"), atom("edge", "X", "Y"), atom("path", "Y", "Z")
+        )
+        program.add_facts("edge", [("a", "a")])
+        assert evaluate(program)["path"] == {("a", "a")}
+
+    def test_duplicate_rules_harmless(self):
+        program = Program()
+        program.rule(atom("p", "X"), atom("q", "X"))
+        program.rule(atom("p", "X"), atom("q", "X"))
+        program.add_facts("q", [(1,)])
+        assert evaluate(program)["p"] == {(1,)}
+
+
+class TestValueKinds:
+    def test_tuple_valued_constants(self):
+        # Packed contexts are tuples; the engine must treat them opaquely.
+        program = Program()
+        program.rule(atom("p", "C"), atom("q", "C"))
+        program.add_facts("q", [((("a", "b"),))])
+        assert evaluate(program)["p"] == {(("a", "b"),)}
+
+    def test_mixed_types_in_one_column(self):
+        program = Program()
+        program.rule(atom("p", "X"), atom("q", "X"))
+        program.add_facts("q", [(1,), ("one",), ((1,),)])
+        assert len(evaluate(program)["p"]) == 3
+
+    def test_zero_arity_predicates(self):
+        program = Program()
+        program.rule(atom("flag"))
+        program.rule(atom("out", "X"), atom("flag"), atom("q", "X"))
+        program.add_facts("q", [(7,)])
+        assert evaluate(program)["out"] == {(7,)}
+
+
+class TestCrossStratumInteraction:
+    def test_negation_of_recursive_predicate(self):
+        program = Program()
+        program.rule(atom("reach", "a"))
+        program.rule(atom("reach", "Y"), atom("reach", "X"), atom("edge", "X", "Y"))
+        program.rule(
+            atom("blocked", "X"), atom("node", "X"), negated("reach", "X")
+        )
+        program.rule(atom("island", "X"), atom("blocked", "X"), atom("edge", "X", "X"))
+        program.add_facts("edge", [("a", "b"), ("z", "z")])
+        program.add_facts("node", [("a",), ("b",), ("z",)])
+        result = evaluate(program)
+        assert result["blocked"] == {("z",)}
+        assert result["island"] == {("z",)}
+
+    def test_double_negation_chain(self):
+        program = Program()
+        program.rule(atom("a", "X"), atom("u", "X"), negated("b", "X"))
+        program.rule(atom("b", "X"), atom("v", "X"))
+        program.rule(atom("c", "X"), atom("u", "X"), negated("a", "X"))
+        program.add_facts("u", [(1,), (2,)])
+        program.add_facts("v", [(1,)])
+        result = evaluate(program)
+        assert result["a"] == {(2,)}
+        assert result["c"] == {(1,)}
+
+
+class TestEngineRobustness:
+    def test_empty_program(self):
+        assert evaluate(Program()) == {}
+
+    def test_facts_only(self):
+        program = Program()
+        program.add_facts("e", [(1, 2)])
+        assert evaluate(program)["e"] == {(1, 2)}
+
+    def test_rule_with_unused_edb(self):
+        program = Program()
+        program.rule(atom("p", "X"), atom("q", "X"))
+        program.add_facts("q", [(1,)])
+        program.add_facts("unrelated", [(9,)])
+        result = evaluate(program)
+        assert result["p"] == {(1,)}
+        assert result["unrelated"] == {(9,)}
+
+    def test_idb_predicate_with_no_derivations(self):
+        program = Program()
+        program.rule(atom("p", "X"), atom("q", "X"))
+        engine = Engine(program)
+        engine.run()
+        assert engine.query("p") == set()
+
+    def test_rerunning_engine_is_idempotent(self):
+        program = Program()
+        program.rule(atom("path", "X", "Y"), atom("edge", "X", "Y"))
+        program.rule(
+            atom("path", "X", "Z"), atom("edge", "X", "Y"), atom("path", "Y", "Z")
+        )
+        program.add_facts("edge", [(1, 2), (2, 3)])
+        engine = Engine(program)
+        first = engine.run()["path"]
+        second = engine.run()["path"]
+        assert first == second

@@ -1,0 +1,83 @@
+"""Tests for the magic-sets transformation (experiment E10)."""
+
+import pytest
+
+from repro.datalog.ast import Program, atom, negated
+from repro.datalog.engine import evaluate
+from repro.datalog.magic import MagicSetError, magic_transform
+
+
+def tc_program(edges):
+    program = Program()
+    program.rule(atom("path", "X", "Y"), atom("edge", "X", "Y"))
+    program.rule(
+        atom("path", "X", "Z"), atom("edge", "X", "Y"), atom("path", "Y", "Z")
+    )
+    program.add_facts("edge", edges)
+    return program
+
+
+CHAIN = [(i, i + 1) for i in range(20)] + [(100 + i, 101 + i) for i in range(20)]
+
+
+class TestMagicTransform:
+    def test_bound_free_query_answers_match(self):
+        program = tc_program(CHAIN)
+        exhaustive = {t for t in evaluate(program)["path"] if t[0] == 0}
+        magic, query_pred = magic_transform(program, "path", (0, None))
+        answers = evaluate(magic).get(query_pred, set())
+        assert answers == exhaustive
+
+    def test_demand_computes_less(self):
+        program = tc_program(CHAIN)
+        full = evaluate(tc_program(CHAIN))["path"]
+        magic, query_pred = magic_transform(program, "path", (0, None))
+        result = evaluate(magic)
+        computed = set()
+        for pred, rows in result.items():
+            if pred.startswith("path__"):
+                computed |= rows
+        # Only the component containing node 0 is explored.
+        assert computed < full
+        assert all(t[0] < 100 for t in computed)
+
+    def test_bound_bound_query(self):
+        program = tc_program(CHAIN)
+        magic, query_pred = magic_transform(program, "path", (0, 5))
+        assert (0, 5) in evaluate(magic).get(query_pred, set())
+        magic2, query_pred2 = magic_transform(program, "path", (0, 105))
+        assert evaluate(magic2).get(query_pred2, set()) == set()
+
+    def test_free_free_query_equals_exhaustive(self):
+        program = tc_program(CHAIN[:10])
+        exhaustive = evaluate(tc_program(CHAIN[:10]))["path"]
+        magic, query_pred = magic_transform(program, "path", (None, None))
+        assert evaluate(magic).get(query_pred, set()) == exhaustive
+
+    def test_same_generation_bound_query(self):
+        program = Program()
+        program.rule(atom("sg", "X", "X"), atom("person", "X"))
+        program.rule(
+            atom("sg", "X", "Y"),
+            atom("parent", "X", "XP"),
+            atom("sg", "XP", "YP"),
+            atom("parent", "Y", "YP"),
+        )
+        program.add_facts("person", [("a",), ("c1",), ("c2",), ("z",)])
+        program.add_facts("parent", [("c1", "a"), ("c2", "a")])
+        exhaustive = {
+            t for t in evaluate(program)["sg"] if t[0] == "c1"
+        }
+        magic, query_pred = magic_transform(program, "sg", ("c1", None))
+        assert evaluate(magic).get(query_pred, set()) == exhaustive
+
+    def test_non_idb_query_rejected(self):
+        with pytest.raises(MagicSetError, match="IDB"):
+            magic_transform(tc_program(CHAIN), "edge", (0, None))
+
+    def test_negation_rejected(self):
+        program = Program()
+        program.rule(atom("p", "X"), atom("e", "X"), negated("q", "X"))
+        program.rule(atom("q", "X"), atom("f", "X"))
+        with pytest.raises(MagicSetError, match="negation"):
+            magic_transform(program, "p", (None,))

@@ -1,0 +1,94 @@
+"""Tests for the Datalog text syntax (parse and pretty-print)."""
+
+import pytest
+
+from repro.datalog.ast import Const, Var, atom
+from repro.datalog.engine import evaluate
+from repro.datalog.parser import (
+    DatalogSyntaxError,
+    format_program,
+    format_rule,
+    parse_datalog,
+)
+
+TC = """
+% transitive closure
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- edge(X, Y), path(Y, Z).
+edge("a", "b").
+edge("b", "c").
+"""
+
+
+class TestParsing:
+    def test_rules_and_facts(self):
+        program = parse_datalog(TC)
+        assert len(program.rules) == 4
+        assert evaluate(program)["path"] == {
+            ("a", "b"), ("b", "c"), ("a", "c"),
+        }
+
+    def test_variable_vs_constant_convention(self):
+        program = parse_datalog("p(X, y, 3) :- q(X).")
+        head = program.rules[0].head
+        assert head.args == (Var("X"), Const("y"), Const(3))
+
+    def test_anonymous_variables_are_fresh(self):
+        program = parse_datalog("p(X) :- q(X, _, _).")
+        body = program.rules[0].body[0]
+        assert body.args[1] != body.args[2]
+
+    def test_negation(self):
+        program = parse_datalog("p(X) :- q(X), !r(X).")
+        assert program.rules[0].body[1].negated
+
+    def test_comments_both_styles(self):
+        program = parse_datalog("% one\n// two\np(1).\n")
+        assert len(program.rules) == 1
+
+    def test_negative_numbers(self):
+        program = parse_datalog("p(-3).")
+        assert program.rules[0].head.args[0] == Const(-3)
+
+    def test_string_escapes(self):
+        program = parse_datalog('p("a\\"b").')
+        assert program.rules[0].head.args[0] == Const('a"b')
+
+    def test_zero_arity(self):
+        program = parse_datalog("go. p(1) :- go.")
+        assert evaluate(program)["p"] == {(1,)}
+
+    def test_unsafe_rule_rejected(self):
+        with pytest.raises(ValueError, match="unsafe"):
+            parse_datalog("p(X, Y) :- q(X).")
+
+    def test_syntax_errors(self):
+        with pytest.raises(DatalogSyntaxError):
+            parse_datalog("p(X) :- q(X)")  # missing period
+        with pytest.raises(DatalogSyntaxError):
+            parse_datalog("p(X) q(X).")
+        with pytest.raises(DatalogSyntaxError):
+            parse_datalog("p(@).")
+        with pytest.raises(DatalogSyntaxError):
+            parse_datalog("!p(1).")
+
+
+class TestFormatting:
+    def test_format_rule_roundtrip(self):
+        source = 'path(X, Z) :- edge(X, Y), path(Y, Z).'
+        rule = parse_datalog(source).rules[0]
+        assert format_rule(rule) == source
+
+    def test_format_constants(self):
+        rule = parse_datalog('p("Hello World", lower, 7).').rules[0]
+        assert format_rule(rule) == 'p("Hello World", lower, 7).'
+
+    def test_program_roundtrip_evaluates_identically(self):
+        program = parse_datalog(TC)
+        reparsed = parse_datalog(format_program(program))
+        assert evaluate(program) == evaluate(reparsed)
+
+    def test_negation_roundtrip(self):
+        source = "p(X) :- q(X), !r(X)."
+        rule = parse_datalog(source).rules[0]
+        assert format_rule(rule) == source

@@ -1,0 +1,63 @@
+"""Tests for program stratification."""
+
+import pytest
+
+from repro.datalog.ast import Program, atom, negated
+from repro.datalog.stratify import StratificationError, stratify
+
+
+def stratum_of(strata, pred):
+    for index, stratum in enumerate(strata):
+        if pred in stratum:
+            return index
+    raise AssertionError(f"{pred} not in any stratum")
+
+
+class TestStratify:
+    def test_single_stratum_positive_program(self):
+        program = Program()
+        program.rule(atom("p", "X"), atom("e", "X"))
+        program.rule(atom("q", "X"), atom("p", "X"))
+        program.rule(atom("p", "X"), atom("q", "X"))
+        strata = stratify(program)
+        assert len(strata) == 1
+        assert strata[0] == {"p", "q"}
+
+    def test_negation_forces_order(self):
+        program = Program()
+        program.rule(atom("p", "X"), atom("e", "X"))
+        program.rule(atom("q", "X"), atom("e", "X"), negated("p", "X"))
+        strata = stratify(program)
+        assert stratum_of(strata, "p") < stratum_of(strata, "q")
+
+    def test_edb_not_in_strata(self):
+        program = Program()
+        program.rule(atom("p", "X"), atom("e", "X"))
+        strata = stratify(program)
+        assert all("e" not in s for s in strata)
+
+    def test_recursion_through_negation_rejected(self):
+        program = Program()
+        program.rule(atom("p", "X"), atom("e", "X"), negated("q", "X"))
+        program.rule(atom("q", "X"), atom("e", "X"), negated("p", "X"))
+        with pytest.raises(StratificationError):
+            stratify(program)
+
+    def test_self_negation_rejected(self):
+        program = Program()
+        program.rule(atom("p", "X"), atom("e", "X"), negated("p", "X"))
+        with pytest.raises(StratificationError):
+            stratify(program)
+
+    def test_builtins_excluded(self):
+        program = Program()
+        program.rule(atom("p", "X"), atom("e", "X"), atom("gt", "X", 1))
+        strata = stratify(program, builtin_preds={"gt"})
+        assert all("gt" not in s for s in strata)
+
+    def test_independent_positive_strata_merge(self):
+        program = Program()
+        program.rule(atom("p", "X"), atom("e", "X"))
+        program.rule(atom("q", "X"), atom("p", "X"))
+        strata = stratify(program)
+        assert len(strata) == 1

@@ -1,0 +1,91 @@
+"""Tests for the Doop-style facts directory reader/writer."""
+
+import os
+
+import pytest
+
+from repro.frontend.doopfacts import (
+    DoopFactsError,
+    facts_equal,
+    read_facts,
+    write_facts,
+)
+from repro.frontend.factgen import FactSet, facts_from_source
+from repro.frontend.paper_programs import FIGURE_1, FIGURE_5, FIGURE_7
+
+
+@pytest.mark.parametrize("source", [FIGURE_1, FIGURE_5, FIGURE_7])
+def test_roundtrip_paper_programs(tmp_path, source):
+    facts = facts_from_source(source)
+    write_facts(facts, str(tmp_path / "facts"))
+    loaded = read_facts(str(tmp_path / "facts"))
+    assert facts_equal(facts, loaded)
+
+
+def test_files_are_sorted_and_tab_separated(tmp_path):
+    facts = facts_from_source(FIGURE_1)
+    write_facts(facts, str(tmp_path))
+    with open(tmp_path / "AssignHeapAllocation.facts") as handle:
+        lines = handle.read().splitlines()
+    assert lines == sorted(lines)
+    assert all(line.count("\t") == 2 for line in lines)
+
+
+def test_param_index_order_follows_doop(tmp_path):
+    facts = facts_from_source(FIGURE_1)
+    write_facts(facts, str(tmp_path))
+    with open(tmp_path / "ActualParam.facts") as handle:
+        first = handle.readline().rstrip("\n").split("\t")
+    # Doop convention: index, invocation, variable.
+    assert first[0].isdigit()
+
+
+def test_missing_files_read_as_empty(tmp_path):
+    os.makedirs(tmp_path / "sparse", exist_ok=True)
+    facts = read_facts(str(tmp_path / "sparse"))
+    assert facts.main_method is None
+    assert not facts.assign
+
+
+def test_not_a_directory(tmp_path):
+    with pytest.raises(DoopFactsError, match="not a directory"):
+        read_facts(str(tmp_path / "nope"))
+
+
+def test_bad_arity_rejected(tmp_path):
+    os.makedirs(tmp_path / "bad", exist_ok=True)
+    with open(tmp_path / "bad" / "AssignLocal.facts", "w") as handle:
+        handle.write("only-one-column\n")
+    with pytest.raises(DoopFactsError, match="columns"):
+        read_facts(str(tmp_path / "bad"))
+
+
+def test_bad_param_index_rejected(tmp_path):
+    os.makedirs(tmp_path / "bad", exist_ok=True)
+    with open(tmp_path / "bad" / "ActualParam.facts", "w") as handle:
+        handle.write("zero\tc1\tx\n")
+    with pytest.raises(DoopFactsError, match="not an integer"):
+        read_facts(str(tmp_path / "bad"))
+
+
+def test_multiple_mains_rejected(tmp_path):
+    os.makedirs(tmp_path / "bad", exist_ok=True)
+    with open(tmp_path / "bad" / "MainMethod.facts", "w") as handle:
+        handle.write("A.main\nB.main\n")
+    with pytest.raises(DoopFactsError, match="more than one"):
+        read_facts(str(tmp_path / "bad"))
+
+
+def test_tab_in_value_rejected(tmp_path):
+    facts = FactSet()
+    facts.assign.add(("a\tb", "c"))
+    with pytest.raises(DoopFactsError, match="tab"):
+        write_facts(facts, str(tmp_path / "out"))
+
+
+def test_blank_lines_skipped(tmp_path):
+    os.makedirs(tmp_path / "d", exist_ok=True)
+    with open(tmp_path / "d" / "AssignLocal.facts", "w") as handle:
+        handle.write("a\tb\n\nc\td\n")
+    facts = read_facts(str(tmp_path / "d"))
+    assert facts.assign == {("a", "b"), ("c", "d")}

@@ -1,0 +1,171 @@
+"""Frontend tests for the paper's elided extensions: static fields and
+exceptions (throw / try / catch)."""
+
+import pytest
+
+from repro.frontend import ir
+from repro.frontend.factgen import FactGenError, facts_from_source
+from repro.frontend.parser import ParseError, parse_program
+
+
+def body_of(program, cls, signature):
+    return program.classes[cls].methods[signature].body
+
+
+class TestStaticFieldParsing:
+    def test_static_field_declaration(self):
+        p = parse_program("class A { static Object cache; Object f; }")
+        assert p.classes["A"].static_fields == ["cache"]
+        assert p.classes["A"].fields == ["f"]
+
+    def test_static_store(self):
+        p = parse_program(
+            "class A { static Object cache; "
+            "static void m(Object v) { A.cache = v; } }"
+        )
+        assert body_of(p, "A", "m/1") == [
+            ir.StaticStore("A", "cache", "A.m/v")
+        ]
+
+    def test_static_load(self):
+        p = parse_program(
+            "class A { static Object cache; "
+            "static void m() { Object x = A.cache; } }"
+        )
+        assert body_of(p, "A", "m/0") == [
+            ir.StaticLoad("A.m/x", "A", "cache")
+        ]
+
+    def test_forward_class_reference(self):
+        # B is declared after A but A.m accesses B.shared.
+        p = parse_program(
+            "class A { static void m(Object v) { B.shared = v; } } "
+            "class B { static Object shared; }"
+        )
+        assert body_of(p, "A", "m/1") == [
+            ir.StaticStore("B", "shared", "A.m/v")
+        ]
+
+    def test_local_shadows_class_name(self):
+        # A local named like a class is an instance-field store.
+        p = parse_program(
+            "class B { Object f; } "
+            "class A { static void m(B B, Object v) { B.f = v; } }"
+        )
+        assert body_of(p, "A", "m/2") == [ir.Store("A.m/B", "f", "A.m/v")]
+
+    def test_static_load_in_rhs_of_declaration(self):
+        p = parse_program(
+            "class A { static Object cache; "
+            "static void m() { Object x; x = A.cache; } }"
+        )
+        assert body_of(p, "A", "m/0") == [
+            ir.StaticLoad("A.m/x", "A", "cache")
+        ]
+
+
+class TestExceptionParsing:
+    def test_throw_variable(self):
+        p = parse_program(
+            "class A { static void m(Object e) { throw e; } }"
+        )
+        assert body_of(p, "A", "m/1") == [ir.Throw("A.m/e")]
+
+    def test_throw_new_desugars(self):
+        p = parse_program(
+            "class Exc { } class A { static void m() { throw new Exc(); // he\n } }"
+        )
+        assert body_of(p, "A", "m/0") == [
+            ir.New("A.m/$t1", "Exc", "he"),
+            ir.Throw("A.m/$t1"),
+        ]
+
+    def test_try_catch_flattens_and_binds(self):
+        p = parse_program(
+            """
+            class A { static void m(Object v) {
+                Object x;
+                try { x = v; } catch (Exception e) { Object y = e; }
+            } }
+            """
+        )
+        method = p.classes["A"].methods["m/1"]
+        assert ir.Assign("A.m/x", "A.m/v") in method.body
+        assert ir.Assign("A.m/y", "A.m/e") in method.body
+        assert method.catch_vars() == ["A.m/e"]
+
+    def test_multiple_catches(self):
+        p = parse_program(
+            """
+            class A { static void m() {
+                try { } catch (E1 a) { } catch (E2 b) { }
+            } }
+            """
+        )
+        assert p.classes["A"].methods["m/0"].catch_vars() == [
+            "A.m/a", "A.m/b",
+        ]
+
+    def test_try_finally_without_catch(self):
+        p = parse_program(
+            "class A { static void m(Object v) "
+            "{ Object x; try { x = v; } finally { x = v; } } }"
+        )
+        assert body_of(p, "A", "m/1").count(ir.Assign("A.m/x", "A.m/v")) == 2
+
+    def test_bare_try_rejected(self):
+        with pytest.raises(ParseError, match="catch or finally"):
+            parse_program("class A { static void m() { try { } } }")
+
+
+class TestExtensionFacts:
+    SOURCE = """
+    class Exc { }
+    class Base { static Object slot; }
+    class Sub extends Base { }
+    class A {
+        static void m(Object v) {
+            Sub.slot = v;
+            Object r = Base.slot;
+            try { throw v; } catch (Exc e) { Object c = e; }
+        }
+        public static void main(String[] args) { }
+    }
+    """
+
+    def test_static_field_resolved_to_declaring_class(self):
+        facts = facts_from_source(self.SOURCE)
+        assert ("A.m/v", "Base.slot") in facts.static_store
+        assert ("Base.slot", "A.m/r", "A.m") in facts.static_load
+
+    def test_throw_and_catch_facts(self):
+        facts = facts_from_source(self.SOURCE)
+        assert ("A.m/v", "A.m") in facts.throw_var
+        assert ("A.m/e", "A.m") in facts.catch_var
+
+    def test_unknown_static_field_rejected(self):
+        with pytest.raises(FactGenError, match="static field"):
+            facts_from_source(
+                "class B { } class A { static void m(Object v) "
+                "{ B.nope = v; } "
+                "public static void main(String[] args) { } }"
+            )
+
+    def test_counts_include_extensions(self):
+        facts = facts_from_source(self.SOURCE)
+        counts = facts.counts()
+        assert counts["static_store"] == 1
+        assert counts["static_load"] == 1
+        assert counts["throw_var"] == 1
+        assert counts["catch_var"] == 1
+
+
+class TestDoopRoundtrip:
+    def test_extension_relations_roundtrip(self, tmp_path):
+        from repro.frontend.doopfacts import facts_equal, read_facts, write_facts
+
+        facts = facts_from_source(TestExtensionFacts.SOURCE)
+        write_facts(facts, str(tmp_path))
+        assert facts_equal(facts, read_facts(str(tmp_path)))
+        assert (tmp_path / "StoreStaticField.facts").exists()
+        assert (tmp_path / "ThrowVar.facts").exists()

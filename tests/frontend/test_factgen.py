@@ -1,0 +1,185 @@
+"""Tests for fact generation from IR programs."""
+
+import pytest
+
+from repro.frontend import ir
+from repro.frontend.factgen import FactGenError, facts_from_source, generate_facts
+from repro.frontend.paper_programs import FIGURE_1, FIGURE_5, FIGURE_7
+
+MINIMAL = """
+class A {
+    public static void main(String[] args) {
+        Object x = new A(); // h1
+    }
+}
+"""
+
+
+class TestBasicFacts:
+    def test_assign_new(self):
+        facts = facts_from_source(MINIMAL)
+        assert ("h1", "A.main/x", "A.main") in facts.assign_new
+        assert ("h1", "A") in facts.heap_type
+        assert facts.class_of["h1"] == "A"
+
+    def test_main_method(self):
+        facts = facts_from_source(MINIMAL)
+        assert facts.main_method == "A.main"
+
+    def test_missing_main_rejected(self):
+        with pytest.raises(FactGenError, match="entry point"):
+            facts_from_source("class A { void m() { } }")
+
+    def test_formals_and_this(self):
+        facts = facts_from_source(
+            "class A { void m(Object p, Object q) { } "
+            "public static void main(String[] args) { } }"
+        )
+        assert ("A.m/p", "A.m", 0) in facts.formal
+        assert ("A.m/q", "A.m", 1) in facts.formal
+        assert ("A.m/this", "A.m") in facts.this_var
+        # static methods have no this.
+        assert not any(m == "A.main" for (_, m) in facts.this_var)
+
+    def test_assign(self):
+        facts = facts_from_source(
+            "class A { void m(Object y) { Object x = y; } "
+            "public static void main(String[] args) { } }"
+        )
+        assert ("A.m/y", "A.m/x") in facts.assign
+
+    def test_load_store(self):
+        facts = facts_from_source(
+            "class A { Object f; void m(A b, Object v) "
+            "{ b.f = v; Object z = b.f; } "
+            "public static void main(String[] args) { } }"
+        )
+        assert ("A.m/v", "f", "A.m/b") in facts.store
+        assert ("A.m/b", "f", "A.m/z") in facts.load
+
+    def test_return_var(self):
+        facts = facts_from_source(
+            "class A { Object id(Object p) { return p; } "
+            "public static void main(String[] args) { } }"
+        )
+        assert ("A.id/p", "A.id") in facts.return_var
+
+
+class TestInvocationFacts:
+    SOURCE = """
+    class A {
+        Object id(Object p) { return p; }
+        static Object mk() { return null; }
+        public static void main(String[] args) {
+            A r = new A(); // h1
+            Object x = new A(); // h2
+            Object y = r.id(x); // c1
+            Object z = A.mk(); // s1
+        }
+    }
+    """
+
+    def test_virtual_invoke(self):
+        facts = facts_from_source(self.SOURCE)
+        assert ("c1", "A.main/r", "id/1") in facts.virtual_invoke
+        assert ("A.main/x", "c1", 0) in facts.actual
+        assert ("c1", "A.main/y") in facts.assign_return
+        assert facts.invocation_parent["c1"] == "A.main"
+
+    def test_static_invoke(self):
+        facts = facts_from_source(self.SOURCE)
+        assert ("s1", "A.mk", "A.main") in facts.static_invoke
+        assert ("s1", "A.main/z") in facts.assign_return
+
+    def test_static_call_resolves_through_hierarchy(self):
+        facts = facts_from_source(
+            "class A { static Object mk() { return null; } } "
+            "class B extends A { } "
+            "class C { public static void main(String[] args) "
+            "{ Object x = B.mk(); // s1\n } }"
+        )
+        assert ("s1", "A.mk", "C.main") in facts.static_invoke
+
+    def test_unresolvable_static_call_rejected(self):
+        program = ir.Program()
+        cls = program.add_class(ir.ClassDecl("A"))
+        main = cls.add_method(
+            ir.Method("main", "A", ("A.main/args",), is_static=True)
+        )
+        main.body.append(ir.StaticCall(None, "A", "nope", (), "s1"))
+        with pytest.raises(FactGenError, match="cannot resolve"):
+            generate_facts(program)
+
+    def test_duplicate_labels_rejected(self):
+        program = ir.Program()
+        cls = program.add_class(ir.ClassDecl("A"))
+        main = cls.add_method(
+            ir.Method("main", "A", ("A.main/args",), is_static=True)
+        )
+        main.body.append(ir.New("A.main/x", "A", "h1"))
+        main.body.append(ir.New("A.main/y", "A", "h1"))
+        with pytest.raises(FactGenError, match="h1"):
+            generate_facts(program)
+
+
+class TestImplements:
+    def test_direct_implementation(self):
+        facts = facts_from_source(
+            "class A { void m() { } "
+            "public static void main(String[] args) { } }"
+        )
+        assert ("A.m", "A", "m/0") in facts.implements
+
+    def test_inherited_implementation(self):
+        facts = facts_from_source(
+            "class A { void m() { } } class B extends A { } "
+            "class C { public static void main(String[] args) { } }"
+        )
+        assert ("A.m", "B", "m/0") in facts.implements
+        assert ("A.m", "A", "m/0") in facts.implements
+
+    def test_override_shadows(self):
+        facts = facts_from_source(
+            "class A { void m() { } } "
+            "class B extends A { void m() { } } "
+            "class C { public static void main(String[] args) { } }"
+        )
+        assert ("B.m", "B", "m/0") in facts.implements
+        assert ("A.m", "B", "m/0") not in facts.implements
+
+    def test_static_methods_not_in_implements(self):
+        facts = facts_from_source(
+            "class A { static void s() { } "
+            "public static void main(String[] args) { } }"
+        )
+        assert not any(sig == "s/0" for (_, _, sig) in facts.implements)
+
+
+class TestPaperPrograms:
+    def test_figure1_fact_counts(self):
+        facts = facts_from_source(FIGURE_1)
+        counts = facts.counts()
+        assert counts["assign_new"] == 6  # h1-h5 and m1
+        assert counts["virtual_invoke"] == 7  # c1-c7
+        assert counts["static_invoke"] == 0
+        assert counts["store"] == 1
+        assert counts["load"] == 1
+
+    def test_figure5_fact_counts(self):
+        facts = facts_from_source(FIGURE_5)
+        counts = facts.counts()
+        assert counts["assign_new"] == 1
+        assert counts["static_invoke"] == 3  # id1, m1, m2
+        assert counts["virtual_invoke"] == 0
+
+    def test_figure7_fact_counts(self):
+        facts = facts_from_source(FIGURE_7)
+        counts = facts.counts()
+        assert counts["assign_new"] == 2
+        assert counts["virtual_invoke"] == 1
+        assert counts["store"] == 1
+        assert counts["load"] == 1
+
+    def test_counts_cover_all_relations(self):
+        facts = facts_from_source(MINIMAL)
+        assert set(facts.counts()) == set(facts.relation_names())

@@ -1,0 +1,106 @@
+"""Tests for the Java-subset lexer."""
+
+import pytest
+
+from repro.frontend.lexer import LexError, Token, tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source) if t.kind != "EOF"]
+
+
+class TestBasicTokens:
+    def test_identifiers_and_keywords(self):
+        assert kinds("class Foo extends Bar") == [
+            ("KEYWORD", "class"),
+            ("ID", "Foo"),
+            ("KEYWORD", "extends"),
+            ("ID", "Bar"),
+        ]
+
+    def test_punctuation(self):
+        assert kinds("{ } ( ) ; , . =") == [
+            ("PUNCT", p) for p in ["{", "}", "(", ")", ";", ",", ".", "="]
+        ]
+
+    def test_array_brackets(self):
+        assert kinds("String[] args")[1:3] == [("PUNCT", "["), ("PUNCT", "]")]
+
+    def test_ellipsis(self):
+        assert ("PUNCT", "...") in kinds("if (...) {}")
+
+    def test_numbers(self):
+        assert kinds("42")[0] == ("NUMBER", "42")
+
+    def test_strings(self):
+        assert kinds('"hi there"')[0] == ("STRING", '"hi there"')
+
+    def test_string_with_escape(self):
+        assert kinds(r'"a\"b"')[0] == ("STRING", r'"a\"b"')
+
+    def test_underscored_identifier(self):
+        assert kinds("_foo x_1") == [("ID", "_foo"), ("ID", "x_1")]
+
+    def test_eof_always_last(self):
+        assert tokenize("x")[-1].kind == "EOF"
+
+    def test_empty_source(self):
+        assert tokenize("")[0].kind == "EOF"
+
+
+class TestComments:
+    def test_line_comment_kept(self):
+        tokens = tokenize("x = y; // h1\n")
+        comments = [t for t in tokens if t.kind == "COMMENT"]
+        assert len(comments) == 1
+        assert comments[0].text == "h1"
+
+    def test_comment_line_number(self):
+        tokens = tokenize("a;\nb; // lab\n")
+        comment = next(t for t in tokens if t.kind == "COMMENT")
+        assert comment.line == 2
+
+    def test_comment_at_eof_without_newline(self):
+        tokens = tokenize("x; // tail")
+        assert any(t.kind == "COMMENT" and t.text == "tail" for t in tokens)
+
+    def test_block_comment_dropped(self):
+        assert kinds("a /* ignore me */ b") == [("ID", "a"), ("ID", "b")]
+
+    def test_multiline_block_comment(self):
+        tokens = tokenize("a /* one\ntwo */ b")
+        b = [t for t in tokens if t.kind == "ID"][1]
+        assert b.line == 2
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("a /* nope")
+
+
+class TestPositions:
+    def test_line_tracking(self):
+        tokens = tokenize("a\nb\n c")
+        a, b, c = [t for t in tokens if t.kind == "ID"]
+        assert (a.line, b.line, c.line) == (1, 2, 3)
+        assert c.column == 2
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError, match="line 1"):
+            tokenize("a @ b")
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError):
+            tokenize('"oops')
+
+
+class TestOperatorsInConditions:
+    def test_comparison_operators_lex(self):
+        assert kinds("a == b != c") == [
+            ("ID", "a"), ("PUNCT", "=="), ("ID", "b"),
+            ("PUNCT", "!="), ("ID", "c"),
+        ]
+
+    def test_boolean_operators(self):
+        assert ("PUNCT", "&&") in kinds("a && b || !c")
+        assert ("PUNCT", "||") in kinds("a && b || !c")
+        assert ("PUNCT", "!") in kinds("a && b || !c")

@@ -1,0 +1,124 @@
+"""Error-path and corner-case coverage for the Java-subset parser."""
+
+import pytest
+
+from repro.frontend import ir
+from repro.frontend.parser import ParseError, parse_program
+
+
+def body_of(program, cls, signature):
+    return program.classes[cls].methods[signature].body
+
+
+class TestMalformedInput:
+    @pytest.mark.parametrize(
+        "source,pattern",
+        [
+            ("class { }", "expected"),
+            ("class A extends { }", "expected"),
+            ("class A { void m( { } }", "expected"),
+            ("class A { void m() { Object x = ; } }", "expected"),
+            ("class A { void m() { x 3; } }", "expected"),
+            ("class A { void m() { return }", "expected"),
+            ("class A { void m() { if x { } } }", "expected"),
+            ("class A { Object f = null; }", "initializers"),
+            ("class A { void m(Object v) { Object x = new A(v); } }",
+             "constructor"),
+            ("class A { void m() { Object x = this; } "
+             "static void s() { } }", None),
+        ],
+    )
+    def test_rejected(self, source, pattern):
+        if pattern is None:
+            parse_program(source)  # static/instance mix itself is fine
+            return
+        with pytest.raises(ParseError, match=pattern):
+            parse_program(source)
+
+    def test_unterminated_condition(self):
+        with pytest.raises(ParseError, match="unterminated"):
+            parse_program("class A { void m() { if ( { } } }")
+
+    def test_call_with_null_argument_rejected(self):
+        with pytest.raises(ParseError, match="argument"):
+            parse_program(
+                "class A { void go(Object o) { } "
+                "void m(A r) { r.go(null); } }"
+            )
+
+
+class TestCornerCases:
+    def test_empty_class_body(self):
+        assert parse_program("class A { }").classes["A"].methods == {}
+
+    def test_deeply_nested_conditions_skipped(self):
+        p = parse_program(
+            "class A { void m(Object a) { Object x;"
+            " if (((a == a) && (a != a))) { x = a; } } }"
+        )
+        assert body_of(p, "A", "m/1") == [ir.Assign("A.m/x", "A.m/a")]
+
+    def test_chained_method_result_requires_temp(self):
+        # a call used as a call argument desugars through a temp.
+        p = parse_program(
+            "class A { Object id(Object p) { return p; }"
+            " void m(A r, Object v) { Object y = r.id(r.id(v)); } }"
+        )
+        body = body_of(p, "A", "m/2")
+        inner = [s for s in body if isinstance(s, ir.VirtualCall)]
+        assert len(inner) == 2
+        assert inner[0].dst == inner[1].args[0]
+
+    def test_boolean_and_numeric_rhs_ignored(self):
+        p = parse_program(
+            "class A { void m() { Object x = true; Object y = 42;"
+            ' Object z = "str"; } }'
+        )
+        assert body_of(p, "A", "m/0") == []
+
+    def test_while_with_comparison(self):
+        p = parse_program(
+            "class A { void m(Object a) { Object x;"
+            " while (x <= a) { x = a; } } }"
+        )
+        assert ir.Assign("A.m/x", "A.m/a") in body_of(p, "A", "m/1")
+
+    def test_array_type_parameters(self):
+        p = parse_program("class A { void m(String[] args, int[][] grid) { } }")
+        assert "m/2" in p.classes["A"].methods
+
+    def test_label_comment_with_extra_words(self):
+        p = parse_program(
+            "class A { void m() { Object x = new A(); // h1 the widget\n } }"
+        )
+        (stmt,) = body_of(p, "A", "m/0")
+        assert stmt.label == "h1"
+
+    def test_two_classes_same_method_names(self):
+        p = parse_program(
+            "class A { Object id(Object p) { return p; } } "
+            "class B { Object id(Object p) { return p; } }"
+        )
+        assert p.classes["A"].methods["id/1"].qualified_name == "A.id"
+        assert p.classes["B"].methods["id/1"].qualified_name == "B.id"
+
+    def test_this_passed_as_argument(self):
+        p = parse_program(
+            "class A { void go(Object o) { } "
+            "void m() { go(this); // c1\n } }"
+        )
+        body = body_of(p, "A", "m/0")
+        assert ir.VirtualCall(
+            None, "A.m/this", "go", ("A.m/this",), "c1"
+        ) in body
+
+    def test_return_this(self):
+        p = parse_program("class A { A self() { return this; } }")
+        assert body_of(p, "A", "self/0") == [ir.Return("A.self/this")]
+
+    def test_modifier_soup_accepted(self):
+        p = parse_program(
+            "public final class A { private static final Object mk() "
+            "{ return null; } }"
+        )
+        assert p.classes["A"].methods["mk/0"].is_static

@@ -1,0 +1,156 @@
+"""Tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.frontend.paper_programs import FIGURE_1, FIGURE_5
+
+
+@pytest.fixture()
+def figure1_file(tmp_path):
+    path = tmp_path / "figure1.java"
+    path.write_text(FIGURE_1)
+    return str(path)
+
+
+@pytest.fixture()
+def figure5_file(tmp_path):
+    path = tmp_path / "figure5.java"
+    path.write_text(FIGURE_5)
+    return str(path)
+
+
+class TestAnalyzeCommand:
+    def test_points_to_query(self, figure1_file, capsys):
+        assert main([
+            "analyze", figure1_file, "--config", "1-call",
+            "--var", "T.main/x1", "--var", "T.main/x2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "T.main/x1 -> {h1}" in out
+        assert "T.main/x2 -> {h1, h2}" in out
+
+    def test_full_dump_and_stats(self, figure1_file, capsys):
+        assert main(["analyze", figure1_file, "--stats", "--call-graph"]) == 0
+        out = capsys.readouterr().out
+        assert "T.main/x1" in out
+        assert "call graph:" in out
+        assert "|pts|=" in out
+        assert "2-object+H" in out
+
+    def test_context_string_abstraction(self, figure5_file, capsys):
+        assert main([
+            "analyze", figure5_file, "--config", "1-call+H",
+            "--abstraction", "cs", "--stats",
+        ]) == 0
+        assert "context-string" in capsys.readouterr().out
+
+    def test_missing_input_errors(self):
+        with pytest.raises(SystemExit):
+            main(["analyze", "--config", "1-call"])
+
+    def test_unknown_config_rejected(self, figure1_file):
+        with pytest.raises(SystemExit):
+            main(["analyze", figure1_file, "--config", "9-quantum"])
+
+
+class TestQueryCommand:
+    def test_demand_query(self, figure1_file, capsys):
+        assert main([
+            "query", figure1_file, "--config", "1-call",
+            "--var", "T.main/x1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "T.main/x1 -> {h1}" in out
+        assert "demand slice:" in out
+
+    def test_query_matches_analyze(self, figure1_file, capsys):
+        main(["query", figure1_file, "--config", "2-object+H",
+              "--var", "T.main/x2"])
+        query_out = capsys.readouterr().out
+        main(["analyze", figure1_file, "--config", "2-object+H",
+              "--var", "T.main/x2"])
+        analyze_out = capsys.readouterr().out
+        assert "T.main/x2 -> {h1}" in query_out
+        assert "T.main/x2 -> {h1}" in analyze_out
+
+    def test_dot_export(self, figure1_file, tmp_path, capsys):
+        out = tmp_path / "cg.dot"
+        assert main([
+            "analyze", figure1_file, "--config", "1-call", "--dot", str(out),
+        ]) == 0
+        text = out.read_text()
+        assert text.startswith("digraph")
+        assert '"T.id"' in text
+
+
+class TestFactsCommand:
+    def test_generates_directory(self, figure1_file, tmp_path, capsys):
+        out_dir = str(tmp_path / "facts")
+        assert main(["facts", figure1_file, "--out", out_dir]) == 0
+        assert os.path.exists(os.path.join(out_dir, "AssignHeapAllocation.facts"))
+        assert "wrote" in capsys.readouterr().out
+
+    def test_roundtrip_through_analyze(self, figure1_file, tmp_path, capsys):
+        out_dir = str(tmp_path / "facts")
+        main(["facts", figure1_file, "--out", out_dir])
+        assert main([
+            "analyze", "--facts-dir", out_dir, "--config", "1-call",
+            "--var", "T.main/x1",
+        ]) == 0
+        assert "T.main/x1 -> {h1}" in capsys.readouterr().out
+
+
+class TestEmitCommand:
+    def test_emit_to_stdout(self, figure5_file, capsys):
+        assert main(["emit", figure5_file, "--config", "1-call+H"]) == 0
+        out = capsys.readouterr().out
+        assert "pts__" in out
+        assert ":-" in out
+
+    def test_emitted_program_parses(self, figure5_file, tmp_path, capsys):
+        out_file = str(tmp_path / "analysis.dl")
+        assert main([
+            "emit", figure5_file, "--config", "1-call+H", "--out", out_file,
+        ]) == 0
+        from repro.datalog.parser import parse_datalog
+
+        with open(out_file) as handle:
+            program = parse_datalog(handle.read())
+        assert len(program.rules) > 100
+
+
+class TestFigure6Command:
+    def test_small_table(self, capsys):
+        assert main(["figure6", "--scale", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "2-object+H" in out
+        assert "Mean" in out
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro(self, figure1_file):
+        import subprocess
+        import sys
+
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "analyze", figure1_file,
+             "--config", "1-call", "--var", "T.main/x1"],
+            capture_output=True, text=True, timeout=120,
+        )
+        assert completed.returncode == 0
+        assert "T.main/x1 -> {h1}" in completed.stdout
+
+    def test_help_lists_subcommands(self):
+        import subprocess
+        import sys
+
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "--help"],
+            capture_output=True, text=True, timeout=60,
+        )
+        assert completed.returncode == 0
+        for command in ("analyze", "query", "facts", "emit", "figure6"):
+            assert command in completed.stdout

@@ -1,0 +1,140 @@
+"""Differential testing over random programs.
+
+Four independent implementations of the deduction rules must agree on
+arbitrary well-formed input: the worklist solver under both abstractions
+(context-insensitive projections equal outside type sensitivity —
+Theorem 6.2), the specialized and naive compiled Datalog programs (all
+relations identical to the solver), and the CFL-reachability fixpoint at
+m = 0.
+"""
+
+import pytest
+
+from repro import analyze, config_by_name
+from repro.bench.fuzz import random_program
+from repro.cfl.pag import build_pag
+from repro.cfl.solver import FlowsToSolver
+from repro.compile.emit import (
+    compile_context_string_analysis,
+    compile_transformer_analysis,
+    compile_transformer_analysis_naive,
+)
+from repro.core.sensitivity import Flavour
+from repro.frontend.factgen import generate_facts
+
+SEEDS = list(range(12))
+
+
+@pytest.fixture(scope="module")
+def fuzzed():
+    out = {}
+    for seed in SEEDS:
+        out[seed] = generate_facts(random_program(seed, size=3))
+    return out
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestAbstractionAgreement:
+    @pytest.mark.parametrize(
+        "config_name", ["insensitive", "1-call", "1-call+H", "2-object+H"]
+    )
+    def test_ci_projections_equal(self, fuzzed, seed, config_name):
+        facts = fuzzed[seed]
+        cs = analyze(facts, config_by_name(config_name, "context-string"))
+        ts = analyze(facts, config_by_name(config_name, "transformer-string"))
+        assert cs.pts_ci() == ts.pts_ci()
+        assert cs.hpts_ci() == ts.hpts_ci()
+        assert cs.call_graph() == ts.call_graph()
+        assert {(p, h) for (p, h, _) in cs.texc} == {
+            (p, h) for (p, h, _) in ts.texc
+        }
+
+    def test_type_sensitivity_is_sound(self, fuzzed, seed):
+        facts = fuzzed[seed]
+        cs = analyze(facts, config_by_name("2-type+H", "context-string"))
+        ts = analyze(facts, config_by_name("2-type+H", "transformer-string"))
+        assert ts.pts_ci() >= cs.pts_ci()
+        assert ts.call_graph() >= cs.call_graph()
+
+
+@pytest.mark.parametrize("seed", SEEDS[:6])
+class TestCompiledPathsAgree:
+    @pytest.mark.parametrize(
+        "config_name,flavour,m,h",
+        [("1-call+H", Flavour.CALL_SITE, 1, 1),
+         ("2-object+H", Flavour.OBJECT, 2, 1)],
+    )
+    def test_specialized_equals_solver(self, fuzzed, seed, config_name,
+                                       flavour, m, h):
+        facts = fuzzed[seed]
+        solver = analyze(facts, config_by_name(config_name, "transformer-string"))
+        compiled = compile_transformer_analysis(facts, flavour, m, h).run()
+        assert compiled.pts == solver.pts
+        assert compiled.hpts == solver.hpts
+        assert compiled.call == solver.call
+        assert compiled.spts == solver.spts
+        assert compiled.texc == solver.texc
+
+    def test_naive_equals_solver(self, fuzzed, seed, config_name=None,
+                                 flavour=None, m=None, h=None):
+        facts = fuzzed[seed]
+        solver = analyze(facts, config_by_name("1-call+H", "transformer-string"))
+        compiled = compile_transformer_analysis_naive(
+            facts, Flavour.CALL_SITE, 1, 1
+        ).run()
+        assert compiled.pts == solver.pts
+        assert compiled.call == solver.call
+
+    def test_context_strings_equal_solver(self, fuzzed, seed,
+                                          config_name=None, flavour=None,
+                                          m=None, h=None):
+        facts = fuzzed[seed]
+        solver = analyze(facts, config_by_name("2-object+H", "context-string"))
+        compiled = compile_context_string_analysis(
+            facts, Flavour.OBJECT, 2, 1
+        ).run()
+        assert compiled.pts == solver.pts
+        assert compiled.call == solver.call
+        assert compiled.texc == solver.texc
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_cfl_fixpoint_matches_m0_rules(fuzzed, seed):
+    facts = fuzzed[seed]
+    result = analyze(facts, config_by_name("insensitive"))
+    pag = build_pag(facts)
+    solver = FlowsToSolver(pag).solve()
+    assert solver.variable_flows_to_pairs() == {
+        (h, y) for (y, h) in result.pts_ci()
+    }
+    assert solver.static_field_pairs() == {
+        (h, f) for (f, h, _) in result.spts
+    }
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_index_ablation_identical(fuzzed, seed):
+    facts = fuzzed[seed]
+    indexed = analyze(facts, config_by_name("2-object+H", "transformer-string"))
+    naive = analyze(
+        facts,
+        config_by_name(
+            "2-object+H", "transformer-string", naive_transformer_index=True
+        ),
+    )
+    assert indexed.pts == naive.pts
+    assert indexed.call == naive.call
+
+
+def test_generator_is_deterministic():
+    from repro.frontend.doopfacts import facts_equal
+
+    a = generate_facts(random_program(42, size=4))
+    b = generate_facts(random_program(42, size=4))
+    assert facts_equal(a, b)
+
+
+def test_generator_varies_with_seed():
+    a = generate_facts(random_program(1, size=3))
+    b = generate_facts(random_program(2, size=3))
+    assert a.assign_new != b.assign_new

