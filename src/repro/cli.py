@@ -14,6 +14,12 @@ Subcommands:
     Instantiate the deduction rules for a configuration and write the
     resulting plain-Datalog program (the Section 7 front-end).
 
+``lint``
+    Statically verify a ``.dl`` Datalog program, a source program's IR,
+    or the emitted configuration(s) for a source program.  Exits
+    non-zero on any error-severity diagnostic (any diagnostic at all
+    with ``--strict-warnings``).
+
 ``figure6``
     Regenerate the paper's Figure 6 table on the synthetic DaCapo
     analogues.
@@ -146,6 +152,127 @@ def cmd_query(args) -> int:
     return 0
 
 
+_LINT_MAX_LINES = 50
+
+
+def _lint_print(report, args) -> bool:
+    """Print a report; returns True when it should fail the run."""
+    from repro.lint.diagnostics import Severity
+
+    min_severity = Severity.NOTE if args.verbose else Severity.WARNING
+    rendered = report.render(min_severity)
+    if rendered:
+        lines = rendered.splitlines()
+        shown = lines if args.verbose else lines[:_LINT_MAX_LINES]
+        print("\n".join(shown))
+        if len(shown) < len(lines):
+            print(f"... and {len(lines) - len(shown)} more (use --verbose)")
+    print(report.summary())
+    if args.strict_warnings:
+        return bool(report.errors or report.warnings)
+    return not report.ok
+
+
+def _lint_compiled(facts, name: str, abstraction: str):
+    from repro.compile.emit import (
+        compile_context_string_analysis,
+        compile_transformer_analysis,
+        compile_transformer_analysis_naive,
+    )
+    from repro.core.config import config_by_name as by_name
+    from repro.datalog.lint import LintError, lint_program
+
+    compilers = {
+        "transformer-string": compile_transformer_analysis,
+        "context-string": compile_context_string_analysis,
+        "naive": compile_transformer_analysis_naive,
+    }
+    config = by_name(name)
+    try:
+        compiled = compilers[abstraction](
+            facts, config.flavour, config.m, config.h
+        )
+    except LintError as error:
+        # Emission itself lints (errors only); recover the full report.
+        return error.report
+    from repro.compile.emit import _INPUT_RELATIONS
+
+    return lint_program(
+        compiled.program,
+        builtins=compiled.builtins,
+        subject=compiled.description,
+        edb=_INPUT_RELATIONS + ("class_of", "invocation_parent"),
+    )
+
+
+def cmd_lint(args) -> int:
+    from repro.datalog.lint import lint_program
+    from repro.datalog.parser import DatalogSyntaxError, parse_datalog
+    from repro.frontend.parser import ParseError
+
+    try:
+        with open(args.path, encoding="utf-8") as handle:
+            source = handle.read()
+    except OSError as error:
+        print(f"repro lint: {error}", file=sys.stderr)
+        return 1
+
+    failed = False
+    try:
+        failed = _lint_path(source, args)
+    except (DatalogSyntaxError, ParseError) as error:
+        # A file the parser rejects is a lint failure, not a crash.
+        print(f"error[syntax] in {args.path}: {error}", file=sys.stderr)
+        return 1
+    return 1 if failed else 0
+
+
+def _lint_path(source: str, args) -> bool:
+    from repro.datalog.lint import lint_program
+    from repro.datalog.parser import parse_datalog
+
+    if args.path.endswith(".dl"):
+        program = parse_datalog(source, validate=False)
+        # A standalone .dl file usually ships without its fact set;
+        # treat every predicate that is never a rule head as a
+        # populatable input so the liveness pass reports genuinely
+        # dead rules instead of flagging the whole program.
+        idb = program.idb_predicates()
+        edb = {
+            lit.pred
+            for rule in program.rules
+            for lit in rule.body
+        } - idb
+        report = lint_program(program, subject=args.path, edb=edb)
+        return _lint_print(report, args)
+
+    from repro.frontend.factgen import facts_from_source
+    from repro.frontend.parser import parse_program
+    from repro.lint.ircheck import check_ir
+
+    ir_program = parse_program(source)
+    failed = _lint_print(check_ir(ir_program, subject=args.path), args)
+
+    names = []
+    if args.all_configs:
+        names = [n for n in _CONFIG_CHOICES if n != "insensitive"]
+    elif args.emitted:
+        names = [args.config]
+    if names:
+        facts = facts_from_source(source)
+        abstraction_map = dict(_ABSTRACTIONS, naive="naive")
+        abstractions = (
+            ("transformer-string", "context-string", "naive")
+            if args.all_abstractions
+            else (abstraction_map[args.abstraction],)
+        )
+        for name in names:
+            for abstraction in abstractions:
+                report = _lint_compiled(facts, name, abstraction)
+                failed = _lint_print(report, args) or failed
+    return failed
+
+
 def cmd_figure6(args) -> int:
     from repro.bench.harness import run_figure6
     from repro.bench.report import format_csv, format_figure6
@@ -231,6 +358,46 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(p_emit)
     p_emit.add_argument("--out", help="output file (default: stdout)")
     p_emit.set_defaults(func=cmd_emit)
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="statically verify a .dl program, a source program's IR,"
+        " or emitted configurations",
+    )
+    p_lint.add_argument(
+        "path",
+        help="a .dl Datalog program, or a Java-subset source file",
+    )
+    p_lint.add_argument(
+        "--emitted", action="store_true",
+        help="also lint the Datalog program emitted for --config",
+    )
+    p_lint.add_argument(
+        "--all-configs", action="store_true",
+        help="lint the emitted program for every known configuration",
+    )
+    p_lint.add_argument(
+        "--config", default="2-object+H", choices=_CONFIG_CHOICES,
+        help="configuration for --emitted (default: 2-object+H)",
+    )
+    p_lint.add_argument(
+        "--abstraction", default="ts",
+        choices=sorted(set(_ABSTRACTIONS) | {"naive"}),
+        help="instantiation to lint (ts, cs, or the naive baseline)",
+    )
+    p_lint.add_argument(
+        "--all-abstractions", action="store_true",
+        help="lint all three instantiations of each configuration",
+    )
+    p_lint.add_argument(
+        "--strict-warnings", "-W", action="store_true",
+        help="treat warnings as fatal",
+    )
+    p_lint.add_argument(
+        "--verbose", "-v", action="store_true",
+        help="also print note-severity diagnostics",
+    )
+    p_lint.set_defaults(func=cmd_lint)
 
     p_fig = sub.add_parser("figure6", help="regenerate the Figure 6 table")
     p_fig.add_argument("--scale", type=int, default=2)

@@ -55,19 +55,33 @@ class CompiledAnalysis:
     decoder: Callable[[Dict[str, Set[Tuple]]], Dict[str, Set[Tuple]]]
     description: str
 
-    def run(self, backend: str = "interpreted") -> "CompiledResult":
+    def run(
+        self, backend: str = "interpreted", eliminate_dead: bool = False
+    ) -> "CompiledResult":
         """Evaluate the program.
 
         ``backend`` selects the Datalog engine: ``"interpreted"`` (the
         semi-naive interpreter) or ``"compiled"`` (rule bodies compiled
         to Python source — the analogue of the paper's LLVM back-end).
+
+        ``eliminate_dead=True`` first drops rules that can never fire
+        against the installed fact set (the configuration cross-product
+        emits many — e.g. rules consuming a ``call__xx`` shape no rule
+        of this flavour ever derives), shrinking the rule set the
+        semi-naive loop re-evaluates each round.  Results are identical
+        by construction (tested).
         """
+        program = self.program
+        if eliminate_dead:
+            from repro.datalog.lint import eliminate_dead_rules
+
+            program, _ = eliminate_dead_rules(program, self.builtins)
         if backend == "interpreted":
-            engine = Engine(self.program, self.builtins)
+            engine = Engine(program, self.builtins)
         elif backend == "compiled":
             from repro.datalog.codegen import CompiledEngine
 
-            engine = CompiledEngine(self.program, self.builtins)
+            engine = CompiledEngine(program, self.builtins)
         else:
             raise ValueError(f"unknown backend {backend!r}")
         raw = engine.run()
@@ -123,6 +137,27 @@ def _install_input_facts(program: Program, facts: FactSet) -> None:
         program.add_facts("invocation_parent", facts.invocation_parent.items())
 
 
+def _lint_emitted(analysis: "CompiledAnalysis") -> "CompiledAnalysis":
+    """Statically verify an emitted configuration before returning it.
+
+    Every instantiation path runs through here, so a specialization bug
+    (unsafe rule, arity clash, mis-typed attribute) is a coded
+    :class:`repro.datalog.lint.LintError` at emission time rather than
+    a crash — or a silently wrong points-to set — during evaluation.
+    Error diagnostics only; warnings (e.g. rules dead under this
+    particular fact set) are expected and left to ``repro lint``.
+    """
+    from repro.datalog.lint import lint_program
+
+    lint_program(
+        analysis.program,
+        builtins=analysis.builtins,
+        subject=analysis.description,
+        passes=("safety", "schema", "sorts", "stratification"),
+    ).raise_if_errors()
+    return analysis
+
+
 # ---------------------------------------------------------------------------
 # Transformer strings, configuration-specialized (the Section 7 technique).
 # ---------------------------------------------------------------------------
@@ -161,12 +196,12 @@ def compile_transformer_analysis(
                 )
         return out
 
-    return CompiledAnalysis(
+    return _lint_emitted(CompiledAnalysis(
         program=program,
         builtins={},
         decoder=decoder,
         description=f"{m}-{flavour.value}+{h}H/transformer-string/specialized",
-    )
+    ))
 
 
 # ---------------------------------------------------------------------------
@@ -272,12 +307,12 @@ def compile_context_string_analysis(
             },
         }
 
-    return CompiledAnalysis(
+    return _lint_emitted(CompiledAnalysis(
         program=program,
         builtins=builtins,
         decoder=decoder,
         description=f"{m}-{flavour.value}+{h}H/context-string",
-    )
+    ))
 
 
 # ---------------------------------------------------------------------------
@@ -387,9 +422,9 @@ def compile_transformer_analysis_naive(
             )
         }
 
-    return CompiledAnalysis(
+    return _lint_emitted(CompiledAnalysis(
         program=program,
         builtins=builtins,
         decoder=decoder,
         description=f"{m}-{flavour.value}+{h}H/transformer-string/naive",
-    )
+    ))

@@ -17,7 +17,24 @@ literals whose predicate name is bound in the engine's builtin table.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple, Union
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+
+@dataclass(frozen=True)
+class SourcePos:
+    """A 1-based (line, column) position in Datalog source text.
+
+    Attached by :mod:`repro.datalog.parser`; programs built
+    programmatically (e.g. by :mod:`repro.compile.specialize`) carry no
+    positions.  Excluded from equality/hashing so positioned and
+    position-free literals compare equal.
+    """
+
+    line: int
+    column: int
+
+    def __repr__(self) -> str:
+        return f"{self.line}:{self.column}"
 
 
 @dataclass(frozen=True)
@@ -52,6 +69,7 @@ class Literal:
     pred: str
     args: Tuple[Term, ...]
     negated: bool = False
+    pos: Optional[SourcePos] = field(default=None, compare=False, repr=False)
 
     def __repr__(self) -> str:
         bang = "!" if self.negated else ""
@@ -91,6 +109,7 @@ class Rule:
 
     head: Literal
     body: Tuple[Literal, ...] = ()
+    pos: Optional[SourcePos] = field(default=None, compare=False, repr=False)
 
     def __repr__(self) -> str:
         if not self.body:

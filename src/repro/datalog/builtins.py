@@ -16,12 +16,40 @@ The standard comparison builtins operate on fully bound arguments.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Iterator, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, Optional, Tuple
 
 from repro.datalog.ast import Var
 
 #: A builtin maps a partially bound argument tuple to completed tuples.
 BuiltinFn = Callable[[Tuple], Iterator[Tuple]]
+
+
+@dataclass(frozen=True)
+class BuiltinSignature:
+    """Static binding discipline of a builtin, for lint-time checking.
+
+    ``out_positions`` lists the argument positions the builtin may
+    *produce* (every other position must be bound when the literal is
+    reached); ``None`` means the input/output split is dynamic, in which
+    case ``min_bound`` arguments must be bound.  ``arity`` is ``None``
+    when the builtin accepts any arity.
+
+    Attached to builtin callables as the ``lint_signature`` attribute;
+    :mod:`repro.datalog.lint` consults it and skips builtins without
+    one.
+    """
+
+    name: str
+    arity: Optional[int] = None
+    out_positions: Optional[FrozenSet[int]] = frozenset()
+    min_bound: int = 0
+
+
+def attach_signature(fn: BuiltinFn, signature: BuiltinSignature) -> BuiltinFn:
+    """Annotate ``fn`` with its :class:`BuiltinSignature` (in place)."""
+    fn.lint_signature = signature
+    return fn
 
 
 class BuiltinBindingError(ValueError):
@@ -42,7 +70,7 @@ def _comparison(name: str, op: Callable[[object, object], bool]) -> BuiltinFn:
         if op(left, right):
             yield args
 
-    return fn
+    return attach_signature(fn, BuiltinSignature(name, arity=2))
 
 
 def builtin_succ(args: Tuple) -> Iterator[Tuple]:
@@ -57,6 +85,12 @@ def builtin_succ(args: Tuple) -> Iterator[Tuple]:
             yield args
     else:
         raise BuiltinBindingError("succ/2 requires at least one bound side")
+
+
+attach_signature(
+    builtin_succ,
+    BuiltinSignature("succ", arity=2, out_positions=None, min_bound=1),
+)
 
 
 DEFAULT_BUILTINS: Dict[str, BuiltinFn] = {
@@ -117,4 +151,7 @@ def function_builtin(name: str, fn: Callable, out_positions: Tuple[int, ...]) ->
             else:
                 yield tuple(completed)
 
-    return builtin
+    return attach_signature(
+        builtin,
+        BuiltinSignature(name, out_positions=frozenset(out_positions)),
+    )

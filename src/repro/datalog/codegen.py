@@ -258,12 +258,19 @@ class CompiledEngine:
     rule bodies are compiled to Python functions."""
 
     def __init__(self, program: Program,
-                 builtins: Optional[Dict[str, BuiltinFn]] = None):
-        program.validate()
-        self.program = program
+                 builtins: Optional[Dict[str, BuiltinFn]] = None,
+                 strict: bool = False):
         self.builtins: Dict[str, BuiltinFn] = dict(DEFAULT_BUILTINS)
         if builtins:
             self.builtins.update(builtins)
+        if strict:
+            from repro.datalog.lint import lint_program
+
+            lint_program(
+                program, builtins=self.builtins, subject="program"
+            ).raise_if_errors()
+        program.validate()
+        self.program = program
         overlap = set(self.builtins) & (
             program.idb_predicates() | set(program.facts)
         )

@@ -57,12 +57,23 @@ class Engine:
         self,
         program: Program,
         builtins: Optional[Dict[str, BuiltinFn]] = None,
+        strict: bool = False,
     ):
-        program.validate()
-        self.program = program
         self.builtins: Dict[str, BuiltinFn] = dict(DEFAULT_BUILTINS)
         if builtins:
             self.builtins.update(builtins)
+        if strict:
+            # Full semantic analysis up front: rejects programs the
+            # basic validate() accepts but that would fail mid-join
+            # (e.g. a negated literal reached before its variables are
+            # bound under the left-to-right evaluation order).
+            from repro.datalog.lint import lint_program
+
+            lint_program(
+                program, builtins=self.builtins, subject="program"
+            ).raise_if_errors()
+        program.validate()
+        self.program = program
         overlap = set(self.builtins) & (
             program.idb_predicates() | set(program.facts)
         )
@@ -308,6 +319,6 @@ class Engine:
             )
 
 
-def evaluate(program: Program, builtins=None) -> Dict[str, Set[Tuple]]:
+def evaluate(program: Program, builtins=None, strict: bool = False) -> Dict[str, Set[Tuple]]:
     """One-shot evaluation convenience wrapper."""
-    return Engine(program, builtins).run()
+    return Engine(program, builtins, strict=strict).run()

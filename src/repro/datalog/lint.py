@@ -1,0 +1,51 @@
+"""Semantic analysis of Datalog programs (the lint entry point).
+
+This module is the canonical import site for checking a
+:class:`repro.datalog.ast.Program` before evaluation::
+
+    from repro.datalog.lint import lint_program
+
+    report = lint_program(program, builtins=my_builtins)
+    if not report.ok:
+        print(report.render())
+        report.raise_if_errors()
+
+The passes live in :mod:`repro.lint.passes`; see that module (and the
+diagnostic-code table in ``docs/api.md``) for what is checked.  The
+evaluation engines run the same analysis behind their ``strict=`` knob,
+and :mod:`repro.compile.emit` lints every configuration it emits, so a
+specialization bug is a coded, located diagnostic instead of a crash
+deep inside a join or — worse — a silently wrong points-to set.
+
+:func:`eliminate_dead_rules` is the companion rewrite: it drops rules
+that can never fire (a positive body predicate with no facts and no
+live defining rule), a safe pre-evaluation optimization that shrinks
+the rule set the semi-naive loop has to consider.
+"""
+
+from __future__ import annotations
+
+from repro.lint.diagnostics import Diagnostic, LintError, LintReport, Severity
+from repro.lint.passes import (
+    check_liveness,
+    check_safety,
+    check_schema,
+    check_sorts,
+    check_stratification,
+    eliminate_dead_rules,
+    lint_program,
+)
+
+__all__ = [
+    "Diagnostic",
+    "LintError",
+    "LintReport",
+    "Severity",
+    "check_liveness",
+    "check_safety",
+    "check_schema",
+    "check_sorts",
+    "check_stratification",
+    "eliminate_dead_rules",
+    "lint_program",
+]

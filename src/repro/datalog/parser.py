@@ -17,6 +17,11 @@ Conventions:
 * ``!`` prefixes a negated literal;
 * ``%`` and ``//`` start line comments.
 
+Parsed rules and literals carry :class:`repro.datalog.ast.SourcePos`
+locations, so downstream diagnostics (:mod:`repro.datalog.lint`,
+:class:`repro.datalog.stratify.StratificationError`) can point at the
+offending source line.
+
 The emitted Datalog of :mod:`repro.compile` round-trips through this
 parser (tested), mirroring the paper's front-end whose "output … is a
 plain Datalog program".
@@ -26,9 +31,9 @@ from __future__ import annotations
 
 import itertools
 import re
-from typing import Iterator, List, Tuple
+from typing import Iterator, List, NamedTuple, Optional
 
-from repro.datalog.ast import Const, Literal, Program, Rule, Term, Var
+from repro.datalog.ast import Const, Literal, Program, Rule, SourcePos, Term, Var
 
 _TOKEN_RE = re.compile(
     r"""
@@ -48,98 +53,119 @@ class DatalogSyntaxError(SyntaxError):
     """Raised on malformed Datalog text."""
 
 
-def _tokens(text: str) -> Iterator[Tuple[str, str]]:
+class Token(NamedTuple):
+    kind: str
+    text: str
+    pos: Optional[SourcePos] = None
+
+
+def _tokens(text: str) -> Iterator[Token]:
     position = 0
+    line = 1
+    line_start = 0
     while position < len(text):
         match = _TOKEN_RE.match(text, position)
         if match is None:
-            line = text.count("\n", 0, position) + 1
             raise DatalogSyntaxError(
                 f"unexpected character {text[position]!r} at line {line}"
             )
+        token_pos = SourcePos(line, position - line_start + 1)
+        newlines = text.count("\n", position, match.end())
+        if newlines:
+            line += newlines
+            line_start = text.rindex("\n", position, match.end()) + 1
         position = match.end()
         kind = match.lastgroup
         if kind in ("ws", "comment"):
             continue
-        yield kind, match.group()
-    yield "eof", ""
+        yield Token(kind, match.group(), token_pos)
+    yield Token("eof", "", SourcePos(line, position - line_start + 1))
 
 
 class _Parser:
-    def __init__(self, text: str):
-        self.tokens: List[Tuple[str, str]] = list(_tokens(text))
+    def __init__(self, text: str, validate: bool = True):
+        self.tokens: List[Token] = list(_tokens(text))
         self.position = 0
+        self.validate = validate
         self._anon = itertools.count()
 
-    def peek(self) -> Tuple[str, str]:
+    def peek(self) -> Token:
         return self.tokens[self.position]
 
-    def next(self) -> Tuple[str, str]:
+    def next(self) -> Token:
         token = self.tokens[self.position]
-        if token[0] != "eof":
+        if token.kind != "eof":
             self.position += 1
         return token
 
-    def expect(self, kind: str, text: str = None) -> Tuple[str, str]:
+    def expect(self, kind: str, text: str = None) -> Token:
         token = self.next()
-        if token[0] != kind or (text is not None and token[1] != text):
+        if token.kind != kind or (text is not None and token.text != text):
             raise DatalogSyntaxError(
-                f"expected {text or kind}, got {token[1]!r}"
+                f"expected {text or kind}, got {token.text!r}"
+                f" at {token.pos!r}"
             )
         return token
 
     def parse(self) -> Program:
         program = Program()
-        while self.peek()[0] != "eof":
+        while self.peek().kind != "eof":
+            rule_pos = self.peek().pos
             head = self.parse_literal()
-            if head.negated:
+            if head.negated and self.validate:
                 raise DatalogSyntaxError(f"negated head {head!r}")
             body: List[Literal] = []
-            kind, text = self.next()
+            kind, text, pos = self.next()
             if (kind, text) == ("implies", ":-"):
                 while True:
                     body.append(self.parse_literal())
-                    kind, text = self.next()
+                    kind, text, pos = self.next()
                     if (kind, text) == ("punct", "."):
                         break
                     if (kind, text) != ("punct", ","):
                         raise DatalogSyntaxError(
-                            f"expected ',' or '.', got {text!r}"
+                            f"expected ',' or '.', got {text!r} at {pos!r}"
                         )
             elif (kind, text) != ("punct", "."):
-                raise DatalogSyntaxError(f"expected ':-' or '.', got {text!r}")
-            rule = Rule(head, tuple(body))
-            rule.validate()
+                raise DatalogSyntaxError(
+                    f"expected ':-' or '.', got {text!r} at {pos!r}"
+                )
+            rule = Rule(head, tuple(body), pos=rule_pos)
+            if self.validate:
+                rule.validate()
             program.rules.append(rule)
         return program
 
     def parse_literal(self) -> Literal:
         negated = False
-        if self.peek() == ("punct", "!"):
+        literal_pos = self.peek().pos
+        if self.peek()[:2] == ("punct", "!"):
             self.next()
             negated = True
-        kind, name = self.next()
+        kind, name, pos = self.next()
         if kind != "ident":
-            raise DatalogSyntaxError(f"expected predicate name, got {name!r}")
+            raise DatalogSyntaxError(
+                f"expected predicate name, got {name!r} at {pos!r}"
+            )
         args: List[Term] = []
-        if self.peek() == ("punct", "("):
+        if self.peek()[:2] == ("punct", "("):
             self.next()
-            if self.peek() != ("punct", ")"):
+            if self.peek()[:2] != ("punct", ")"):
                 while True:
                     args.append(self.parse_term())
-                    kind, text = self.next()
+                    kind, text, pos = self.next()
                     if (kind, text) == ("punct", ")"):
                         break
                     if (kind, text) != ("punct", ","):
                         raise DatalogSyntaxError(
-                            f"expected ',' or ')', got {text!r}"
+                            f"expected ',' or ')', got {text!r} at {pos!r}"
                         )
             else:
                 self.next()
-        return Literal(name, tuple(args), negated=negated)
+        return Literal(name, tuple(args), negated=negated, pos=literal_pos)
 
     def parse_term(self) -> Term:
-        kind, text = self.next()
+        kind, text, pos = self.next()
         if kind == "string":
             return Const(text[1:-1].replace('\\"', '"').replace("\\\\", "\\"))
         if kind == "number":
@@ -150,12 +176,17 @@ class _Parser:
             if text[0].isupper() or text[0] == "_":
                 return Var(text)
             return Const(text)
-        raise DatalogSyntaxError(f"expected a term, got {text!r}")
+        raise DatalogSyntaxError(f"expected a term, got {text!r} at {pos!r}")
 
 
-def parse_datalog(text: str) -> Program:
-    """Parse Datalog source text into a :class:`Program`."""
-    return _Parser(text).parse()
+def parse_datalog(text: str, validate: bool = True) -> Program:
+    """Parse Datalog source text into a :class:`Program`.
+
+    ``validate=False`` skips the per-rule safety check, letting the
+    lint pass (:mod:`repro.datalog.lint`) report malformed rules as
+    located diagnostics instead of the parser raising on the first one.
+    """
+    return _Parser(text, validate=validate).parse()
 
 
 def format_term(term: Term) -> str:

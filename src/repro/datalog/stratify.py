@@ -7,6 +7,13 @@ components, and orders the components topologically.  A program is
 stratifiable iff no negative edge lies inside a component; evaluation
 then proceeds stratum by stratum.
 
+When stratification fails, :class:`StratificationError` carries *every*
+offending negative edge as a structured :class:`NegativeCycleEdge` —
+including the rule that introduces the negation, its source position
+when the program was parsed from text, and a witness cycle through the
+edge — so callers (and :mod:`repro.datalog.lint`) can explain the
+failure rather than merely report it.
+
 The pointer-analysis programs emitted by :mod:`repro.compile` are
 negation-free (a single stratum), but the engine is a general substrate
 and the magic-sets transformation benefits from negation support.
@@ -14,30 +21,115 @@ and the magic-sets transformation benefits from negation support.
 
 from __future__ import annotations
 
-from typing import List, Set
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
 
 import networkx as nx
 
-from repro.datalog.ast import Program
+from repro.datalog.ast import Literal, Program, Rule
+
+
+@dataclass(frozen=True)
+class NegativeCycleEdge:
+    """One negative dependency edge inside a recursive component.
+
+    ``rule`` is the rule whose body negates ``source`` to derive
+    ``target``; ``cycle`` is a witness predicate cycle
+    ``target → … → source`` that, closed by this edge, shows the
+    negation is recursive.
+    """
+
+    source: str
+    target: str
+    rule: Rule
+    literal: Literal
+    cycle: Tuple[str, ...]
+
+    def describe(self) -> str:
+        path = " -> ".join(self.cycle + (self.target,))
+        where = ""
+        pos = self.literal.pos or self.rule.pos
+        if pos is not None:
+            where = f" (at {pos!r})"
+        return (
+            f"!{self.source} in rule {self.rule!r}{where}"
+            f" closes the recursive cycle {path}"
+        )
 
 
 class StratificationError(ValueError):
-    """Raised when negation occurs through recursion."""
+    """Raised when negation occurs through recursion.
+
+    ``violations`` lists every offending negative intra-component edge.
+    """
+
+    def __init__(self, violations: Tuple[NegativeCycleEdge, ...] = (),
+                 message: Optional[str] = None):
+        self.violations = tuple(violations)
+        if message is None:
+            if self.violations:
+                lines = "\n  ".join(v.describe() for v in self.violations)
+                message = (
+                    f"negation through recursion"
+                    f" ({len(self.violations)} offending"
+                    f" edge{'s' if len(self.violations) != 1 else ''}):"
+                    f"\n  {lines}"
+                )
+            else:
+                message = "negation through recursion"
+        super().__init__(message)
 
 
 def dependency_graph(program: Program) -> nx.DiGraph:
-    """The predicate dependency graph with ``negative`` edge attributes."""
+    """The predicate dependency graph with ``negative`` edge attributes.
+
+    Each negative edge also records the ``(rule, literal)`` occurrences
+    that created it, under the ``negated_at`` attribute.
+    """
     graph = nx.DiGraph()
     for rule in program.rules:
         graph.add_node(rule.head.pred)
         for lit in rule.body:
             graph.add_node(lit.pred)
-            if graph.has_edge(lit.pred, rule.head.pred):
-                if lit.negated:
-                    graph[lit.pred][rule.head.pred]["negative"] = True
-            else:
-                graph.add_edge(lit.pred, rule.head.pred, negative=lit.negated)
+            if not graph.has_edge(lit.pred, rule.head.pred):
+                graph.add_edge(
+                    lit.pred, rule.head.pred, negative=False, negated_at=[]
+                )
+            edge = graph[lit.pred][rule.head.pred]
+            if lit.negated:
+                edge["negative"] = True
+                edge["negated_at"].append((rule, lit))
     return graph
+
+
+def negative_cycle_edges(program: Program) -> List[NegativeCycleEdge]:
+    """Every negative dependency edge lying inside a recursive component.
+
+    Empty iff the program is stratifiable.  Each offending edge is
+    reported once per rule occurrence, with a witness cycle computed as
+    the shortest predicate path closing the edge.
+    """
+    graph = dependency_graph(program)
+    violations: List[NegativeCycleEdge] = []
+    for component in nx.strongly_connected_components(graph):
+        if len(component) == 1:
+            # A singleton is cyclic only via a self-loop.
+            (only,) = component
+            if not graph.has_edge(only, only):
+                continue
+        subgraph = graph.subgraph(component)
+        for source in sorted(component):
+            for target in sorted(graph.successors(source)):
+                if target not in component:
+                    continue
+                if not graph[source][target].get("negative"):
+                    continue
+                cycle = tuple(nx.shortest_path(subgraph, target, source))
+                for rule, literal in graph[source][target]["negated_at"]:
+                    violations.append(
+                        NegativeCycleEdge(source, target, rule, literal, cycle)
+                    )
+    return violations
 
 
 def stratify(program: Program, builtin_preds: Set[str] = frozenset()) -> List[Set[str]]:
@@ -45,22 +137,17 @@ def stratify(program: Program, builtin_preds: Set[str] = frozenset()) -> List[Se
 
     Returns a list of predicate sets; stratum ``i`` may only depend
     negatively on strata ``< i``.  EDB and builtin predicates belong to
-    no stratum (they are always available).
+    no stratum (they are always available).  Raises
+    :class:`StratificationError` — listing all offending negative
+    edges — when negation occurs through recursion.
     """
+    violations = negative_cycle_edges(program)
+    if violations:
+        raise StratificationError(tuple(violations))
+
     graph = dependency_graph(program)
     idb = program.idb_predicates()
-
     condensation = nx.condensation(graph)
-    # Reject negation inside a component.
-    for component in nx.strongly_connected_components(graph):
-        for source in component:
-            for target in graph.successors(source):
-                if target in component and graph[source][target].get("negative"):
-                    raise StratificationError(
-                        f"negation through recursion between {source!r}"
-                        f" and {target!r}"
-                    )
-
     strata: List[Set[str]] = []
     for node in nx.topological_sort(condensation):
         members = set(condensation.nodes[node]["members"]) & idb

@@ -1,0 +1,147 @@
+"""Structured diagnostics for the lint passes.
+
+A :class:`Diagnostic` is one finding: a stable code (``DL001``,
+``IR003``, …), a :class:`Severity`, a human-readable message, and as
+much location as the input carried — the rule index and source position
+for Datalog programs, the enclosing method for IR checks.  A
+:class:`LintReport` aggregates the findings of every pass and decides
+overall success (errors are fatal; warnings and notes are not).
+
+Diagnostic codes are namespaced by prefix:
+
+* ``DL0xx`` — rule safety / binding-order errors;
+* ``DL1xx`` — schema errors (arity, sorts, builtin collisions);
+* ``DL2xx`` — stratification errors;
+* ``DL3xx`` — liveness findings (dead rules, unused relations);
+* ``IR0xx`` — frontend IR well-formedness.
+
+The full code reference lives in ``docs/api.md``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional
+
+from repro.datalog.ast import SourcePos
+
+
+class Severity(enum.IntEnum):
+    """Ordered: higher is more severe."""
+
+    NOTE = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One lint finding."""
+
+    code: str
+    severity: Severity
+    message: str
+    #: Index of the offending rule in ``program.rules`` (Datalog passes).
+    rule_index: Optional[int] = None
+    #: Source position, when the program was parsed from text.
+    pos: Optional[SourcePos] = None
+    #: Non-positional location context, e.g. a method or predicate name.
+    where: Optional[str] = None
+
+    def render(self) -> str:
+        location = ""
+        if self.pos is not None:
+            location = f" at {self.pos!r}"
+        elif self.rule_index is not None:
+            location = f" in rule #{self.rule_index}"
+        if self.where:
+            location += f" ({self.where})"
+        return f"{self.severity}[{self.code}]{location}: {self.message}"
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+@dataclass
+class LintReport:
+    """The aggregated findings of a lint run."""
+
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: What was linted, for error messages (a description or file name).
+    subject: str = "program"
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def extend(self, diagnostics: Iterable[Diagnostic]) -> "LintReport":
+        self.diagnostics.extend(diagnostics)
+        return self
+
+    def by_severity(self, severity: Severity) -> List[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity is severity]
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> List[Diagnostic]:
+        return self.by_severity(Severity.WARNING)
+
+    @property
+    def ok(self) -> bool:
+        """True when no *error*-severity diagnostic was produced."""
+        return not self.errors
+
+    def codes(self) -> List[str]:
+        return [d.code for d in self.diagnostics]
+
+    def render(self, min_severity: Severity = Severity.NOTE) -> str:
+        lines = [
+            d.render()
+            for d in sorted(
+                self.diagnostics,
+                key=lambda d: (-d.severity, d.rule_index or 0, d.code),
+            )
+            if d.severity >= min_severity
+        ]
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        errors, warnings = len(self.errors), len(self.warnings)
+        if not self.diagnostics:
+            return f"{self.subject}: clean"
+        return (
+            f"{self.subject}: {errors} error(s), {warnings} warning(s),"
+            f" {len(self.diagnostics) - errors - warnings} note(s)"
+        )
+
+    def raise_if_errors(self) -> "LintReport":
+        """Raise :class:`LintError` when any error diagnostic exists."""
+        if not self.ok:
+            raise LintError(self)
+        return self
+
+
+class LintError(ValueError):
+    """A linted program has error-severity diagnostics.
+
+    Carries the full :class:`LintReport` as ``report``; the message
+    renders every error so the failure is self-explanatory.
+    """
+
+    def __init__(self, report: LintReport):
+        self.report = report
+        errors = report.errors
+        rendered = "\n  ".join(d.render() for d in errors)
+        super().__init__(
+            f"{report.subject} failed lint with {len(errors)}"
+            f" error(s):\n  {rendered}"
+        )

@@ -1,0 +1,181 @@
+"""Well-formedness verification of the frontend IR.
+
+:func:`check_ir` inspects a :class:`repro.frontend.ir.Program` before
+fact generation and reports structural defects that would otherwise
+surface as silently-empty relations or dispatch failures during the
+analysis:
+
+* ``IR001`` — a variable is read but never defined (never a formal
+  parameter, receiver, catch variable, or assignment target anywhere in
+  the program; variables are globally qualified, so this is a whole-
+  program check);
+* ``IR002`` — a call target cannot resolve: a static call to a missing
+  method, or a virtual call whose signature no class in the program
+  implements (a warning: the receiver may be an undeclared library
+  type such as ``Object``);
+* ``IR003`` — an allocation-site or call-site label is reused; labels
+  key heap abstractions and calling contexts, so duplicates silently
+  merge distinct sites;
+* ``IR004`` — class-hierarchy defects: an undeclared superclass or an
+  inheritance cycle;
+* ``IR005`` — the program's entry point is missing or malformed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.frontend import ir
+from repro.lint.diagnostics import Diagnostic, LintReport, Severity
+
+
+def _defined_variables(program: ir.Program) -> Set[str]:
+    defined: Set[str] = set()
+    for method in program.all_methods():
+        defined.update(method.params)
+        if not method.is_static:
+            defined.add(method.this_var)
+        defined.update(method.catch_vars())
+        for stmt in method.body:
+            dst = getattr(stmt, "dst", None)
+            if dst is not None:
+                defined.add(dst)
+    return defined
+
+
+def _used_variables(method: ir.Method) -> List[Tuple[str, object]]:
+    """Every variable *read* in ``method``, with the reading statement."""
+    used: List[Tuple[str, object]] = []
+    for stmt in method.body:
+        for attribute in ("src", "base"):
+            value = getattr(stmt, attribute, None)
+            if value is not None:
+                used.append((value, stmt))
+        for arg in getattr(stmt, "args", ()):
+            used.append((arg, stmt))
+    return used
+
+
+def check_ir(program: ir.Program, subject: str = "IR program") -> LintReport:
+    """Verify structural invariants; returns a :class:`LintReport`."""
+    report = LintReport(subject=subject)
+    out = report.diagnostics
+
+    # -- class hierarchy (IR004) -----------------------------------------
+    hierarchy_ok = True
+    for cls in program.classes.values():
+        if cls.superclass is not None and cls.superclass not in program.classes:
+            out.append(Diagnostic(
+                "IR004", Severity.ERROR,
+                f"class {cls.name!r} extends undeclared class"
+                f" {cls.superclass!r}",
+                where=cls.name,
+            ))
+            hierarchy_ok = False
+    if hierarchy_ok:
+        for cls in program.classes.values():
+            try:
+                program.superclass_chain(cls.name)
+            except ValueError as error:
+                out.append(Diagnostic(
+                    "IR004", Severity.ERROR, str(error), where=cls.name,
+                ))
+                hierarchy_ok = False
+
+    # -- declared-before-use variables (IR001) ---------------------------
+    defined = _defined_variables(program)
+    for method in program.all_methods():
+        seen: Set[str] = set()
+        for variable, stmt in _used_variables(method):
+            if variable not in defined and variable not in seen:
+                seen.add(variable)
+                out.append(Diagnostic(
+                    "IR001", Severity.ERROR,
+                    f"variable {variable!r} is read by"
+                    f" {type(stmt).__name__} but never defined",
+                    where=method.qualified_name,
+                ))
+
+    # -- resolvable call targets (IR002) ---------------------------------
+    signatures_implemented: Set[str] = {
+        signature
+        for cls in program.classes.values()
+        for signature, method in cls.methods.items()
+        if not method.is_static
+    }
+    for method in program.all_methods():
+        for stmt in method.body:
+            if isinstance(stmt, ir.StaticCall):
+                signature = f"{stmt.name}/{len(stmt.args)}"
+                if (
+                    hierarchy_ok
+                    and stmt.cls in program.classes
+                    and program.resolve_method(stmt.cls, signature) is None
+                ):
+                    out.append(Diagnostic(
+                        "IR002", Severity.ERROR,
+                        f"static call {stmt.label!r} targets"
+                        f" {stmt.cls}.{signature}, which no class in the"
+                        " hierarchy defines",
+                        where=method.qualified_name,
+                    ))
+                elif stmt.cls not in program.classes:
+                    out.append(Diagnostic(
+                        "IR002", Severity.ERROR,
+                        f"static call {stmt.label!r} targets undeclared"
+                        f" class {stmt.cls!r}",
+                        where=method.qualified_name,
+                    ))
+            elif isinstance(stmt, ir.VirtualCall):
+                signature = f"{stmt.name}/{len(stmt.args)}"
+                if signature not in signatures_implemented:
+                    out.append(Diagnostic(
+                        "IR002", Severity.WARNING,
+                        f"virtual call {stmt.label!r} to {signature}: no"
+                        " class in the program implements that signature"
+                        " (the call can never dispatch)",
+                        where=method.qualified_name,
+                    ))
+
+    # -- site-label uniqueness (IR003) -----------------------------------
+    sites: Dict[Tuple[str, str], List[str]] = {}
+    for method in program.all_methods():
+        for stmt in method.body:
+            if isinstance(stmt, ir.New):
+                kind = "allocation"
+            elif isinstance(stmt, (ir.VirtualCall, ir.StaticCall)):
+                kind = "call"
+            else:
+                continue
+            sites.setdefault((kind, stmt.label), []).append(
+                method.qualified_name
+            )
+    for (kind, label), methods in sorted(sites.items()):
+        if len(methods) > 1:
+            out.append(Diagnostic(
+                "IR003", Severity.ERROR,
+                f"{kind}-site label {label!r} used {len(methods)} times"
+                f" (in {sorted(set(methods))}): labels must be unique"
+                " program-wide",
+                where=methods[0],
+            ))
+
+    # -- entry point (IR005) ---------------------------------------------
+    if program.main_class is None:
+        out.append(Diagnostic(
+            "IR005", Severity.WARNING,
+            "program has no main class: no analysis entry point",
+        ))
+    elif program.main_class not in program.classes:
+        out.append(Diagnostic(
+            "IR005", Severity.ERROR,
+            f"main class {program.main_class!r} is not declared",
+        ))
+    elif "main/1" not in program.classes[program.main_class].methods:
+        out.append(Diagnostic(
+            "IR005", Severity.ERROR,
+            f"main class {program.main_class!r} has no"
+            " main(String[]) method",
+            where=program.main_class,
+        ))
+    return report

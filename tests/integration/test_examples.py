@@ -14,6 +14,25 @@ EXAMPLES = sorted(
     name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
 )
 
+SRC_DIR = os.path.abspath(
+    os.path.join(EXAMPLES_DIR, os.pardir, "src")
+)
+
+
+def _example_env():
+    """Subprocess environment with ``src`` importable.
+
+    The examples import ``repro`` from the source tree; the subprocess
+    does not inherit pytest's ``sys.path``, so prepend ``src`` to
+    ``PYTHONPATH`` explicitly.
+    """
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        SRC_DIR if not existing else SRC_DIR + os.pathsep + existing
+    )
+    return env
+
 
 def test_at_least_three_examples_ship():
     assert len(EXAMPLES) >= 3
@@ -27,6 +46,7 @@ def test_example_runs(example, tmp_path):
         text=True,
         timeout=120,
         cwd=str(tmp_path),  # examples must not depend on the CWD
+        env=_example_env(),
     )
     assert completed.returncode == 0, completed.stderr
     assert completed.stdout.strip(), "examples should narrate their output"
@@ -36,6 +56,7 @@ def test_quickstart_shows_precision_story(tmp_path):
     completed = subprocess.run(
         [sys.executable, os.path.join(EXAMPLES_DIR, "quickstart.py")],
         capture_output=True, text=True, timeout=120, cwd=str(tmp_path),
+        env=_example_env(),
     )
     assert "1-call" in completed.stdout
     assert "2-object+H" in completed.stdout
@@ -45,5 +66,6 @@ def test_precision_example_reports_figure5_counts(tmp_path):
     completed = subprocess.run(
         [sys.executable, os.path.join(EXAMPLES_DIR, "precision_example.py")],
         capture_output=True, text=True, timeout=120, cwd=str(tmp_path),
+        env=_example_env(),
     )
     assert "12 vs 5" in completed.stdout
