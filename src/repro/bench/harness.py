@@ -25,11 +25,17 @@ RELATIONS = ("pts", "hpts", "call")
 
 @dataclass
 class Measurement:
-    """One analysis run: sizes and wall-clock time."""
+    """One analysis run: sizes, wall-clock time and store counters.
+
+    ``counters`` is the per-relation statistics surface of the run's
+    :class:`repro.store.TupleStore` (``None`` for callers that bypass
+    the harness's own measurement functions).
+    """
 
     sizes: Dict[str, int]
     ci_sizes: Dict[str, int]
     seconds: float
+    counters: Optional[Dict[str, Dict[str, int]]] = None
 
     @property
     def total(self) -> int:
@@ -79,6 +85,7 @@ def _measure_solver(facts: FactSet, configuration: str, abstraction: str,
         sizes=result.relation_sizes(),
         ci_sizes=result.ci_sizes(),
         seconds=best,
+        counters=result.store_stats(),
     )
 
 
@@ -114,7 +121,10 @@ def _measure_datalog(facts: FactSet, configuration: str, abstraction: str,
         "hpts": len({(g, f, h) for (g, f, h, _) in relations["hpts"]}),
         "call": len({(i, p) for (i, p, _) in relations["call"]}),
     }
-    return Measurement(sizes=sizes, ci_sizes=ci_sizes, seconds=best)
+    return Measurement(
+        sizes=sizes, ci_sizes=ci_sizes, seconds=best,
+        counters=engine.store_stats(),
+    )
 
 
 def run_cell(facts: FactSet, benchmark: str, configuration: str,

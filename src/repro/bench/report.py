@@ -11,9 +11,10 @@ the geometric means.
 
 from __future__ import annotations
 
-from typing import List
+import json
+from typing import Dict, List, Optional
 
-from repro.bench.harness import Cell, Figure6, RELATIONS
+from repro.bench.harness import Cell, Figure6, Measurement, RELATIONS
 
 
 def _quantity(value: int) -> str:
@@ -112,6 +113,86 @@ def format_csv(table: Figure6) -> str:
                 f"{measurement.total},{measurement.seconds:.6f}"
             )
     return "\n".join(lines) + "\n"
+
+
+#: Schema identifier embedded in every JSON export; bump the suffix on
+#: breaking layout changes.  The layout is documented in ``docs/api.md``.
+JSON_SCHEMA = "repro-figure6/1"
+
+
+def _measurement_json(measurement: Measurement) -> Dict:
+    out: Dict = {
+        "sizes": dict(measurement.sizes),
+        "ci_sizes": dict(measurement.ci_sizes),
+        "total": measurement.total,
+        "seconds": measurement.seconds,
+    }
+    if measurement.counters is not None:
+        out["counters"] = measurement.counters
+    return out
+
+
+def figure6_json(
+    table: Figure6,
+    scale: Optional[int] = None,
+    repetitions: Optional[int] = None,
+    engine: Optional[str] = None,
+) -> Dict:
+    """The table as a JSON-serializable dict (schema ``repro-figure6/1``).
+
+    Top-level keys: ``schema``, the run parameters (``scale``,
+    ``repetitions``, ``engine``; ``None`` when unknown), ``benchmarks``,
+    ``configurations``, ``cells`` and ``geomean``.  Each cell carries
+    both abstractions' measurements (sizes, CI sizes, total, seconds,
+    and per-relation store counters when available) plus the derived
+    decrease percentages as fractions.
+    """
+    return {
+        "schema": JSON_SCHEMA,
+        "scale": scale,
+        "repetitions": repetitions,
+        "engine": engine,
+        "benchmarks": table.benchmarks(),
+        "configurations": table.configurations(),
+        "cells": [
+            {
+                "benchmark": cell.benchmark,
+                "configuration": cell.configuration,
+                "context_string": _measurement_json(cell.context_string),
+                "transformer_string": _measurement_json(
+                    cell.transformer_string
+                ),
+                "size_decrease": {
+                    relation: cell.size_decrease(relation)
+                    for relation in RELATIONS
+                },
+                "total_decrease": cell.total_decrease(),
+                "time_decrease": cell.time_decrease(),
+            }
+            for cell in table.cells
+        ],
+        "geomean": {
+            configuration: {
+                "total_decrease": table.geomean_total_decrease(configuration),
+                "time_decrease": table.geomean_time_decrease(configuration),
+            }
+            for configuration in table.configurations()
+        },
+    }
+
+
+def format_json(
+    table: Figure6,
+    scale: Optional[int] = None,
+    repetitions: Optional[int] = None,
+    engine: Optional[str] = None,
+) -> str:
+    """:func:`figure6_json` serialized (indented, trailing newline)."""
+    return json.dumps(
+        figure6_json(table, scale=scale, repetitions=repetitions,
+                     engine=engine),
+        indent=2,
+    ) + "\n"
 
 
 def format_cell_summary(cell: Cell) -> str:

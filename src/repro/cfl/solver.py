@@ -13,14 +13,21 @@ suggest for the context-insensitive case:
 ``alias(x, y)`` is never materialized — the store/load rules join
 through the common heap node ``G`` instead, which is exactly how the
 Datalog IND rule avoids the quadratic blow-up.
+
+Storage is the shared substrate of :mod:`repro.store`: PAG nodes and
+field names are interned to small ints on entry, the fixpoint runs
+entirely over int tuples held in counter-instrumented relations, and
+the string-level views (``flowsto``, ``hpts``, ``points_to``) decode at
+the results boundary.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict, deque
-from typing import Dict, FrozenSet, Set, Tuple
+from collections import deque
+from typing import Dict, FrozenSet, List, Set, Tuple
 
 from repro.cfl.pag import PAG
+from repro.store import TupleStore, multimap
 
 
 class FlowsToSolver:
@@ -28,30 +35,61 @@ class FlowsToSolver:
 
     def __init__(self, pag: PAG):
         self.pag = pag
-        self.flowsto: Set[Tuple[str, str]] = set()
-        self.hpts: Set[Tuple[str, str, str]] = set()
-        self._pts_of: Dict[str, Set[str]] = defaultdict(set)
-        self._vars_pointing: Dict[str, Set[str]] = defaultdict(set)
-        self._hpts_at: Dict[Tuple[str, str], Set[str]] = defaultdict(set)
+        self.store = TupleStore()
+        self._interner = self.store.interner
+        self.flowsto_rel = self.store.relation(
+            "flowsto", 2, track_delta=False
+        )
+        self.hpts_rel = self.store.relation("hpts", 3, track_delta=False)
+        self._pts_of = self.store.keyed_index("flowsto", "flowsto_by_var")
+        self._vars_pointing = self.store.keyed_index(
+            "flowsto", "flowsto_by_heap"
+        )
+        self._hpts_at = self.store.keyed_index("hpts", "hpts_by_base_field")
+        self._build_adjacency()
         self._worklist: deque = deque()
 
-    def _add_flowsto(self, heap: str, var: str) -> None:
-        if (heap, var) not in self.flowsto:
-            self.flowsto.add((heap, var))
-            self._pts_of[var].add(heap)
-            self._vars_pointing[heap].add(var)
+    def _build_adjacency(self) -> None:
+        """Intern the PAG's edge endpoints into int-keyed multimaps."""
+        intern = self._interner.intern
+        seeds: List[Tuple[int, int]] = []
+        assign_out: List[Tuple[int, int]] = []
+        store_by_value: List[Tuple[int, Tuple[int, int]]] = []
+        store_by_base: List[Tuple[int, Tuple[int, int]]] = []
+        load_by_base: List[Tuple[int, Tuple[int, int]]] = []
+        for edge in self.pag.edges:
+            if edge.label == "new":
+                seeds.append((intern(edge.source), intern(edge.target)))
+            elif edge.label == "assign":
+                assign_out.append((intern(edge.source), intern(edge.target)))
+            elif edge.label == "store":
+                value, base = intern(edge.source), intern(edge.target)
+                fld = intern(edge.field)
+                store_by_value.append((value, (base, fld)))
+                store_by_base.append((base, (value, fld)))
+            elif edge.label == "load":
+                base, dst = intern(edge.source), intern(edge.target)
+                load_by_base.append((base, (intern(edge.field), dst)))
+        self._seeds = seeds
+        self._assign_out = multimap(assign_out)
+        self._store_by_value = multimap(store_by_value)
+        self._store_by_base = multimap(store_by_base)
+        self._load_by_base = multimap(load_by_base)
+
+    def _add_flowsto(self, heap: int, var: int) -> None:
+        if self.flowsto_rel.add((heap, var)):
+            self._pts_of.add(var, heap)
+            self._vars_pointing.add(heap, var)
             self._worklist.append(("flowsto", heap, var))
 
-    def _add_hpts(self, base: str, field: str, heap: str) -> None:
-        if (base, field, heap) not in self.hpts:
-            self.hpts.add((base, field, heap))
-            self._hpts_at[(base, field)].add(heap)
+    def _add_hpts(self, base: int, field: int, heap: int) -> None:
+        if self.hpts_rel.add((base, field, heap)):
+            self._hpts_at.add((base, field), heap)
             self._worklist.append(("hpts", base, field, heap))
 
     def solve(self) -> "FlowsToSolver":
-        for edge in self.pag.edges:
-            if edge.label == "new":
-                self._add_flowsto(edge.source, edge.target)
+        for (heap, var) in self._seeds:
+            self._add_flowsto(heap, var)
         while self._worklist:
             item = self._worklist.popleft()
             if item[0] == "flowsto":
@@ -60,40 +98,59 @@ class FlowsToSolver:
                 self._on_hpts(item[1], item[2], item[3])
         return self
 
-    def _on_flowsto(self, heap: str, var: str) -> None:
+    def _on_flowsto(self, heap: int, var: int) -> None:
         # Close under assign.
-        for edge in self.pag.out_edges("assign", var):
-            self._add_flowsto(heap, edge.target)
+        for dst in self._assign_out.get(var, ()):
+            self._add_flowsto(heap, dst)
         # Var as the stored value: w --store[f]--> x with flowsto(G, x).
-        for edge in self.pag.out_edges("store", var):
-            for base_heap in self._pts_of[edge.target]:
-                self._add_hpts(base_heap, edge.field, heap)
+        for (base, fld) in self._store_by_value.get(var, ()):
+            for base_heap in self._pts_of.probe(base):
+                self._add_hpts(base_heap, fld, heap)
         # Var as a store base: values already known to be stored through
         # aliased stores.
-        for edge in self.pag.in_edges("store", var):
-            for value_heap in self._pts_of[edge.source]:
-                self._add_hpts(heap, edge.field, value_heap)
+        for (value, fld) in self._store_by_base.get(var, ()):
+            for value_heap in self._pts_of.probe(value):
+                self._add_hpts(heap, fld, value_heap)
         # Var as a load base: y --load[f]--> z.
-        for edge in self.pag.out_edges("load", var):
-            for pointee in self._hpts_at[(heap, edge.field)]:
-                self._add_flowsto(pointee, edge.target)
+        for (fld, dst) in self._load_by_base.get(var, ()):
+            for pointee in self._hpts_at.probe((heap, fld)):
+                self._add_flowsto(pointee, dst)
 
-    def _on_hpts(self, base: str, field: str, heap: str) -> None:
+    def _on_hpts(self, base: int, field: int, heap: int) -> None:
         # New heap content: propagate through loads whose base may be `base`.
-        for var in list(self._vars_pointing[base]):
-            for edge in self.pag.out_edges("load", var):
-                if edge.field == field:
-                    self._add_flowsto(heap, edge.target)
+        for var in tuple(self._vars_pointing.probe(base)):
+            for (fld, dst) in self._load_by_base.get(var, ()):
+                if fld == field:
+                    self._add_flowsto(heap, dst)
 
     # -- views ---------------------------------------------------------------
 
+    @property
+    def flowsto(self) -> Set[Tuple[str, str]]:
+        """All ``(heap, node)`` pairs, decoded to their original names."""
+        decode = self._interner.value_of
+        return {(decode(h), decode(v)) for (h, v) in self.flowsto_rel.rows}
+
+    @property
+    def hpts(self) -> Set[Tuple[str, str, str]]:
+        """All ``(base heap, field, heap)`` triples, decoded."""
+        decode = self._interner.value_of
+        return {
+            (decode(b), decode(f), decode(h))
+            for (b, f, h) in self.hpts_rel.rows
+        }
+
     def points_to(self, var: str) -> FrozenSet[str]:
-        return frozenset(self._pts_of.get(var, ()))
+        symbol = self._interner.id_of(var)
+        if symbol is None:
+            return frozenset()
+        decode = self._interner.value_of
+        return frozenset(decode(h) for h in self._pts_of.probe(symbol))
 
     def flows_to_pairs(self) -> Set[Tuple[str, str]]:
         """All ``(heap, node)`` pairs, including static-field nodes —
         comparable to :func:`repro.cfl.grammar.flows_to_pairs`."""
-        return set(self.flowsto)
+        return self.flowsto
 
     def variable_flows_to_pairs(self) -> Set[Tuple[str, str]]:
         """``(heap, variable)`` pairs only — comparable to the inverted
@@ -106,3 +163,8 @@ class FlowsToSolver:
         analysis's ``spts`` projection."""
         globals_ = self.pag.static_field_nodes
         return {(h, n) for (h, n) in self.flowsto if n in globals_}
+
+    def store_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-relation store counters — see
+        :meth:`repro.store.TupleStore.describe`."""
+        return self.store.describe()

@@ -94,6 +94,7 @@ def cmd_analyze(args) -> int:
             f" time={result.seconds * 1000:.1f}ms"
             f" config={result.config.describe()}"
         )
+        print(_store_stats_table(result.store_stats()))
     if args.dot:
         from repro.core.graphviz import call_graph_dot
 
@@ -101,6 +102,22 @@ def cmd_analyze(args) -> int:
             handle.write(call_graph_dot(result))
         print(f"wrote call-graph DOT to {args.dot}")
     return 0
+
+
+def _store_stats_table(stats) -> str:
+    """Per-relation store counters as an aligned text table."""
+    header = (
+        f"\n{'relation':10s}{'rows':>8s}{'inserts':>9s}{'dedup':>8s}"
+        f"{'probes':>9s}{'indexes':>9s}{'entries':>9s}"
+    )
+    lines = [header]
+    for name, row in sorted(stats.items()):
+        lines.append(
+            f"{name:10s}{row['rows']:>8d}{row['inserts']:>9d}"
+            f"{row['dedup_hits']:>8d}{row['probes']:>9d}"
+            f"{row['indexes']:>9d}{row['index_entries']:>9d}"
+        )
+    return "\n".join(lines)
 
 
 def cmd_facts(args) -> int:
@@ -275,7 +292,7 @@ def _lint_path(source: str, args) -> bool:
 
 def cmd_figure6(args) -> int:
     from repro.bench.harness import run_figure6
-    from repro.bench.report import format_csv, format_figure6
+    from repro.bench.report import format_csv, format_figure6, format_json
 
     table = run_figure6(scale=args.scale, repetitions=args.repetitions)
     print(format_figure6(
@@ -285,6 +302,13 @@ def cmd_figure6(args) -> int:
         with open(args.csv, "w", encoding="utf-8") as handle:
             handle.write(format_csv(table))
         print(f"\nwrote CSV to {args.csv}")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(format_json(
+                table, scale=args.scale, repetitions=args.repetitions,
+                engine="solver",
+            ))
+        print(f"\nwrote JSON to {args.json}")
     return 0
 
 
@@ -403,6 +427,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--scale", type=int, default=2)
     p_fig.add_argument("--repetitions", type=int, default=1)
     p_fig.add_argument("--csv", help="also write machine-readable CSV here")
+    p_fig.add_argument(
+        "--json",
+        help="also write machine-readable JSON here"
+        " (schema repro-figure6/1, see docs/api.md)",
+    )
     p_fig.set_defaults(func=cmd_figure6)
     return parser
 

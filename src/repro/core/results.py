@@ -14,7 +14,7 @@ and provides the views the paper's evaluation uses:
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, FrozenSet, List, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.core.config import AnalysisConfig
 from repro.core.solver import Solver
@@ -131,6 +131,12 @@ class AnalysisResult:
     def seconds(self) -> float:
         """Wall-clock analysis time."""
         return self.stats.seconds
+
+    def store_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-relation store counters (rows, inserts, dedup hits,
+        probes, index builds/sizes) from the solver's tuple store —
+        see :meth:`repro.store.TupleStore.describe`."""
+        return self._solver.store_stats()
 
     # -- subsumption analysis (paper Section 8 / Figure 7) ----------------------
 

@@ -20,6 +20,13 @@ enumerates exactly the composable partners.  The
 two-attribute join the paper warns about); the effect is measured by
 ``benchmarks/test_bench_indexing.py``.
 
+Storage lives in the shared substrate of :mod:`repro.store`: each
+derived relation is a counter-instrumented ``Relation`` and each join
+bucket a ``KeyedIndex`` over ``(entity, bucket)`` composites, so the
+hot join path is one dict probe per bucket.  Per-relation counters
+(inserts, dedup hits, probes, index sizes) are surfaced through
+:class:`SolverStats` and the CLI's ``--stats`` flag.
+
 Derived relations and their context-transformation domains:
 
 * ``pts(Y, H, A)``      with ``A ∈ CtxtT_{h,m}``
@@ -32,15 +39,21 @@ Derived relations and their context-transformation domains:
 from __future__ import annotations
 
 import time
-from collections import defaultdict, deque
-from typing import Dict, Hashable, List, Set, Tuple
+from collections import deque
+from typing import Dict, List, Set, Tuple
 
 from repro.core.domains import AbstractionDomain
 from repro.frontend.factgen import FactSet
+from repro.store import TupleStore, multimap
 
 
 class SolverStats:
-    """Counters describing one solver run."""
+    """Counters describing one solver run.
+
+    ``relations`` holds the per-relation store counters (inserts, dedup
+    hits, probes, index builds/sizes) captured from the shared
+    :class:`repro.store.TupleStore` when the run finishes.
+    """
 
     def __init__(self) -> None:
         self.facts_derived = 0
@@ -48,6 +61,7 @@ class SolverStats:
         self.facts_subsumed = 0
         self.rule_firings = 0
         self.seconds = 0.0
+        self.relations: Dict[str, Dict[str, int]] = {}
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -57,6 +71,12 @@ class SolverStats:
             "rule_firings": self.rule_firings,
             "seconds": self.seconds,
         }
+
+    def full_dict(self) -> Dict[str, object]:
+        """``as_dict`` plus the per-relation store counters."""
+        out: Dict[str, object] = dict(self.as_dict())
+        out["relations"] = self.relations
+        return out
 
 
 class Solver:
@@ -108,82 +128,101 @@ class Solver:
 
     def _build_input_indices(self) -> None:
         facts = self.facts
-        self.assign_by_src = _multimap((src, dst) for (src, dst) in facts.assign)
-        self.store_by_value = _multimap(
+        self.assign_by_src = multimap((src, dst) for (src, dst) in facts.assign)
+        self.store_by_value = multimap(
             (x, (f, z)) for (x, f, z) in facts.store
         )
-        self.store_by_base = _multimap(
+        self.store_by_base = multimap(
             (z, (x, f)) for (x, f, z) in facts.store
         )
-        self.load_by_base = _multimap(
+        self.load_by_base = multimap(
             (y, (f, z)) for (y, f, z) in facts.load
         )
-        self.actual_by_var = _multimap(
+        self.actual_by_var = multimap(
             (z, (i, o)) for (z, i, o) in facts.actual
         )
-        self.actual_by_inv = _multimap(
+        self.actual_by_inv = multimap(
             (i, (z, o)) for (z, i, o) in facts.actual
         )
-        self.formal_at = _multimap(
+        self.formal_at = multimap(
             ((p, o), y) for (y, p, o) in facts.formal
         )
-        self.assign_return_by_inv = _multimap(facts.assign_return)
-        self.return_by_var = _multimap(facts.return_var)
-        self.returns_of_method = _multimap(
+        self.assign_return_by_inv = multimap(facts.assign_return)
+        self.return_by_var = multimap(facts.return_var)
+        self.returns_of_method = multimap(
             (p, z) for (z, p) in facts.return_var
         )
-        self.virtual_by_recv = _multimap(
+        self.virtual_by_recv = multimap(
             (z, (i, s)) for (i, z, s) in facts.virtual_invoke
         )
         self.heap_type_of: Dict[str, str] = dict(facts.heap_type)
-        self.implements_at = _multimap(
+        self.implements_at = multimap(
             ((t, s), q) for (q, t, s) in facts.implements
         )
         self.this_var_of: Dict[str, str] = {
             method: var for (var, method) in facts.this_var
         }
-        self.assign_new_by_method = _multimap(
+        self.assign_new_by_method = multimap(
             (p, (h, y)) for (h, y, p) in facts.assign_new
         )
-        self.static_invokes_in = _multimap(
+        self.static_invokes_in = multimap(
             (p, (i, q)) for (i, q, p) in facts.static_invoke
         )
         # Static fields (SSTORE / SLOAD).
-        self.static_store_by_var = _multimap(facts.static_store)
-        self.static_load_by_field = _multimap(
+        self.static_store_by_var = multimap(facts.static_store)
+        self.static_load_by_field = multimap(
             (f, (y, p)) for (f, y, p) in facts.static_load
         )
-        self.static_loads_in = _multimap(
+        self.static_loads_in = multimap(
             (p, (f, y)) for (f, y, p) in facts.static_load
         )
         # Exceptions (THROW / EPROP / ECATCH).
-        self.throw_by_var = _multimap(facts.throw_var)
-        self.catch_vars_of = _multimap(
+        self.throw_by_var = multimap(facts.throw_var)
+        self.catch_vars_of = multimap(
             (p, y) for (y, p) in facts.catch_var
         )
         self.invocation_parent = dict(facts.invocation_parent)
 
     def _init_derived(self) -> None:
-        self.pts: Set[Tuple[str, str, object]] = set()
-        self.hpts: Set[Tuple[str, str, str, object]] = set()
-        self.hload: Set[Tuple[str, str, str, object]] = set()
-        self.call: Set[Tuple[str, str, object]] = set()
-        self.reach: Set[Tuple[str, Tuple[str, ...]]] = set()
-        self.spts: Set[Tuple[str, str, object]] = set()
-        self.texc: Set[Tuple[str, str, object]] = set()
+        # One shared store: each derived relation is a counter-
+        # instrumented row set, each join bucket an interner-backed
+        # KeyedIndex sharing its relation's counters.  The solver owns
+        # its frontier (the worklist), so delta tracking is off.
+        self.store = TupleStore()
 
-        self.pts_index: Dict[Tuple[str, Hashable], List] = defaultdict(list)
-        self.hpts_index: Dict[Tuple[str, str, Hashable], List] = defaultdict(list)
-        self.hload_index: Dict[Tuple[str, str, Hashable], List] = defaultdict(list)
-        self.call_by_inv: Dict[Tuple[str, Hashable], List] = defaultdict(list)
-        self.call_by_callee: Dict[Tuple[str, Hashable], List] = defaultdict(list)
-        self.reach_by_method = _multimap(())
-        self.spts_by_field: Dict[str, List] = defaultdict(list)
-        self.texc_index: Dict[Tuple[str, Hashable], List] = defaultdict(list)
+        def rel(name: str, arity: int):
+            return self.store.relation(name, arity, track_delta=False)
+
+        self.pts_rel = rel("pts", 3)
+        self.hpts_rel = rel("hpts", 4)
+        self.hload_rel = rel("hload", 4)
+        self.call_rel = rel("call", 3)
+        self.reach_rel = rel("reach", 2)
+        self.spts_rel = rel("spts", 3)
+        self.texc_rel = rel("texc", 3)
+
+        # Raw row sets under the historical attribute names; results and
+        # the differential tests compare these sets directly.
+        self.pts: Set[Tuple[str, str, object]] = self.pts_rel.rows
+        self.hpts: Set[Tuple[str, str, str, object]] = self.hpts_rel.rows
+        self.hload: Set[Tuple[str, str, str, object]] = self.hload_rel.rows
+        self.call: Set[Tuple[str, str, object]] = self.call_rel.rows
+        self.reach: Set[Tuple[str, Tuple[str, ...]]] = self.reach_rel.rows
+        self.spts: Set[Tuple[str, str, object]] = self.spts_rel.rows
+        self.texc: Set[Tuple[str, str, object]] = self.texc_rel.rows
+
+        self.pts_index = self.store.keyed_index("pts")
+        self.hpts_index = self.store.keyed_index("hpts")
+        self.hload_index = self.store.keyed_index("hload")
+        self.call_by_inv = self.store.keyed_index("call", "call_by_inv")
+        self.call_by_callee = self.store.keyed_index("call", "call_by_callee")
+        self.reach_by_method = self.store.keyed_index("reach")
+        self.spts_by_field = self.store.keyed_index("spts")
+        self.texc_index = self.store.keyed_index("texc")
 
         # Per-entity transformer lists, maintained only when subsumption
         # elimination is enabled (so its cost is paid only in that mode).
-        self._entity_transformers: Dict[Tuple, List] = defaultdict(list)
+        self._entity_transformers: Dict[Tuple, List] = {}
 
         self._worklist: deque = deque()
 
@@ -197,7 +236,7 @@ class Solver:
             return False
         from repro.core.transformer_strings import subsumes
 
-        existing = self._entity_transformers[entity]
+        existing = self._entity_transformers.setdefault(entity, [])
         if any(subsumes(old, candidate) for old in existing):
             return True
         existing.append(candidate)
@@ -207,31 +246,28 @@ class Solver:
 
     def _index(self, index, entity, segment, payload) -> None:
         if self.naive_transformer_index:
-            index[(entity, self._NAIVE_KEY)].append(payload)
+            index.add((entity, self._NAIVE_KEY), payload)
             return
         for key in self.domain.insert_keys(segment):
-            index[(entity, key)].append(payload)
+            index.add((entity, key), payload)
 
     def _probe(self, index, entity, segment):
         if self.naive_transformer_index:
-            bucket = index.get((entity, self._NAIVE_KEY))
-            if bucket:
-                yield from bucket
+            yield from index.probe((entity, self._NAIVE_KEY))
             return
         for key in self.domain.probe_keys(segment):
-            bucket = index.get((entity, key))
-            if bucket:
-                yield from bucket
+            yield from index.probe((entity, key))
 
     def add_pts(self, var: str, heap: str, trans, why=None) -> None:
         fact = (var, heap, trans)
         if fact in self.pts:
+            self.pts_rel.counters.dedup_hits += 1
             self.stats.facts_deduplicated += 1
             return
         if self._subsumed(("pts", var, heap), trans):
             self.stats.facts_subsumed += 1
             return
-        self.pts.add(fact)
+        self.pts_rel.add(fact)
         if self.track_provenance:
             self.provenance[("pts",) + fact] = why
         self._index(self.pts_index, var, self.domain.key_out(trans), (heap, trans))
@@ -242,12 +278,13 @@ class Solver:
                  why=None) -> None:
         fact = (base_heap, field, heap, trans)
         if fact in self.hpts:
+            self.hpts_rel.counters.dedup_hits += 1
             self.stats.facts_deduplicated += 1
             return
         if self._subsumed(("hpts", base_heap, field, heap), trans):
             self.stats.facts_subsumed += 1
             return
-        self.hpts.add(fact)
+        self.hpts_rel.add(fact)
         if self.track_provenance:
             self.provenance[("hpts",) + fact] = why
         self._index(
@@ -260,10 +297,9 @@ class Solver:
     def add_hload(self, base_heap: str, field: str, var: str, trans,
                   why=None) -> None:
         fact = (base_heap, field, var, trans)
-        if fact in self.hload:
+        if not self.hload_rel.add(fact):
             self.stats.facts_deduplicated += 1
             return
-        self.hload.add(fact)
         if self.track_provenance:
             self.provenance[("hload",) + fact] = why
         self._index(
@@ -276,12 +312,13 @@ class Solver:
     def add_call(self, inv: str, method: str, trans, why=None) -> None:
         fact = (inv, method, trans)
         if fact in self.call:
+            self.call_rel.counters.dedup_hits += 1
             self.stats.facts_deduplicated += 1
             return
         if self._subsumed(("call", inv, method), trans):
             self.stats.facts_subsumed += 1
             return
-        self.call.add(fact)
+        self.call_rel.add(fact)
         if self.track_provenance:
             self.provenance[("call",) + fact] = why
         self._index(
@@ -297,37 +334,36 @@ class Solver:
     def add_reach(self, method: str, context: Tuple[str, ...],
                   why=None) -> None:
         fact = (method, context)
-        if fact in self.reach:
+        if not self.reach_rel.add(fact):
             self.stats.facts_deduplicated += 1
             return
-        self.reach.add(fact)
         if self.track_provenance:
             self.provenance[("reach",) + fact] = why
-        self.reach_by_method[method].append(context)
+        self.reach_by_method.add(method, context)
         self.stats.facts_derived += 1
         self._worklist.append(("reach", fact))
 
     def add_spts(self, field: str, heap: str, trans, why=None) -> None:
         fact = (field, heap, trans)
-        if fact in self.spts:
+        if not self.spts_rel.add(fact):
             self.stats.facts_deduplicated += 1
             return
-        self.spts.add(fact)
         if self.track_provenance:
             self.provenance[("spts",) + fact] = why
-        self.spts_by_field[field].append((heap, trans))
+        self.spts_by_field.add(field, (heap, trans))
         self.stats.facts_derived += 1
         self._worklist.append(("spts", fact))
 
     def add_texc(self, method: str, heap: str, trans, why=None) -> None:
         fact = (method, heap, trans)
         if fact in self.texc:
+            self.texc_rel.counters.dedup_hits += 1
             self.stats.facts_deduplicated += 1
             return
         if self._subsumed(("texc", method, heap), trans):
             self.stats.facts_subsumed += 1
             return
-        self.texc.add(fact)
+        self.texc_rel.add(fact)
         if self.track_provenance:
             self.provenance[("texc",) + fact] = why
         self._index(
@@ -367,6 +403,7 @@ class Solver:
             else:
                 self._on_texc(*fact)
         self.stats.seconds = time.perf_counter() - start
+        self.stats.relations = self.store.describe()
         return self
 
     # ------------------------------------------------------------------
@@ -623,7 +660,7 @@ class Solver:
         # [SLOAD] static_load(F,Y,P), reach(P,M), spts(F,H,C)
         #         => pts(Y,H, fromGlobal(C,M)).
         for (field, var) in self.static_loads_in.get(method, ()):
-            for (heap, trans) in self.spts_by_field.get(field, ()):
+            for (heap, trans) in self.spts_by_field.probe(field):
                 self.add_pts(
                     var, heap, domain.from_global(trans, context),
                     why=("SLOAD", (("spts", field, heap, trans),
@@ -636,7 +673,7 @@ class Solver:
         domain = self.domain
         self.stats.rule_firings += 1
         for (var, method) in self.static_load_by_field.get(field, ()):
-            for context in self.reach_by_method.get(method, ()):
+            for context in self.reach_by_method.probe(method):
                 self.add_pts(
                     var, heap, domain.from_global(trans, context),
                     why=("SLOAD", (("spts", field, heap, trans),
@@ -692,9 +729,7 @@ class Solver:
             "texc": len(self.texc),
         }
 
-
-def _multimap(pairs):
-    mapping: Dict = defaultdict(list)
-    for key, value in pairs:
-        mapping[key].append(value)
-    return mapping
+    def store_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-relation store counters (rows, inserts, dedup, probes,
+        index builds/sizes) — see :meth:`repro.store.TupleStore.describe`."""
+        return self.store.describe()

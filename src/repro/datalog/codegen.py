@@ -27,12 +27,13 @@ from __future__ import annotations
 import itertools
 import re
 from collections import defaultdict
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.datalog.ast import Const, Literal, Program, Rule, Var
 from repro.datalog.builtins import DEFAULT_BUILTINS, BuiltinFn
 from repro.datalog.engine import EngineStats
 from repro.datalog.stratify import stratify
+from repro.store import Relation, TupleStore
 
 
 def _mangle(name: str) -> str:
@@ -349,23 +350,29 @@ class CompiledEngine:
     # -- storage -----------------------------------------------------------
 
     def _init_storage(self) -> None:
-        n_preds = len(self._pred_ids)
-        self._db: List[Set[Tuple]] = [set() for _ in range(n_preds)]
-        self._idx: List[Dict] = [defaultdict(list) for _ in self._index_ids]
-        self._indices_of: Dict[str, List[Tuple[Tuple[int, ...], Dict]]] = (
-            defaultdict(list)
-        )
+        # One shared-substrate relation per predicate.  The generated
+        # functions use the store's fast-path views: ``db[pid]`` is the
+        # relation's live row set (membership + scans) and ``idx[iid]``
+        # the live bucket dict of one planned column-subset index
+        # (``.get`` probes) — codegen's compile-time index plan realized
+        # up front, maintained incrementally by ``Relation.add``.
+        self.store = TupleStore()
+        self._relations: Dict[str, Relation] = {}
+        ordered = sorted(self._pred_ids, key=self._pred_ids.get)
+        for pred in ordered:
+            self._relations[pred] = self.store.relation(pred)
+        self._db: List[Set[Tuple]] = [
+            self._relations[pred].rows for pred in ordered
+        ]
+        self._idx: List[Dict] = [None] * len(self._index_ids)
         for (pred, positions), index_id in self._index_ids.items():
-            self._indices_of[pred].append((positions, self._idx[index_id]))
+            self._idx[index_id] = self._relations[pred].index_view(positions)
 
     def _insert(self, pred: str, row: Tuple) -> bool:
-        table = self._db[self._pred_ids[pred]]
-        if row in table:
-            return False
-        table.add(row)
-        for (positions, index) in self._indices_of.get(pred, ()):
-            index[tuple(row[p] for p in positions)].append(row)
-        return True
+        return self._relations[pred].add(row)
+
+    def _load(self, pred: str, row: Tuple) -> bool:
+        return self._relations[pred].load(row)
 
     # -- evaluation -----------------------------------------------------------
 
@@ -376,10 +383,10 @@ class CompiledEngine:
         self._init_storage()
         for pred, rows in self.program.facts.items():
             for row in rows:
-                self._insert(pred, row)
+                self._load(pred, row)
         for rule in self.program.rules:
             if rule.is_fact():
-                self._insert(
+                self._load(
                     rule.head.pred,
                     tuple(t.value for t in rule.head.args),
                 )
@@ -408,20 +415,28 @@ class CompiledEngine:
             else:
                 by_delta[delta_pred].append((head, self._functions[name]))
 
-        # Round zero: full evaluation.
-        delta: Dict[str, List[Tuple]] = defaultdict(list)
+        heads = [
+            self._relations[pred]
+            for pred in dict.fromkeys(h for (h, _, _) in self.variants)
+            if pred in stratum
+        ]
+
+        # Round zero: full evaluation; new rows land in each head
+        # relation's pending frontier.
         for (head, fn) in full_variants:
             out: List[Tuple] = []
             fn(self._db, self._idx, (), out)
             self.stats.rule_evaluations += 1
             for row in out:
                 if self._insert(head, row):
-                    delta[head].append(row)
                     self.stats.facts_derived += 1
-        # Semi-naive rounds: only variants whose delta predicate moved.
+        # Semi-naive rounds: cut the frontier (pending → delta) and run
+        # only variants whose delta predicate moved.
+        delta: Dict[str, Sequence[Tuple]] = {
+            rel.name: rel.promote() for rel in heads if rel.pending
+        }
         while delta:
             self.stats.rounds += 1
-            new_delta: Dict[str, List[Tuple]] = defaultdict(list)
             for delta_pred, rows in delta.items():
                 for (head, fn) in by_delta.get(delta_pred, ()):
                     out = []
@@ -429,12 +444,21 @@ class CompiledEngine:
                     self.stats.rule_evaluations += 1
                     for row in out:
                         if self._insert(head, row):
-                            new_delta[head].append(row)
                             self.stats.facts_derived += 1
-            delta = new_delta
+            delta = {
+                rel.name: rel.promote() for rel in heads if rel.pending
+            }
 
     def query(self, pred: str) -> Set[Tuple]:
         pid = self._pred_ids.get(pred)
         if pid is None or not hasattr(self, "_db"):
             return set()
         return set(self._db[pid])
+
+    def store_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-relation store counters (rows, inserts, dedup, index
+        builds/sizes).  Probes are inlined ``dict.get`` calls in the
+        generated code and are not counted on this path."""
+        if not hasattr(self, "store"):
+            return {}
+        return self.store.describe()

@@ -10,10 +10,17 @@ prototype implements (Section 7, modulo its LLVM backend):
    and every occurrence of an in-stratum predicate, a variant in which
    that occurrence ranges over the delta and the others over the full
    relations;
-3. joins proceed left to right, probing on-demand hash indices keyed by
-   the bound columns of each literal — so the attribute-sharing of a
-   rule's literals directly determines join efficiency, which is
-   precisely the lever the paper's configuration specialization pulls.
+3. joins proceed left to right, probing hash indices keyed by the bound
+   columns of each literal — so the attribute-sharing of a rule's
+   literals directly determines join efficiency, which is precisely the
+   lever the paper's configuration specialization pulls.
+
+Storage is the shared substrate of :mod:`repro.store`: delta-aware
+relations (the semi-naive ``stable``/``delta``/``pending`` lifecycle is
+implemented there, once, for this engine, the compiled back-end and the
+solvers) with the column-subset indices each join will probe planned up
+front from the program (:func:`repro.store.plan_indices`) instead of
+lazily on first probe.
 
 Builtins (context constructors, comparisons) are evaluated inline when
 reached; negated literals must be fully bound.
@@ -26,7 +33,7 @@ from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.datalog.ast import Const, Literal, Program, Rule, Var
 from repro.datalog.builtins import DEFAULT_BUILTINS, BuiltinFn
-from repro.datalog.relation import Relation
+from repro.store import Relation, TupleStore, plan_indices
 from repro.datalog.stratify import stratify
 
 Bindings = Dict[Var, object]
@@ -82,7 +89,9 @@ class Engine:
                 f"predicates {sorted(overlap)} are both builtins and"
                 " stored relations"
             )
-        self.relations: Dict[str, Relation] = {}
+        self.store = TupleStore()
+        self.relations: Dict[str, Relation] = self.store.relations()
+        self._index_plan = plan_indices(program, builtins=self.builtins)
         self.stats = EngineStats()
         self._install_facts()
 
@@ -91,14 +100,17 @@ class Engine:
     def _relation(self, pred: str, arity: int) -> Relation:
         rel = self.relations.get(pred)
         if rel is None:
-            rel = Relation(pred, arity)
-            self.relations[pred] = rel
+            rel = self.store.relation(pred, arity)
+            for positions in sorted(self._index_plan.get(pred, ())):
+                rel.ensure_index(positions)
         return rel
 
     def _install_facts(self) -> None:
+        # Extensional rows load directly as stable: joinable, but never
+        # part of a stratum's delta.
         for pred, rows in self.program.facts.items():
             for row in rows:
-                self._relation(pred, len(row)).add(row)
+                self._relation(pred, len(row)).load(row)
         # Facts written as body-less rules with constant heads.
         for rule in self.program.rules:
             if rule.is_fact():
@@ -110,7 +122,7 @@ class Engine:
                     isinstance(t, Var) for t in rule.head.args
                 ):  # pragma: no cover - rejected by validate()
                     raise ValueError(f"non-ground fact {rule!r}")
-                self._relation(rule.head.pred, rule.head.arity).add(row)
+                self._relation(rule.head.pred, rule.head.arity).load(row)
 
     # ------------------------------------------------------------------
 
@@ -131,26 +143,37 @@ class Engine:
         rel = self.relations.get(pred)
         return rel.snapshot() if rel else set()
 
+    def store_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-relation store counters (rows, inserts, dedup, probes,
+        index builds/sizes) — see :meth:`repro.store.TupleStore.describe`."""
+        return self.store.describe()
+
     # ------------------------------------------------------------------
 
     def _evaluate_stratum(self, stratum: Set[str], rules: List[Rule]) -> None:
-        for rule in rules:
-            self._relation(rule.head.pred, rule.head.arity)
+        heads = {
+            rule.head.pred: self._relation(rule.head.pred, rule.head.arity)
+            for rule in rules
+        }
 
         # Round zero: evaluate every rule against the full (EDB +
-        # earlier-strata) database, seeding the deltas.
-        delta: Dict[str, Set[Tuple]] = {p: set() for p in stratum}
+        # earlier-strata) database; new rows land in each relation's
+        # pending frontier.
         for rule in rules:
+            head = heads[rule.head.pred]
             for row in self._evaluate_rule(rule, None, None):
-                if self._relation(rule.head.pred, rule.head.arity).add(row):
-                    delta[rule.head.pred].add(row)
+                if head.add(row):
                     self.stats.facts_derived += 1
 
-        # Semi-naive rounds.
+        # Semi-naive rounds: cut the frontier (pending → delta), then
+        # re-derive only rule instances touching some delta.
+        delta: Dict[str, Sequence[Tuple]] = {
+            pred: rel.promote() for pred, rel in heads.items()
+        }
         while any(delta.values()):
             self.stats.rounds += 1
-            new_delta: Dict[str, Set[Tuple]] = {p: set() for p in stratum}
             for rule in rules:
+                head = heads[rule.head.pred]
                 positions = [
                     i
                     for i, lit in enumerate(rule.body)
@@ -162,12 +185,9 @@ class Engine:
                     for row in self._evaluate_rule(
                         rule, position, delta[rule.body[position].pred]
                     ):
-                        if self._relation(
-                            rule.head.pred, rule.head.arity
-                        ).add(row):
-                            new_delta[rule.head.pred].add(row)
+                        if head.add(row):
                             self.stats.facts_derived += 1
-            delta = new_delta
+            delta = {pred: rel.promote() for pred, rel in heads.items()}
 
     # ------------------------------------------------------------------
 

@@ -1,79 +1,23 @@
 """Indexed relation storage for the Datalog engine.
 
-A :class:`Relation` is a set of equal-arity tuples plus hash indices
-keyed by column subsets.  Indices are created on demand the first time a
-join probes a column subset and are maintained incrementally on insert —
-the standard scheme the paper assumes when it discusses join efficiency
-(Section 7: "A standard optimization performed by a Datalog engine is to
-build indices … and to use these indices in the join").
+Storage and indexing live in the shared substrate
+(:mod:`repro.store.relation`); this module re-exports
+:class:`repro.store.Relation` under its historical import path.  A
+relation is a set of equal-arity tuples plus hash indices keyed by
+column subsets — the standard scheme the paper assumes when it
+discusses join efficiency (Section 7: "A standard optimization
+performed by a Datalog engine is to build indices … and to use these
+indices in the join").  Indices are planned up front from the
+program's join patterns (:func:`repro.store.plan_indices`) with lazy
+materialization on first probe as the fallback, and are maintained
+incrementally on insert.  ``lookup`` accepts positions in any order
+(they are normalized: sorted, deduplicated, key remapped), so permuted
+position tuples share one index instead of silently building
+duplicates.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Dict, Iterable, Iterator, List, Set, Tuple
+from repro.store.relation import Relation, Row
 
-Row = Tuple
-
-
-class Relation:
-    """A named set of tuples with on-demand column indices."""
-
-    __slots__ = ("name", "arity", "rows", "_indices")
-
-    def __init__(self, name: str, arity: int):
-        self.name = name
-        self.arity = arity
-        self.rows: Set[Row] = set()
-        self._indices: Dict[Tuple[int, ...], Dict[Tuple, List[Row]]] = {}
-
-    def __len__(self) -> int:
-        return len(self.rows)
-
-    def __contains__(self, row: Row) -> bool:
-        return row in self.rows
-
-    def __iter__(self) -> Iterator[Row]:
-        return iter(self.rows)
-
-    def add(self, row: Row) -> bool:
-        """Insert ``row``; returns True iff it was new."""
-        if len(row) != self.arity:
-            raise ValueError(
-                f"arity mismatch inserting {row!r} into"
-                f" {self.name}/{self.arity}"
-            )
-        if row in self.rows:
-            return False
-        self.rows.add(row)
-        for positions, index in self._indices.items():
-            index[tuple(row[i] for i in positions)].append(row)
-        return True
-
-    def add_all(self, rows: Iterable[Row]) -> int:
-        """Insert many rows; returns the number actually new."""
-        return sum(1 for row in rows if self.add(row))
-
-    def lookup(self, positions: Tuple[int, ...], key: Tuple) -> List[Row]:
-        """Rows whose projection onto ``positions`` equals ``key``.
-
-        ``positions`` must be sorted and duplicate-free.  An empty
-        ``positions`` scans the whole relation.
-        """
-        if not positions:
-            return list(self.rows)
-        index = self._indices.get(positions)
-        if index is None:
-            index = defaultdict(list)
-            for row in self.rows:
-                index[tuple(row[i] for i in positions)].append(row)
-            self._indices[positions] = index
-        return index.get(key, [])
-
-    def index_count(self) -> int:
-        """Number of materialized indices (used by engine statistics)."""
-        return len(self._indices)
-
-    def snapshot(self) -> Set[Row]:
-        """A copy of the current row set."""
-        return set(self.rows)
+__all__ = ["Relation", "Row"]

@@ -28,13 +28,14 @@ from repro.lint.diagnostics import (
     Severity,
 )
 from repro.lint.ircheck import check_ir
-from repro.lint.passes import eliminate_dead_rules, lint_program
+from repro.lint.passes import binding_orders, eliminate_dead_rules, lint_program
 
 __all__ = [
     "Diagnostic",
     "LintError",
     "LintReport",
     "Severity",
+    "binding_orders",
     "check_ir",
     "eliminate_dead_rules",
     "lint_program",

@@ -62,6 +62,36 @@ def _normalize_builtins(builtins: Builtins) -> Dict[str, Optional[BuiltinSignatu
 
 
 # ---------------------------------------------------------------------------
+# Binding order (shared with index planning).
+# ---------------------------------------------------------------------------
+
+def binding_orders(rule: Rule) -> List[Tuple[Literal, Tuple[int, ...]]]:
+    """For each body literal, the argument positions bound when the
+    engine reaches it under left-to-right join order.
+
+    A position is bound when its term is a constant or a variable bound
+    by an earlier literal.  Positive stored literals and (successful)
+    positive builtins bind all their variables; negated literals bind
+    nothing.  This is the binding discipline the safety pass (DL002)
+    checks and both evaluation engines implement; the up-front index
+    planner (:func:`repro.store.planner.plan_indices`) derives each
+    join's probe columns from it.
+    """
+    bound: Set[Var] = set()
+    out: List[Tuple[Literal, Tuple[int, ...]]] = []
+    for literal in rule.body:
+        positions = tuple(
+            position
+            for position, term in enumerate(literal.args)
+            if isinstance(term, Const) or term in bound
+        )
+        out.append((literal, positions))
+        if not literal.negated:
+            bound |= literal.variables()
+    return out
+
+
+# ---------------------------------------------------------------------------
 # Safety / range restriction (DL001–DL004).
 # ---------------------------------------------------------------------------
 

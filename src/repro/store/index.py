@@ -1,0 +1,54 @@
+"""Keyed bucket indices over composite join keys.
+
+The worklist solver's transformer-string joins are not column-subset
+lookups: the domain supplies *join-compatibility buckets*
+(:meth:`AbstractionDomain.insert_keys` / ``probe_keys``) and a fact is
+filed under several buckets so that probing enumerates exactly the
+composable partners (paper Section 7's prefix-compatible joins).
+
+A :class:`KeyedIndex` stores those buckets.  Keys are opaque hashable
+composites — ``(entity, context-letter-tuple)`` in the worklist solver,
+already-interned ints in the CFL solver — and bucket lookup is one dict
+probe on the composite itself.  Routing keys through the store's
+:class:`repro.store.Interner` here would re-hash the same composite and
+then pay a second lookup per probe, so interning is reserved for
+callers that hold symbols across a fixpoint (the CFL path) and for the
+results boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Tuple
+
+from repro.store.stats import RelationCounters
+
+_EMPTY: Tuple = ()
+
+
+class KeyedIndex:
+    """Bucket lists keyed by composite join keys."""
+
+    __slots__ = ("name", "counters", "_buckets")
+
+    def __init__(self, name: str, counters: RelationCounters):
+        self.name = name
+        self.counters = counters
+        self._buckets: dict = {}
+        counters.index_builds += 1
+
+    def add(self, key: Hashable, payload) -> None:
+        """File ``payload`` under ``key``."""
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            self._buckets[key] = [payload]
+        else:
+            bucket.append(payload)
+
+    def probe(self, key: Hashable) -> List:
+        """The bucket for ``key`` (empty if never inserted)."""
+        self.counters.probes += 1
+        return self._buckets.get(key, _EMPTY)
+
+    def __len__(self) -> int:
+        """Number of non-empty buckets."""
+        return len(self._buckets)

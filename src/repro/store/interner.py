@@ -1,0 +1,63 @@
+"""Value interning: a bijective symbol table of hashables ↔ small ints.
+
+Joins in every execution path hash entity names (``"T.main/x1"``),
+heap-site labels (``"h3"``) and context-letter tuples billions of times
+in aggregate; hashing a Python ``int`` is both cheaper and collision-
+free.  The interner assigns each distinct value a dense small integer
+once, so hot joins operate on ints, and the results boundary decodes
+symbols back to the original values (``value_of`` / ``decode_row``).
+
+Interning is total and injective: ``value_of(intern(v)) == v`` for any
+hashable ``v`` (the property test in ``tests/store/test_interner.py``).
+Probing with a never-seen value must not grow the table, so probes use
+:meth:`id_of`, which returns ``None`` instead of allocating.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+
+class Interner:
+    """Dense, insertion-ordered value ↔ int symbol table."""
+
+    __slots__ = ("_ids", "_values")
+
+    def __init__(self) -> None:
+        self._ids: Dict[Hashable, int] = {}
+        self._values: List[Hashable] = []
+
+    def intern(self, value: Hashable) -> int:
+        """The symbol for ``value``, allocating one if it is new."""
+        symbol = self._ids.get(value)
+        if symbol is None:
+            symbol = len(self._values)
+            self._ids[value] = symbol
+            self._values.append(value)
+        return symbol
+
+    def id_of(self, value: Hashable) -> Optional[int]:
+        """The symbol for ``value`` if already interned, else ``None``.
+
+        Probe-side counterpart of :meth:`intern`: looking up a value
+        that was never inserted must not allocate a fresh symbol.
+        """
+        return self._ids.get(value)
+
+    def value_of(self, symbol: int) -> Hashable:
+        """The value a symbol decodes to (``IndexError`` if unknown)."""
+        return self._values[symbol]
+
+    def intern_row(self, row: Iterable[Hashable]) -> Tuple[int, ...]:
+        """Intern every attribute of a tuple."""
+        return tuple(self.intern(value) for value in row)
+
+    def decode_row(self, row: Iterable[int]) -> Tuple[Hashable, ...]:
+        """Decode every attribute of an interned tuple."""
+        return tuple(self._values[symbol] for symbol in row)
+
+    def __contains__(self, value: Hashable) -> bool:
+        return value in self._ids
+
+    def __len__(self) -> int:
+        return len(self._values)

@@ -1,0 +1,48 @@
+"""Up-front index planning from a Datalog program's join patterns.
+
+The interpreting engine historically built column-subset indices lazily
+on first probe; the compiling back-end derived its plan as a side
+effect of code emission.  This module computes the same information
+once, ahead of evaluation, by reusing the binding-order analysis of
+:func:`repro.lint.passes.binding_orders`: walking each rule body in the
+engine's left-to-right join order, every positive stored literal
+reached with a non-empty set of bound argument positions will probe an
+index keyed by exactly those positions.
+
+The plan covers the semi-naive delta variants for free: a delta
+occurrence is *scanned*, not probed, and scanning needs no index, while
+the bound positions of every other literal are unchanged (the delta
+variant only swaps the source of one literal, not the join order).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from repro.datalog.ast import Program
+from repro.lint.passes import binding_orders
+
+IndexPlan = Dict[str, Set[Tuple[int, ...]]]
+
+
+def plan_indices(
+    program: Program, builtins: Optional[Iterable[str]] = None
+) -> IndexPlan:
+    """Predicate → set of column-position tuples its joins will probe.
+
+    ``builtins`` are the evaluable predicate names (they are computed,
+    never probed); negated literals are membership tests over the full
+    row set and need no index either.
+    """
+    builtin_names = set(builtins) if builtins is not None else set()
+    plan: IndexPlan = {}
+    for rule in program.rules:
+        if rule.is_fact():
+            continue
+        for literal, positions in binding_orders(rule):
+            if literal.negated or literal.pred in builtin_names:
+                continue
+            if not positions:
+                continue  # full scan, no index
+            plan.setdefault(literal.pred, set()).add(positions)
+    return plan

@@ -1,0 +1,47 @@
+"""Uniform per-relation counters.
+
+Every relation (and every keyed index attached to it) shares one
+:class:`RelationCounters` instance, so a single table answers "how much
+work did this relation do" identically across the worklist solver, both
+Datalog engines and the CFL solver:
+
+* ``inserts`` — rows actually stored (new facts);
+* ``dedup_hits`` — insert attempts rejected because the row existed;
+* ``probes`` — index lookups issued against the relation;
+* ``index_builds`` — indices materialized (planned or on demand).
+
+Index *sizes* are reported by the owning :class:`repro.store.TupleStore`
+(``describe()``) because they are a property of the live structures,
+not a monotone counter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class RelationCounters:
+    """Monotone counters for one named relation."""
+
+    __slots__ = ("inserts", "dedup_hits", "probes", "index_builds")
+
+    def __init__(self) -> None:
+        self.inserts = 0
+        self.dedup_hits = 0
+        self.probes = 0
+        self.index_builds = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "inserts": self.inserts,
+            "dedup_hits": self.dedup_hits,
+            "probes": self.probes,
+            "index_builds": self.index_builds,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RelationCounters(inserts={self.inserts},"
+            f" dedup_hits={self.dedup_hits}, probes={self.probes},"
+            f" index_builds={self.index_builds})"
+        )

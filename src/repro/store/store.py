@@ -1,0 +1,97 @@
+"""The tuple store: relations + keyed indices + interner + counters.
+
+One :class:`TupleStore` per engine run.  It carries the run's shared
+:class:`~repro.store.interner.Interner` and hands out
+:class:`~repro.store.relation.Relation` and
+:class:`~repro.store.index.KeyedIndex` instances with one
+:class:`~repro.store.stats.RelationCounters` per relation *name* — a
+relation and all indices attached to it report into the same row of
+``describe()``, which is the uniform statistics surface surfaced
+through ``SolverStats``, ``AnalysisResult.stats``, the bench harness
+and the CLI's ``--stats`` flag.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.store.index import KeyedIndex
+from repro.store.interner import Interner
+from repro.store.relation import Relation
+from repro.store.stats import RelationCounters
+
+
+class TupleStore:
+    """Registry of named relations and their indices."""
+
+    def __init__(self, interner: Optional[Interner] = None):
+        self.interner = interner if interner is not None else Interner()
+        self._relations: Dict[str, Relation] = {}
+        self._keyed: Dict[str, List[KeyedIndex]] = {}
+        self._counters: Dict[str, RelationCounters] = {}
+
+    def counters(self, name: str) -> RelationCounters:
+        """The (shared) counters object for relation ``name``."""
+        counters = self._counters.get(name)
+        if counters is None:
+            counters = RelationCounters()
+            self._counters[name] = counters
+        return counters
+
+    def relation(
+        self,
+        name: str,
+        arity: Optional[int] = None,
+        track_delta: bool = True,
+    ) -> Relation:
+        """The relation called ``name``, created on first request."""
+        relation = self._relations.get(name)
+        if relation is None:
+            relation = Relation(
+                name, arity, counters=self.counters(name),
+                track_delta=track_delta,
+            )
+            self._relations[name] = relation
+        elif arity is not None and relation.arity not in (None, arity):
+            raise ValueError(
+                f"relation {name!r} exists with arity {relation.arity},"
+                f" requested {arity}"
+            )
+        return relation
+
+    def keyed_index(self, name: str, label: Optional[str] = None) -> KeyedIndex:
+        """A new keyed index reporting into relation ``name``'s counters."""
+        index = KeyedIndex(label or name, self.counters(name))
+        self._keyed.setdefault(name, []).append(index)
+        return index
+
+    def relations(self) -> Dict[str, Relation]:
+        """Live name → relation view."""
+        return self._relations
+
+    # -- statistics surface -------------------------------------------------
+
+    def describe(self) -> Dict[str, Dict[str, int]]:
+        """Per-relation statistics: rows, counters, index count/sizes.
+
+        Keys: ``rows``, ``inserts``, ``dedup_hits``, ``probes``,
+        ``index_builds``, ``indexes``, ``index_entries``.
+        """
+        names = sorted(set(self._counters) | set(self._relations))
+        out: Dict[str, Dict[str, int]] = {}
+        for name in names:
+            counters = self.counters(name)
+            entry = counters.as_dict()
+            relation = self._relations.get(name)
+            keyed = self._keyed.get(name, ())
+            entry["rows"] = len(relation) if relation is not None else 0
+            entry["indexes"] = (
+                (relation.index_count() if relation is not None else 0)
+                + len(keyed)
+            )
+            entry["index_entries"] = (
+                (relation.index_entries() if relation is not None else 0)
+                + sum(len(index) for index in keyed)
+            )
+            out[name] = entry
+        return out

@@ -60,3 +60,32 @@ class TestRelation:
         snap = rel.snapshot()
         rel.add(("b",))
         assert snap == {("a",)}
+
+
+class TestLookupPositionsNormalized:
+    """Regression for the ``lookup`` positions contract: callers may
+    pass positions in any order, with duplicates; the key is remapped
+    alongside and permuted spellings share a single index."""
+
+    def _rel(self):
+        rel = Relation("r", 3)
+        rel.add_all([("a", 1, "x"), ("a", 2, "y"), ("b", 1, "x")])
+        return rel
+
+    def test_unsorted_positions(self):
+        rel = self._rel()
+        assert rel.lookup((1, 0), (1, "a")) == rel.lookup((0, 1), ("a", 1))
+        assert rel.index_count() == 1
+
+    def test_duplicate_positions_deduplicated(self):
+        rel = self._rel()
+        assert sorted(rel.lookup((0, 0), ("b", "b"))) == [("b", 1, "x")]
+
+    def test_conflicting_duplicates_match_nothing(self):
+        rel = self._rel()
+        assert rel.lookup((1, 1), (1, 2)) == []
+
+    def test_key_positions_length_mismatch(self):
+        rel = self._rel()
+        with pytest.raises(ValueError, match="does not match"):
+            rel.lookup((0,), ("a", 1))

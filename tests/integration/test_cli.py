@@ -40,6 +40,21 @@ class TestAnalyzeCommand:
         assert "|pts|=" in out
         assert "2-object+H" in out
 
+    def test_stats_prints_store_counters(self, figure1_file, capsys):
+        assert main(["analyze", figure1_file, "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "relation" in out and "inserts" in out and "probes" in out
+        counters = {}
+        for line in out.splitlines():
+            parts = line.split()
+            if parts and parts[0] in ("pts", "hpts", "call"):
+                counters[parts[0]] = [int(v) for v in parts[1:]]
+        assert set(counters) == {"pts", "hpts", "call"}
+        for name, (rows, inserts, dedup, probes, *_rest) in counters.items():
+            assert inserts > 0, name
+            assert probes > 0, name
+        assert counters["pts"][2] > 0  # pts sees dedup hits on Figure 1
+
     def test_context_string_abstraction(self, figure5_file, capsys):
         assert main([
             "analyze", figure5_file, "--config", "1-call+H",
@@ -128,6 +143,29 @@ class TestFigure6Command:
         out = capsys.readouterr().out
         assert "2-object+H" in out
         assert "Mean" in out
+
+    def test_json_export(self, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "figure6.json"
+        assert main([
+            "figure6", "--scale", "1", "--json", str(out_file),
+        ]) == 0
+        assert "wrote JSON" in capsys.readouterr().out
+        data = json.loads(out_file.read_text())
+        assert data["schema"] == "repro-figure6/1"
+        assert data["scale"] == 1
+        assert data["engine"] == "solver"
+        assert set(data["geomean"]) == set(data["configurations"])
+        cell = data["cells"][0]
+        assert cell["benchmark"] in data["benchmarks"]
+        for side in ("context_string", "transformer_string"):
+            measurement = cell[side]
+            assert set(measurement["sizes"]) == {"pts", "hpts", "call"}
+            assert measurement["total"] == sum(measurement["sizes"].values())
+            assert measurement["seconds"] > 0
+            assert measurement["counters"]["pts"]["inserts"] > 0
+        assert set(cell["size_decrease"]) == {"pts", "hpts", "call"}
 
 
 class TestModuleEntryPoint:

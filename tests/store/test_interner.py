@@ -1,0 +1,57 @@
+"""Property tests for the value interner (round-trip, density, probes)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.store import Interner
+
+values = st.one_of(
+    st.text(max_size=20),
+    st.integers(),
+    st.tuples(st.text(max_size=5), st.text(max_size=5)),
+)
+
+
+class TestInternerRoundTrip:
+    @given(st.lists(values, max_size=50))
+    def test_value_of_inverts_intern(self, items):
+        interner = Interner()
+        symbols = [interner.intern(v) for v in items]
+        for value, symbol in zip(items, symbols):
+            assert interner.value_of(symbol) == value
+
+    @given(st.lists(values, max_size=50))
+    def test_symbols_dense_and_stable(self, items):
+        interner = Interner()
+        first = [interner.intern(v) for v in items]
+        second = [interner.intern(v) for v in items]
+        assert first == second  # re-interning never reassigns
+        assert set(first) == set(range(len(interner)))
+        assert len(interner) == len(set(items))
+
+    @given(st.lists(values, max_size=30), values)
+    def test_injective(self, items, probe):
+        interner = Interner()
+        for v in items:
+            interner.intern(v)
+        seen = {}
+        for v in set(items):
+            symbol = interner.id_of(v)
+            assert symbol not in seen or seen[symbol] == v
+            seen[symbol] = v
+
+
+class TestProbeSide:
+    def test_id_of_does_not_allocate(self):
+        interner = Interner()
+        interner.intern("present")
+        assert interner.id_of("absent") is None
+        assert len(interner) == 1
+        assert "absent" not in interner
+
+    def test_intern_row_decode_row(self):
+        interner = Interner()
+        row = ("x", "h1", ("a", "b"))
+        symbols = interner.intern_row(row)
+        assert all(isinstance(s, int) for s in symbols)
+        assert interner.decode_row(symbols) == row

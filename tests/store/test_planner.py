@@ -1,0 +1,69 @@
+"""Tests for up-front index planning from join patterns."""
+
+from repro.datalog.parser import parse_datalog
+from repro.lint.passes import binding_orders
+from repro.store import plan_indices
+
+
+def _program(text):
+    return parse_datalog(text, validate=False)
+
+
+class TestBindingOrders:
+    def test_left_to_right_binding(self):
+        program = _program("p(X, Z) :- q(X, Y), r(Y, Z).")
+        [(q, q_pos), (r, r_pos)] = binding_orders(program.rules[0])
+        assert (q.pred, q_pos) == ("q", ())
+        assert (r.pred, r_pos) == ("r", (0,))
+
+    def test_constants_are_bound(self):
+        program = _program('p(X) :- q("k", X).')
+        [(q, q_pos)] = binding_orders(program.rules[0])
+        assert q_pos == (0,)
+
+    def test_negated_literal_binds_nothing(self):
+        program = _program("p(X) :- q(X), !r(X, Y), s(Y).")
+        orders = dict(
+            (lit.pred, pos) for (lit, pos) in binding_orders(program.rules[0])
+        )
+        # r's variables do not become bound for s.
+        assert orders["s"] == ()
+
+
+class TestPlanIndices:
+    def test_plan_covers_probed_literals(self):
+        program = _program(
+            """
+            p(X, Z) :- q(X, Y), r(Y, Z).
+            t(Z) :- r("k", Z).
+            """
+        )
+        plan = plan_indices(program)
+        assert "q" not in plan  # first literal: full scan
+        assert plan["r"] == {(0,)}
+
+    def test_builtins_and_negation_excluded(self):
+        program = _program("p(X) :- q(X), !r(X), comp(X, Y).")
+        plan = plan_indices(program, builtins={"comp"})
+        assert "comp" not in plan
+        assert "r" not in plan
+
+    def test_facts_need_no_plan(self):
+        program = _program('q("a", "b").')
+        assert plan_indices(program) == {}
+
+    def test_engine_prebuilds_planned_indices(self):
+        from repro.datalog.engine import Engine
+
+        program = _program(
+            """
+            q("a", "b").
+            q("b", "c").
+            p(X, Z) :- q(X, Y), q(Y, Z).
+            """
+        )
+        engine = Engine(program)
+        engine.run()
+        # The q index keyed by column 0 was planned, not lazily built.
+        assert engine.relations["q"].index_count() == 1
+        assert engine.query("p") == {("a", "c")}

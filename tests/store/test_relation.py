@@ -1,0 +1,174 @@
+"""Property and regression tests for the delta-aware relation.
+
+Covers the three contracts the substrate owes its engines:
+
+* the semi-naive lifecycle invariants (``stable``/``delta``/``pending``
+  partition the row set; ``promote`` preserves the union);
+* index coherence: a ``lookup`` through any materialized index returns
+  exactly what a brute-force scan over ``rows`` returns;
+* the ``lookup`` positions contract: positions in any order, duplicates
+  allowed, key remapped alongside (the historical bug was trusting the
+  caller to pass sorted, unique positions).
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.store import Relation, RelationCounters, TupleStore
+
+rows3 = st.lists(
+    st.tuples(
+        st.sampled_from("abc"),
+        st.integers(min_value=0, max_value=3),
+        st.sampled_from("xyz"),
+    ),
+    max_size=30,
+)
+
+
+class TestDeltaLifecycle:
+    @given(rows3, rows3, rows3)
+    def test_partition_invariant(self, batch1, batch2, batch3):
+        rel = Relation("r", 3)
+        for batch in (batch1, batch2, batch3):
+            for row in batch:
+                rel.add(row)
+            stable, delta, pending = (
+                rel.stable, set(rel.delta), set(rel.pending)
+            )
+            # The three parts partition the row set.
+            assert stable | delta | pending == rel.rows
+            assert not stable & delta
+            assert not stable & pending
+            assert delta.isdisjoint(pending)
+            before = set(rel.rows)
+            promoted = rel.promote()
+            # Promotion: pending becomes the delta, union preserved.
+            assert set(promoted) == pending
+            assert rel.rows == before
+            assert not rel.pending
+
+    @given(rows3)
+    def test_no_duplicates_in_frontier(self, batch):
+        rel = Relation("r", 3)
+        for row in batch + batch:
+            rel.add(row)
+        promoted = rel.promote()
+        assert len(promoted) == len(set(promoted))
+        assert set(promoted) == rel.rows
+
+    def test_load_bypasses_frontier(self):
+        rel = Relation("r", 1)
+        rel.load(("edb",))
+        rel.add(("idb",))
+        assert rel.pending == [("idb",)]
+        assert rel.promote() == [("idb",)]
+        assert rel.stable == {("edb",)}
+
+    def test_track_delta_off(self):
+        rel = Relation("r", 1, track_delta=False)
+        rel.add(("a",))
+        assert rel.pending == []
+        assert rel.promote() == []
+
+
+class TestIndexCoherence:
+    @given(
+        rows3,
+        st.lists(st.integers(min_value=0, max_value=2), min_size=1, max_size=3),
+        st.tuples(
+            st.sampled_from("abc"),
+            st.integers(min_value=0, max_value=3),
+            st.sampled_from("xyz"),
+        ),
+    )
+    def test_lookup_matches_scan(self, rows, positions, probe_row):
+        rel = Relation("r", 3)
+        for row in rows:
+            rel.add(row)
+        positions = tuple(positions)
+        key = tuple(probe_row[p] for p in positions)
+        found = rel.lookup(positions, key)
+        scanned = [
+            row for row in rel.rows
+            if all(row[p] == v for p, v in zip(positions, key))
+        ]
+        assert sorted(found) == sorted(scanned)
+        assert len(found) == len(set(found))
+
+    @given(rows3)
+    def test_index_maintained_across_inserts(self, rows):
+        rel = Relation("r", 3)
+        rel.ensure_index((0,))
+        for row in rows:
+            rel.add(row)
+            key = (row[0],)
+            assert row in rel.lookup((0,), key)
+
+    def test_ensure_index_rejects_out_of_range(self):
+        rel = Relation("r", 2)
+        with pytest.raises(ValueError, match="out of range"):
+            rel.ensure_index((0, 5))
+
+
+class TestLookupPositionsContract:
+    """Regression: permuted/duplicated positions must hit the same
+    (sorted, unique) index with the key remapped alongside."""
+
+    def _rel(self):
+        rel = Relation("r", 3)
+        rel.add_all([("a", 1, "x"), ("a", 2, "y"), ("b", 1, "x")])
+        return rel
+
+    def test_permuted_positions_equal_sorted(self):
+        rel = self._rel()
+        assert sorted(rel.lookup((2, 0), ("x", "a"))) == sorted(
+            rel.lookup((0, 2), ("a", "x"))
+        ) == [("a", 1, "x")]
+        # Both spellings share one index.
+        assert rel.index_count() == 1
+
+    def test_duplicate_position_consistent_values(self):
+        rel = self._rel()
+        assert rel.lookup((0, 0), ("a", "a")) == rel.lookup((0,), ("a",))
+
+    def test_duplicate_position_conflicting_values(self):
+        rel = self._rel()
+        assert rel.lookup((0, 0), ("a", "b")) == []
+        # A contradictory probe must not materialize an index.
+        assert rel.index_count() == 0
+
+    def test_key_length_mismatch_raises(self):
+        rel = self._rel()
+        with pytest.raises(ValueError, match="does not match"):
+            rel.lookup((0, 1), ("a",))
+
+
+class TestCounters:
+    def test_insert_dedup_probe_counts(self):
+        counters = RelationCounters()
+        rel = Relation("r", 2, counters=counters)
+        rel.add(("a", 1))
+        rel.add(("a", 1))
+        rel.lookup((0,), ("a",))
+        rel.lookup((0,), ("zz",))
+        assert counters.inserts == 1
+        assert counters.dedup_hits == 1
+        assert counters.probes == 2
+        assert counters.index_builds == 1
+
+    def test_store_describe_shape(self):
+        store = TupleStore()
+        rel = store.relation("pts", 2)
+        rel.add(("a", "h"))
+        rel.lookup((0,), ("a",))
+        index = store.keyed_index("pts", "pts_by_key")
+        index.add(("a", ()), "payload")
+        index.probe(("a", ()))
+        stats = store.describe()["pts"]
+        assert stats["rows"] == 1
+        assert stats["inserts"] == 1
+        assert stats["probes"] == 2  # one lookup + one keyed probe
+        assert stats["indexes"] == 2  # column index + keyed index
+        assert stats["index_entries"] == 2
