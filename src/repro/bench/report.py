@@ -117,7 +117,9 @@ def format_csv(table: Figure6) -> str:
 
 #: Schema identifier embedded in every JSON export; bump the suffix on
 #: breaking layout changes.  The layout is documented in ``docs/api.md``.
-JSON_SCHEMA = "repro-figure6/1"
+#: ``/2`` adds the additive ``query_latency`` field (the service
+#: query-latency workload of :mod:`repro.bench.querybench`).
+JSON_SCHEMA = "repro-figure6/2"
 
 
 def _measurement_json(measurement: Measurement) -> Dict:
@@ -137,17 +139,21 @@ def figure6_json(
     scale: Optional[int] = None,
     repetitions: Optional[int] = None,
     engine: Optional[str] = None,
+    query_latency: Optional[Dict] = None,
 ) -> Dict:
-    """The table as a JSON-serializable dict (schema ``repro-figure6/1``).
+    """The table as a JSON-serializable dict (schema ``repro-figure6/2``).
 
     Top-level keys: ``schema``, the run parameters (``scale``,
     ``repetitions``, ``engine``; ``None`` when unknown), ``benchmarks``,
-    ``configurations``, ``cells`` and ``geomean``.  Each cell carries
-    both abstractions' measurements (sizes, CI sizes, total, seconds,
-    and per-relation store counters when available) plus the derived
-    decrease percentages as fractions.
+    ``configurations``, ``cells``, ``geomean`` and — new in ``/2``,
+    additive — ``query_latency`` (the service query-latency workload of
+    :func:`repro.bench.querybench.run_query_latency`; ``None`` when not
+    measured).  Each cell carries both abstractions' measurements
+    (sizes, CI sizes, total, seconds, and per-relation store counters
+    when available) plus the derived decrease percentages as fractions.
     """
     return {
+        "query_latency": query_latency,
         "schema": JSON_SCHEMA,
         "scale": scale,
         "repetitions": repetitions,
@@ -186,11 +192,12 @@ def format_json(
     scale: Optional[int] = None,
     repetitions: Optional[int] = None,
     engine: Optional[str] = None,
+    query_latency: Optional[Dict] = None,
 ) -> str:
     """:func:`figure6_json` serialized (indented, trailing newline)."""
     return json.dumps(
         figure6_json(table, scale=scale, repetitions=repetitions,
-                     engine=engine),
+                     engine=engine, query_latency=query_latency),
         indent=2,
     ) + "\n"
 

@@ -34,6 +34,10 @@ class DemandPointsTo:
     def __init__(self, pag: PAG):
         self.pag = pag
         self.demanded: Set[str] = set()
+        # Queries answered (the analysis service and the query-latency
+        # benchmark read this alongside the worklist demand engine's
+        # matching counter).
+        self.query_count = 0
         self._pts: Dict[str, Set[str]] = defaultdict(set)
         # store edges grouped by field: field -> [(value, base)]
         self._stores_by_field = defaultdict(list)
@@ -45,6 +49,7 @@ class DemandPointsTo:
 
     def query(self, var: str) -> FrozenSet[str]:
         """The points-to set of ``var`` (exact w.r.t. the PAG)."""
+        self.query_count += 1
         self._demand(var)
         self._solve()
         return frozenset(self._pts[var])
@@ -106,3 +111,13 @@ class DemandPointsTo:
             n for n in self.pag.nodes() if n not in self.pag.heap_nodes()
         }
         return len(self.demanded & variables), len(variables)
+
+    def stats(self) -> Dict[str, int]:
+        """Uniform demand-engine counters, mirroring
+        :meth:`repro.core.demand.DemandPointerAnalysis.stats`."""
+        demanded, total = self.coverage()
+        return {
+            "queries": self.query_count,
+            "demanded_vars": demanded,
+            "total_vars": total,
+        }

@@ -23,6 +23,10 @@ Subcommands:
 ``figure6``
     Regenerate the paper's Figure 6 table on the synthetic DaCapo
     analogues.
+
+``serve``
+    Long-lived query server: load a snapshot (or solve once) and answer
+    JSON-lines requests on stdio or a TCP socket (``repro-serve/1``).
 """
 
 from __future__ import annotations
@@ -101,6 +105,25 @@ def cmd_analyze(args) -> int:
         with open(args.dot, "w", encoding="utf-8") as handle:
             handle.write(call_graph_dot(result))
         print(f"wrote call-graph DOT to {args.dot}")
+    if args.save_snapshot:
+        from repro.service.snapshot import (
+            DERIVED_RELATIONS,
+            snapshot_from_relations,
+            write_snapshot,
+        )
+
+        relations = {
+            name: getattr(result._solver, name)
+            for name, _arity in DERIVED_RELATIONS
+        }
+        snapshot = snapshot_from_relations(result.config, facts, relations)
+        write_snapshot(snapshot, args.save_snapshot)
+        counts = snapshot.relation_counts()
+        print(
+            f"wrote snapshot to {args.save_snapshot}"
+            f" ({sum(counts.values())} derived facts,"
+            f" config {result.config.describe()})"
+        )
     return 0
 
 
@@ -154,18 +177,81 @@ def cmd_emit(args) -> int:
 
 
 def cmd_query(args) -> int:
-    from repro.core.demand import DemandPointerAnalysis
+    from repro.service import AnalysisService, SnapshotError
 
-    facts = _load_facts(args)
-    demand = DemandPointerAnalysis(facts, _analysis_config(args))
+    if args.snapshot:
+        try:
+            service = AnalysisService.from_snapshot(args.snapshot)
+        except SnapshotError as error:
+            print(f"repro query: {error}", file=sys.stderr)
+            return 1
+        print(
+            f"snapshot: {args.snapshot}"
+            f" (config {service.config.describe()})"
+        )
+    else:
+        # Demand-only mode: nothing is solved beyond the queried slice,
+        # and repeated --var arguments share one demand instance.
+        facts = _load_facts(args)
+        service = AnalysisService.from_facts(
+            facts, _analysis_config(args), solve=False
+        )
     for var in args.var:
-        targets = ", ".join(sorted(demand.points_to(var))) or "∅"
+        targets = ", ".join(sorted(service.points_to(var))) or "∅"
         print(f"{var} -> {{{targets}}}")
-    sliced, total = demand.coverage()
+    stats = service.stats()
+    if args.snapshot:
+        latency = stats["latency_us"].get("points_to", {})
+        print(
+            f"\nsnapshot served: {stats['paths']['warm']} warm,"
+            f" {stats['paths']['cold']} demand,"
+            f" {stats['cache']['hits']} cached"
+            f" (p50 {latency.get('p50_us', 0)}µs)"
+        )
+    else:
+        demand = stats.get("demand", {})
+        sliced = demand.get("sliced_facts", 0)
+        total = demand.get("total_facts", 0)
+        print(
+            f"\ndemand slice: {sliced}/{total} input facts"
+            f" ({sliced / total * 100 if total else 0:.0f}%)"
+        )
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from repro.service import AnalysisService, SnapshotError
+    from repro.service.server import PROTOCOL, serve_stdio, serve_tcp
+
+    try:
+        if args.snapshot:
+            service = AnalysisService.from_snapshot(
+                args.snapshot, cache_size=args.cache_size
+            )
+        else:
+            facts = _load_facts(args)
+            service = AnalysisService.from_facts(
+                facts, _analysis_config(args), solve=not args.demand,
+                cache_size=args.cache_size,
+            )
+    except SnapshotError as error:
+        print(f"repro serve: {error}", file=sys.stderr)
+        return 1
+    covered, total = service.coverage()
+    # All chatter on stderr: stdout belongs to the wire protocol.
     print(
-        f"\ndemand slice: {sliced}/{total} input facts"
-        f" ({sliced / total * 100 if total else 0:.0f}%)"
+        f"repro serve: ready ({PROTOCOL}, config"
+        f" {service.config.describe()}, {covered}/{total} variables warm)",
+        file=sys.stderr,
     )
+    if args.tcp:
+        host, _, port = args.tcp.rpartition(":")
+        try:
+            serve_tcp(service, host or "127.0.0.1", int(port))
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            pass
+        return 0
+    serve_stdio(service)
     return 0
 
 
@@ -234,6 +320,9 @@ def cmd_lint(args) -> int:
         print(f"repro lint: {error}", file=sys.stderr)
         return 1
 
+    if _looks_like_snapshot(args.path, source):
+        return _lint_snapshot(args.path)
+
     failed = False
     try:
         failed = _lint_path(source, args)
@@ -242,6 +331,42 @@ def cmd_lint(args) -> int:
         print(f"error[syntax] in {args.path}: {error}", file=sys.stderr)
         return 1
     return 1 if failed else 0
+
+
+def _looks_like_snapshot(path: str, source: str) -> bool:
+    """Heuristic: a ``.snap`` file, or JSON with the snapshot schema."""
+    if path.endswith(".snap"):
+        return True
+    head = source.lstrip()[:4096]
+    return head.startswith("{") and '"repro-snapshot/' in head
+
+
+def _lint_snapshot(path: str) -> int:
+    """Self-check a snapshot file: schema, digest, declared counts."""
+    from repro.service import SnapshotError, describe_snapshot
+
+    try:
+        report = describe_snapshot(path)
+    except SnapshotError as error:
+        print(f"error[snapshot] in {path}: {error}", file=sys.stderr)
+        return 1
+    relations = " ".join(
+        f"{name}={count}" for name, count in sorted(report["relations"].items())
+    )
+    print(f"snapshot: {path}")
+    print(f"  schema    {report['schema']}")
+    print(f"  config    {report['config']}")
+    print(f"  digest    {report['digest']} (verified)")
+    coverage = report["coverage"]
+    print(
+        "  coverage  full"
+        if coverage == "full"
+        else f"  coverage  {coverage} variables"
+    )
+    print(f"  facts     {report['input_facts']} input facts")
+    print(f"  relations {relations}")
+    print("snapshot ok: 0 errors, 0 warnings")
+    return 0
 
 
 def _lint_path(source: str, args) -> bool:
@@ -303,10 +428,15 @@ def cmd_figure6(args) -> int:
             handle.write(format_csv(table))
         print(f"\nwrote CSV to {args.csv}")
     if args.json:
+        query_latency = None
+        if not args.no_query_latency:
+            from repro.bench.querybench import run_query_latency
+
+            query_latency = run_query_latency(scale=args.scale)
         with open(args.json, "w", encoding="utf-8") as handle:
             handle.write(format_json(
                 table, scale=args.scale, repetitions=args.repetitions,
-                engine="solver",
+                engine="solver", query_latency=query_latency,
             ))
         print(f"\nwrote JSON to {args.json}")
     return 0
@@ -351,6 +481,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_analyze.add_argument(
         "--dot", help="write the call graph as Graphviz DOT to this file"
     )
+    p_analyze.add_argument(
+        "--save-snapshot", metavar="PATH",
+        help="persist the solved result as a repro-snapshot/1 file",
+    )
     p_analyze.set_defaults(func=cmd_analyze)
 
     p_query = sub.add_parser(
@@ -369,7 +503,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--eliminate-subsumed", action="store_true",
         help=argparse.SUPPRESS,
     )
+    p_query.add_argument(
+        "--snapshot", metavar="PATH",
+        help="answer from this repro-snapshot/1 file (no solving at all)",
+    )
     p_query.set_defaults(func=cmd_query)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="long-lived JSON-lines query server (stdio or --tcp)",
+    )
+    add_common(p_serve)
+    p_serve.add_argument(
+        "--abstraction", default="ts", choices=sorted(_ABSTRACTIONS),
+        help="context abstraction (ts = transformer strings)",
+    )
+    p_serve.add_argument(
+        "--eliminate-subsumed", action="store_true",
+        help=argparse.SUPPRESS,
+    )
+    p_serve.add_argument(
+        "--snapshot", metavar="PATH",
+        help="serve from this repro-snapshot/1 file (no solving)",
+    )
+    p_serve.add_argument(
+        "--demand", action="store_true",
+        help="skip the up-front solve; answer every query demand-driven",
+    )
+    p_serve.add_argument(
+        "--tcp", metavar="HOST:PORT",
+        help="listen on a TCP socket instead of stdio",
+    )
+    p_serve.add_argument(
+        "--cache-size", type=int, default=1024,
+        help="LRU query-cache capacity (default: 1024)",
+    )
+    p_serve.set_defaults(func=cmd_serve)
 
     p_facts = sub.add_parser("facts", help="generate a Doop-style facts dir")
     p_facts.add_argument("source", help="Java-subset source file")
@@ -430,7 +599,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument(
         "--json",
         help="also write machine-readable JSON here"
-        " (schema repro-figure6/1, see docs/api.md)",
+        " (schema repro-figure6/2, see docs/api.md)",
+    )
+    p_fig.add_argument(
+        "--no-query-latency", action="store_true",
+        help="omit the service query-latency workload from the JSON",
     )
     p_fig.set_defaults(func=cmd_figure6)
     return parser

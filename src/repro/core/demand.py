@@ -51,6 +51,11 @@ class DemandPointerAnalysis:
         self.reach_methods: Set[str] = set()
         self.exc_methods: Set[str] = set()
         self._result: Optional[AnalysisResult] = None
+        # Uniform demand-engine statistics (the analysis service and the
+        # query-latency benchmark read these): queries answered, sliced
+        # solver runs actually performed.
+        self.query_count = 0
+        self.solve_count = 0
 
     # ------------------------------------------------------------------
     # Program maps used by the closure.
@@ -122,11 +127,8 @@ class DemandPointerAnalysis:
     # Demand closure.
     # ------------------------------------------------------------------
 
-    def _demand(self, var: str) -> bool:
-        """Grow the slice to cover ``var``; True if anything changed."""
-        if var in self.vars:
-            return False
-        worklist: List[Tuple[str, str]] = [("var", var)]
+    def _close(self, worklist: List[Tuple[str, str]]) -> None:
+        """Close the slice under the rules from the seeded worklist."""
         while worklist:
             kind, entity = worklist.pop()
             if kind == "var":
@@ -142,6 +144,12 @@ class DemandPointerAnalysis:
             else:
                 self._demand_exceptions(entity, worklist)
         self._result = None  # the slice changed; re-solve lazily
+
+    def _demand(self, var: str) -> bool:
+        """Grow the slice to cover ``var``; True if anything changed."""
+        if var in self.vars:
+            return False
+        self._close([("var", var)])
         return True
 
     def _demand_var(self, var: str, worklist) -> None:
@@ -305,6 +313,7 @@ class DemandPointerAnalysis:
             )
             solver = Solver(self._sliced_facts(), domain)
             solver.solve()
+            self.solve_count += 1
             self._result = AnalysisResult(self.config, solver)
         return self._result
 
@@ -314,33 +323,64 @@ class DemandPointerAnalysis:
 
     def points_to(self, var: str) -> FrozenSet[str]:
         """The context-insensitive points-to set of ``var``."""
+        self.query_count += 1
         self._demand(var)
         return self._solve().points_to(var)
 
     def points_to_with_contexts(self, var: str):
         """The context-sensitive facts ``(H, A)`` for ``var``."""
+        self.query_count += 1
         self._demand(var)
         return self._solve().points_to_with_contexts(var)
 
+    def may_alias(self, var_a: str, var_b: str) -> bool:
+        """True iff the two variables may point to a common site."""
+        self.query_count += 1
+        self._demand(var_a)
+        self._demand(var_b)
+        return bool(
+            self._solve().points_to(var_a) & self._solve().points_to(var_b)
+        )
+
+    def callees(self, site: str) -> FrozenSet[str]:
+        """Methods the invocation ``site`` may dispatch to.
+
+        Demands the site (its receiver variable and the caller's
+        reachability), so the sliced run derives exactly the exhaustive
+        analysis's ``call`` edges for it.
+        """
+        self.query_count += 1
+        if site not in self.invocations:
+            self._close([("inv", site)])
+        return frozenset(
+            method
+            for (inv, method) in self._solve().call_graph()
+            if inv == site
+        )
+
+    def fields_of(self, heap: str) -> Dict[str, FrozenSet[str]]:
+        """``{field: pointee sites}`` for objects allocated at ``heap``.
+
+        Heap contents flow in through *any* store whose base may alias
+        ``heap``, so the slice must cover every field's writers; the
+        field demand pulls in each store's base and value variables.
+        """
+        self.query_count += 1
+        all_fields = {f for (_x, f, _z) in self.facts.store}
+        missing = all_fields - self.fields
+        if missing:
+            self._close([("field", field) for field in missing])
+        out: Dict[str, Set[str]] = defaultdict(set)
+        for (base, field, pointee) in self._solve().hpts_ci():
+            if base == heap:
+                out[field].add(pointee)
+        return {field: frozenset(sites) for field, sites in out.items()}
+
     def thrown_exceptions(self, method: str) -> FrozenSet[str]:
         """Exception sites escaping ``method``."""
+        self.query_count += 1
         if method not in self.exc_methods:
-            worklist: List[Tuple[str, str]] = [("exc", method)]
-            while worklist:
-                kind, entity = worklist.pop()
-                if kind == "var":
-                    self._demand_var(entity, worklist)
-                elif kind == "field":
-                    self._demand_field(entity, worklist)
-                elif kind == "sfield":
-                    self._demand_static_field(entity, worklist)
-                elif kind == "inv":
-                    self._demand_invocation(entity, worklist)
-                elif kind == "reach":
-                    self._demand_reach(entity, worklist)
-                else:
-                    self._demand_exceptions(entity, worklist)
-            self._result = None
+            self._close([("exc", method)])
         return self._solve().thrown_exceptions(method)
 
     def coverage(self) -> Tuple[int, int]:
@@ -348,6 +388,16 @@ class DemandPointerAnalysis:
         sliced = sum(self._sliced_facts().counts().values())
         total = sum(self.facts.counts().values())
         return (sliced, total)
+
+    def stats(self) -> Dict[str, int]:
+        """Uniform demand-engine counters (service / bench surface)."""
+        sliced, total = self.coverage()
+        return {
+            "queries": self.query_count,
+            "solves": self.solve_count,
+            "sliced_facts": sliced,
+            "total_facts": total,
+        }
 
 
 def _multimap(pairs):

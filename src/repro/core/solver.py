@@ -376,8 +376,15 @@ class Solver:
     # Main loop.
     # ------------------------------------------------------------------
 
+    #: Process-wide count of :meth:`solve` invocations.  The analysis
+    #: service's snapshot path promises to answer queries *without*
+    #: solving; tests pin that promise by reading this counter around a
+    #: snapshot-served session.
+    invocations = 0
+
     def solve(self) -> "Solver":
         """Run to fixpoint; returns ``self`` for chaining."""
+        Solver.invocations += 1
         start = time.perf_counter()
         if self.facts.main_method is None:
             raise ValueError("fact set has no main method")

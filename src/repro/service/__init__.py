@@ -1,0 +1,49 @@
+"""Analysis service: persistent snapshots + a long-lived query server.
+
+Every ``python -m repro query`` used to re-load facts and re-solve from
+zero.  This package makes the memoized unit of reuse *durable and
+servable* — the shape demand-driven CFL points-to (Sridharan et al.)
+and value-context tabulation both argue for:
+
+:mod:`repro.service.snapshot`
+    A versioned on-disk format (``repro-snapshot/1``) serializing a
+    solved :class:`~repro.store.TupleStore`, its interner, the input
+    fact set and the analysis config, with a content digest and clear
+    schema/config-mismatch errors.  Built on the store layer's
+    serialization hooks (:mod:`repro.store.serialize`).
+
+:mod:`repro.service.service`
+    :class:`AnalysisService` — loads a snapshot (or solves once) and
+    answers ``points_to`` / ``alias`` / ``callees`` / ``fields_of``
+    queries behind an LRU result cache, falling back to the shared
+    demand-driven analysis for entities outside the snapshot's
+    coverage.  Thread-safe; per-query latency (p50/p95), cache
+    hit-rate and warm/cold counters surface through ``stats()``.
+
+:mod:`repro.service.server`
+    ``python -m repro serve`` — a JSON-lines request/response protocol
+    (``repro-serve/1``) over stdio, plus an optional stdlib TCP socket
+    mode for concurrent clients.
+"""
+
+from repro.service.service import AnalysisService, QueryOutcome, ServiceStats
+from repro.service.snapshot import (
+    SNAPSHOT_SCHEMA,
+    Snapshot,
+    SnapshotError,
+    describe_snapshot,
+    read_snapshot,
+    write_snapshot,
+)
+
+__all__ = [
+    "AnalysisService",
+    "QueryOutcome",
+    "SNAPSHOT_SCHEMA",
+    "ServiceStats",
+    "Snapshot",
+    "SnapshotError",
+    "describe_snapshot",
+    "read_snapshot",
+    "write_snapshot",
+]

@@ -1,0 +1,177 @@
+"""JSON-lines query server over stdio or a TCP socket.
+
+Protocol ``repro-serve/1``: one JSON object per line in, one per line
+out, answered in order.  Requests name an operation and its operands::
+
+    {"id": 1, "op": "points_to", "var": "T.main/x1"}
+    {"id": 2, "op": "alias", "a": "T.main/x1", "b": "T.main/x2"}
+    {"id": 3, "op": "callees", "site": "i1"}
+    {"id": 4, "op": "fields_of", "heap": "h1"}
+    {"id": 5, "op": "stats"}
+    {"id": 6, "op": "ping"}
+    {"id": 7, "op": "shutdown"}
+
+Responses echo ``id`` and carry either a result with per-query serving
+metadata or an error::
+
+    {"id": 1, "ok": true, "result": ["h1"],
+     "meta": {"path": "snapshot", "cached": false, "micros": 142}}
+    {"id": 9, "ok": false, "error": "unknown op 'pointsto'"}
+
+Sets serialize as sorted lists; ``fields_of`` as ``{field: [sites]}``.
+``stats`` returns :meth:`AnalysisService.stats` (cache hit-rate,
+warm/cold counters, p50/p95 latency per kind).  A malformed line yields
+an ``ok: false`` response with ``id: null`` — the server never dies on
+bad input.  ``shutdown`` acknowledges, then ends the session (stdio) or
+closes the connection (TCP).
+
+The TCP mode (`python -m repro serve --tcp HOST:PORT`) uses the stdlib
+:class:`socketserver.ThreadingTCPServer`; concurrent connections share
+the one thread-safe :class:`AnalysisService`.
+"""
+
+from __future__ import annotations
+
+import json
+import socketserver
+import sys
+from typing import Dict, IO, Optional, Tuple
+
+from repro.service.service import OPERATIONS, AnalysisService
+
+PROTOCOL = "repro-serve/1"
+
+#: op -> required request fields (beyond "op").
+_REQUIRED_FIELDS: Dict[str, Tuple[str, ...]] = {
+    "points_to": ("var",),
+    "alias": ("a", "b"),
+    "callees": ("site",),
+    "fields_of": ("heap",),
+    "stats": (),
+    "ping": (),
+    "shutdown": (),
+}
+
+
+def _jsonable(value):
+    if isinstance(value, (frozenset, set)):
+        return sorted(value)
+    if isinstance(value, dict):
+        return {key: _jsonable(item) for key, item in sorted(value.items())}
+    return value
+
+
+def handle_request(service: AnalysisService, request: Dict) -> Dict:
+    """Answer one decoded request object (everything except transport)."""
+    request_id = request.get("id") if isinstance(request, dict) else None
+    if not isinstance(request, dict) or "op" not in request:
+        return {
+            "id": request_id, "ok": False,
+            "error": "request must be an object with an 'op' field",
+        }
+    op = request["op"]
+    required = _REQUIRED_FIELDS.get(op)
+    if required is None:
+        return {
+            "id": request_id, "ok": False,
+            "error": f"unknown op {op!r}; expected one of"
+            f" {sorted(_REQUIRED_FIELDS)}",
+        }
+    missing = [field for field in required if field not in request]
+    if missing:
+        return {
+            "id": request_id, "ok": False,
+            "error": f"op {op!r} requires field(s) {missing}",
+        }
+    if op == "ping":
+        return {"id": request_id, "ok": True, "result": PROTOCOL}
+    if op == "shutdown":
+        return {"id": request_id, "ok": True, "result": "bye"}
+    if op == "stats":
+        return {"id": request_id, "ok": True, "result": service.stats()}
+    try:
+        outcome = service.query(
+            op, **{field: request[field] for field in required}
+        )
+    except Exception as error:  # a query must never kill the session
+        return {"id": request_id, "ok": False, "error": str(error)}
+    return {
+        "id": request_id,
+        "ok": True,
+        "result": _jsonable(outcome.value),
+        "meta": {
+            "path": outcome.path,
+            "cached": outcome.cached,
+            "micros": int(outcome.seconds * 1e6),
+        },
+    }
+
+
+def handle_line(service: AnalysisService, line: str) -> Optional[Dict]:
+    """Decode and answer one wire line; ``None`` for blank lines."""
+    if not line.strip():
+        return None
+    try:
+        request = json.loads(line)
+    except json.JSONDecodeError as error:
+        return {"id": None, "ok": False, "error": f"bad JSON: {error}"}
+    return handle_request(service, request)
+
+
+def serve_stdio(
+    service: AnalysisService,
+    in_stream: Optional[IO[str]] = None,
+    out_stream: Optional[IO[str]] = None,
+) -> int:
+    """Serve JSON-lines until EOF or a ``shutdown`` op; returns the
+    number of requests answered."""
+    in_stream = in_stream if in_stream is not None else sys.stdin
+    out_stream = out_stream if out_stream is not None else sys.stdout
+    answered = 0
+    for line in in_stream:
+        response = handle_line(service, line)
+        if response is None:
+            continue
+        out_stream.write(json.dumps(response) + "\n")
+        out_stream.flush()
+        answered += 1
+        if response.get("ok") and response.get("result") == "bye":
+            break
+    return answered
+
+
+class ServiceTCPServer(socketserver.ThreadingTCPServer):
+    """A threading TCP server bound to one shared analysis service."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], service: AnalysisService):
+        self.service = service
+        super().__init__(address, _ServiceHandler)
+
+
+class _ServiceHandler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        for raw in self.rfile:
+            response = handle_line(
+                self.server.service, raw.decode("utf-8", "replace")
+            )
+            if response is None:
+                continue
+            self.wfile.write((json.dumps(response) + "\n").encode("utf-8"))
+            self.wfile.flush()
+            if response.get("ok") and response.get("result") == "bye":
+                break
+
+
+def serve_tcp(service: AnalysisService, host: str, port: int) -> None:
+    """Serve forever on ``host:port`` (Ctrl-C to stop)."""
+    with ServiceTCPServer((host, port), service) as server:
+        bound_host, bound_port = server.server_address[:2]
+        print(
+            f"repro serve: listening on {bound_host}:{bound_port}"
+            f" ({PROTOCOL})",
+            file=sys.stderr,
+        )
+        server.serve_forever()

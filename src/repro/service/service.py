@@ -1,0 +1,462 @@
+"""The long-lived analysis service.
+
+An :class:`AnalysisService` answers pointer-analysis queries for one
+program repeatedly, amortizing the expensive part (solving) across the
+whole session:
+
+* **loads-or-solves once** — construct it from a snapshot
+  (:meth:`AnalysisService.from_snapshot`, no solver run at all) or from
+  a fact set (:meth:`AnalysisService.from_facts`, one exhaustive solve
+  up front — or none, in demand-only mode);
+* **LRU result cache** — repeated queries are dictionary lookups;
+* **demand-driven fallback** — queries outside the snapshot's coverage
+  route to one *shared* :class:`~repro.core.demand.DemandPointerAnalysis`
+  whose slice grows monotonically, so even cold queries reuse work;
+* **thread-safe** — one lock guards the cache, the metrics and the
+  (mutable) demand engine, so the TCP server can point concurrent
+  clients at a single instance;
+* **measured** — per-query latency (p50/p95 per query kind), cache
+  hit-rate and warm/cold counters, surfaced by :meth:`stats` in the
+  same spirit as :class:`~repro.core.solver.SolverStats` and consumed
+  by the query-latency benchmark's ``Measurement.counters``.
+
+Query kinds (the JSON-lines protocol exposes exactly these):
+
+``points_to(var)``
+    Context-insensitive points-to set of a variable.
+``alias(a, b)``
+    May the two variables point to a common site?
+``callees(site)``
+    Methods an invocation site may dispatch to.
+``fields_of(heap)``
+    ``{field: pointee sites}`` for objects allocated at a site.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.core.config import AnalysisConfig
+from repro.core.demand import DemandPointerAnalysis
+from repro.core.results import AnalysisResult
+from repro.core.solver import SolverStats
+from repro.frontend.factgen import FactSet
+from repro.service.snapshot import (
+    DERIVED_RELATIONS,
+    Snapshot,
+    read_snapshot,
+    snapshot_from_relations,
+    write_snapshot,
+)
+
+#: The query operations the service (and the wire protocol) supports.
+OPERATIONS = ("points_to", "alias", "callees", "fields_of")
+
+#: Variable attribute positions per input relation, used to compute the
+#: variable universe of a fact set (coverage checks, parity sweeps).
+_VAR_POSITIONS: Tuple[Tuple[str, Tuple[int, ...]], ...] = (
+    ("actual", (0,)), ("assign", (0, 1)), ("assign_new", (1,)),
+    ("assign_return", (1,)), ("formal", (0,)), ("load", (0, 2)),
+    ("return_var", (0,)), ("store", (0, 2)), ("this_var", (0,)),
+    ("static_load", (1,)), ("static_store", (0,)), ("throw_var", (0,)),
+    ("catch_var", (0,)), ("virtual_invoke", (1,)),
+)
+
+
+def variables_of(facts: FactSet) -> FrozenSet[str]:
+    """Every variable mentioned by the input relations."""
+    out = set()
+    for name, positions in _VAR_POSITIONS:
+        for row in getattr(facts, name):
+            for position in positions:
+                out.add(row[position])
+    return frozenset(out)
+
+
+_MISS = object()
+_LATENCY_CAP = 65536
+
+
+class _LRUCache:
+    """A bounded mapping with least-recently-used eviction."""
+
+    def __init__(self, capacity: int):
+        self.capacity = max(0, int(capacity))
+        self._data: OrderedDict = OrderedDict()
+
+    def get(self, key):
+        value = self._data.get(key, _MISS)
+        if value is not _MISS:
+            self._data.move_to_end(key)
+        return value
+
+    def put(self, key, value) -> None:
+        if self.capacity == 0:
+            return
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+class ServiceStats:
+    """Monotone service counters plus per-kind latency reservoirs."""
+
+    def __init__(self) -> None:
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.warm_queries = 0   # served from the pre-solved/snapshot result
+        self.cold_queries = 0   # served by the demand-driven fallback
+        self.solver_solves = 0  # exhaustive solves this service performed
+        self.snapshot_loads = 0
+        self.load_seconds = 0.0
+        self.queries_by_kind: Dict[str, int] = {}
+        self._latencies: Dict[str, List[float]] = {}
+
+    def record(self, kind: str, seconds: float, cached: bool,
+               warm: bool) -> None:
+        self.queries_by_kind[kind] = self.queries_by_kind.get(kind, 0) + 1
+        if cached:
+            self.cache_hits += 1
+        else:
+            self.cache_misses += 1
+            if warm:
+                self.warm_queries += 1
+            else:
+                self.cold_queries += 1
+        reservoir = self._latencies.setdefault(kind, [])
+        if len(reservoir) < _LATENCY_CAP:
+            reservoir.append(seconds)
+
+    def percentile(self, kind: str, fraction: float) -> Optional[float]:
+        """The ``fraction`` latency percentile for one kind (seconds)."""
+        reservoir = self._latencies.get(kind)
+        if not reservoir:
+            return None
+        ordered = sorted(reservoir)
+        index = min(
+            len(ordered) - 1,
+            max(0, int(round(fraction * (len(ordered) - 1)))),
+        )
+        return ordered[index]
+
+    def latency_summary(self) -> Dict[str, Dict[str, int]]:
+        """Per-kind ``{count, p50_us, p95_us}`` (microsecond ints)."""
+        out: Dict[str, Dict[str, int]] = {}
+        for kind, reservoir in self._latencies.items():
+            out[kind] = {
+                "count": self.queries_by_kind.get(kind, len(reservoir)),
+                "p50_us": int(self.percentile(kind, 0.50) * 1e6),
+                "p95_us": int(self.percentile(kind, 0.95) * 1e6),
+            }
+        return out
+
+    def hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def as_dict(self) -> Dict:
+        return {
+            "cache": {
+                "hits": self.cache_hits,
+                "misses": self.cache_misses,
+                "hit_rate": self.hit_rate(),
+            },
+            "paths": {
+                "warm": self.warm_queries,
+                "cold": self.cold_queries,
+            },
+            "solver": {
+                "solves": self.solver_solves,
+                "snapshot_loads": self.snapshot_loads,
+                "load_seconds": self.load_seconds,
+            },
+            "queries": dict(self.queries_by_kind),
+            "latency_us": self.latency_summary(),
+        }
+
+
+@dataclass
+class QueryOutcome:
+    """One answered query: the value plus how it was answered."""
+
+    value: object
+    kind: str
+    cached: bool
+    #: ``"cache"``, ``"snapshot"``, ``"solved"`` or ``"demand"``.
+    path: str
+    seconds: float
+
+
+class AnalysisService:
+    """Answers pointer-analysis queries against one program, forever."""
+
+    def __init__(
+        self,
+        facts: FactSet,
+        config: AnalysisConfig = AnalysisConfig(),
+        cache_size: int = 1024,
+    ):
+        self.facts = facts
+        self.config = config
+        self.metrics = ServiceStats()
+        self._lock = threading.RLock()
+        self._cache = _LRUCache(cache_size)
+        #: The pre-solved result (exhaustive solve or loaded snapshot).
+        self._result: Optional[AnalysisResult] = None
+        #: The relations behind ``_result`` (Solver or snapshot backend).
+        self._backend = None
+        #: ``None`` = the result covers every variable; else the set it
+        #: is complete for (partial snapshots).
+        self._coverage: Optional[FrozenSet[str]] = None
+        self._warm_path = "solved"
+        self._demand: Optional[DemandPointerAnalysis] = None
+
+    # -- constructors --------------------------------------------------
+
+    @classmethod
+    def from_facts(
+        cls,
+        facts: FactSet,
+        config: AnalysisConfig = AnalysisConfig(),
+        solve: bool = True,
+        cache_size: int = 1024,
+    ) -> "AnalysisService":
+        """A service over raw facts.
+
+        ``solve=True`` runs the exhaustive solver once up front (every
+        in-universe query is then warm); ``solve=False`` starts in
+        demand-only mode — nothing is solved until the first query, and
+        only its slice is.
+        """
+        service = cls(facts, config, cache_size=cache_size)
+        if solve:
+            service._solve_exhaustive()
+        return service
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        path: str,
+        expected_config: Optional[AnalysisConfig] = None,
+        cache_size: int = 1024,
+    ) -> "AnalysisService":
+        """A service answering from a persisted snapshot — no solving.
+
+        Raises :class:`~repro.service.snapshot.SnapshotError` on schema,
+        digest or (with ``expected_config``) config mismatch.
+        """
+        start = time.perf_counter()
+        snapshot = read_snapshot(path, expected_config)
+        service = cls(snapshot.facts, snapshot.config, cache_size=cache_size)
+        service._install_snapshot(snapshot, time.perf_counter() - start)
+        return service
+
+    def _solve_exhaustive(self) -> None:
+        from repro.core.analysis import PointerAnalysis
+
+        with self._lock:
+            self._result = PointerAnalysis(self.facts, self.config).run()
+            self._backend = self._result._solver
+            self._coverage = None
+            self._warm_path = "solved"
+            self.metrics.solver_solves += 1
+
+    def _install_snapshot(self, snapshot: Snapshot, seconds: float) -> None:
+        backend = _SnapshotBackend(snapshot, seconds)
+        with self._lock:
+            self._backend = backend
+            self._result = AnalysisResult(snapshot.config, backend)
+            self._coverage = snapshot.coverage
+            self._warm_path = "snapshot"
+            self.metrics.snapshot_loads += 1
+            self.metrics.load_seconds += seconds
+
+    # -- the query surface ---------------------------------------------
+
+    def points_to(self, var: str) -> FrozenSet[str]:
+        return self.query("points_to", var=var).value
+
+    def alias(self, a: str, b: str) -> bool:
+        return self.query("alias", a=a, b=b).value
+
+    def callees(self, site: str) -> FrozenSet[str]:
+        return self.query("callees", site=site).value
+
+    def fields_of(self, heap: str) -> Dict[str, FrozenSet[str]]:
+        return self.query("fields_of", heap=heap).value
+
+    def query(self, op: str, **params) -> QueryOutcome:
+        """Answer one query, going through cache → result → demand."""
+        if op not in OPERATIONS:
+            raise ValueError(
+                f"unknown query op {op!r}; expected one of {OPERATIONS}"
+            )
+        key = (op,) + tuple(sorted(params.items()))
+        start = time.perf_counter()
+        with self._lock:
+            value = self._cache.get(key)
+            if value is not _MISS:
+                seconds = time.perf_counter() - start
+                self.metrics.record(op, seconds, cached=True, warm=True)
+                return QueryOutcome(value, op, True, "cache", seconds)
+            value, warm = self._compute(op, params)
+            self._cache.put(key, value)
+            seconds = time.perf_counter() - start
+            self.metrics.record(op, seconds, cached=False, warm=warm)
+            path = self._warm_path if warm else "demand"
+            return QueryOutcome(value, op, False, path, seconds)
+
+    # -- computation (lock held) ---------------------------------------
+
+    def _covers(self, var: str) -> bool:
+        return self._result is not None and (
+            self._coverage is None or var in self._coverage
+        )
+
+    def _full_result(self) -> Optional[AnalysisResult]:
+        """The pre-solved result if it covers the *whole* program."""
+        if self._result is not None and self._coverage is None:
+            return self._result
+        return None
+
+    def _demand_instance(self) -> DemandPointerAnalysis:
+        if self._demand is None:
+            self._demand = DemandPointerAnalysis(self.facts, self.config)
+        return self._demand
+
+    def _compute(self, op: str, params: Dict) -> Tuple[object, bool]:
+        if op == "points_to":
+            var = params["var"]
+            if self._covers(var):
+                return self._result.points_to(var), True
+            return self._demand_instance().points_to(var), False
+        if op == "alias":
+            a, b = params["a"], params["b"]
+            if self._covers(a) and self._covers(b):
+                return self._result.may_alias(a, b), True
+            return self._demand_instance().may_alias(a, b), False
+        if op == "callees":
+            site = params["site"]
+            full = self._full_result()
+            if full is not None:
+                return frozenset(
+                    method
+                    for (inv, method) in full.call_graph()
+                    if inv == site
+                ), True
+            return self._demand_instance().callees(site), False
+        # fields_of
+        heap = params["heap"]
+        full = self._full_result()
+        if full is not None:
+            out: Dict[str, set] = {}
+            for (base, field, pointee) in full.hpts_ci():
+                if base == heap:
+                    out.setdefault(field, set()).add(pointee)
+            return {
+                field: frozenset(sites) for field, sites in out.items()
+            }, True
+        return self._demand_instance().fields_of(heap), False
+
+    # -- persistence ----------------------------------------------------
+
+    def save_snapshot(self, path: str) -> Snapshot:
+        """Persist the current solved state as a snapshot.
+
+        An exhaustively-solved (or full-snapshot-loaded) service writes
+        full coverage; a demand-mode service writes the relations of its
+        current slice with coverage pinned to the demanded variables —
+        loading that snapshot serves those variables warm and falls back
+        to demand for the rest.
+        """
+        with self._lock:
+            if self._result is not None and self._coverage is None:
+                relations = self._relations_of(self._backend)
+                coverage = None
+            elif self._result is not None:
+                relations = self._relations_of(self._backend)
+                coverage = self._coverage
+            else:
+                demand = self._demand_instance()
+                result = demand._solve()
+                relations = self._relations_of(result._solver)
+                coverage = frozenset(demand.vars)
+            snapshot = snapshot_from_relations(
+                self.config, self.facts, relations, coverage
+            )
+            write_snapshot(snapshot, path)
+            return snapshot
+
+    @staticmethod
+    def _relations_of(backend) -> Dict[str, set]:
+        return {
+            name: getattr(backend, name) for name, _arity in DERIVED_RELATIONS
+        }
+
+    # -- statistics -----------------------------------------------------
+
+    def coverage(self) -> Tuple[int, int]:
+        """``(servable-warm variables, total variables)``."""
+        universe = variables_of(self.facts)
+        if self._result is None:
+            covered = (
+                frozenset() if self._demand is None
+                else frozenset(self._demand.vars) & universe
+            )
+        elif self._coverage is None:
+            covered = universe
+        else:
+            covered = self._coverage & universe
+        return len(covered), len(universe)
+
+    def stats(self) -> Dict:
+        """The uniform statistics surface (also the ``stats`` wire op)."""
+        with self._lock:
+            covered, total = self.coverage()
+            out = self.metrics.as_dict()
+            out["config"] = self.config.describe()
+            out["mode"] = (
+                self._warm_path if self._result is not None else "demand"
+            )
+            out["coverage"] = {"vars": covered, "total_vars": total}
+            if self._demand is not None:
+                out["demand"] = self._demand.stats()
+            if self._backend is not None:
+                out["relations"] = {
+                    name: len(getattr(self._backend, name))
+                    for name, _arity in DERIVED_RELATIONS
+                }
+            return out
+
+
+class _SnapshotBackend:
+    """Duck-types the solver surface :class:`AnalysisResult` reads.
+
+    Exposes the derived relations as raw row sets plus a
+    :class:`SolverStats` (seconds = load time; facts_derived = stored
+    rows) and the store's ``describe()`` counters — so every downstream
+    consumer (results projections, ``--stats`` tables, benchmarks)
+    works identically on snapshot-served results.
+    """
+
+    def __init__(self, snapshot: Snapshot, seconds: float):
+        self.store = snapshot.store
+        self.provenance: Dict = {}
+        self.stats = SolverStats()
+        self.stats.seconds = seconds
+        for name, arity in DERIVED_RELATIONS:
+            rows = self.store.relation(name, arity).rows
+            setattr(self, name, rows)
+            self.stats.facts_derived += len(rows)
+        self.stats.relations = self.store.describe()
+
+    def store_stats(self) -> Dict[str, Dict[str, int]]:
+        return self.store.describe()

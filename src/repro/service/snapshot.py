@@ -1,0 +1,369 @@
+"""The ``repro-snapshot/1`` persistent result format.
+
+A snapshot is one JSON document holding everything a fresh process
+needs to answer queries without re-solving:
+
+* the **analysis config** (abstraction, flavour, m, h, switches);
+* the **input fact set** (so out-of-coverage queries can fall back to
+  the demand-driven analysis, and so ``coverage`` is meaningful);
+* the **solved derived relations** (``pts``, ``hpts``, ``hload``,
+  ``call``, ``reach``, ``spts``, ``texc``) with every attribute routed
+  through one dense :class:`~repro.store.Interner` — entity names and
+  transformer strings are stored once however many rows share them;
+* the **coverage**: either full (an exhaustive solve) or the set of
+  variables a demand-mode service had demanded when it saved;
+* a **content digest** (SHA-256 over the canonical body) verified on
+  load.
+
+Layout::
+
+    {"schema": "repro-snapshot/1", "digest": "<sha256 of body>",
+     "body": {"config": {...}, "interner": [...],
+              "facts": {...}, "relations": {...},
+              "coverage": null | [var ids], "counts": {...}}}
+
+Integrity failures, schema mismatches and config mismatches all raise
+:class:`SnapshotError` with a message naming the offending field —
+a snapshot must never silently answer for the wrong analysis.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
+
+from repro.core.config import AnalysisConfig
+from repro.core.contexts import ERR, _ErrContext
+from repro.core.sensitivity import Flavour
+from repro.core.transformer_strings import TransformerString
+from repro.frontend.factgen import FactSet
+from repro.store import (
+    Interner,
+    SerializationError,
+    TupleStore,
+    interner_from_payload,
+    interner_to_payload,
+    register_value_codec,
+    relation_from_payload,
+    relation_to_payload,
+)
+
+SNAPSHOT_SCHEMA = "repro-snapshot/1"
+
+#: The derived relations of one solver run, with their arities.
+DERIVED_RELATIONS: Tuple[Tuple[str, int], ...] = (
+    ("pts", 3), ("hpts", 4), ("hload", 4), ("call", 3),
+    ("reach", 2), ("spts", 3), ("texc", 3),
+)
+
+#: Config fields persisted and compared on load.
+_CONFIG_FIELDS = (
+    "abstraction", "flavour", "m", "h",
+    "eliminate_subsumed", "naive_transformer_index",
+)
+
+
+class SnapshotError(ValueError):
+    """A snapshot that cannot be trusted: bad schema, digest or config."""
+
+
+# Domain codecs for the store-level value serializer.  Registration is
+# idempotent, so importing this module twice is harmless.
+register_value_codec(
+    "ts",
+    TransformerString,
+    lambda t: [list(t.pops), 1 if t.wildcard else 0, list(t.pushes)],
+    lambda p: TransformerString(tuple(p[0]), bool(p[1]), tuple(p[2])),
+)
+register_value_codec("err", _ErrContext, lambda _e: [], lambda _p: ERR)
+
+
+@dataclass
+class Snapshot:
+    """An in-memory snapshot: config + facts + solved store + coverage.
+
+    ``coverage`` is ``None`` for a full (exhaustive) solve, else the
+    frozen set of variables whose answers the stored relations are
+    complete for.
+    """
+
+    config: AnalysisConfig
+    facts: FactSet
+    store: TupleStore
+    coverage: Optional[FrozenSet[str]] = None
+
+    def covers(self, var: str) -> bool:
+        """True iff the stored relations fully answer for ``var``."""
+        return self.coverage is None or var in self.coverage
+
+    def relation_counts(self) -> Dict[str, int]:
+        return {
+            name: len(self.store.relation(name, arity))
+            for name, arity in DERIVED_RELATIONS
+        }
+
+
+def snapshot_from_relations(
+    config: AnalysisConfig,
+    facts: FactSet,
+    relations: Dict[str, Iterable[Tuple]],
+    coverage: Optional[Iterable[str]] = None,
+) -> Snapshot:
+    """Build a snapshot from raw derived row sets (solver attributes)."""
+    store = TupleStore()
+    for name, arity in DERIVED_RELATIONS:
+        relation = store.relation(name, arity, track_delta=False)
+        for row in relations.get(name, ()):
+            relation.load(row)
+    return Snapshot(
+        config=config,
+        facts=facts,
+        store=store,
+        coverage=None if coverage is None else frozenset(coverage),
+    )
+
+
+# -- config ------------------------------------------------------------------
+
+
+def _config_to_payload(config: AnalysisConfig) -> Dict:
+    return {
+        "abstraction": config.abstraction,
+        "flavour": config.flavour.value,
+        "m": config.m,
+        "h": config.h,
+        "eliminate_subsumed": config.eliminate_subsumed,
+        "naive_transformer_index": config.naive_transformer_index,
+    }
+
+
+def _config_from_payload(payload: Dict) -> AnalysisConfig:
+    try:
+        return AnalysisConfig(
+            abstraction=payload["abstraction"],
+            flavour=Flavour(payload["flavour"]),
+            m=payload["m"],
+            h=payload["h"],
+            eliminate_subsumed=payload.get("eliminate_subsumed", False),
+            naive_transformer_index=payload.get(
+                "naive_transformer_index", False
+            ),
+        )
+    except (KeyError, ValueError) as error:
+        raise SnapshotError(f"snapshot config is invalid: {error}") from error
+
+
+def check_config(expected: AnalysisConfig, loaded: AnalysisConfig) -> None:
+    """Raise :class:`SnapshotError` naming every differing config field."""
+    expected_payload = _config_to_payload(expected)
+    loaded_payload = _config_to_payload(loaded)
+    mismatches = [
+        f"{field}: snapshot has {loaded_payload[field]!r},"
+        f" requested {expected_payload[field]!r}"
+        for field in _CONFIG_FIELDS
+        if expected_payload[field] != loaded_payload[field]
+    ]
+    if mismatches:
+        raise SnapshotError(
+            "snapshot config mismatch — " + "; ".join(mismatches)
+        )
+
+
+# -- facts -------------------------------------------------------------------
+
+
+def _facts_to_payload(facts: FactSet, interner: Interner) -> Dict:
+    out: Dict = {}
+    for name in facts.relation_names():
+        out[name] = sorted(
+            [interner.intern(value) for value in row]
+            for row in getattr(facts, name)
+        )
+    out["class_of"] = sorted(
+        [interner.intern(k), interner.intern(v)]
+        for k, v in facts.class_of.items()
+    )
+    out["invocation_parent"] = sorted(
+        [interner.intern(k), interner.intern(v)]
+        for k, v in facts.invocation_parent.items()
+    )
+    out["main_method"] = facts.main_method
+    return out
+
+
+def _facts_from_payload(payload: Dict, interner: Interner) -> FactSet:
+    facts = FactSet()
+    for name in facts.relation_names():
+        setattr(facts, name, {
+            tuple(interner.value_of(symbol) for symbol in row)
+            for row in payload[name]
+        })
+    facts.class_of = {
+        interner.value_of(k): interner.value_of(v)
+        for k, v in payload["class_of"]
+    }
+    facts.invocation_parent = {
+        interner.value_of(k): interner.value_of(v)
+        for k, v in payload["invocation_parent"]
+    }
+    facts.main_method = payload["main_method"]
+    return facts
+
+
+# -- write / read ------------------------------------------------------------
+
+
+def _canonical(body: Dict) -> str:
+    return json.dumps(body, sort_keys=True, separators=(",", ":"))
+
+
+def _digest(body: Dict) -> str:
+    return hashlib.sha256(_canonical(body).encode("utf-8")).hexdigest()
+
+
+def snapshot_to_document(snapshot: Snapshot) -> Dict:
+    """The full JSON document (schema header + digested body)."""
+    interner = Interner()
+    relations = {
+        name: relation_to_payload(
+            snapshot.store.relation(name, arity), interner
+        )
+        for name, arity in DERIVED_RELATIONS
+    }
+    facts = _facts_to_payload(snapshot.facts, interner)
+    coverage = (
+        None
+        if snapshot.coverage is None
+        else sorted(interner.intern(var) for var in snapshot.coverage)
+    )
+    body = {
+        "config": _config_to_payload(snapshot.config),
+        # Interner last: interning above populated it densely.
+        "interner": interner_to_payload(interner),
+        "facts": facts,
+        "relations": relations,
+        "coverage": coverage,
+        "counts": snapshot.relation_counts(),
+    }
+    return {
+        "schema": SNAPSHOT_SCHEMA,
+        "digest": _digest(body),
+        "body": body,
+    }
+
+
+def write_snapshot(snapshot: Snapshot, path: str) -> None:
+    """Serialize ``snapshot`` to ``path`` (atomic enough: single write)."""
+    document = snapshot_to_document(snapshot)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+        handle.write("\n")
+
+
+def _load_document(path: str) -> Dict:
+    try:
+        with open(path, encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, json.JSONDecodeError) as error:
+        raise SnapshotError(f"cannot read snapshot {path}: {error}") from error
+    if not isinstance(document, dict) or "schema" not in document:
+        raise SnapshotError(
+            f"{path} is not a repro snapshot (no schema header)"
+        )
+    if document["schema"] != SNAPSHOT_SCHEMA:
+        raise SnapshotError(
+            f"unsupported snapshot schema {document['schema']!r} in {path}"
+            f" (this build reads {SNAPSHOT_SCHEMA!r})"
+        )
+    body = document.get("body")
+    if not isinstance(body, dict):
+        raise SnapshotError(f"snapshot {path} has no body")
+    recomputed = _digest(body)
+    if recomputed != document.get("digest"):
+        raise SnapshotError(
+            f"snapshot {path} failed its integrity check: stored digest"
+            f" {document.get('digest')!r} != recomputed {recomputed!r}"
+            " (file truncated or edited?)"
+        )
+    return document
+
+
+def read_snapshot(
+    path: str, expected_config: Optional[AnalysisConfig] = None
+) -> Snapshot:
+    """Load and verify a snapshot; optionally pin the expected config.
+
+    Raises :class:`SnapshotError` on schema mismatch, digest mismatch,
+    malformed payloads, or (when ``expected_config`` is given) a config
+    that differs from the one the snapshot was solved under.
+    """
+    body = _load_document(path)["body"]
+    config = _config_from_payload(body["config"])
+    if expected_config is not None:
+        check_config(expected_config, config)
+    try:
+        interner = interner_from_payload(body["interner"])
+        facts = _facts_from_payload(body["facts"], interner)
+        store = TupleStore()
+        for name, arity in DERIVED_RELATIONS:
+            payload = body["relations"][name]
+            if payload["arity"] != arity:
+                raise SnapshotError(
+                    f"snapshot relation {name!r} has arity"
+                    f" {payload['arity']}, expected {arity}"
+                )
+            # Rebuild through the store hook, then adopt the relation
+            # into the store under its name (relations() is the live
+            # registry view).
+            store.relations()[name] = relation_from_payload(
+                payload, interner, counters=store.counters(name),
+                track_delta=False,
+            )
+        coverage = body.get("coverage")
+        if coverage is not None:
+            coverage = frozenset(
+                interner.value_of(symbol) for symbol in coverage
+            )
+    except (KeyError, IndexError, SerializationError) as error:
+        raise SnapshotError(
+            f"snapshot {path} is malformed: {error}"
+        ) from error
+    return Snapshot(
+        config=config, facts=facts, store=store, coverage=coverage
+    )
+
+
+def describe_snapshot(path: str) -> Dict:
+    """The self-check report for ``repro lint`` on a snapshot file.
+
+    Verifies schema and digest (raising :class:`SnapshotError` on
+    failure) and reports schema version, config, per-relation row
+    counts, interner size, coverage mode and the digest.
+    """
+    document = _load_document(path)
+    body = document["body"]
+    config = _config_from_payload(body["config"])
+    counts = {
+        name: len(body["relations"][name]["rows"])
+        for name, _arity in DERIVED_RELATIONS
+        if name in body.get("relations", {})
+    }
+    declared = body.get("counts", {})
+    if declared and declared != counts:
+        raise SnapshotError(
+            f"snapshot {path} declares counts {declared} but stores {counts}"
+        )
+    coverage = body.get("coverage")
+    return {
+        "schema": document["schema"],
+        "digest": document["digest"],
+        "config": config.describe(),
+        "relations": counts,
+        "interner_values": len(body["interner"]),
+        "coverage": "full" if coverage is None else len(coverage),
+        "input_facts": sum(
+            len(body["facts"][name]) for name in FactSet().relation_names()
+        ),
+    }

@@ -38,11 +38,27 @@ Components:
     Derives the column-subset indices a Datalog program's joins will
     probe, up front, by reusing the binding-order analysis of
     :mod:`repro.lint`.
+
+:mod:`repro.store.serialize`
+    Serialization hooks — tagged value codec (extensible via
+    :func:`register_value_codec`), interner and relation payloads —
+    used by the :mod:`repro.service` snapshot format to persist a
+    solved store and load it back without re-solving.
 """
 
 from repro.store.interner import Interner
 from repro.store.relation import Relation, Row, multimap
 from repro.store.index import KeyedIndex
+from repro.store.serialize import (
+    SerializationError,
+    decode_value,
+    encode_value,
+    interner_from_payload,
+    interner_to_payload,
+    register_value_codec,
+    relation_from_payload,
+    relation_to_payload,
+)
 from repro.store.stats import RelationCounters
 from repro.store.store import TupleStore
 from repro.store.planner import plan_indices
@@ -53,7 +69,15 @@ __all__ = [
     "Relation",
     "RelationCounters",
     "Row",
+    "SerializationError",
     "TupleStore",
+    "decode_value",
+    "encode_value",
+    "interner_from_payload",
+    "interner_to_payload",
     "multimap",
     "plan_indices",
+    "register_value_codec",
+    "relation_from_payload",
+    "relation_to_payload",
 ]

@@ -1,0 +1,167 @@
+"""Serialization hooks for the relation-store substrate.
+
+The snapshot format of :mod:`repro.service` persists a solved
+:class:`~repro.store.store.TupleStore` so a later process can answer
+queries without re-solving.  The store layer owns the mechanics — how a
+value, an :class:`~repro.store.interner.Interner` and a
+:class:`~repro.store.relation.Relation` become JSON-compatible payloads
+and come back *identical* — while the service layer owns the file
+format (schema header, digest, config).
+
+Values are encoded with a small tagged scheme: a plain ``str`` encodes
+as itself (the overwhelmingly common case: entity names and heap-site
+labels), everything else as a ``[tag, …]`` list.  Built-in tags cover
+``int``, ``bool``, ``None`` and (nested) ``tuple``; domain types that
+live above the store — e.g. transformer strings — register their own
+codec via :func:`register_value_codec`, keeping the layering intact
+(the store never imports :mod:`repro.core`).
+
+Round-trip guarantees (property-tested in
+``tests/store/test_serialize.py``):
+
+* ``decode_value(encode_value(v)) == v`` for every supported value;
+* an interner rebuilt from its payload assigns the **same dense ids**
+  to the same values, in the same order;
+* a relation rebuilt from its payload holds an identical row set.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Optional, Tuple, Type
+
+from repro.store.interner import Interner
+from repro.store.relation import Relation
+from repro.store.stats import RelationCounters
+
+
+class SerializationError(ValueError):
+    """An unsupported value or a malformed payload."""
+
+
+#: tag -> decoder(payload_list) -> value
+_DECODERS: Dict[str, Callable[[List], Hashable]] = {}
+#: (class, tag, encoder(value) -> payload_list), probed in order.
+_CLASS_ENCODERS: List[Tuple[Type, str, Callable]] = []
+
+
+def register_value_codec(
+    tag: str,
+    cls: Type,
+    encode: Callable[[object], List],
+    decode: Callable[[List], Hashable],
+) -> None:
+    """Register a codec for a domain type the store itself doesn't know.
+
+    ``encode`` maps an instance to the payload list *after* the tag;
+    ``decode`` receives that list back.  Registration is idempotent per
+    tag (re-registering the same tag replaces the codec).
+    """
+    _DECODERS[tag] = decode
+    for index, (existing_cls, existing_tag, _) in enumerate(_CLASS_ENCODERS):
+        if existing_tag == tag:
+            _CLASS_ENCODERS[index] = (cls, tag, encode)
+            return
+    _CLASS_ENCODERS.append((cls, tag, encode))
+
+
+def encode_value(value: Hashable):
+    """Encode one attribute value as a JSON-compatible payload."""
+    if isinstance(value, str):
+        return value
+    if isinstance(value, bool):  # before int: bool subclasses int
+        return ["b", 1 if value else 0]
+    if isinstance(value, int):
+        return ["i", value]
+    if value is None:
+        return ["n"]
+    if isinstance(value, tuple):
+        return ["u"] + [encode_value(item) for item in value]
+    for cls, tag, encode in _CLASS_ENCODERS:
+        if isinstance(value, cls):
+            return [tag] + encode(value)
+    raise SerializationError(
+        f"cannot serialize value of type {type(value).__name__}: {value!r}"
+    )
+
+
+def decode_value(payload) -> Hashable:
+    """Invert :func:`encode_value`."""
+    if isinstance(payload, str):
+        return payload
+    if not isinstance(payload, list) or not payload:
+        raise SerializationError(f"malformed value payload: {payload!r}")
+    tag = payload[0]
+    if tag == "u":
+        return tuple(decode_value(item) for item in payload[1:])
+    if tag == "i":
+        return int(payload[1])
+    if tag == "b":
+        return bool(payload[1])
+    if tag == "n":
+        return None
+    decoder = _DECODERS.get(tag)
+    if decoder is None:
+        raise SerializationError(f"unknown value tag {tag!r}")
+    return decoder(payload[1:])
+
+
+# -- interner ---------------------------------------------------------------
+
+
+def interner_to_payload(interner: Interner) -> List:
+    """The interner's values in dense-id order (id == list position)."""
+    return [encode_value(interner.value_of(i)) for i in range(len(interner))]
+
+
+def interner_from_payload(payload: List) -> Interner:
+    """Rebuild an interner assigning the same ids to the same values."""
+    interner = Interner()
+    for position, encoded in enumerate(payload):
+        symbol = interner.intern(decode_value(encoded))
+        if symbol != position:
+            raise SerializationError(
+                f"interner payload not dense: value at position {position}"
+                f" re-interned as {symbol} (duplicate entry?)"
+            )
+    return interner
+
+
+# -- relations --------------------------------------------------------------
+
+
+def relation_to_payload(relation: Relation, interner: Interner) -> Dict:
+    """One relation as ``{name, arity, rows}`` with interned attributes.
+
+    Every attribute value is routed through ``interner`` (shared across
+    the relations of one store so repeated entity names are stored
+    once); rows are sorted for a canonical, digest-stable payload.
+    """
+    rows = sorted(
+        [interner.intern(value) for value in row] for row in relation.rows
+    )
+    return {"name": relation.name, "arity": relation.arity, "rows": rows}
+
+
+def relation_from_payload(
+    payload: Dict,
+    interner: Interner,
+    counters: Optional[RelationCounters] = None,
+    track_delta: bool = False,
+) -> Relation:
+    """Rebuild a relation, decoding attributes through ``interner``.
+
+    Rows are installed via :meth:`Relation.load` (stable, no frontier)
+    — a snapshot is settled data, not a fixpoint in progress.
+    """
+    relation = Relation(
+        payload["name"], payload["arity"], counters=counters,
+        track_delta=track_delta,
+    )
+    for row in payload["rows"]:
+        if len(row) != relation.arity:
+            raise SerializationError(
+                f"relation {relation.name!r} row {row!r} has"
+                f" {len(row)} attributes, expected {relation.arity}"
+            )
+        relation.load(tuple(interner.value_of(symbol) for symbol in row))
+    return relation

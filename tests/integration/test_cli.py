@@ -150,10 +150,12 @@ class TestFigure6Command:
         out_file = tmp_path / "figure6.json"
         assert main([
             "figure6", "--scale", "1", "--json", str(out_file),
+            "--no-query-latency",
         ]) == 0
         assert "wrote JSON" in capsys.readouterr().out
         data = json.loads(out_file.read_text())
-        assert data["schema"] == "repro-figure6/1"
+        assert data["schema"] == "repro-figure6/2"
+        assert data["query_latency"] is None  # suppressed by the flag
         assert data["scale"] == 1
         assert data["engine"] == "solver"
         assert set(data["geomean"]) == set(data["configurations"])
@@ -166,6 +168,106 @@ class TestFigure6Command:
             assert measurement["seconds"] > 0
             assert measurement["counters"]["pts"]["inserts"] > 0
         assert set(cell["size_decrease"]) == {"pts", "hpts", "call"}
+
+    def test_json_query_latency(self, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "figure6.json"
+        assert main([
+            "figure6", "--scale", "1", "--json", str(out_file),
+        ]) == 0
+        capsys.readouterr()
+        latency = json.loads(out_file.read_text())["query_latency"]
+        assert latency["configuration"] == "2-object+H"
+        for benchmark, entry in latency["benchmarks"].items():
+            assert entry["warm"]["points_to"]["count"] > 0, benchmark
+            assert entry["cold"]["points_to"]["count"] > 0, benchmark
+
+
+class TestSnapshotWorkflow:
+    def test_save_lint_query_round_trip(self, figure1_file, tmp_path, capsys):
+        snap = str(tmp_path / "figure1.snap")
+        assert main([
+            "analyze", figure1_file, "--save-snapshot", snap,
+        ]) == 0
+        assert "wrote snapshot" in capsys.readouterr().out
+
+        assert main(["lint", snap]) == 0
+        lint_out = capsys.readouterr().out
+        assert "repro-snapshot/1" in lint_out
+        assert "(verified)" in lint_out
+        assert "snapshot ok" in lint_out
+
+        assert main(["query", "--snapshot", snap, "--var", "T.main/x2"]) == 0
+        query_out = capsys.readouterr().out
+        assert "T.main/x2 -> {h1}" in query_out
+        assert "snapshot served: 1 warm" in query_out
+
+    def test_snapshot_query_skips_solving(self, figure1_file, tmp_path,
+                                          capsys):
+        from repro.core.solver import Solver
+
+        snap = str(tmp_path / "figure1.snap")
+        main(["analyze", figure1_file, "--save-snapshot", snap])
+        capsys.readouterr()
+        main(["analyze", figure1_file, "--var", "T.main/x1"])
+        analyze_line = capsys.readouterr().out.strip()
+        before = Solver.invocations
+        assert main([
+            "query", "--snapshot", snap,
+            "--var", "T.main/x1", "--var", "T.main/x2",
+        ]) == 0
+        assert Solver.invocations == before
+        out = capsys.readouterr().out
+        assert analyze_line in out  # parity with the exhaustive solver
+
+    def test_lint_rejects_tampered_snapshot(self, figure1_file, tmp_path,
+                                            capsys):
+        import json
+
+        snap = tmp_path / "figure1.snap"
+        main(["analyze", figure1_file, "--save-snapshot", str(snap)])
+        capsys.readouterr()
+        document = json.loads(snap.read_text())
+        document["body"]["counts"]["pts"] += 1
+        snap.write_text(json.dumps(document))
+        assert main(["lint", str(snap)]) == 1
+        assert "error[snapshot]" in capsys.readouterr().err
+
+    def test_query_missing_snapshot_errors(self, tmp_path, capsys):
+        assert main([
+            "query", "--snapshot", str(tmp_path / "absent.snap"),
+            "--var", "x",
+        ]) == 1
+        assert "repro query:" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_stdio_session(self, figure1_file, tmp_path):
+        import json
+        import subprocess
+        import sys
+
+        snap = str(tmp_path / "figure1.snap")
+        main(["analyze", figure1_file, "--save-snapshot", snap])
+        requests = "\n".join(json.dumps(r) for r in [
+            {"id": 1, "op": "ping"},
+            {"id": 2, "op": "points_to", "var": "T.main/x2"},
+            {"id": 3, "op": "shutdown"},
+        ]) + "\n"
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "serve", "--snapshot", snap],
+            input=requests, capture_output=True, text=True, timeout=120,
+        )
+        assert completed.returncode == 0
+        assert "repro serve: ready" in completed.stderr
+        responses = [
+            json.loads(line) for line in completed.stdout.splitlines()
+        ]
+        assert responses[0]["result"] == "repro-serve/1"
+        assert responses[1]["result"] == ["h1"]
+        assert responses[1]["meta"]["path"] == "snapshot"
+        assert responses[2]["result"] == "bye"
 
 
 class TestModuleEntryPoint:
@@ -190,5 +292,7 @@ class TestModuleEntryPoint:
             capture_output=True, text=True, timeout=60,
         )
         assert completed.returncode == 0
-        for command in ("analyze", "query", "facts", "emit", "figure6"):
+        for command in (
+            "analyze", "query", "facts", "emit", "figure6", "serve",
+        ):
             assert command in completed.stdout

@@ -1,0 +1,162 @@
+"""JSON-lines server: stdio round-trips, error handling, TCP mode."""
+
+import io
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.core.analysis import analyze
+from repro.core.config import config_by_name
+from repro.frontend.factgen import facts_from_source
+from repro.frontend.paper_programs import FIGURE_1
+from repro.service.server import (
+    PROTOCOL,
+    ServiceTCPServer,
+    handle_request,
+    serve_stdio,
+)
+from repro.service.service import AnalysisService
+
+
+@pytest.fixture(scope="module")
+def facts():
+    return facts_from_source(FIGURE_1)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return config_by_name("2-object+H", "transformer-string")
+
+
+@pytest.fixture()
+def service(facts, config):
+    return AnalysisService.from_facts(facts, config, solve=True)
+
+
+def _run_stdio(service, requests):
+    lines = "\n".join(json.dumps(r) for r in requests) + "\n"
+    out = io.StringIO()
+    answered = serve_stdio(service, io.StringIO(lines), out)
+    responses = [json.loads(line) for line in out.getvalue().splitlines()]
+    return answered, responses
+
+
+class TestStdio:
+    def test_session_round_trip(self, facts, config, service):
+        result = analyze(facts, config)
+        answered, responses = _run_stdio(service, [
+            {"id": 1, "op": "ping"},
+            {"id": 2, "op": "points_to", "var": "T.id/p"},
+            {"id": 3, "op": "alias", "a": "T.id/p", "b": "T.id2/q"},
+            {"id": 4, "op": "stats"},
+            {"id": 5, "op": "shutdown"},
+        ])
+        assert answered == 5
+        by_id = {r["id"]: r for r in responses}
+        assert by_id[1]["result"] == PROTOCOL
+        assert by_id[2]["ok"]
+        assert by_id[2]["result"] == sorted(result.points_to("T.id/p"))
+        assert by_id[2]["meta"]["path"] == "solved"
+        assert by_id[3]["result"] == result.may_alias("T.id/p", "T.id2/q")
+        assert by_id[4]["result"]["cache"]["misses"] == 2
+        assert by_id[5]["result"] == "bye"
+
+    def test_shutdown_stops_reading(self, service):
+        answered, responses = _run_stdio(service, [
+            {"id": 1, "op": "shutdown"},
+            {"id": 2, "op": "ping"},  # never reached
+        ])
+        assert answered == 1
+        assert len(responses) == 1
+
+    def test_blank_lines_skipped(self, service):
+        out = io.StringIO()
+        answered = serve_stdio(
+            service, io.StringIO('\n\n{"id": 1, "op": "ping"}\n\n'), out
+        )
+        assert answered == 1
+
+    def test_malformed_json_answered_not_fatal(self, service):
+        out = io.StringIO()
+        answered = serve_stdio(
+            service,
+            io.StringIO('this is not json\n{"id": 7, "op": "ping"}\n'),
+            out,
+        )
+        assert answered == 2
+        first, second = [
+            json.loads(line) for line in out.getvalue().splitlines()
+        ]
+        assert first == {
+            "id": None, "ok": False, "error": first["error"],
+        } and "bad JSON" in first["error"]
+        assert second["ok"] and second["id"] == 7
+
+
+class TestHandleRequest:
+    def test_unknown_op(self, service):
+        response = handle_request(service, {"id": 9, "op": "pointsto"})
+        assert not response["ok"]
+        assert "unknown op" in response["error"]
+
+    def test_missing_field(self, service):
+        response = handle_request(service, {"id": 9, "op": "points_to"})
+        assert not response["ok"]
+        assert "var" in response["error"]
+
+    def test_non_object_request(self, service):
+        response = handle_request(service, ["op", "ping"])
+        assert not response["ok"]
+
+    def test_fields_of_serializes_as_dict_of_lists(self, facts, service):
+        heap = sorted(row[0] for row in facts.assign_new)[0]
+        response = handle_request(
+            service, {"id": 1, "op": "fields_of", "heap": heap}
+        )
+        assert response["ok"]
+        for field, sites in response["result"].items():
+            assert isinstance(field, str)
+            assert sites == sorted(sites)
+
+
+class TestTCP:
+    def test_concurrent_connections(self, service):
+        server = ServiceTCPServer(("127.0.0.1", 0), service)
+        host, port = server.server_address[:2]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            def one_session(var):
+                with socket.create_connection((host, port), timeout=5) as s:
+                    handle = s.makefile("rw", encoding="utf-8")
+                    handle.write(json.dumps(
+                        {"id": 1, "op": "points_to", "var": var}
+                    ) + "\n")
+                    handle.write(json.dumps(
+                        {"id": 2, "op": "shutdown"}
+                    ) + "\n")
+                    handle.flush()
+                    return [json.loads(handle.readline()) for _ in range(2)]
+
+            results = {}
+
+            def client(var):
+                results[var] = one_session(var)
+
+            threads = [
+                threading.Thread(target=client, args=(var,))
+                for var in ("T.id/p", "T.id2/q")
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            for var, (first, second) in results.items():
+                assert first["ok"], var
+                assert first["result"], var
+                assert second["result"] == "bye"
+        finally:
+            server.shutdown()
+            server.server_close()

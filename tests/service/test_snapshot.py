@@ -1,0 +1,154 @@
+"""Snapshot format: round-trip, integrity, mismatch errors, and the
+"loads without solving" guarantee."""
+
+import json
+
+import pytest
+
+from repro.core.analysis import analyze
+from repro.core.config import AnalysisConfig, config_by_name
+from repro.core.solver import Solver
+from repro.frontend.factgen import facts_from_source
+from repro.frontend.paper_programs import FIGURE_1
+from repro.service import (
+    SNAPSHOT_SCHEMA,
+    SnapshotError,
+    describe_snapshot,
+    read_snapshot,
+    write_snapshot,
+)
+from repro.service.service import AnalysisService
+from repro.service.snapshot import DERIVED_RELATIONS, snapshot_from_relations
+
+
+@pytest.fixture(scope="module")
+def facts():
+    return facts_from_source(FIGURE_1)
+
+
+def _solved_snapshot(facts, config=AnalysisConfig()):
+    result = analyze(facts, config)
+    relations = {
+        name: getattr(result._solver, name)
+        for name, _arity in DERIVED_RELATIONS
+    }
+    return result, snapshot_from_relations(result.config, facts, relations)
+
+
+class TestRoundTrip:
+    def test_relations_and_facts_survive(self, facts, tmp_path):
+        result, snapshot = _solved_snapshot(facts)
+        path = str(tmp_path / "fig1.snap")
+        write_snapshot(snapshot, path)
+        loaded = read_snapshot(path)
+
+        assert loaded.config == result.config
+        assert loaded.coverage is None
+        for name, arity in DERIVED_RELATIONS:
+            assert (
+                loaded.store.relation(name, arity).rows
+                == getattr(result._solver, name)
+            )
+        assert loaded.facts.counts() == facts.counts()
+        assert loaded.facts.main_method == facts.main_method
+
+    def test_partial_coverage_survives(self, facts, tmp_path):
+        _result, snapshot = _solved_snapshot(facts)
+        snapshot.coverage = frozenset({"T.id/p", "T.main/a"})
+        path = str(tmp_path / "partial.snap")
+        write_snapshot(snapshot, path)
+        loaded = read_snapshot(path)
+        assert loaded.coverage == frozenset({"T.id/p", "T.main/a"})
+        assert loaded.covers("T.id/p")
+        assert not loaded.covers("T.id/q")
+
+    def test_expected_config_accepts_match(self, facts, tmp_path):
+        _result, snapshot = _solved_snapshot(facts)
+        path = str(tmp_path / "fig1.snap")
+        write_snapshot(snapshot, path)
+        read_snapshot(path, expected_config=AnalysisConfig())  # no raise
+
+
+class TestIntegrity:
+    def test_digest_tamper_detected(self, facts, tmp_path):
+        _result, snapshot = _solved_snapshot(facts)
+        path = tmp_path / "fig1.snap"
+        write_snapshot(snapshot, str(path))
+        document = json.loads(path.read_text())
+        document["body"]["counts"]["pts"] += 1
+        path.write_text(json.dumps(document))
+        with pytest.raises(SnapshotError, match="integrity"):
+            read_snapshot(str(path))
+
+    def test_schema_mismatch_rejected(self, facts, tmp_path):
+        _result, snapshot = _solved_snapshot(facts)
+        path = tmp_path / "fig1.snap"
+        write_snapshot(snapshot, str(path))
+        document = json.loads(path.read_text())
+        document["schema"] = "repro-snapshot/99"
+        path.write_text(json.dumps(document))
+        with pytest.raises(SnapshotError, match="repro-snapshot/99"):
+            read_snapshot(str(path))
+
+    def test_config_mismatch_names_fields(self, facts, tmp_path):
+        _result, snapshot = _solved_snapshot(facts)
+        path = str(tmp_path / "fig1.snap")
+        write_snapshot(snapshot, path)
+        other = config_by_name("1-call", "context-string")
+        with pytest.raises(SnapshotError, match="abstraction"):
+            read_snapshot(path, expected_config=other)
+
+    def test_not_json_rejected(self, tmp_path):
+        path = tmp_path / "garbage.snap"
+        path.write_text("class T { }")
+        with pytest.raises(SnapshotError, match="cannot read"):
+            read_snapshot(str(path))
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(SnapshotError, match="cannot read"):
+            read_snapshot(str(tmp_path / "absent.snap"))
+
+
+class TestDescribe:
+    def test_reports_counts_and_digest(self, facts, tmp_path):
+        _result, snapshot = _solved_snapshot(facts)
+        path = str(tmp_path / "fig1.snap")
+        write_snapshot(snapshot, path)
+        report = describe_snapshot(path)
+        assert report["schema"] == SNAPSHOT_SCHEMA
+        assert report["coverage"] == "full"
+        assert report["relations"] == snapshot.relation_counts()
+        assert report["input_facts"] == sum(facts.counts().values())
+
+    def test_count_mismatch_detected(self, facts, tmp_path):
+        _result, snapshot = _solved_snapshot(facts)
+        path = tmp_path / "fig1.snap"
+        write_snapshot(snapshot, str(path))
+        document = json.loads(path.read_text())
+        document["body"]["counts"]["pts"] += 1
+        # Re-digest so only the count lie remains.
+        from repro.service.snapshot import _digest
+
+        document["digest"] = _digest(document["body"])
+        path.write_text(json.dumps(document))
+        with pytest.raises(SnapshotError, match="declares counts"):
+            describe_snapshot(str(path))
+
+
+class TestNoSolverRun:
+    def test_snapshot_service_never_invokes_solver(self, facts, tmp_path):
+        _result, snapshot = _solved_snapshot(facts)
+        path = str(tmp_path / "fig1.snap")
+        write_snapshot(snapshot, path)
+
+        before = Solver.invocations
+        service = AnalysisService.from_snapshot(path)
+        answers = {
+            var: service.points_to(var)
+            for var in ("T.id/p", "T.main/a", "T.id2/q")
+        }
+        for row in facts.virtual_invoke:
+            service.callees(row[0])
+        assert Solver.invocations == before  # zero solver runs
+        assert answers["T.id/p"]  # and the answers are real
+        assert service.stats()["mode"] == "snapshot"
