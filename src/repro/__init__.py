@@ -7,8 +7,9 @@ abstraction and the paper's transformer-string abstraction, the three
 flavours of context sensitivity (call-site, object, type), a Datalog
 substrate with the Section 7 configuration-specialization compiler, a
 CFL-reachability formulation, a Java-subset frontend with Doop-style
-facts I/O, and the benchmark harness that regenerates the paper's
-evaluation tables.
+facts I/O, an incremental evaluation engine (fact deltas with DRed
+retraction), a live-updatable analysis service, and the benchmark
+harness that regenerates the paper's evaluation tables.
 
 Public entry points::
 
@@ -28,6 +29,7 @@ from repro.core.sensitivity import Flavour
 from repro.core.transformer_strings import TransformerString
 from repro.frontend.factgen import FactSet, facts_from_source, generate_facts
 from repro.frontend.parser import parse_program
+from repro.incremental import FactDelta, IncrementalSolver, diff_programs
 
 __version__ = "1.0.0"
 
@@ -35,13 +37,16 @@ __all__ = [
     "AnalysisConfig",
     "AnalysisResult",
     "DemandPointerAnalysis",
+    "FactDelta",
     "FactSet",
     "Flavour",
+    "IncrementalSolver",
     "PAPER_CONFIGURATIONS",
     "PointerAnalysis",
     "TransformerString",
     "analyze",
     "config_by_name",
+    "diff_programs",
     "facts_from_source",
     "generate_facts",
     "parse_program",

@@ -118,8 +118,10 @@ def format_csv(table: Figure6) -> str:
 #: Schema identifier embedded in every JSON export; bump the suffix on
 #: breaking layout changes.  The layout is documented in ``docs/api.md``.
 #: ``/2`` adds the additive ``query_latency`` field (the service
-#: query-latency workload of :mod:`repro.bench.querybench`).
-JSON_SCHEMA = "repro-figure6/2"
+#: query-latency workload of :mod:`repro.bench.querybench`); ``/3``
+#: adds the additive ``incremental`` field (the edit-churn workload of
+#: :mod:`repro.bench.deltabench`).
+JSON_SCHEMA = "repro-figure6/3"
 
 
 def _measurement_json(measurement: Measurement) -> Dict:
@@ -140,20 +142,25 @@ def figure6_json(
     repetitions: Optional[int] = None,
     engine: Optional[str] = None,
     query_latency: Optional[Dict] = None,
+    incremental: Optional[Dict] = None,
 ) -> Dict:
-    """The table as a JSON-serializable dict (schema ``repro-figure6/2``).
+    """The table as a JSON-serializable dict (schema ``repro-figure6/3``).
 
     Top-level keys: ``schema``, the run parameters (``scale``,
     ``repetitions``, ``engine``; ``None`` when unknown), ``benchmarks``,
-    ``configurations``, ``cells``, ``geomean`` and — new in ``/2``,
-    additive — ``query_latency`` (the service query-latency workload of
-    :func:`repro.bench.querybench.run_query_latency`; ``None`` when not
-    measured).  Each cell carries both abstractions' measurements
-    (sizes, CI sizes, total, seconds, and per-relation store counters
-    when available) plus the derived decrease percentages as fractions.
+    ``configurations``, ``cells``, ``geomean``, plus two additive
+    workload fields (``None`` when not measured): ``query_latency``
+    (new in ``/2``, the service query-latency workload of
+    :func:`repro.bench.querybench.run_query_latency`) and
+    ``incremental`` (new in ``/3``, the edit-churn workload of
+    :func:`repro.bench.deltabench.run_delta_churn`).  Each cell carries
+    both abstractions' measurements (sizes, CI sizes, total, seconds,
+    and per-relation store counters when available) plus the derived
+    decrease percentages as fractions.
     """
     return {
         "query_latency": query_latency,
+        "incremental": incremental,
         "schema": JSON_SCHEMA,
         "scale": scale,
         "repetitions": repetitions,
@@ -193,11 +200,13 @@ def format_json(
     repetitions: Optional[int] = None,
     engine: Optional[str] = None,
     query_latency: Optional[Dict] = None,
+    incremental: Optional[Dict] = None,
 ) -> str:
     """:func:`figure6_json` serialized (indented, trailing newline)."""
     return json.dumps(
         figure6_json(table, scale=scale, repetitions=repetitions,
-                     engine=engine, query_latency=query_latency),
+                     engine=engine, query_latency=query_latency,
+                     incremental=incremental),
         indent=2,
     ) + "\n"
 

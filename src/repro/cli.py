@@ -74,6 +74,8 @@ def _analysis_config(args):
 
 
 def cmd_analyze(args) -> int:
+    if args.diff:
+        return _analyze_diff(args)
     facts = _load_facts(args)
     result = analyze(facts, _analysis_config(args))
     if args.var:
@@ -125,6 +127,60 @@ def cmd_analyze(args) -> int:
             f" config {result.config.describe()})"
         )
     return 0
+
+
+def _analyze_diff(args) -> int:
+    """``analyze --diff OLD NEW``: the fact delta between two programs,
+    applied incrementally and priced against a from-scratch solve."""
+    import time
+
+    from repro.core.analysis import PointerAnalysis
+    from repro.frontend.factgen import facts_from_source
+    from repro.incremental import IncrementalSolver, copy_facts, diff_facts
+
+    old_path, new_path = args.diff
+    with open(old_path, encoding="utf-8") as handle:
+        old = facts_from_source(handle.read())
+    with open(new_path, encoding="utf-8") as handle:
+        new = facts_from_source(handle.read())
+    config = _analysis_config(args)
+    delta = diff_facts(old, new)
+    print(f"fact delta ({old_path} -> {new_path}):")
+    for line in delta.describe().splitlines():
+        print(f"  {line}")
+    if delta.is_empty():
+        return 0
+
+    solver = IncrementalSolver(copy_facts(old), config)
+    outcome = solver.apply_delta(delta)
+    start = time.perf_counter()
+    scratch_result = PointerAnalysis(copy_facts(new), config).run()
+    scratch_seconds = time.perf_counter() - start
+    changed = ", ".join(
+        f"{kind} +{len(outcome.added.get(kind, ()))}"
+        f"/-{len(outcome.removed.get(kind, ()))}"
+        for kind in outcome.changed_relations()
+    ) or "nothing"
+    print(f"\nderived changes: {changed}")
+    print(
+        f"engine: {outcome.rederived} rederived, {outcome.deleted} deleted,"
+        f" {outcome.reused} reused"
+        + (f" (fallback: {outcome.reason})" if outcome.fallback else "")
+    )
+    speedup = (
+        scratch_seconds / outcome.seconds if outcome.seconds > 0 else 0.0
+    )
+    print(
+        f"incremental {outcome.seconds * 1000:.2f}ms vs scratch"
+        f" {scratch_seconds * 1000:.2f}ms ({speedup:.1f}x)"
+    )
+    scratch_solver = scratch_result._solver
+    identical = all(
+        rows == set(getattr(scratch_solver, kind))
+        for kind, rows in solver.relation_rows().items()
+    )
+    print(f"parity with scratch solve: {'ok' if identical else 'MISMATCH'}")
+    return 0 if identical else 1
 
 
 def _store_stats_table(stats) -> str:
@@ -187,8 +243,11 @@ def cmd_query(args) -> int:
             return 1
         print(
             f"snapshot: {args.snapshot}"
-            f" (config {service.config.describe()})"
+            f" (config {service.config.describe()},"
+            f" generation {service.generation})"
         )
+        if args.source or args.facts_dir:
+            _warn_stale_snapshot(args, service)
     else:
         # Demand-only mode: nothing is solved beyond the queried slice,
         # and repeated --var arguments share one demand instance.
@@ -217,6 +276,26 @@ def cmd_query(args) -> int:
             f" ({sliced / total * 100 if total else 0:.0f}%)"
         )
     return 0
+
+
+def _warn_stale_snapshot(args, service) -> None:
+    """``query --snapshot`` with a program too: refuse to answer
+    silently when the snapshot's facts differ from the program's."""
+    from repro.incremental import diff_facts
+
+    supplied = _load_facts(args)
+    delta = diff_facts(service.facts, supplied)
+    if delta.is_empty():
+        return
+    print(
+        f"warning: snapshot (generation {service.generation}) is stale"
+        f" against the supplied program —"
+        f" {delta.total_added} fact(s) missing,"
+        f" {delta.total_removed} extra; answers below reflect the"
+        " snapshot, not the program (re-solve or `serve` + `update`"
+        " to refresh)",
+        file=sys.stderr,
+    )
 
 
 def cmd_serve(args) -> int:
@@ -433,10 +512,16 @@ def cmd_figure6(args) -> int:
             from repro.bench.querybench import run_query_latency
 
             query_latency = run_query_latency(scale=args.scale)
+        incremental = None
+        if not args.no_incremental:
+            from repro.bench.deltabench import run_delta_churn
+
+            incremental = run_delta_churn(scale=args.scale)
         with open(args.json, "w", encoding="utf-8") as handle:
             handle.write(format_json(
                 table, scale=args.scale, repetitions=args.repetitions,
                 engine="solver", query_latency=query_latency,
+                incremental=incremental,
             ))
         print(f"\nwrote JSON to {args.json}")
     return 0
@@ -483,7 +568,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_analyze.add_argument(
         "--save-snapshot", metavar="PATH",
-        help="persist the solved result as a repro-snapshot/1 file",
+        help="persist the solved result as a repro-snapshot/2 file",
+    )
+    p_analyze.add_argument(
+        "--diff", nargs=2, metavar=("OLD", "NEW"),
+        help="diff two source files, apply the delta incrementally and"
+        " report incremental-vs-scratch timings",
     )
     p_analyze.set_defaults(func=cmd_analyze)
 
@@ -505,7 +595,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_query.add_argument(
         "--snapshot", metavar="PATH",
-        help="answer from this repro-snapshot/1 file (no solving at all)",
+        help="answer from this snapshot file (no solving at all);"
+        " with a source/facts program too, warns when the snapshot"
+        " is stale",
     )
     p_query.set_defaults(func=cmd_query)
 
@@ -524,7 +616,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument(
         "--snapshot", metavar="PATH",
-        help="serve from this repro-snapshot/1 file (no solving)",
+        help="serve from this repro-snapshot/2 file (no solving)",
     )
     p_serve.add_argument(
         "--demand", action="store_true",
@@ -599,11 +691,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument(
         "--json",
         help="also write machine-readable JSON here"
-        " (schema repro-figure6/2, see docs/api.md)",
+        " (schema repro-figure6/3, see docs/api.md)",
     )
     p_fig.add_argument(
         "--no-query-latency", action="store_true",
         help="omit the service query-latency workload from the JSON",
+    )
+    p_fig.add_argument(
+        "--no-incremental", action="store_true",
+        help="omit the incremental edit-churn workload from the JSON",
     )
     p_fig.set_defaults(func=cmd_figure6)
     return parser

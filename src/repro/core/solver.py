@@ -118,6 +118,13 @@ class Solver:
         # AnalysisResult.explain for the rendered derivation trees.
         self.track_provenance = track_provenance
         self.provenance: Dict[Tuple, Tuple] = {}
+        # Support-instance graph for incremental maintenance (see
+        # repro.incremental): None in batch mode (zero cost); after
+        # enable_support_tracking(), every add_* call records its
+        # (rule, premises) instance under the conclusion's key, with a
+        # reverse premise → instances index for DRed cascades.
+        self.support: Dict[Tuple, set] = None
+        self.uses: Dict[Tuple, set] = None
         self.stats = SolverStats()
         self._build_input_indices()
         self._init_derived()
@@ -126,62 +133,93 @@ class Solver:
     # Input indexing.
     # ------------------------------------------------------------------
 
-    def _build_input_indices(self) -> None:
+    def _build_input_indices(self, only: Optional[set] = None) -> None:
+        """(Re)build the per-relation join multimaps from ``self.facts``.
+
+        ``only`` restricts the rebuild to the indices derived from the
+        named input relations — the incremental engine passes the
+        relations a delta touched, so a one-row edit does not pay a
+        whole-program rebuild.
+        """
         facts = self.facts
-        self.assign_by_src = multimap((src, dst) for (src, dst) in facts.assign)
-        self.store_by_value = multimap(
-            (x, (f, z)) for (x, f, z) in facts.store
-        )
-        self.store_by_base = multimap(
-            (z, (x, f)) for (x, f, z) in facts.store
-        )
-        self.load_by_base = multimap(
-            (y, (f, z)) for (y, f, z) in facts.load
-        )
-        self.actual_by_var = multimap(
-            (z, (i, o)) for (z, i, o) in facts.actual
-        )
-        self.actual_by_inv = multimap(
-            (i, (z, o)) for (z, i, o) in facts.actual
-        )
-        self.formal_at = multimap(
-            ((p, o), y) for (y, p, o) in facts.formal
-        )
-        self.assign_return_by_inv = multimap(facts.assign_return)
-        self.return_by_var = multimap(facts.return_var)
-        self.returns_of_method = multimap(
-            (p, z) for (z, p) in facts.return_var
-        )
-        self.virtual_by_recv = multimap(
-            (z, (i, s)) for (i, z, s) in facts.virtual_invoke
-        )
-        self.heap_type_of: Dict[str, str] = dict(facts.heap_type)
-        self.implements_at = multimap(
-            ((t, s), q) for (q, t, s) in facts.implements
-        )
-        self.this_var_of: Dict[str, str] = {
-            method: var for (var, method) in facts.this_var
-        }
-        self.assign_new_by_method = multimap(
-            (p, (h, y)) for (h, y, p) in facts.assign_new
-        )
-        self.static_invokes_in = multimap(
-            (p, (i, q)) for (i, q, p) in facts.static_invoke
-        )
+
+        def want(relation: str) -> bool:
+            return only is None or relation in only
+
+        if want("assign"):
+            self.assign_by_src = multimap(
+                (src, dst) for (src, dst) in facts.assign
+            )
+        if want("store"):
+            self.store_by_value = multimap(
+                (x, (f, z)) for (x, f, z) in facts.store
+            )
+            self.store_by_base = multimap(
+                (z, (x, f)) for (x, f, z) in facts.store
+            )
+        if want("load"):
+            self.load_by_base = multimap(
+                (y, (f, z)) for (y, f, z) in facts.load
+            )
+        if want("actual"):
+            self.actual_by_var = multimap(
+                (z, (i, o)) for (z, i, o) in facts.actual
+            )
+            self.actual_by_inv = multimap(
+                (i, (z, o)) for (z, i, o) in facts.actual
+            )
+        if want("formal"):
+            self.formal_at = multimap(
+                ((p, o), y) for (y, p, o) in facts.formal
+            )
+        if want("assign_return"):
+            self.assign_return_by_inv = multimap(facts.assign_return)
+        if want("return_var"):
+            self.return_by_var = multimap(facts.return_var)
+            self.returns_of_method = multimap(
+                (p, z) for (z, p) in facts.return_var
+            )
+        if want("virtual_invoke"):
+            self.virtual_by_recv = multimap(
+                (z, (i, s)) for (i, z, s) in facts.virtual_invoke
+            )
+        if want("heap_type"):
+            self.heap_type_of: Dict[str, str] = dict(facts.heap_type)
+        if want("implements"):
+            self.implements_at = multimap(
+                ((t, s), q) for (q, t, s) in facts.implements
+            )
+        if want("this_var"):
+            self.this_var_of: Dict[str, str] = {
+                method: var for (var, method) in facts.this_var
+            }
+        if want("assign_new"):
+            self.assign_new_by_method = multimap(
+                (p, (h, y)) for (h, y, p) in facts.assign_new
+            )
+        if want("static_invoke"):
+            self.static_invokes_in = multimap(
+                (p, (i, q)) for (i, q, p) in facts.static_invoke
+            )
         # Static fields (SSTORE / SLOAD).
-        self.static_store_by_var = multimap(facts.static_store)
-        self.static_load_by_field = multimap(
-            (f, (y, p)) for (f, y, p) in facts.static_load
-        )
-        self.static_loads_in = multimap(
-            (p, (f, y)) for (f, y, p) in facts.static_load
-        )
+        if want("static_store"):
+            self.static_store_by_var = multimap(facts.static_store)
+        if want("static_load"):
+            self.static_load_by_field = multimap(
+                (f, (y, p)) for (f, y, p) in facts.static_load
+            )
+            self.static_loads_in = multimap(
+                (p, (f, y)) for (f, y, p) in facts.static_load
+            )
         # Exceptions (THROW / EPROP / ECATCH).
-        self.throw_by_var = multimap(facts.throw_var)
-        self.catch_vars_of = multimap(
-            (p, y) for (y, p) in facts.catch_var
-        )
-        self.invocation_parent = dict(facts.invocation_parent)
+        if want("throw_var"):
+            self.throw_by_var = multimap(facts.throw_var)
+        if want("catch_var"):
+            self.catch_vars_of = multimap(
+                (p, y) for (y, p) in facts.catch_var
+            )
+        if want("invocation_parent"):
+            self.invocation_parent = dict(facts.invocation_parent)
 
     def _init_derived(self) -> None:
         # One shared store: each derived relation is a counter-
@@ -251,6 +289,45 @@ class Solver:
         for key in self.domain.insert_keys(segment):
             index.add((entity, key), payload)
 
+    def _unindex(self, index, entity, segment, payload) -> None:
+        """Undo :meth:`_index` — same bucket keys, payload discarded."""
+        if self.naive_transformer_index:
+            index.discard((entity, self._NAIVE_KEY), payload)
+            return
+        for key in self.domain.insert_keys(segment):
+            index.discard((entity, key), payload)
+
+    # -- support-instance recording (incremental mode only) ---------------
+
+    def enable_support_tracking(self) -> None:
+        """Record every derivation instance, not just the first.
+
+        ``support[conclusion]`` is the set of ``(rule, premises)``
+        instances observed deriving ``conclusion``; ``uses[premise]``
+        is the reverse index of ``(rule, premises, conclusion)``
+        triples the premise participates in.  Fact keys are the
+        provenance keys, ``(relation, *attributes)``.  The incremental
+        engine's DRed retraction consumes both maps; batch solves keep
+        them ``None`` and pay one predictable-branch test per add.
+        """
+        self.support = {}
+        self.uses = {}
+
+    def _note_support(self, conclusion: Tuple, why) -> None:
+        instance = (why[0], why[1])
+        bucket = self.support.get(conclusion)
+        if bucket is None:
+            self.support[conclusion] = bucket = set()
+        elif instance in bucket:
+            return
+        bucket.add(instance)
+        entry = (why[0], why[1], conclusion)
+        for premise in why[1]:
+            uses_bucket = self.uses.get(premise)
+            if uses_bucket is None:
+                self.uses[premise] = uses_bucket = set()
+            uses_bucket.add(entry)
+
     def _probe(self, index, entity, segment):
         if self.naive_transformer_index:
             yield from index.probe((entity, self._NAIVE_KEY))
@@ -260,6 +337,8 @@ class Solver:
 
     def add_pts(self, var: str, heap: str, trans, why=None) -> None:
         fact = (var, heap, trans)
+        if self.support is not None and why is not None:
+            self._note_support(("pts",) + fact, why)
         if fact in self.pts:
             self.pts_rel.counters.dedup_hits += 1
             self.stats.facts_deduplicated += 1
@@ -277,6 +356,8 @@ class Solver:
     def add_hpts(self, base_heap: str, field: str, heap: str, trans,
                  why=None) -> None:
         fact = (base_heap, field, heap, trans)
+        if self.support is not None and why is not None:
+            self._note_support(("hpts",) + fact, why)
         if fact in self.hpts:
             self.hpts_rel.counters.dedup_hits += 1
             self.stats.facts_deduplicated += 1
@@ -297,6 +378,8 @@ class Solver:
     def add_hload(self, base_heap: str, field: str, var: str, trans,
                   why=None) -> None:
         fact = (base_heap, field, var, trans)
+        if self.support is not None and why is not None:
+            self._note_support(("hload",) + fact, why)
         if not self.hload_rel.add(fact):
             self.stats.facts_deduplicated += 1
             return
@@ -311,6 +394,8 @@ class Solver:
 
     def add_call(self, inv: str, method: str, trans, why=None) -> None:
         fact = (inv, method, trans)
+        if self.support is not None and why is not None:
+            self._note_support(("call",) + fact, why)
         if fact in self.call:
             self.call_rel.counters.dedup_hits += 1
             self.stats.facts_deduplicated += 1
@@ -334,6 +419,8 @@ class Solver:
     def add_reach(self, method: str, context: Tuple[str, ...],
                   why=None) -> None:
         fact = (method, context)
+        if self.support is not None and why is not None:
+            self._note_support(("reach",) + fact, why)
         if not self.reach_rel.add(fact):
             self.stats.facts_deduplicated += 1
             return
@@ -345,6 +432,8 @@ class Solver:
 
     def add_spts(self, field: str, heap: str, trans, why=None) -> None:
         fact = (field, heap, trans)
+        if self.support is not None and why is not None:
+            self._note_support(("spts",) + fact, why)
         if not self.spts_rel.add(fact):
             self.stats.facts_deduplicated += 1
             return
@@ -356,6 +445,8 @@ class Solver:
 
     def add_texc(self, method: str, heap: str, trans, why=None) -> None:
         fact = (method, heap, trans)
+        if self.support is not None and why is not None:
+            self._note_support(("texc",) + fact, why)
         if fact in self.texc:
             self.texc_rel.counters.dedup_hits += 1
             self.stats.facts_deduplicated += 1
@@ -393,6 +484,18 @@ class Solver:
             self.facts.main_method, self.domain.entry_context(),
             why=("ENTRY", (), "program entry point"),
         )
+        self._drain()
+        self.stats.seconds = time.perf_counter() - start
+        self.stats.relations = self.store.describe()
+        return self
+
+    def _drain(self) -> None:
+        """Pop until the worklist empties, firing each fact's rules.
+
+        Factored out of :meth:`solve` so the incremental engine can
+        reuse the dispatch loop after seeding the worklist with delta
+        consequences (see :mod:`repro.incremental.solver`).
+        """
         while self._worklist:
             kind, fact = self._worklist.popleft()
             if kind == "pts":
@@ -409,9 +512,77 @@ class Solver:
                 self._on_spts(*fact)
             else:
                 self._on_texc(*fact)
-        self.stats.seconds = time.perf_counter() - start
-        self.stats.relations = self.store.describe()
-        return self
+
+    # ------------------------------------------------------------------
+    # Retraction (incremental mode only).
+    # ------------------------------------------------------------------
+
+    def retract_derived(self, kind: str, fact: Tuple) -> bool:
+        """Remove one derived fact from its relation and join buckets.
+
+        The inverse of the corresponding ``add_*`` — the row leaves the
+        :class:`Relation`, every :class:`KeyedIndex` bucket that
+        :meth:`_index` filed it under, and the provenance map.  Support
+        bookkeeping is *not* touched here; the DRed driver owns the
+        support/uses maps.  True iff the fact was present.
+        """
+        domain = self.domain
+        if kind == "pts":
+            if not self.pts_rel.retract(fact):
+                return False
+            var, heap, trans = fact
+            self._unindex(
+                self.pts_index, var, domain.key_out(trans), (heap, trans)
+            )
+        elif kind == "hpts":
+            if not self.hpts_rel.retract(fact):
+                return False
+            base_heap, field, heap, trans = fact
+            self._unindex(
+                self.hpts_index, (base_heap, field),
+                domain.key_out(trans), (heap, trans),
+            )
+        elif kind == "hload":
+            if not self.hload_rel.retract(fact):
+                return False
+            base_heap, field, var, trans = fact
+            self._unindex(
+                self.hload_index, (base_heap, field),
+                domain.key_in(trans), (var, trans),
+            )
+        elif kind == "call":
+            if not self.call_rel.retract(fact):
+                return False
+            inv, method, trans = fact
+            self._unindex(
+                self.call_by_inv, inv, domain.key_in(trans), (method, trans)
+            )
+            self._unindex(
+                self.call_by_callee, method,
+                domain.key_out(trans), (inv, trans),
+            )
+        elif kind == "reach":
+            if not self.reach_rel.retract(fact):
+                return False
+            method, context = fact
+            self.reach_by_method.discard(method, context)
+        elif kind == "spts":
+            if not self.spts_rel.retract(fact):
+                return False
+            field, heap, trans = fact
+            self.spts_by_field.discard(field, (heap, trans))
+        elif kind == "texc":
+            if not self.texc_rel.retract(fact):
+                return False
+            method, heap, trans = fact
+            self._unindex(
+                self.texc_index, method, domain.key_out(trans), (heap, trans)
+            )
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown derived relation {kind!r}")
+        if self.track_provenance:
+            self.provenance.pop((kind,) + fact, None)
+        return True
 
     # ------------------------------------------------------------------
     # Rule firings, grouped by triggering fact.
@@ -540,10 +711,15 @@ class Solver:
                         if this_var is not None:
                             composed = domain.comp(trans, edge, h, m)
                             if composed is not None:
+                                # The call edge is a premise so the
+                                # derivation names its dispatch site —
+                                # two sites sharing a receiver must not
+                                # collapse to one support instance.
                                 self.add_pts(
                                     this_var, heap, composed,
                                     why=("VIRT",
-                                         (("pts", var, heap, trans),),
+                                         (("pts", var, heap, trans),
+                                          ("call", inv, callee, edge)),
                                          f"receiver {var} bound to this"
                                          f" of {callee}"),
                                 )

@@ -1,0 +1,42 @@
+"""Incremental evaluation: fact deltas and DRed maintenance.
+
+The batch pipeline (``frontend`` facts → ``core`` solver → ``service``)
+re-solves from scratch on every program change.  This package maintains
+a solved fixpoint under *edits* instead:
+
+* :mod:`repro.incremental.delta` — :class:`FactDelta`, a typed
+  add/remove edit set over the frontend's input relations, with
+  builders that diff two fact sets or two programs and a JSON codec
+  for the wire protocol;
+* :mod:`repro.incremental.firing` — enumeration of the rule instances
+  a single input row participates in, used symmetrically to seed
+  additions and to kill support on removals;
+* :mod:`repro.incremental.solver` — :class:`IncrementalSolver`,
+  support-counted semi-naive maintenance for additions plus DRed
+  (delete-and-rederive) for retractions over the batch
+  :class:`~repro.core.solver.Solver`;
+* :mod:`repro.incremental.edits` — coherent random edit generation for
+  the equivalence sweeps and the edit-churn benchmark.
+
+The live-update surface (``AnalysisService.apply_delta`` and the
+``update`` op of the JSON-lines protocol) lives in
+:mod:`repro.service` and builds on this package.
+"""
+
+from repro.incremental.delta import (
+    FactDelta,
+    copy_facts,
+    diff_facts,
+    diff_programs,
+)
+from repro.incremental.solver import DeltaResult, DeltaStats, IncrementalSolver
+
+__all__ = [
+    "FactDelta",
+    "copy_facts",
+    "diff_facts",
+    "diff_programs",
+    "DeltaResult",
+    "DeltaStats",
+    "IncrementalSolver",
+]

@@ -1,0 +1,356 @@
+"""Typed edit sets over the frontend's input relations.
+
+A :class:`FactDelta` is the unit of incremental work: per-relation
+added/removed row sets over the seventeen input relations of
+:class:`~repro.frontend.factgen.FactSet`, plus the three auxiliary maps
+(``class_of``, ``invocation_parent``, ``main_method``) whose changes
+ride along with statement edits.
+
+Deltas are built three ways:
+
+* programmatically, via :meth:`FactDelta.add` / :meth:`FactDelta.remove`
+  (the edit generator in :mod:`repro.incremental.edits` does this);
+* by diffing two fact sets (:func:`diff_facts`) or two programs /
+  source texts (:func:`diff_programs`) — the ``analyze --diff`` CLI
+  path;
+* from the JSON wire form (:meth:`FactDelta.from_json`) — the serve
+  protocol's ``update`` op.
+
+The JSON form round-trips exactly (rows are lists; the integer
+positions of ``actual``/``formal`` stay integers)::
+
+    {"added": {"assign": [["T.main/x1", "T.main/x2"]]},
+     "removed": {},
+     "class_of": {"added": {}, "removed": {}},
+     "invocation_parent": {"added": {}, "removed": {}},
+     "main_method": null}
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Set, Tuple, Union
+
+from repro.frontend.factgen import FactSet
+
+#: The input relations a delta may edit, in schema order.
+INPUT_RELATIONS: Tuple[str, ...] = FactSet().relation_names()
+
+#: Variable attribute positions per input relation (mirrors the
+#: service's coverage universe — kept local so the delta layer does not
+#: depend on the service layer).
+_VAR_POSITIONS: Tuple[Tuple[str, Tuple[int, ...]], ...] = (
+    ("actual", (0,)), ("assign", (0, 1)), ("assign_new", (1,)),
+    ("assign_return", (1,)), ("formal", (0,)), ("load", (0, 2)),
+    ("return_var", (0,)), ("store", (0, 2)), ("this_var", (0,)),
+    ("static_load", (1,)), ("static_store", (0,)), ("throw_var", (0,)),
+    ("catch_var", (0,)), ("virtual_invoke", (1,)),
+)
+
+#: Invocation-site attribute positions per input relation.
+_SITE_POSITIONS: Tuple[Tuple[str, Tuple[int, ...]], ...] = (
+    ("actual", (1,)), ("assign_return", (0,)), ("static_invoke", (0,)),
+    ("virtual_invoke", (0,)),
+)
+
+#: Heap-site attribute positions per input relation.
+_HEAP_POSITIONS: Tuple[Tuple[str, Tuple[int, ...]], ...] = (
+    ("assign_new", (0,)), ("heap_type", (0,)),
+)
+
+
+def copy_facts(facts: FactSet) -> FactSet:
+    """An independent deep-enough copy of a fact set.
+
+    Rows are immutable tuples, so copying the containers suffices.
+    Used wherever a delta must be applied without mutating the
+    original (equivalence sweeps, ``analyze --diff``).
+    """
+    out = FactSet()
+    for name in INPUT_RELATIONS:
+        setattr(out, name, set(getattr(facts, name)))
+    out.class_of = dict(facts.class_of)
+    out.invocation_parent = dict(facts.invocation_parent)
+    out.main_method = facts.main_method
+    return out
+
+
+@dataclass
+class FactDelta:
+    """An add/remove edit set over the input relations.
+
+    ``added``/``removed`` map relation names to row sets; only edited
+    relations appear.  ``class_of_*`` / ``parent_*`` carry auxiliary
+    map entries keyed by heap site / invocation site.
+    ``main_method_change`` is ``(old, new)`` when the entry point
+    itself changed — the one edit the incremental engine always
+    re-solves for.
+    """
+
+    added: Dict[str, Set[Tuple]] = field(default_factory=dict)
+    removed: Dict[str, Set[Tuple]] = field(default_factory=dict)
+    class_of_added: Dict[str, str] = field(default_factory=dict)
+    class_of_removed: Dict[str, str] = field(default_factory=dict)
+    parent_added: Dict[str, str] = field(default_factory=dict)
+    parent_removed: Dict[str, str] = field(default_factory=dict)
+    main_method_change: Optional[Tuple[Optional[str], Optional[str]]] = None
+
+    # -- builders -------------------------------------------------------
+
+    def add(self, relation: str, row: Iterable) -> "FactDelta":
+        """Record an added input row; returns ``self`` for chaining."""
+        self._check(relation)
+        self.added.setdefault(relation, set()).add(tuple(row))
+        return self
+
+    def remove(self, relation: str, row: Iterable) -> "FactDelta":
+        """Record a removed input row; returns ``self`` for chaining."""
+        self._check(relation)
+        self.removed.setdefault(relation, set()).add(tuple(row))
+        return self
+
+    @staticmethod
+    def _check(relation: str) -> None:
+        if relation not in INPUT_RELATIONS:
+            raise ValueError(
+                f"unknown input relation {relation!r}; expected one of"
+                f" {sorted(INPUT_RELATIONS)}"
+            )
+
+    # -- inspection -----------------------------------------------------
+
+    def is_empty(self) -> bool:
+        return not (
+            any(self.added.values()) or any(self.removed.values())
+            or self.class_of_added or self.class_of_removed
+            or self.parent_added or self.parent_removed
+            or self.main_method_change
+        )
+
+    @property
+    def total_added(self) -> int:
+        return sum(len(rows) for rows in self.added.values())
+
+    @property
+    def total_removed(self) -> int:
+        return sum(len(rows) for rows in self.removed.values())
+
+    def counts(self) -> Dict[str, Tuple[int, int]]:
+        """``{relation: (added, removed)}`` over edited relations."""
+        out: Dict[str, Tuple[int, int]] = {}
+        for name in INPUT_RELATIONS:
+            plus = len(self.added.get(name, ()))
+            minus = len(self.removed.get(name, ()))
+            if plus or minus:
+                out[name] = (plus, minus)
+        return out
+
+    def _touched(self, positions) -> Set[str]:
+        out: Set[str] = set()
+        for name, cols in positions:
+            for rows in (self.added.get(name, ()), self.removed.get(name, ())):
+                for row in rows:
+                    for col in cols:
+                        out.add(row[col])
+        return out
+
+    def changed_variables(self) -> Set[str]:
+        """Variables mentioned by any edited row."""
+        return self._touched(_VAR_POSITIONS)
+
+    def changed_sites(self) -> Set[str]:
+        """Invocation sites mentioned by any edited row."""
+        return self._touched(_SITE_POSITIONS)
+
+    def changed_heaps(self) -> Set[str]:
+        """Heap sites mentioned by any edited row."""
+        out = self._touched(_HEAP_POSITIONS)
+        out.update(self.class_of_added)
+        out.update(self.class_of_removed)
+        return out
+
+    def remaps_entity(self) -> bool:
+        """True when a *surviving* auxiliary-map key changes value.
+
+        ``class_of`` (allocation site → class) and
+        ``invocation_parent`` (call site → containing method) are
+        functional; a key that is both removed and re-added with a
+        different value invalidates derivations the support graph
+        cannot see, so the incremental engine re-solves.
+        """
+        for key, value in self.class_of_added.items():
+            if key in self.class_of_removed \
+                    and self.class_of_removed[key] != value:
+                return True
+        for key, value in self.parent_added.items():
+            if key in self.parent_removed \
+                    and self.parent_removed[key] != value:
+                return True
+        return False
+
+    # -- application ----------------------------------------------------
+
+    def apply_to(self, facts: FactSet) -> FactSet:
+        """Apply the delta to ``facts`` *in place*; returns ``facts``.
+
+        In-place mutation is deliberate: the solver's abstraction
+        domain closes over its fact set's ``class_of`` map, so the
+        incremental engine must patch the very object the domain reads.
+        Removals of absent rows are ignored (a delta built against a
+        stale base still applies cleanly).
+        """
+        for name, rows in self.removed.items():
+            getattr(facts, name).difference_update(rows)
+        for name, rows in self.added.items():
+            getattr(facts, name).update(rows)
+        for key in self.class_of_removed:
+            if key not in self.class_of_added:
+                facts.class_of.pop(key, None)
+        facts.class_of.update(self.class_of_added)
+        for key in self.parent_removed:
+            if key not in self.parent_added:
+                facts.invocation_parent.pop(key, None)
+        facts.invocation_parent.update(self.parent_added)
+        if self.main_method_change is not None:
+            facts.main_method = self.main_method_change[1]
+        return facts
+
+    def applied_copy(self, facts: FactSet) -> FactSet:
+        """A fresh fact set equal to ``facts`` with the delta applied."""
+        return self.apply_to(copy_facts(facts))
+
+    def inverted(self) -> "FactDelta":
+        """The delta that undoes this one."""
+        main = self.main_method_change
+        return FactDelta(
+            added={name: set(rows) for name, rows in self.removed.items()},
+            removed={name: set(rows) for name, rows in self.added.items()},
+            class_of_added=dict(self.class_of_removed),
+            class_of_removed=dict(self.class_of_added),
+            parent_added=dict(self.parent_removed),
+            parent_removed=dict(self.parent_added),
+            main_method_change=(
+                None if main is None else (main[1], main[0])
+            ),
+        )
+
+    # -- JSON codec -----------------------------------------------------
+
+    def to_json(self) -> Dict:
+        """The wire form (plain JSON types, deterministic ordering)."""
+        return {
+            "added": {
+                name: sorted(list(row) for row in rows)
+                for name, rows in sorted(self.added.items()) if rows
+            },
+            "removed": {
+                name: sorted(list(row) for row in rows)
+                for name, rows in sorted(self.removed.items()) if rows
+            },
+            "class_of": {
+                "added": dict(sorted(self.class_of_added.items())),
+                "removed": dict(sorted(self.class_of_removed.items())),
+            },
+            "invocation_parent": {
+                "added": dict(sorted(self.parent_added.items())),
+                "removed": dict(sorted(self.parent_removed.items())),
+            },
+            "main_method": (
+                None if self.main_method_change is None
+                else list(self.main_method_change)
+            ),
+        }
+
+    @classmethod
+    def from_json(cls, payload: Dict) -> "FactDelta":
+        """Decode the wire form; raises ``ValueError`` on bad shapes."""
+        if not isinstance(payload, dict):
+            raise ValueError("delta must be a JSON object")
+        delta = cls()
+        for bucket, sink in (("added", delta.added),
+                             ("removed", delta.removed)):
+            entries = payload.get(bucket, {})
+            if not isinstance(entries, dict):
+                raise ValueError(f"delta {bucket!r} must be an object")
+            for name, rows in entries.items():
+                cls._check(name)
+                sink[name] = {tuple(row) for row in rows}
+        for section, added, removed in (
+            ("class_of", delta.class_of_added, delta.class_of_removed),
+            ("invocation_parent", delta.parent_added, delta.parent_removed),
+        ):
+            entries = payload.get(section, {})
+            if not isinstance(entries, dict):
+                raise ValueError(f"delta {section!r} must be an object")
+            added.update(entries.get("added", {}))
+            removed.update(entries.get("removed", {}))
+        main = payload.get("main_method")
+        if main is not None:
+            if not isinstance(main, (list, tuple)) or len(main) != 2:
+                raise ValueError(
+                    "delta 'main_method' must be [old, new] or null"
+                )
+            delta.main_method_change = (main[0], main[1])
+        return delta
+
+    def describe(self) -> str:
+        """One line per edited relation, for CLI display."""
+        lines = []
+        for name, (plus, minus) in self.counts().items():
+            parts = []
+            if plus:
+                parts.append(f"+{plus}")
+            if minus:
+                parts.append(f"-{minus}")
+            lines.append(f"{name}: {' '.join(parts)}")
+        if self.class_of_added or self.class_of_removed:
+            lines.append(
+                f"class_of: +{len(self.class_of_added)}"
+                f" -{len(self.class_of_removed)}"
+            )
+        if self.main_method_change is not None:
+            lines.append(
+                f"main_method: {self.main_method_change[0]}"
+                f" -> {self.main_method_change[1]}"
+            )
+        return "\n".join(lines) if lines else "(empty delta)"
+
+
+# -- diff builders -----------------------------------------------------------
+
+
+def diff_facts(old: FactSet, new: FactSet) -> FactDelta:
+    """The delta transforming ``old`` into ``new``."""
+    delta = FactDelta()
+    for name in INPUT_RELATIONS:
+        old_rows: Set[Tuple] = getattr(old, name)
+        new_rows: Set[Tuple] = getattr(new, name)
+        plus = new_rows - old_rows
+        minus = old_rows - new_rows
+        if plus:
+            delta.added[name] = plus
+        if minus:
+            delta.removed[name] = minus
+    for key, value in new.class_of.items():
+        if old.class_of.get(key) != value:
+            delta.class_of_added[key] = value
+    for key, value in old.class_of.items():
+        if key not in new.class_of or new.class_of[key] != value:
+            delta.class_of_removed[key] = value
+    for key, value in new.invocation_parent.items():
+        if old.invocation_parent.get(key) != value:
+            delta.parent_added[key] = value
+    for key, value in old.invocation_parent.items():
+        if key not in new.invocation_parent \
+                or new.invocation_parent[key] != value:
+            delta.parent_removed[key] = value
+    if old.main_method != new.main_method:
+        delta.main_method_change = (old.main_method, new.main_method)
+    return delta
+
+
+def diff_programs(old: Union[str, FactSet], new: Union[str, FactSet]) -> FactDelta:
+    """Diff two programs (source text, IR program or fact set)."""
+    from repro.core.analysis import _to_facts
+
+    return diff_facts(_to_facts(old), _to_facts(new))

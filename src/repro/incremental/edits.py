@@ -1,0 +1,192 @@
+"""Coherent random edits for equivalence sweeps and churn benchmarks.
+
+:func:`random_edits` produces a stream of ``(kind, FactDelta)`` pairs
+that model realistic single-statement program edits — adding/removing
+an assignment, a field load/store, or an allocation — each coherent
+against the *rolling* fact set (removals pick rows that exist,
+additions reuse in-scope variables, new allocations clone the type and
+class of an existing site so the auxiliary maps stay consistent).
+
+The generator applies each delta to its private rolling copy, so a
+consumer replaying the stream edit-by-edit sees exactly the same
+sequence of fact sets; a consumer that also solves from scratch after
+each edit gets the bit-identical oracle the sweep tests compare
+against.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Tuple
+
+from repro.frontend.factgen import FactSet
+from repro.incremental.delta import FactDelta, copy_facts
+
+#: The edit kinds the generator draws from.
+EDIT_KINDS: Tuple[str, ...] = (
+    "add_assign", "remove_assign",
+    "add_load", "remove_load",
+    "add_store", "remove_store",
+    "add_new", "remove_new",
+)
+
+
+def _variables(facts: FactSet) -> List[str]:
+    out = set()
+    for row in facts.assign:
+        out.update(row)
+    for (var, _inv, _pos) in facts.actual:
+        out.add(var)
+    for (var, _m, _pos) in facts.formal:
+        out.add(var)
+    for (_h, var, _m) in facts.assign_new:
+        out.add(var)
+    for (_i, var) in facts.assign_return:
+        out.add(var)
+    for (base, _f, dst) in facts.load:
+        out.add(base)
+        out.add(dst)
+    for (value, _f, base) in facts.store:
+        out.add(value)
+        out.add(base)
+    for (var, _m) in facts.this_var:
+        out.add(var)
+    return sorted(out)
+
+
+def _fields(facts: FactSet) -> List[str]:
+    out = {row[1] for row in facts.load} | {row[1] for row in facts.store}
+    return sorted(out) if out else ["f"]
+
+
+class _EditSpace:
+    """Candidate enumeration over one rolling fact set."""
+
+    def __init__(self, facts: FactSet, rng: random.Random):
+        self.facts = facts
+        self.rng = rng
+        self._fresh = 0
+
+    def propose(self, kind: str):
+        """A delta for ``kind``, or ``None`` when no candidate exists."""
+        return getattr(self, f"_{kind}")()
+
+    def _pick(self, candidates):
+        candidates = sorted(candidates)
+        if not candidates:
+            return None
+        return candidates[self.rng.randrange(len(candidates))]
+
+    def _add_assign(self):
+        variables = _variables(self.facts)
+        if len(variables) < 2:
+            return None
+        for _ in range(8):
+            src = variables[self.rng.randrange(len(variables))]
+            dst = variables[self.rng.randrange(len(variables))]
+            if src != dst and (src, dst) not in self.facts.assign:
+                return FactDelta().add("assign", (src, dst))
+        return None
+
+    def _remove_assign(self):
+        row = self._pick(self.facts.assign)
+        return None if row is None else FactDelta().remove("assign", row)
+
+    def _add_load(self):
+        variables = _variables(self.facts)
+        fields = _fields(self.facts)
+        if len(variables) < 2:
+            return None
+        for _ in range(8):
+            base = variables[self.rng.randrange(len(variables))]
+            dst = variables[self.rng.randrange(len(variables))]
+            fld = fields[self.rng.randrange(len(fields))]
+            row = (base, fld, dst)
+            if base != dst and row not in self.facts.load:
+                return FactDelta().add("load", row)
+        return None
+
+    def _remove_load(self):
+        row = self._pick(self.facts.load)
+        return None if row is None else FactDelta().remove("load", row)
+
+    def _add_store(self):
+        variables = _variables(self.facts)
+        fields = _fields(self.facts)
+        if len(variables) < 2:
+            return None
+        for _ in range(8):
+            value = variables[self.rng.randrange(len(variables))]
+            base = variables[self.rng.randrange(len(variables))]
+            fld = fields[self.rng.randrange(len(fields))]
+            row = (value, fld, base)
+            if value != base and row not in self.facts.store:
+                return FactDelta().add("store", row)
+        return None
+
+    def _remove_store(self):
+        row = self._pick(self.facts.store)
+        return None if row is None else FactDelta().remove("store", row)
+
+    def _add_new(self):
+        # Clone an existing allocation: same variable, method, type and
+        # class, fresh site label — keeps class_of/heap_type coherent.
+        template = self._pick(self.facts.assign_new)
+        if template is None:
+            return None
+        heap, var, method = template
+        self._fresh += 1
+        fresh = f"{heap}~e{self._fresh}"
+        while any(row[0] == fresh for row in self.facts.heap_type):
+            self._fresh += 1
+            fresh = f"{heap}~e{self._fresh}"
+        heap_class = next(
+            row[1] for row in self.facts.heap_type if row[0] == heap
+        )
+        delta = FactDelta()
+        delta.add("assign_new", (fresh, var, method))
+        delta.add("heap_type", (fresh, heap_class))
+        delta.class_of_added[fresh] = self.facts.class_of[heap]
+        return delta
+
+    def _remove_new(self):
+        # Keep at least one allocation alive so the program stays
+        # interesting (and `main` keeps deriving something).
+        if len(self.facts.assign_new) <= 1:
+            return None
+        row = self._pick(self.facts.assign_new)
+        heap = row[0]
+        delta = FactDelta().remove("assign_new", row)
+        for type_row in [r for r in self.facts.heap_type if r[0] == heap]:
+            delta.remove("heap_type", type_row)
+        if heap in self.facts.class_of:
+            delta.class_of_removed[heap] = self.facts.class_of[heap]
+        return delta
+
+
+def random_edits(
+    facts: FactSet, count: int, seed: int = 0
+) -> Iterator[Tuple[str, FactDelta]]:
+    """Yield ``count`` coherent ``(kind, delta)`` edits from ``seed``.
+
+    Each delta is valid against the fact set produced by applying all
+    previous deltas to ``facts`` (the input object is not mutated).
+    """
+    rng = random.Random(seed)
+    rolling = copy_facts(facts)
+    space = _EditSpace(rolling, rng)
+    produced = 0
+    attempts = 0
+    while produced < count:
+        attempts += 1
+        if attempts > count * 50:
+            raise RuntimeError(
+                f"edit generation stalled after {produced}/{count} edits"
+            )
+        kind = EDIT_KINDS[rng.randrange(len(EDIT_KINDS))]
+        delta = space.propose(kind)
+        if delta is None:
+            continue
+        delta.apply_to(rolling)
+        produced += 1
+        yield kind, delta

@@ -1,0 +1,303 @@
+"""Rule-instance enumeration for single input rows.
+
+Given a solved :class:`~repro.core.solver.Solver` and one input-relation
+row, :func:`input_firings` yields every rule instance the row
+participates in, joining the row against the *current* derived
+relations.  Each yield is ``(kind, fact, why)`` where ``kind`` names the
+derived relation, ``fact`` is the full conclusion tuple (the positional
+arguments of the matching ``add_*``), and ``why`` is byte-identical to
+the triple the batch rules would record.
+
+That identity is the load-bearing property: the incremental engine uses
+the same enumeration for both directions of an edit —
+
+* **additions** replay each instance through ``add_*`` (recording fresh
+  support) and let the worklist drain the cascade;
+* **removals** turn each instance into a support-graph kill,
+  ``(conclusion, (why[0], why[1]))``, matching exactly what
+  :meth:`Solver._note_support` recorded when the instance first fired.
+
+Every enumerator mirrors one rule block of the solver (same premise
+order, same note string, same ``None`` guards on domain operations);
+the equivalence sweeps in ``tests/incremental/`` pin the mirror.
+Removal enumeration must run *before* the fact set is mutated (it reads
+the solver's input indices); addition enumeration must run *after*
+(so paired additions — e.g. an ``actual`` row and its ``formal`` — see
+each other).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Tuple
+
+Firing = Tuple[str, Tuple, Tuple]
+
+
+def _pts_of(solver, var: str):
+    return solver.pts_rel.lookup((0,), (var,))
+
+
+def _pts_by_heap(solver, heap: str):
+    return solver.pts_rel.lookup((1,), (heap,))
+
+
+def _calls_at(solver, inv: str):
+    return solver.call_rel.lookup((0,), (inv,))
+
+
+def _calls_of(solver, method: str):
+    return solver.call_rel.lookup((1,), (method,))
+
+
+def _reach_of(solver, method: str):
+    return solver.reach_rel.lookup((0,), (method,))
+
+
+def _spts_of(solver, fld: str):
+    return solver.spts_rel.lookup((0,), (fld,))
+
+
+def _texc_of(solver, method: str):
+    return solver.texc_rel.lookup((0,), (method,))
+
+
+def _fire_assign(solver, row) -> Iterator[Firing]:
+    src, dst = row
+    for (_, heap, trans) in _pts_of(solver, src):
+        yield ("pts", (dst, heap, trans),
+               ("ASSIGN", (("pts", src, heap, trans),), f"{dst} = {src}"))
+
+
+def _fire_load(solver, row) -> Iterator[Firing]:
+    base, fld, dst = row
+    for (_, heap, trans) in _pts_of(solver, base):
+        yield ("hload", (heap, fld, dst, trans),
+               ("LOAD", (("pts", base, heap, trans),),
+                f"{dst} = {base}.{fld}"))
+
+
+def _fire_store(solver, row) -> Iterator[Firing]:
+    value, fld, base = row
+    domain = solver.domain
+    for (_, heap, trans) in _pts_of(solver, value):
+        for (_, base_heap, base_trans) in _pts_of(solver, base):
+            composed = domain.comp(
+                trans, domain.inv(base_trans), domain.h, domain.h
+            )
+            if composed is not None:
+                yield ("hpts", (base_heap, fld, heap, composed),
+                       ("STORE", (("pts", value, heap, trans),
+                                  ("pts", base, base_heap, base_trans)),
+                        f"{base}.{fld} = {value}"))
+
+
+def _fire_actual(solver, row) -> Iterator[Firing]:
+    arg, inv, position = row
+    domain = solver.domain
+    for (_, heap, trans) in _pts_of(solver, arg):
+        for (_, callee, call_trans) in _calls_at(solver, inv):
+            for formal in solver.formal_at.get((callee, position), ()):
+                composed = domain.comp(trans, call_trans, domain.h, domain.m)
+                if composed is not None:
+                    yield ("pts", (formal, heap, composed),
+                           ("PARAM", (("pts", arg, heap, trans),
+                                      ("call", inv, callee, call_trans)),
+                            f"argument {arg} passed at {inv}"))
+
+
+def _fire_formal(solver, row) -> Iterator[Firing]:
+    formal, method, position = row
+    domain = solver.domain
+    for (inv, _, call_trans) in _calls_of(solver, method):
+        for (arg, arg_position) in solver.actual_by_inv.get(inv, ()):
+            if arg_position != position:
+                continue
+            for (_, heap, trans) in _pts_of(solver, arg):
+                composed = domain.comp(trans, call_trans, domain.h, domain.m)
+                if composed is not None:
+                    yield ("pts", (formal, heap, composed),
+                           ("PARAM", (("pts", arg, heap, trans),
+                                      ("call", inv, method, call_trans)),
+                            f"argument {arg} passed at {inv}"))
+
+
+def _fire_return_var(solver, row) -> Iterator[Firing]:
+    ret_var, method = row
+    domain = solver.domain
+    for (inv, _, call_trans) in _calls_of(solver, method):
+        for dst in solver.assign_return_by_inv.get(inv, ()):
+            for (_, heap, trans) in _pts_of(solver, ret_var):
+                composed = domain.comp(
+                    trans, domain.inv(call_trans), domain.h, domain.m
+                )
+                if composed is not None:
+                    yield ("pts", (dst, heap, composed),
+                           ("RET", (("pts", ret_var, heap, trans),
+                                    ("call", inv, method, call_trans)),
+                            f"{ret_var} returned to {dst} at {inv}"))
+
+
+def _fire_assign_return(solver, row) -> Iterator[Firing]:
+    inv, dst = row
+    domain = solver.domain
+    for (_, callee, call_trans) in _calls_at(solver, inv):
+        for ret_var in solver.returns_of_method.get(callee, ()):
+            for (_, heap, trans) in _pts_of(solver, ret_var):
+                composed = domain.comp(
+                    trans, domain.inv(call_trans), domain.h, domain.m
+                )
+                if composed is not None:
+                    yield ("pts", (dst, heap, composed),
+                           ("RET", (("pts", ret_var, heap, trans),
+                                    ("call", inv, callee, call_trans)),
+                            f"{ret_var} returned to {dst} at {inv}"))
+
+
+def _fire_assign_new(solver, row) -> Iterator[Firing]:
+    heap, var, method = row
+    domain = solver.domain
+    for (_, context) in _reach_of(solver, method):
+        yield ("pts", (var, heap, domain.record(context)),
+               ("NEW", (("reach", method, context),),
+                f"{var} = new … at {heap}"))
+
+
+def _fire_static_invoke(solver, row) -> Iterator[Firing]:
+    inv, callee, method = row
+    domain = solver.domain
+    for (_, context) in _reach_of(solver, method):
+        yield ("call", (inv, callee, domain.merge_s(inv, context)),
+               ("STATIC", (("reach", method, context),),
+                f"static call {inv} in {method}"))
+
+
+def _fire_static_store(solver, row) -> Iterator[Firing]:
+    var, fld = row
+    domain = solver.domain
+    for (_, heap, trans) in _pts_of(solver, var):
+        yield ("spts", (fld, heap, domain.to_global(trans)),
+               ("SSTORE", (("pts", var, heap, trans),), f"{fld} = {var}"))
+
+
+def _fire_static_load(solver, row) -> Iterator[Firing]:
+    fld, var, method = row
+    domain = solver.domain
+    for (_, context) in _reach_of(solver, method):
+        for (_, heap, trans) in _spts_of(solver, fld):
+            yield ("pts", (var, heap, domain.from_global(trans, context)),
+                   ("SLOAD", (("spts", fld, heap, trans),
+                              ("reach", method, context)),
+                    f"{var} = {fld}"))
+
+
+def _fire_throw_var(solver, row) -> Iterator[Firing]:
+    var, method = row
+    for (_, heap, trans) in _pts_of(solver, var):
+        yield ("texc", (method, heap, trans),
+               ("THROW", (("pts", var, heap, trans),),
+                f"throw {var} in {method}"))
+
+
+def _fire_catch_var(solver, row) -> Iterator[Firing]:
+    var, method = row
+    for (_, heap, trans) in _texc_of(solver, method):
+        yield ("pts", (var, heap, trans),
+               ("ECATCH", (("texc", method, heap, trans),),
+                f"caught by {var} in {method}"))
+
+
+def _virt_instances(solver, inv, recv, signature, heap, trans,
+                    only_callee=None) -> Iterator[Firing]:
+    """The VIRT conclusions for one dispatch × one receiver pts fact."""
+    domain = solver.domain
+    heap_class = solver.heap_type_of.get(heap)
+    if heap_class is None:
+        return
+    for callee in solver.implements_at.get((heap_class, signature), ()):
+        if only_callee is not None and callee != only_callee:
+            continue
+        edge = domain.merge(heap, inv, trans)
+        if edge is None:
+            continue
+        yield ("call", (inv, callee, edge),
+               ("VIRT", (("pts", recv, heap, trans),),
+                f"{inv} dispatches to {callee} via {heap}"))
+        this_var = solver.this_var_of.get(callee)
+        if this_var is not None:
+            composed = domain.comp(trans, edge, domain.h, domain.m)
+            if composed is not None:
+                yield ("pts", (this_var, heap, composed),
+                       ("VIRT", (("pts", recv, heap, trans),
+                                 ("call", inv, callee, edge)),
+                        f"receiver {recv} bound to this of {callee}"))
+
+
+def _fire_virtual_invoke(solver, row) -> Iterator[Firing]:
+    inv, recv, signature = row
+    for (_, heap, trans) in _pts_of(solver, recv):
+        yield from _virt_instances(solver, inv, recv, signature, heap, trans)
+
+
+def _fire_heap_type(solver, row) -> Iterator[Firing]:
+    heap, _heap_class = row
+    for (recv, _, trans) in _pts_by_heap(solver, heap):
+        for (inv, signature) in solver.virtual_by_recv.get(recv, ()):
+            yield from _virt_instances(
+                solver, inv, recv, signature, heap, trans
+            )
+
+
+def _fire_implements(solver, row) -> Iterator[Firing]:
+    callee, heap_class, signature = row
+    for (inv, recv, site_signature) in solver.facts.virtual_invoke:
+        if site_signature != signature:
+            continue
+        for (_, heap, trans) in _pts_of(solver, recv):
+            if solver.heap_type_of.get(heap) != heap_class:
+                continue
+            yield from _virt_instances(
+                solver, inv, recv, signature, heap, trans,
+                only_callee=callee,
+            )
+
+
+def _fire_this_var(solver, row) -> Iterator[Firing]:
+    _this, method = row
+    for (inv, recv, signature) in solver.facts.virtual_invoke:
+        for (_, heap, trans) in _pts_of(solver, recv):
+            for firing in _virt_instances(
+                solver, inv, recv, signature, heap, trans,
+                only_callee=method,
+            ):
+                if firing[0] == "pts":
+                    yield firing
+
+
+_FIRINGS = {
+    "assign": _fire_assign,
+    "load": _fire_load,
+    "store": _fire_store,
+    "actual": _fire_actual,
+    "formal": _fire_formal,
+    "return_var": _fire_return_var,
+    "assign_return": _fire_assign_return,
+    "assign_new": _fire_assign_new,
+    "static_invoke": _fire_static_invoke,
+    "static_store": _fire_static_store,
+    "static_load": _fire_static_load,
+    "throw_var": _fire_throw_var,
+    "catch_var": _fire_catch_var,
+    "virtual_invoke": _fire_virtual_invoke,
+    "heap_type": _fire_heap_type,
+    "implements": _fire_implements,
+    "this_var": _fire_this_var,
+}
+
+
+def input_firings(solver, relation: str, row: Tuple) -> Iterator[Firing]:
+    """All rule instances ``row`` participates in, against the current
+    derived relations.  Unknown relations raise ``ValueError``."""
+    enumerate_firings = _FIRINGS.get(relation)
+    if enumerate_firings is None:
+        raise ValueError(f"no rule consumes input relation {relation!r}")
+    return enumerate_firings(solver, row)

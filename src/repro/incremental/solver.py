@@ -1,0 +1,494 @@
+"""Support-counted semi-naive maintenance with DRed retraction.
+
+:class:`IncrementalSolver` owns one batch
+:class:`~repro.core.solver.Solver` with support tracking enabled and
+keeps its fixpoint consistent under :class:`FactDelta` edits:
+
+**Additions** are the easy half: each added input row is joined against
+the current derived relations (:func:`~repro.incremental.firing.
+input_firings`), the resulting instances are replayed through the
+solver's ``add_*`` methods, and one worklist drain completes the
+cascade — plain semi-naive evaluation seeded from the delta.
+
+**Removals** use DRed (delete-and-rederive) over the solver's
+support-instance graph (``support``: conclusion → derivation instances;
+``uses``: premise → instances it feeds):
+
+1. *kill enumeration* — before any mutation, enumerate every recorded
+   instance whose input atoms include a removed row and discard it from
+   the support graph;
+2. *overdelete* — transitively retract every fact with **any**
+   derivation through a killed instance (cascading along ``uses``);
+   over-approximation is what makes cyclic support sound — counting
+   alone would keep mutually-supporting facts alive forever;
+3. *rederive* — re-add every overdeleted fact that retains a support
+   instance whose premises all survived, then drain: the rule engine
+   itself rebuilds the surviving portion of the cascade, re-recording
+   support as it goes;
+4. *purge* — facts that stayed deleted leave the support graph
+   entirely, preserving the invariant that every stored instance has
+   live premises and live input atoms (which is what makes step 1's
+   enumeration complete on the *next* delta).
+
+Edits the support graph cannot see force a recorded fallback to a
+from-scratch solve: an entry-point change, a surviving allocation site
+re-mapped to a different class (the abstraction domain closes over
+``class_of``), a call site re-parented, and the ``eliminate_subsumed``
+ablation (which drops facts without recording why).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.config import AnalysisConfig
+from repro.core.domains import make_domain
+from repro.core.solver import Solver
+from repro.frontend.factgen import FactSet
+from repro.incremental.delta import FactDelta
+from repro.incremental.firing import input_firings
+
+#: The derived relations, in the solver's dispatch order.
+DERIVED_KINDS: Tuple[str, ...] = (
+    "pts", "hpts", "hload", "call", "reach", "spts", "texc",
+)
+
+
+class _LoggingDeque(deque):
+    """A worklist that records every fact pushed through it.
+
+    Swapped in for the solver's worklist during ``apply_delta`` so the
+    set of newly-derived facts falls out of the drain at zero cost to
+    batch solves (which keep the plain deque).
+    """
+
+    def __init__(self):
+        super().__init__()
+        self.log: List[Tuple[str, Tuple]] = []
+
+    def append(self, item) -> None:
+        self.log.append(item)
+        super().append(item)
+
+
+class DeltaStats:
+    """Cumulative counters across all ``apply_delta`` calls."""
+
+    def __init__(self) -> None:
+        self.deltas_applied = 0
+        self.fallback_solves = 0
+        self.input_rows_added = 0
+        self.input_rows_removed = 0
+        self.tuples_added = 0
+        self.tuples_deleted = 0
+        self.tuples_rederived = 0
+        self.tuples_reused = 0
+        self.delta_seconds = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "deltas_applied": self.deltas_applied,
+            "fallback_solves": self.fallback_solves,
+            "input_rows_added": self.input_rows_added,
+            "input_rows_removed": self.input_rows_removed,
+            "tuples_added": self.tuples_added,
+            "tuples_deleted": self.tuples_deleted,
+            "tuples_rederived": self.tuples_rederived,
+            "tuples_reused": self.tuples_reused,
+            "delta_seconds": self.delta_seconds,
+        }
+
+
+class DeltaResult:
+    """The outcome of one ``apply_delta``: net derived-tuple changes.
+
+    ``added``/``removed`` map derived relation names to the rows that
+    net-appeared/net-vanished (a fact deleted and rederived in the same
+    delta appears in neither).  ``fallback`` marks deltas answered by a
+    from-scratch solve, with ``reason`` naming why.
+    """
+
+    def __init__(
+        self,
+        added: Dict[str, Set[Tuple]],
+        removed: Dict[str, Set[Tuple]],
+        rederived: int,
+        deleted: int,
+        reused: int,
+        seconds: float,
+        fallback: bool = False,
+        reason: Optional[str] = None,
+    ):
+        self.added = added
+        self.removed = removed
+        self.rederived = rederived
+        self.deleted = deleted
+        self.reused = reused
+        self.seconds = seconds
+        self.fallback = fallback
+        self.reason = reason
+
+    def changed_relations(self) -> Tuple[str, ...]:
+        """Derived relations whose row sets changed, in schema order."""
+        return tuple(
+            kind for kind in DERIVED_KINDS
+            if self.added.get(kind) or self.removed.get(kind)
+        )
+
+    @property
+    def total_added(self) -> int:
+        return sum(len(rows) for rows in self.added.values())
+
+    @property
+    def total_removed(self) -> int:
+        return sum(len(rows) for rows in self.removed.values())
+
+    def changed_variables(self) -> Set[str]:
+        """Variables whose ``pts`` rows changed (cache invalidation)."""
+        return {
+            row[0]
+            for rows in (self.added.get("pts", ()),
+                         self.removed.get("pts", ()))
+            for row in rows
+        }
+
+    def changed_sites(self) -> Set[str]:
+        """Invocation sites whose ``call`` rows changed."""
+        return {
+            row[0]
+            for rows in (self.added.get("call", ()),
+                         self.removed.get("call", ()))
+            for row in rows
+        }
+
+    def changed_heaps(self) -> Set[str]:
+        """Base heaps whose ``hpts`` rows changed."""
+        return {
+            row[0]
+            for rows in (self.added.get("hpts", ()),
+                         self.removed.get("hpts", ()))
+            for row in rows
+        }
+
+    def as_dict(self) -> Dict:
+        return {
+            "changed": {
+                kind: {
+                    "added": len(self.added.get(kind, ())),
+                    "removed": len(self.removed.get(kind, ())),
+                }
+                for kind in self.changed_relations()
+            },
+            "rederived": self.rederived,
+            "deleted": self.deleted,
+            "reused": self.reused,
+            "seconds": self.seconds,
+            "fallback": self.fallback,
+            "reason": self.reason,
+        }
+
+
+class IncrementalSolver:
+    """Maintains one solved fixpoint under :class:`FactDelta` edits."""
+
+    def __init__(
+        self,
+        facts: FactSet,
+        config: AnalysisConfig = AnalysisConfig(),
+    ):
+        self.facts = facts
+        self.config = config
+        self.stats = DeltaStats()
+        # Subsumption elimination drops facts without recording why;
+        # its fixpoints cannot be patched, only re-solved.
+        self.always_fallback = bool(config.eliminate_subsumed)
+        self.solver = self._fresh_solve()
+
+    def _fresh_solve(self) -> Solver:
+        domain = make_domain(
+            self.config.abstraction,
+            self.config.flavour,
+            self.config.m,
+            self.config.h,
+            class_of=self.facts.class_of_heap,
+        )
+        solver = Solver(
+            self.facts,
+            domain,
+            eliminate_subsumed=self.config.eliminate_subsumed,
+            naive_transformer_index=self.config.naive_transformer_index,
+            track_provenance=self.config.track_provenance,
+        )
+        if not self.always_fallback:
+            solver.enable_support_tracking()
+        solver.solve()
+        if not self.always_fallback:
+            self._warm_probe_indices(solver)
+        return solver
+
+    @staticmethod
+    def _warm_probe_indices(solver: Solver) -> None:
+        """Materialize the column indices :mod:`~repro.incremental.
+        firing` probes, so the first delta doesn't pay their builds —
+        ``Relation.add``/``retract`` keep them current afterwards."""
+        for relation, position_sets in (
+            (solver.pts_rel, ((0,), (1,))),
+            (solver.call_rel, ((0,), (1,))),
+            (solver.reach_rel, ((0,),)),
+            (solver.spts_rel, ((0,),)),
+            (solver.texc_rel, ((0,),)),
+        ):
+            for positions in position_sets:
+                relation.ensure_index(positions)
+
+    def result(self):
+        """An :class:`~repro.core.results.AnalysisResult` view of the
+        current fixpoint (rebuilt per call; the solver may have been
+        replaced by a fallback solve)."""
+        from repro.core.results import AnalysisResult
+
+        return AnalysisResult(self.config, self.solver)
+
+    def relation_rows(self) -> Dict[str, Set[Tuple]]:
+        """Copies of the current derived row sets (for parity checks)."""
+        return {
+            kind: set(getattr(self.solver, kind)) for kind in DERIVED_KINDS
+        }
+
+    # -- the one entry point -------------------------------------------
+
+    def apply_delta(self, delta: FactDelta) -> DeltaResult:
+        """Patch the fixpoint for ``delta``; returns the net changes.
+
+        The delta is applied to ``self.facts`` *in place* (the domain
+        closes over it).  Falls back to a from-scratch solve for edits
+        outside the maintainable fragment — the result is identical
+        either way, only the cost differs.
+        """
+        start = time.perf_counter()
+        reason = self._fallback_reason(delta)
+        if reason is not None:
+            return self._fallback(delta, reason, start)
+        solver = self.solver
+
+        # 1. Kill enumeration — against pre-edit inputs and the current
+        #    derived relations, so every recorded instance involving a
+        #    removed input atom is found.
+        kills: Set[Tuple[Tuple, Tuple]] = set()
+        for relation, rows in delta.removed.items():
+            for row in rows:
+                for kind, fact, why in input_firings(solver, relation, row):
+                    kills.add(((kind,) + tuple(fact), (why[0], why[1])))
+
+        # 2. Install the edited inputs, rebuilding only the join
+        #    multimaps derived from the touched relations.
+        touched = set(delta.added) | set(delta.removed)
+        if delta.parent_added or delta.parent_removed:
+            touched.add("invocation_parent")
+        delta.apply_to(self.facts)
+        solver._build_input_indices(only=touched)
+
+        # 3. Overdelete: drop the killed instances from the support
+        #    graph, then retract every fact with any derivation through
+        #    one, cascading along ``uses``.
+        queue: deque = deque()
+        for conclusion, instance in kills:
+            self._discard_instance(conclusion, instance)
+            queue.append(conclusion)
+        retracted: List[Tuple] = []
+        overdeleted: Set[Tuple] = set()
+        while queue:
+            conclusion = queue.popleft()
+            if conclusion in overdeleted:
+                continue
+            overdeleted.add(conclusion)
+            if not solver.retract_derived(conclusion[0], conclusion[1:]):
+                continue
+            retracted.append(conclusion)
+            for (_rule, _premises, dependent) in solver.uses.get(
+                conclusion, ()
+            ):
+                queue.append(dependent)
+
+        # 4. Rederive + additions, one drain.  Swapping in a logging
+        #    worklist harvests everything the drain derives.
+        logger = _LoggingDeque()
+        plain_worklist = solver._worklist
+        solver._worklist = logger
+        try:
+            for relation, rows in delta.added.items():
+                for row in rows:
+                    for kind, fact, why in input_firings(
+                        solver, relation, row
+                    ):
+                        self._replay(kind, fact, why)
+            # Seed-and-drain to fixpoint: a retracted fact is rederived
+            # as soon as some surviving instance has all its premises
+            # back.  One pass is not enough — a premise may itself be
+            # rederived mid-drain by a rule that does not re-fire the
+            # dependent instance (the worklist rules are seeded from
+            # one designated premise side), so re-scan until a full
+            # pass seeds nothing.
+            while True:
+                solver._drain()
+                seeded = False
+                for conclusion in retracted:
+                    if self._present(conclusion):
+                        continue
+                    for (rule, premises) in solver.support.get(
+                        conclusion, ()
+                    ):
+                        if all(self._present(p) for p in premises):
+                            self._replay(
+                                conclusion[0], conclusion[1:],
+                                (rule, premises, "rederived"),
+                            )
+                            seeded = True
+                            break
+                if not seeded:
+                    break
+        finally:
+            solver._worklist = plain_worklist
+
+        # 5. Purge: facts that stayed deleted leave the support graph,
+        #    keeping every stored instance backed by live facts.
+        readded = {(kind,) + tuple(fact) for kind, fact in logger.log}
+        retracted_set = set(retracted)
+        dead = retracted_set - readded
+        for conclusion in dead:
+            self._purge(conclusion)
+
+        net_added = readded - retracted_set
+        net_removed = retracted_set - readded
+        rederived = len(readded & retracted_set)
+        added = self._group(net_added)
+        removed = self._group(net_removed)
+        total_rows = sum(
+            len(getattr(solver, kind)) for kind in DERIVED_KINDS
+        )
+        seconds = time.perf_counter() - start
+        self._account(delta, len(net_added), len(net_removed), rederived,
+                      total_rows - len(net_added) - rederived, seconds)
+        return DeltaResult(
+            added=added, removed=removed, rederived=rederived,
+            deleted=len(net_removed),
+            reused=total_rows - len(net_added) - rederived,
+            seconds=seconds,
+        )
+
+    # -- DRed plumbing --------------------------------------------------
+
+    def _present(self, fact_key: Tuple) -> bool:
+        relation = getattr(self.solver, f"{fact_key[0]}_rel")
+        return fact_key[1:] in relation
+
+    def _replay(self, kind: str, fact: Tuple, why: Tuple) -> None:
+        getattr(self.solver, f"add_{kind}")(*fact, why=why)
+
+    def _discard_instance(self, conclusion: Tuple, instance: Tuple) -> None:
+        solver = self.solver
+        bucket = solver.support.get(conclusion)
+        if bucket is not None:
+            bucket.discard(instance)
+            if not bucket:
+                del solver.support[conclusion]
+        entry = (instance[0], instance[1], conclusion)
+        for premise in instance[1]:
+            uses_bucket = solver.uses.get(premise)
+            if uses_bucket is not None:
+                uses_bucket.discard(entry)
+                if not uses_bucket:
+                    del solver.uses[premise]
+
+    def _purge(self, fact_key: Tuple) -> None:
+        """Remove a permanently-deleted fact from the support graph."""
+        solver = self.solver
+        for (rule, premises) in solver.support.pop(fact_key, ()):
+            entry = (rule, premises, fact_key)
+            for premise in premises:
+                bucket = solver.uses.get(premise)
+                if bucket is not None:
+                    bucket.discard(entry)
+                    if not bucket:
+                        del solver.uses[premise]
+        for (rule, premises, conclusion) in list(
+            solver.uses.pop(fact_key, ())
+        ):
+            bucket = solver.support.get(conclusion)
+            if bucket is not None:
+                bucket.discard((rule, premises))
+                if not bucket:
+                    del solver.support[conclusion]
+            for premise in premises:
+                if premise != fact_key:
+                    other = solver.uses.get(premise)
+                    if other is not None:
+                        other.discard((rule, premises, conclusion))
+                        if not other:
+                            del solver.uses[premise]
+
+    @staticmethod
+    def _group(fact_keys: Set[Tuple]) -> Dict[str, Set[Tuple]]:
+        out: Dict[str, Set[Tuple]] = {}
+        for fact_key in fact_keys:
+            out.setdefault(fact_key[0], set()).add(fact_key[1:])
+        return out
+
+    # -- fallback -------------------------------------------------------
+
+    def _fallback_reason(self, delta: FactDelta) -> Optional[str]:
+        if self.always_fallback:
+            return "eliminate_subsumed drops facts without support"
+        if self.solver.support is None:
+            return "solver has no support graph"
+        if delta.main_method_change is not None:
+            return "entry point changed"
+        if delta.remaps_entity():
+            return "allocation site or call site re-mapped"
+        return None
+
+    def _fallback(
+        self, delta: FactDelta, reason: str, start: float
+    ) -> DeltaResult:
+        before = self.relation_rows()
+        delta.apply_to(self.facts)
+        self.solver = self._fresh_solve()
+        after = self.relation_rows()
+        added = {
+            kind: after[kind] - before[kind]
+            for kind in DERIVED_KINDS
+            if after[kind] - before[kind]
+        }
+        removed = {
+            kind: before[kind] - after[kind]
+            for kind in DERIVED_KINDS
+            if before[kind] - after[kind]
+        }
+        total_rows = sum(len(rows) for rows in after.values())
+        net_added = sum(len(rows) for rows in added.values())
+        seconds = time.perf_counter() - start
+        self.stats.fallback_solves += 1
+        self._account(
+            delta, net_added,
+            sum(len(rows) for rows in removed.values()),
+            0, total_rows - net_added, seconds,
+        )
+        return DeltaResult(
+            added=added, removed=removed, rederived=0,
+            deleted=sum(len(rows) for rows in removed.values()),
+            reused=total_rows - net_added, seconds=seconds,
+            fallback=True, reason=reason,
+        )
+
+    def _account(self, delta: FactDelta, added: int, deleted: int,
+                 rederived: int, reused: int, seconds: float) -> None:
+        self.stats.deltas_applied += 1
+        self.stats.input_rows_added += delta.total_added
+        self.stats.input_rows_removed += delta.total_removed
+        self.stats.tuples_added += added
+        self.stats.tuples_deleted += deleted
+        self.stats.tuples_rederived += rederived
+        self.stats.tuples_reused += reused
+        self.stats.delta_seconds += seconds

@@ -6,7 +6,7 @@ servable* — the shape demand-driven CFL points-to (Sridharan et al.)
 and value-context tabulation both argue for:
 
 :mod:`repro.service.snapshot`
-    A versioned on-disk format (``repro-snapshot/1``) serializing a
+    A versioned on-disk format (``repro-snapshot/2``) serializing a
     solved :class:`~repro.store.TupleStore`, its interner, the input
     fact set and the analysis config, with a content digest and clear
     schema/config-mismatch errors.  Built on the store layer's

@@ -10,6 +10,20 @@ out, answered in order.  Requests name an operation and its operands::
     {"id": 5, "op": "stats"}
     {"id": 6, "op": "ping"}
     {"id": 7, "op": "shutdown"}
+    {"id": 8, "op": "update", "delta": {"added": {...}, "removed": {...}}}
+    {"id": 9, "op": "update", "source": "<program text>"}
+
+``update`` patches the running service in place through the
+incremental engine: pass either a :class:`~repro.incremental.FactDelta`
+JSON object (``FactDelta.to_json`` format) or the *full new program
+text* (the server diffs it against the current facts).  The response
+reports the net derived-row changes, whether the engine fell back to a
+from-scratch solve, and the service generation after the update::
+
+    {"id": 8, "ok": true,
+     "result": {"changed": {"pts": {"added": 2, "removed": 1}},
+                "fallback": false, "reason": null, "generation": 3,
+                "cache_invalidated": 2, "micros": 214}}
 
 Responses echo ``id`` and carry either a result with per-query serving
 metadata or an error::
@@ -50,6 +64,9 @@ _REQUIRED_FIELDS: Dict[str, Tuple[str, ...]] = {
     "stats": (),
     "ping": (),
     "shutdown": (),
+    # "update" takes *either* a "delta" object or a "source" program —
+    # the alternative is validated in _handle_update, not here.
+    "update": (),
 }
 
 
@@ -89,6 +106,8 @@ def handle_request(service: AnalysisService, request: Dict) -> Dict:
         return {"id": request_id, "ok": True, "result": "bye"}
     if op == "stats":
         return {"id": request_id, "ok": True, "result": service.stats()}
+    if op == "update":
+        return _handle_update(service, request, request_id)
     try:
         outcome = service.query(
             op, **{field: request[field] for field in required}
@@ -102,6 +121,51 @@ def handle_request(service: AnalysisService, request: Dict) -> Dict:
         "meta": {
             "path": outcome.path,
             "cached": outcome.cached,
+            "micros": int(outcome.seconds * 1e6),
+        },
+    }
+
+
+def _handle_update(
+    service: AnalysisService, request: Dict, request_id
+) -> Dict:
+    """Apply one live update: an explicit delta or a full new source."""
+    from repro.incremental import FactDelta, diff_facts
+
+    try:
+        if "delta" in request:
+            delta = FactDelta.from_json(request["delta"])
+        elif "source" in request:
+            from repro.core.analysis import _to_facts
+
+            delta = diff_facts(service.facts, _to_facts(request["source"]))
+        else:
+            return {
+                "id": request_id, "ok": False,
+                "error": "op 'update' requires a 'delta' object or"
+                " a 'source' program",
+            }
+        invalidated_before = service.metrics.entries_invalidated
+        outcome = service.apply_delta(delta)
+    except Exception as error:  # an update must never kill the session
+        return {"id": request_id, "ok": False, "error": str(error)}
+    return {
+        "id": request_id,
+        "ok": True,
+        "result": {
+            "changed": {
+                kind: {
+                    "added": len(outcome.added.get(kind, ())),
+                    "removed": len(outcome.removed.get(kind, ())),
+                }
+                for kind in outcome.changed_relations()
+            },
+            "fallback": outcome.fallback,
+            "reason": outcome.reason,
+            "generation": service.generation,
+            "cache_invalidated": (
+                service.metrics.entries_invalidated - invalidated_before
+            ),
             "micros": int(outcome.seconds * 1e6),
         },
     }

@@ -15,6 +15,11 @@ whole session:
 * **thread-safe** — one lock guards the cache, the metrics and the
   (mutable) demand engine, so the TCP server can point concurrent
   clients at a single instance;
+* **live-updatable** — :meth:`AnalysisService.apply_delta` patches the
+  installed result in place through the incremental engine
+  (:class:`~repro.incremental.IncrementalSolver`), invalidates only the
+  cache entries whose keys touch changed variables/sites/heaps, and
+  bumps the service ``generation``;
 * **measured** — per-query latency (p50/p95 per query kind), cache
   hit-rate and warm/cold counters, surfaced by :meth:`stats` in the
   same spirit as :class:`~repro.core.solver.SolverStats` and consumed
@@ -117,6 +122,10 @@ class ServiceStats:
         self.solver_solves = 0  # exhaustive solves this service performed
         self.snapshot_loads = 0
         self.load_seconds = 0.0
+        self.updates = 0            # fact deltas applied
+        self.fallback_updates = 0   # of those, answered by a full solve
+        self.update_seconds = 0.0
+        self.entries_invalidated = 0  # cache entries dropped by updates
         self.queries_by_kind: Dict[str, int] = {}
         self._latencies: Dict[str, List[float]] = {}
 
@@ -178,6 +187,12 @@ class ServiceStats:
                 "snapshot_loads": self.snapshot_loads,
                 "load_seconds": self.load_seconds,
             },
+            "updates": {
+                "applied": self.updates,
+                "fallbacks": self.fallback_updates,
+                "seconds": self.update_seconds,
+                "entries_invalidated": self.entries_invalidated,
+            },
             "queries": dict(self.queries_by_kind),
             "latency_us": self.latency_summary(),
         }
@@ -218,6 +233,12 @@ class AnalysisService:
         self._coverage: Optional[FrozenSet[str]] = None
         self._warm_path = "solved"
         self._demand: Optional[DemandPointerAnalysis] = None
+        #: The incremental engine, once the service has one (built up
+        #: front with ``from_facts(incremental=True)`` or lazily by the
+        #: first :meth:`apply_delta`).
+        self._incremental = None
+        #: Fact deltas applied since the initial solve/load.
+        self.generation = 0
 
     # -- constructors --------------------------------------------------
 
@@ -228,16 +249,21 @@ class AnalysisService:
         config: AnalysisConfig = AnalysisConfig(),
         solve: bool = True,
         cache_size: int = 1024,
+        incremental: bool = False,
     ) -> "AnalysisService":
         """A service over raw facts.
 
         ``solve=True`` runs the exhaustive solver once up front (every
         in-universe query is then warm); ``solve=False`` starts in
         demand-only mode — nothing is solved until the first query, and
-        only its slice is.
+        only its slice is.  ``incremental=True`` routes the up-front
+        solve through the incremental engine (support tracking on), so
+        the first :meth:`apply_delta` patches instead of re-solving.
         """
         service = cls(facts, config, cache_size=cache_size)
-        if solve:
+        if solve and incremental:
+            service._solve_incremental()
+        elif solve:
             service._solve_exhaustive()
         return service
 
@@ -257,6 +283,7 @@ class AnalysisService:
         snapshot = read_snapshot(path, expected_config)
         service = cls(snapshot.facts, snapshot.config, cache_size=cache_size)
         service._install_snapshot(snapshot, time.perf_counter() - start)
+        service.generation = snapshot.generation
         return service
 
     def _solve_exhaustive(self) -> None:
@@ -268,6 +295,23 @@ class AnalysisService:
             self._coverage = None
             self._warm_path = "solved"
             self.metrics.solver_solves += 1
+
+    def _solve_incremental(self) -> None:
+        # Imported lazily: repro.incremental pulls in the solver stack,
+        # which snapshot-only users of this module never need.
+        from repro.incremental import IncrementalSolver
+
+        with self._lock:
+            self._incremental = IncrementalSolver(self.facts, self.config)
+            self._install_incremental()
+            self.metrics.solver_solves += 1
+
+    def _install_incremental(self) -> None:
+        """Point the warm path at the incremental engine's fixpoint."""
+        self._backend = self._incremental.solver
+        self._result = self._incremental.result()
+        self._coverage = None
+        self._warm_path = "solved"
 
     def _install_snapshot(self, snapshot: Snapshot, seconds: float) -> None:
         backend = _SnapshotBackend(snapshot, seconds)
@@ -366,6 +410,113 @@ class AnalysisService:
             }, True
         return self._demand_instance().fields_of(heap), False
 
+    # -- live updates ---------------------------------------------------
+
+    def apply_delta(self, delta):
+        """Patch the service for one :class:`~repro.incremental.
+        FactDelta`; returns the engine's ``DeltaResult``.
+
+        The installed result is updated in place (DRed retraction +
+        semi-naive additions), the demand engine is dropped (its slices
+        answer for the old program), and only the cache entries whose
+        keys touch a changed variable, call site or heap are evicted —
+        everything else keeps serving from cache.  A service without an
+        incremental engine (snapshot-loaded, plainly solved, or
+        demand-only) is upgraded on its first update via one full solve
+        of the patched program.  ``generation`` increments either way.
+        """
+        from repro.incremental import IncrementalSolver
+
+        with self._lock:
+            start = time.perf_counter()
+            if self._incremental is None:
+                before = None
+                if self._backend is not None and self._coverage is None:
+                    before = {
+                        name: set(getattr(self._backend, name))
+                        for name, _arity in DERIVED_RELATIONS
+                    }
+                delta.apply_to(self.facts)
+                self._incremental = IncrementalSolver(
+                    self.facts, self.config
+                )
+                result = self._upgrade_result(before, start)
+                self.metrics.solver_solves += 1
+            else:
+                result = self._incremental.apply_delta(delta)
+                if result.fallback:
+                    self.metrics.solver_solves += 1
+            self._install_incremental()
+            # Demand slices were demanded against the old program.
+            self._demand = None
+            self._invalidate(result)
+            self.generation += 1
+            self.metrics.updates += 1
+            if result.fallback:
+                self.metrics.fallback_updates += 1
+            self.metrics.update_seconds += result.seconds
+            return result
+
+    def _upgrade_result(self, before, start: float):
+        """A ``DeltaResult`` for the upgrade solve (diffed against the
+        previous full-coverage rows when there were any)."""
+        from repro.incremental.solver import DeltaResult
+
+        after = self._incremental.relation_rows()
+        added = {}
+        removed = {}
+        if before is not None:
+            for kind, rows in after.items():
+                gained = rows - before.get(kind, set())
+                lost = before.get(kind, set()) - rows
+                if gained:
+                    added[kind] = gained
+                if lost:
+                    removed[kind] = lost
+        total = sum(len(rows) for rows in after.values())
+        net_added = sum(len(rows) for rows in added.values())
+        return DeltaResult(
+            added=added, removed=removed, rederived=0,
+            deleted=sum(len(rows) for rows in removed.values()),
+            reused=total - net_added,
+            seconds=time.perf_counter() - start,
+            fallback=True,
+            reason="service had no incremental engine (first update)",
+        )
+
+    def _invalidate(self, result) -> None:
+        """Evict exactly the cache entries an update could have changed.
+
+        ``points_to``/``alias`` keys are stale iff they name a variable
+        with changed ``pts`` rows, ``callees`` iff the site has changed
+        ``call`` rows, ``fields_of`` iff the heap has changed ``hpts``
+        rows.  Fallback solves lose the change sets, so they clear the
+        whole cache.
+        """
+        data = self._cache._data
+        if result.fallback:
+            self.metrics.entries_invalidated += len(data)
+            data.clear()
+            return
+        variables = result.changed_variables()
+        sites = result.changed_sites()
+        heaps = result.changed_heaps()
+        if not (variables or sites or heaps):
+            return
+        for key in list(data):
+            op = key[0]
+            params = dict(key[1:])
+            stale = (
+                (op == "points_to" and params["var"] in variables)
+                or (op == "alias" and (params["a"] in variables
+                                       or params["b"] in variables))
+                or (op == "callees" and params["site"] in sites)
+                or (op == "fields_of" and params["heap"] in heaps)
+            )
+            if stale:
+                del data[key]
+                self.metrics.entries_invalidated += 1
+
     # -- persistence ----------------------------------------------------
 
     def save_snapshot(self, path: str) -> Snapshot:
@@ -390,7 +541,8 @@ class AnalysisService:
                 relations = self._relations_of(result._solver)
                 coverage = frozenset(demand.vars)
             snapshot = snapshot_from_relations(
-                self.config, self.facts, relations, coverage
+                self.config, self.facts, relations, coverage,
+                generation=self.generation,
             )
             write_snapshot(snapshot, path)
             return snapshot
@@ -427,6 +579,9 @@ class AnalysisService:
                 self._warm_path if self._result is not None else "demand"
             )
             out["coverage"] = {"vars": covered, "total_vars": total}
+            out["generation"] = self.generation
+            if self._incremental is not None:
+                out["delta"] = self._incremental.stats.as_dict()
             if self._demand is not None:
                 out["demand"] = self._demand.stats()
             if self._backend is not None:

@@ -1,4 +1,4 @@
-"""The ``repro-snapshot/1`` persistent result format.
+"""The ``repro-snapshot/2`` persistent result format.
 
 A snapshot is one JSON document holding everything a fresh process
 needs to answer queries without re-solving:
@@ -12,15 +12,22 @@ needs to answer queries without re-solving:
   transformer strings are stored once however many rows share them;
 * the **coverage**: either full (an exhaustive solve) or the set of
   variables a demand-mode service had demanded when it saved;
+* the **generation**: how many fact deltas the saving service had
+  applied since its initial solve (``0`` for a fresh solve; lets a
+  consumer tell two snapshots of the same evolving program apart);
 * a **content digest** (SHA-256 over the canonical body) verified on
   load.
 
 Layout::
 
-    {"schema": "repro-snapshot/1", "digest": "<sha256 of body>",
+    {"schema": "repro-snapshot/2", "digest": "<sha256 of body>",
      "body": {"config": {...}, "interner": [...],
               "facts": {...}, "relations": {...},
-              "coverage": null | [var ids], "counts": {...}}}
+              "coverage": null | [var ids], "generation": 0,
+              "counts": {...}}}
+
+``repro-snapshot/1`` documents (no ``generation`` field) still load —
+they read back as generation ``0``.
 
 Integrity failures, schema mismatches and config mismatches all raise
 :class:`SnapshotError` with a message naming the offending field —
@@ -50,7 +57,11 @@ from repro.store import (
     relation_to_payload,
 )
 
-SNAPSHOT_SCHEMA = "repro-snapshot/1"
+SNAPSHOT_SCHEMA = "repro-snapshot/2"
+
+#: Schemas this build can read.  ``/2`` added the additive
+#: ``generation`` field; ``/1`` documents default it to zero.
+COMPATIBLE_SCHEMAS = ("repro-snapshot/1", "repro-snapshot/2")
 
 #: The derived relations of one solver run, with their arities.
 DERIVED_RELATIONS: Tuple[Tuple[str, int], ...] = (
@@ -93,6 +104,8 @@ class Snapshot:
     facts: FactSet
     store: TupleStore
     coverage: Optional[FrozenSet[str]] = None
+    #: Fact-delta updates applied since the initial solve (0 = fresh).
+    generation: int = 0
 
     def covers(self, var: str) -> bool:
         """True iff the stored relations fully answer for ``var``."""
@@ -110,6 +123,7 @@ def snapshot_from_relations(
     facts: FactSet,
     relations: Dict[str, Iterable[Tuple]],
     coverage: Optional[Iterable[str]] = None,
+    generation: int = 0,
 ) -> Snapshot:
     """Build a snapshot from raw derived row sets (solver attributes)."""
     store = TupleStore()
@@ -122,6 +136,7 @@ def snapshot_from_relations(
         facts=facts,
         store=store,
         coverage=None if coverage is None else frozenset(coverage),
+        generation=generation,
     )
 
 
@@ -245,6 +260,7 @@ def snapshot_to_document(snapshot: Snapshot) -> Dict:
         "facts": facts,
         "relations": relations,
         "coverage": coverage,
+        "generation": snapshot.generation,
         "counts": snapshot.relation_counts(),
     }
     return {
@@ -272,10 +288,10 @@ def _load_document(path: str) -> Dict:
         raise SnapshotError(
             f"{path} is not a repro snapshot (no schema header)"
         )
-    if document["schema"] != SNAPSHOT_SCHEMA:
+    if document["schema"] not in COMPATIBLE_SCHEMAS:
         raise SnapshotError(
             f"unsupported snapshot schema {document['schema']!r} in {path}"
-            f" (this build reads {SNAPSHOT_SCHEMA!r})"
+            f" (this build reads {', '.join(map(repr, COMPATIBLE_SCHEMAS))})"
         )
     body = document.get("body")
     if not isinstance(body, dict):
@@ -326,12 +342,14 @@ def read_snapshot(
             coverage = frozenset(
                 interner.value_of(symbol) for symbol in coverage
             )
+        generation = int(body.get("generation", 0))
     except (KeyError, IndexError, SerializationError) as error:
         raise SnapshotError(
             f"snapshot {path} is malformed: {error}"
         ) from error
     return Snapshot(
-        config=config, facts=facts, store=store, coverage=coverage
+        config=config, facts=facts, store=store, coverage=coverage,
+        generation=generation,
     )
 
 
@@ -363,6 +381,7 @@ def describe_snapshot(path: str) -> Dict:
         "relations": counts,
         "interner_values": len(body["interner"]),
         "coverage": "full" if coverage is None else len(coverage),
+        "generation": int(body.get("generation", 0)),
         "input_facts": sum(
             len(body["facts"][name]) for name in FactSet().relation_names()
         ),

@@ -44,6 +44,24 @@ class KeyedIndex:
         else:
             bucket.append(payload)
 
+    def discard(self, key: Hashable, payload) -> bool:
+        """Remove one occurrence of ``payload`` from ``key``'s bucket.
+
+        Returns True iff something was removed; an emptied bucket is
+        dropped so retraction leaves no stale keys behind (the mirror
+        of :meth:`add`, used by the incremental engine's DRed path).
+        """
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            return False
+        try:
+            bucket.remove(payload)
+        except ValueError:
+            return False
+        if not bucket:
+            del self._buckets[key]
+        return True
+
     def probe(self, key: Hashable) -> List:
         """The bucket for ``key`` (empty if never inserted)."""
         self.counters.probes += 1

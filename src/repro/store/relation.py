@@ -145,6 +145,39 @@ class Relation:
         """Insert many rows; returns the number actually new."""
         return sum(1 for row in rows if self.add(row))
 
+    # -- retraction ---------------------------------------------------------
+
+    def retract(self, row: Row) -> bool:
+        """Remove ``row`` everywhere it lives; True iff it was present.
+
+        The delete half of the incremental lifecycle (DRed overdeletion
+        runs through here): the row leaves the row set, every
+        materialized column-subset index, *and* — when it has not yet
+        been promoted past the frontier — the ``delta``/``pending``
+        lists, so a retracted row can never resurface from a later
+        :meth:`promote` or linger in an index bucket.
+        """
+        if row not in self.rows:
+            return False
+        self.rows.discard(row)
+        self.counters.retracts += 1
+        for positions, index in self._indices.items():
+            key = tuple(row[i] for i in positions)
+            bucket = index.get(key)
+            if bucket is not None:
+                try:
+                    bucket.remove(row)
+                except ValueError:  # pragma: no cover - defensive
+                    pass
+                if not bucket:
+                    del index[key]
+        if self.track_delta:
+            if row in self._pending:
+                self._pending = [r for r in self._pending if r != row]
+            if row in self._delta:
+                self._delta = [r for r in self._delta if r != row]
+        return True
+
     # -- semi-naive lifecycle ----------------------------------------------
 
     @property

@@ -8,7 +8,9 @@ Datalog engines and the CFL solver:
 * ``inserts`` — rows actually stored (new facts);
 * ``dedup_hits`` — insert attempts rejected because the row existed;
 * ``probes`` — index lookups issued against the relation;
-* ``index_builds`` — indices materialized (planned or on demand).
+* ``index_builds`` — indices materialized (planned or on demand);
+* ``retracts`` — rows actually removed (the incremental engine's
+  DRed overdeletion path; zero for batch solves).
 
 Index *sizes* are reported by the owning :class:`repro.store.TupleStore`
 (``describe()``) because they are a property of the live structures,
@@ -23,13 +25,14 @@ from typing import Dict
 class RelationCounters:
     """Monotone counters for one named relation."""
 
-    __slots__ = ("inserts", "dedup_hits", "probes", "index_builds")
+    __slots__ = ("inserts", "dedup_hits", "probes", "index_builds", "retracts")
 
     def __init__(self) -> None:
         self.inserts = 0
         self.dedup_hits = 0
         self.probes = 0
         self.index_builds = 0
+        self.retracts = 0
 
     def as_dict(self) -> Dict[str, int]:
         return {
@@ -37,11 +40,12 @@ class RelationCounters:
             "dedup_hits": self.dedup_hits,
             "probes": self.probes,
             "index_builds": self.index_builds,
+            "retracts": self.retracts,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"RelationCounters(inserts={self.inserts},"
             f" dedup_hits={self.dedup_hits}, probes={self.probes},"
-            f" index_builds={self.index_builds})"
+            f" index_builds={self.index_builds}, retracts={self.retracts})"
         )

@@ -1,0 +1,72 @@
+"""Edit-churn workload: structure of the reports, parity-free smoke of
+``measure_churn``, and the loose single-edit speedup floor (the precise
+number is ``deltabench``'s to report; see docs/api.md)."""
+
+from repro.bench.deltabench import (
+    format_churn,
+    measure_churn,
+    measure_single_edit,
+    run_delta_churn,
+)
+from repro.core.analysis import _to_facts
+from repro.frontend.paper_programs import FIGURE_1
+
+
+def test_single_edit_is_much_faster_than_scratch():
+    report = measure_single_edit(repetitions=15)
+    assert report["program"] == "figure5"
+    assert report["incremental_seconds"] > 0
+    assert report["scratch_seconds"] > 0
+    # The acceptance target is 5x; assert a loose floor here so CI
+    # timer noise cannot flake the suite.
+    assert report["speedup"] >= 3.0, report
+
+
+def test_measure_churn_structure():
+    facts = _to_facts(FIGURE_1)
+    report = measure_churn(
+        facts, configuration="1-call", abstraction="transformer-string",
+        edits=6, seed=7,
+    )
+    assert report["edits"] == 6
+    assert report["seed"] == 7
+    assert report["fallbacks"] == 0  # random edits stay maintainable
+    assert report["incremental_seconds"] > 0
+    assert report["speedup"] is None or report["speedup"] > 0
+    assert sum(b["edits"] for b in report["by_kind"].values()) == 6
+    for bucket in report["by_kind"].values():
+        assert set(bucket) == {
+            "edits", "incremental_seconds", "scratch_seconds", "speedup"
+        }
+    assert report["engine"]["deltas_applied"] == 6
+
+
+def test_run_delta_churn_embeds_single_edit():
+    report = run_delta_churn(
+        benchmarks=(), configuration="1-call", edits=0, repetitions=1
+    )
+    assert report["benchmarks"] == {}
+    assert report["single_edit"]["program"] == "figure5"
+    assert report["configuration"] == "1-call"
+    assert report["edits_per_benchmark"] == 0
+
+
+def test_format_churn():
+    facts = _to_facts(FIGURE_1)
+    report = {
+        "configuration": "1-call",
+        "abstraction": "transformer-string",
+        "scale": 1,
+        "edits_per_benchmark": 2,
+        "single_edit": measure_single_edit(repetitions=1),
+        "benchmarks": {
+            "figure1": measure_churn(
+                facts, configuration="1-call", edits=2, seed=0
+            ),
+        },
+    }
+    text = format_churn(report)
+    assert "Edit churn" in text
+    assert "figure1" in text
+    assert "single edit (figure5" in text
+    assert "fallbacks" in text

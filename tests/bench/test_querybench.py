@@ -52,7 +52,7 @@ def test_run_query_latency_one_benchmark():
 
 
 def test_figure6_json_carries_query_latency():
-    assert JSON_SCHEMA == "repro-figure6/2"
+    assert JSON_SCHEMA == "repro-figure6/3"
 
     class _Table:
         cells = ()
@@ -64,8 +64,12 @@ def test_figure6_json_carries_query_latency():
             return []
 
     payload = {"configuration": "2-object+H", "benchmarks": {}}
-    document = figure6_json(_Table(), query_latency=payload)
-    assert document["schema"] == "repro-figure6/2"
+    churn = {"configuration": "2-object+H", "single_edit": {}}
+    document = figure6_json(_Table(), query_latency=payload,
+                            incremental=churn)
+    assert document["schema"] == "repro-figure6/3"
     assert document["query_latency"] == payload
-    # Additive: absent measurement serializes as null, not a key error.
+    assert document["incremental"] == churn
+    # Additive: absent measurements serialize as null, not key errors.
     assert figure6_json(_Table())["query_latency"] is None
+    assert figure6_json(_Table())["incremental"] is None

@@ -1,0 +1,219 @@
+"""FactDelta: builders, inspection, application, inversion, the JSON
+codec and the two diff builders."""
+
+import pytest
+
+from repro.core.analysis import _to_facts
+from repro.frontend.paper_programs import FIGURE_1, FIGURE_5
+from repro.incremental import FactDelta, copy_facts, diff_facts, diff_programs
+from repro.incremental.delta import INPUT_RELATIONS
+
+
+class TestBuilders:
+    def test_add_remove_chain(self):
+        delta = (
+            FactDelta()
+            .add("assign", ("T.m/x", "T.m/y"))
+            .remove("assign", ("T.m/a", "T.m/b"))
+            .add("actual", ("T.m/x", "inv1", 0))
+        )
+        assert delta.added["assign"] == {("T.m/x", "T.m/y")}
+        assert delta.removed["assign"] == {("T.m/a", "T.m/b")}
+        assert delta.added["actual"] == {("T.m/x", "inv1", 0)}
+
+    def test_rows_become_tuples(self):
+        delta = FactDelta().add("assign", ["a", "b"])
+        assert ("a", "b") in delta.added["assign"]
+
+    def test_unknown_relation_rejected(self):
+        with pytest.raises(ValueError, match="unknown input relation"):
+            FactDelta().add("pts", ("v", "h"))
+        with pytest.raises(ValueError, match="unknown input relation"):
+            FactDelta().remove("nope", ("x",))
+
+    def test_input_relations_cover_schema(self):
+        assert "assign" in INPUT_RELATIONS
+        assert "virtual_invoke" in INPUT_RELATIONS
+        assert "pts" not in INPUT_RELATIONS
+
+
+class TestInspection:
+    def test_empty(self):
+        assert FactDelta().is_empty()
+        assert not FactDelta().add("assign", ("a", "b")).is_empty()
+        aux = FactDelta()
+        aux.class_of_added["h1"] = "C"
+        assert not aux.is_empty()
+        main = FactDelta()
+        main.main_method_change = ("T.main", "U.main")
+        assert not main.is_empty()
+
+    def test_totals_and_counts(self):
+        delta = (
+            FactDelta()
+            .add("assign", ("a", "b"))
+            .add("assign", ("c", "d"))
+            .remove("load", ("x", "f", "y"))
+        )
+        assert delta.total_added == 2
+        assert delta.total_removed == 1
+        assert delta.counts() == {"assign": (2, 0), "load": (0, 1)}
+
+    def test_changed_entities(self):
+        delta = (
+            FactDelta()
+            .add("assign", ("dst", "src"))
+            .remove("virtual_invoke", ("inv1", "recv", "m"))
+            .add("assign_new", ("h1", "v", "M"))
+        )
+        assert {"dst", "src", "recv", "v"} <= delta.changed_variables()
+        assert "inv1" in delta.changed_sites()
+        assert "h1" in delta.changed_heaps()
+
+    def test_remaps_entity(self):
+        assert not FactDelta().remaps_entity()
+        same = FactDelta()
+        same.class_of_added["h1"] = "C"
+        same.class_of_removed["h1"] = "C"
+        assert not same.remaps_entity()
+        remap = FactDelta()
+        remap.class_of_added["h1"] = "D"
+        remap.class_of_removed["h1"] = "C"
+        assert remap.remaps_entity()
+        parent = FactDelta()
+        parent.parent_added["inv1"] = "T.n"
+        parent.parent_removed["inv1"] = "T.m"
+        assert parent.remaps_entity()
+
+
+class TestApplication:
+    def test_apply_in_place_and_copy(self):
+        facts = _to_facts(FIGURE_1)
+        row = ("T.main/zz", "T.main/yy")
+        delta = FactDelta().add("assign", row)
+        patched = delta.applied_copy(facts)
+        assert row in patched.assign
+        assert row not in facts.assign  # the copy left the base alone
+        delta.apply_to(facts)
+        assert row in facts.assign
+
+    def test_removal_of_absent_row_is_ignored(self):
+        facts = _to_facts(FIGURE_1)
+        before = set(facts.assign)
+        FactDelta().remove("assign", ("no/such", "row/here")).apply_to(facts)
+        assert facts.assign == before
+
+    def test_inverted_round_trips(self):
+        facts = _to_facts(FIGURE_5)
+        # Remove a row that actually exists so the inverse restores it,
+        # and add a fresh one so the inverse removes it.
+        delta = FactDelta().add("assign", ("T.m/q", "T.m/r"))
+        delta.remove("actual", sorted(facts.actual)[0])
+        patched = delta.applied_copy(facts)
+        restored = delta.inverted().applied_copy(patched)
+        for name in INPUT_RELATIONS:
+            assert getattr(restored, name) == getattr(facts, name), name
+        assert restored.class_of == facts.class_of
+        assert restored.main_method == facts.main_method
+
+    def test_main_method_change_applies(self):
+        facts = _to_facts(FIGURE_1)
+        delta = FactDelta()
+        delta.main_method_change = (facts.main_method, "U.main")
+        delta.apply_to(facts)
+        assert facts.main_method == "U.main"
+
+
+class TestJsonCodec:
+    def test_round_trip_preserves_int_positions(self):
+        delta = (
+            FactDelta()
+            .add("actual", ("T.m/x", "inv1", 0))
+            .remove("formal", ("T.n/p", "T.n", 1))
+            .add("assign", ("a", "b"))
+        )
+        delta.class_of_added["h9"] = "C"
+        delta.parent_removed["inv1"] = "T.m"
+        delta.main_method_change = ("T.main", "T.main")
+        back = FactDelta.from_json(delta.to_json())
+        assert back.added == delta.added
+        assert back.removed == delta.removed
+        assert back.class_of_added == delta.class_of_added
+        assert back.parent_removed == delta.parent_removed
+        assert back.main_method_change == delta.main_method_change
+        # The integer argument position survived the trip as an int.
+        row = next(iter(back.added["actual"]))
+        assert row[2] == 0 and isinstance(row[2], int)
+
+    def test_wire_form_shape(self):
+        payload = FactDelta().add("assign", ("a", "b")).to_json()
+        assert payload["added"] == {"assign": [["a", "b"]]}
+        assert payload["removed"] == {}
+        assert payload["class_of"] == {"added": {}, "removed": {}}
+        assert payload["invocation_parent"] == {"added": {}, "removed": {}}
+        assert payload["main_method"] is None
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(ValueError, match="must be a JSON object"):
+            FactDelta.from_json(["not", "a", "dict"])
+        with pytest.raises(ValueError, match="'added' must be an object"):
+            FactDelta.from_json({"added": []})
+        with pytest.raises(ValueError, match="unknown input relation"):
+            FactDelta.from_json({"added": {"pts": [["v", "h"]]}})
+        with pytest.raises(ValueError, match="main_method"):
+            FactDelta.from_json({"main_method": "just-a-string"})
+
+    def test_describe(self):
+        assert FactDelta().describe() == "(empty delta)"
+        text = (
+            FactDelta()
+            .add("assign", ("a", "b"))
+            .remove("assign", ("c", "d"))
+            .describe()
+        )
+        assert "assign: +1 -1" in text
+
+
+class TestDiffBuilders:
+    def test_diff_facts_identity_is_empty(self):
+        facts = _to_facts(FIGURE_1)
+        assert diff_facts(facts, copy_facts(facts)).is_empty()
+
+    def test_diff_facts_finds_edits(self):
+        old = _to_facts(FIGURE_1)
+        new = copy_facts(old)
+        row = ("T.fresh/x", "T.fresh/y")
+        new.assign.add(row)
+        gone = sorted(old.actual)[0]
+        new.actual.discard(gone)
+        delta = diff_facts(old, new)
+        assert delta.added == {"assign": {row}}
+        assert delta.removed == {"actual": {gone}}
+        assert delta.applied_copy(old).assign == new.assign
+
+    def test_value_change_appears_on_both_sides(self):
+        old = _to_facts(FIGURE_1)
+        new = copy_facts(old)
+        heap = sorted(old.class_of)[0]
+        new.class_of[heap] = "entirely.Different"
+        delta = diff_facts(old, new)
+        assert delta.class_of_added[heap] == "entirely.Different"
+        assert delta.class_of_removed[heap] == old.class_of[heap]
+        assert delta.remaps_entity()
+
+    def test_diff_programs_accepts_source(self):
+        delta = diff_programs(FIGURE_1, FIGURE_1)
+        assert delta.is_empty()
+        cross = diff_programs(FIGURE_1, FIGURE_5)
+        assert not cross.is_empty()
+        assert diff_facts(
+            _to_facts(FIGURE_1), _to_facts(FIGURE_5)
+        ).counts() == cross.counts()
+
+    def test_copy_facts_is_independent(self):
+        facts = _to_facts(FIGURE_1)
+        clone = copy_facts(facts)
+        clone.assign.add(("only/in", "the/clone"))
+        clone.class_of["hX"] = "C"
+        assert ("only/in", "the/clone") not in facts.assign
+        assert "hX" not in facts.class_of

@@ -1,0 +1,207 @@
+"""Live service updates: ``AnalysisService.apply_delta`` (generation,
+selective cache invalidation, the upgrade path), snapshot generation
+round-trips, and the serve protocol's ``update`` op."""
+
+import json
+
+import pytest
+
+from repro.core.analysis import _to_facts, analyze
+from repro.core.config import config_by_name
+from repro.frontend.paper_programs import FIGURE_1, FIGURE_5
+from repro.incremental import FactDelta, copy_facts
+from repro.service.server import handle_request
+from repro.service.service import AnalysisService, variables_of
+from repro.service.snapshot import read_snapshot
+
+
+CONFIG = config_by_name("1-call", "transformer-string")
+#: assign rows are (src, dst): a fresh destination variable — derives
+#: new pts rows without touching any program variable's answer.
+EDIT = ("T.m/h", "T.m/x")
+#: An edit whose destination is a *program* variable, so cached query
+#: answers actually go stale.
+STALE_EDIT = ("T.main/x", "T.m/r")
+
+
+def _expected_pts(facts, config=CONFIG):
+    result = analyze(copy_facts(facts), config)
+    by_var = {}
+    for (var, heap) in result.pts_ci():
+        by_var.setdefault(var, set()).add(heap)
+    return by_var
+
+
+class TestApplyDelta:
+    def test_update_parity_and_generation(self):
+        facts = _to_facts(FIGURE_5)
+        service = AnalysisService.from_facts(
+            copy_facts(facts), CONFIG, solve=True, incremental=True
+        )
+        assert service.generation == 0
+        delta = FactDelta().add("assign", EDIT)
+        result = service.apply_delta(delta)
+        assert not result.fallback
+        assert service.generation == 1
+        expected = _expected_pts(delta.applied_copy(facts))
+        for var in variables_of(service.facts):
+            assert service.points_to(var) == frozenset(
+                expected.get(var, set())
+            ), var
+
+    def test_selective_cache_invalidation(self):
+        facts = _to_facts(FIGURE_5)
+        service = AnalysisService.from_facts(
+            facts, CONFIG, solve=True, incremental=True
+        )
+        for var in variables_of(facts):
+            service.points_to(var)
+        result = service.apply_delta(FactDelta().add("assign", STALE_EDIT))
+        changed = result.changed_variables() & variables_of(facts)
+        unchanged = sorted(variables_of(facts) - changed)
+        assert changed and unchanged  # the edit is selective
+        assert service.metrics.entries_invalidated == len(changed)
+        # Untouched entries keep serving from cache; touched ones were
+        # evicted and recompute.
+        assert service.query("points_to", var=unchanged[0]).cached
+        assert not service.query("points_to", var=sorted(changed)[0]).cached
+
+    def test_fallback_update_clears_whole_cache(self):
+        facts = _to_facts(FIGURE_1)
+        service = AnalysisService.from_facts(
+            facts, CONFIG, solve=True, incremental=True
+        )
+        variables = sorted(variables_of(facts))
+        for var in variables:
+            service.points_to(var)
+        delta = FactDelta()
+        delta.main_method_change = (facts.main_method, facts.main_method)
+        result = service.apply_delta(delta)
+        assert result.fallback
+        assert service.metrics.fallback_updates == 1
+        assert not service.query("points_to", var=variables[0]).cached
+
+    def test_plain_service_upgrades_on_first_update(self):
+        facts = _to_facts(FIGURE_5)
+        service = AnalysisService.from_facts(
+            copy_facts(facts), CONFIG, solve=True
+        )
+        delta = FactDelta().add("assign", EDIT)
+        result = service.apply_delta(delta)
+        assert result.fallback
+        assert "no incremental engine" in result.reason
+        assert result.total_added > 0  # diffed against the solved rows
+        assert service.generation == 1
+        expected = _expected_pts(delta.applied_copy(facts))
+        for var in variables_of(service.facts):
+            assert service.points_to(var) == frozenset(
+                expected.get(var, set())
+            ), var
+        # The second update goes through the engine proper.
+        second = service.apply_delta(FactDelta().remove("assign", EDIT))
+        assert not second.fallback
+        assert service.generation == 2
+
+    def test_stats_surface(self):
+        facts = _to_facts(FIGURE_5)
+        service = AnalysisService.from_facts(
+            facts, CONFIG, solve=True, incremental=True
+        )
+        service.apply_delta(FactDelta().add("assign", EDIT))
+        stats = service.stats()
+        assert stats["generation"] == 1
+        assert stats["updates"]["applied"] == 1
+        assert stats["updates"]["fallbacks"] == 0
+        assert stats["updates"]["seconds"] > 0
+        assert stats["delta"]["deltas_applied"] == 1
+
+
+class TestSnapshotGeneration:
+    def test_generation_survives_save_and_load(self, tmp_path):
+        facts = _to_facts(FIGURE_5)
+        service = AnalysisService.from_facts(
+            facts, CONFIG, solve=True, incremental=True
+        )
+        service.apply_delta(FactDelta().add("assign", EDIT))
+        service.apply_delta(FactDelta().remove("assign", EDIT))
+        path = str(tmp_path / "gen.snap")
+        service.save_snapshot(path)
+        snapshot = read_snapshot(path)
+        assert snapshot.generation == 2
+        loaded = AnalysisService.from_snapshot(path)
+        assert loaded.generation == 2
+
+    def test_snapshot_loaded_service_updates(self, tmp_path):
+        facts = _to_facts(FIGURE_5)
+        path = str(tmp_path / "live.snap")
+        AnalysisService.from_facts(
+            copy_facts(facts), CONFIG, solve=True
+        ).save_snapshot(path)
+        service = AnalysisService.from_snapshot(path)
+        delta = FactDelta().add("assign", EDIT)
+        result = service.apply_delta(delta)
+        assert result.fallback  # snapshot backends have no engine
+        assert service.generation == 1
+        expected = _expected_pts(delta.applied_copy(facts))
+        for var in variables_of(service.facts):
+            assert service.points_to(var) == frozenset(
+                expected.get(var, set())
+            ), var
+
+
+class TestServeUpdateOp:
+    def _service(self):
+        return AnalysisService.from_facts(
+            _to_facts(FIGURE_5), CONFIG, solve=True, incremental=True
+        )
+
+    def test_update_with_delta_object(self):
+        service = self._service()
+        delta = FactDelta().add("assign", EDIT)
+        response = handle_request(service, {
+            "id": 1, "op": "update", "delta": delta.to_json(),
+        })
+        assert response["ok"], response
+        result = response["result"]
+        assert result["generation"] == 1
+        assert result["fallback"] is False
+        assert result["changed"]["pts"]["added"] > 0
+        assert result["micros"] >= 0
+        # The response is exactly what a JSON-lines client would see.
+        json.dumps(response)
+
+    def test_update_with_source_program(self):
+        service = self._service()
+        response = handle_request(service, {
+            "id": 2, "op": "update", "source": FIGURE_1,
+        })
+        assert response["ok"], response
+        assert response["result"]["generation"] == 1
+        expected = _expected_pts(_to_facts(FIGURE_1))
+        for var in variables_of(service.facts):
+            assert service.points_to(var) == frozenset(
+                expected.get(var, set())
+            ), var
+
+    def test_update_requires_delta_or_source(self):
+        response = handle_request(self._service(), {"id": 3, "op": "update"})
+        assert not response["ok"]
+        assert "requires a 'delta' object or a 'source'" in response["error"]
+
+    def test_update_rejects_malformed_delta(self):
+        response = handle_request(self._service(), {
+            "id": 4, "op": "update", "delta": {"added": {"pts": [["v"]]}},
+        })
+        assert not response["ok"]
+        assert "unknown input relation" in response["error"]
+
+    def test_cache_invalidated_count_reported(self):
+        service = self._service()
+        for var in variables_of(service.facts):
+            service.points_to(var)
+        delta = FactDelta().add("assign", STALE_EDIT)
+        response = handle_request(service, {
+            "id": 5, "op": "update", "delta": delta.to_json(),
+        })
+        assert response["ok"]
+        assert response["result"]["cache_invalidated"] > 0

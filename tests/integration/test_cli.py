@@ -150,12 +150,13 @@ class TestFigure6Command:
         out_file = tmp_path / "figure6.json"
         assert main([
             "figure6", "--scale", "1", "--json", str(out_file),
-            "--no-query-latency",
+            "--no-query-latency", "--no-incremental",
         ]) == 0
         assert "wrote JSON" in capsys.readouterr().out
         data = json.loads(out_file.read_text())
-        assert data["schema"] == "repro-figure6/2"
+        assert data["schema"] == "repro-figure6/3"
         assert data["query_latency"] is None  # suppressed by the flag
+        assert data["incremental"] is None  # suppressed by the flag
         assert data["scale"] == 1
         assert data["engine"] == "solver"
         assert set(data["geomean"]) == set(data["configurations"])
@@ -177,11 +178,17 @@ class TestFigure6Command:
             "figure6", "--scale", "1", "--json", str(out_file),
         ]) == 0
         capsys.readouterr()
-        latency = json.loads(out_file.read_text())["query_latency"]
+        data = json.loads(out_file.read_text())
+        latency = data["query_latency"]
         assert latency["configuration"] == "2-object+H"
         for benchmark, entry in latency["benchmarks"].items():
             assert entry["warm"]["points_to"]["count"] > 0, benchmark
             assert entry["cold"]["points_to"]["count"] > 0, benchmark
+        incremental = data["incremental"]
+        assert incremental["single_edit"]["speedup"] > 0
+        for benchmark, churn in incremental["benchmarks"].items():
+            assert churn["edits"] > 0, benchmark
+            assert churn["fallbacks"] == 0, benchmark
 
 
 class TestSnapshotWorkflow:
@@ -194,7 +201,7 @@ class TestSnapshotWorkflow:
 
         assert main(["lint", snap]) == 0
         lint_out = capsys.readouterr().out
-        assert "repro-snapshot/1" in lint_out
+        assert "repro-snapshot/2" in lint_out
         assert "(verified)" in lint_out
         assert "snapshot ok" in lint_out
 
@@ -240,6 +247,63 @@ class TestSnapshotWorkflow:
             "--var", "x",
         ]) == 1
         assert "repro query:" in capsys.readouterr().err
+
+
+class TestIncrementalCli:
+    @pytest.fixture()
+    def figure1_edited_file(self, tmp_path):
+        path = tmp_path / "figure1_edited.java"
+        path.write_text(FIGURE_1.replace(
+            "Object z = b.f;",
+            "Object z = b.f;\n        Object w = y;",
+        ))
+        return str(path)
+
+    def test_analyze_diff(self, figure1_file, figure1_edited_file, capsys):
+        assert main([
+            "analyze", "--diff", figure1_file, figure1_edited_file,
+            "--config", "1-call",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "fact delta" in out
+        assert "assign: +1" in out
+        assert "derived changes: pts +1/-0" in out
+        assert "parity with scratch solve: ok" in out
+        assert "incremental" in out and "scratch" in out
+
+    def test_analyze_diff_empty_delta(self, figure1_file, capsys):
+        assert main([
+            "analyze", "--diff", figure1_file, figure1_file,
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "(empty delta)" in out
+        assert "parity" not in out  # nothing to solve
+
+    def test_query_snapshot_warns_when_stale(self, figure1_file,
+                                             figure1_edited_file, tmp_path,
+                                             capsys):
+        snap = str(tmp_path / "figure1.snap")
+        main(["analyze", figure1_file, "--save-snapshot", snap])
+        capsys.readouterr()
+        assert main([
+            "query", "--snapshot", snap, figure1_edited_file,
+            "--var", "T.main/x2",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "generation 0" in captured.out
+        assert "is stale" in captured.err
+        assert "1 fact(s) missing" in captured.err
+
+    def test_query_snapshot_no_warning_when_fresh(self, figure1_file,
+                                                  tmp_path, capsys):
+        snap = str(tmp_path / "figure1.snap")
+        main(["analyze", figure1_file, "--save-snapshot", snap])
+        capsys.readouterr()
+        assert main([
+            "query", "--snapshot", snap, figure1_file,
+            "--var", "T.main/x2",
+        ]) == 0
+        assert capsys.readouterr().err == ""
 
 
 class TestServeCommand:

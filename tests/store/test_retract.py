@@ -1,0 +1,113 @@
+"""Retraction invariants under random lifecycle interleavings.
+
+The incremental engine retracts rows at arbitrary points of the
+semi-naive lifecycle (before promotion, mid-frontier, after
+stabilization).  Whatever the interleaving of add / retract / promote:
+
+* every materialized index bucket holds only live rows (index ⊆ rows),
+  and every live row is findable through every index;
+* a retracted row never lingers in the ``pending`` or ``delta`` lists
+  (it could resurface from a later ``promote``);
+* stable / delta / pending always partition the row set.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.store.relation import Relation
+
+#: A small value universe so operations collide often.
+_VALUES = st.sampled_from(["a", "b", "c", "d"])
+_ROWS = st.tuples(_VALUES, _VALUES)
+
+#: One lifecycle step: add a row, retract a row, cut the frontier, or
+#: materialize an index over a column subset.
+_STEPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("add"), _ROWS),
+        st.tuples(st.just("retract"), _ROWS),
+        st.tuples(st.just("promote"), st.none()),
+        st.tuples(st.just("index"), st.sampled_from([(0,), (1,), (0, 1)])),
+    ),
+    max_size=60,
+)
+
+
+def _check_invariants(relation: Relation) -> None:
+    rows = relation.rows
+    for positions, index in relation._indices.items():
+        indexed = set()
+        for key, bucket in index.items():
+            assert bucket, f"empty bucket {key!r} left in index {positions}"
+            for row in bucket:
+                assert row in rows, (
+                    f"index {positions} holds dead row {row!r}"
+                )
+                assert tuple(row[i] for i in positions) == key
+                indexed.add(row)
+        assert indexed == rows, (
+            f"index {positions} lost rows {rows - indexed!r}"
+        )
+    pending = relation.pending
+    delta = relation.delta
+    assert set(pending) <= rows
+    assert set(delta) <= rows
+    assert not set(pending) & set(delta)
+    assert relation.stable == rows - set(pending) - set(delta)
+
+
+@settings(max_examples=200, deadline=None)
+@given(steps=_STEPS)
+def test_lifecycle_interleavings(steps):
+    relation = Relation("r", arity=2)
+    live = set()
+    for op, arg in steps:
+        if op == "add":
+            added = relation.add(arg)
+            assert added == (arg not in live)
+            live.add(arg)
+        elif op == "retract":
+            retracted = relation.retract(arg)
+            assert retracted == (arg in live)
+            live.discard(arg)
+        elif op == "promote":
+            relation.promote()
+        else:
+            relation.ensure_index(arg)
+        assert relation.rows == live
+        _check_invariants(relation)
+
+
+@settings(max_examples=100, deadline=None)
+@given(steps=_STEPS)
+def test_untracked_relations_keep_empty_frontier(steps):
+    relation = Relation("r", arity=2, track_delta=False)
+    for op, arg in steps:
+        if op == "add":
+            relation.add(arg)
+        elif op == "retract":
+            relation.retract(arg)
+        elif op == "promote":
+            relation.promote()
+        else:
+            relation.ensure_index(arg)
+        assert relation.pending == []
+        _check_invariants(relation)
+
+
+def test_retract_then_promote_cannot_resurface():
+    relation = Relation("r", arity=2)
+    relation.add(("a", "b"))
+    relation.retract(("a", "b"))
+    assert relation.promote() == []
+    relation.add(("c", "d"))
+    relation.promote()
+    relation.retract(("c", "d"))
+    assert relation.delta == []
+    assert relation.promote() == []
+
+
+def test_retract_absent_row_is_a_noop():
+    relation = Relation("r", arity=2)
+    relation.ensure_index((0,))
+    assert not relation.retract(("x", "y"))
+    assert relation.counters.retracts == 0

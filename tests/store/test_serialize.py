@@ -1,5 +1,5 @@
 """Property tests for store serialization (value codec, interner,
-relation round-trips) — the substrate under ``repro-snapshot/1``."""
+relation round-trips) — the substrate under ``repro-snapshot/2``."""
 
 import json
 
