@@ -120,8 +120,10 @@ def format_csv(table: Figure6) -> str:
 #: ``/2`` adds the additive ``query_latency`` field (the service
 #: query-latency workload of :mod:`repro.bench.querybench`); ``/3``
 #: adds the additive ``incremental`` field (the edit-churn workload of
-#: :mod:`repro.bench.deltabench`).
-JSON_SCHEMA = "repro-figure6/3"
+#: :mod:`repro.bench.deltabench`); ``/4`` adds the additive ``checks``
+#: field (the client-checker precision audit of
+#: :mod:`repro.bench.checkbench`).
+JSON_SCHEMA = "repro-figure6/4"
 
 
 def _measurement_json(measurement: Measurement) -> Dict:
@@ -143,17 +145,20 @@ def figure6_json(
     engine: Optional[str] = None,
     query_latency: Optional[Dict] = None,
     incremental: Optional[Dict] = None,
+    checks: Optional[Dict] = None,
 ) -> Dict:
-    """The table as a JSON-serializable dict (schema ``repro-figure6/3``).
+    """The table as a JSON-serializable dict (schema ``repro-figure6/4``).
 
     Top-level keys: ``schema``, the run parameters (``scale``,
     ``repetitions``, ``engine``; ``None`` when unknown), ``benchmarks``,
-    ``configurations``, ``cells``, ``geomean``, plus two additive
+    ``configurations``, ``cells``, ``geomean``, plus three additive
     workload fields (``None`` when not measured): ``query_latency``
     (new in ``/2``, the service query-latency workload of
-    :func:`repro.bench.querybench.run_query_latency`) and
-    ``incremental`` (new in ``/3``, the edit-churn workload of
-    :func:`repro.bench.deltabench.run_delta_churn`).  Each cell carries
+    :func:`repro.bench.querybench.run_query_latency`), ``incremental``
+    (new in ``/3``, the edit-churn workload of
+    :func:`repro.bench.deltabench.run_delta_churn`) and ``checks``
+    (new in ``/4``, the client-checker precision audit of
+    :func:`repro.bench.checkbench.run_check_audit`).  Each cell carries
     both abstractions' measurements (sizes, CI sizes, total, seconds,
     and per-relation store counters when available) plus the derived
     decrease percentages as fractions.
@@ -161,6 +166,7 @@ def figure6_json(
     return {
         "query_latency": query_latency,
         "incremental": incremental,
+        "checks": checks,
         "schema": JSON_SCHEMA,
         "scale": scale,
         "repetitions": repetitions,
@@ -201,12 +207,13 @@ def format_json(
     engine: Optional[str] = None,
     query_latency: Optional[Dict] = None,
     incremental: Optional[Dict] = None,
+    checks: Optional[Dict] = None,
 ) -> str:
     """:func:`figure6_json` serialized (indented, trailing newline)."""
     return json.dumps(
         figure6_json(table, scale=scale, repetitions=repetitions,
                      engine=engine, query_latency=query_latency,
-                     incremental=incremental),
+                     incremental=incremental, checks=checks),
         indent=2,
     ) + "\n"
 

@@ -1,0 +1,47 @@
+"""Client checkers: points-to-powered static analyses.
+
+The public surface:
+
+* :func:`run_checks` — run (a subset of) the registered checkers over
+  one :class:`~repro.core.results.AnalysisResult`;
+* :class:`Checker` / :class:`Finding` / :class:`CheckReport` — the
+  framework types (``repro-check/1`` reports with a content digest);
+* :class:`CheckConfig` — thread roots and taint sources;
+* :func:`all_checkers` / :func:`get_checkers` — the registry.
+
+See ``docs/api.md`` ("Client checkers") for the code table and the
+report schema.
+"""
+
+from repro.checkers.framework import (
+    REPORT_SCHEMA,
+    CheckConfig,
+    CheckError,
+    CheckReport,
+    Checker,
+    Finding,
+    Severity,
+    all_checkers,
+    checker_names,
+    describe_report,
+    get_checkers,
+    register,
+    run_checks,
+)
+from repro.checkers import checks  # noqa: F401  (registers the builtins)
+
+__all__ = [
+    "REPORT_SCHEMA",
+    "CheckConfig",
+    "CheckError",
+    "CheckReport",
+    "Checker",
+    "Finding",
+    "Severity",
+    "all_checkers",
+    "checker_names",
+    "describe_report",
+    "get_checkers",
+    "register",
+    "run_checks",
+]

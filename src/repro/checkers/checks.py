@@ -1,0 +1,554 @@
+"""The builtin client checkers (code families CK1xx–CK5xx).
+
+Each checker reads only *context-insensitive projections* of the
+derived relations (plus input facts), so reports are identical across
+the two abstractions wherever their CI projections agree, and each is
+*anti-monotone in precision*: a more precise configuration can only
+shrink the relations a finding rests on, so its findings on a program
+are a subset of the context-insensitive run's findings.
+
+Code table (also rendered in ``docs/api.md``):
+
+========  ========  ========================================================
+code      severity  meaning
+========  ========  ========================================================
+CK101     warning   dispatch receiver may hold an object with no
+                    implementation of the invoked signature (the implicit
+                    downcast at the call is not provably safe)
+CK102     error     *every* object the receiver may hold lacks the invoked
+                    signature — the dispatch fails whenever reached
+CK201     info      virtual call site left polymorphic (≥ 2 targets); the
+                    metrics count the sites proved monomorphic
+CK301     warning   may-alias race: two field accesses (≥ 1 write) on
+                    aliasing receivers, reachable from different thread
+                    roots
+CK401     warning   static-field leak: a static field may retain an object
+                    allocated at a configured taint-source site
+CK501     info      dead code: a declared method unreachable from the entry
+                    point
+========  ========  ========================================================
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.checkers.framework import (
+    CheckConfig, Checker, Finding, Severity, register,
+)
+from repro.core.results import AnalysisResult
+from repro.frontend.factgen import FactSet
+
+
+# ----------------------------------------------------------------------
+# Shared projections over one (result, facts) pair.
+# ----------------------------------------------------------------------
+
+
+class CheckContext:
+    """Lazily-computed shared views the checkers read."""
+
+    def __init__(self, result: AnalysisResult, facts: FactSet):
+        self.result = result
+        self.facts = facts
+        self._memo: Dict[str, object] = {}
+
+    def _cached(self, key, compute):
+        if key not in self._memo:
+            self._memo[key] = compute()
+        return self._memo[key]
+
+    @property
+    def pts_by_var(self) -> Dict[str, Set[str]]:
+        def compute():
+            out: Dict[str, Set[str]] = defaultdict(set)
+            for (var, heap) in self.result.pts_ci():
+                out[var].add(heap)
+            return out
+        return self._cached("pts_by_var", compute)
+
+    @property
+    def heap_type(self) -> Dict[str, str]:
+        return self._cached(
+            "heap_type", lambda: dict(self.facts.heap_type)
+        )
+
+    @property
+    def implementors(self) -> Dict[str, Set[str]]:
+        """signature → the types that implement it."""
+        def compute():
+            out: Dict[str, Set[str]] = defaultdict(set)
+            for (_method, type_name, signature) in self.facts.implements:
+                out[signature].add(type_name)
+            return out
+        return self._cached("implementors", compute)
+
+    @property
+    def callees_by_site(self) -> Dict[str, Set[str]]:
+        def compute():
+            out: Dict[str, Set[str]] = defaultdict(set)
+            for (site, method) in self.result.call_graph():
+                out[site].add(method)
+            return out
+        return self._cached("callees_by_site", compute)
+
+    @property
+    def reachable(self) -> FrozenSet[str]:
+        return self._cached(
+            "reachable", self.result.reachable_methods
+        )
+
+    @property
+    def sites_by_method(self) -> Dict[str, List[str]]:
+        def compute():
+            out: Dict[str, List[str]] = defaultdict(list)
+            for site, method in sorted(
+                self.facts.invocation_parent.items()
+            ):
+                out[method].append(site)
+            return out
+        return self._cached("sites_by_method", compute)
+
+    @property
+    def heap_method(self) -> Dict[str, str]:
+        """Allocation site → the method containing the allocation."""
+        return self._cached(
+            "heap_method",
+            lambda: {h: p for (h, _y, p) in self.facts.assign_new},
+        )
+
+    @property
+    def declared_methods(self) -> FrozenSet[str]:
+        """Every method the input relations declare or mention."""
+        def compute():
+            facts = self.facts
+            out: Set[str] = set()
+            out.update(p for (_y, p, _o) in facts.formal)
+            out.update(q for (_y, q) in facts.this_var)
+            out.update(p for (_h, _y, p) in facts.assign_new)
+            out.update(p for (_f, _y, p) in facts.static_load)
+            out.update(p for (_z, p) in facts.return_var)
+            out.update(p for (_x, p) in facts.throw_var)
+            out.update(p for (_y, p) in facts.catch_var)
+            out.update(q for (_i, q, _p) in facts.static_invoke)
+            out.update(p for (_i, _q, p) in facts.static_invoke)
+            out.update(q for (q, _t, _s) in facts.implements)
+            out.update(facts.invocation_parent.values())
+            if facts.main_method:
+                out.add(facts.main_method)
+            return frozenset(out)
+        return self._cached("declared_methods", compute)
+
+    @property
+    def method_of_var(self) -> Dict[str, str]:
+        """Variable → enclosing method, from the relations that place a
+        variable in a method (with the ``Cls.m/v`` naming convention as
+        a fallback for variables only mentioned positionally)."""
+        def compute():
+            facts = self.facts
+            out: Dict[str, str] = {}
+            for (y, p, _o) in facts.formal:
+                out[y] = p
+            for (y, q) in facts.this_var:
+                out[y] = q
+            for (_h, y, p) in facts.assign_new:
+                out[y] = p
+            for (_f, y, p) in facts.static_load:
+                out[y] = p
+            for (z, p) in facts.return_var:
+                out[z] = p
+            for (x, p) in facts.throw_var:
+                out[x] = p
+            for (y, p) in facts.catch_var:
+                out[y] = p
+            return out
+        return self._cached("method_of_var", compute)
+
+    def enclosing_method(self, var: str) -> str:
+        method = self.method_of_var.get(var)
+        if method is not None:
+            return method
+        # Variables are qualified "Cls.method/name".
+        return var.rsplit("/", 1)[0]
+
+    def thread_roots(self, config: CheckConfig) -> Tuple[str, ...]:
+        """Race-checker entry points: ``main``, every ``*.run`` method,
+        plus the configured extras (sorted, deduplicated)."""
+        roots: Set[str] = set(config.thread_roots)
+        if self.facts.main_method:
+            roots.add(self.facts.main_method)
+        for method in self.declared_methods:
+            if method.split(".")[-1] == "run":
+                roots.add(method)
+        return tuple(sorted(roots))
+
+    def reachable_from(self, root: str) -> FrozenSet[str]:
+        """Methods reachable from ``root`` over the analysis call graph
+        (which only has edges for analysis-reachable code, so this is
+        always a subset of :attr:`reachable` ∪ {root})."""
+        def compute():
+            seen = {root}
+            frontier = [root]
+            while frontier:
+                method = frontier.pop()
+                for site in self.sites_by_method.get(method, ()):
+                    for callee in self.callees_by_site.get(site, ()):
+                        if callee not in seen:
+                            seen.add(callee)
+                            frontier.append(callee)
+            return frozenset(seen)
+        return self._cached(("reachable_from", root), compute)
+
+
+def _fmt_set(items, limit: int = 4) -> str:
+    ordered = sorted(items)
+    if len(ordered) > limit:
+        return ", ".join(ordered[:limit]) + f", … ({len(ordered)} total)"
+    return ", ".join(ordered)
+
+
+# ----------------------------------------------------------------------
+# CK1xx — downcast safety.
+# ----------------------------------------------------------------------
+
+
+@register
+class DowncastChecker(Checker):
+    """Virtual dispatches the points-to sets cannot prove well-typed.
+
+    Every virtual call ``z.s(…)`` carries an implicit downcast of the
+    receiver to "some type implementing ``s``"; the checker flags the
+    sites where ``pts(z)`` contains an object whose type has no
+    implementation of the invoked signature.  Imprecise analyses
+    conflate unrelated objects into ``pts(z)`` and fire these findings;
+    context sensitivity makes them disappear — the paper's client-level
+    precision story in one checker.
+    """
+
+    name = "downcast"
+    prefix = "CK1"
+    codes = {
+        "CK101": "receiver may hold an object with no implementation of"
+                 " the invoked signature",
+        "CK102": "every object the receiver may hold lacks the invoked"
+                 " signature (dispatch fails whenever reached)",
+    }
+    inputs = ("pts", "virtual_invoke", "heap_type", "implements")
+
+    def run(self, result, facts, config):
+        ctx = CheckContext(result, facts)
+        findings: List[Finding] = []
+        sites = checked = 0
+        for (site, receiver, signature) in sorted(facts.virtual_invoke):
+            sites += 1
+            pointees = ctx.pts_by_var.get(receiver, ())
+            if not pointees:
+                continue  # dead site: no receiver objects at all
+            checked += 1
+            implementors = ctx.implementors.get(signature, set())
+            bad = sorted(
+                h for h in pointees
+                if ctx.heap_type.get(h) not in implementors
+            )
+            if not bad:
+                continue
+            definite = len(bad) == len(pointees)
+            code = "CK102" if definite else "CK101"
+            severity = Severity.ERROR if definite else Severity.WARNING
+            described = _fmt_set(
+                f"{h} ({ctx.heap_type.get(h, '?')})" for h in bad
+            )
+            qualifier = "only" if definite else "may"
+            findings.append(Finding(
+                code=code,
+                checker=self.name,
+                severity=severity,
+                subject=site,
+                message=(
+                    f"receiver {receiver} of {signature} at {site}"
+                    f" {qualifier} point{'s' if definite else ''} to"
+                    f" objects without {signature}: {described}"
+                ),
+                witness=tuple(
+                    ("pts", receiver, h) for h in bad
+                ),
+            ))
+        return findings, {
+            "virtual_sites": sites,
+            "checked_sites": checked,
+            "unsafe_sites": len(findings),
+        }
+
+
+# ----------------------------------------------------------------------
+# CK2xx — devirtualization.
+# ----------------------------------------------------------------------
+
+
+@register
+class DevirtualizationChecker(Checker):
+    """Virtual call sites the call graph leaves polymorphic.
+
+    A site with exactly one analysis target can be devirtualized
+    (inlined / statically bound); sites with ≥ 2 targets are reported
+    as CK201.  Only the *polymorphic* sites become findings — the
+    proved-monomorphic count grows with precision and lives in the
+    metrics, keeping findings anti-monotone.
+    """
+
+    name = "devirt"
+    prefix = "CK2"
+    codes = {
+        "CK201": "virtual call site left polymorphic (≥ 2 targets)",
+    }
+    inputs = ("call", "virtual_invoke")
+
+    def run(self, result, facts, config):
+        ctx = CheckContext(result, facts)
+        findings: List[Finding] = []
+        monomorphic = unresolved = 0
+        for (site, _receiver, signature) in sorted(facts.virtual_invoke):
+            targets = sorted(ctx.callees_by_site.get(site, ()))
+            if not targets:
+                unresolved += 1
+            elif len(targets) == 1:
+                monomorphic += 1
+            else:
+                findings.append(Finding(
+                    code="CK201",
+                    checker=self.name,
+                    severity=Severity.INFO,
+                    subject=site,
+                    message=(
+                        f"call to {signature} at {site} dispatches to"
+                        f" {len(targets)} targets: {_fmt_set(targets)}"
+                    ),
+                    witness=tuple(
+                        ("call", site, target) for target in targets
+                    ),
+                ))
+        return findings, {
+            "virtual_sites": len(facts.virtual_invoke),
+            "monomorphic": monomorphic,
+            "polymorphic": len(findings),
+            "unresolved": unresolved,
+        }
+
+
+# ----------------------------------------------------------------------
+# CK3xx — may-alias races.
+# ----------------------------------------------------------------------
+
+
+@register
+class RaceChecker(Checker):
+    """Field-access pairs that may race across thread roots.
+
+    An *access* is a field load or store; two accesses race when they
+    name the same field, at least one writes, their base variables may
+    alias (common points-to site), and their enclosing methods are
+    reachable from *different* thread roots (see
+    :meth:`CheckContext.thread_roots`; a direct call ``main → X.run``
+    models ``Thread.start``).  One finding per unordered access pair,
+    keyed by a canonical subject string.
+    """
+
+    name = "races"
+    prefix = "CK3"
+    codes = {
+        "CK301": "conflicting field accesses on aliasing receivers"
+                 " reachable from different thread roots",
+    }
+    inputs = (
+        "pts", "call", "reach", "load", "store",
+        "virtual_invoke", "static_invoke", "invocation_parent",
+    )
+
+    def run(self, result, facts, config):
+        ctx = CheckContext(result, facts)
+        roots = ctx.thread_roots(config)
+        root_cover = {root: ctx.reachable_from(root) for root in roots}
+        reachable = ctx.reachable
+
+        # (kind, base, field, method) per access; loads are (Y, F, Z),
+        # stores are (X, F, Z) with Z the base.
+        accesses = []
+        for (base, fieldname, _dst) in sorted(facts.load):
+            accesses.append(("read", base, fieldname))
+        for (_src, fieldname, base) in sorted(facts.store):
+            accesses.append(("write", base, fieldname))
+
+        def roots_of(method: str) -> Tuple[str, ...]:
+            return tuple(
+                root for root in roots if method in root_cover[root]
+            )
+
+        findings: List[Finding] = []
+        seen_subjects = set()
+        pairs = 0
+        for index, (kind_a, base_a, field_a) in enumerate(accesses):
+            method_a = ctx.enclosing_method(base_a)
+            if method_a not in reachable:
+                continue
+            pts_a = ctx.pts_by_var.get(base_a, set())
+            if not pts_a:
+                continue
+            roots_a = roots_of(method_a)
+            if not roots_a:
+                continue
+            for (kind_b, base_b, field_b) in accesses[index:]:
+                if field_a != field_b:
+                    continue
+                if kind_a != "write" and kind_b != "write":
+                    continue
+                method_b = ctx.enclosing_method(base_b)
+                if method_b not in reachable:
+                    continue
+                roots_b = roots_of(method_b)
+                # Need two *distinct* roots able to reach the accesses.
+                if not any(
+                    ra != rb for ra in roots_a for rb in roots_b
+                ):
+                    continue
+                shared = pts_a & ctx.pts_by_var.get(base_b, set())
+                if not shared:
+                    continue
+                pairs += 1
+                endpoints = sorted([
+                    f"{method_a}:{base_a}[{kind_a}]",
+                    f"{method_b}:{base_b}[{kind_b}]",
+                ])
+                subject = f"{field_a}|{endpoints[0]}|{endpoints[1]}"
+                if subject in seen_subjects:
+                    continue
+                seen_subjects.add(subject)
+                findings.append(Finding(
+                    code="CK301",
+                    checker=self.name,
+                    severity=Severity.WARNING,
+                    subject=subject,
+                    message=(
+                        f"field {field_a} of {_fmt_set(shared)} is"
+                        f" {kind_a} via {base_a} in {method_a} and"
+                        f" {kind_b} via {base_b} in {method_b},"
+                        f" reachable from distinct roots"
+                        f" ({_fmt_set(set(roots_a) | set(roots_b))})"
+                    ),
+                    witness=tuple(
+                        ("pts", base, heap)
+                        for base in sorted({base_a, base_b})
+                        for heap in sorted(shared)
+                    ),
+                ))
+        return findings, {
+            "thread_roots": len(roots),
+            "accesses": len(accesses),
+            "racy_pairs": pairs,
+            "races": len(findings),
+        }
+
+
+# ----------------------------------------------------------------------
+# CK4xx — static-field leaks.
+# ----------------------------------------------------------------------
+
+
+@register
+class LeakChecker(Checker):
+    """Objects from taint-source sites retained by static fields.
+
+    Static fields live for the whole program; the checker flags every
+    ``spts(F, H)`` row whose allocation site ``H`` matches a configured
+    taint source (by heap label or heap type name; no configured
+    sources means every site counts).
+    """
+
+    name = "leaks"
+    prefix = "CK4"
+    codes = {
+        "CK401": "static field may retain an object from a taint-source"
+                 " allocation site",
+    }
+    inputs = ("spts", "static_store", "heap_type", "assign_new")
+
+    def run(self, facts_result, facts, config):
+        ctx = CheckContext(facts_result, facts)
+        sources = set(config.taint_sources)
+
+        def is_source(heap: str) -> bool:
+            if not sources:
+                return True
+            return heap in sources or ctx.heap_type.get(heap) in sources
+
+        spts_ci: Dict[str, Set[str]] = defaultdict(set)
+        for (fieldname, heap, _a) in facts_result.spts:
+            spts_ci[fieldname].add(heap)
+
+        findings: List[Finding] = []
+        retained = 0
+        for fieldname in sorted(spts_ci):
+            heaps = sorted(h for h in spts_ci[fieldname] if is_source(h))
+            retained += len(heaps)
+            for heap in heaps:
+                where = ctx.heap_method.get(heap, "?")
+                findings.append(Finding(
+                    code="CK401",
+                    checker=self.name,
+                    severity=Severity.WARNING,
+                    subject=f"{fieldname}<-{heap}",
+                    message=(
+                        f"static field {fieldname} may retain {heap}"
+                        f" ({ctx.heap_type.get(heap, '?')}) allocated"
+                        f" in {where}"
+                    ),
+                    witness=(("spts", fieldname, heap),),
+                ))
+        return findings, {
+            "static_fields": len(spts_ci),
+            "retained_sites": retained,
+            "leaks": len(findings),
+        }
+
+
+# ----------------------------------------------------------------------
+# CK5xx — dead code.
+# ----------------------------------------------------------------------
+
+
+@register
+class DeadCodeChecker(Checker):
+    """Declared methods the analysis proves unreachable."""
+
+    name = "deadcode"
+    prefix = "CK5"
+    codes = {
+        "CK501": "declared method unreachable from the entry point",
+    }
+    inputs = (
+        "reach", "formal", "this_var", "assign_new", "return_var",
+        "static_invoke", "implements", "throw_var", "catch_var",
+        "static_load", "invocation_parent",
+    )
+
+    def run(self, result, facts, config):
+        ctx = CheckContext(result, facts)
+        reachable = ctx.reachable
+        declared = ctx.declared_methods
+        dead = sorted(declared - reachable)
+        entry = facts.main_method or "the entry point"
+        findings = [
+            Finding(
+                code="CK501",
+                checker=self.name,
+                severity=Severity.INFO,
+                subject=method,
+                message=f"method {method} is never reached from {entry}",
+            )
+            for method in dead
+        ]
+        return findings, {
+            "declared": len(declared),
+            "reachable": len(declared & reachable),
+            "dead": len(dead),
+        }

@@ -1,0 +1,514 @@
+"""The client-checker framework: checkers, findings, reports.
+
+The paper's evaluation (like Doop's) ultimately judges a pointer
+analysis by *client queries* — failable casts, polymorphic call sites,
+may-alias pairs.  This package is that client layer: a small registry of
+:class:`Checker` subclasses, each consuming one
+:class:`~repro.core.results.AnalysisResult` plus the input
+:class:`~repro.frontend.factgen.FactSet` and emitting typed
+:class:`Finding` objects with stable codes (``CK101`` …).
+
+Design invariants the acceptance tests rely on:
+
+* **Findings are context-insensitive.**  Witness facts are CI
+  projections (``("pts", var, heap)``, ``("call", site, method)`` …),
+  never transformer/context objects — so the two abstractions produce
+  bit-identical reports at equal ``(m, h)`` wherever their CI
+  projections agree (Theorem 6.2).
+* **Finding identity is ``(code, subject)``** and precision
+  monotonicity is judged per checker on subjects: a more precise
+  configuration may only *remove* findings, never add them.
+* **Reports are deterministic.**  Findings sort by ``(code, subject)``;
+  the ``repro-check/1`` JSON digest covers the *body* only (config,
+  checks, findings, metrics) — not the generation or timing — so a live
+  solve, a loaded snapshot and a delta-patched service all emit
+  byte-identical bodies.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import (
+    Dict, Iterable, List, Mapping, Optional, Sequence, Tuple,
+)
+
+from repro.core.results import AnalysisResult
+from repro.frontend.factgen import FactSet
+
+#: JSON report schema identifier; bump the suffix on breaking changes.
+REPORT_SCHEMA = "repro-check/1"
+
+
+class CheckError(ValueError):
+    """A malformed or corrupted ``repro-check/1`` document."""
+
+
+class Severity(enum.IntEnum):
+    """Finding severity, ordered so gating can compare (info < error)."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        return self.name.lower()
+
+    @classmethod
+    def parse(cls, text: str) -> "Severity":
+        try:
+            return cls[text.strip().upper()]
+        except KeyError:
+            raise CheckError(
+                f"unknown severity {text!r}; expected one of"
+                f" {[s.label for s in cls]}"
+            ) from None
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One checker result.
+
+    ``subject`` is the stable identity attribute (a call site, a field
+    access pair, a method …); ``witness`` holds the context-insensitive
+    derived facts the finding rests on, each a tuple whose head is the
+    relation kind (``pts``, ``call``, ``spts``, ``texc``, ``reach``).
+    """
+
+    code: str
+    checker: str
+    severity: Severity
+    subject: str
+    message: str
+    witness: Tuple[Tuple[str, ...], ...] = ()
+
+    @property
+    def identity(self) -> Tuple[str, str]:
+        return (self.code, self.subject)
+
+    def sort_key(self) -> Tuple[str, str]:
+        return (self.code, self.subject)
+
+    def to_json(self) -> Dict:
+        return {
+            "code": self.code,
+            "checker": self.checker,
+            "severity": self.severity.label,
+            "subject": self.subject,
+            "message": self.message,
+            "witness": [list(fact) for fact in self.witness],
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping) -> "Finding":
+        try:
+            return cls(
+                code=data["code"],
+                checker=data["checker"],
+                severity=Severity.parse(data["severity"]),
+                subject=data["subject"],
+                message=data["message"],
+                witness=tuple(
+                    tuple(fact) for fact in data.get("witness", ())
+                ),
+            )
+        except (KeyError, TypeError) as error:
+            raise CheckError(f"malformed finding object: {error}") from error
+
+    # -- provenance ----------------------------------------------------
+
+    def explain(self, result: AnalysisResult, max_depth: int = 8) -> str:
+        """Render the finding plus a derivation tree per witness fact.
+
+        Reuses :meth:`AnalysisResult.explain` (and therefore requires a
+        result solved with ``track_provenance=True``); without
+        provenance the witness facts are still listed, un-expanded.
+        """
+        lines = [f"{self.code} [{self.severity.label}] {self.subject}:"
+                 f" {self.message}"]
+        for fact in self.witness:
+            lines.append(_explain_witness(result, fact, max_depth))
+        return "\n".join(lines)
+
+
+def _explain_witness(
+    result: AnalysisResult, fact: Tuple[str, ...], max_depth: int
+) -> str:
+    """One witness fact's derivation, indented under the finding."""
+    rendered = f"{fact[0]}({', '.join(fact[1:])})"
+    if not result.config.track_provenance:
+        return (f"  {rendered}"
+                "   [solve with track_provenance=True for a derivation]")
+    kind = fact[0]
+    # Witness facts are CI; find the context-sensitive facts behind one.
+    if kind == "pts":
+        _, var, heap = fact
+        tree = result.explain_points_to(var, heap, max_depth)
+    else:
+        relation = getattr(result, kind, None)
+        keys = []
+        if relation is not None:
+            for row in relation:
+                if tuple(str(r) for r in row[:len(fact) - 1]) == fact[1:]:
+                    keys.append((kind,) + tuple(row))
+        if not keys:
+            return f"  {rendered}   [no derivation recorded]"
+        tree = "\n".join(
+            result.explain(key, max_depth) for key in sorted(keys, key=str)
+        )
+    return "\n".join("  " + line for line in tree.splitlines())
+
+
+@dataclass(frozen=True)
+class CheckConfig:
+    """Tunable checker inputs (all optional; defaults are sensible).
+
+    ``thread_roots`` adds entry-point methods for the race checker on
+    top of the automatic roots (the program's ``main`` plus every
+    method whose unqualified name is ``run`` — the conventional model
+    of ``Thread.start``).  ``taint_sources`` restricts the leak
+    checker's source allocation sites: each entry matches a heap label
+    or a heap type name; empty means *every* site is a source.
+    """
+
+    thread_roots: Tuple[str, ...] = ()
+    taint_sources: Tuple[str, ...] = ()
+
+    def to_json(self) -> Dict:
+        return {
+            "thread_roots": sorted(self.thread_roots),
+            "taint_sources": sorted(self.taint_sources),
+        }
+
+
+class Checker:
+    """Base class: one client analysis over a solved result.
+
+    Subclasses set ``name`` (registry key), ``prefix`` (the ``CKn``
+    code family), ``codes`` (code → meaning, for docs and reports) and
+    ``inputs`` — the derived/input relation names whose change
+    invalidates this checker's findings.  ``inputs`` is the incremental
+    re-check contract: :meth:`AnalysisService.check` re-runs a checker
+    after a :class:`~repro.incremental.FactDelta` only when the delta
+    touched one of these relations.
+    """
+
+    name: str = ""
+    prefix: str = ""
+    codes: Mapping[str, str] = {}
+    inputs: Tuple[str, ...] = ()
+
+    def run(
+        self,
+        result: AnalysisResult,
+        facts: FactSet,
+        config: CheckConfig,
+    ) -> Tuple[List[Finding], Dict[str, int]]:
+        """Return ``(findings, metrics)``; metrics are integer counts."""
+        raise NotImplementedError
+
+    def describe(self) -> Dict:
+        return {
+            "name": self.name,
+            "prefix": self.prefix,
+            "codes": dict(self.codes),
+            "inputs": list(self.inputs),
+        }
+
+
+#: The checker registry, in registration (= report) order.
+_REGISTRY: "Dict[str, Checker]" = {}
+
+
+def register(checker_cls):
+    """Class decorator: instantiate and register a checker."""
+    instance = checker_cls()
+    if not instance.name or not instance.prefix:
+        raise ValueError("checkers must define 'name' and 'prefix'")
+    _REGISTRY[instance.name] = instance
+    return checker_cls
+
+
+def all_checkers() -> Tuple[Checker, ...]:
+    """Every registered checker, in registration order."""
+    _ensure_builtin()
+    return tuple(_REGISTRY.values())
+
+
+def checker_names() -> Tuple[str, ...]:
+    return tuple(checker.name for checker in all_checkers())
+
+
+def get_checkers(names: Optional[Iterable[str]]) -> Tuple[Checker, ...]:
+    """Resolve checker names or code prefixes (``races``, ``CK3``,
+    ``CK301``, ``CK3xx``) to registry entries, in registry order."""
+    checkers = all_checkers()
+    if names is None:
+        return checkers
+    requested = [str(name).strip() for name in names if str(name).strip()]
+    if not requested:
+        return checkers
+    matched = set()
+    for name in requested:
+        # A code or code prefix: "CK3", "CK3xx", "CK301" all select the
+        # checker whose family prefix is "CK3".
+        code = name.upper().rstrip("X")
+        hits = {
+            checker.name
+            for checker in checkers
+            if name.lower() == checker.name
+            or (code.startswith("CK") and code.startswith(checker.prefix))
+        }
+        if not hits:
+            raise CheckError(
+                f"unknown checker {name!r}; expected names"
+                f" {sorted(c.name for c in checkers)} or codes"
+                f" {sorted(c.prefix for c in checkers)}"
+            )
+        matched |= hits
+    return tuple(c for c in checkers if c.name in matched)
+
+
+def _ensure_builtin() -> None:
+    # Importing the module registers the builtin checkers exactly once.
+    from repro.checkers import checks  # noqa: F401
+
+
+# ----------------------------------------------------------------------
+# Reports.
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class CheckReport:
+    """One check run: the findings of the selected checkers.
+
+    ``generation`` and ``seconds`` are header metadata — they describe
+    *this* run and are excluded from the content digest, so equal
+    analysis states yield equal digests regardless of how (or when) the
+    state was produced.
+    """
+
+    config_description: str
+    checks: Tuple[str, ...]
+    findings: Tuple[Finding, ...]
+    metrics: Dict[str, Dict[str, int]]
+    check_config: CheckConfig = field(default_factory=CheckConfig)
+    generation: int = 0
+    seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        self.findings = tuple(
+            sorted(self.findings, key=Finding.sort_key)
+        )
+
+    # -- queries -------------------------------------------------------
+
+    def count(self, code_prefix: str = "") -> int:
+        return sum(
+            1 for f in self.findings if f.code.startswith(code_prefix)
+        )
+
+    def by_checker(self) -> Dict[str, Tuple[Finding, ...]]:
+        out: Dict[str, List[Finding]] = {name: [] for name in self.checks}
+        for finding in self.findings:
+            out.setdefault(finding.checker, []).append(finding)
+        return {name: tuple(fs) for name, fs in out.items()}
+
+    def counts_by_severity(self) -> Dict[str, int]:
+        out = {severity.label: 0 for severity in Severity}
+        for finding in self.findings:
+            out[finding.severity.label] += 1
+        return out
+
+    def max_severity(self) -> Optional[Severity]:
+        return max(
+            (f.severity for f in self.findings), default=None
+        )
+
+    def failed(self, fail_on: Optional[Severity]) -> bool:
+        """True iff any finding reaches the gating severity."""
+        if fail_on is None:
+            return False
+        worst = self.max_severity()
+        return worst is not None and worst >= fail_on
+
+    # -- serialization -------------------------------------------------
+
+    def body(self) -> Dict:
+        return {
+            "config": self.config_description,
+            "checks": list(self.checks),
+            "check_config": self.check_config.to_json(),
+            "findings": [f.to_json() for f in self.findings],
+            "metrics": {
+                name: dict(values)
+                for name, values in sorted(self.metrics.items())
+            },
+            "counts": self.counts_by_severity(),
+        }
+
+    def digest(self) -> str:
+        return _digest(self.body())
+
+    def findings_digest(self) -> str:
+        """Digest over findings + metrics only (no config description):
+        the quantity the two abstractions must agree on bit-for-bit at
+        equal ``(m, h)`` (Theorem 6.2 lifted to the client layer)."""
+        return _digest({
+            "findings": [f.to_json() for f in self.findings],
+            "metrics": {
+                name: dict(values)
+                for name, values in sorted(self.metrics.items())
+            },
+        })
+
+    def to_json(self) -> Dict:
+        return {
+            "schema": REPORT_SCHEMA,
+            "digest": self.digest(),
+            "generation": self.generation,
+            "seconds": self.seconds,
+            "body": self.body(),
+        }
+
+    @classmethod
+    def from_json(cls, document: Mapping) -> "CheckReport":
+        """Decode and *verify* a ``repro-check/1`` document."""
+        if not isinstance(document, Mapping):
+            raise CheckError("check report must be a JSON object")
+        schema = document.get("schema")
+        if schema != REPORT_SCHEMA:
+            raise CheckError(
+                f"unsupported check-report schema {schema!r};"
+                f" expected {REPORT_SCHEMA!r}"
+            )
+        body = document.get("body")
+        if not isinstance(body, Mapping):
+            raise CheckError("check report is missing its 'body' object")
+        recorded = document.get("digest")
+        actual = _digest(body)
+        if recorded != actual:
+            raise CheckError(
+                f"check-report digest mismatch: header says {recorded!r},"
+                f" body hashes to {actual!r} (corrupted or hand-edited?)"
+            )
+        check_config = body.get("check_config", {})
+        report = cls(
+            config_description=body.get("config", ""),
+            checks=tuple(body.get("checks", ())),
+            findings=tuple(
+                Finding.from_json(item)
+                for item in body.get("findings", ())
+            ),
+            metrics={
+                name: dict(values)
+                for name, values in body.get("metrics", {}).items()
+            },
+            check_config=CheckConfig(
+                thread_roots=tuple(check_config.get("thread_roots", ())),
+                taint_sources=tuple(check_config.get("taint_sources", ())),
+            ),
+            generation=int(document.get("generation", 0)),
+            seconds=float(document.get("seconds", 0.0)),
+        )
+        counts = body.get("counts")
+        if counts is not None and dict(counts) != report.counts_by_severity():
+            raise CheckError(
+                "check-report severity counts disagree with its findings"
+            )
+        return report
+
+    # -- rendering -----------------------------------------------------
+
+    def summary(self) -> str:
+        counts = self.counts_by_severity()
+        total = len(self.findings)
+        parts = ", ".join(
+            f"{counts[s.label]} {s.label}"
+            for s in sorted(Severity, reverse=True)
+            if counts[s.label]
+        ) or "no findings"
+        return (
+            f"{total} finding{'s' if total != 1 else ''} ({parts})"
+            f" from {len(self.checks)} checker"
+            f"{'s' if len(self.checks) != 1 else ''}"
+            f" [{self.config_description}]"
+        )
+
+    def render(self) -> str:
+        lines = [f"check report: {self.summary()}"]
+        for finding in self.findings:
+            lines.append(
+                f"  {finding.code} {finding.severity.label:7s}"
+                f" {finding.subject}: {finding.message}"
+            )
+        for name in self.checks:
+            metrics = self.metrics.get(name, {})
+            rendered = ", ".join(
+                f"{key}={value}" for key, value in sorted(metrics.items())
+            )
+            lines.append(f"  [{name}] {rendered}")
+        return "\n".join(lines)
+
+
+def _digest(body: Mapping) -> str:
+    canonical = json.dumps(
+        body, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+    return "sha256:" + hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def describe_report(path: str) -> Dict:
+    """Load + verify a report file; a summary dict for ``repro lint``.
+
+    Raises :class:`CheckError` on schema violations, digest mismatches
+    or inconsistent severity counts.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            document = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise CheckError(f"not JSON: {error}") from error
+    report = CheckReport.from_json(document)
+    return {
+        "schema": REPORT_SCHEMA,
+        "config": report.config_description,
+        "generation": report.generation,
+        "checks": list(report.checks),
+        "findings": len(report.findings),
+        "counts": report.counts_by_severity(),
+        "digest": report.digest(),
+    }
+
+
+def run_checks(
+    result: AnalysisResult,
+    facts: FactSet,
+    checks: Optional[Sequence[str]] = None,
+    config: CheckConfig = CheckConfig(),
+    generation: int = 0,
+) -> CheckReport:
+    """Run the selected checkers over one solved result."""
+    import time
+
+    checkers = get_checkers(checks)
+    findings: List[Finding] = []
+    metrics: Dict[str, Dict[str, int]] = {}
+    start = time.perf_counter()
+    for checker in checkers:
+        found, measured = checker.run(result, facts, config)
+        findings.extend(found)
+        metrics[checker.name] = measured
+    return CheckReport(
+        config_description=result.config.describe(),
+        checks=tuple(checker.name for checker in checkers),
+        findings=tuple(findings),
+        metrics=metrics,
+        check_config=config,
+        generation=generation,
+        seconds=time.perf_counter() - start,
+    )

@@ -27,6 +27,13 @@ Subcommands:
 ``serve``
     Long-lived query server: load a snapshot (or solve once) and answer
     JSON-lines requests on stdio or a TCP socket (``repro-serve/1``).
+
+``check``
+    Run the client-checker suite (downcasts, devirtualization, races,
+    leaks, dead code) over a program or snapshot; emit ``repro-check/1``
+    JSON and gate the exit code on ``--fail-on`` severity.  ``--audit``
+    sweeps the configuration matrix instead and tabulates finding
+    counts (the client-level companion to ``figure6``).
 """
 
 from __future__ import annotations
@@ -241,11 +248,12 @@ def cmd_query(args) -> int:
         except SnapshotError as error:
             print(f"repro query: {error}", file=sys.stderr)
             return 1
-        print(
-            f"snapshot: {args.snapshot}"
-            f" (config {service.config.describe()},"
-            f" generation {service.generation})"
-        )
+        if not args.json:
+            print(
+                f"snapshot: {args.snapshot}"
+                f" (config {service.config.describe()},"
+                f" generation {service.generation})"
+            )
         if args.source or args.facts_dir:
             _warn_stale_snapshot(args, service)
     else:
@@ -255,6 +263,8 @@ def cmd_query(args) -> int:
         service = AnalysisService.from_facts(
             facts, _analysis_config(args), solve=False
         )
+    if args.json:
+        return _query_json(args, service)
     for var in args.var:
         targets = ", ".join(sorted(service.points_to(var))) or "∅"
         print(f"{var} -> {{{targets}}}")
@@ -278,6 +288,35 @@ def cmd_query(args) -> int:
     return 0
 
 
+def _query_json(args, service) -> int:
+    """``query --json``: one structured document on stdout (schema
+    ``repro-query/1``) — per-query kind, answer, latency, cache state
+    and serving path, plus the service config and snapshot generation —
+    so scripts stop scraping the human format."""
+    import json
+
+    queries = []
+    for var in args.var:
+        outcome = service.query("points_to", var=var)
+        queries.append({
+            "kind": outcome.kind,
+            "var": var,
+            "answer": sorted(outcome.value),
+            "micros": int(outcome.seconds * 1e6),
+            "cached": outcome.cached,
+            "path": outcome.path,
+        })
+    document = {
+        "schema": "repro-query/1",
+        "config": service.config.describe(),
+        "snapshot": args.snapshot,
+        "generation": service.generation,
+        "queries": queries,
+    }
+    print(json.dumps(document, indent=2))
+    return 0
+
+
 def _warn_stale_snapshot(args, service) -> None:
     """``query --snapshot`` with a program too: refuse to answer
     silently when the snapshot's facts differ from the program's."""
@@ -296,6 +335,107 @@ def _warn_stale_snapshot(args, service) -> None:
         " to refresh)",
         file=sys.stderr,
     )
+
+
+def cmd_check(args) -> int:
+    from repro.checkers import CheckConfig, CheckError, Severity
+    from repro.service import AnalysisService, SnapshotError
+
+    check_config = CheckConfig(
+        thread_roots=tuple(args.thread_root or ()),
+        taint_sources=tuple(args.taint_source or ()),
+    )
+    checks = None
+    if args.checks:
+        checks = [
+            token for part in args.checks
+            for token in part.split(",") if token.strip()
+        ]
+    if args.audit:
+        return _check_audit(args, checks, check_config)
+    try:
+        if args.snapshot:
+            service = AnalysisService.from_snapshot(args.snapshot)
+        else:
+            service = AnalysisService.from_facts(
+                _load_facts(args), _analysis_config(args)
+            )
+        report = service.check(checks=checks, check_config=check_config)
+    except (SnapshotError, CheckError) as error:
+        print(f"repro check: {error}", file=sys.stderr)
+        return 2
+    print(report.render())
+    if args.explain:
+        _check_explain(service, checks, check_config)
+    if args.json:
+        _write_json(args.json, report.to_json(), "check report")
+    fail_on = (
+        None if args.fail_on == "never" else Severity.parse(args.fail_on)
+    )
+    if report.failed(fail_on):
+        print(
+            f"repro check: failing (findings at or above"
+            f" {fail_on.label}; see report)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _write_json(path: str, document, label: str) -> None:
+    import json
+
+    text = json.dumps(document, indent=2) + "\n"
+    if path == "-":
+        print(text, end="")
+    else:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {label} to {path}")
+
+
+def _check_explain(service, checks, check_config) -> None:
+    """``check --explain``: derivation trees for every witness fact.
+
+    Provenance is recorded by the solver, not stored in snapshots, so
+    this re-solves the service's facts once with
+    ``track_provenance=True``.
+    """
+    from dataclasses import replace
+
+    from repro.checkers import run_checks
+
+    config = replace(service.config, track_provenance=True)
+    result = analyze(service.facts, config)
+    traced = run_checks(
+        result, service.facts, checks=checks, config=check_config
+    )
+    print()
+    for finding in traced.findings:
+        print(finding.explain(result))
+
+
+def _check_audit(args, checks, check_config) -> int:
+    """``check --audit``: the flavour × (m,h) × abstraction sweep.
+
+    Exits non-zero when a checker's findings fail the precision-
+    monotonicity test against the insensitive baseline, or when the two
+    abstractions disagree at equal (m, h).
+    """
+    from repro.bench.checkbench import format_audit, run_precision_audit
+
+    facts = _load_facts(args)
+    audit = run_precision_audit(
+        facts, checks=checks, check_config=check_config
+    )
+    subject = args.source or args.facts_dir or "program"
+    print(format_audit(audit, title=f"Precision audit ({subject})"))
+    if args.json:
+        _write_json(args.json, audit, "audit JSON")
+    healthy = (
+        all(audit["monotone"].values()) and audit["abstractions_agree"]
+    )
+    return 0 if healthy else 1
 
 
 def cmd_serve(args) -> int:
@@ -401,6 +541,8 @@ def cmd_lint(args) -> int:
 
     if _looks_like_snapshot(args.path, source):
         return _lint_snapshot(args.path)
+    if _looks_like_check_report(args.path, source):
+        return _lint_check_report(args.path)
 
     failed = False
     try:
@@ -445,6 +587,35 @@ def _lint_snapshot(path: str) -> int:
     print(f"  facts     {report['input_facts']} input facts")
     print(f"  relations {relations}")
     print("snapshot ok: 0 errors, 0 warnings")
+    return 0
+
+
+def _looks_like_check_report(path: str, source: str) -> bool:
+    """Heuristic: JSON carrying the ``repro-check/`` schema marker."""
+    head = source.lstrip()[:4096]
+    return head.startswith("{") and '"repro-check/' in head
+
+
+def _lint_check_report(path: str) -> int:
+    """Self-check a ``repro-check/1`` report: schema, digest, counts."""
+    from repro.checkers import CheckError, describe_report
+
+    try:
+        report = describe_report(path)
+    except (CheckError, OSError) as error:
+        print(f"error[check-report] in {path}: {error}", file=sys.stderr)
+        return 1
+    counts = " ".join(
+        f"{name}={count}" for name, count in sorted(report["counts"].items())
+    )
+    print(f"check report: {path}")
+    print(f"  schema     {report['schema']}")
+    print(f"  config     {report['config']}")
+    print(f"  digest     {report['digest']} (verified)")
+    print(f"  generation {report['generation']}")
+    print(f"  checkers   {', '.join(report['checks'])}")
+    print(f"  findings   {report['findings']} ({counts})")
+    print("check report ok: 0 errors, 0 warnings")
     return 0
 
 
@@ -517,11 +688,16 @@ def cmd_figure6(args) -> int:
             from repro.bench.deltabench import run_delta_churn
 
             incremental = run_delta_churn(scale=args.scale)
+        checks = None
+        if not args.no_checks:
+            from repro.bench.checkbench import run_check_audit
+
+            checks = run_check_audit(scale=args.scale)
         with open(args.json, "w", encoding="utf-8") as handle:
             handle.write(format_json(
                 table, scale=args.scale, repetitions=args.repetitions,
                 engine="solver", query_latency=query_latency,
-                incremental=incremental,
+                incremental=incremental, checks=checks,
             ))
         print(f"\nwrote JSON to {args.json}")
     return 0
@@ -599,7 +775,67 @@ def build_parser() -> argparse.ArgumentParser:
         " with a source/facts program too, warns when the snapshot"
         " is stale",
     )
+    p_query.add_argument(
+        "--json", action="store_true",
+        help="print one structured repro-query/1 document (answer,"
+        " latency, cache state, snapshot generation) instead of text",
+    )
     p_query.set_defaults(func=cmd_query)
+
+    p_check = sub.add_parser(
+        "check",
+        help="run the client checkers (casts, devirt, races, leaks,"
+        " dead code) and gate the exit code on severity",
+    )
+    add_common(p_check)
+    p_check.add_argument(
+        "--abstraction", default="ts", choices=sorted(_ABSTRACTIONS),
+        help="context abstraction (ts = transformer strings)",
+    )
+    p_check.add_argument(
+        "--eliminate-subsumed", action="store_true",
+        help=argparse.SUPPRESS,
+    )
+    p_check.add_argument(
+        "--snapshot", metavar="PATH",
+        help="check against this repro-snapshot/2 file (no solving)",
+    )
+    p_check.add_argument(
+        "--checks", action="append", metavar="NAMES",
+        help="comma-separated checker names or codes to run"
+        " (e.g. races,CK1; default: all)",
+    )
+    p_check.add_argument(
+        "--json", metavar="PATH",
+        help="write the repro-check/1 JSON report here ('-' = stdout)",
+    )
+    p_check.add_argument(
+        "--fail-on", default="error",
+        choices=("error", "warning", "info", "never"),
+        help="exit non-zero when any finding reaches this severity"
+        " (default: error)",
+    )
+    p_check.add_argument(
+        "--explain", action="store_true",
+        help="re-solve with provenance and print a derivation tree"
+        " for every finding's witness facts",
+    )
+    p_check.add_argument(
+        "--audit", action="store_true",
+        help="sweep the flavour × (m,h) × abstraction matrix and"
+        " tabulate finding counts (exit 1 on monotonicity violations)",
+    )
+    p_check.add_argument(
+        "--thread-root", action="append", metavar="METHOD",
+        help="extra thread-root method for the race checker"
+        " (repeatable; main and *.run are automatic)",
+    )
+    p_check.add_argument(
+        "--taint-source", action="append", metavar="SITE_OR_TYPE",
+        help="taint source for the leak checker: a heap site label or"
+        " type name (repeatable; default: every allocation site)",
+    )
+    p_check.set_defaults(func=cmd_check)
 
     p_serve = sub.add_parser(
         "serve",
@@ -691,7 +927,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument(
         "--json",
         help="also write machine-readable JSON here"
-        " (schema repro-figure6/3, see docs/api.md)",
+        " (schema repro-figure6/4, see docs/api.md)",
     )
     p_fig.add_argument(
         "--no-query-latency", action="store_true",
@@ -700,6 +936,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument(
         "--no-incremental", action="store_true",
         help="omit the incremental edit-churn workload from the JSON",
+    )
+    p_fig.add_argument(
+        "--no-checks", action="store_true",
+        help="omit the client-checker precision audit from the JSON",
     )
     p_fig.set_defaults(func=cmd_figure6)
     return parser

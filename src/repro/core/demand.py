@@ -383,6 +383,45 @@ class DemandPointerAnalysis:
             self._close([("exc", method)])
         return self._solve().thrown_exceptions(method)
 
+    def field_may_alias(self, heap_a: str, heap_b: str, field: str) -> bool:
+        """May ``heap_a.field`` and ``heap_b.field`` hold a common
+        object?  (The Figure 1 heap-context test, demand-driven.)
+
+        Like :meth:`fields_of`, heap contents flow in through any store
+        of ``field``, so the slice must cover the field's writers (and,
+        through them, the base/value variables).
+        """
+        self.query_count += 1
+        if field not in self.fields:
+            self._close([("field", field)])
+        return self._solve().field_may_alias(heap_a, heap_b, field)
+
+    def demand_all(self) -> None:
+        """Grow the slice to the whole program (checker workloads need
+        every derived relation, not one variable's slice).
+
+        Seeds every entity kind; the closure then covers every input
+        fact, so :meth:`_solve` coincides with the exhaustive run while
+        still flowing through the demand engine's statistics.
+        """
+        facts = self.facts
+        seeds: List[Tuple[str, str]] = []
+        seeds.extend(("var", v) for v in _all_variables(facts))
+        seeds.extend(
+            ("field", f) for (_x, f, _z) in facts.store
+        )
+        seeds.extend(
+            ("sfield", f) for (_x, f) in facts.static_store
+        )
+        seeds.extend(("inv", i) for i in facts.invocation_parent)
+        methods = set(facts.invocation_parent.values())
+        methods.update(p for (_x, p) in facts.throw_var)
+        if facts.main_method:
+            methods.add(facts.main_method)
+        seeds.extend(("reach", p) for p in sorted(methods))
+        seeds.extend(("exc", p) for p in sorted(methods))
+        self._close(seeds)
+
     def coverage(self) -> Tuple[int, int]:
         """``(input facts in the slice, total input facts)``."""
         sliced = sum(self._sliced_facts().counts().values())
@@ -398,6 +437,15 @@ class DemandPointerAnalysis:
             "sliced_facts": sliced,
             "total_facts": total,
         }
+
+
+def _all_variables(facts: FactSet) -> List[str]:
+    # Local import: repro.service imports this module's class; reuse
+    # its canonical variable-universe helper without a cycle at import
+    # time.
+    from repro.service.service import variables_of
+
+    return sorted(variables_of(facts))
 
 
 def _multimap(pairs):

@@ -12,6 +12,14 @@ out, answered in order.  Requests name an operation and its operands::
     {"id": 7, "op": "shutdown"}
     {"id": 8, "op": "update", "delta": {"added": {...}, "removed": {...}}}
     {"id": 9, "op": "update", "source": "<program text>"}
+    {"id": 10, "op": "check", "checks": ["races", "CK1"],
+     "thread_roots": [], "taint_sources": []}
+
+``check`` runs the client-checker suite (:mod:`repro.checkers`) over
+the service's result — all checkers by default, or the named subset —
+and returns the full ``repro-check/1`` document (findings, metrics,
+content digest, service generation).  Re-checks after ``update`` only
+re-run the checkers whose declared input relations the delta touched.
 
 ``update`` patches the running service in place through the
 incremental engine: pass either a :class:`~repro.incremental.FactDelta`
@@ -67,6 +75,9 @@ _REQUIRED_FIELDS: Dict[str, Tuple[str, ...]] = {
     # "update" takes *either* a "delta" object or a "source" program —
     # the alternative is validated in _handle_update, not here.
     "update": (),
+    # "check" fields are all optional: "checks" (names/codes),
+    # "thread_roots", "taint_sources".
+    "check": (),
 }
 
 
@@ -108,6 +119,8 @@ def handle_request(service: AnalysisService, request: Dict) -> Dict:
         return {"id": request_id, "ok": True, "result": service.stats()}
     if op == "update":
         return _handle_update(service, request, request_id)
+    if op == "check":
+        return _handle_check(service, request, request_id)
     try:
         outcome = service.query(
             op, **{field: request[field] for field in required}
@@ -169,6 +182,26 @@ def _handle_update(
             "micros": int(outcome.seconds * 1e6),
         },
     }
+
+
+def _handle_check(
+    service: AnalysisService, request: Dict, request_id
+) -> Dict:
+    """Run the client checkers; the result is the full
+    ``repro-check/1`` document (see :mod:`repro.checkers`)."""
+    from repro.checkers import CheckConfig
+
+    try:
+        config = CheckConfig(
+            thread_roots=tuple(request.get("thread_roots", ())),
+            taint_sources=tuple(request.get("taint_sources", ())),
+        )
+        report = service.check(
+            checks=request.get("checks"), check_config=config
+        )
+    except Exception as error:  # a check must never kill the session
+        return {"id": request_id, "ok": False, "error": str(error)}
+    return {"id": request_id, "ok": True, "result": report.to_json()}
 
 
 def handle_line(service: AnalysisService, line: str) -> Optional[Dict]:

@@ -126,6 +126,10 @@ class ServiceStats:
         self.fallback_updates = 0   # of those, answered by a full solve
         self.update_seconds = 0.0
         self.entries_invalidated = 0  # cache entries dropped by updates
+        self.check_runs = 0         # check() calls answered
+        self.checkers_run = 0       # checkers actually executed
+        self.checkers_reused = 0    # checkers served from the check cache
+        self.check_seconds = 0.0
         self.queries_by_kind: Dict[str, int] = {}
         self._latencies: Dict[str, List[float]] = {}
 
@@ -194,6 +198,12 @@ class ServiceStats:
                 "entries_invalidated": self.entries_invalidated,
             },
             "queries": dict(self.queries_by_kind),
+            "checks": {
+                "runs": self.check_runs,
+                "checkers_run": self.checkers_run,
+                "checkers_reused": self.checkers_reused,
+                "seconds": self.check_seconds,
+            },
             "latency_us": self.latency_summary(),
         }
 
@@ -239,6 +249,11 @@ class AnalysisService:
         self._incremental = None
         #: Fact deltas applied since the initial solve/load.
         self.generation = 0
+        #: Per-checker check cache: name -> (check-config key,
+        #: findings tuple, metrics dict).  Entries are evicted by
+        #: :meth:`apply_delta` when a delta touches one of the
+        #: checker's declared input relations.
+        self._check_cache: Dict[str, Tuple] = {}
 
     # -- constructors --------------------------------------------------
 
@@ -410,6 +425,103 @@ class AnalysisService:
             }, True
         return self._demand_instance().fields_of(heap), False
 
+    # -- client checkers ------------------------------------------------
+
+    def check(self, checks=None, check_config=None):
+        """Run the client checkers; returns a
+        :class:`~repro.checkers.CheckReport` stamped with the current
+        ``generation``.
+
+        The underlying result is whatever the service has — the
+        exhaustive solve, a loaded snapshot, or (demand-only / partial
+        coverage) the demand engine grown to the whole program — so the
+        report body is identical across serving modes.  Per-checker
+        findings are cached; after :meth:`apply_delta`, only checkers
+        whose declared input relations the delta touched are re-run
+        (the rest are served from the cache).
+        """
+        from repro.checkers import CheckConfig, CheckReport, get_checkers
+
+        check_config = check_config or CheckConfig()
+        with self._lock:
+            start = time.perf_counter()
+            checkers = get_checkers(checks)
+            config_key = (
+                tuple(sorted(check_config.thread_roots)),
+                tuple(sorted(check_config.taint_sources)),
+            )
+            result = self._checkable_result()
+            findings = []
+            metrics = {}
+            for checker in checkers:
+                entry = self._check_cache.get(checker.name)
+                if entry is not None and entry[0] == config_key:
+                    checker_findings, checker_metrics = entry[1], entry[2]
+                    self.metrics.checkers_reused += 1
+                else:
+                    checker_findings, checker_metrics = checker.run(
+                        result, self.facts, check_config
+                    )
+                    checker_findings = tuple(checker_findings)
+                    self._check_cache[checker.name] = (
+                        config_key, checker_findings, dict(checker_metrics)
+                    )
+                    self.metrics.checkers_run += 1
+                findings.extend(checker_findings)
+                metrics[checker.name] = dict(checker_metrics)
+            seconds = time.perf_counter() - start
+            self.metrics.check_runs += 1
+            self.metrics.check_seconds += seconds
+            return CheckReport(
+                config_description=self.config.describe(),
+                checks=tuple(checker.name for checker in checkers),
+                findings=tuple(findings),
+                metrics=metrics,
+                check_config=check_config,
+                generation=self.generation,
+                seconds=seconds,
+            )
+
+    def _checkable_result(self) -> AnalysisResult:
+        """A whole-program result for the checkers (lock held).
+
+        Full-coverage services answer from the installed result; a
+        demand-only or partial-snapshot service grows the shared demand
+        engine's slice to the whole program instead.
+        """
+        full = self._full_result()
+        if full is not None:
+            return full
+        demand = self._demand_instance()
+        demand.demand_all()
+        return demand._solve()
+
+    def _evict_check_cache(self, delta, result) -> None:
+        """Drop cached checker findings a delta could have changed.
+
+        A checker's entry survives iff the delta touched neither its
+        declared input relations nor any derived relation it reads;
+        fallback solves lose the change sets, so they clear everything.
+        """
+        if not self._check_cache:
+            return
+        if result.fallback:
+            self._check_cache.clear()
+            return
+        from repro.checkers import all_checkers
+
+        touched = set(result.changed_relations())
+        for name, rows in list(delta.added.items()) + list(
+            delta.removed.items()
+        ):
+            if rows:
+                touched.add(name)
+        if delta.class_of_added or delta.class_of_removed:
+            touched.add("class_of")
+        for checker in all_checkers():
+            if touched & set(checker.inputs):
+                self._check_cache.pop(checker.name, None)
+
     # -- live updates ---------------------------------------------------
 
     def apply_delta(self, delta):
@@ -450,6 +562,7 @@ class AnalysisService:
             # Demand slices were demanded against the old program.
             self._demand = None
             self._invalidate(result)
+            self._evict_check_cache(delta, result)
             self.generation += 1
             self.metrics.updates += 1
             if result.fallback:

@@ -1,0 +1,45 @@
+"""The benchmark-suite precision audit (the figure6 ``checks`` block)."""
+
+from repro.bench.checkbench import (
+    ABSTRACTIONS,
+    AUDIT_CONFIGURATIONS,
+    AUDIT_SCHEMA,
+    run_check_audit,
+)
+from repro.bench.report import figure6_json
+from repro.checkers import checker_names
+
+
+def test_audit_configurations_start_from_the_baseline():
+    assert AUDIT_CONFIGURATIONS[0] == "insensitive"
+    assert "2-object+H" in AUDIT_CONFIGURATIONS
+
+
+def test_run_check_audit_one_benchmark():
+    audit = run_check_audit(scale=1, benchmarks=("antlr",))
+    assert audit["schema"] == AUDIT_SCHEMA
+    assert audit["scale"] == 1
+    assert set(audit["benchmarks"]) == {"antlr"}
+    entry = audit["benchmarks"]["antlr"]
+    assert entry["checkers"] == list(checker_names())
+    assert len(entry["cells"]) == (
+        len(AUDIT_CONFIGURATIONS) * len(ABSTRACTIONS)
+    )
+    assert all(entry["monotone"].values())
+    assert entry["abstractions_agree"]
+
+
+def test_audit_block_slots_into_figure6_json():
+    audit = run_check_audit(scale=1, benchmarks=("antlr",))
+
+    class _Table:
+        cells = ()
+
+        def benchmarks(self):
+            return []
+
+        def configurations(self):
+            return []
+
+    document = figure6_json(_Table(), checks=audit)
+    assert document["checks"]["schema"] == AUDIT_SCHEMA

@@ -52,7 +52,7 @@ def test_run_query_latency_one_benchmark():
 
 
 def test_figure6_json_carries_query_latency():
-    assert JSON_SCHEMA == "repro-figure6/3"
+    assert JSON_SCHEMA == "repro-figure6/4"
 
     class _Table:
         cells = ()
@@ -65,11 +65,14 @@ def test_figure6_json_carries_query_latency():
 
     payload = {"configuration": "2-object+H", "benchmarks": {}}
     churn = {"configuration": "2-object+H", "single_edit": {}}
+    audit = {"schema": "repro-check-audit/1", "benchmarks": {}}
     document = figure6_json(_Table(), query_latency=payload,
-                            incremental=churn)
-    assert document["schema"] == "repro-figure6/3"
+                            incremental=churn, checks=audit)
+    assert document["schema"] == "repro-figure6/4"
     assert document["query_latency"] == payload
     assert document["incremental"] == churn
+    assert document["checks"] == audit
     # Additive: absent measurements serialize as null, not key errors.
     assert figure6_json(_Table())["query_latency"] is None
     assert figure6_json(_Table())["incremental"] is None
+    assert figure6_json(_Table())["checks"] is None

@@ -1,0 +1,1 @@
+"""Client-checker suite tests."""

@@ -1,0 +1,235 @@
+"""Per-checker behaviour of the builtin client analyses.
+
+The richest fixture is the extended event-bus program shipped as
+``examples/client_checkers.py`` — the tests import its ``PROGRAM``
+constant so the example and the suite can never drift apart.
+"""
+
+import importlib.util
+import os
+
+import pytest
+
+from repro.checkers import CheckConfig, run_checks
+from repro.core.analysis import analyze
+from repro.core.config import config_by_name
+from repro.frontend.factgen import facts_from_source
+
+_EXAMPLE = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir,
+    "examples", "client_checkers.py",
+)
+
+
+def _example_program() -> str:
+    spec = importlib.util.spec_from_file_location(
+        "client_checkers_example", _EXAMPLE
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module.PROGRAM
+
+
+@pytest.fixture(scope="module")
+def eventbus_facts():
+    return facts_from_source(_example_program())
+
+
+def _report(facts, configuration="insensitive", checks=None,
+            config=CheckConfig()):
+    result = analyze(facts, config_by_name(configuration))
+    return run_checks(result, facts, checks=checks, config=config)
+
+
+class TestDowncastChecker:
+    def test_registry_conflation_fires_ck101_when_insensitive(
+        self, eventbus_facts
+    ):
+        report = _report(eventbus_facts, "insensitive", checks=["downcast"])
+        assert [f.identity for f in report.findings] == [
+            ("CK101", "cReplay")
+        ]
+        finding = report.findings[0]
+        # The witness is the CI points-to evidence behind the finding.
+        assert all(fact[0] == "pts" for fact in finding.witness)
+        assert report.metrics["downcast"]["unsafe_sites"] == 1
+
+    def test_object_sensitivity_removes_ck101(self, eventbus_facts):
+        report = _report(eventbus_facts, "2-object+H", checks=["downcast"])
+        assert report.findings == ()
+        assert report.metrics["downcast"]["unsafe_sites"] == 0
+
+    def test_type_sensitivity_conflates_same_typed_registries(
+        self, eventbus_facts
+    ):
+        # Both registries have type Registry: merging by type brings the
+        # conflation (and the finding) back — the paper's precision
+        # hierarchy made client-visible.
+        report = _report(eventbus_facts, "2-type+H", checks=["downcast"])
+        assert [f.identity for f in report.findings] == [
+            ("CK101", "cReplay")
+        ]
+
+    def test_provably_bad_receiver_escalates_to_ck102(self):
+        facts = facts_from_source("""
+        class Box {
+            Object slot;
+            void put(Object o) { slot = o; }
+            Object get() { Object r = slot; return r; }
+        }
+        class Plain { }
+        class App {
+            public static void main(String[] args) {
+                Box box = new Box(); // hBox
+                Plain p = new Plain(); // hPlain
+                box.put(p); // c1
+                Object got = box.get(); // c2
+                Object out = got.handle(p); // cBad
+            }
+        }
+        """)
+        report = _report(facts, checks=["downcast"])
+        (finding,) = report.findings
+        assert finding.identity == ("CK102", "cBad")
+        assert finding.severity.label == "error"
+
+
+class TestDevirtualizationChecker:
+    def test_monomorphic_program_reports_nothing(self, eventbus_facts):
+        report = _report(eventbus_facts, "insensitive", checks=["devirt"])
+        assert report.findings == ()
+        metrics = report.metrics["devirt"]
+        assert metrics["polymorphic"] == 0
+        assert metrics["monomorphic"] == metrics["virtual_sites"]
+
+    def test_polymorphic_site_reports_ck201_with_call_witness(self):
+        facts = facts_from_source("""
+        class Handler { Object handle(Object e) { return e; } }
+        class Logger extends Handler {
+            Object handle(Object e) { Object s = e; return s; }
+        }
+        class Box {
+            Handler slot;
+            void put(Handler h) { slot = h; }
+            Handler get() { Handler r = slot; return r; }
+        }
+        class App {
+            public static void main(String[] args) {
+                Box box = new Box(); // hBox
+                Handler plain = new Handler(); // hPlain
+                Logger logger = new Logger(); // hLogger
+                box.put(plain); // c1
+                box.put(logger); // c2
+                Handler h = box.get(); // c3
+                Object out = h.handle(plain); // cPoly
+            }
+        }
+        """)
+        report = _report(facts, checks=["devirt"])
+        (finding,) = report.findings
+        assert finding.identity == ("CK201", "cPoly")
+        assert set(finding.witness) == {
+            ("call", "cPoly", "Handler.handle"),
+            ("call", "cPoly", "Logger.handle"),
+        }
+        assert report.metrics["devirt"]["polymorphic"] == 1
+
+
+class TestRaceChecker:
+    def test_worker_thread_races_on_shared_bus(self, eventbus_facts):
+        report = _report(eventbus_facts, "insensitive", checks=["races"])
+        fields = {f.subject.split("|")[0] for f in report.findings}
+        # The bus's `last` is written from both roots; `handler` is
+        # written by main and read under the worker's publish.
+        assert "last" in fields
+        assert "handler" in fields
+        assert report.metrics["races"]["thread_roots"] == 2
+        assert report.metrics["races"]["races"] == len(report.findings) == 4
+
+    def test_races_survive_precision(self, eventbus_facts):
+        insensitive = _report(eventbus_facts, "insensitive",
+                              checks=["races"])
+        precise = _report(eventbus_facts, "2-object+H", checks=["races"])
+        assert (
+            {f.identity for f in precise.findings}
+            == {f.identity for f in insensitive.findings}
+        )
+
+    def test_extra_thread_roots_create_races(self):
+        facts = facts_from_source("""
+        class Holder {
+            Object v;
+            void set(Object o) { v = o; }
+            Object get() { Object r = v; return r; }
+        }
+        class App {
+            static Holder shared;
+            public static void main(String[] args) {
+                Holder h = new Holder(); // hHolder
+                App.shared = h;
+                Object o = new Object(); // hO
+                h.set(o); // c1
+                Object seen = App.worker(h); // c2
+            }
+            static Object worker(Holder h) {
+                Object o2 = new Object(); // hO2
+                h.set(o2); // c3
+                Object r = h.get(); // c4
+                return r;
+            }
+        }
+        """)
+        # Without extra roots there is a single thread: no races.
+        quiet = _report(facts, checks=["races"])
+        assert quiet.findings == ()
+        # Declaring the worker a thread root makes the Holder accesses
+        # race between main and the worker.
+        rooted = _report(
+            facts, checks=["races"],
+            config=CheckConfig(thread_roots=("App.worker",)),
+        )
+        assert rooted.metrics["races"]["thread_roots"] == 2
+        assert {f.code for f in rooted.findings} == {"CK301"}
+        assert all(f.subject.startswith("v|") for f in rooted.findings)
+
+
+class TestLeakChecker:
+    def test_static_field_retention_reports_ck401(self, eventbus_facts):
+        report = _report(eventbus_facts, "insensitive", checks=["leaks"])
+        assert [f.identity for f in report.findings] == [
+            ("CK401", "Config.theme<-hTheme")
+        ]
+
+    def test_taint_sources_filter_by_label_and_type(self, eventbus_facts):
+        by_label = _report(
+            eventbus_facts, checks=["leaks"],
+            config=CheckConfig(taint_sources=("hTheme",)),
+        )
+        assert [f.subject for f in by_label.findings] == [
+            "Config.theme<-hTheme"
+        ]
+        by_type = _report(
+            eventbus_facts, checks=["leaks"],
+            config=CheckConfig(taint_sources=("Config",)),
+        )
+        assert [f.subject for f in by_type.findings] == [
+            "Config.theme<-hTheme"
+        ]
+        unrelated = _report(
+            eventbus_facts, checks=["leaks"],
+            config=CheckConfig(taint_sources=("hClick",)),
+        )
+        assert unrelated.findings == ()
+
+
+class TestDeadCodeChecker:
+    def test_unreachable_methods_reported(self, eventbus_facts):
+        report = _report(eventbus_facts, "insensitive", checks=["deadcode"])
+        subjects = {f.subject for f in report.findings}
+        # Debug.dump is never called; no Handler (base) is allocated, so
+        # Handler.handle never receives a receiver.
+        assert subjects == {"Debug.dump", "Handler.handle"}
+        assert all(f.severity.label == "info" for f in report.findings)
+        metrics = report.metrics["deadcode"]
+        assert metrics["dead"] == 2
+        assert metrics["declared"] == metrics["reachable"] + metrics["dead"]

@@ -1,0 +1,254 @@
+"""Framework-level behaviour: severities, findings, reports, registry."""
+
+import json
+
+import pytest
+
+from repro.checkers import (
+    REPORT_SCHEMA,
+    CheckConfig,
+    CheckError,
+    CheckReport,
+    Finding,
+    Severity,
+    all_checkers,
+    checker_names,
+    describe_report,
+    get_checkers,
+    run_checks,
+)
+from repro.core.analysis import analyze
+from repro.core.config import config_by_name
+from repro.frontend.factgen import facts_from_source
+from repro.frontend.paper_programs import FIGURE_1
+
+
+def _finding(code="CK301", subject="s", severity=Severity.WARNING):
+    return Finding(
+        code=code, checker="races", severity=severity, subject=subject,
+        message="m", witness=(("pts", "v", "h"),),
+    )
+
+
+def _report(findings=(), generation=0, seconds=0.0):
+    return CheckReport(
+        config_description="insensitive/context-string",
+        checks=("races",),
+        findings=tuple(findings),
+        metrics={"races": {"pairs": len(findings)}},
+        generation=generation,
+        seconds=seconds,
+    )
+
+
+class TestSeverity:
+    def test_ordering(self):
+        assert Severity.INFO < Severity.WARNING < Severity.ERROR
+
+    def test_parse_round_trip(self):
+        for severity in Severity:
+            assert Severity.parse(severity.label) is severity
+            assert Severity.parse(severity.label.upper()) is severity
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(CheckError, match="unknown severity"):
+            Severity.parse("fatal")
+
+
+class TestFinding:
+    def test_identity_and_sort_key(self):
+        finding = _finding()
+        assert finding.identity == ("CK301", "s")
+        assert finding.sort_key() == ("CK301", "s")
+
+    def test_json_round_trip(self):
+        finding = _finding()
+        assert Finding.from_json(finding.to_json()) == finding
+
+    def test_from_json_rejects_missing_fields(self):
+        with pytest.raises(CheckError, match="malformed finding"):
+            Finding.from_json({"code": "CK301"})
+
+    def test_explain_without_provenance_lists_witnesses(self):
+        facts = facts_from_source(FIGURE_1)
+        result = analyze(facts, config_by_name("insensitive"))
+        (var, heap) = sorted(result.pts_ci())[0]
+        finding = Finding(
+            code="CK999", checker="races", severity=Severity.INFO,
+            subject="x", message="m", witness=(("pts", var, heap),),
+        )
+        text = finding.explain(result)
+        assert "CK999" in text
+        assert "track_provenance" in text
+
+    def test_explain_with_provenance_expands_witnesses(self):
+        from dataclasses import replace
+
+        facts = facts_from_source(FIGURE_1)
+        config = replace(
+            config_by_name("insensitive"), track_provenance=True
+        )
+        result = analyze(facts, config)
+        (var, heap) = sorted(result.pts_ci())[0]
+        finding = Finding(
+            code="CK999", checker="races", severity=Severity.INFO,
+            subject="x", message="m", witness=(("pts", var, heap),),
+        )
+        text = finding.explain(result, max_depth=4)
+        assert "track_provenance" not in text
+        assert heap in text
+
+
+class TestRegistry:
+    def test_builtins_registered_in_order(self):
+        names = checker_names()
+        assert names == ("downcast", "devirt", "races", "leaks", "deadcode")
+        prefixes = [c.prefix for c in all_checkers()]
+        assert prefixes == ["CK1", "CK2", "CK3", "CK4", "CK5"]
+
+    def test_every_checker_declares_inputs(self):
+        for checker in all_checkers():
+            assert checker.inputs, checker.name
+            assert checker.codes, checker.name
+
+    def test_get_checkers_none_returns_all(self):
+        assert get_checkers(None) == all_checkers()
+        assert get_checkers([]) == all_checkers()
+
+    @pytest.mark.parametrize("selector", ["races", "CK3", "CK301", "CK3xx"])
+    def test_get_checkers_by_name_or_code(self, selector):
+        selected = get_checkers([selector])
+        assert [c.name for c in selected] == ["races"]
+
+    def test_get_checkers_preserves_registry_order(self):
+        selected = get_checkers(["races", "downcast"])
+        assert [c.name for c in selected] == ["downcast", "races"]
+
+    def test_get_checkers_rejects_unknown(self):
+        with pytest.raises(CheckError, match="unknown checker"):
+            get_checkers(["nonsense"])
+        with pytest.raises(CheckError, match="unknown checker"):
+            get_checkers(["CK9"])
+
+
+class TestCheckReport:
+    def test_findings_sorted_deterministically(self):
+        report = _report([_finding(subject="b"), _finding(subject="a")])
+        assert [f.subject for f in report.findings] == ["a", "b"]
+
+    def test_counts_and_max_severity(self):
+        report = _report([
+            _finding(subject="a", severity=Severity.INFO),
+            _finding(subject="b", severity=Severity.ERROR),
+        ])
+        counts = report.counts_by_severity()
+        assert counts == {"info": 1, "warning": 0, "error": 1}
+        assert report.max_severity() is Severity.ERROR
+        assert report.count("CK3") == 2
+
+    def test_failed_gating(self):
+        report = _report([_finding(severity=Severity.WARNING)])
+        assert report.failed(Severity.WARNING)
+        assert report.failed(Severity.INFO)
+        assert not report.failed(Severity.ERROR)
+        assert not report.failed(None)  # "never"
+        assert not _report().failed(Severity.INFO)  # no findings
+
+    def test_json_round_trip(self):
+        report = _report([_finding()], generation=3, seconds=0.25)
+        document = report.to_json()
+        assert document["schema"] == REPORT_SCHEMA
+        decoded = CheckReport.from_json(document)
+        assert decoded.findings == report.findings
+        assert decoded.generation == 3
+        assert decoded.digest() == report.digest()
+
+    def test_digest_excludes_generation_and_seconds(self):
+        baseline = _report([_finding()])
+        relabelled = _report([_finding()], generation=7, seconds=9.9)
+        assert baseline.digest() == relabelled.digest()
+
+    def test_findings_digest_excludes_config_description(self):
+        a = _report([_finding()])
+        b = _report([_finding()])
+        b.config_description = "2-object+H/transformer-string"
+        assert a.digest() != b.digest()
+        assert a.findings_digest() == b.findings_digest()
+
+    def test_from_json_rejects_wrong_schema(self):
+        document = _report().to_json()
+        document["schema"] = "repro-check/999"
+        with pytest.raises(CheckError, match="schema"):
+            CheckReport.from_json(document)
+
+    def test_from_json_detects_tampered_body(self):
+        document = _report([_finding()]).to_json()
+        document["body"]["findings"][0]["subject"] = "edited"
+        with pytest.raises(CheckError, match="digest mismatch"):
+            CheckReport.from_json(document)
+
+    def test_from_json_detects_inconsistent_counts(self):
+        document = _report([_finding()]).to_json()
+        document["body"]["counts"]["error"] += 1
+        import hashlib
+
+        canonical = json.dumps(
+            document["body"], sort_keys=True, separators=(",", ":"),
+            ensure_ascii=True,
+        )
+        document["digest"] = (
+            "sha256:" + hashlib.sha256(canonical.encode()).hexdigest()
+        )
+        with pytest.raises(CheckError, match="counts disagree"):
+            CheckReport.from_json(document)
+
+    def test_render_mentions_findings_and_metrics(self):
+        report = _report([_finding()])
+        text = report.render()
+        assert "CK301" in text
+        assert "[races]" in text
+        assert "1 finding" in report.summary()
+
+
+class TestDescribeReport:
+    def test_round_trip_through_file(self, tmp_path):
+        facts = facts_from_source(FIGURE_1)
+        result = analyze(facts, config_by_name("2-object+H"))
+        report = run_checks(result, facts)
+        path = tmp_path / "report.json"
+        path.write_text(json.dumps(report.to_json()))
+        summary = describe_report(str(path))
+        assert summary["schema"] == REPORT_SCHEMA
+        assert summary["digest"] == report.digest()
+
+    def test_rejects_non_json(self, tmp_path):
+        path = tmp_path / "report.json"
+        path.write_text("not json")
+        with pytest.raises(CheckError):
+            describe_report(str(path))
+
+
+class TestRunChecks:
+    def test_selects_checkers_and_stamps_generation(self):
+        facts = facts_from_source(FIGURE_1)
+        result = analyze(facts, config_by_name("insensitive"))
+        report = run_checks(result, facts, checks=["CK2"], generation=5)
+        assert report.checks == ("devirt",)
+        assert report.generation == 5
+        assert "devirt" in report.metrics
+
+    def test_default_runs_every_checker(self):
+        facts = facts_from_source(FIGURE_1)
+        result = analyze(facts, config_by_name("insensitive"))
+        report = run_checks(result, facts)
+        assert report.checks == checker_names()
+        assert set(report.metrics) == set(checker_names())
+
+    def test_check_config_lands_in_body(self):
+        facts = facts_from_source(FIGURE_1)
+        result = analyze(facts, config_by_name("insensitive"))
+        config = CheckConfig(thread_roots=("T.id",), taint_sources=("T",))
+        report = run_checks(result, facts, config=config)
+        body = report.body()
+        assert body["check_config"]["thread_roots"] == ["T.id"]
+        assert body["check_config"]["taint_sources"] == ["T"]

@@ -1,0 +1,189 @@
+"""`AnalysisService.check`: serving-mode parity, caching, eviction.
+
+The acceptance criterion: a live solve, a loaded snapshot, a demand-only
+service grown on demand, and a service patched via ``FactDelta`` must
+all emit byte-identical ``repro-check/1`` report bodies (equal digests);
+only the ``generation`` header distinguishes them.
+"""
+
+import pytest
+
+from repro.checkers import CheckConfig, CheckReport
+from repro.core.config import config_by_name
+from repro.frontend.factgen import facts_from_source
+from repro.frontend.paper_programs import FIGURE_1
+from repro.incremental import FactDelta
+from repro.service.server import handle_request
+from repro.service.service import AnalysisService
+
+CONFIG = config_by_name("2-object+H")
+
+
+def _facts():
+    return facts_from_source(FIGURE_1)
+
+
+def _delta():
+    # Route h2 into T.id as well: pts changes, the call graph does not.
+    return FactDelta().add("assign", ("T.main/y", "T.main/x"))
+
+
+class TestServingModeParity:
+    def test_live_snapshot_demand_and_patched_reports_agree(self, tmp_path):
+        live = AnalysisService.from_facts(_facts(), CONFIG, solve=True)
+        live_report = live.check()
+
+        path = str(tmp_path / "figure1.snap")
+        live.save_snapshot(path)
+        loaded = AnalysisService.from_snapshot(path)
+        loaded_report = loaded.check()
+
+        demand = AnalysisService.from_facts(_facts(), CONFIG, solve=False)
+        demand_report = demand.check()
+
+        assert live_report.digest() == loaded_report.digest()
+        assert live_report.digest() == demand_report.digest()
+        assert live_report.body() == demand_report.body()
+
+    def test_patched_service_matches_a_fresh_solve(self, tmp_path):
+        incremental = AnalysisService.from_facts(
+            _facts(), CONFIG, solve=True, incremental=True
+        )
+        incremental.check()  # warm the check cache pre-edit
+        incremental.apply_delta(_delta())
+        patched_report = incremental.check()
+
+        # The reference: the edited program, solved from scratch.
+        reference_facts = _facts()
+        _delta().apply_to(reference_facts)
+        reference = AnalysisService.from_facts(
+            reference_facts, CONFIG, solve=True
+        )
+        assert patched_report.digest() == reference.check().digest()
+
+        # A snapshot-loaded service patched with the same delta (the
+        # upgrade-solve path) lands on the same report too.
+        pristine = AnalysisService.from_facts(_facts(), CONFIG, solve=True)
+        path = str(tmp_path / "figure1.snap")
+        pristine.save_snapshot(path)
+        loaded = AnalysisService.from_snapshot(path)
+        loaded.apply_delta(_delta())
+        assert loaded.check().digest() == patched_report.digest()
+
+    def test_generation_stamps_the_header_not_the_digest(self):
+        service = AnalysisService.from_facts(
+            _facts(), CONFIG, solve=True, incremental=True
+        )
+        assert service.check().generation == 0
+        service.apply_delta(_delta())
+        report = service.check()
+        assert report.generation == 1
+        assert report.to_json()["generation"] == 1
+
+
+class TestCheckCache:
+    def test_second_check_reuses_every_checker(self):
+        service = AnalysisService.from_facts(_facts(), CONFIG, solve=True)
+        first = service.check()
+        assert service.metrics.checkers_run == len(first.checks)
+        assert service.metrics.checkers_reused == 0
+        second = service.check()
+        assert second.digest() == first.digest()
+        assert service.metrics.checkers_run == len(first.checks)
+        assert service.metrics.checkers_reused == len(first.checks)
+        stats = service.metrics.as_dict()["checks"]
+        assert stats["runs"] == 2
+        assert stats["checkers_reused"] == len(first.checks)
+
+    def test_changed_check_config_bypasses_the_cache(self):
+        service = AnalysisService.from_facts(_facts(), CONFIG, solve=True)
+        service.check()
+        service.check(check_config=CheckConfig(thread_roots=("T.id",)))
+        # Different knobs: nothing may be served from the old entries.
+        assert service.metrics.checkers_reused == 0
+        assert service.metrics.checkers_run == 2 * 5
+
+    def test_delta_reruns_only_touched_checkers(self):
+        service = AnalysisService.from_facts(
+            _facts(), CONFIG, solve=True, incremental=True
+        )
+        baseline = service.check()
+        ran_before = service.metrics.checkers_run
+        result = service.apply_delta(_delta())
+        assert not result.fallback  # else the test measures nothing
+        service.check()
+        reran = service.metrics.checkers_run - ran_before
+        # An assign edit changes pts but not the call graph: checkers
+        # whose inputs exclude the changed relations keep their cache.
+        assert 0 < reran < len(baseline.checks)
+        assert service.metrics.checkers_reused >= (
+            len(baseline.checks) - reran
+        )
+
+    def test_fallback_update_clears_the_whole_cache(self, tmp_path):
+        pristine = AnalysisService.from_facts(_facts(), CONFIG, solve=True)
+        path = str(tmp_path / "figure1.snap")
+        pristine.save_snapshot(path)
+        loaded = AnalysisService.from_snapshot(path)
+        count = len(loaded.check().checks)
+        # A snapshot service has no incremental engine: the first update
+        # is an upgrade solve (fallback), which loses the change sets.
+        result = loaded.apply_delta(_delta())
+        assert result.fallback
+        loaded.check()
+        assert loaded.metrics.checkers_run == 2 * count
+        assert loaded.metrics.checkers_reused == 0
+
+    def test_subset_check_only_runs_selected_checkers(self):
+        service = AnalysisService.from_facts(_facts(), CONFIG, solve=True)
+        report = service.check(checks=["races", "CK1"])
+        assert report.checks == ("downcast", "races")
+        assert service.metrics.checkers_run == 2
+
+
+class TestServerCheckOp:
+    def test_check_op_returns_a_verifiable_document(self):
+        service = AnalysisService.from_facts(_facts(), CONFIG, solve=True)
+        response = handle_request(service, {"op": "check", "id": 7})
+        assert response["ok"], response
+        assert response["id"] == 7
+        document = response["result"]
+        assert document["schema"] == "repro-check/1"
+        report = CheckReport.from_json(document)  # digest verifies
+        assert report.checks == (
+            "downcast", "devirt", "races", "leaks", "deadcode"
+        )
+
+    def test_check_op_accepts_selection_and_config(self):
+        service = AnalysisService.from_facts(_facts(), CONFIG, solve=True)
+        response = handle_request(service, {
+            "op": "check", "id": 1, "checks": ["leaks"],
+            "taint_sources": ["h1"], "thread_roots": ["T.id"],
+        })
+        assert response["ok"], response
+        report = CheckReport.from_json(response["result"])
+        assert report.checks == ("leaks",)
+        assert report.check_config.taint_sources == ("h1",)
+        assert report.check_config.thread_roots == ("T.id",)
+
+    def test_check_op_reports_errors_without_dying(self):
+        service = AnalysisService.from_facts(_facts(), CONFIG, solve=True)
+        response = handle_request(
+            service, {"op": "check", "id": 2, "checks": ["nonsense"]}
+        )
+        assert response["ok"] is False
+        assert "unknown checker" in response["error"]
+
+
+class TestDemandOnlyCoverage:
+    def test_demand_service_answers_check_without_prior_queries(self):
+        service = AnalysisService.from_facts(_facts(), CONFIG, solve=False)
+        report = service.check()
+        assert report.findings is not None
+        assert set(report.metrics) == set(report.checks)
+
+    def test_check_after_partial_queries_still_whole_program(self):
+        demand = AnalysisService.from_facts(_facts(), CONFIG, solve=False)
+        demand.points_to("T.main/x1")  # a narrow slice first
+        full = AnalysisService.from_facts(_facts(), CONFIG, solve=True)
+        assert demand.check().digest() == full.check().digest()

@@ -1,0 +1,141 @@
+"""Demand-vs-exhaustive parity for the newer query kinds.
+
+`points_to` parity is pinned in ``test_demand_analysis``; these tests
+extend the contract to ``thrown_exceptions`` and ``field_may_alias``
+across both abstractions and all three context flavours — the demand
+slice must reproduce the exhaustive answer exactly, for every method
+(resp. every heap-pair × field) of the program.
+"""
+
+import pytest
+
+from repro import analyze, config_by_name
+from repro.core.demand import DemandPointerAnalysis
+from repro.frontend.factgen import facts_from_source
+from repro.frontend.paper_programs import FIGURE_1
+
+ABSTRACTIONS = ("context-string", "transformer-string")
+
+#: One configuration per flavour (call-site, object, type), each with
+#: heap context so the flavours actually diverge.
+FLAVOURS = ("2-call+H", "2-object+H", "2-type+H")
+
+#: Exceptions crossing two call frames, a caught re-throw, and one
+#: exception object that never escapes — the shapes `texc` must get
+#: right per calling context.
+EXCEPTIONS_PROGRAM = """
+class ExcA { }
+class ExcB { }
+class Deep {
+    static void boom() {
+        ExcA e = new ExcA(); // ea
+        throw e;
+    }
+    static void defuse() {
+        try {
+            Deep.boom(); // cDefuse
+        } catch (ExcA swallowed) {
+            Object seen = swallowed;
+        }
+    }
+}
+class Mid {
+    static void relay() {
+        Deep.boom(); // cRelay
+    }
+    static void quiet() {
+        ExcB unused = new ExcB(); // eb
+    }
+}
+class M {
+    public static void main(String[] args) {
+        try {
+            Mid.relay(); // c1
+        } catch (ExcA caught) {
+            Object seen = caught;
+        }
+        Deep.defuse(); // c2
+        Mid.quiet(); // c3
+    }
+}
+"""
+
+
+def _methods(facts):
+    methods = set(facts.invocation_parent.values())
+    methods.update(p for (_x, p) in facts.throw_var)
+    if facts.main_method:
+        methods.add(facts.main_method)
+    return sorted(methods)
+
+
+@pytest.mark.parametrize("abstraction", ABSTRACTIONS)
+@pytest.mark.parametrize("flavour", FLAVOURS)
+class TestThrownExceptionsParity:
+    def test_every_method_matches_exhaustive(self, abstraction, flavour):
+        facts = facts_from_source(EXCEPTIONS_PROGRAM)
+        config = config_by_name(flavour, abstraction)
+        full = analyze(facts, config)
+        demand = DemandPointerAnalysis(facts, config)
+        for method in _methods(facts):
+            assert demand.thrown_exceptions(method) == (
+                full.thrown_exceptions(method)
+            ), (flavour, abstraction, method)
+
+    def test_expected_escapes(self, abstraction, flavour):
+        # Anchor the parity against known ground truth: `boom` throws,
+        # `relay` (and the catching callers — `texc` tracks exceptions
+        # flowing through a method, catches bind but do not subtract)
+        # propagates, `quiet` never throws.
+        facts = facts_from_source(EXCEPTIONS_PROGRAM)
+        demand = DemandPointerAnalysis(
+            facts, config_by_name(flavour, abstraction)
+        )
+        assert demand.thrown_exceptions("Deep.boom") == {"ea"}
+        assert demand.thrown_exceptions("Mid.relay") == {"ea"}
+        assert demand.thrown_exceptions("Deep.defuse") == {"ea"}
+        assert demand.thrown_exceptions("Mid.quiet") == frozenset()
+
+
+@pytest.mark.parametrize("abstraction", ABSTRACTIONS)
+@pytest.mark.parametrize("flavour", FLAVOURS)
+class TestFieldMayAliasParity:
+    def test_every_heap_pair_matches_exhaustive(self, abstraction, flavour):
+        facts = facts_from_source(FIGURE_1)
+        config = config_by_name(flavour, abstraction)
+        full = analyze(facts, config)
+        heaps = sorted(facts.class_of)
+        fields = sorted({f for (_x, f, _z) in facts.store})
+        assert fields  # FIGURE_1 stores through `f`
+        demand = DemandPointerAnalysis(facts, config)
+        for field in fields:
+            for heap_a in heaps:
+                for heap_b in heaps:
+                    assert demand.field_may_alias(
+                        heap_a, heap_b, field
+                    ) == full.field_may_alias(heap_a, heap_b, field), (
+                        flavour, abstraction, heap_a, heap_b, field
+                    )
+
+    def test_heap_context_separates_figure1_m_objects(
+        self, abstraction, flavour
+    ):
+        # Figure 1's point: with heap context the objects returned by
+        # `m` for receivers s (c6) and t (c7) get distinct contents, so
+        # a.f and b.f must not alias — under every flavour.
+        facts = facts_from_source(FIGURE_1)
+        demand = DemandPointerAnalysis(
+            facts, config_by_name(flavour, abstraction)
+        )
+        assert demand.field_may_alias("m1", "m1", "f")
+        assert not demand.field_may_alias("m1", "h3", "f")
+
+    def test_insensitive_conflates_them(self, abstraction, flavour):
+        del flavour  # the insensitive baseline has no flavour
+        facts = facts_from_source(FIGURE_1)
+        config = config_by_name("insensitive", abstraction)
+        full = analyze(facts, config)
+        demand = DemandPointerAnalysis(facts, config)
+        assert demand.field_may_alias("m1", "m1", "f") == (
+            full.field_may_alias("m1", "m1", "f")
+        )

@@ -150,13 +150,14 @@ class TestFigure6Command:
         out_file = tmp_path / "figure6.json"
         assert main([
             "figure6", "--scale", "1", "--json", str(out_file),
-            "--no-query-latency", "--no-incremental",
+            "--no-query-latency", "--no-incremental", "--no-checks",
         ]) == 0
         assert "wrote JSON" in capsys.readouterr().out
         data = json.loads(out_file.read_text())
-        assert data["schema"] == "repro-figure6/3"
+        assert data["schema"] == "repro-figure6/4"
         assert data["query_latency"] is None  # suppressed by the flag
         assert data["incremental"] is None  # suppressed by the flag
+        assert data["checks"] is None  # suppressed by the flag
         assert data["scale"] == 1
         assert data["engine"] == "solver"
         assert set(data["geomean"]) == set(data["configurations"])
@@ -189,6 +190,13 @@ class TestFigure6Command:
         for benchmark, churn in incremental["benchmarks"].items():
             assert churn["edits"] > 0, benchmark
             assert churn["fallbacks"] == 0, benchmark
+        checks = data["checks"]
+        assert checks["schema"] == "repro-check-audit/1"
+        assert checks["configurations"][0] == "insensitive"
+        for benchmark, audit in checks["benchmarks"].items():
+            assert audit["abstractions_agree"], benchmark
+            assert all(audit["monotone"].values()), benchmark
+            assert audit["cells"], benchmark
 
 
 class TestSnapshotWorkflow:
@@ -332,6 +340,213 @@ class TestServeCommand:
         assert responses[1]["result"] == ["h1"]
         assert responses[1]["meta"]["path"] == "snapshot"
         assert responses[2]["result"] == "bye"
+
+
+class TestQueryJson:
+    def test_json_document_on_stdout(self, figure1_file, capsys):
+        import json
+
+        assert main([
+            "query", figure1_file, "--config", "2-object+H",
+            "--var", "T.main/x1", "--var", "T.main/x2", "--json",
+        ]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["schema"] == "repro-query/1"
+        assert document["config"] == "2-object+H/transformer-string"
+        assert document["generation"] == 0
+        assert document["snapshot"] is None
+        answers = {q["var"]: q["answer"] for q in document["queries"]}
+        # Figure 1 under object sensitivity: x1/y1 share the receiver
+        # (conflated), x2 is precise.
+        assert answers == {"T.main/x1": ["h1", "h2"], "T.main/x2": ["h1"]}
+        for query in document["queries"]:
+            assert query["kind"] == "points_to"
+            assert query["micros"] >= 0
+            assert query["cached"] is False
+            assert query["path"] in ("demand", "solved")
+
+    def test_json_from_snapshot_is_pure_json(self, figure1_file, tmp_path,
+                                             capsys):
+        import json
+
+        snap = str(tmp_path / "figure1.snap")
+        main(["analyze", figure1_file, "--save-snapshot", snap])
+        capsys.readouterr()
+        assert main([
+            "query", "--snapshot", snap, "--var", "T.main/x2", "--json",
+        ]) == 0
+        out = capsys.readouterr().out
+        document = json.loads(out)  # no human header mixed in
+        assert document["snapshot"] == snap
+        assert document["queries"][0]["path"] == "snapshot"
+
+    def test_text_output_stays_default(self, figure1_file, capsys):
+        assert main([
+            "query", figure1_file, "--var", "T.main/x2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "T.main/x2 -> {h1}" in out
+        assert "demand slice:" in out
+
+
+class TestDiffParityGate:
+    @pytest.fixture()
+    def figure1_edited_file(self, tmp_path):
+        path = tmp_path / "figure1_edited.java"
+        path.write_text(FIGURE_1.replace(
+            "Object z = b.f;",
+            "Object z = b.f;\n        Object w = y;",
+        ))
+        return str(path)
+
+    def test_parity_mismatch_exits_nonzero(self, figure1_file,
+                                           figure1_edited_file, capsys,
+                                           monkeypatch):
+        from repro.incremental import IncrementalSolver
+
+        original = IncrementalSolver.relation_rows
+
+        def corrupted(self):
+            rows = {kind: set(r) for kind, r in original(self).items()}
+            rows["pts"].add(("bogus/var", "bogus-heap"))
+            return rows
+
+        monkeypatch.setattr(IncrementalSolver, "relation_rows", corrupted)
+        assert main([
+            "analyze", "--diff", figure1_file, figure1_edited_file,
+            "--config", "1-call",
+        ]) == 1
+        assert "parity with scratch solve: MISMATCH" in (
+            capsys.readouterr().out
+        )
+
+
+class TestCheckCommand:
+    @pytest.fixture()
+    def eventbus_file(self, tmp_path):
+        from tests.checkers.test_checks import _example_program
+
+        path = tmp_path / "eventbus.java"
+        path.write_text(_example_program())
+        return str(path)
+
+    def test_clean_program_passes(self, figure1_file, capsys):
+        assert main(["check", figure1_file]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_findings_render_but_default_gate_is_error(self, eventbus_file,
+                                                       capsys):
+        # The event bus has warnings and infos, no errors: default
+        # --fail-on error keeps the exit clean.
+        assert main(["check", eventbus_file]) == 0
+        out = capsys.readouterr().out
+        assert "CK301" in out
+        assert "CK401" in out
+        assert "[races]" in out
+
+    def test_fail_on_warning_gates_the_exit(self, eventbus_file, capsys):
+        assert main(["check", eventbus_file, "--fail-on", "warning"]) == 1
+        captured = capsys.readouterr()
+        assert "repro check: failing" in captured.err
+        assert main(["check", eventbus_file, "--fail-on", "never"]) == 0
+
+    def test_checks_subset_and_unknown_selector(self, eventbus_file,
+                                                capsys):
+        assert main([
+            "check", eventbus_file, "--checks", "races,CK4",
+            "--fail-on", "never",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "[races]" in out and "[leaks]" in out
+        assert "[devirt]" not in out
+        assert main(["check", eventbus_file, "--checks", "bogus"]) == 2
+        assert "unknown checker" in capsys.readouterr().err
+
+    def test_json_report_round_trips_through_lint(self, eventbus_file,
+                                                  tmp_path, capsys):
+        import json
+
+        report_path = tmp_path / "report.json"
+        assert main([
+            "check", eventbus_file, "--config", "insensitive",
+            "--json", str(report_path),
+        ]) == 0
+        capsys.readouterr()
+        document = json.loads(report_path.read_text())
+        assert document["schema"] == "repro-check/1"
+        subjects = [
+            f["subject"] for f in document["body"]["findings"]
+        ]
+        assert "cReplay" in subjects
+        assert main(["lint", str(report_path)]) == 0
+        out = capsys.readouterr().out
+        assert "check report ok: 0 errors, 0 warnings" in out
+        assert "(verified)" in out
+
+    def test_lint_rejects_tampered_report(self, eventbus_file, tmp_path,
+                                          capsys):
+        import json
+
+        report_path = tmp_path / "report.json"
+        main(["check", eventbus_file, "--json", str(report_path)])
+        capsys.readouterr()
+        document = json.loads(report_path.read_text())
+        document["body"]["findings"] = []
+        report_path.write_text(json.dumps(document))
+        assert main(["lint", str(report_path)]) == 1
+        assert "error[check-report]" in capsys.readouterr().err
+
+    def test_check_from_snapshot_matches_source(self, eventbus_file,
+                                                tmp_path, capsys):
+        import json
+
+        snap = str(tmp_path / "eventbus.snap")
+        main(["analyze", eventbus_file, "--save-snapshot", snap])
+        live_path = tmp_path / "live.json"
+        snap_path = tmp_path / "snap.json"
+        assert main([
+            "check", eventbus_file, "--json", str(live_path),
+        ]) == 0
+        assert main([
+            "check", "--snapshot", snap, "--json", str(snap_path),
+        ]) == 0
+        capsys.readouterr()
+        live = json.loads(live_path.read_text())
+        loaded = json.loads(snap_path.read_text())
+        assert live["digest"] == loaded["digest"]
+
+    def test_missing_snapshot_exits_two(self, tmp_path, capsys):
+        assert main([
+            "check", "--snapshot", str(tmp_path / "absent.snap"),
+        ]) == 2
+        assert "repro check:" in capsys.readouterr().err
+
+    def test_audit_sweeps_and_passes(self, eventbus_file, tmp_path, capsys):
+        import json
+
+        audit_path = tmp_path / "audit.json"
+        assert main([
+            "check", eventbus_file, "--audit", "--json", str(audit_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "monotone vs insensitive" in out
+        assert "abstractions agree" in out
+        document = json.loads(audit_path.read_text())
+        assert document["schema"] == "repro-check-audit/1"
+        assert all(document["monotone"].values())
+        assert document["abstractions_agree"]
+
+    def test_explain_prints_witness_derivations(self, eventbus_file,
+                                                capsys):
+        assert main([
+            "check", eventbus_file, "--config", "insensitive",
+            "--checks", "downcast", "--explain", "--fail-on", "never",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "CK101" in out
+        # --explain re-solves with provenance: witnesses expand into
+        # derivation trees instead of the "solve with provenance" hint.
+        assert "track_provenance" not in out
 
 
 class TestModuleEntryPoint:
