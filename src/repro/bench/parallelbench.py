@@ -1,0 +1,159 @@
+"""The parallel-fixpoint workload for the figure6 JSON report.
+
+Times the plan-driven sharded executor
+(:class:`repro.datalog.parallel.ParallelEngine`) against the
+sequential semi-naive engine on one synthetic DaCapo analogue, at a
+sweep of shard counts, and reports what the shard-safety analysis
+promised and what the run certified:
+
+* the plan summary (rule classification counts, replicated relations,
+  witness count) for the partition key used;
+* per shard count: wall-clock seconds and speedup over sequential,
+  per-shard derived-fact skew, exchange/broadcast volume, rounds, and
+  the run-time certificate counters (cross-shard probes from
+  shard-local rules and ownership violations — both must be zero);
+* exact parity: the parallel row sets are compared against the
+  sequential engine's before any timing is reported.
+
+The block is additive in the figure6 JSON (schema ``repro-figure6/5``)
+and is also the payload of the committed ``BENCH_*.json`` trajectory
+files (ROADMAP item 4).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Sequence
+
+from repro.bench.workloads import dacapo_program
+from repro.core.config import config_by_name
+from repro.frontend.factgen import generate_facts
+
+DEFAULT_BENCHMARK = "bloat"
+DEFAULT_CONFIGURATION = "2-object+H"
+DEFAULT_SHARDS: Sequence[int] = (2, 4)
+
+
+def run_parallel_fixpoint(
+    scale: int = 2,
+    shards: Sequence[int] = DEFAULT_SHARDS,
+    benchmark: str = DEFAULT_BENCHMARK,
+    configuration: str = DEFAULT_CONFIGURATION,
+    key: Optional[str] = None,
+    processes: bool = True,
+) -> Dict:
+    """Sequential vs parallel figure6 numbers for one workload.
+
+    Returns the additive ``parallel`` block of ``repro-figure6/5``.
+    """
+    from repro.compile.emit import compile_transformer_analysis
+    from repro.datalog.engine import Engine
+    from repro.datalog.parallel import ParallelEngine
+    from repro.datalog.partition import (
+        DEFAULT_KEY, build_shard_plan, pointer_partition_spec,
+    )
+
+    if key is None:
+        key = DEFAULT_KEY
+    config = config_by_name(configuration)
+    facts = generate_facts(dacapo_program(benchmark, scale))
+    compiled = compile_transformer_analysis(
+        facts, config.flavour, config.m, config.h
+    )
+
+    start = time.perf_counter()
+    sequential = Engine(compiled.program, compiled.builtins).run()
+    sequential_seconds = time.perf_counter() - start
+
+    spec = pointer_partition_spec(compiled.program, key)
+    plan = build_shard_plan(compiled.program, spec, compiled.builtins)
+
+    runs = []
+    for count in shards:
+        engine = ParallelEngine(
+            compiled.program, compiled.builtins, shards=count, key=key,
+            processes=processes,
+        )
+        results = engine.run()
+        stats = engine.stats
+        runs.append({
+            "shards": count,
+            "backend": stats.backend,
+            "seconds": stats.seconds,
+            "speedup": (
+                sequential_seconds / stats.seconds
+                if stats.seconds > 0 else None
+            ),
+            "rounds": stats.rounds,
+            "per_shard_derived": list(stats.per_shard_derived),
+            "skew": stats.skew(),
+            "exchanged_rows": stats.exchanged_rows,
+            "broadcast_rows": stats.broadcast_rows,
+            "broadcast_volume": stats.broadcast_volume,
+            "cross_shard_probes": stats.cross_shard_probes,
+            "cross_shard_probes_local": stats.cross_shard_probes_local,
+            "ownership_violations": stats.ownership_violations,
+            "parity": results == sequential,
+        })
+
+    counts = plan.counts()
+    return {
+        "benchmark": benchmark,
+        "configuration": configuration,
+        "scale": scale,
+        "key": key,
+        "sequential_seconds": sequential_seconds,
+        "plan": {
+            "rules": len(plan.rules),
+            "counts": counts,
+            "replicated": sorted(plan.replicated),
+            "replicas": sorted(plan.replicas),
+            "witnesses": plan.witness_count(),
+        },
+        "runs": runs,
+        # The zero-cross-shard-probe assertion for shard-local rules,
+        # plus ownership and exact parity — all must hold.
+        "certified": all(
+            run["parity"]
+            and run["cross_shard_probes_local"] == 0
+            and run["ownership_violations"] == 0
+            for run in runs
+        ),
+    }
+
+
+def format_parallel(block: Dict) -> str:
+    """One-paragraph text rendering (used by the CLI)."""
+    lines = [
+        f"parallel fixpoint ({block['benchmark']}/"
+        f"{block['configuration']}, scale={block['scale']},"
+        f" key={block['key']}):"
+        f" sequential {block['sequential_seconds'] * 1000:.1f}ms"
+    ]
+    counts = block["plan"]["counts"]
+    lines.append(
+        f"  plan: {block['plan']['rules']} rules —"
+        f" {counts['local']} local, {counts['exchange']} exchange,"
+        f" {counts['broadcast']} broadcast"
+        f" ({block['plan']['witnesses']} witnesses)"
+    )
+    for run in block["runs"]:
+        speedup = run["speedup"]
+        suffix = f" ({speedup:.2f}x)" if speedup is not None else ""
+        lines.append(
+            f"  {run['shards']} shards ({run['backend']}):"
+            f" {run['seconds'] * 1000:.1f}ms{suffix}"
+        )
+        lines.append(
+            f"    rounds={run['rounds']} skew={run['skew']:.2f}"
+            f" exchanged={run['exchanged_rows']}"
+            f" broadcast_volume={run['broadcast_volume']}"
+            f" probes={run['cross_shard_probes']}"
+            f" parity={'ok' if run['parity'] else 'MISMATCH'}"
+        )
+    lines.append(
+        "  certificate: "
+        + ("ok (zero cross-shard probes from local rules)"
+           if block["certified"] else "FAILED")
+    )
+    return "\n".join(lines)

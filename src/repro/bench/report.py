@@ -122,8 +122,12 @@ def format_csv(table: Figure6) -> str:
 #: adds the additive ``incremental`` field (the edit-churn workload of
 #: :mod:`repro.bench.deltabench`); ``/4`` adds the additive ``checks``
 #: field (the client-checker precision audit of
-#: :mod:`repro.bench.checkbench`).
-JSON_SCHEMA = "repro-figure6/4"
+#: :mod:`repro.bench.checkbench`); ``/5`` adds the additive ``parallel``
+#: field (the sharded-fixpoint workload of
+#: :mod:`repro.bench.parallelbench`: shard-plan summary, per-shard-count
+#: timings/skew/exchange volume, and the zero-cross-shard-probe
+#: certificate).
+JSON_SCHEMA = "repro-figure6/5"
 
 
 def _measurement_json(measurement: Measurement) -> Dict:
@@ -146,8 +150,9 @@ def figure6_json(
     query_latency: Optional[Dict] = None,
     incremental: Optional[Dict] = None,
     checks: Optional[Dict] = None,
+    parallel: Optional[Dict] = None,
 ) -> Dict:
-    """The table as a JSON-serializable dict (schema ``repro-figure6/4``).
+    """The table as a JSON-serializable dict (schema ``repro-figure6/5``).
 
     Top-level keys: ``schema``, the run parameters (``scale``,
     ``repetitions``, ``engine``; ``None`` when unknown), ``benchmarks``,
@@ -158,7 +163,12 @@ def figure6_json(
     (new in ``/3``, the edit-churn workload of
     :func:`repro.bench.deltabench.run_delta_churn`) and ``checks``
     (new in ``/4``, the client-checker precision audit of
-    :func:`repro.bench.checkbench.run_check_audit`).  Each cell carries
+    :func:`repro.bench.checkbench.run_check_audit`) and ``parallel``
+    (new in ``/5``, the sharded-fixpoint workload of
+    :func:`repro.bench.parallelbench.run_parallel_fixpoint`: the
+    shard-plan rule classification, per-shard-count speedup/skew/
+    exchange volume, and the run-time shard-safety certificate).
+    Each cell carries
     both abstractions' measurements (sizes, CI sizes, total, seconds,
     and per-relation store counters when available) plus the derived
     decrease percentages as fractions.
@@ -167,6 +177,7 @@ def figure6_json(
         "query_latency": query_latency,
         "incremental": incremental,
         "checks": checks,
+        "parallel": parallel,
         "schema": JSON_SCHEMA,
         "scale": scale,
         "repetitions": repetitions,
@@ -208,12 +219,14 @@ def format_json(
     query_latency: Optional[Dict] = None,
     incremental: Optional[Dict] = None,
     checks: Optional[Dict] = None,
+    parallel: Optional[Dict] = None,
 ) -> str:
     """:func:`figure6_json` serialized (indented, trailing newline)."""
     return json.dumps(
         figure6_json(table, scale=scale, repetitions=repetitions,
                      engine=engine, query_latency=query_latency,
-                     incremental=incremental, checks=checks),
+                     incremental=incremental, checks=checks,
+                     parallel=parallel),
         indent=2,
     ) + "\n"
 

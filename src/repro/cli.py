@@ -5,7 +5,8 @@ Subcommands:
 ``analyze``
     Run a pointer analysis over Java-subset source or a Doop-style
     facts directory and print points-to sets, the call graph, and
-    statistics.
+    statistics.  ``--shards N`` runs the plan-driven parallel executor
+    instead and checks exact parity against the sequential engine.
 
 ``facts``
     Generate a Doop-style ``.facts`` directory from source.
@@ -18,7 +19,9 @@ Subcommands:
     Statically verify a ``.dl`` Datalog program, a source program's IR,
     or the emitted configuration(s) for a source program.  Exits
     non-zero on any error-severity diagnostic (any diagnostic at all
-    with ``--strict-warnings``).
+    with ``--strict-warnings``).  ``--shard-plan`` additionally runs
+    the shard-safety analysis (DL4xx) and prints the partition plan;
+    ``--json`` writes one byte-stable ``repro-lint/1`` document.
 
 ``figure6``
     Regenerate the paper's Figure 6 table on the synthetic DaCapo
@@ -83,6 +86,8 @@ def _analysis_config(args):
 def cmd_analyze(args) -> int:
     if args.diff:
         return _analyze_diff(args)
+    if args.shards:
+        return _analyze_shards(args)
     facts = _load_facts(args)
     result = analyze(facts, _analysis_config(args))
     if args.var:
@@ -188,6 +193,89 @@ def _analyze_diff(args) -> int:
     )
     print(f"parity with scratch solve: {'ok' if identical else 'MISMATCH'}")
     return 0 if identical else 1
+
+
+def _analyze_shards(args) -> int:
+    """``analyze --shards N``: the plan-driven sharded fixpoint.
+
+    Compiles the configuration, builds the shard plan for
+    ``--shard-key``, runs the parallel executor (multiprocessing by
+    default; ``--in-process`` shares one interpreter), verifies exact
+    row-set parity against the sequential engine, and prints points-to
+    sets plus the plan and run-time shard-safety certificate.  Exits 1
+    on a parity mismatch or a certificate violation.
+    """
+    import time
+
+    from repro.compile.emit import (
+        compile_context_string_analysis,
+        compile_transformer_analysis,
+    )
+    from repro.datalog.engine import Engine
+    from repro.datalog.parallel import ParallelEngine, ShardSafetyError
+
+    facts = _load_facts(args)
+    config = _analysis_config(args)
+    compiler = (
+        compile_transformer_analysis
+        if _ABSTRACTIONS[args.abstraction] == "transformer-string"
+        else compile_context_string_analysis
+    )
+    compiled = compiler(facts, config.flavour, config.m, config.h)
+    engine = ParallelEngine(
+        compiled.program, compiled.builtins, shards=args.shards,
+        key=args.shard_key, processes=not args.in_process,
+    )
+    try:
+        raw = engine.run()
+    except ShardSafetyError as error:
+        print(f"repro analyze: shard-safety violation: {error}",
+              file=sys.stderr)
+        return 1
+    start = time.perf_counter()
+    sequential = Engine(compiled.program, compiled.builtins).run()
+    sequential_seconds = time.perf_counter() - start
+    parity = raw == sequential
+
+    decoded = compiled.decoder(raw)
+    by_var = {}
+    for row in decoded.get("pts", ()):
+        by_var.setdefault(row[0], set()).add(row[1])
+    if args.var:
+        for var in args.var:
+            targets = ", ".join(sorted(by_var.get(var, ()))) or "∅"
+            print(f"{var} -> {{{targets}}}")
+    else:
+        for var, heaps in sorted(by_var.items()):
+            print(f"{var} -> {{{', '.join(sorted(heaps))}}}")
+
+    plan = engine.plan
+    counts = plan.counts()
+    stats = engine.stats
+    print(
+        f"\nshard plan (key={plan.spec.key}): {len(plan.rules)} rules —"
+        f" {counts['local']} local, {counts['exchange']} exchange,"
+        f" {counts['broadcast']} broadcast"
+        f" ({plan.witness_count()} witnesses)"
+    )
+    speedup = (
+        sequential_seconds / stats.seconds if stats.seconds > 0 else 0.0
+    )
+    print(
+        f"{args.shards} shards ({stats.backend}):"
+        f" {stats.seconds * 1000:.1f}ms vs sequential"
+        f" {sequential_seconds * 1000:.1f}ms ({speedup:.2f}x),"
+        f" rounds={stats.rounds}, skew={stats.skew():.2f},"
+        f" exchanged={stats.exchanged_rows},"
+        f" broadcast_volume={stats.broadcast_volume}"
+    )
+    print(
+        f"certificate: cross-shard probes {stats.cross_shard_probes}"
+        f" (shard-local rules {stats.cross_shard_probes_local}),"
+        f" ownership violations {stats.ownership_violations}"
+    )
+    print(f"parity with sequential engine: {'ok' if parity else 'MISMATCH'}")
+    return 0 if parity else 1
 
 
 def _store_stats_table(stats) -> str:
@@ -476,8 +564,13 @@ def cmd_serve(args) -> int:
 
 _LINT_MAX_LINES = 50
 
+#: Schema identifier of the ``lint --json`` document.  One entry per
+#: linted subject; diagnostics are sorted by (line, column, code,
+#: message) so the serialized bytes are stable across runs.
+LINT_JSON_SCHEMA = "repro-lint/1"
 
-def _lint_print(report, args) -> bool:
+
+def _lint_print(report, args, plan=None) -> bool:
     """Print a report; returns True when it should fail the run."""
     from repro.lint.diagnostics import Severity
 
@@ -489,10 +582,74 @@ def _lint_print(report, args) -> bool:
         print("\n".join(shown))
         if len(shown) < len(lines):
             print(f"... and {len(lines) - len(shown)} more (use --verbose)")
+    if plan is not None:
+        plan_lines = plan.render().splitlines()
+        shown = plan_lines if args.verbose else plan_lines[:_LINT_MAX_LINES]
+        print("\n".join(shown))
+        if len(shown) < len(plan_lines):
+            print(
+                f"... plan truncated"
+                f" ({len(plan_lines) - len(shown)} more lines;"
+                " use --verbose)"
+            )
     print(report.summary())
     if args.strict_warnings:
         return bool(report.errors or report.warnings)
     return not report.ok
+
+
+def _lint_json_entry(report, plan=None):
+    """One ``subjects[]`` entry of the ``repro-lint/1`` document."""
+    def sort_key(diagnostic):
+        pos = diagnostic.pos
+        return (
+            pos.line if pos else 0,
+            pos.column if pos else 0,
+            diagnostic.code,
+            diagnostic.message,
+        )
+
+    errors, warnings = len(report.errors), len(report.warnings)
+    entry = {
+        "subject": report.subject,
+        "ok": report.ok,
+        "errors": errors,
+        "warnings": warnings,
+        "notes": len(report.diagnostics) - errors - warnings,
+        "diagnostics": [
+            {
+                "code": d.code,
+                "severity": str(d.severity),
+                "line": d.pos.line if d.pos else None,
+                "column": d.pos.column if d.pos else None,
+                "rule": d.rule_index,
+                "where": d.where,
+                "message": d.message,
+            }
+            for d in sorted(report.diagnostics, key=sort_key)
+        ],
+    }
+    if plan is not None:
+        entry["shard_plan"] = plan.to_json()
+    return entry
+
+
+def _lint_report(report, args, entries, plan=None) -> bool:
+    """Route one report to text output and/or the JSON collector."""
+    entries.append(_lint_json_entry(report, plan))
+    return _lint_print(report, args, plan)
+
+
+def _lint_shard_plan(program, builtins, args, report):
+    """``--shard-plan``: merge DL4xx findings into ``report`` and
+    return the plan (or ``None`` when the program is unstratifiable)."""
+    from repro.lint.shards import shard_plan_or_none
+
+    plan, diagnostics = shard_plan_or_none(
+        program, builtins, key=args.shard_key
+    )
+    report.extend(diagnostics)
+    return plan
 
 
 def _lint_compiled(facts, name: str, abstraction: str):
@@ -516,15 +673,16 @@ def _lint_compiled(facts, name: str, abstraction: str):
         )
     except LintError as error:
         # Emission itself lints (errors only); recover the full report.
-        return error.report
+        return error.report, None
     from repro.compile.emit import _INPUT_RELATIONS
 
-    return lint_program(
+    report = lint_program(
         compiled.program,
         builtins=compiled.builtins,
         subject=compiled.description,
         edb=_INPUT_RELATIONS + ("class_of", "invocation_parent"),
     )
+    return report, compiled
 
 
 def cmd_lint(args) -> int:
@@ -545,12 +703,21 @@ def cmd_lint(args) -> int:
         return _lint_check_report(args.path)
 
     failed = False
+    entries: list = []
     try:
-        failed = _lint_path(source, args)
+        failed = _lint_path(source, args, entries)
     except (DatalogSyntaxError, ParseError) as error:
         # A file the parser rejects is a lint failure, not a crash.
         print(f"error[syntax] in {args.path}: {error}", file=sys.stderr)
         return 1
+    if args.json:
+        document = {
+            "schema": LINT_JSON_SCHEMA,
+            "path": args.path,
+            "ok": not failed,
+            "subjects": entries,
+        }
+        _write_json(args.json, document, "lint report")
     return 1 if failed else 0
 
 
@@ -619,7 +786,7 @@ def _lint_check_report(path: str) -> int:
     return 0
 
 
-def _lint_path(source: str, args) -> bool:
+def _lint_path(source: str, args, entries) -> bool:
     from repro.datalog.lint import lint_program
     from repro.datalog.parser import parse_datalog
 
@@ -636,19 +803,24 @@ def _lint_path(source: str, args) -> bool:
             for lit in rule.body
         } - idb
         report = lint_program(program, subject=args.path, edb=edb)
-        return _lint_print(report, args)
+        plan = None
+        if args.shard_plan:
+            plan = _lint_shard_plan(program, None, args, report)
+        return _lint_report(report, args, entries, plan)
 
     from repro.frontend.factgen import facts_from_source
     from repro.frontend.parser import parse_program
     from repro.lint.ircheck import check_ir
 
     ir_program = parse_program(source)
-    failed = _lint_print(check_ir(ir_program, subject=args.path), args)
+    failed = _lint_report(
+        check_ir(ir_program, subject=args.path), args, entries
+    )
 
     names = []
     if args.all_configs:
         names = [n for n in _CONFIG_CHOICES if n != "insensitive"]
-    elif args.emitted:
+    elif args.emitted or args.shard_plan:
         names = [args.config]
     if names:
         facts = facts_from_source(source)
@@ -660,8 +832,15 @@ def _lint_path(source: str, args) -> bool:
         )
         for name in names:
             for abstraction in abstractions:
-                report = _lint_compiled(facts, name, abstraction)
-                failed = _lint_print(report, args) or failed
+                report, compiled = _lint_compiled(facts, name, abstraction)
+                plan = None
+                if args.shard_plan and compiled is not None:
+                    plan = _lint_shard_plan(
+                        compiled.program, compiled.builtins, args, report
+                    )
+                failed = _lint_report(
+                    report, args, entries, plan
+                ) or failed
     return failed
 
 
@@ -693,11 +872,21 @@ def cmd_figure6(args) -> int:
             from repro.bench.checkbench import run_check_audit
 
             checks = run_check_audit(scale=args.scale)
+        parallel = None
+        if not args.no_parallel:
+            from repro.bench.parallelbench import (
+                format_parallel, run_parallel_fixpoint,
+            )
+
+            parallel = run_parallel_fixpoint(scale=args.scale)
+            print()
+            print(format_parallel(parallel))
         with open(args.json, "w", encoding="utf-8") as handle:
             handle.write(format_json(
                 table, scale=args.scale, repetitions=args.repetitions,
                 engine="solver", query_latency=query_latency,
                 incremental=incremental, checks=checks,
+                parallel=parallel,
             ))
         print(f"\nwrote JSON to {args.json}")
     return 0
@@ -750,6 +939,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--diff", nargs=2, metavar=("OLD", "NEW"),
         help="diff two source files, apply the delta incrementally and"
         " report incremental-vs-scratch timings",
+    )
+    p_analyze.add_argument(
+        "--shards", type=int, metavar="N",
+        help="run the plan-driven parallel executor over N shards and"
+        " verify exact parity against the sequential engine",
+    )
+    p_analyze.add_argument(
+        "--shard-key", default="heap", choices=("variable", "heap", "method"),
+        help="partition key for --shards / the shard plan (default: heap)",
+    )
+    p_analyze.add_argument(
+        "--in-process", action="store_true",
+        help="with --shards: simulate the shards in one interpreter"
+        " instead of forking worker processes",
     )
     p_analyze.set_defaults(func=cmd_analyze)
 
@@ -918,6 +1121,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--verbose", "-v", action="store_true",
         help="also print note-severity diagnostics",
     )
+    p_lint.add_argument(
+        "--shard-plan", action="store_true",
+        help="run the shard-safety analysis (DL4xx), print the"
+        " partition/communication plan, and merge its diagnostics"
+        " into the report (lints the emitted --config for source files)",
+    )
+    p_lint.add_argument(
+        "--shard-key", default="heap", choices=("variable", "heap", "method"),
+        help="partition key for --shard-plan (default: heap)",
+    )
+    p_lint.add_argument(
+        "--json", metavar="PATH",
+        help="write a byte-stable repro-lint/1 JSON document here"
+        " ('-' = stdout); diagnostics sorted by line/column/code",
+    )
     p_lint.set_defaults(func=cmd_lint)
 
     p_fig = sub.add_parser("figure6", help="regenerate the Figure 6 table")
@@ -927,7 +1145,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument(
         "--json",
         help="also write machine-readable JSON here"
-        " (schema repro-figure6/4, see docs/api.md)",
+        " (schema repro-figure6/5, see docs/api.md)",
     )
     p_fig.add_argument(
         "--no-query-latency", action="store_true",
@@ -940,6 +1158,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument(
         "--no-checks", action="store_true",
         help="omit the client-checker precision audit from the JSON",
+    )
+    p_fig.add_argument(
+        "--no-parallel", action="store_true",
+        help="omit the sharded-fixpoint workload from the JSON",
     )
     p_fig.set_defaults(func=cmd_figure6)
     return parser

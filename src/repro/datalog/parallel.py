@@ -1,0 +1,894 @@
+"""Plan-driven parallel semi-naive evaluation.
+
+The executor half of the shard-safety analysis: a
+:class:`~repro.datalog.partition.ShardPlan` (built by
+:func:`repro.datalog.partition.build_shard_plan`) says, per rule,
+which body atoms are co-partitioned on the join anchor, which must
+probe a broadcast *replica*, and where derived rows live.  This module
+runs that plan over ``N`` shards with exact sequential parity:
+
+* every shard holds the *owned* slice of each partitioned relation
+  (rows whose partition attribute hashes to it), plus full copies of
+  replicated relations and of the replica'd relations the plan forced;
+* within a stratum, evaluation proceeds in bulk-synchronous rounds:
+  each shard evaluates its rules semi-naively against its local store,
+  collecting derived rows into per-destination outboxes (exchange
+  edges) and a broadcast outbox (replicated/replica'd heads); the
+  coordinator routes them, every shard ingests and promotes, and the
+  stratum ends when no shard has a frontier left;
+* **shard-local rules never communicate**: their derivations are
+  owned by construction and inserted directly.
+
+The plan is certified at run time: every row entering an owned slice
+asserts its partition attribute hashes here (``ownership_violations``),
+and every keyed probe of an owned slice asserts the key's partition
+value hashes here (``cross_shard_probes``).  Both counters must be
+zero — the static classification is the race detector, and these
+counters are its proof obligation (checked by the property tests and
+the bench harness).
+
+Two backends share all evaluation code: ``processes=True`` forks real
+workers (``multiprocessing`` ``fork`` context — workers inherit the
+program, plan and facts copy-on-write, so only frontier deltas cross
+the pipes) and falls back to in-process shards where ``fork`` is
+unavailable; ``processes=False`` runs the shards in-process
+(deterministic, debuggable, used by most tests).
+
+For pure-Datalog programs (no builtins referenced — every transformer
+configuration) all constants are interned to dense ints up front
+(:class:`repro.store.Interner`), so the wire format is tuples of small
+ints and shard hashing is ``value % N``; results are decoded at the
+boundary.  Programs with builtins (the context-string instantiation)
+ship raw values, since builtin closures construct values at runtime.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.datalog.ast import Const, Literal, Program, Rule, Var
+from repro.datalog.builtins import DEFAULT_BUILTINS, BuiltinFn
+from repro.datalog.partition import (
+    DEFAULT_KEY,
+    PartitionSpec,
+    RulePlan,
+    ShardPlan,
+    build_shard_plan,
+    pointer_partition_spec,
+    stable_shard_of,
+)
+from repro.store import Interner, Relation, TupleStore, plan_indices
+
+Bindings = Dict[Var, object]
+Rows = List[Tuple]
+
+
+# ---------------------------------------------------------------------------
+# Per-shard evaluation state.
+# ---------------------------------------------------------------------------
+
+class _ShardState:
+    """One shard: owned slices + replicas + the semi-naive evaluator."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        shards: int,
+        program: Program,
+        plan: ShardPlan,
+        builtins: Dict[str, BuiltinFn],
+    ):
+        self.shard_id = shard_id
+        self.shards = shards
+        self.program = program
+        self.plan = plan
+        self.builtins = builtins
+        self.spec = plan.spec
+        self.store = TupleStore()
+        #: Owned slice (partitioned) or full copy (replicated).
+        self.relations: Dict[str, Relation] = self.store.relations()
+        #: Full replica copies of partitioned relations the plan forced.
+        self.replicas: Dict[str, Relation] = {}
+        self._index_plan = plan_indices(program, builtins=builtins)
+        self._stratum_preds: Set[str] = set()
+        #: Newly-inserted owned rows of replica'd relations, awaiting
+        #: broadcast at the next evaluation round.
+        self._replica_backlog: Dict[str, Set[Tuple]] = {}
+        self.counters: Dict[str, int] = {
+            "derived": 0,
+            "exchanged_rows": 0,
+            "broadcast_rows": 0,
+            "cross_shard_probes": 0,
+            "cross_shard_probes_local": 0,
+            "ownership_violations": 0,
+            "rule_evaluations": 0,
+        }
+
+    # -- relation access ---------------------------------------------------
+
+    def _relation(self, pred: str, arity: int) -> Relation:
+        rel = self.relations.get(pred)
+        if rel is None:
+            rel = self.store.relation(pred, arity)
+            for positions in sorted(self._index_plan.get(pred, ())):
+                rel.ensure_index(positions)
+        return rel
+
+    def _replica(self, pred: str, arity: int) -> Relation:
+        rel = self.replicas.get(pred)
+        if rel is None:
+            rel = Relation(f"{pred}@replica", arity)
+            self.replicas[pred] = rel
+        return rel
+
+    def _owns(self, pred: str, row: Tuple) -> bool:
+        column = self.spec.column_of(pred)
+        if column is None:
+            return True
+        return stable_shard_of(row[column], self.shards) == self.shard_id
+
+    # -- loading -----------------------------------------------------------
+
+    def load_facts(self) -> None:
+        """Install the program's extensional rows: owned slices take
+        the rows that hash here, replicas and replicated relations take
+        everything."""
+        def install(pred: str, row: Tuple) -> None:
+            arity = len(row)
+            column = self.spec.column_of(pred)
+            if column is None:
+                self._relation(pred, arity).load(row)
+            else:
+                if stable_shard_of(row[column], self.shards) == self.shard_id:
+                    self._relation(pred, arity).load(row)
+                else:
+                    # Materialize the empty owned slice so result
+                    # assembly sees the same relation set everywhere.
+                    self._relation(pred, arity)
+                if pred in self.plan.replicas:
+                    self._replica(pred, arity).load(row)
+
+        for pred, rows in self.program.facts.items():
+            for row in rows:
+                install(pred, row)
+        for rule in self.program.rules:
+            if rule.is_fact():
+                row = tuple(t.value for t in rule.head.args)
+                install(rule.head.pred, row)
+
+    # -- stratum lifecycle --------------------------------------------------
+
+    def begin_stratum(self, index: int) -> None:
+        self._stratum_preds = set(self.plan.strata[index])
+        self._rules = [
+            plan for plan in self.plan.rules_of_stratum(index)
+            if not plan.pinned
+            or plan.rule_index % self.shards == self.shard_id
+        ]
+        # Materialize every stratum head — including heads of pinned
+        # rules assigned to other shards — so result assembly reports
+        # the same (possibly empty) relation set as the sequential
+        # engine.
+        for plan in self.plan.rules_of_stratum(index):
+            head = plan.rule.head
+            self._relation(head.pred, head.arity)
+
+    def evaluate(self, first: bool) -> Tuple[Dict[int, Dict[str, Rows]],
+                                             Dict[str, Rows]]:
+        """One evaluation round over this shard's rules.
+
+        Returns ``(outbox, broadcast)``: rows to route to specific
+        owner shards, and rows every other shard must ingest (new rows
+        of replicated relations and of replica'd partitioned
+        relations).  Round 0 (``first``) evaluates every rule fully;
+        later rounds evaluate only delta variants.
+        """
+        outbox: Dict[int, Dict[str, Set[Tuple]]] = {}
+        broadcast: Dict[str, Set[Tuple]] = {}
+
+        # Drain the replica backlog: owned rows ingested last round
+        # that every shard's replica copy still needs.
+        for pred, rows in self._replica_backlog.items():
+            if rows:
+                broadcast.setdefault(pred, set()).update(rows)
+                self.counters["broadcast_rows"] += len(rows)
+        self._replica_backlog = {}
+
+        for plan in self._rules:
+            if first:
+                self._evaluate_variant(plan, None, None, outbox, broadcast)
+            else:
+                for position, delta_rows in self._delta_positions(plan):
+                    self._evaluate_variant(
+                        plan, position, delta_rows, outbox, broadcast
+                    )
+        return (
+            {
+                dest: {pred: list(rows) for pred, rows in per_pred.items()}
+                for dest, per_pred in outbox.items()
+            },
+            {pred: list(rows) for pred, rows in broadcast.items()},
+        )
+
+    def _delta_positions(
+        self, plan: RulePlan
+    ) -> Iterator[Tuple[int, Rows]]:
+        for position, literal in enumerate(plan.rule.body):
+            if literal.negated or literal.pred in self.builtins:
+                continue
+            if literal.pred not in self._stratum_preds:
+                continue
+            relation = self._probe_target(plan, position, literal.pred)
+            if relation is not None and relation.delta:
+                yield position, relation.delta
+
+    def _probe_target(
+        self, plan: RulePlan, position: int, pred: str
+    ) -> Optional[Relation]:
+        if position in plan.replica_atoms:
+            return self.replicas.get(pred)
+        return self.relations.get(pred)
+
+    # -- derivation routing -------------------------------------------------
+
+    def _emit(
+        self,
+        plan: RulePlan,
+        row: Tuple,
+        outbox: Dict[int, Dict[str, Set[Tuple]]],
+        broadcast: Dict[str, Set[Tuple]],
+    ) -> None:
+        head = plan.rule.head
+        if plan.head_column is None:
+            # Replicated head: keep it here, broadcast if first seen.
+            if self._insert_local(head.pred, head.arity, row):
+                broadcast.setdefault(head.pred, set()).add(row)
+                self.counters["broadcast_rows"] += 1
+            return
+        owner = stable_shard_of(row[plan.head_column], self.shards)
+        if owner == self.shard_id:
+            self._insert_local(head.pred, head.arity, row)
+        else:
+            if plan.kind == "local":  # pragma: no cover - plan violation
+                self.counters["ownership_violations"] += 1
+            bucket = outbox.setdefault(owner, {}).setdefault(
+                head.pred, set()
+            )
+            if row not in bucket:
+                bucket.add(row)
+                self.counters["exchanged_rows"] += 1
+
+    def _insert_local(self, pred: str, arity: int, row: Tuple) -> bool:
+        """Insert an owned (or replicated) row; returns True iff new.
+
+        Every insertion into an owned slice re-checks ownership — the
+        run-time half of the shard-safety certificate.
+        """
+        if not self._owns(pred, row):  # pragma: no cover - plan violation
+            self.counters["ownership_violations"] += 1
+        if self.relations[pred].add(row):
+            self.counters["derived"] += 1
+            if pred in self.plan.replicas:
+                self._replica_backlog.setdefault(pred, set()).add(row)
+            return True
+        return False
+
+    def ingest(
+        self, owned: Dict[str, Rows], replica: Dict[str, Rows]
+    ) -> None:
+        """Install routed rows: exchanged rows into owned slices (they
+        were hashed to us), broadcast rows into full/replica copies."""
+        for pred, rows in owned.items():
+            arity = len(rows[0]) if rows else None
+            relation = self._relation(pred, arity)
+            for row in rows:
+                self._insert_local(pred, relation.arity or len(row), row)
+        for pred, rows in replica.items():
+            if self.spec.column_of(pred) is None:
+                relation = self._relation(pred, len(rows[0]))
+                for row in rows:
+                    relation.add(row)
+            else:
+                target = self._replica(pred, len(rows[0]))
+                for row in rows:
+                    target.add(row)
+
+    def promote(self) -> bool:
+        """Cut the frontier on every stratum relation; True iff any
+        shard-local delta remains."""
+        has_delta = False
+        for pred in self._stratum_preds:
+            relation = self.relations.get(pred)
+            if relation is not None and relation.promote():
+                has_delta = True
+            replica = self.replicas.get(pred)
+            if replica is not None and replica.promote():
+                has_delta = True
+        if any(self._replica_backlog.values()):
+            has_delta = True
+        return has_delta
+
+    # -- results -----------------------------------------------------------
+
+    def results(self) -> Dict[str, Rows]:
+        """This shard's contribution to the global result: owned slices
+        always; full replicated copies only from shard 0 (identical on
+        every shard)."""
+        out: Dict[str, Rows] = {}
+        for pred, relation in self.relations.items():
+            if self.spec.column_of(pred) is None:
+                if self.shard_id == 0:
+                    out[pred] = list(relation.rows)
+            else:
+                out[pred] = list(relation.rows)
+        return out
+
+    # -- the semi-naive join (mirrors repro.datalog.engine.Engine) ----------
+
+    def _evaluate_variant(
+        self,
+        plan: RulePlan,
+        delta_position: Optional[int],
+        delta_rows: Optional[Rows],
+        outbox: Dict[int, Dict[str, Set[Tuple]]],
+        broadcast: Dict[str, Set[Tuple]],
+    ) -> None:
+        self.counters["rule_evaluations"] += 1
+        head = plan.rule.head
+        for bindings in self._join(plan, 0, {}, delta_position, delta_rows):
+            row = tuple(
+                bindings[t] if isinstance(t, Var) else t.value
+                for t in head.args
+            )
+            self._emit(plan, row, outbox, broadcast)
+
+    def _join(
+        self,
+        plan: RulePlan,
+        index: int,
+        bindings: Bindings,
+        delta_position: Optional[int],
+        delta_rows: Optional[Rows],
+    ) -> Iterator[Bindings]:
+        body = plan.rule.body
+        if index == len(body):
+            yield bindings
+            return
+        literal = body[index]
+
+        if literal.pred in self.builtins:
+            yield from self._eval_builtin(
+                plan, literal, bindings, index, delta_position, delta_rows
+            )
+            return
+        if literal.negated:
+            yield from self._eval_negated(
+                plan, literal, bindings, index, delta_position, delta_rows
+            )
+            return
+
+        bound_positions: List[int] = []
+        key_values: List[object] = []
+        for position, term in enumerate(literal.args):
+            if isinstance(term, Const):
+                bound_positions.append(position)
+                key_values.append(term.value)
+            elif term in bindings:
+                bound_positions.append(position)
+                key_values.append(bindings[term])
+
+        if index == delta_position:
+            candidates: Sequence[Tuple] = [
+                row
+                for row in delta_rows
+                if all(
+                    row[p] == v for p, v in zip(bound_positions, key_values)
+                )
+            ]
+        else:
+            relation = self._probe_target(plan, index, literal.pred)
+            if relation is None:
+                return
+            self._check_probe(plan, literal, bound_positions, key_values,
+                              index)
+            candidates = relation.lookup(
+                tuple(bound_positions), tuple(key_values)
+            )
+
+        for row in candidates:
+            extended = self._unify(literal, row, bindings)
+            if extended is not None:
+                yield from self._join(
+                    plan, index + 1, extended, delta_position, delta_rows
+                )
+
+    def _check_probe(
+        self,
+        plan: RulePlan,
+        literal: Literal,
+        bound_positions: List[int],
+        key_values: List[object],
+        index: int,
+    ) -> None:
+        """The probe-side shard-safety check: a keyed probe of an owned
+        slice whose partition value hashes elsewhere would be a
+        cross-shard lookup — the plan says it never happens.
+
+        The anchor atom itself is exempt: when a replicated atom earlier
+        in the body binds the anchor variable, probing the owned anchor
+        slice with a foreign key is the partition acting as a filter —
+        the owning shard performs the same derivation from its own full
+        copy of the replicated inputs, so nothing is lost."""
+        if index in plan.replica_atoms or index == plan.anchor_index:
+            return
+        column = self.spec.column_of(literal.pred)
+        if column is None:
+            return
+        try:
+            at = bound_positions.index(column)
+        except ValueError:
+            return  # unkeyed scan of the owned slice (the anchor atom)
+        owner = stable_shard_of(key_values[at], self.shards)
+        if owner != self.shard_id:  # pragma: no cover - plan violation
+            self.counters["cross_shard_probes"] += 1
+            if plan.kind == "local":
+                self.counters["cross_shard_probes_local"] += 1
+
+    @staticmethod
+    def _unify(
+        literal: Literal, row: Tuple, bindings: Bindings
+    ) -> Optional[Bindings]:
+        extended = dict(bindings)
+        for term, value in zip(literal.args, row):
+            if isinstance(term, Const):
+                if term.value != value:
+                    return None
+            elif term not in extended:
+                extended[term] = value
+            elif extended[term] != value:
+                return None
+        return extended
+
+    def _eval_builtin(
+        self, plan, literal, bindings, index, delta_position, delta_rows
+    ) -> Iterator[Bindings]:
+        fn = self.builtins[literal.pred]
+        call_args = tuple(
+            (bindings.get(t, t) if isinstance(t, Var) else t.value)
+            for t in literal.args
+        )
+        produced = fn(call_args)
+        if literal.negated:
+            if next(iter(produced), None) is None:
+                yield from self._join(
+                    plan, index + 1, bindings, delta_position, delta_rows
+                )
+            return
+        for completed in produced:
+            extended = dict(bindings)
+            consistent = True
+            for term, value in zip(literal.args, completed):
+                if isinstance(term, Var):
+                    if term not in extended:
+                        extended[term] = value
+                    elif extended[term] != value:
+                        consistent = False
+                        break
+                elif term.value != value:
+                    consistent = False
+                    break
+            if consistent:
+                yield from self._join(
+                    plan, index + 1, extended, delta_position, delta_rows
+                )
+
+    def _eval_negated(
+        self, plan, literal, bindings, index, delta_position, delta_rows
+    ) -> Iterator[Bindings]:
+        args = []
+        for term in literal.args:
+            if isinstance(term, Const):
+                args.append(term.value)
+            else:
+                if term not in bindings:
+                    raise ValueError(
+                        f"negated literal {literal!r} reached with"
+                        f" unbound variable {term!r}"
+                    )
+                args.append(bindings[term])
+        relation = self._probe_target(plan, index, literal.pred)
+        self._check_probe(
+            plan, literal, list(range(len(args))), args, index
+        )
+        present = relation is not None and tuple(args) in relation
+        if not present:
+            yield from self._join(
+                plan, index + 1, bindings, delta_position, delta_rows
+            )
+
+
+# ---------------------------------------------------------------------------
+# Backends: in-process shards, or forked workers.
+# ---------------------------------------------------------------------------
+
+def _worker_main(conn, shard_id, shards, program, plan, builtins) -> None:
+    """Forked worker loop: a :class:`_ShardState` driven over a pipe.
+
+    Under the ``fork`` start method the arguments arrive by memory
+    inheritance, not pickling — only commands and frontier rows cross
+    the pipe.
+    """
+    state = _ShardState(shard_id, shards, program, plan, builtins)
+    while True:
+        message = conn.recv()
+        op = message[0]
+        if op == "load":
+            state.load_facts()
+            conn.send(("ok",))
+        elif op == "stratum":
+            state.begin_stratum(message[1])
+            conn.send(("ok",))
+        elif op == "eval":
+            conn.send(state.evaluate(message[1]))
+        elif op == "ingest":
+            state.ingest(message[1], message[2])
+            conn.send(state.promote())
+        elif op == "results":
+            conn.send(state.results())
+        elif op == "stats":
+            conn.send(state.counters)
+        elif op == "stop":
+            conn.close()
+            return
+
+
+class _ForkBackend:
+    """Real ``multiprocessing`` workers over duplex pipes."""
+
+    def __init__(self, shards, program, plan, builtins):
+        import multiprocessing
+
+        context = multiprocessing.get_context("fork")
+        self._connections = []
+        self._processes = []
+        for shard_id in range(shards):
+            parent_conn, child_conn = context.Pipe(duplex=True)
+            process = context.Process(
+                target=_worker_main,
+                args=(child_conn, shard_id, shards, program, plan, builtins),
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            self._connections.append(parent_conn)
+            self._processes.append(process)
+
+    def broadcast_command(self, *message):
+        for conn in self._connections:
+            conn.send(message)
+        return [conn.recv() for conn in self._connections]
+
+    def send(self, shard_id, *message):
+        self._connections[shard_id].send(message)
+
+    def recv(self, shard_id):
+        return self._connections[shard_id].recv()
+
+    def close(self):
+        for conn in self._connections:
+            try:
+                conn.send(("stop",))
+                conn.close()
+            except (BrokenPipeError, OSError):  # pragma: no cover
+                pass
+        for process in self._processes:
+            process.join(timeout=10)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+
+
+class _InProcessBackend:
+    """The same shard states, called directly (deterministic tests)."""
+
+    def __init__(self, shards, program, plan, builtins):
+        self.states = [
+            _ShardState(shard_id, shards, program, plan, builtins)
+            for shard_id in range(shards)
+        ]
+
+    def broadcast_command(self, *message):
+        return [self._dispatch(state, message) for state in self.states]
+
+    def send(self, shard_id, *message):
+        self._pending = getattr(self, "_pending", {})
+        self._pending[shard_id] = self._dispatch(
+            self.states[shard_id], message
+        )
+
+    def recv(self, shard_id):
+        return self._pending.pop(shard_id)
+
+    @staticmethod
+    def _dispatch(state, message):
+        op = message[0]
+        if op == "load":
+            state.load_facts()
+            return ("ok",)
+        if op == "stratum":
+            state.begin_stratum(message[1])
+            return ("ok",)
+        if op == "eval":
+            return state.evaluate(message[1])
+        if op == "ingest":
+            state.ingest(message[1], message[2])
+            return state.promote()
+        if op == "results":
+            return state.results()
+        if op == "stats":
+            return state.counters
+        raise ValueError(f"unknown op {op!r}")  # pragma: no cover
+
+    def close(self):
+        pass
+
+
+# ---------------------------------------------------------------------------
+# The coordinator.
+# ---------------------------------------------------------------------------
+
+class ParallelStats:
+    """Aggregated counters for one parallel evaluation."""
+
+    def __init__(self, shards: int, backend: str) -> None:
+        self.shards = shards
+        self.backend = backend
+        self.rounds = 0
+        self.seconds = 0.0
+        self.per_shard_derived: List[int] = [0] * shards
+        self.exchanged_rows = 0
+        self.broadcast_rows = 0
+        self.broadcast_volume = 0
+        self.cross_shard_probes = 0
+        self.cross_shard_probes_local = 0
+        self.ownership_violations = 0
+        self.rule_evaluations = 0
+
+    def skew(self) -> float:
+        """max/mean of per-shard derived rows (1.0 = perfectly even)."""
+        total = sum(self.per_shard_derived)
+        if total == 0:
+            return 1.0
+        mean = total / len(self.per_shard_derived)
+        return max(self.per_shard_derived) / mean
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "shards": self.shards,
+            "backend": self.backend,
+            "rounds": self.rounds,
+            "seconds": self.seconds,
+            "per_shard_derived": list(self.per_shard_derived),
+            "skew": self.skew(),
+            "exchanged_rows": self.exchanged_rows,
+            "broadcast_rows": self.broadcast_rows,
+            "broadcast_volume": self.broadcast_volume,
+            "cross_shard_probes": self.cross_shard_probes,
+            "cross_shard_probes_local": self.cross_shard_probes_local,
+            "ownership_violations": self.ownership_violations,
+            "rule_evaluations": self.rule_evaluations,
+        }
+
+
+class ShardSafetyError(AssertionError):
+    """The run-time certificate failed: a shard-local rule performed a
+    cross-shard lookup, or a row landed on a shard that does not own
+    it.  Either is a bug in the partition analysis or the executor."""
+
+
+class ParallelEngine:
+    """Evaluates a :class:`Program` over ``N`` shards, plan-driven.
+
+    Drop-in result-compatible with :class:`repro.datalog.engine.Engine`:
+    :meth:`run` returns the identical predicate → row-set mapping.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        builtins: Optional[Dict[str, BuiltinFn]] = None,
+        shards: int = 4,
+        key: str = DEFAULT_KEY,
+        spec: Optional[PartitionSpec] = None,
+        plan: Optional[ShardPlan] = None,
+        processes: bool = False,
+    ):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.builtins: Dict[str, BuiltinFn] = dict(DEFAULT_BUILTINS)
+        if builtins:
+            self.builtins.update(builtins)
+        program.validate()
+        self.shards = shards
+        self._interner: Optional[Interner] = None
+        self._source_program = program
+
+        if plan is None:
+            if spec is None:
+                spec = pointer_partition_spec(program, key)
+            plan = build_shard_plan(program, spec, self.builtins)
+        else:
+            spec = plan.spec
+
+        if not _uses_builtins(program, self.builtins):
+            # Pure Datalog: intern every constant so shard hashing and
+            # the wire format are dense small ints.
+            self._interner = Interner()
+            program = _encode_program(program, self._interner)
+            spec = PartitionSpec(
+                key=spec.key, columns=dict(spec.columns),
+                replicated=spec.replicated,
+            )
+            plan = build_shard_plan(program, spec, self.builtins)
+
+        self.program = program
+        self.plan = plan
+        self.spec = spec
+        backend_name = "fork" if processes else "inprocess"
+        if processes and not _fork_available():  # pragma: no cover
+            backend_name = "inprocess"
+        self._backend_name = backend_name
+        self.stats = ParallelStats(shards, backend_name)
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> Dict[str, Set[Tuple]]:
+        """Evaluate to fixpoint; returns predicate → row set (decoded)."""
+        start = time.perf_counter()
+        backend_cls = (
+            _ForkBackend if self._backend_name == "fork"
+            else _InProcessBackend
+        )
+        backend = backend_cls(
+            self.shards, self.program, self.plan, self.builtins
+        )
+        try:
+            backend.broadcast_command("load")
+            for stratum_index in range(len(self.plan.strata)):
+                backend.broadcast_command("stratum", stratum_index)
+                self._run_stratum(backend)
+            merged: Dict[str, Set[Tuple]] = {}
+            for contribution in backend.broadcast_command("results"):
+                for pred, rows in contribution.items():
+                    merged.setdefault(pred, set()).update(rows)
+            for shard_id, counters in enumerate(
+                backend.broadcast_command("stats")
+            ):
+                self.stats.per_shard_derived[shard_id] = counters["derived"]
+                self.stats.exchanged_rows += counters["exchanged_rows"]
+                self.stats.broadcast_rows += counters["broadcast_rows"]
+                self.stats.cross_shard_probes += counters["cross_shard_probes"]
+                self.stats.cross_shard_probes_local += counters[
+                    "cross_shard_probes_local"
+                ]
+                self.stats.ownership_violations += counters[
+                    "ownership_violations"
+                ]
+                self.stats.rule_evaluations += counters["rule_evaluations"]
+        finally:
+            backend.close()
+        self.stats.broadcast_volume = (
+            self.stats.broadcast_rows * max(0, self.shards - 1)
+        )
+        self.stats.seconds = time.perf_counter() - start
+        if self.stats.cross_shard_probes_local or \
+                self.stats.ownership_violations:  # pragma: no cover
+            raise ShardSafetyError(
+                f"shard-safety certificate failed:"
+                f" {self.stats.cross_shard_probes_local} cross-shard"
+                f" probe(s) from shard-local rules,"
+                f" {self.stats.ownership_violations} ownership"
+                f" violation(s)"
+            )
+        if self._interner is not None:
+            merged = {
+                pred: {self._interner.decode_row(row) for row in rows}
+                for pred, rows in merged.items()
+            }
+        return merged
+
+    def _run_stratum(self, backend) -> None:
+        first = True
+        while True:
+            replies = backend.broadcast_command("eval", first)
+            first = False
+            self.stats.rounds += 1
+            # Route: per-destination owned rows + global broadcast.
+            inboxes: List[Dict[str, Set[Tuple]]] = [
+                {} for _ in range(self.shards)
+            ]
+            replica_rows: Dict[str, Set[Tuple]] = {}
+            for outbox, broadcast in replies:
+                for dest, per_pred in outbox.items():
+                    for pred, rows in per_pred.items():
+                        inboxes[dest].setdefault(pred, set()).update(rows)
+                for pred, rows in broadcast.items():
+                    replica_rows.setdefault(pred, set()).update(rows)
+            shipped = any(inboxes) or any(replica_rows.values())
+            replica_payload = {
+                pred: list(rows) for pred, rows in replica_rows.items()
+            }
+            for shard_id in range(self.shards):
+                backend.send(
+                    shard_id, "ingest",
+                    {
+                        pred: list(rows)
+                        for pred, rows in inboxes[shard_id].items()
+                    },
+                    replica_payload,
+                )
+            has_delta = [
+                backend.recv(shard_id) for shard_id in range(self.shards)
+            ]
+            if not any(has_delta) and not shipped:
+                return
+
+
+def _fork_available() -> bool:
+    import multiprocessing
+
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _uses_builtins(program: Program, builtins: Dict[str, BuiltinFn]) -> bool:
+    for rule in program.rules:
+        for literal in rule.body:
+            if literal.pred in builtins:
+                return True
+    return False
+
+
+def _encode_program(program: Program, interner: Interner) -> Program:
+    """Rewrite every constant (rule consts and fact attributes) to its
+    interned symbol.  Deterministic: iteration follows program order."""
+    def encode_term(term):
+        if isinstance(term, Const):
+            return Const(interner.intern(term.value))
+        return term
+
+    def encode_literal(literal: Literal) -> Literal:
+        return Literal(
+            literal.pred,
+            tuple(encode_term(t) for t in literal.args),
+            negated=literal.negated,
+            pos=literal.pos,
+        )
+
+    rules = [
+        Rule(
+            encode_literal(rule.head),
+            tuple(encode_literal(lit) for lit in rule.body),
+            pos=rule.pos,
+        )
+        for rule in program.rules
+    ]
+    facts = {
+        pred: {interner.intern_row(row) for row in sorted(rows)}
+        for pred, rows in sorted(program.facts.items())
+    }
+    return Program(rules=rules, facts=facts)
+
+
+def evaluate_parallel(
+    program: Program,
+    builtins=None,
+    shards: int = 4,
+    key: str = DEFAULT_KEY,
+    spec: Optional[PartitionSpec] = None,
+    processes: bool = False,
+) -> Dict[str, Set[Tuple]]:
+    """One-shot parallel evaluation convenience wrapper."""
+    return ParallelEngine(
+        program, builtins, shards=shards, key=key, spec=spec,
+        processes=processes,
+    ).run()

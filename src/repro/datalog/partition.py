@@ -1,0 +1,647 @@
+"""Partition/communication analysis over Datalog programs (DL4xx).
+
+The paper's configuration specialization (Section 7) exists so that
+every join of the emitted program is a fully-indexed equi-join over
+flat attributes.  That is also exactly the shape that makes semi-naive
+evaluation *partitionable*: hash every relation on one attribute (the
+variable, heap or method column) and a rule whose body atoms are all
+co-partitioned on the join anchor can run on each shard independently,
+never probing another shard's data.
+
+This module is the static analysis that proves it, rule by rule.  Given
+a :class:`PartitionSpec` (predicate → partition column, or *replicated*
+for relations kept whole on every shard), :func:`build_shard_plan`
+classifies every rule of a program as
+
+* **local** — every body atom is either replicated or partitioned on
+  the rule's join anchor, and the head lands on the anchor's shard:
+  provably zero cross-shard communication;
+* **exchange** — the body evaluates locally but the head's partition
+  attribute is bound to a different term, so derived rows must be
+  repartitioned (shipped to their owner) at the end of each round;
+* **broadcast** — some relation must be replicated for the rule to be
+  evaluable at all: a body atom partitioned on a non-anchor attribute
+  forces a *replica* copy (its deltas are broadcast every round), or
+  the head derives into a replicated relation, or the rule has no
+  partitioned body atom and is pinned to a single shard.
+
+Every non-local classification carries a :class:`Witness` — the
+offending join variable/atom pair, with the rule's source line/column
+when the program was parsed from text — and is surfaced as a coded
+diagnostic (see the DL4xx table in ``docs/api.md``):
+
+* ``DL401`` (note) — head repartitioned (exchange edge);
+* ``DL402`` (note) — co-partition violation: a relation is replicated
+  (as a full *replica* next to its partitioned copy, or by the spec);
+* ``DL403`` (warning) — the replicated relation is recursive with the
+  rule's head: its deltas are broadcast **every fixpoint round**, so
+  partitioning is defeated for this rule;
+* ``DL404`` (note) — no partitioned body atom: the rule is pinned to a
+  single shard;
+* ``DL405`` (warning) — a negated literal probes a partitioned
+  relation on a non-anchor attribute (negation needs the full view).
+
+The resulting :class:`ShardPlan` — the stratum DAG annotated with
+exchange edges — is load-bearing: :mod:`repro.datalog.parallel`
+executes it, and its probe counters verify at run time what this
+analysis proved statically.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import (
+    Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple,
+)
+
+from repro.datalog.ast import Literal, Program, Rule, SourcePos, Term, Var
+from repro.lint.diagnostics import Diagnostic, Severity
+
+
+#: Default partition key for the pointer-analysis programs: hashing on
+#: the heap attribute keeps the propagation core (``pts``/``hpts``/
+#: ``hload`` copy rules) shard-local — roughly three quarters of the
+#: emitted rules — where the variable and method keys leave most rules
+#: non-local.
+DEFAULT_KEY = "heap"
+
+
+def stable_shard_of(value: object, shards: int) -> int:
+    """Deterministic shard assignment, stable across processes and runs.
+
+    Python's string hash is randomized per interpreter; partitioning
+    must agree between the parent, every forked worker, and successive
+    runs (the bench compares skew numbers), so integers map directly
+    and everything else hashes its ``repr`` through CRC-32.
+    """
+    if isinstance(value, bool) or not isinstance(value, int):
+        return zlib.crc32(repr(value).encode("utf-8")) % shards
+    return value % shards
+
+
+# ---------------------------------------------------------------------------
+# Partition specifications.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """Predicate → partition column, plus the replicated relations.
+
+    ``columns`` maps a predicate to the 0-based attribute its rows are
+    hashed on; predicates in ``replicated`` (or absent from both) are
+    kept whole on every shard.  ``key`` names the partitioning entity
+    (``variable``/``heap``/``method`` for the pointer-analysis
+    programs) for reports.
+    """
+
+    key: str
+    columns: Mapping[str, int]
+    replicated: FrozenSet[str] = frozenset()
+
+    def column_of(self, pred: str) -> Optional[int]:
+        """The partition column of ``pred`` (None = replicated)."""
+        if pred in self.replicated:
+            return None
+        return self.columns.get(pred)
+
+    def is_partitioned(self, pred: str) -> bool:
+        return self.column_of(pred) is not None
+
+    def validate(self, program: Program) -> None:
+        """Reject columns that fall outside a predicate's arity."""
+        arities: Dict[str, int] = {}
+        for rule in program.rules:
+            for lit in (rule.head, *rule.body):
+                arities.setdefault(lit.pred, lit.arity)
+        for pred, rows in program.facts.items():
+            for row in rows:
+                arities.setdefault(pred, len(row))
+                break
+        for pred, column in self.columns.items():
+            arity = arities.get(pred)
+            if arity is not None and not 0 <= column < arity:
+                raise ValueError(
+                    f"partition column {column} out of range for"
+                    f" {pred}/{arity}"
+                )
+
+
+#: Partition columns of the pointer-analysis relations, by key entity
+#: and *base* relation name (configuration-specialized predicates like
+#: ``pts__xwe`` and the length-specialized ``reach_2`` resolve to their
+#: base).  A relation with no attribute of the key's entity kind is
+#: replicated.
+POINTER_KEYS: Dict[str, Dict[str, int]] = {
+    "variable": {
+        "pts": 0, "hload": 2,
+        "assign": 0, "load": 0, "store": 0, "actual": 0,
+        "return_var": 0, "throw_var": 0, "catch_var": 0,
+        "static_store": 0, "this_var": 0, "formal": 0,
+        "virtual_invoke": 1, "assign_return": 1, "assign_new": 1,
+        "static_load": 1,
+    },
+    "heap": {
+        "pts": 1, "hpts": 0, "hload": 0, "spts": 1, "texc": 1,
+        "assign_new": 0, "heap_type": 0, "class_of": 0,
+    },
+    "method": {
+        "call": 1, "reach": 0, "texc": 0,
+        "formal": 1, "return_var": 1, "this_var": 1,
+        "throw_var": 1, "catch_var": 1,
+        "static_load": 2, "assign_new": 2, "implements": 0,
+        "static_invoke": 2, "invocation_parent": 1,
+    },
+}
+
+
+def base_predicate(pred: str) -> str:
+    """The base relation of a specialized predicate name.
+
+    ``pts__xwe`` → ``pts`` (configuration specialization),
+    ``reach_2`` → ``reach`` (context-length specialization); anything
+    else is its own base.
+    """
+    if "__" in pred:
+        return pred.split("__", 1)[0]
+    head, _, tail = pred.rpartition("_")
+    if head and tail.isdigit():
+        return head
+    return pred
+
+
+def pointer_partition_spec(program: Program, key: str = "variable") -> PartitionSpec:
+    """Derive the :class:`PartitionSpec` for an emitted pointer program.
+
+    ``key`` selects the partitioning entity: ``variable``, ``heap`` or
+    ``method``.  Every predicate of the program is covered: those with
+    an attribute of the chosen kind are hashed on it; the rest are
+    replicated.
+    """
+    try:
+        table = POINTER_KEYS[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown partition key {key!r}"
+            f" (expected one of {sorted(POINTER_KEYS)})"
+        ) from None
+    preds: Dict[str, int] = {}
+    for rule in program.rules:
+        for lit in (rule.head, *rule.body):
+            preds.setdefault(lit.pred, lit.arity)
+    for pred, rows in program.facts.items():
+        for row in rows:
+            preds.setdefault(pred, len(row))
+            break
+    columns: Dict[str, int] = {}
+    replicated: Set[str] = set()
+    for pred, arity in preds.items():
+        column = table.get(base_predicate(pred))
+        if column is not None and 0 <= column < arity:
+            columns[pred] = column
+        else:
+            replicated.add(pred)
+    spec = PartitionSpec(
+        key=key, columns=columns, replicated=frozenset(replicated)
+    )
+    spec.validate(program)
+    return spec
+
+
+# ---------------------------------------------------------------------------
+# Classification.
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Witness:
+    """Why a rule is not shard-local: the offending atom/variable pair."""
+
+    code: str
+    rule_index: int
+    message: str
+    #: Repr of the offending literal (head for exchange witnesses).
+    atom: str
+    #: The offending partition attribute's term, as text.
+    term: Optional[str] = None
+    #: The join anchor it fails to match, as text.
+    anchor: Optional[str] = None
+    #: Repr of the anchoring literal, when one exists.
+    anchor_atom: Optional[str] = None
+    pos: Optional[SourcePos] = None
+
+    def to_json(self) -> Dict:
+        return {
+            "code": self.code,
+            "rule": self.rule_index,
+            "message": self.message,
+            "atom": self.atom,
+            "term": self.term,
+            "anchor": self.anchor,
+            "anchor_atom": self.anchor_atom,
+            "line": self.pos.line if self.pos else None,
+            "column": self.pos.column if self.pos else None,
+        }
+
+
+@dataclass(frozen=True)
+class RulePlan:
+    """One rule's classification plus everything the executor needs."""
+
+    rule_index: int
+    rule: Rule
+    kind: str  # "local" | "exchange" | "broadcast"
+    stratum: int
+    #: The join anchor term (None for unanchored/fact rules).
+    anchor: Optional[Term]
+    #: Body index of the literal that anchors the rule.
+    anchor_index: Optional[int]
+    #: Partition column of the head predicate (None = replicated head).
+    head_column: Optional[int]
+    #: Body indices that must probe the full *replica* copy.
+    replica_atoms: FrozenSet[int] = frozenset()
+    #: Relations whose replica this rule forces.
+    replicates: Tuple[str, ...] = ()
+    #: True when the rule has no partitioned body atom and is executed
+    #: on a single shard (``rule_index % shards``).
+    pinned: bool = False
+    witnesses: Tuple[Witness, ...] = ()
+
+    @property
+    def is_fact(self) -> bool:
+        return not self.rule.body
+
+    def to_json(self) -> Dict:
+        return {
+            "rule": self.rule_index,
+            "head": self.rule.head.pred,
+            "kind": self.kind,
+            "stratum": self.stratum,
+            "anchor": None if self.anchor is None else repr(self.anchor),
+            "head_column": self.head_column,
+            "replicates": list(self.replicates),
+            "pinned": self.pinned,
+            "line": self.rule.pos.line if self.rule.pos else None,
+            "column": self.rule.pos.column if self.rule.pos else None,
+            "witnesses": [w.to_json() for w in self.witnesses],
+        }
+
+
+@dataclass
+class ShardPlan:
+    """The stratum DAG annotated with exchange/broadcast edges.
+
+    ``replicated`` are relations kept whole on every shard (no
+    partitioned copy at all); ``replicas`` are *partitioned* relations
+    that additionally maintain a full replica because some rule probes
+    them on a non-anchor attribute.  ``diagnostics`` carries the DL4xx
+    findings (one per witness).
+    """
+
+    spec: PartitionSpec
+    rules: List[RulePlan]
+    strata: List[Set[str]]
+    replicated: FrozenSet[str]
+    replicas: FrozenSet[str]
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    SCHEMA = "repro-shard-plan/1"
+
+    def counts(self) -> Dict[str, int]:
+        out = {"local": 0, "exchange": 0, "broadcast": 0}
+        for plan in self.rules:
+            out[plan.kind] += 1
+        return out
+
+    def rules_of_stratum(self, index: int) -> List[RulePlan]:
+        return [
+            plan for plan in self.rules
+            if plan.stratum == index and not plan.is_fact
+        ]
+
+    def exchange_edges(self) -> List[Dict]:
+        """Communication edges of the plan: one per rule that ships
+        rows (exchange → the head's owner shard, broadcast → all)."""
+        edges = []
+        for plan in self.rules:
+            if plan.kind == "local" or plan.is_fact:
+                continue
+            edges.append({
+                "rule": plan.rule_index,
+                "to": plan.rule.head.pred,
+                "kind": plan.kind,
+                "anchor": None if plan.anchor is None else repr(plan.anchor),
+            })
+        return edges
+
+    def witness_count(self) -> int:
+        return sum(len(plan.witnesses) for plan in self.rules)
+
+    def to_json(self) -> Dict:
+        return {
+            "schema": self.SCHEMA,
+            "key": self.spec.key,
+            "rules": len(self.rules),
+            "counts": self.counts(),
+            "replicated": sorted(self.replicated),
+            "replicas": sorted(self.replicas),
+            "strata": [
+                {
+                    "predicates": sorted(stratum),
+                    "rules": [
+                        plan.to_json() for plan in self.rules_of_stratum(i)
+                    ],
+                }
+                for i, stratum in enumerate(self.strata)
+            ],
+            "facts": [
+                plan.to_json() for plan in self.rules if plan.is_fact
+            ],
+            "exchange_edges": self.exchange_edges(),
+        }
+
+    def render(self) -> str:
+        counts = self.counts()
+        lines = [
+            f"shard plan (key={self.spec.key}): {len(self.rules)} rules —"
+            f" {counts['local']} local, {counts['exchange']} exchange,"
+            f" {counts['broadcast']} broadcast"
+        ]
+        if self.replicated:
+            lines.append(
+                f"  replicated: {', '.join(sorted(self.replicated))}"
+            )
+        if self.replicas:
+            lines.append(
+                f"  replicas (partitioned + full copy):"
+                f" {', '.join(sorted(self.replicas))}"
+            )
+        for i, stratum in enumerate(self.strata):
+            plans = self.rules_of_stratum(i)
+            if not plans:
+                continue
+            lines.append(
+                f"  stratum {i} ({len(plans)} rules):"
+                f" {', '.join(sorted(stratum))}"
+            )
+            for plan in plans:
+                if plan.kind == "local":
+                    continue
+                reason = "; ".join(
+                    f"{w.code}: {w.message}" for w in plan.witnesses
+                )
+                where = ""
+                if plan.rule.pos is not None:
+                    where = f" at {plan.rule.pos!r}"
+                lines.append(
+                    f"    #{plan.rule_index} {plan.kind}"
+                    f" {plan.rule.head.pred}{where}: {reason}"
+                )
+        return "\n".join(lines)
+
+
+def _term_text(term: Term) -> str:
+    return term.name if isinstance(term, Var) else repr(term)
+
+
+def _pos_text(pos: Optional[SourcePos]) -> str:
+    return f" (at {pos!r})" if pos is not None else ""
+
+
+def build_shard_plan(
+    program: Program,
+    spec: PartitionSpec,
+    builtins: Optional[Iterable[str]] = None,
+) -> ShardPlan:
+    """Classify every rule of ``program`` under ``spec``.
+
+    ``builtins`` names builtin predicates (engine-style mappings are
+    accepted); builtin literals are pure local computation and never
+    constrain locality.
+    """
+    from repro.datalog.builtins import DEFAULT_BUILTINS
+    from repro.datalog.stratify import dependency_graph, stratify
+
+    import networkx as nx
+
+    spec.validate(program)
+    builtin_names = set(DEFAULT_BUILTINS)
+    if builtins is not None:
+        builtin_names |= set(builtins)
+
+    strata = stratify(program, builtin_names)
+    stratum_of: Dict[str, int] = {}
+    for index, stratum in enumerate(strata):
+        for pred in stratum:
+            stratum_of[pred] = index
+
+    # Predicate SCCs, for the recursive-broadcast (DL403) finding.
+    graph = dependency_graph(program)
+    scc_of: Dict[str, int] = {}
+    for scc_id, component in enumerate(nx.strongly_connected_components(graph)):
+        recursive = len(component) > 1 or any(
+            graph.has_edge(p, p) for p in component
+        )
+        for pred in component:
+            scc_of[pred] = scc_id if recursive else -1 - len(scc_of)
+
+    plans: List[RulePlan] = []
+    diagnostics: List[Diagnostic] = []
+    replicas: Set[str] = set()
+
+    def diag(witness: Witness, severity: Severity, head: str) -> None:
+        diagnostics.append(Diagnostic(
+            witness.code, severity, witness.message,
+            rule_index=witness.rule_index, pos=witness.pos, where=head,
+        ))
+
+    for rule_index, rule in enumerate(program.rules):
+        head = rule.head
+        head_column = spec.column_of(head.pred)
+        stratum = stratum_of.get(head.pred, 0)
+        witnesses: List[Witness] = []
+        replica_atoms: Set[int] = set()
+        rule_replicas: List[str] = []
+
+        def witness(code, message, literal, term=None, anchor_term=None,
+                    anchor_literal=None):
+            witnesses.append(Witness(
+                code=code, rule_index=rule_index, message=message,
+                atom=repr(literal),
+                term=None if term is None else _term_text(term),
+                anchor=(
+                    None if anchor_term is None else _term_text(anchor_term)
+                ),
+                anchor_atom=(
+                    None if anchor_literal is None else repr(anchor_literal)
+                ),
+                pos=(literal.pos if literal is not rule.head else None)
+                or rule.pos,
+            ))
+
+        # -- facts: routed at load time, no fixpoint communication.
+        if not rule.body:
+            if head_column is None:
+                witness(
+                    "DL402",
+                    f"fact row of replicated relation {head.pred!r} is"
+                    " copied to every shard at load time",
+                    head,
+                )
+                diag(witnesses[-1], Severity.NOTE, head.pred)
+                kind = "broadcast"
+            else:
+                kind = "local"
+            plans.append(RulePlan(
+                rule_index=rule_index, rule=rule, kind=kind,
+                stratum=stratum, anchor=None, anchor_index=None,
+                head_column=head_column, witnesses=tuple(witnesses),
+            ))
+            continue
+
+        # -- find the join anchor: the first partitioned positive atom.
+        anchor: Optional[Term] = None
+        anchor_index: Optional[int] = None
+        anchor_literal: Optional[Literal] = None
+        for body_index, lit in enumerate(rule.body):
+            if lit.negated or lit.pred in builtin_names:
+                continue
+            column = spec.column_of(lit.pred)
+            if column is None:
+                continue
+            anchor = lit.args[column]
+            anchor_index = body_index
+            anchor_literal = lit
+            break
+
+        # -- co-partitioning of every other partitioned atom.
+        for body_index, lit in enumerate(rule.body):
+            if lit.pred in builtin_names:
+                continue
+            column = spec.column_of(lit.pred)
+            if column is None or body_index == anchor_index:
+                continue
+            term = lit.args[column]
+            if anchor is not None and term == anchor:
+                continue
+            # Not co-partitioned: this atom must probe a full replica.
+            replica_atoms.add(body_index)
+            if lit.pred not in rule_replicas:
+                rule_replicas.append(lit.pred)
+            replicas.add(lit.pred)
+            code = "DL405" if lit.negated else "DL402"
+            anchor_text = (
+                f"the join anchor {_term_text(anchor)}"
+                if anchor is not None else "any join anchor"
+            )
+            what = "negated literal" if lit.negated else "atom"
+            witness(
+                code,
+                f"{what} {lit!r} is partitioned on"
+                f" {_term_text(term)} (column {column}), which is not"
+                f" {anchor_text}: relation {lit.pred!r} is replicated"
+                f"{_pos_text(lit.pos or rule.pos)}",
+                lit, term=term, anchor_term=anchor,
+                anchor_literal=anchor_literal,
+            )
+            diag(
+                witnesses[-1],
+                Severity.WARNING if lit.negated else Severity.NOTE,
+                head.pred,
+            )
+            if scc_of.get(lit.pred) == scc_of.get(head.pred) \
+                    and scc_of.get(lit.pred, -1) >= 0:
+                witness(
+                    "DL403",
+                    f"replicated relation {lit.pred!r} is recursive with"
+                    f" head {head.pred!r}: its frontier is broadcast"
+                    " every round — partitioning is defeated for this"
+                    " rule",
+                    lit, term=term, anchor_term=anchor,
+                    anchor_literal=anchor_literal,
+                )
+                diag(witnesses[-1], Severity.WARNING, head.pred)
+
+        # -- head routing.
+        head_term = (
+            head.args[head_column] if head_column is not None else None
+        )
+        head_local = (
+            head_column is not None
+            and anchor is not None
+            and head_term == anchor
+        )
+        if head_column is None:
+            witness(
+                "DL402",
+                f"head relation {head.pred!r} is replicated: every"
+                " derived row is broadcast to all shards",
+                head,
+            )
+            diag(witnesses[-1], Severity.NOTE, head.pred)
+            if scc_of.get(head.pred, -1) >= 0:
+                witness(
+                    "DL403",
+                    f"replicated head relation {head.pred!r} is"
+                    " recursive: its frontier is broadcast every round —"
+                    " partitioning is defeated for this rule",
+                    head,
+                )
+                diag(witnesses[-1], Severity.WARNING, head.pred)
+
+        pinned = anchor is None
+        if pinned:
+            witness(
+                "DL404",
+                "no partitioned positive body atom: the rule is pinned"
+                " to a single shard",
+                rule.body[0],
+            )
+            diag(witnesses[-1], Severity.NOTE, head.pred)
+
+        if replica_atoms or head_column is None or pinned:
+            kind = "broadcast"
+        elif not head_local:
+            witness(
+                "DL401",
+                f"head {head!r} is partitioned on"
+                f" {_term_text(head_term)} (column {head_column}), not"
+                f" the join anchor {_term_text(anchor)}: derived rows"
+                " are exchanged to their owner shard",
+                head, term=head_term, anchor_term=anchor,
+                anchor_literal=anchor_literal,
+            )
+            diag(witnesses[-1], Severity.NOTE, head.pred)
+            kind = "exchange"
+        else:
+            kind = "local"
+
+        plans.append(RulePlan(
+            rule_index=rule_index, rule=rule, kind=kind, stratum=stratum,
+            anchor=anchor, anchor_index=anchor_index,
+            head_column=head_column,
+            replica_atoms=frozenset(replica_atoms),
+            replicates=tuple(rule_replicas),
+            pinned=pinned,
+            witnesses=tuple(witnesses),
+        ))
+
+    return ShardPlan(
+        spec=spec,
+        rules=plans,
+        strata=strata,
+        replicated=frozenset(
+            pred for pred in _all_predicates(program)
+            if not spec.is_partitioned(pred)
+        ),
+        replicas=frozenset(replicas),
+        diagnostics=diagnostics,
+    )
+
+
+def _all_predicates(program: Program) -> Set[str]:
+    preds: Set[str] = set(program.facts)
+    for rule in program.rules:
+        preds.add(rule.head.pred)
+        for lit in rule.body:
+            preds.add(lit.pred)
+    return preds

@@ -29,6 +29,7 @@ from repro.lint.diagnostics import (
 )
 from repro.lint.ircheck import check_ir
 from repro.lint.passes import binding_orders, eliminate_dead_rules, lint_program
+from repro.lint.shards import check_partition, shard_plan_or_none
 
 __all__ = [
     "Diagnostic",
@@ -37,6 +38,8 @@ __all__ = [
     "Severity",
     "binding_orders",
     "check_ir",
+    "check_partition",
     "eliminate_dead_rules",
     "lint_program",
+    "shard_plan_or_none",
 ]

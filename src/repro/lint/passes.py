@@ -361,11 +361,12 @@ def check_stratification(program: Program) -> List[Diagnostic]:
     out: List[Diagnostic] = []
     index_of = {id(rule): i for i, rule in enumerate(program.rules)}
     for violation in negative_cycle_edges(program):
-        cycle = " -> ".join(violation.cycle + (violation.target,))
+        # describe() spells out the witness: the offending negated
+        # literal, its source line/column when the program was parsed
+        # from text, and the predicate cycle the edge closes.
         out.append(Diagnostic(
             "DL201", Severity.ERROR,
-            f"negation through recursion: !{violation.source} in"
-            f" {violation.rule!r} closes the recursive cycle {cycle};"
+            f"negation through recursion: {violation.describe()};"
             " break the cycle or move the negated predicate to an"
             " earlier stratum",
             rule_index=index_of.get(id(violation.rule)),

@@ -1,0 +1,75 @@
+"""The shard-safety lint pass (DL4xx).
+
+A thin lint-surface wrapper around the partition/communication
+analysis of :mod:`repro.datalog.partition`: given a partition key (or
+an explicit :class:`~repro.datalog.partition.PartitionSpec`), classify
+every rule as shard-local / exchange / broadcast and report one coded
+diagnostic per witness:
+
+========  ========  ====================================================
+``DL401``  note      head repartitioned (exchange edge)
+``DL402``  note      co-partition violation — relation replicated
+``DL403``  warning   replicated relation is recursive: frontier
+                     broadcast every round (partitioning defeated)
+``DL404``  note      no partitioned body atom — rule pinned to a shard
+``DL405``  warning   negated literal probes a partitioned relation on a
+                     non-anchor attribute
+========  ========  ====================================================
+
+Unlike the DL0xx–DL3xx passes this one is *advisory about the plan*,
+not about program correctness, so it is not part of the default
+:func:`repro.datalog.lint.lint_program` pass list; the CLI runs it
+under ``repro lint --shard-plan`` and the parallel executor consumes
+the same :class:`~repro.datalog.partition.ShardPlan` it reports on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.datalog.ast import Program
+from repro.lint.diagnostics import Diagnostic
+
+Builtins = Optional[Iterable[str]]
+
+
+def check_partition(
+    program: Program,
+    builtins: Builtins = None,
+    key: Optional[str] = None,
+    spec=None,
+) -> List[Diagnostic]:
+    """DL4xx diagnostics for ``program`` under the given partitioning.
+
+    ``spec`` overrides ``key`` when given.  Programs that fail
+    stratification produce no DL4xx findings (DL201 already reports
+    the reason a plan cannot exist).
+    """
+    return shard_plan_or_none(program, builtins, key, spec)[1]
+
+
+def shard_plan_or_none(
+    program: Program,
+    builtins: Builtins = None,
+    key: Optional[str] = None,
+    spec=None,
+) -> Tuple[Optional[object], List[Diagnostic]]:
+    """``(ShardPlan, diagnostics)`` — or ``(None, [])`` when the
+    program cannot be stratified (the DL201 pass owns that failure)."""
+    from repro.datalog.partition import (
+        DEFAULT_KEY, build_shard_plan, pointer_partition_spec,
+    )
+    from repro.datalog.stratify import StratificationError
+
+    if key is None:
+        key = DEFAULT_KEY
+    names: Optional[Iterable[str]] = None
+    if builtins is not None:
+        names = list(builtins)  # engine mappings iterate to their names
+    if spec is None:
+        spec = pointer_partition_spec(program, key)
+    try:
+        plan = build_shard_plan(program, spec, names)
+    except StratificationError:
+        return None, []
+    return plan, list(plan.diagnostics)

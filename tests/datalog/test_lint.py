@@ -197,6 +197,25 @@ class TestStratification:
         program.add_facts("n", [(1,)])
         assert check_stratification(program) == []
 
+    def test_witness_carries_line_and_column(self):
+        # Programs parsed from text: the DL201 witness names the
+        # offending negation's source position in the message, and the
+        # diagnostic itself anchors to the rule for JSON consumers.
+        from repro.datalog.parser import parse_datalog
+
+        program = parse_datalog(
+            "n(1).\n"
+            "p(X) :- n(X), !q(X).\n"
+            "q(X) :- n(X), !p(X).\n",
+            validate=False,
+        )
+        diagnostics = check_stratification(program)
+        assert diagnostics and all(d.code == "DL201" for d in diagnostics)
+        for diagnostic in diagnostics:
+            assert diagnostic.pos is not None
+            assert diagnostic.pos.line in (2, 3)
+            assert "(at " in diagnostic.message
+
 
 # ---------------------------------------------------------------------------
 # Liveness (DL301–DL302) and the dead-rule rewrite.

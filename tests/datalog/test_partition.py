@@ -1,0 +1,235 @@
+"""Tests for the shard-safety analysis (partition/communication plans).
+
+Covers the classification rules on small hand-written programs —
+shard-local, exchange (head repartition), broadcast (replica /
+replicated head / pinned), the DL4xx diagnostic codes, and witness
+positions — plus the full sweep the acceptance criterion asks for:
+every rule of every emitted configuration over Figure 1 and Figure 5,
+both abstractions, call/object/type flavours, and the (m, h) grid is
+classified, and every non-local classification carries a witness.
+"""
+
+import pytest
+
+from repro.compile.emit import (
+    compile_context_string_analysis,
+    compile_transformer_analysis,
+)
+from repro.datalog.parser import parse_datalog
+from repro.datalog.partition import (
+    DEFAULT_KEY,
+    PartitionSpec,
+    ShardPlan,
+    base_predicate,
+    build_shard_plan,
+    pointer_partition_spec,
+    stable_shard_of,
+)
+from repro.frontend.factgen import facts_from_source
+from repro.frontend.paper_programs import FIGURE_1, FIGURE_5
+
+
+def plan_of(text: str, columns, replicated=(), key="test") -> ShardPlan:
+    program = parse_datalog(text, validate=False)
+    spec = PartitionSpec(
+        key=key, columns=dict(columns), replicated=frozenset(replicated)
+    )
+    return build_shard_plan(program, spec)
+
+
+class TestStableShardOf:
+    def test_ints_hash_by_value(self):
+        assert stable_shard_of(10, 4) == 2
+        assert stable_shard_of(7, 4) == 3
+
+    def test_strings_are_deterministic(self):
+        first = stable_shard_of("T.main/x", 8)
+        assert 0 <= first < 8
+        assert stable_shard_of("T.main/x", 8) == first
+
+    def test_bool_not_treated_as_int(self):
+        # bools repr-hash: the partition must not collapse True to 1.
+        assert stable_shard_of(True, 2) == stable_shard_of(True, 2)
+
+    def test_every_value_lands_in_range(self):
+        for value in ("a", "b", 3, -17, ("t", 1), None):
+            for shards in (1, 2, 4, 8):
+                assert 0 <= stable_shard_of(value, shards) < shards
+
+
+class TestBasePredicate:
+    def test_strips_specialization_tag(self):
+        assert base_predicate("pts__xwe") == "pts"
+        assert base_predicate("call__") == "call"
+
+    def test_strips_reach_subscript(self):
+        assert base_predicate("reach_2") == "reach"
+
+    def test_plain_name_unchanged(self):
+        assert base_predicate("assign") == "assign"
+
+
+class TestClassification:
+    def test_local_rule(self):
+        plan = plan_of(
+            "p(X, Y) :- e(X, Z), f(X, Y).",
+            {"p": 0, "e": 0, "f": 0},
+        )
+        [rule] = plan.rules
+        assert rule.kind == "local"
+        assert rule.witnesses == ()
+
+    def test_exchange_rule_gets_dl401(self):
+        # Head partitioned on Y, but the join anchor is X.
+        plan = plan_of(
+            "p(X, Y) :- e(X, Y).",
+            {"p": 1, "e": 0},
+        )
+        [rule] = plan.rules
+        assert rule.kind == "exchange"
+        assert [w.code for w in rule.witnesses] == ["DL401"]
+
+    def test_copartition_violation_forces_replica(self):
+        # f is probed on Y, not the anchor X: f gains a replica copy
+        # but STAYS partitioned for every other rule.
+        plan = plan_of(
+            "p(X, Y) :- e(X, Y), f(Y, Z).\nq(A, B) :- f(A, B).",
+            {"p": 0, "e": 0, "f": 0, "q": 0},
+        )
+        first, second = plan.rules
+        assert first.kind == "broadcast"
+        assert "DL402" in [w.code for w in first.witnesses]
+        assert "f" in plan.replicas
+        assert "f" not in plan.replicated
+        assert second.kind == "local"  # the replica did not cascade
+
+    def test_recursive_replica_warns_dl403(self):
+        plan = plan_of(
+            "p(X, Y) :- e(X, Y).\np(X, Z) :- e(X, Y), p(Y, Z).",
+            {"p": 0, "e": 0},
+        )
+        recursive = plan.rules[1]
+        assert recursive.kind == "broadcast"
+        assert "DL403" in [w.code for w in recursive.witnesses]
+
+    def test_unanchored_rule_pinned_dl404(self):
+        plan = plan_of(
+            "p(X) :- e(X).",
+            {"p": 0},  # e is unmapped -> replicated; rule unanchored
+            replicated=("e",),
+        )
+        [rule] = plan.rules
+        assert rule.pinned
+        assert "DL404" in [w.code for w in rule.witnesses]
+
+    def test_negation_on_non_anchor_column_dl405(self):
+        plan = plan_of(
+            "p(X, Y) :- e(X, Y), !f(Y).",
+            {"p": 0, "e": 0, "f": 0},
+        )
+        [rule] = plan.rules
+        codes = [w.code for w in rule.witnesses]
+        assert "DL405" in codes
+
+    def test_every_rule_is_classified(self):
+        plan = plan_of(
+            "p(X, Y) :- e(X, Y).\nq(Y) :- p(X, Y).\nr(X) :- e(X, X).",
+            {"p": 0, "e": 0, "q": 0, "r": 0},
+        )
+        counts = plan.counts()
+        assert sum(counts.values()) == len(plan.rules) == 3
+
+
+class TestWitnesses:
+    def test_witness_carries_rule_position(self):
+        program = parse_datalog(
+            "p(X, Y) :- e(X, Y).", validate=False
+        )
+        spec = PartitionSpec(key="test", columns={"p": 1, "e": 0})
+        plan = build_shard_plan(program, spec)
+        [rule] = plan.rules
+        [witness] = rule.witnesses
+        assert witness.pos is not None
+        assert witness.pos.line == 1
+
+    def test_witness_json_shape(self):
+        plan = plan_of("p(X, Y) :- e(X, Y).", {"p": 1, "e": 0})
+        data = plan.rules[0].witnesses[0].to_json()
+        assert data["code"] == "DL401"
+        assert data["rule"] == 0
+        assert data["line"] == 1
+        assert data["column"] == 1
+
+    def test_plan_json_is_self_describing(self):
+        plan = plan_of("p(X, Y) :- e(X, Y).", {"p": 1, "e": 0})
+        data = plan.to_json()
+        assert data["schema"] == "repro-shard-plan/1"
+        assert data["counts"]["exchange"] == 1
+        assert len(data["strata"]) == 1
+
+    def test_diagnostics_match_witnesses(self):
+        plan = plan_of(
+            "p(X, Y) :- e(X, Y).\np(X, Y) :- p(Y, X).",
+            {"p": 0, "e": 0},
+        )
+        assert len(plan.diagnostics) == plan.witness_count()
+        for diagnostic in plan.diagnostics:
+            assert diagnostic.code.startswith("DL4")
+
+
+class TestPointerSpec:
+    def test_known_keys(self):
+        program = parse_datalog(
+            "pts(V, H) :- assign_new(V, H, M).", validate=False
+        )
+        for key in ("variable", "heap", "method"):
+            spec = pointer_partition_spec(program, key)
+            assert spec.key == key
+
+    def test_unknown_key_rejected(self):
+        program = parse_datalog("p(X) :- p(X).", validate=False)
+        with pytest.raises(ValueError):
+            pointer_partition_spec(program, "bogus")
+
+    def test_default_key_is_heap(self):
+        assert DEFAULT_KEY == "heap"
+
+    def test_out_of_arity_column_becomes_replicated(self):
+        # 'pts' maps heap -> column 1; a unary pts cannot carry it.
+        program = parse_datalog("pts(V) :- pts(V).", validate=False)
+        spec = pointer_partition_spec(program, "heap")
+        assert "pts" in spec.replicated
+
+
+# The acceptance sweep: every emitted configuration is 100% classified
+# and every non-local rule carries at least one witness.
+_GRID = (
+    "1-call", "1-call+H", "2-call", "2-call+H",
+    "1-object", "2-object+H", "1-type", "2-type+H",
+)
+
+
+@pytest.mark.parametrize("source", [FIGURE_1, FIGURE_5], ids=["fig1", "fig5"])
+@pytest.mark.parametrize("abstraction", ["ts", "cs"])
+@pytest.mark.parametrize("name", _GRID)
+@pytest.mark.parametrize("key", ["variable", "heap", "method"])
+def test_full_classification_sweep(source, abstraction, name, key):
+    from repro.core.config import config_by_name
+
+    facts = facts_from_source(source)
+    config = config_by_name(name)
+    compiler = (
+        compile_transformer_analysis
+        if abstraction == "ts"
+        else compile_context_string_analysis
+    )
+    compiled = compiler(facts, config.flavour, config.m, config.h)
+    spec = pointer_partition_spec(compiled.program, key)
+    plan = build_shard_plan(compiled.program, spec, compiled.builtins)
+    counts = plan.counts()
+    assert sum(counts.values()) == len(plan.rules) == len(
+        compiled.program.rules
+    )
+    for rule in plan.rules:
+        if rule.kind != "local" and not rule.is_fact:
+            assert rule.witnesses, (name, abstraction, key, rule.rule_index)

@@ -151,13 +151,15 @@ class TestFigure6Command:
         assert main([
             "figure6", "--scale", "1", "--json", str(out_file),
             "--no-query-latency", "--no-incremental", "--no-checks",
+            "--no-parallel",
         ]) == 0
         assert "wrote JSON" in capsys.readouterr().out
         data = json.loads(out_file.read_text())
-        assert data["schema"] == "repro-figure6/4"
+        assert data["schema"] == "repro-figure6/5"
         assert data["query_latency"] is None  # suppressed by the flag
         assert data["incremental"] is None  # suppressed by the flag
         assert data["checks"] is None  # suppressed by the flag
+        assert data["parallel"] is None  # suppressed by the flag
         assert data["scale"] == 1
         assert data["engine"] == "solver"
         assert set(data["geomean"]) == set(data["configurations"])
@@ -575,3 +577,130 @@ class TestModuleEntryPoint:
             "analyze", "query", "facts", "emit", "figure6", "serve",
         ):
             assert command in completed.stdout
+
+
+class TestAnalyzeShards:
+    def test_shards_parity_and_certificate(self, figure1_file, capsys):
+        assert main([
+            "analyze", figure1_file, "--config", "1-call",
+            "--shards", "4", "--in-process",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "shard plan (key=heap):" in out
+        assert "parity with sequential engine: ok" in out
+        assert "cross-shard probes 0" in out
+        assert "ownership violations 0" in out
+
+    def test_shards_prints_points_to_sets(self, figure1_file, capsys):
+        assert main([
+            "analyze", figure1_file, "--config", "1-call",
+            "--shards", "2", "--in-process", "--var", "T.main/x1",
+        ]) == 0
+        assert "T.main/x1 -> {h1}" in capsys.readouterr().out
+
+    def test_shard_key_is_selectable(self, figure1_file, capsys):
+        assert main([
+            "analyze", figure1_file, "--config", "1-call",
+            "--shards", "2", "--in-process", "--shard-key", "variable",
+        ]) == 0
+        assert "shard plan (key=variable):" in capsys.readouterr().out
+
+
+class TestLintShardPlan:
+    @pytest.fixture()
+    def datalog_file(self, tmp_path):
+        path = tmp_path / "pointer.dl"
+        path.write_text(
+            "pts(V, H) :- assign_new(V, H, M).\n"
+            "pts(V, H) :- assign(V, W), pts(W, H).\n"
+        )
+        return str(path)
+
+    def test_plan_report_for_dl_file(self, datalog_file, capsys):
+        assert main(["lint", datalog_file, "--shard-plan", "-v"]) == 0
+        out = capsys.readouterr().out
+        assert "shard plan (key=heap):" in out
+        assert "local" in out and "broadcast" in out
+
+    def test_plan_for_emitted_configuration(self, figure1_file, capsys):
+        assert main([
+            "lint", figure1_file, "--shard-plan", "--config", "1-call",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "shard plan (key=heap):" in out
+
+    def test_dl4xx_diagnostics_reach_the_report(self, datalog_file, capsys):
+        assert main([
+            "lint", datalog_file, "--shard-plan", "--shard-key",
+            "variable", "-v",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "DL402" in out  # pts probed off-anchor forces a replica
+        assert "DL403" in out  # ... and pts is recursive
+
+
+class TestLintJson:
+    def test_document_shape_and_sorting(self, figure1_file, tmp_path,
+                                         capsys):
+        import json
+
+        out_path = tmp_path / "lint.json"
+        assert main([
+            "lint", figure1_file, "--shard-plan", "--config", "1-call",
+            "--json", str(out_path),
+        ]) == 0
+        document = json.loads(out_path.read_text())
+        assert document["schema"] == "repro-lint/1"
+        assert document["ok"] is True
+        subjects = document["subjects"]
+        assert [s["subject"] for s in subjects][0] == figure1_file
+        emitted = subjects[1]
+        assert emitted["shard_plan"]["schema"] == "repro-shard-plan/1"
+        diagnostics = emitted["diagnostics"]
+        keys = [
+            (d["line"] or 0, d["column"] or 0, d["code"], d["message"])
+            for d in diagnostics
+        ]
+        assert keys == sorted(keys)
+
+    def test_output_is_byte_stable(self, figure1_file, tmp_path, capsys):
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        for path in (first, second):
+            assert main([
+                "lint", figure1_file, "--shard-plan", "--config",
+                "1-call", "--json", str(path),
+            ]) == 0
+        capsys.readouterr()
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_stdout_json(self, figure1_file, capsys):
+        import json
+
+        assert main(["lint", figure1_file, "--json", "-"]) == 0
+        out = capsys.readouterr().out
+        start = out.index("{")
+        document = json.loads(out[start:])
+        assert document["schema"] == "repro-lint/1"
+
+    def test_dl201_witness_carries_position(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "cycle.dl"
+        path.write_text(
+            "n(1).\n"
+            "p(X) :- n(X), !q(X).\n"
+            "q(X) :- n(X), !p(X).\n"
+        )
+        assert main(["lint", str(path), "--json", "-"]) == 1
+        out = capsys.readouterr().out
+        start = out.index("{")
+        document = json.loads(out[start:])
+        [subject] = document["subjects"]
+        dl201 = [
+            d for d in subject["diagnostics"] if d["code"] == "DL201"
+        ]
+        assert dl201, "expected DL201 findings"
+        for diagnostic in dl201:
+            assert diagnostic["line"] in (2, 3)
+            assert "(at " in diagnostic["message"]
