@@ -126,8 +126,11 @@ def format_csv(table: Figure6) -> str:
 #: field (the sharded-fixpoint workload of
 #: :mod:`repro.bench.parallelbench`: shard-plan summary, per-shard-count
 #: timings/skew/exchange volume, and the zero-cross-shard-probe
-#: certificate).
-JSON_SCHEMA = "repro-figure6/5"
+#: certificate); ``/6`` adds the additive ``kernels`` field (the
+#: columnar kernel-backend workload of :mod:`repro.bench.kernelbench`:
+#: generic engine vs fused integer kernels vs sharded kernels, with
+#: parity and certificate).
+JSON_SCHEMA = "repro-figure6/6"
 
 
 def _measurement_json(measurement: Measurement) -> Dict:
@@ -151,8 +154,9 @@ def figure6_json(
     incremental: Optional[Dict] = None,
     checks: Optional[Dict] = None,
     parallel: Optional[Dict] = None,
+    kernels: Optional[Dict] = None,
 ) -> Dict:
-    """The table as a JSON-serializable dict (schema ``repro-figure6/5``).
+    """The table as a JSON-serializable dict (schema ``repro-figure6/6``).
 
     Top-level keys: ``schema``, the run parameters (``scale``,
     ``repetitions``, ``engine``; ``None`` when unknown), ``benchmarks``,
@@ -167,7 +171,11 @@ def figure6_json(
     (new in ``/5``, the sharded-fixpoint workload of
     :func:`repro.bench.parallelbench.run_parallel_fixpoint`: the
     shard-plan rule classification, per-shard-count speedup/skew/
-    exchange volume, and the run-time shard-safety certificate).
+    exchange volume, and the run-time shard-safety certificate) and
+    ``kernels`` (new in ``/6``, the columnar kernel-backend workload of
+    :func:`repro.bench.kernelbench.run_kernel_block`: generic engine vs
+    fused integer kernels vs sharded kernels, with exact parity and the
+    shard-safety certificate).
     Each cell carries
     both abstractions' measurements (sizes, CI sizes, total, seconds,
     and per-relation store counters when available) plus the derived
@@ -178,6 +186,7 @@ def figure6_json(
         "incremental": incremental,
         "checks": checks,
         "parallel": parallel,
+        "kernels": kernels,
         "schema": JSON_SCHEMA,
         "scale": scale,
         "repetitions": repetitions,
@@ -220,13 +229,14 @@ def format_json(
     incremental: Optional[Dict] = None,
     checks: Optional[Dict] = None,
     parallel: Optional[Dict] = None,
+    kernels: Optional[Dict] = None,
 ) -> str:
     """:func:`figure6_json` serialized (indented, trailing newline)."""
     return json.dumps(
         figure6_json(table, scale=scale, repetitions=repetitions,
                      engine=engine, query_latency=query_latency,
                      incremental=incremental, checks=checks,
-                     parallel=parallel),
+                     parallel=parallel, kernels=kernels),
         indent=2,
     ) + "\n"
 

@@ -88,6 +88,8 @@ def cmd_analyze(args) -> int:
         return _analyze_diff(args)
     if args.shards:
         return _analyze_shards(args)
+    if args.backend and args.backend != "worklist":
+        return _analyze_backend(args)
     facts = _load_facts(args)
     result = analyze(facts, _analysis_config(args))
     if args.var:
@@ -276,6 +278,82 @@ def _analyze_shards(args) -> int:
     )
     print(f"parity with sequential engine: {'ok' if parity else 'MISMATCH'}")
     return 0 if parity else 1
+
+
+#: ``--backend`` names → :meth:`CompiledAnalysis.run` backend names.
+_BACKENDS = {
+    "engine": "interpreted",
+    "compiled": "compiled",
+    "kernel": "kernel",
+}
+
+
+def _analyze_backend(args) -> int:
+    """``analyze --backend engine|compiled|kernel``: one Datalog
+    backend, cross-checked against the worklist solver.
+
+    Compiles the configuration to plain Datalog, evaluates it on the
+    selected backend (the semi-naive interpreter, the generated
+    tuple-row code, or the fused columnar kernels), verifies every
+    derived relation fact-for-fact against the worklist solver, and
+    prints points-to sets plus engine statistics.  Exits 1 on any
+    mismatch — the same contract as ``--shards``.
+    """
+    from repro.compile.emit import (
+        compile_context_string_analysis,
+        compile_transformer_analysis,
+    )
+
+    facts = _load_facts(args)
+    config = _analysis_config(args)
+    compiler = (
+        compile_transformer_analysis
+        if _ABSTRACTIONS[args.abstraction] == "transformer-string"
+        else compile_context_string_analysis
+    )
+    compiled = compiler(facts, config.flavour, config.m, config.h)
+    result = compiled.run(backend=_BACKENDS[args.backend])
+    solver = analyze(facts, config)
+
+    by_var = {}
+    for row in result.relations.get("pts", ()):
+        by_var.setdefault(row[0], set()).add(row[1])
+    if args.var:
+        for var in args.var:
+            targets = ", ".join(sorted(by_var.get(var, ()))) or "∅"
+            print(f"{var} -> {{{targets}}}")
+    else:
+        for var, heaps in sorted(by_var.items()):
+            print(f"{var} -> {{{', '.join(sorted(heaps))}}}")
+    if args.call_graph:
+        print("\ncall graph:")
+        for (inv, method) in sorted(result.call_graph()):
+            print(f"  {inv} -> {method}")
+
+    stats = result.engine.stats
+    print(
+        f"\n{args.backend} backend: {stats.seconds * 1000:.1f}ms,"
+        f" rounds={stats.rounds},"
+        f" rule_evaluations={stats.rule_evaluations},"
+        f" facts_derived={stats.facts_derived}"
+        f" ({compiled.description})"
+    )
+    if args.stats:
+        print(_store_stats_table(result.engine.store_stats()))
+
+    mismatches = [
+        name
+        for name in ("pts", "hpts", "call", "reach", "spts", "texc")
+        if getattr(result, name) != getattr(solver, name)
+    ]
+    if mismatches:
+        print(
+            f"parity with worklist solver: MISMATCH in"
+            f" {', '.join(mismatches)}"
+        )
+        return 1
+    print("parity with worklist solver: ok")
+    return 0
 
 
 def _store_stats_table(stats) -> str:
@@ -881,12 +959,21 @@ def cmd_figure6(args) -> int:
             parallel = run_parallel_fixpoint(scale=args.scale)
             print()
             print(format_parallel(parallel))
+        kernels = None
+        if not args.no_kernels:
+            from repro.bench.kernelbench import (
+                format_kernels, run_kernel_block,
+            )
+
+            kernels = run_kernel_block(scale=args.scale)
+            print()
+            print(format_kernels(kernels))
         with open(args.json, "w", encoding="utf-8") as handle:
             handle.write(format_json(
                 table, scale=args.scale, repetitions=args.repetitions,
                 engine="solver", query_latency=query_latency,
                 incremental=incremental, checks=checks,
-                parallel=parallel,
+                parallel=parallel, kernels=kernels,
             ))
         print(f"\nwrote JSON to {args.json}")
     return 0
@@ -953,6 +1040,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--in-process", action="store_true",
         help="with --shards: simulate the shards in one interpreter"
         " instead of forking worker processes",
+    )
+    p_analyze.add_argument(
+        "--backend", choices=("worklist", "engine", "compiled", "kernel"),
+        help="execution backend: the worklist solver (default), the"
+        " semi-naive Datalog interpreter, the compiled tuple-row"
+        " backend, or the fused columnar kernels; non-worklist"
+        " backends verify fact-for-fact parity against the worklist"
+        " solver and exit 1 on mismatch",
     )
     p_analyze.set_defaults(func=cmd_analyze)
 
@@ -1145,7 +1240,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument(
         "--json",
         help="also write machine-readable JSON here"
-        " (schema repro-figure6/5, see docs/api.md)",
+        " (schema repro-figure6/6, see docs/api.md)",
     )
     p_fig.add_argument(
         "--no-query-latency", action="store_true",
@@ -1162,6 +1257,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument(
         "--no-parallel", action="store_true",
         help="omit the sharded-fixpoint workload from the JSON",
+    )
+    p_fig.add_argument(
+        "--no-kernels", action="store_true",
+        help="omit the kernel-backend workload from the JSON",
     )
     p_fig.set_defaults(func=cmd_figure6)
     return parser

@@ -61,8 +61,10 @@ class CompiledAnalysis:
         """Evaluate the program.
 
         ``backend`` selects the Datalog engine: ``"interpreted"`` (the
-        semi-naive interpreter) or ``"compiled"`` (rule bodies compiled
-        to Python source — the analogue of the paper's LLVM back-end).
+        semi-naive interpreter), ``"compiled"`` (rule bodies compiled
+        to Python source — the analogue of the paper's LLVM back-end)
+        or ``"kernel"`` (fused integer kernels over the columnar store
+        of an interned program — :mod:`repro.compile.kernels`).
 
         ``eliminate_dead=True`` first drops rules that can never fire
         against the installed fact set (the configuration cross-product
@@ -82,6 +84,10 @@ class CompiledAnalysis:
             from repro.datalog.codegen import CompiledEngine
 
             engine = CompiledEngine(program, self.builtins)
+        elif backend == "kernel":
+            from repro.datalog.kernel import KernelEngine
+
+            engine = KernelEngine(program, self.builtins)
         else:
             raise ValueError(f"unknown backend {backend!r}")
         raw = engine.run()
@@ -153,7 +159,9 @@ def _lint_emitted(analysis: "CompiledAnalysis") -> "CompiledAnalysis":
         analysis.program,
         builtins=analysis.builtins,
         subject=analysis.description,
-        passes=("safety", "schema", "sorts", "stratification"),
+        passes=(
+            "safety", "schema", "configurations", "sorts", "stratification",
+        ),
     ).raise_if_errors()
     return analysis
 

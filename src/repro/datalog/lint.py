@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from repro.lint.diagnostics import Diagnostic, LintError, LintReport, Severity
 from repro.lint.passes import (
+    check_configurations,
     check_liveness,
     check_safety,
     check_schema,
@@ -41,6 +42,7 @@ __all__ = [
     "LintError",
     "LintReport",
     "Severity",
+    "check_configurations",
     "check_liveness",
     "check_safety",
     "check_schema",

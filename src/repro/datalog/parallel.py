@@ -36,10 +36,23 @@ unavailable; ``processes=False`` runs the shards in-process
 
 For pure-Datalog programs (no builtins referenced — every transformer
 configuration) all constants are interned to dense ints up front
-(:class:`repro.store.Interner`), so the wire format is tuples of small
-ints and shard hashing is ``value % N``; results are decoded at the
-boundary.  Programs with builtins (the context-string instantiation)
-ship raw values, since builtin closures construct values at runtime.
+(:func:`repro.datalog.kernel.intern_program`), so the wire format is
+tuples of small ints and shard hashing is ``value % N``; results are
+decoded at the boundary.  Programs with builtins (the context-string
+instantiation) ship raw values, since builtin closures construct
+values at runtime.
+
+Interned runs additionally compile their **shard-local** rules to the
+fused columnar kernels of :mod:`repro.compile.kernels` (``kernels=True``,
+the default): each shard's store becomes a
+:class:`~repro.store.columnar.ColumnarStore`, eligible rules — local,
+unpinned, no replica probes — run generated straight-line functions
+over column arrays and row-id buckets, and everything else (exchange,
+broadcast, pinned, replica-probing rules) keeps the interpreted join,
+which reads the same columnar relations through the shared
+``lookup``/``delta`` surface.  Derived rows still route through
+:meth:`_ShardState._emit`, so the run-time shard-safety certificate is
+enforced identically in both modes.
 """
 
 from __future__ import annotations
@@ -47,8 +60,10 @@ from __future__ import annotations
 import time
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
-from repro.datalog.ast import Const, Literal, Program, Rule, Var
+from repro.compile.kernels import KernelProgram, compile_kernels
+from repro.datalog.ast import Const, Literal, Program, Var
 from repro.datalog.builtins import DEFAULT_BUILTINS, BuiltinFn
+from repro.datalog.kernel import intern_program
 from repro.datalog.partition import (
     DEFAULT_KEY,
     PartitionSpec,
@@ -58,7 +73,13 @@ from repro.datalog.partition import (
     pointer_partition_spec,
     stable_shard_of,
 )
-from repro.store import Interner, Relation, TupleStore, plan_indices
+from repro.store import (
+    ColumnarStore,
+    Interner,
+    Relation,
+    TupleStore,
+    plan_indices,
+)
 
 Bindings = Dict[Var, object]
 Rows = List[Tuple]
@@ -78,6 +99,8 @@ class _ShardState:
         program: Program,
         plan: ShardPlan,
         builtins: Dict[str, BuiltinFn],
+        kernel_program: Optional[KernelProgram] = None,
+        kernel_functions: Optional[Dict[str, object]] = None,
     ):
         self.shard_id = shard_id
         self.shards = shards
@@ -85,12 +108,29 @@ class _ShardState:
         self.plan = plan
         self.builtins = builtins
         self.spec = plan.spec
-        self.store = TupleStore()
+        self._kernel_program = kernel_program
+        self._kernel_functions = kernel_functions
+        #: Rule indices whose shard-local variants run as columnar
+        #: kernels instead of the interpreted join.
+        self._kernel_rules: Set[int] = (
+            set() if kernel_program is None
+            else {v.rule_index for v in kernel_program.variants}
+        )
+        # Kernel mode stores columns (int programs only); otherwise the
+        # classic tuple store.  Both expose the same relation surface.
+        self.store = (
+            ColumnarStore() if kernel_program is not None else TupleStore()
+        )
         #: Owned slice (partitioned) or full copy (replicated).
         self.relations: Dict[str, Relation] = self.store.relations()
         #: Full replica copies of partitioned relations the plan forced.
         self.replicas: Dict[str, Relation] = {}
         self._index_plan = plan_indices(program, builtins=builtins)
+        #: Predicates materialized by the normal lifecycle (facts,
+        #: stratum heads, ingested rows) — the result-visible set.  In
+        #: kernel mode the store additionally holds body-only
+        #: predicates the kernels must bind; they stay invisible.
+        self._visible: Set[str] = set()
         self._stratum_preds: Set[str] = set()
         #: Newly-inserted owned rows of replica'd relations, awaiting
         #: broadcast at the next evaluation round.
@@ -103,17 +143,41 @@ class _ShardState:
             "cross_shard_probes_local": 0,
             "ownership_violations": 0,
             "rule_evaluations": 0,
+            "kernel_rule_evaluations": 0,
         }
+        if kernel_program is not None:
+            self._bind_kernel_storage()
 
     # -- relation access ---------------------------------------------------
 
     def _relation(self, pred: str, arity: int) -> Relation:
+        self._visible.add(pred)
         rel = self.relations.get(pred)
         if rel is None:
             rel = self.store.relation(pred, arity)
             for positions in sorted(self._index_plan.get(pred, ())):
                 rel.ensure_index(positions)
         return rel
+
+    def _bind_kernel_storage(self) -> None:
+        """Materialize every program predicate columnar and bind the
+        flat tables the kernels index: ``db[pid]`` row dicts,
+        ``idx[iid]`` row-id bucket indices, ``cols[cid]`` live column
+        arrays.  All three are maintained incrementally by
+        ``ColumnarRelation.add``, so binding up front is safe."""
+        kernels = self._kernel_program
+        ordered = sorted(kernels.pred_ids, key=kernels.pred_ids.get)
+        for pred in ordered:
+            rel = self.store.relation(pred, kernels.arity_of(pred))
+            for positions in sorted(self._index_plan.get(pred, ())):
+                rel.ensure_index(positions)
+        self._db = [self.relations[pred].rows for pred in ordered]
+        self._idx: List[Dict] = [None] * len(kernels.index_ids)
+        for (pred, positions), index_id in kernels.index_ids.items():
+            self._idx[index_id] = self.relations[pred].index_view(positions)
+        self._cols: List = [None] * len(kernels.column_ids)
+        for (pred, position), slot in kernels.column_ids.items():
+            self._cols[slot] = self.relations[pred].columns[position]
 
     def _replica(self, pred: str, arity: int) -> Relation:
         rel = self.replicas.get(pred)
@@ -196,7 +260,15 @@ class _ShardState:
         self._replica_backlog = {}
 
         for plan in self._rules:
-            if first:
+            if plan.rule_index in self._kernel_rules:
+                if first:
+                    self._run_kernel(plan, None, (), outbox, broadcast)
+                else:
+                    for position, ids in self._kernel_delta_positions(plan):
+                        self._run_kernel(
+                            plan, position, ids, outbox, broadcast
+                        )
+            elif first:
                 self._evaluate_variant(plan, None, None, outbox, broadcast)
             else:
                 for position, delta_rows in self._delta_positions(plan):
@@ -229,6 +301,45 @@ class _ShardState:
         if position in plan.replica_atoms:
             return self.replicas.get(pred)
         return self.relations.get(pred)
+
+    # -- the columnar kernel path (shard-local rules, interned runs) --------
+
+    def _kernel_delta_positions(
+        self, plan: RulePlan
+    ) -> Iterator[Tuple[int, range]]:
+        # Kernel-eligible rules never probe replicas, so the frontier
+        # is always the owned slice's delta — as row-id ranges.
+        for position, literal in enumerate(plan.rule.body):
+            if literal.negated or literal.pred in self.builtins:
+                continue
+            if literal.pred not in self._stratum_preds:
+                continue
+            relation = self.relations.get(literal.pred)
+            if relation is not None and relation.delta_ids:
+                yield position, relation.delta_ids
+
+    def _run_kernel(
+        self,
+        plan: RulePlan,
+        delta_position: Optional[int],
+        delta_ids,
+        outbox: Dict[int, Dict[str, Set[Tuple]]],
+        broadcast: Dict[str, Set[Tuple]],
+    ) -> None:
+        """One (rule × delta-position) variant through its fused kernel.
+
+        Head rows still route through :meth:`_emit`, so the insert-side
+        shard-safety certificate covers kernel derivations too."""
+        variant = self._kernel_program.variants_by_key[
+            (plan.rule_index, delta_position)
+        ]
+        fn = self._kernel_functions[variant.name]
+        out: List[Tuple] = []
+        fn(self._cols, self._db, self._idx, delta_ids, out)
+        self.counters["rule_evaluations"] += 1
+        self.counters["kernel_rule_evaluations"] += 1
+        for row in out:
+            self._emit(plan, row, outbox, broadcast)
 
     # -- derivation routing -------------------------------------------------
 
@@ -317,6 +428,10 @@ class _ShardState:
         every shard)."""
         out: Dict[str, Rows] = {}
         for pred, relation in self.relations.items():
+            if pred not in self._visible:
+                # Kernel-mode storage binding materializes body-only
+                # predicates the sequential engine never reports.
+                continue
             if self.spec.column_of(pred) is None:
                 if self.shard_id == 0:
                     out[pred] = list(relation.rows)
@@ -512,14 +627,21 @@ class _ShardState:
 # Backends: in-process shards, or forked workers.
 # ---------------------------------------------------------------------------
 
-def _worker_main(conn, shard_id, shards, program, plan, builtins) -> None:
+def _worker_main(
+    conn, shard_id, shards, program, plan, builtins,
+    kernel_program=None, kernel_functions=None,
+) -> None:
     """Forked worker loop: a :class:`_ShardState` driven over a pipe.
 
     Under the ``fork`` start method the arguments arrive by memory
     inheritance, not pickling — only commands and frontier rows cross
-    the pipe.
+    the pipe.  (That inheritance is also what lets the exec-generated
+    kernel functions reach the workers unpickled.)
     """
-    state = _ShardState(shard_id, shards, program, plan, builtins)
+    state = _ShardState(
+        shard_id, shards, program, plan, builtins,
+        kernel_program, kernel_functions,
+    )
     while True:
         message = conn.recv()
         op = message[0]
@@ -546,7 +668,10 @@ def _worker_main(conn, shard_id, shards, program, plan, builtins) -> None:
 class _ForkBackend:
     """Real ``multiprocessing`` workers over duplex pipes."""
 
-    def __init__(self, shards, program, plan, builtins):
+    def __init__(
+        self, shards, program, plan, builtins,
+        kernel_program=None, kernel_functions=None,
+    ):
         import multiprocessing
 
         context = multiprocessing.get_context("fork")
@@ -556,7 +681,10 @@ class _ForkBackend:
             parent_conn, child_conn = context.Pipe(duplex=True)
             process = context.Process(
                 target=_worker_main,
-                args=(child_conn, shard_id, shards, program, plan, builtins),
+                args=(
+                    child_conn, shard_id, shards, program, plan, builtins,
+                    kernel_program, kernel_functions,
+                ),
                 daemon=True,
             )
             process.start()
@@ -591,9 +719,15 @@ class _ForkBackend:
 class _InProcessBackend:
     """The same shard states, called directly (deterministic tests)."""
 
-    def __init__(self, shards, program, plan, builtins):
+    def __init__(
+        self, shards, program, plan, builtins,
+        kernel_program=None, kernel_functions=None,
+    ):
         self.states = [
-            _ShardState(shard_id, shards, program, plan, builtins)
+            _ShardState(
+                shard_id, shards, program, plan, builtins,
+                kernel_program, kernel_functions,
+            )
             for shard_id in range(shards)
         ]
 
@@ -653,6 +787,7 @@ class ParallelStats:
         self.cross_shard_probes_local = 0
         self.ownership_violations = 0
         self.rule_evaluations = 0
+        self.kernel_rule_evaluations = 0
 
     def skew(self) -> float:
         """max/mean of per-shard derived rows (1.0 = perfectly even)."""
@@ -677,6 +812,7 @@ class ParallelStats:
             "cross_shard_probes_local": self.cross_shard_probes_local,
             "ownership_violations": self.ownership_violations,
             "rule_evaluations": self.rule_evaluations,
+            "kernel_rule_evaluations": self.kernel_rule_evaluations,
         }
 
 
@@ -702,6 +838,7 @@ class ParallelEngine:
         spec: Optional[PartitionSpec] = None,
         plan: Optional[ShardPlan] = None,
         processes: bool = False,
+        kernels: bool = True,
     ):
         if shards < 1:
             raise ValueError("shards must be >= 1")
@@ -724,7 +861,7 @@ class ParallelEngine:
             # Pure Datalog: intern every constant so shard hashing and
             # the wire format are dense small ints.
             self._interner = Interner()
-            program = _encode_program(program, self._interner)
+            program = intern_program(program, self._interner)
             spec = PartitionSpec(
                 key=spec.key, columns=dict(spec.columns),
                 replicated=spec.replicated,
@@ -734,6 +871,27 @@ class ParallelEngine:
         self.program = program
         self.plan = plan
         self.spec = spec
+
+        # Interned runs compile their shard-local rules to columnar
+        # kernels, shared by every shard (the generated functions take
+        # all storage as arguments).  Rules that communicate or probe
+        # replicas keep the interpreted join.
+        self._kernel_program: Optional[KernelProgram] = None
+        self._kernel_functions = None
+        if kernels and self._interner is not None:
+            eligible = [
+                p for p in plan.rules
+                if not p.is_fact and p.kind == "local"
+                and not p.pinned and not p.replica_atoms
+            ]
+            if eligible:
+                self._kernel_program = compile_kernels(
+                    program, self.builtins,
+                    rules=[(p.rule_index, p.rule) for p in eligible],
+                )
+                self._kernel_functions = self._kernel_program.instantiate(
+                    self.builtins, self._interner
+                )
         backend_name = "fork" if processes else "inprocess"
         if processes and not _fork_available():  # pragma: no cover
             backend_name = "inprocess"
@@ -750,7 +908,8 @@ class ParallelEngine:
             else _InProcessBackend
         )
         backend = backend_cls(
-            self.shards, self.program, self.plan, self.builtins
+            self.shards, self.program, self.plan, self.builtins,
+            self._kernel_program, self._kernel_functions,
         )
         try:
             backend.broadcast_command("load")
@@ -775,6 +934,9 @@ class ParallelEngine:
                     "ownership_violations"
                 ]
                 self.stats.rule_evaluations += counters["rule_evaluations"]
+                self.stats.kernel_rule_evaluations += counters[
+                    "kernel_rule_evaluations"
+                ]
         finally:
             backend.close()
         self.stats.broadcast_volume = (
@@ -848,37 +1010,6 @@ def _uses_builtins(program: Program, builtins: Dict[str, BuiltinFn]) -> bool:
     return False
 
 
-def _encode_program(program: Program, interner: Interner) -> Program:
-    """Rewrite every constant (rule consts and fact attributes) to its
-    interned symbol.  Deterministic: iteration follows program order."""
-    def encode_term(term):
-        if isinstance(term, Const):
-            return Const(interner.intern(term.value))
-        return term
-
-    def encode_literal(literal: Literal) -> Literal:
-        return Literal(
-            literal.pred,
-            tuple(encode_term(t) for t in literal.args),
-            negated=literal.negated,
-            pos=literal.pos,
-        )
-
-    rules = [
-        Rule(
-            encode_literal(rule.head),
-            tuple(encode_literal(lit) for lit in rule.body),
-            pos=rule.pos,
-        )
-        for rule in program.rules
-    ]
-    facts = {
-        pred: {interner.intern_row(row) for row in sorted(rows)}
-        for pred, rows in sorted(program.facts.items())
-    }
-    return Program(rules=rules, facts=facts)
-
-
 def evaluate_parallel(
     program: Program,
     builtins=None,
@@ -886,9 +1017,10 @@ def evaluate_parallel(
     key: str = DEFAULT_KEY,
     spec: Optional[PartitionSpec] = None,
     processes: bool = False,
+    kernels: bool = True,
 ) -> Dict[str, Set[Tuple]]:
     """One-shot parallel evaluation convenience wrapper."""
     return ParallelEngine(
         program, builtins, shards=shards, key=key, spec=spec,
-        processes=processes,
+        processes=processes, kernels=kernels,
     ).run()

@@ -22,6 +22,12 @@ for a rule-level reason:
   e.g. a packed context tuple flowing into a flattened string column
   (the signature failure mode of a mis-specialized configuration from
   :mod:`repro.compile.specialize`);
+* **configurations** (``DL105``) — configuration-specialized relation
+  names (a ``pts__xwe``-style suffix whose tag parses as the paper's
+  ``x^a w? e^b`` shape) whose declared arity cannot even hold the
+  flattened context letters, or whose base family mixes entity arities
+  across configurations — both symptoms of a broken specialization or
+  a hand-written rule drifting from the emitted schema;
 * **stratification** (``DL201``) — negation through recursion, with
   the witness cycle and offending rule spelled out (structured data
   from :func:`repro.datalog.stratify.negative_cycle_edges`);
@@ -248,6 +254,89 @@ def check_schema(
             f"predicate {pred!r} is both a builtin and a stored relation",
             where=pred,
         ))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Configuration-specialized schemas (DL105).
+# ---------------------------------------------------------------------------
+
+def check_configurations(
+    program: Program, builtins: Builtins = None
+) -> List[Diagnostic]:
+    """Arity discipline for configuration-specialized relations.
+
+    A relation named ``base__tag`` whose tag parses as a configuration
+    ``x^a w? e^b`` (see :func:`repro.compile.configurations.parse_tag`)
+    declares ``a + b`` flattened context attributes after its entity
+    attributes.  Two findings, both ``DL105``:
+
+    * **error** — the declared arity is smaller than the tag's context
+      arity, so the relation cannot even hold its context letters;
+    * **warning** — relations of one base family disagree on entity
+      arity (``arity − context_arity``): the specializer emits every
+      configuration of a base with the same entity columns, so a mixed
+      family means a rule drifted from the emitted schema.
+
+    Names whose suffix does not parse as a tag are skipped — ``__`` is
+    legal in ordinary predicate names.
+    """
+    from repro.compile.configurations import parse_tag
+
+    signatures = _normalize_builtins(builtins)
+    #: pred → (arity, first witness rule index, pos)
+    arities: Dict[str, Tuple[int, Optional[int], object]] = {}
+    for index, rule in enumerate(program.rules):
+        for lit in (rule.head, *rule.body):
+            if lit.pred in signatures:
+                continue
+            arities.setdefault(
+                lit.pred, (lit.arity, index, lit.pos or rule.pos)
+            )
+    for pred, rows in program.facts.items():
+        for row in rows:
+            arities.setdefault(pred, (len(row), None, None))
+            break
+
+    out: List[Diagnostic] = []
+    #: base → entity arity → member descriptions.
+    families: Dict[str, Dict[int, List[str]]] = {}
+    for pred in sorted(arities):
+        arity, rule_index, pos = arities[pred]
+        base, sep, tag = pred.partition("__")
+        if not sep or not base:
+            continue
+        try:
+            configuration = parse_tag(tag)
+        except ValueError:
+            continue
+        context_arity = configuration.context_arity
+        if arity < context_arity:
+            out.append(Diagnostic(
+                "DL105", Severity.ERROR,
+                f"configuration-specialized relation {pred!r} has arity"
+                f" {arity}, but its tag {tag!r} alone needs"
+                f" {context_arity} context attribute(s)"
+                f" (x^{configuration.pops} e^{configuration.pushes})",
+                rule_index=rule_index, pos=pos, where=pred,
+            ))
+            continue
+        families.setdefault(base, {}).setdefault(
+            arity - context_arity, []
+        ).append(f"{pred}/{arity}")
+    for base in sorted(families):
+        by_entity = families[base]
+        if len(by_entity) > 1:
+            details = "; ".join(
+                f"entity arity {entity}: {', '.join(members)}"
+                for entity, members in sorted(by_entity.items())
+            )
+            out.append(Diagnostic(
+                "DL105", Severity.WARNING,
+                f"configuration family {base!r} mixes entity arities"
+                f" across its specialized relations ({details})",
+                where=base,
+            ))
     return out
 
 
@@ -508,13 +597,15 @@ def lint_program(
     ``builtins`` follows the engine convention: the default builtin
     table is always assumed, and an engine-style mapping adds to it.
     ``passes`` selects a subset by name (``safety``, ``schema``,
-    ``sorts``, ``stratification``, ``liveness``); default is all.
+    ``configurations``, ``sorts``, ``stratification``, ``liveness``);
+    default is all.
     ``edb`` declares input relations the liveness pass must assume
     populatable even when the installed fact set leaves them empty.
     """
     all_passes = {
         "safety": lambda: check_safety(program, builtins),
         "schema": lambda: check_schema(program, builtins),
+        "configurations": lambda: check_configurations(program, builtins),
         "sorts": lambda: check_sorts(program, builtins),
         "stratification": lambda: check_stratification(program),
         "liveness": lambda: check_liveness(program, builtins, edb=edb),

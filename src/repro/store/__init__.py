@@ -49,8 +49,11 @@ Components:
 from repro.store.interner import Interner
 from repro.store.relation import Relation, Row, multimap
 from repro.store.index import KeyedIndex
+from repro.store.columnar import ColumnarRelation, ColumnarStore
 from repro.store.serialize import (
     SerializationError,
+    columnar_relation_from_payload,
+    columnar_relation_to_payload,
     decode_value,
     encode_value,
     interner_from_payload,
@@ -64,6 +67,8 @@ from repro.store.store import TupleStore
 from repro.store.planner import plan_indices
 
 __all__ = [
+    "ColumnarRelation",
+    "ColumnarStore",
     "Interner",
     "KeyedIndex",
     "Relation",
@@ -71,6 +76,8 @@ __all__ = [
     "Row",
     "SerializationError",
     "TupleStore",
+    "columnar_relation_from_payload",
+    "columnar_relation_to_payload",
     "decode_value",
     "encode_value",
     "interner_from_payload",

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Hashable, List, Optional, Tuple, Type
 
+from repro.store.columnar import ColumnarRelation
 from repro.store.interner import Interner
 from repro.store.relation import Relation
 from repro.store.stats import RelationCounters
@@ -164,4 +165,66 @@ def relation_from_payload(
                 f" {len(row)} attributes, expected {relation.arity}"
             )
         relation.load(tuple(interner.value_of(symbol) for symbol in row))
+    return relation
+
+
+# -- columnar relations -----------------------------------------------------
+
+
+def columnar_relation_to_payload(
+    relation: ColumnarRelation,
+    interner: Interner,
+    run_interner: Optional[Interner] = None,
+) -> Dict:
+    """A columnar relation as the same ``{name, arity, rows}`` payload.
+
+    A kernel run holds ids relative to its *own* dense interner
+    (``run_interner``); attributes are decoded through it and re-interned
+    through the shared payload ``interner``, so a snapshot written from
+    a columnar store is byte-identical to one written from the
+    equivalent tuple store (and loadable by either
+    :func:`relation_from_payload` or
+    :func:`columnar_relation_from_payload`).  With ``run_interner=None``
+    the relation's ints *are* the values.
+    """
+    if run_interner is None:
+        rows = sorted(
+            [interner.intern(value) for value in row] for row in relation.rows
+        )
+    else:
+        rows = sorted(
+            [interner.intern(run_interner.value_of(value)) for value in row]
+            for row in relation.rows
+        )
+    return {"name": relation.name, "arity": relation.arity, "rows": rows}
+
+
+def columnar_relation_from_payload(
+    payload: Dict,
+    interner: Interner,
+    run_interner: Optional[Interner] = None,
+    counters: Optional[RelationCounters] = None,
+    track_delta: bool = False,
+) -> ColumnarRelation:
+    """Rebuild a columnar relation from a ``{name, arity, rows}`` payload.
+
+    Attributes come back through the payload ``interner``; with a
+    ``run_interner`` they are re-interned into the run's dense int
+    domain (the columnar store holds ints only), otherwise the decoded
+    values must already be ints.
+    """
+    relation = ColumnarRelation(
+        payload["name"], payload["arity"], counters=counters,
+        track_delta=track_delta,
+    )
+    for row in payload["rows"]:
+        if len(row) != relation.arity:
+            raise SerializationError(
+                f"relation {relation.name!r} row {row!r} has"
+                f" {len(row)} attributes, expected {relation.arity}"
+            )
+        values = tuple(interner.value_of(symbol) for symbol in row)
+        if run_interner is not None:
+            values = tuple(run_interner.intern(value) for value in values)
+        relation.load(values)
     return relation

@@ -1,0 +1,169 @@
+"""Tests for the columnar kernel backend (`repro.datalog.kernel`).
+
+The acceptance criterion for the kernel compiler: the fused integer
+kernels are bit-identical to the worklist solver across Figure 1 and
+Figure 5, both abstractions, and the full (flavour, m, h) grid — the
+same sweep the parallel executor is held to — plus engine-level
+behaviour (builtins, negation, stratification, stats, strict lint).
+"""
+
+import pytest
+
+from repro import analyze
+from repro.compile.emit import (
+    compile_context_string_analysis,
+    compile_transformer_analysis,
+)
+from repro.core.config import config_by_name
+from repro.datalog.ast import Literal, Var
+from repro.datalog.engine import Engine
+from repro.datalog.kernel import KernelEngine, evaluate_kernel, intern_program
+from repro.datalog.parser import parse_datalog
+from repro.frontend.factgen import facts_from_source
+from repro.frontend.paper_programs import FIGURE_1, FIGURE_5
+from repro.store import Interner
+
+_GRID = (
+    "1-call", "1-call+H", "2-call", "2-call+H",
+    "1-object", "2-object+H", "1-type", "2-type+H",
+)
+
+
+@pytest.mark.parametrize("source", [FIGURE_1, FIGURE_5], ids=["fig1", "fig5"])
+@pytest.mark.parametrize("abstraction", ["ts", "cs"])
+@pytest.mark.parametrize("name", _GRID)
+def test_kernel_backend_matches_worklist_solver(source, abstraction, name):
+    facts = facts_from_source(source)
+    config = config_by_name(
+        name,
+        "transformer-string" if abstraction == "ts" else "context-string",
+    )
+    compiler = (
+        compile_transformer_analysis
+        if abstraction == "ts"
+        else compile_context_string_analysis
+    )
+    compiled = compiler(facts, config.flavour, config.m, config.h)
+    solver = analyze(facts, config)
+    result = compiled.run(backend="kernel")
+    for relation in ("pts", "hpts", "call", "reach", "spts", "texc"):
+        assert getattr(result, relation) == getattr(solver, relation), (
+            abstraction, name, relation,
+        )
+
+
+@pytest.mark.parametrize("source", [FIGURE_1, FIGURE_5], ids=["fig1", "fig5"])
+def test_kernel_engine_matches_interpreter_on_emitted_program(source):
+    facts = facts_from_source(source)
+    config = config_by_name("2-object+H")
+    compiled = compile_transformer_analysis(
+        facts, config.flavour, config.m, config.h
+    )
+    interpreted = Engine(compiled.program, compiled.builtins).run()
+    assert evaluate_kernel(compiled.program, compiled.builtins) == interpreted
+
+
+class TestEngineBehaviour:
+    def test_recursion_negation_and_builtins(self):
+        program = parse_datalog(
+            """
+            edge(1, 2). edge(2, 3). edge(3, 4). edge(1, 4).
+            path(X, Y) :- edge(X, Y).
+            path(X, Z) :- path(X, Y), edge(Y, Z).
+            noloop(X, Y) :- path(X, Y), !path(Y, X).
+            big(X, Y) :- path(X, Y), lt(X, Y).
+            """
+        )
+        assert evaluate_kernel(program) == Engine(program).run()
+
+    def test_generative_builtin_binds_fresh_values(self):
+        program = parse_datalog(
+            "n(1). n(2).\n"
+            "next(X, Y) :- n(X), succ(X, Y).\n"
+        )
+        results = evaluate_kernel(program)
+        assert results["next"] == {(1, 2), (2, 3)}
+
+    def test_constants_in_heads_and_bodies(self):
+        program = parse_datalog(
+            "e(1, 2). e(2, 2).\n"
+            "p(X, 7) :- e(X, 2).\n"
+            "q(X) :- e(1, X).\n"
+        )
+        results = evaluate_kernel(program)
+        assert results["p"] == {(1, 7), (2, 7)}
+        assert results["q"] == {(2,)}
+
+    def test_fact_rules_load(self):
+        program = parse_datalog("p(1).\nq(X) :- p(X).\n")
+        assert evaluate_kernel(program)["q"] == {(1,)}
+
+    def test_stats_and_store_counters(self):
+        program = parse_datalog(
+            "e(1, 2). e(2, 3).\n"
+            "p(X, Y) :- e(X, Y).\n"
+            "p(X, Z) :- p(X, Y), p(Y, Z).\n"
+        )
+        engine = KernelEngine(program)
+        engine.run()
+        assert engine.stats.rule_evaluations > 0
+        assert engine.stats.facts_derived >= 3
+        assert engine.stats.seconds > 0
+        described = engine.store_stats()
+        assert described["p"]["rows"] == 3
+        assert described["p"]["inserts"] == 3
+
+    def test_query_decodes_and_tolerates_unknowns(self):
+        program = parse_datalog("e(1).\np(X) :- e(X).\n")
+        engine = KernelEngine(program)
+        assert engine.query("p") == set()  # before run: no storage yet
+        engine.run()
+        assert engine.query("p") == {(1,)}
+        assert engine.query("absent") == set()
+
+    def test_builtin_name_overlap_rejected(self):
+        program = parse_datalog("le(1, 2).\np(X, Y) :- le(X, Y).\n")
+        with pytest.raises(ValueError, match="builtins"):
+            KernelEngine(program)
+
+    def test_strict_mode_lints(self):
+        from repro.datalog.ast import Program
+        from repro.datalog.lint import LintError
+
+        # Passes Rule.validate() but is unsafe: negation before binding.
+        program = Program()
+        program.rule(
+            Literal("p", (Var("X"),)),
+            Literal("q", (Var("X"),), negated=True),
+            Literal("r", (Var("X"),)),
+        )
+        program.add_facts("r", [(1,), (2,)])
+        program.add_facts("q", [(1,)])
+        with pytest.raises(LintError, match="DL002"):
+            KernelEngine(program, strict=True)
+
+    def test_results_hide_body_only_edb(self):
+        program = parse_datalog("e(1).\np(X) :- e(X), f(X).\n")
+        program.add_facts("f", {(1,)})
+        results = evaluate_kernel(program)
+        assert set(results) == {"e", "f", "p"}
+
+
+class TestInternProgram:
+    def test_constants_and_facts_are_interned(self):
+        interner = Interner()
+        program = parse_datalog('p(X, "c") :- e(X, "b").\n')
+        program.add_facts("e", {("a", "b")})
+        encoded = intern_program(program, interner)
+        assert encoded.facts  # loaded facts survive
+        for rows in encoded.facts.values():
+            for row in rows:
+                assert all(isinstance(v, int) for v in row)
+        body_const = encoded.rules[0].body[0].args[1]
+        assert interner.value_of(body_const.value) == "b"
+
+    def test_interning_is_deterministic(self):
+        source = 'e("x", "y").\ne("y", "z").\np(A, B) :- e(A, B).\n'
+        first = intern_program(parse_datalog(source), Interner())
+        second = intern_program(parse_datalog(source), Interner())
+        assert first.facts == second.facts

@@ -14,6 +14,7 @@ from repro.datalog.engine import Engine, evaluate
 from repro.datalog.lint import (
     LintError,
     Severity,
+    check_configurations,
     check_liveness,
     check_safety,
     check_schema,
@@ -151,6 +152,78 @@ class TestSchema:
         program.rule(atom("p", "X"), atom("r", "X"))
         program.add_facts("r", [("a",), ("b",)])
         assert check_sorts(program) == []
+
+
+# ---------------------------------------------------------------------------
+# Configuration-specialized relations (DL105).
+# ---------------------------------------------------------------------------
+
+
+class TestConfigurations:
+    def test_arity_below_context_arity_is_dl105_error(self):
+        program = Program()
+        # Tag "xxe" needs 3 context attributes; arity 2 can't hold them.
+        program.rule(atom("pts__xxe", "V", "H"), atom("r", "V", "H"))
+        (diag,) = check_configurations(program)
+        assert diag.code == "DL105"
+        assert diag.severity is Severity.ERROR
+        assert "'pts__xxe'" in diag.message
+        assert "x^2 e^1" in diag.message
+
+    def test_fact_relation_is_checked_too(self):
+        program = Program()
+        program.add_facts("call__xe", [(1,)])
+        (diag,) = check_configurations(program)
+        assert diag.code == "DL105"
+        assert diag.severity is Severity.ERROR
+
+    def test_mixed_entity_arity_family_is_dl105_warning(self):
+        program = Program()
+        # pts__x has entity arity 2, pts__xe has entity arity 1: the
+        # specializer never emits a base with drifting entity columns.
+        program.rule(atom("pts__x", "V", "H", "C"), atom("r", "V", "H", "C"))
+        program.rule(atom("pts__xe", "V", "C1", "C2"), atom("s", "V", "C1", "C2"))
+        (diag,) = check_configurations(program)
+        assert diag.code == "DL105"
+        assert diag.severity is Severity.WARNING
+        assert "pts" in diag.message
+        assert "entity arity 1" in diag.message
+        assert "entity arity 2" in diag.message
+
+    def test_consistent_family_is_clean(self):
+        program = Program()
+        program.rule(atom("pts__x", "V", "H", "C"), atom("r", "V", "H", "C"))
+        program.rule(
+            atom("pts__xe", "V", "H", "C1", "C2"),
+            atom("s", "V", "H", "C1", "C2"),
+        )
+        assert check_configurations(program) == []
+
+    def test_wildcard_tag_counts_no_column(self):
+        # "xw" pops one and matches the rest: one context attribute.
+        program = Program()
+        program.rule(atom("reach__xw", "M", "C"), atom("r", "M", "C"))
+        assert check_configurations(program) == []
+
+    def test_unparseable_suffix_is_skipped(self):
+        program = Program()
+        program.rule(atom("not__atag", "X"), atom("r", "X"))
+        program.rule(atom("double__under__xe", "X"), atom("r", "X"))
+        assert check_configurations(program) == []
+
+    def test_builtin_names_are_ignored(self):
+        program = Program()
+        program.rule(
+            atom("p", "X"), atom("r", "X"), atom("le", "X", "X")
+        )
+        assert check_configurations(program) == []
+
+    def test_dl105_reaches_lint_program_report(self):
+        program = Program()
+        program.rule(atom("pts__xxe", "V", "H"), atom("r", "V", "H"))
+        report = lint_program(program, subject="dl105")
+        assert "DL105" in report.codes()
+        assert not report.ok
 
 
 # ---------------------------------------------------------------------------

@@ -151,15 +151,16 @@ class TestFigure6Command:
         assert main([
             "figure6", "--scale", "1", "--json", str(out_file),
             "--no-query-latency", "--no-incremental", "--no-checks",
-            "--no-parallel",
+            "--no-parallel", "--no-kernels",
         ]) == 0
         assert "wrote JSON" in capsys.readouterr().out
         data = json.loads(out_file.read_text())
-        assert data["schema"] == "repro-figure6/5"
+        assert data["schema"] == "repro-figure6/6"
         assert data["query_latency"] is None  # suppressed by the flag
         assert data["incremental"] is None  # suppressed by the flag
         assert data["checks"] is None  # suppressed by the flag
         assert data["parallel"] is None  # suppressed by the flag
+        assert data["kernels"] is None  # suppressed by the flag
         assert data["scale"] == 1
         assert data["engine"] == "solver"
         assert set(data["geomean"]) == set(data["configurations"])
@@ -604,6 +605,59 @@ class TestAnalyzeShards:
             "--shards", "2", "--in-process", "--shard-key", "variable",
         ]) == 0
         assert "shard plan (key=variable):" in capsys.readouterr().out
+
+
+class TestAnalyzeBackend:
+    @pytest.mark.parametrize("backend", ["engine", "compiled", "kernel"])
+    def test_backend_parity_and_points_to(self, figure1_file, backend,
+                                          capsys):
+        assert main([
+            "analyze", figure1_file, "--config", "1-call",
+            "--backend", backend, "--var", "T.main/x1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "T.main/x1 -> {h1}" in out
+        assert f"{backend} backend:" in out
+        assert "parity with worklist solver: ok" in out
+
+    def test_kernel_backend_stats_and_call_graph(self, figure1_file,
+                                                 capsys):
+        assert main([
+            "analyze", figure1_file, "--backend", "kernel",
+            "--stats", "--call-graph",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "call graph:" in out
+        assert "rule_evaluations=" in out
+        assert "relation" in out and "inserts" in out
+
+    def test_backend_worklist_is_default_path(self, figure1_file, capsys):
+        assert main([
+            "analyze", figure1_file, "--config", "1-call",
+            "--backend", "worklist", "--var", "T.main/x1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "T.main/x1 -> {h1}" in out
+        assert "parity with worklist solver" not in out
+
+    def test_mismatch_exits_nonzero(self, figure1_file, capsys,
+                                    monkeypatch):
+        from repro.compile import emit
+
+        monkeypatch.setattr(
+            emit.CompiledResult, "pts",
+            property(lambda self: (
+                self.relations.get("pts", set())
+                | {("bogus/var", "bogus-heap", "ctx")}
+            )),
+        )
+        assert main([
+            "analyze", figure1_file, "--config", "1-call",
+            "--backend", "kernel",
+        ]) == 1
+        assert "parity with worklist solver: MISMATCH" in (
+            capsys.readouterr().out
+        )
 
 
 class TestLintShardPlan:
