@@ -129,8 +129,13 @@ def format_csv(table: Figure6) -> str:
 #: certificate); ``/6`` adds the additive ``kernels`` field (the
 #: columnar kernel-backend workload of :mod:`repro.bench.kernelbench`:
 #: generic engine vs fused integer kernels vs sharded kernels, with
-#: parity and certificate).
-JSON_SCHEMA = "repro-figure6/6"
+#: parity and certificate); ``/7`` adds the additive ``serving`` field
+#: (the open-loop serving workload of :mod:`repro.bench.loadbench`:
+#: threaded ``repro-serve/1`` server vs asyncio ``repro-serve/2``
+#: gateway under fixed arrival rates, with steady-state latency
+#: percentiles, SLO attainment, overload behaviour, warm-start
+#: economics and response parity).
+JSON_SCHEMA = "repro-figure6/7"
 
 
 def _measurement_json(measurement: Measurement) -> Dict:
@@ -155,8 +160,9 @@ def figure6_json(
     checks: Optional[Dict] = None,
     parallel: Optional[Dict] = None,
     kernels: Optional[Dict] = None,
+    serving: Optional[Dict] = None,
 ) -> Dict:
-    """The table as a JSON-serializable dict (schema ``repro-figure6/6``).
+    """The table as a JSON-serializable dict (schema ``repro-figure6/7``).
 
     Top-level keys: ``schema``, the run parameters (``scale``,
     ``repetitions``, ``engine``; ``None`` when unknown), ``benchmarks``,
@@ -175,7 +181,11 @@ def figure6_json(
     ``kernels`` (new in ``/6``, the columnar kernel-backend workload of
     :func:`repro.bench.kernelbench.run_kernel_block`: generic engine vs
     fused integer kernels vs sharded kernels, with exact parity and the
-    shard-safety certificate).
+    shard-safety certificate) and ``serving`` (new in ``/7``, the
+    open-loop serving workload of
+    :func:`repro.bench.loadbench.run_serving_block`: threaded server vs
+    async gateway throughput and latency percentiles at fixed arrival
+    rates, overload behaviour and warm-start economics).
     Each cell carries
     both abstractions' measurements (sizes, CI sizes, total, seconds,
     and per-relation store counters when available) plus the derived
@@ -187,6 +197,7 @@ def figure6_json(
         "checks": checks,
         "parallel": parallel,
         "kernels": kernels,
+        "serving": serving,
         "schema": JSON_SCHEMA,
         "scale": scale,
         "repetitions": repetitions,
@@ -230,13 +241,14 @@ def format_json(
     checks: Optional[Dict] = None,
     parallel: Optional[Dict] = None,
     kernels: Optional[Dict] = None,
+    serving: Optional[Dict] = None,
 ) -> str:
     """:func:`figure6_json` serialized (indented, trailing newline)."""
     return json.dumps(
         figure6_json(table, scale=scale, repetitions=repetitions,
                      engine=engine, query_latency=query_latency,
                      incremental=incremental, checks=checks,
-                     parallel=parallel, kernels=kernels),
+                     parallel=parallel, kernels=kernels, serving=serving),
         indent=2,
     ) + "\n"
 

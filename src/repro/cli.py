@@ -608,16 +608,25 @@ def cmd_serve(args) -> int:
     from repro.service import AnalysisService, SnapshotError
     from repro.service.server import PROTOCOL, serve_stdio, serve_tcp
 
+    if args.async_:
+        return _serve_async(args)
     try:
         if args.snapshot:
+            if len(args.snapshot) > 1:
+                print(
+                    "repro serve: multiple --snapshot tenants need"
+                    " --async",
+                    file=sys.stderr,
+                )
+                return 2
             service = AnalysisService.from_snapshot(
-                args.snapshot, cache_size=args.cache_size
+                args.snapshot[0], cache_size=args.cache_size
             )
         else:
             facts = _load_facts(args)
             service = AnalysisService.from_facts(
                 facts, _analysis_config(args), solve=not args.demand,
-                cache_size=args.cache_size,
+                cache_size=args.cache_size, backend=args.backend,
             )
     except SnapshotError as error:
         print(f"repro serve: {error}", file=sys.stderr)
@@ -637,6 +646,95 @@ def cmd_serve(args) -> int:
             pass
         return 0
     serve_stdio(service)
+    return 0
+
+
+def _serve_async(args) -> int:
+    """``repro serve --async``: the repro-serve/2 gateway."""
+    import asyncio
+    import signal
+
+    from repro.serve import (
+        AsyncGateway, GatewayConfig, PROTOCOL_V2, SnapshotRegistry,
+    )
+    from repro.service import AnalysisService, SnapshotError
+
+    if not args.tcp:
+        print(
+            "repro serve: --async requires --tcp HOST:PORT",
+            file=sys.stderr,
+        )
+        return 2
+    registry = SnapshotRegistry(byte_budget=args.byte_budget)
+    try:
+        for entry in args.snapshot or ():
+            alias, separator, path = entry.partition("=")
+            if not separator:
+                alias, path = None, entry
+            digest = registry.register(path, alias=alias)
+            print(
+                f"repro serve: tenant {digest[:12]} <- {path}"
+                + (f" (alias {alias})" if alias else ""),
+                file=sys.stderr,
+            )
+        if args.source or args.facts_dir:
+            facts = _load_facts(args)
+            service = AnalysisService.from_facts(
+                facts, _analysis_config(args),
+                cache_size=args.cache_size, backend=args.backend,
+            )
+            digest = registry.add_service(service, alias="program")
+            print(
+                f"repro serve: tenant {digest[:12]} <- solved program"
+                " (alias program)",
+                file=sys.stderr,
+            )
+    except (SnapshotError, OSError, ValueError) as error:
+        print(f"repro serve: {error}", file=sys.stderr)
+        return 1
+    if not registry.tenants():
+        print(
+            "repro serve: --async needs at least one --snapshot or a"
+            " program to solve",
+            file=sys.stderr,
+        )
+        return 2
+    gateway_config = GatewayConfig(
+        max_batch=args.batch_max,
+        max_delay_ms=args.batch_delay_ms,
+        queue_limit=args.queue_limit,
+        op_timeout_s=args.op_timeout,
+        workers=args.workers,
+    )
+    host, _, port = args.tcp.rpartition(":")
+
+    async def _main() -> None:
+        loop = asyncio.get_running_loop()
+        gateway = AsyncGateway(registry, gateway_config)
+        try:
+            loop.add_signal_handler(signal.SIGTERM, gateway.start_drain)
+        except NotImplementedError:  # pragma: no cover - non-POSIX
+            pass
+        ready = loop.create_future()
+        task = loop.create_task(
+            gateway.serve(host or "127.0.0.1", int(port), ready=ready)
+        )
+        bound_host, bound_port = await ready
+        print(
+            f"repro serve: gateway listening on"
+            f" {bound_host}:{bound_port} ({PROTOCOL_V2},"
+            f" {len(registry.tenants())} tenant(s), batch"
+            f" {gateway_config.max_batch}@{gateway_config.max_delay_ms}ms,"
+            f" queue {gateway_config.queue_limit})",
+            file=sys.stderr,
+        )
+        await task
+        print("repro serve: gateway drained", file=sys.stderr)
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
     return 0
 
 
@@ -968,12 +1066,21 @@ def cmd_figure6(args) -> int:
             kernels = run_kernel_block(scale=args.scale)
             print()
             print(format_kernels(kernels))
+        serving = None
+        if not args.no_serving:
+            from repro.bench.loadbench import (
+                format_serving, run_serving_block,
+            )
+
+            serving = run_serving_block(scale=args.scale)
+            print()
+            print(format_serving(serving))
         with open(args.json, "w", encoding="utf-8") as handle:
             handle.write(format_json(
                 table, scale=args.scale, repetitions=args.repetitions,
                 engine="solver", query_latency=query_latency,
                 incremental=incremental, checks=checks,
-                parallel=parallel, kernels=kernels,
+                parallel=parallel, kernels=kernels, serving=serving,
             ))
         print(f"\nwrote JSON to {args.json}")
     return 0
@@ -1149,12 +1256,18 @@ def build_parser() -> argparse.ArgumentParser:
         help=argparse.SUPPRESS,
     )
     p_serve.add_argument(
-        "--snapshot", metavar="PATH",
-        help="serve from this repro-snapshot/2 file (no solving)",
+        "--snapshot", metavar="[ALIAS=]PATH", action="append",
+        help="serve from this repro-snapshot/2 file (no solving);"
+        " repeatable with --async, where ALIAS= names the tenant",
     )
     p_serve.add_argument(
         "--demand", action="store_true",
         help="skip the up-front solve; answer every query demand-driven",
+    )
+    p_serve.add_argument(
+        "--backend", default="worklist", choices=("worklist", "kernel"),
+        help="cold-solve engine (kernel = fused columnar kernels,"
+        " bit-identical; default: worklist)",
     )
     p_serve.add_argument(
         "--tcp", metavar="HOST:PORT",
@@ -1163,6 +1276,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--cache-size", type=int, default=1024,
         help="LRU query-cache capacity (default: 1024)",
+    )
+    p_serve.add_argument(
+        "--async", dest="async_", action="store_true",
+        help="run the repro-serve/2 asyncio gateway (multi-tenant,"
+        " micro-batched, admission-controlled); requires --tcp",
+    )
+    p_serve.add_argument(
+        "--batch-max", type=int, default=16,
+        help="gateway: flush a tenant's micro-batch at this many"
+        " requests (default: 16)",
+    )
+    p_serve.add_argument(
+        "--batch-delay-ms", type=float, default=2.0,
+        help="gateway: max time a request waits for its batch to fill"
+        " (default: 2.0)",
+    )
+    p_serve.add_argument(
+        "--queue-limit", type=int, default=256,
+        help="gateway: admitted requests before explicit overload"
+        " responses (default: 256)",
+    )
+    p_serve.add_argument(
+        "--op-timeout", type=float, default=30.0,
+        help="gateway: max queue wait before a timeout response"
+        " (default: 30.0s)",
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=4,
+        help="gateway: executor threads running batches (default: 4)",
+    )
+    p_serve.add_argument(
+        "--byte-budget", type=int, default=None,
+        help="gateway: LRU byte budget for warm snapshot-backed"
+        " tenants (default: unbounded)",
     )
     p_serve.set_defaults(func=cmd_serve)
 
@@ -1240,7 +1387,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument(
         "--json",
         help="also write machine-readable JSON here"
-        " (schema repro-figure6/6, see docs/api.md)",
+        " (schema repro-figure6/7, see docs/api.md)",
     )
     p_fig.add_argument(
         "--no-query-latency", action="store_true",
@@ -1261,6 +1408,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument(
         "--no-kernels", action="store_true",
         help="omit the kernel-backend workload from the JSON",
+    )
+    p_fig.add_argument(
+        "--no-serving", action="store_true",
+        help="omit the open-loop serving workload from the JSON",
     )
     p_fig.set_defaults(func=cmd_figure6)
     return parser

@@ -1,0 +1,585 @@
+"""The asyncio serving gateway (``repro serve --async``).
+
+The threaded ``repro-serve/1`` server spends one OS thread per
+connection and one lock round-trip per request; under many concurrent
+clients most of its time goes to GIL hand-offs, not analysis.  The
+gateway inverts the design:
+
+* **One event loop** owns every connection.  Reads, protocol
+  validation, admission control and response writes are all
+  non-blocking; clients may pipeline requests freely.
+* **Micro-batching** — compatible (read-only) operations for one
+  tenant are collected for up to ``max_delay_ms`` or ``max_batch``
+  requests, then executed as *one* hop to a worker thread: one lock
+  acquisition, one GIL transition, many answers.  Responses are
+  JSON-encoded inside the worker, so the loop only writes bytes.
+* **Barriers** — ``update`` flushes the pending batch, runs alone,
+  and only then do later requests execute: per-tenant arrival order
+  is execution order, which is what makes gateway results
+  bit-identical to a sequential replay against the plain service.
+* **Admission control** — at most ``queue_limit`` requests may be
+  admitted (queued + executing) at once; the next one is answered
+  ``code: "overload"`` immediately.  A request that waits past
+  ``op_timeout_s`` before its batch starts is answered
+  ``code: "timeout"`` without executing.  Overload is a fast explicit
+  *no*, never a hung connection.
+* **Graceful drain** — SIGTERM (or ``{"op": "shutdown", "scope":
+  "gateway"}``) stops accepting connections, answers everything
+  already admitted, rejects new requests with ``code: "draining"``,
+  and resolves :meth:`AsyncGateway.serve` once quiet.
+
+Statistics (the no-tenant ``stats`` op) report per-op p50/p95/p99
+latency, queue depth, batch-size distribution and the registry's
+hit/restore/eviction counters.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.serve.protocol import PROTOCOL_V2, classify, validate
+from repro.serve.registry import SnapshotRegistry, UnknownTenantError
+from repro.service.server import (
+    MAX_LINE_BYTES,
+    error_response,
+    handle_request,
+)
+
+
+@dataclass
+class GatewayConfig:
+    """The gateway's knobs (CLI flags map onto these one-to-one)."""
+
+    max_batch: int = 16          # flush a tenant's batch at this size
+    max_delay_ms: float = 2.0    # …or after this long, whichever first
+    queue_limit: int = 256       # admitted requests (queued + running)
+    op_timeout_s: float = 30.0   # max queue wait before "timeout"
+    workers: int = 4             # executor threads running batches
+    max_line_bytes: int = MAX_LINE_BYTES
+    drain_grace_s: float = 5.0   # wait for in-flight work on drain
+
+
+class _Reservoir:
+    """Bounded latency sample (newest-wins ring) with percentiles."""
+
+    __slots__ = ("samples", "count", "capacity", "_next")
+
+    def __init__(self, capacity: int = 4096):
+        self.samples: List[float] = []
+        self.count = 0
+        self.capacity = capacity
+        self._next = 0
+
+    def add(self, seconds: float) -> None:
+        self.count += 1
+        if len(self.samples) < self.capacity:
+            self.samples.append(seconds)
+        else:
+            self.samples[self._next] = seconds
+            self._next = (self._next + 1) % self.capacity
+
+    def percentiles(self) -> Dict[str, Optional[int]]:
+        if not self.samples:
+            return {"count": 0, "p50_us": None, "p95_us": None,
+                    "p99_us": None}
+        ordered = sorted(self.samples)
+
+        def at(fraction: float) -> int:
+            index = min(
+                len(ordered) - 1,
+                max(0, int(round(fraction * (len(ordered) - 1)))),
+            )
+            return int(ordered[index] * 1e6)
+
+        return {
+            "count": self.count,
+            "p50_us": at(0.50),
+            "p95_us": at(0.95),
+            "p99_us": at(0.99),
+        }
+
+
+@dataclass
+class GatewayStats:
+    """Everything the no-tenant ``stats`` op reports."""
+
+    requests: int = 0
+    answered: int = 0
+    batches: int = 0
+    batched_requests: int = 0
+    max_queue_depth: int = 0
+    errors: Dict[str, int] = field(default_factory=dict)
+    latency: Dict[str, _Reservoir] = field(default_factory=dict)
+    batch_sizes: _Reservoir = field(default_factory=lambda: _Reservoir())
+
+    def record_latency(self, op: str, seconds: float) -> None:
+        reservoir = self.latency.get(op)
+        if reservoir is None:
+            reservoir = self.latency[op] = _Reservoir()
+        reservoir.add(seconds)
+
+    def record_error(self, code: str) -> None:
+        self.errors[code] = self.errors.get(code, 0) + 1
+
+    def as_dict(self, queue_depth: int, draining: bool) -> Dict:
+        sizes = self.batch_sizes.samples
+        return {
+            "protocol": PROTOCOL_V2,
+            "requests": self.requests,
+            "answered": self.answered,
+            "draining": draining,
+            "queue": {
+                "depth": queue_depth,
+                "max_depth": self.max_queue_depth,
+            },
+            "batches": {
+                "count": self.batches,
+                "batched_requests": self.batched_requests,
+                "mean_size": (
+                    sum(sizes) / len(sizes) if sizes else None
+                ),
+                "max_size": max(sizes) if sizes else None,
+            },
+            "errors": dict(sorted(self.errors.items())),
+            "latency_us": {
+                op: reservoir.percentiles()
+                for op, reservoir in sorted(self.latency.items())
+            },
+        }
+
+
+class _Item:
+    """One admitted request riding through a tenant lane."""
+
+    __slots__ = ("request", "op", "connection", "arrival")
+
+    def __init__(self, request: Dict, op: str, connection: "_Connection",
+                 arrival: float):
+        self.request = request
+        self.op = op
+        self.connection = connection
+        self.arrival = arrival
+
+
+class _Connection:
+    """Per-connection write side: one lock, ordered writes."""
+
+    def __init__(self, writer: asyncio.StreamWriter):
+        self.writer = writer
+        self.lock = asyncio.Lock()
+        self.closed = False
+
+    async def send(self, encoded: str) -> None:
+        if self.closed:
+            return
+        async with self.lock:
+            if self.closed:
+                return
+            try:
+                self.writer.write(encoded.encode("utf-8") + b"\n")
+                await self.writer.drain()
+            except (ConnectionError, RuntimeError):
+                self.closed = True
+
+
+class _TenantLane:
+    """Serial execution lane for one tenant.
+
+    Admitted work becomes units — a unit is either a batch of
+    compatible requests or a lone barrier — processed strictly in
+    order by this lane's worker task.  Batching happens at the mouth:
+    requests append to ``pending`` until the batch fills, the delay
+    timer fires, or a barrier arrives.
+    """
+
+    def __init__(self, gateway: "AsyncGateway", tenant: str):
+        self.gateway = gateway
+        self.tenant = tenant
+        self.pending: List[_Item] = []
+        self.units: "asyncio.Queue[List[_Item]]" = asyncio.Queue()
+        self._timer: Optional[asyncio.TimerHandle] = None
+        self.task = asyncio.get_running_loop().create_task(self._run())
+
+    def submit(self, item: _Item, barrier: bool) -> None:
+        if barrier:
+            self._flush()
+            self.units.put_nowait([item])
+            return
+        self.pending.append(item)
+        if len(self.pending) >= self.gateway.config.max_batch:
+            self._flush()
+        elif self._timer is None:
+            loop = asyncio.get_running_loop()
+            self._timer = loop.call_later(
+                self.gateway.config.max_delay_ms / 1000.0, self._flush
+            )
+
+    def _flush(self) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if self.pending:
+            self.units.put_nowait(self.pending)
+            self.pending = []
+
+    async def _run(self) -> None:
+        while True:
+            unit = await self.units.get()
+            try:
+                await self.gateway._execute_unit(self.tenant, unit)
+            finally:
+                self.units.task_done()
+
+
+class AsyncGateway:
+    """The ``repro-serve/2`` asyncio gateway over a snapshot registry."""
+
+    def __init__(
+        self,
+        registry: SnapshotRegistry,
+        config: Optional[GatewayConfig] = None,
+    ):
+        self.registry = registry
+        self.config = config or GatewayConfig()
+        self.stats = GatewayStats()
+        self.draining = False
+        self._inflight = 0
+        self._lanes: Dict[str, _TenantLane] = {}
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._drained = asyncio.Event()
+        self._connections: "set[_Connection]" = set()
+        self._connection_tasks: "set[asyncio.Task]" = set()
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def serve(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        ready: Optional["asyncio.Future"] = None,
+    ) -> None:
+        """Listen until drained.  ``ready`` (if given) resolves to the
+        bound ``(host, port)`` once accepting."""
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.workers,
+            thread_name_prefix="repro-gateway",
+        )
+        self._server = await asyncio.start_server(
+            self._on_connection, host, port,
+            limit=self.config.max_line_bytes + 2,
+        )
+        bound = self._server.sockets[0].getsockname()[:2]
+        if ready is not None and not ready.done():
+            ready.set_result(bound)
+        try:
+            await self._drained.wait()
+        finally:
+            self._server.close()
+            await self._server.wait_closed()
+            for lane in self._lanes.values():
+                lane.task.cancel()
+            for connection in list(self._connections):
+                connection.closed = True
+                try:
+                    connection.writer.close()
+                except Exception:
+                    pass
+            if self._connection_tasks:
+                # Closing the transports feeds each reader EOF; the
+                # tasks finish on their own (cancelling them instead
+                # makes asyncio's stream wrapper log the cancellation).
+                await asyncio.wait(
+                    list(self._connection_tasks), timeout=2.0
+                )
+            self._executor.shutdown(wait=False)
+
+    def start_drain(self) -> None:
+        """Stop accepting, answer what's admitted, then resolve
+        :meth:`serve`.  Idempotent; safe to call from the loop only."""
+        if self.draining:
+            return
+        self.draining = True
+        if self._server is not None:
+            self._server.close()
+        asyncio.get_running_loop().create_task(self._finish_drain())
+
+    async def _finish_drain(self) -> None:
+        deadline = (
+            asyncio.get_running_loop().time() + self.config.drain_grace_s
+        )
+        for lane in self._lanes.values():
+            lane._flush()
+        while self._inflight > 0:
+            if asyncio.get_running_loop().time() >= deadline:
+                break
+            await asyncio.sleep(0.01)
+        self._drained.set()
+
+    # -- connection handling --------------------------------------------
+
+    async def _on_connection(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        connection = _Connection(writer)
+        self._connections.add(connection)
+        task = asyncio.current_task()
+        if task is not None:
+            self._connection_tasks.add(task)
+            task.add_done_callback(self._connection_tasks.discard)
+        try:
+            while not connection.closed:
+                try:
+                    raw = await reader.readline()
+                except (ConnectionError, OSError):
+                    break
+                except (ValueError, asyncio.LimitOverrunError):
+                    # The line outgrew the stream limit; the read
+                    # position is unrecoverable mid-line, so answer
+                    # and close (the sync server can skip-and-continue
+                    # because it controls its own buffering).
+                    response = error_response(
+                        None, "oversized",
+                        f"request line exceeds the"
+                        f" {self.config.max_line_bytes}-byte limit",
+                    )
+                    self.stats.record_error("oversized")
+                    await connection.send(json.dumps(response))
+                    break
+                if not raw:
+                    break
+                line = raw.decode("utf-8", "replace").strip()
+                if not line:
+                    continue
+                stop = await self._on_line(connection, line)
+                if stop:
+                    break
+        finally:
+            self._connections.discard(connection)
+            connection.closed = True
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def _on_line(self, connection: _Connection, line: str) -> bool:
+        """Handle one request line; True means close the connection."""
+        self.stats.requests += 1
+        if len(line) > self.config.max_line_bytes:
+            await self._reject(
+                connection, None, "oversized",
+                f"request line of {len(line)} bytes exceeds the"
+                f" {self.config.max_line_bytes}-byte limit",
+            )
+            return False
+        try:
+            request = json.loads(line)
+        except json.JSONDecodeError as error:
+            await self._reject(
+                connection, None, "bad-json", f"bad JSON: {error}"
+            )
+            return False
+        op, invalid = validate(request)
+        if invalid is not None:
+            self.stats.record_error(invalid["code"])
+            await connection.send(json.dumps(invalid))
+            return False
+        kind = classify(request)
+        request_id = request.get("id")
+        if kind == "gateway":
+            return await self._gateway_op(connection, request, op)
+        # tenant-routed work from here on
+        if self.draining:
+            await self._reject(
+                connection, request_id, "draining",
+                "gateway is draining; no new work admitted",
+            )
+            return False
+        if self._inflight >= self.config.queue_limit:
+            await self._reject(
+                connection, request_id, "overload",
+                f"gateway queue is full ({self.config.queue_limit}"
+                " admitted requests); retry with backoff",
+            )
+            return False
+        tenant = request.get("tenant") or self.registry.default_tenant()
+        if tenant is None:
+            await self._reject(
+                connection, request_id, "unknown-tenant",
+                "no 'tenant' given and more than one program is"
+                " registered",
+            )
+            return False
+        try:
+            digest = self.registry.resolve(tenant)
+        except UnknownTenantError:
+            await self._reject(
+                connection, request_id, "unknown-tenant",
+                f"unknown tenant {tenant!r}",
+            )
+            return False
+        self._inflight += 1
+        self.stats.max_queue_depth = max(
+            self.stats.max_queue_depth, self._inflight
+        )
+        item = _Item(
+            request, op, connection, asyncio.get_running_loop().time()
+        )
+        lane = self._lanes.get(digest)
+        if lane is None:
+            lane = self._lanes[digest] = _TenantLane(self, digest)
+        lane.submit(item, barrier=(kind == "barrier"))
+        return False
+
+    async def _gateway_op(
+        self, connection: _Connection, request: Dict, op: str
+    ) -> bool:
+        request_id = request.get("id")
+        if op == "ping":
+            response = {"id": request_id, "ok": True, "result": PROTOCOL_V2}
+        elif op == "tenants":
+            response = {
+                "id": request_id, "ok": True,
+                "result": self.registry.tenants(),
+            }
+        elif op == "shutdown":
+            response = {"id": request_id, "ok": True, "result": "bye"}
+            await connection.send(json.dumps(response))
+            if request.get("scope") == "gateway":
+                self.start_drain()
+            self.stats.answered += 1
+            return True
+        else:  # "stats" without a tenant
+            response = {
+                "id": request_id, "ok": True,
+                "result": {
+                    **self.stats.as_dict(self._inflight, self.draining),
+                    "registry": self.registry.describe(),
+                },
+            }
+        await connection.send(json.dumps(response))
+        self.stats.answered += 1
+        return False
+
+    async def _reject(
+        self, connection: _Connection, request_id, code: str, message: str
+    ) -> None:
+        self.stats.record_error(code)
+        self.stats.answered += 1
+        await connection.send(
+            json.dumps(error_response(request_id, code, message))
+        )
+
+    # -- execution ------------------------------------------------------
+
+    async def _execute_unit(self, digest: str, unit: List[_Item]) -> None:
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        live: List[_Item] = []
+        for item in unit:
+            if now - item.arrival > self.config.op_timeout_s:
+                self._inflight -= 1
+                await self._reject(
+                    item.connection, item.request.get("id"), "timeout",
+                    f"request waited {now - item.arrival:.2f}s in queue,"
+                    f" past the {self.config.op_timeout_s}s deadline",
+                )
+            else:
+                live.append(item)
+        if not live:
+            return
+        self.stats.batches += 1
+        self.stats.batched_requests += len(live)
+        self.stats.batch_sizes.add(len(live))
+        requests = [item.request for item in live]
+        try:
+            encoded = await loop.run_in_executor(
+                self._executor, self._run_batch, digest, requests
+            )
+        except Exception as error:  # registry/executor failure
+            encoded = [
+                json.dumps(error_response(
+                    request.get("id"), "op-failed", str(error)
+                ))
+                for request in requests
+            ]
+        done = loop.time()
+        for item, line in zip(live, encoded):
+            self._inflight -= 1
+            self.stats.answered += 1
+            self.stats.record_latency(item.op, done - item.arrival)
+            await item.connection.send(line)
+
+    def _run_batch(self, digest: str, requests: List[Dict]) -> List[str]:
+        """Worker-thread body: acquire once, answer all, encode all."""
+        service = self.registry.acquire(digest)
+        out: List[str] = []
+        for request in requests:
+            request = (
+                {key: value for key, value in request.items()
+                 if key != "tenant"}
+            )
+            out.append(json.dumps(handle_request(service, request)))
+        return out
+
+
+def run_gateway_in_thread(
+    registry: SnapshotRegistry,
+    config: Optional[GatewayConfig] = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> Tuple["AsyncGateway", Tuple[str, int], "threading.Thread", "object"]:
+    """Run a gateway on a background event loop (tests, benchmarks).
+
+    Returns ``(gateway, (host, port), thread, stop)`` where ``stop()``
+    initiates a drain and joins the thread.
+    """
+    gateway_box: List[AsyncGateway] = []
+    bound_box: List[Tuple[str, int]] = []
+    loop_box: List[asyncio.AbstractEventLoop] = []
+    started = threading.Event()
+
+    def _main() -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        loop_box.append(loop)
+
+        async def _serve() -> None:
+            gateway = AsyncGateway(registry, config)
+            gateway_box.append(gateway)
+            ready = loop.create_future()
+
+            async def _announce() -> None:
+                bound_box.append(await ready)
+                started.set()
+
+            announce = loop.create_task(_announce())
+            await gateway.serve(host, port, ready=ready)
+            await announce
+
+        try:
+            loop.run_until_complete(_serve())
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=_main, daemon=True)
+    thread.start()
+    if not started.wait(timeout=30):
+        raise RuntimeError("gateway failed to start within 30s")
+    gateway = gateway_box[0]
+    loop = loop_box[0]
+
+    def stop(timeout: float = 30.0) -> None:
+        if thread.is_alive():
+            loop.call_soon_threadsafe(gateway.start_drain)
+            thread.join(timeout=timeout)
+
+    return gateway, bound_box[0], thread, stop

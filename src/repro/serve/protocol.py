@@ -1,0 +1,129 @@
+"""The ``repro-serve/2`` wire protocol.
+
+Version 2 keeps the JSON-lines framing and the operation set of
+``repro-serve/1`` (:mod:`repro.service.server`) and adds what a
+multi-tenant gateway needs:
+
+* **Tenant routing** — every service operation may carry a ``tenant``
+  field naming a registered program (a snapshot digest or an alias).
+  With exactly one tenant registered the field is optional; with more,
+  omitting it is an ``unknown-tenant`` error.
+* **Pipelining** — clients may write many requests before reading any
+  response.  Responses echo the request ``id``; *same-tenant* requests
+  from one connection are answered in arrival order, cross-tenant
+  requests may interleave (hence the ids).
+* **Admission control** — the gateway bounds its queue and its
+  patience, and says so: an over-budget request is answered
+  immediately with ``code: "overload"``, one that waited past the
+  per-op deadline with ``code: "timeout"``, and one arriving during
+  shutdown with ``code: "draining"`` — never a silently dropped
+  connection.
+
+Requests and responses are exactly the ``repro-serve/1`` shapes (see
+:mod:`repro.service.server`), with ``ping`` answering
+``"repro-serve/2"`` and two gateway-level operations added:
+
+* ``{"op": "stats"}`` *without* a tenant returns the gateway's own
+  statistics (per-op latency percentiles, queue depth, batch sizes,
+  registry hit rate); with a tenant it returns that service's
+  :meth:`~repro.service.AnalysisService.stats` as in version 1.
+* ``{"op": "tenants"}`` lists the registered tenants.
+* ``{"op": "shutdown"}`` closes the connection; with
+  ``"scope": "gateway"`` it initiates a graceful drain of the whole
+  gateway.
+
+This module is the pure-data part: constants, operation
+classification, and request validation shared by the gateway and the
+load generator.  No sockets, no asyncio.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.service.server import (
+    ERROR_CODES,
+    _REQUIRED_FIELDS,
+    error_response,
+)
+
+PROTOCOL_V2 = "repro-serve/2"
+
+#: Admission-control codes the gateway adds on top of the
+#: ``repro-serve/1`` :data:`~repro.service.server.ERROR_CODES`.
+ADMISSION_ERROR_CODES = (
+    "overload",        # queue_limit reached: rejected at the door
+    "timeout",         # waited past the per-op deadline in the queue
+    "draining",        # the gateway is shutting down
+    "unknown-tenant",  # "tenant" names no registered program
+)
+
+#: Every code a ``repro-serve/2`` response may carry.
+ALL_ERROR_CODES = ERROR_CODES + ADMISSION_ERROR_CODES
+
+#: Read-only service operations the gateway may execute together in
+#: one micro-batch (they share the service's read path and commute).
+BATCHABLE_OPS = frozenset(
+    {"points_to", "alias", "callees", "fields_of", "check", "stats"}
+)
+
+#: Operations that mutate the tenant's service.  A barrier: pending
+#: batches flush first, the barrier runs alone, later work queues
+#: behind it — per-tenant arrival order is always execution order.
+BARRIER_OPS = frozenset({"update"})
+
+#: Operations the gateway answers itself, on the event loop, without
+#: touching any tenant service.
+GATEWAY_OPS = frozenset({"ping", "tenants", "shutdown"})
+
+
+def classify(request: Dict) -> str:
+    """``"gateway"``, ``"barrier"``, ``"batch"`` or ``"invalid"``.
+
+    ``stats`` is the one op living on both sides of the tenant line:
+    without a ``tenant`` field it is a gateway op, with one it is a
+    batchable service op.
+    """
+    op = request.get("op") if isinstance(request, dict) else None
+    if op == "stats":
+        return "batch" if "tenant" in request else "gateway"
+    if op in GATEWAY_OPS:
+        return "gateway"
+    if op in BARRIER_OPS:
+        return "barrier"
+    if op in BATCHABLE_OPS:
+        return "batch"
+    return "invalid"
+
+
+def validate(request) -> Tuple[Optional[str], Optional[Dict]]:
+    """``(op, None)`` for a well-formed request, ``(None, error)`` not.
+
+    Mirrors the checks :func:`repro.service.server.handle_request`
+    performs, so the gateway can reject malformed requests on the
+    event loop without spending an executor slot on them.
+    """
+    if not isinstance(request, dict) or "op" not in request:
+        request_id = request.get("id") if isinstance(request, dict) else None
+        return None, error_response(
+            request_id, "bad-request",
+            "request must be an object with an 'op' field",
+        )
+    request_id = request.get("id")
+    op = request["op"]
+    if op == "tenants":  # gateway-only op, unknown to repro-serve/1
+        return op, None
+    required = _REQUIRED_FIELDS.get(op)
+    if required is None:
+        return None, error_response(
+            request_id, "unknown-op",
+            f"unknown op {op!r}; expected one of"
+            f" {sorted(set(_REQUIRED_FIELDS) | {'tenants'})}",
+        )
+    missing = [field for field in required if field not in request]
+    if missing:
+        return None, error_response(
+            request_id, "missing-field",
+            f"op {op!r} requires field(s) {missing}",
+        )
+    return op, None

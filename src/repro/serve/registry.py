@@ -1,0 +1,282 @@
+"""A multi-tenant registry of snapshot-backed analysis services.
+
+The gateway serves many programs.  Solving each one on first contact
+would make cold starts cost seconds; holding every solved service warm
+forever would make memory cost unbounded.  The registry sits between:
+
+* **Registration** loads a ``repro-snapshot/2`` document once (schema
+  and digest verified), remembers it in parsed form, and keys the
+  tenant by the document's content digest — two gateways pointed at
+  the same snapshot agree on the tenant name for free.  Optional
+  aliases (``--tenant name=path``) map friendly names to digests.
+* **Acquisition** hands out the warm
+  :class:`~repro.service.AnalysisService` for a tenant, restoring it
+  from the in-memory document on a miss — a restore is a
+  deserialization, never a solve.
+* **Eviction** keeps the *warm* set under a byte budget, LRU by
+  acquisition order.  A tenant's charge is its document's canonical
+  serialized size (:func:`repro.service.snapshot.document_byte_size`),
+  the same bytes its digest covers, so the accounting is deterministic
+  and digest-stable.  Evicting drops the service object only; the
+  document stays, and the next acquisition restores from it.
+
+Services registered directly with :meth:`SnapshotRegistry.add_service`
+(solved in-process, no snapshot document behind them) are *pinned*:
+they have nothing to restore from, so the LRU never evicts them and
+their size is not charged against the budget.
+
+Thread-safe; the gateway acquires from executor threads.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.service.service import AnalysisService
+from repro.service.snapshot import (
+    document_byte_size,
+    load_snapshot_document,
+)
+
+
+class UnknownTenantError(KeyError):
+    """The tenant names no registered program."""
+
+
+@dataclass
+class RegistryStats:
+    """Counters the gateway folds into its ``stats`` op."""
+
+    hits: int = 0          # acquisitions answered by a warm service
+    restores: int = 0      # acquisitions that deserialized the document
+    evictions: int = 0     # warm services dropped by the byte budget
+    restore_seconds: float = 0.0
+
+    def as_dict(self) -> Dict:
+        total = self.hits + self.restores
+        return {
+            "hits": self.hits,
+            "restores": self.restores,
+            "evictions": self.evictions,
+            "hit_rate": (self.hits / total) if total else None,
+            "restore_seconds": self.restore_seconds,
+        }
+
+
+@dataclass
+class _Tenant:
+    """One registered program."""
+
+    digest: str
+    path: Optional[str]              # None for add_service tenants
+    document: Optional[Dict]         # parsed snapshot; None when pinned
+    byte_size: int                   # canonical body bytes (0 if pinned)
+    service: Optional[AnalysisService] = None
+    aliases: List[str] = field(default_factory=list)
+
+    @property
+    def pinned(self) -> bool:
+        return self.document is None
+
+    @property
+    def warm(self) -> bool:
+        return self.service is not None
+
+
+class SnapshotRegistry:
+    """Digest-keyed tenants with LRU byte-budget eviction of warm ones.
+
+    ``byte_budget=None`` means unbounded (every restored service stays
+    warm).  The budget bounds the *sum of canonical document bytes* of
+    snapshot-backed warm services; it is an eviction threshold, not an
+    admission check — a single tenant larger than the budget still
+    restores, and simply never shares warmth with anyone.
+    """
+
+    def __init__(self, byte_budget: Optional[int] = None):
+        if byte_budget is not None and byte_budget < 0:
+            raise ValueError("byte_budget must be >= 0 or None")
+        self.byte_budget = byte_budget
+        self.stats = RegistryStats()
+        self._lock = threading.RLock()
+        #: digest -> tenant, in LRU order (least recent first).
+        self._tenants: "OrderedDict[str, _Tenant]" = OrderedDict()
+        self._aliases: Dict[str, str] = {}
+
+    # -- registration ---------------------------------------------------
+
+    def register(self, path: str, alias: Optional[str] = None) -> str:
+        """Load a snapshot file and register its program; returns the
+        tenant digest.  Re-registering the same content is idempotent
+        (the alias, if new, is added to the existing tenant)."""
+        document = load_snapshot_document(path)
+        digest = document["digest"]
+        with self._lock:
+            tenant = self._tenants.get(digest)
+            if tenant is None:
+                tenant = _Tenant(
+                    digest=digest,
+                    path=path,
+                    document=document,
+                    byte_size=document_byte_size(document),
+                )
+                self._tenants[digest] = tenant
+            if alias:
+                self._bind_alias(alias, tenant)
+        return digest
+
+    def add_service(
+        self, service: AnalysisService, alias: Optional[str] = None
+    ) -> str:
+        """Register an already-solved service as a pinned tenant.
+
+        Keyed by the digest of the service's own snapshot document, so
+        the name is the same one :meth:`register` would have assigned.
+        """
+        from repro.service.snapshot import (
+            snapshot_from_relations,
+            snapshot_to_document,
+        )
+
+        if service._backend is None:
+            raise ValueError(
+                "add_service requires a solved service (demand-only"
+                " services have no digestable result)"
+            )
+        snapshot = snapshot_from_relations(
+            service.config,
+            service.facts,
+            service._relations_of(service._backend),
+            generation=service.generation,
+        )
+        digest = snapshot_to_document(snapshot)["digest"]
+        with self._lock:
+            tenant = self._tenants.get(digest)
+            if tenant is None:
+                tenant = _Tenant(
+                    digest=digest, path=None, document=None, byte_size=0,
+                    service=service,
+                )
+                self._tenants[digest] = tenant
+            elif tenant.service is None:
+                tenant.service = service
+            if alias:
+                self._bind_alias(alias, tenant)
+        return digest
+
+    def _bind_alias(self, alias: str, tenant: _Tenant) -> None:
+        bound = self._aliases.get(alias)
+        if bound is not None and bound != tenant.digest:
+            raise ValueError(
+                f"alias {alias!r} already bound to tenant {bound[:12]}…"
+            )
+        self._aliases[alias] = tenant.digest
+        if alias not in tenant.aliases:
+            tenant.aliases.append(alias)
+
+    # -- acquisition ----------------------------------------------------
+
+    def resolve(self, tenant: str) -> str:
+        """Alias or digest (or unique digest prefix) → digest."""
+        with self._lock:
+            if tenant in self._aliases:
+                return self._aliases[tenant]
+            if tenant in self._tenants:
+                return tenant
+            prefixed = [
+                digest for digest in self._tenants
+                if digest.startswith(tenant)
+            ]
+            if len(prefixed) == 1:
+                return prefixed[0]
+            raise UnknownTenantError(tenant)
+
+    def acquire(self, tenant: str) -> AnalysisService:
+        """The warm service for ``tenant``, restoring it if evicted.
+
+        Raises :class:`UnknownTenantError` for unregistered tenants.
+        The restore (on a miss) runs under the registry lock — two
+        concurrent acquisitions of one cold tenant deserialize once.
+        """
+        with self._lock:
+            digest = self.resolve(tenant)
+            entry = self._tenants[digest]
+            self._tenants.move_to_end(digest)
+            if entry.service is not None:
+                self.stats.hits += 1
+                return entry.service
+            start = time.perf_counter()
+            entry.service = AnalysisService.from_snapshot_document(
+                entry.document, path=entry.path or "<registry>"
+            )
+            self.stats.restores += 1
+            self.stats.restore_seconds += time.perf_counter() - start
+            self._evict_over_budget(keep=digest)
+            return entry.service
+
+    def default_tenant(self) -> Optional[str]:
+        """The digest of the only tenant, if exactly one is registered."""
+        with self._lock:
+            if len(self._tenants) == 1:
+                return next(iter(self._tenants))
+            return None
+
+    def _evict_over_budget(self, keep: str) -> None:
+        if self.byte_budget is None:
+            return
+        while self.warm_bytes() > self.byte_budget:
+            victim = next(
+                (
+                    tenant for tenant in self._tenants.values()
+                    if tenant.warm and not tenant.pinned
+                    and tenant.digest != keep
+                ),
+                None,
+            )
+            if victim is None:
+                return  # only the just-restored (or pinned) remain
+            victim.service = None
+            self.stats.evictions += 1
+
+    # -- introspection --------------------------------------------------
+
+    def warm_bytes(self) -> int:
+        with self._lock:
+            return sum(
+                tenant.byte_size for tenant in self._tenants.values()
+                if tenant.warm and not tenant.pinned
+            )
+
+    def tenants(self) -> List[Dict]:
+        """One row per tenant for the gateway's ``tenants`` op."""
+        with self._lock:
+            return [
+                {
+                    "digest": tenant.digest,
+                    "aliases": list(tenant.aliases),
+                    "path": tenant.path,
+                    "bytes": tenant.byte_size,
+                    "warm": tenant.warm,
+                    "pinned": tenant.pinned,
+                    "generation": (
+                        tenant.service.generation if tenant.warm else None
+                    ),
+                }
+                for tenant in self._tenants.values()
+            ]
+
+    def describe(self) -> Dict:
+        with self._lock:
+            return {
+                "tenants": len(self._tenants),
+                "warm": sum(
+                    1 for tenant in self._tenants.values() if tenant.warm
+                ),
+                "warm_bytes": self.warm_bytes(),
+                "byte_budget": self.byte_budget,
+                **self.stats.as_dict(),
+            }

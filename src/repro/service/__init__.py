@@ -23,7 +23,11 @@ and value-context tabulation both argue for:
 :mod:`repro.service.server`
     ``python -m repro serve`` — a JSON-lines request/response protocol
     (``repro-serve/1``) over stdio, plus an optional stdlib TCP socket
-    mode for concurrent clients.
+    mode for concurrent clients.  Structured error responses (stable
+    ``code`` field), bounded request lines, SIGTERM graceful drain.
+
+The multi-tenant asyncio gateway (``repro serve --async``, protocol
+``repro-serve/2``) lives one layer up in :mod:`repro.serve`.
 """
 
 from repro.service.service import AnalysisService, QueryOutcome, ServiceStats
@@ -32,7 +36,10 @@ from repro.service.snapshot import (
     Snapshot,
     SnapshotError,
     describe_snapshot,
+    document_byte_size,
+    load_snapshot_document,
     read_snapshot,
+    snapshot_from_document,
     write_snapshot,
 )
 
@@ -44,6 +51,9 @@ __all__ = [
     "Snapshot",
     "SnapshotError",
     "describe_snapshot",
+    "document_byte_size",
+    "load_snapshot_document",
     "read_snapshot",
+    "snapshot_from_document",
     "write_snapshot",
 ]

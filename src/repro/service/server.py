@@ -38,30 +38,63 @@ metadata or an error::
 
     {"id": 1, "ok": true, "result": ["h1"],
      "meta": {"path": "snapshot", "cached": false, "micros": 142}}
-    {"id": 9, "ok": false, "error": "unknown op 'pointsto'"}
+    {"id": 9, "ok": false, "code": "unknown-op",
+     "error": "unknown op 'pointsto'"}
 
 Sets serialize as sorted lists; ``fields_of`` as ``{field: [sites]}``.
 ``stats`` returns :meth:`AnalysisService.stats` (cache hit-rate,
-warm/cold counters, p50/p95 latency per kind).  A malformed line yields
-an ``ok: false`` response with ``id: null`` — the server never dies on
-bad input.  ``shutdown`` acknowledges, then ends the session (stdio) or
-closes the connection (TCP).
+warm/cold counters, p50/p95 latency per kind).  A malformed or
+oversized line yields an ``ok: false`` response carrying a stable
+``code`` (``bad-json`` / ``oversized`` / ``unknown-op`` / …, see
+:data:`ERROR_CODES`) with ``id: null`` — the server never dies on bad
+input and never silently drops a connection.  Request lines are
+bounded by ``max_line_bytes`` (default 1 MiB); an over-long line is
+consumed and answered with an ``oversized`` error instead of being
+buffered without limit.  ``shutdown`` acknowledges, then ends the
+session (stdio) or closes the connection (TCP).
 
 The TCP mode (`python -m repro serve --tcp HOST:PORT`) uses the stdlib
 :class:`socketserver.ThreadingTCPServer`; concurrent connections share
-the one thread-safe :class:`AnalysisService`.
+the one thread-safe :class:`AnalysisService`.  ``SIGTERM`` drains
+gracefully: the listener stops accepting, every connection finishes its
+in-flight request, and :func:`serve_tcp` returns.
 """
 
 from __future__ import annotations
 
 import json
+import signal
 import socketserver
 import sys
-from typing import Dict, IO, Optional, Tuple
+import threading
+import time
+from typing import Callable, Dict, IO, Optional, Tuple
 
 from repro.service.service import OPERATIONS, AnalysisService
 
 PROTOCOL = "repro-serve/1"
+
+#: Ceiling on one request line (bytes on the TCP wire, characters on
+#: stdio).  Longer lines are answered with an ``oversized`` error.
+MAX_LINE_BYTES = 1 << 20
+
+#: Stable machine-readable error codes carried by ``ok: false``
+#: responses.  The async gateway's ``repro-serve/2`` protocol reuses
+#: these and adds its own admission-control codes (``overload``,
+#: ``timeout``, ``draining``, ``unknown-tenant``).
+ERROR_CODES = (
+    "bad-json",       # the line is not valid JSON
+    "bad-request",    # not an object, or no "op" field
+    "unknown-op",     # "op" names no known operation
+    "missing-field",  # a required operand is absent
+    "oversized",      # the request line exceeds max_line_bytes
+    "op-failed",      # the operation itself raised
+)
+
+
+def error_response(request_id, code: str, message: str) -> Dict:
+    """One structured ``ok: false`` response (flat, protocol-stable)."""
+    return {"id": request_id, "ok": False, "code": code, "error": message}
 
 #: op -> required request fields (beyond "op").
 _REQUIRED_FIELDS: Dict[str, Tuple[str, ...]] = {
@@ -93,24 +126,23 @@ def handle_request(service: AnalysisService, request: Dict) -> Dict:
     """Answer one decoded request object (everything except transport)."""
     request_id = request.get("id") if isinstance(request, dict) else None
     if not isinstance(request, dict) or "op" not in request:
-        return {
-            "id": request_id, "ok": False,
-            "error": "request must be an object with an 'op' field",
-        }
+        return error_response(
+            request_id, "bad-request",
+            "request must be an object with an 'op' field",
+        )
     op = request["op"]
     required = _REQUIRED_FIELDS.get(op)
     if required is None:
-        return {
-            "id": request_id, "ok": False,
-            "error": f"unknown op {op!r}; expected one of"
-            f" {sorted(_REQUIRED_FIELDS)}",
-        }
+        return error_response(
+            request_id, "unknown-op",
+            f"unknown op {op!r}; expected one of {sorted(_REQUIRED_FIELDS)}",
+        )
     missing = [field for field in required if field not in request]
     if missing:
-        return {
-            "id": request_id, "ok": False,
-            "error": f"op {op!r} requires field(s) {missing}",
-        }
+        return error_response(
+            request_id, "missing-field",
+            f"op {op!r} requires field(s) {missing}",
+        )
     if op == "ping":
         return {"id": request_id, "ok": True, "result": PROTOCOL}
     if op == "shutdown":
@@ -126,7 +158,7 @@ def handle_request(service: AnalysisService, request: Dict) -> Dict:
             op, **{field: request[field] for field in required}
         )
     except Exception as error:  # a query must never kill the session
-        return {"id": request_id, "ok": False, "error": str(error)}
+        return error_response(request_id, "op-failed", str(error))
     return {
         "id": request_id,
         "ok": True,
@@ -153,15 +185,15 @@ def _handle_update(
 
             delta = diff_facts(service.facts, _to_facts(request["source"]))
         else:
-            return {
-                "id": request_id, "ok": False,
-                "error": "op 'update' requires a 'delta' object or"
-                " a 'source' program",
-            }
+            return error_response(
+                request_id, "missing-field",
+                "op 'update' requires a 'delta' object or a 'source'"
+                " program",
+            )
         invalidated_before = service.metrics.entries_invalidated
         outcome = service.apply_delta(delta)
     except Exception as error:  # an update must never kill the session
-        return {"id": request_id, "ok": False, "error": str(error)}
+        return error_response(request_id, "op-failed", str(error))
     return {
         "id": request_id,
         "ok": True,
@@ -200,18 +232,28 @@ def _handle_check(
             checks=request.get("checks"), check_config=config
         )
     except Exception as error:  # a check must never kill the session
-        return {"id": request_id, "ok": False, "error": str(error)}
+        return error_response(request_id, "op-failed", str(error))
     return {"id": request_id, "ok": True, "result": report.to_json()}
 
 
-def handle_line(service: AnalysisService, line: str) -> Optional[Dict]:
+def handle_line(
+    service: AnalysisService,
+    line: str,
+    max_line_bytes: int = MAX_LINE_BYTES,
+) -> Optional[Dict]:
     """Decode and answer one wire line; ``None`` for blank lines."""
+    if len(line) > max_line_bytes:
+        return error_response(
+            None, "oversized",
+            f"request line of {len(line)} bytes exceeds the"
+            f" {max_line_bytes}-byte limit",
+        )
     if not line.strip():
         return None
     try:
         request = json.loads(line)
     except json.JSONDecodeError as error:
-        return {"id": None, "ok": False, "error": f"bad JSON: {error}"}
+        return error_response(None, "bad-json", f"bad JSON: {error}")
     return handle_request(service, request)
 
 
@@ -219,6 +261,7 @@ def serve_stdio(
     service: AnalysisService,
     in_stream: Optional[IO[str]] = None,
     out_stream: Optional[IO[str]] = None,
+    max_line_bytes: int = MAX_LINE_BYTES,
 ) -> int:
     """Serve JSON-lines until EOF or a ``shutdown`` op; returns the
     number of requests answered."""
@@ -226,7 +269,7 @@ def serve_stdio(
     out_stream = out_stream if out_stream is not None else sys.stdout
     answered = 0
     for line in in_stream:
-        response = handle_line(service, line)
+        response = handle_line(service, line, max_line_bytes)
         if response is None:
             continue
         out_stream.write(json.dumps(response) + "\n")
@@ -238,22 +281,67 @@ def serve_stdio(
 
 
 class ServiceTCPServer(socketserver.ThreadingTCPServer):
-    """A threading TCP server bound to one shared analysis service."""
+    """A threading TCP server bound to one shared analysis service.
+
+    ``draining`` is the graceful-shutdown flag: once set (by SIGTERM or
+    programmatically), every connection finishes the request it is on,
+    answers it, and closes instead of reading further.
+    """
 
     allow_reuse_address = True
     daemon_threads = True
 
-    def __init__(self, address: Tuple[str, int], service: AnalysisService):
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        service: AnalysisService,
+        max_line_bytes: int = MAX_LINE_BYTES,
+    ):
         self.service = service
+        self.max_line_bytes = max_line_bytes
+        self.draining = threading.Event()
+        self.active_connections = 0
+        self._active_lock = threading.Lock()
         super().__init__(address, _ServiceHandler)
+
+    def handle_error(self, request, client_address) -> None:
+        """A client hanging up mid-request is routine, not a stack trace."""
+        import sys
+
+        exc = sys.exc_info()[1]
+        if isinstance(exc, (BrokenPipeError, ConnectionResetError)):
+            return
+        super().handle_error(request, client_address)
 
 
 class _ServiceHandler(socketserver.StreamRequestHandler):
     def handle(self) -> None:
-        for raw in self.rfile:
-            response = handle_line(
-                self.server.service, raw.decode("utf-8", "replace")
-            )
+        with self.server._active_lock:
+            self.server.active_connections += 1
+        try:
+            self._session()
+        finally:
+            with self.server._active_lock:
+                self.server.active_connections -= 1
+
+    def _session(self) -> None:
+        limit = self.server.max_line_bytes
+        while not self.server.draining.is_set():
+            raw = self.rfile.readline(limit + 1)
+            if not raw:
+                break
+            if len(raw) > limit:
+                self._discard_rest_of_line(raw)
+                response = error_response(
+                    None, "oversized",
+                    f"request line exceeds the {limit}-byte limit",
+                )
+            else:
+                response = handle_line(
+                    self.server.service,
+                    raw.decode("utf-8", "replace"),
+                    limit,
+                )
             if response is None:
                 continue
             self.wfile.write((json.dumps(response) + "\n").encode("utf-8"))
@@ -261,14 +349,76 @@ class _ServiceHandler(socketserver.StreamRequestHandler):
             if response.get("ok") and response.get("result") == "bye":
                 break
 
+    def _discard_rest_of_line(self, raw: bytes) -> None:
+        """Consume up to the terminating newline of an over-long line."""
+        limit = self.server.max_line_bytes
+        while raw and not raw.endswith(b"\n"):
+            raw = self.rfile.readline(limit + 1)
 
-def serve_tcp(service: AnalysisService, host: str, port: int) -> None:
-    """Serve forever on ``host:port`` (Ctrl-C to stop)."""
-    with ServiceTCPServer((host, port), service) as server:
+
+def install_sigterm_drain(
+    server: ServiceTCPServer,
+) -> Callable[[], None]:
+    """Arrange for SIGTERM to drain ``server`` gracefully.
+
+    Returns a restorer putting the previous handler back.  A no-op off
+    the main thread (the stdlib only delivers signals there).
+    """
+    if threading.current_thread() is not threading.main_thread():
+        return lambda: None
+    previous = signal.getsignal(signal.SIGTERM)
+
+    def _drain(_signum, _frame) -> None:
+        server.draining.set()
+        print(
+            "repro serve: SIGTERM — draining connections and shutting"
+            " down",
+            file=sys.stderr,
+        )
+        # shutdown() must not run on the serve_forever thread.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _drain)
+    return lambda: signal.signal(signal.SIGTERM, previous)
+
+
+def serve_tcp(
+    service: AnalysisService,
+    host: str,
+    port: int,
+    max_line_bytes: int = MAX_LINE_BYTES,
+    drain_seconds: float = 5.0,
+) -> None:
+    """Serve on ``host:port`` until Ctrl-C or SIGTERM.
+
+    SIGTERM stops the accept loop, lets every live connection answer
+    its in-flight request (waiting up to ``drain_seconds``), and
+    returns — a supervisor rolling the fleet never sees a dropped
+    response.
+    """
+    with ServiceTCPServer(
+        (host, port), service, max_line_bytes=max_line_bytes
+    ) as server:
         bound_host, bound_port = server.server_address[:2]
         print(
             f"repro serve: listening on {bound_host}:{bound_port}"
             f" ({PROTOCOL})",
             file=sys.stderr,
         )
-        server.serve_forever()
+        restore = install_sigterm_drain(server)
+        try:
+            server.serve_forever()
+        finally:
+            restore()
+        if server.draining.is_set():
+            deadline = time.monotonic() + drain_seconds
+            while (
+                server.active_connections and time.monotonic() < deadline
+            ):
+                time.sleep(0.02)
+            print(
+                f"repro serve: drained"
+                f" ({server.active_connections} connection(s) still"
+                " open at exit)",
+                file=sys.stderr,
+            )

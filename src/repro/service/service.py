@@ -247,6 +247,8 @@ class AnalysisService:
         #: front with ``from_facts(incremental=True)`` or lazily by the
         #: first :meth:`apply_delta`).
         self._incremental = None
+        #: Engine the cold solve ran on (``None`` until one has).
+        self._solve_backend: Optional[str] = None
         #: Fact deltas applied since the initial solve/load.
         self.generation = 0
         #: Per-checker check cache: name -> (check-config key,
@@ -265,6 +267,7 @@ class AnalysisService:
         solve: bool = True,
         cache_size: int = 1024,
         incremental: bool = False,
+        backend: str = "worklist",
     ) -> "AnalysisService":
         """A service over raw facts.
 
@@ -274,12 +277,27 @@ class AnalysisService:
         only its slice is.  ``incremental=True`` routes the up-front
         solve through the incremental engine (support tracking on), so
         the first :meth:`apply_delta` patches instead of re-solving.
+
+        ``backend`` selects the cold-solve engine: ``"worklist"`` (the
+        reference solver) or ``"kernel"`` (the fused columnar integer
+        kernels — bit-identical results, much faster on large
+        programs).  Configs the kernel compiler does not specialize
+        (``eliminate_subsumed``, ``naive_transformer_index``,
+        provenance tracking) fall back to the worklist solver; the
+        engine actually used is reported as ``solve_backend`` in
+        :meth:`stats`.  Incremental solves always use the worklist
+        engine (the support index needs it).
         """
+        if backend not in ("worklist", "kernel"):
+            raise ValueError(
+                f"unknown solve backend {backend!r}; expected"
+                " 'worklist' or 'kernel'"
+            )
         service = cls(facts, config, cache_size=cache_size)
         if solve and incremental:
             service._solve_incremental()
         elif solve:
-            service._solve_exhaustive()
+            service._solve_exhaustive(backend=backend)
         return service
 
     @classmethod
@@ -301,15 +319,63 @@ class AnalysisService:
         service.generation = snapshot.generation
         return service
 
-    def _solve_exhaustive(self) -> None:
+    @classmethod
+    def from_snapshot_document(
+        cls,
+        document: Dict,
+        expected_config: Optional[AnalysisConfig] = None,
+        cache_size: int = 1024,
+        path: str = "<document>",
+    ) -> "AnalysisService":
+        """A service from an already-loaded snapshot document.
+
+        The in-memory twin of :meth:`from_snapshot`, for callers that
+        keep parsed ``repro-snapshot/2`` documents around (the serving
+        registry restores evicted tenants this way without re-reading
+        or re-parsing the file).  ``path`` only labels errors.
+        """
+        from repro.service.snapshot import snapshot_from_document
+
+        start = time.perf_counter()
+        snapshot = snapshot_from_document(document, expected_config, path)
+        service = cls(snapshot.facts, snapshot.config, cache_size=cache_size)
+        service._install_snapshot(snapshot, time.perf_counter() - start)
+        service.generation = snapshot.generation
+        return service
+
+    def _solve_exhaustive(self, backend: str = "worklist") -> None:
         from repro.core.analysis import PointerAnalysis
 
+        if backend == "kernel" and self._kernel_compatible():
+            with self._lock:
+                self._result = AnalysisResult(
+                    self.config, _kernel_solve(self.facts, self.config)
+                )
+                self._backend = self._result._solver
+                self._coverage = None
+                self._warm_path = "solved"
+                self._solve_backend = "kernel"
+                self.metrics.solver_solves += 1
+            return
         with self._lock:
             self._result = PointerAnalysis(self.facts, self.config).run()
             self._backend = self._result._solver
             self._coverage = None
             self._warm_path = "solved"
+            self._solve_backend = "worklist"
             self.metrics.solver_solves += 1
+
+    def _kernel_compatible(self) -> bool:
+        """Whether the kernel compiler can specialize this config.
+
+        The Section 8 variants (subsumption elimination, the naive
+        transformer index) and provenance tracking are worklist-only.
+        """
+        return not (
+            self.config.eliminate_subsumed
+            or self.config.naive_transformer_index
+            or self.config.track_provenance
+        )
 
     def _solve_incremental(self) -> None:
         # Imported lazily: repro.incremental pulls in the solver stack,
@@ -319,6 +385,7 @@ class AnalysisService:
         with self._lock:
             self._incremental = IncrementalSolver(self.facts, self.config)
             self._install_incremental()
+            self._solve_backend = "worklist"
             self.metrics.solver_solves += 1
 
     def _install_incremental(self) -> None:
@@ -693,6 +760,8 @@ class AnalysisService:
             )
             out["coverage"] = {"vars": covered, "total_vars": total}
             out["generation"] = self.generation
+            if self._solve_backend is not None:
+                out["solve_backend"] = self._solve_backend
             if self._incremental is not None:
                 out["delta"] = self._incremental.stats.as_dict()
             if self._demand is not None:
@@ -728,3 +797,51 @@ class _SnapshotBackend:
 
     def store_stats(self) -> Dict[str, Dict[str, int]]:
         return self.store.describe()
+
+
+def _kernel_solve(facts: FactSet, config: AnalysisConfig) -> "_KernelBackend":
+    """Cold-solve through the fused columnar kernels.
+
+    Compiles the configuration to plain Datalog (the Section 7
+    specialization), evaluates it on the kernel engine, and wraps the
+    decoded relations in a backend duck-typing the solver surface —
+    bit-identical to the worklist result (tested), often much faster.
+    """
+    from repro.compile.emit import (
+        compile_context_string_analysis,
+        compile_transformer_analysis,
+    )
+
+    compiler = (
+        compile_transformer_analysis
+        if config.abstraction == "transformer-string"
+        else compile_context_string_analysis
+    )
+    start = time.perf_counter()
+    compiled = compiler(facts, config.flavour, config.m, config.h)
+    outcome = compiled.run(backend="kernel")
+    return _KernelBackend(outcome, time.perf_counter() - start)
+
+
+class _KernelBackend:
+    """Duck-types the solver surface for a kernel-engine solve.
+
+    Same contract as :class:`_SnapshotBackend`: the derived relations
+    as raw row sets, a :class:`SolverStats` (seconds = compile + run
+    time; facts_derived = derived rows), and the kernel store's
+    counters behind ``store_stats()``.
+    """
+
+    def __init__(self, outcome, seconds: float):
+        self._engine = outcome.engine
+        self.provenance: Dict = {}
+        self.stats = SolverStats()
+        self.stats.seconds = seconds
+        for name, _arity in DERIVED_RELATIONS:
+            rows = set(outcome.relations.get(name, ()))
+            setattr(self, name, rows)
+            self.stats.facts_derived += len(rows)
+        self.stats.relations = self._engine.store_stats()
+
+    def store_stats(self) -> Dict[str, Dict[str, int]]:
+        return self._engine.store_stats()

@@ -50,6 +50,7 @@ from repro.store import (
     Interner,
     SerializationError,
     TupleStore,
+    canonical_bytes,
     interner_from_payload,
     interner_to_payload,
     register_value_codec,
@@ -230,12 +231,17 @@ def _facts_from_payload(payload: Dict, interner: Interner) -> FactSet:
 # -- write / read ------------------------------------------------------------
 
 
-def _canonical(body: Dict) -> str:
-    return json.dumps(body, sort_keys=True, separators=(",", ":"))
-
-
 def _digest(body: Dict) -> str:
-    return hashlib.sha256(_canonical(body).encode("utf-8")).hexdigest()
+    return hashlib.sha256(canonical_bytes(body)).hexdigest()
+
+
+def document_byte_size(document: Dict) -> int:
+    """The canonical serialized size of a snapshot document's body.
+
+    This is what the serving registry charges against its byte budget:
+    the same bytes the digest covers, independent of on-disk formatting.
+    """
+    return len(canonical_bytes(document.get("body", document)))
 
 
 def snapshot_to_document(snapshot: Snapshot) -> Dict:
@@ -306,6 +312,26 @@ def _load_document(path: str) -> Dict:
     return document
 
 
+def load_snapshot_document(path: str) -> Dict:
+    """Read and integrity-check a snapshot file, without restoring it.
+
+    Returns the full verified document (schema header, digest, body).
+    The serving registry uses this to learn a snapshot's digest, config
+    and byte size up front, deferring the expensive restore
+    (:func:`snapshot_from_document`) until the tenant is actually hit.
+    """
+    return _load_document(path)
+
+
+def snapshot_from_document(
+    document: Dict,
+    expected_config: Optional[AnalysisConfig] = None,
+    path: str = "<document>",
+) -> Snapshot:
+    """Restore a :class:`Snapshot` from an already-verified document."""
+    return _restore(document["body"], expected_config, path)
+
+
 def read_snapshot(
     path: str, expected_config: Optional[AnalysisConfig] = None
 ) -> Snapshot:
@@ -315,7 +341,12 @@ def read_snapshot(
     malformed payloads, or (when ``expected_config`` is given) a config
     that differs from the one the snapshot was solved under.
     """
-    body = _load_document(path)["body"]
+    return _restore(_load_document(path)["body"], expected_config, path)
+
+
+def _restore(
+    body: Dict, expected_config: Optional[AnalysisConfig], path: str
+) -> Snapshot:
     config = _config_from_payload(body["config"])
     if expected_config is not None:
         check_config(expected_config, config)

@@ -52,6 +52,7 @@ from repro.store.index import KeyedIndex
 from repro.store.columnar import ColumnarRelation, ColumnarStore
 from repro.store.serialize import (
     SerializationError,
+    canonical_bytes,
     columnar_relation_from_payload,
     columnar_relation_to_payload,
     decode_value,
@@ -76,6 +77,7 @@ __all__ = [
     "Row",
     "SerializationError",
     "TupleStore",
+    "canonical_bytes",
     "columnar_relation_from_payload",
     "columnar_relation_to_payload",
     "decode_value",

@@ -27,6 +27,7 @@ Round-trip guarantees (property-tested in
 
 from __future__ import annotations
 
+import json
 from typing import Callable, Dict, Hashable, List, Optional, Tuple, Type
 
 from repro.store.columnar import ColumnarRelation
@@ -37,6 +38,17 @@ from repro.store.stats import RelationCounters
 
 class SerializationError(ValueError):
     """An unsupported value or a malformed payload."""
+
+
+def canonical_bytes(payload) -> bytes:
+    """The canonical UTF-8 JSON encoding of a payload: keys sorted, no
+    whitespace.  Snapshot digesting and the serving registry's
+    byte-budget accounting both measure exactly these bytes, so the
+    digested size and the size charged against an eviction budget
+    always agree."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
 
 
 #: tag -> decoder(payload_list) -> value

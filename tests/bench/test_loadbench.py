@@ -1,0 +1,131 @@
+"""Open-loop serving benchmark: stream determinism, scoring, end-to-end."""
+
+import pytest
+
+from repro.bench.loadbench import (
+    LoadSpec,
+    _percentile,
+    build_requests,
+    format_serving,
+    run_serving_block,
+)
+from repro.bench.workloads import dacapo_program
+from repro.frontend.factgen import generate_facts
+
+
+@pytest.fixture(scope="module")
+def facts():
+    return generate_facts(dacapo_program("bloat", 1))
+
+
+class TestBuildRequests:
+    def test_deterministic_for_a_seed(self, facts):
+        spec = LoadSpec(rate=50, duration_s=2.0)
+        assert build_requests(facts, spec) == build_requests(facts, spec)
+
+    def test_seed_changes_the_stream(self, facts):
+        a = build_requests(facts, LoadSpec(rate=50, duration_s=2.0))
+        b = build_requests(
+            facts, LoadSpec(rate=50, duration_s=2.0, seed=7)
+        )
+        assert a != b
+
+    def test_mix_matches_fractions(self, facts):
+        spec = LoadSpec(
+            rate=500, duration_s=2.0,
+            query_fraction=0.8, check_fraction=0.1,
+        )
+        requests = build_requests(facts, spec)
+        assert len(requests) == 1000
+        ops = [r["op"] for r in requests]
+        queries = sum(
+            1 for op in ops
+            if op in ("points_to", "alias", "callees", "fields_of")
+        )
+        assert abs(queries / len(ops) - 0.8) < 0.05
+        assert 0 < ops.count("update") < 200
+
+    def test_ids_are_dense_and_tenant_is_attached(self, facts):
+        spec = LoadSpec(rate=20, duration_s=1.0)
+        requests = build_requests(facts, spec, tenant="abc123")
+        assert [r["id"] for r in requests] == list(range(len(requests)))
+        assert all(r["tenant"] == "abc123" for r in requests)
+
+    def test_updates_only_touch_fresh_sink_variables(self, facts):
+        spec = LoadSpec(rate=200, duration_s=2.0)
+        requests = build_requests(facts, spec)
+        updates = [r for r in requests if r["op"] == "update"]
+        assert updates
+        for request in updates:
+            ((_, sink),) = request["delta"]["added"]["assign"]
+            assert sink == f"lb_extra_{request['id']}"
+
+
+class TestPercentile:
+    def test_empty(self):
+        assert _percentile([], 0.5) is None
+
+    def test_single(self):
+        assert _percentile([3.0], 0.99) == 3.0
+
+    def test_ranks(self):
+        ordered = [float(n) for n in range(1, 101)]
+        assert _percentile(ordered, 0.50) == 51.0
+        assert _percentile(ordered, 0.99) == 99.0
+        assert _percentile(ordered, 1.0) == 100.0
+
+
+class TestServingBlock:
+    @pytest.fixture(scope="class")
+    def block(self):
+        # A deliberately tiny run: enough traffic to exercise both
+        # stacks and the probes without slowing the suite down.
+        return run_serving_block(
+            scale=1,
+            spec=LoadSpec(
+                rate=60, duration_s=1.0, warmup_s=0.25,
+                connections=4, parity_every=3,
+            ),
+            overload_burst=60,
+        )
+
+    def test_block_shape(self, block):
+        assert block["benchmark"] == "bloat"
+        assert block["configuration"] == "1-call"
+        assert set(block["targets"]) == {"threaded", "gateway"}
+        for name in ("threaded", "gateway"):
+            target = block["targets"][name]
+            assert target["offered"] == 60
+            assert target["answered"] == 60
+            assert target["latency_ms"]["p50"] is not None
+            assert 0 <= target["slo_attainment"] <= 1
+        assert block["targets"]["threaded"]["protocol"] == "repro-serve/1"
+        assert block["targets"]["gateway"]["protocol"] == "repro-serve/2"
+
+    def test_parity_is_bit_identical(self, block):
+        parity = block["parity"]
+        assert parity["ok"], parity["mismatches"]
+        assert parity["queries_checked"] > 0
+        assert parity["mismatches"] == []
+
+    def test_overload_gives_explicit_backpressure(self, block):
+        overload = block["overload"]
+        assert overload["answered"] == overload["burst"] == 60
+        assert overload["explicit_backpressure"]
+        assert overload["timeouts"] == 0
+
+    def test_warm_start_beats_cold_solve(self, block):
+        warm = block["warm_start"]
+        assert warm["restore_seconds"] < warm["solve_seconds"]
+        assert warm["speedup"] > 1
+
+    def test_gateway_reports_its_stats(self, block):
+        gateway = block["targets"]["gateway"]["gateway"]
+        assert gateway["answered"] >= 60
+        assert gateway["registry"]["tenants"] == 1
+
+    def test_format_serving_renders(self, block):
+        text = format_serving(block)
+        assert "repro-serve/1" in text and "repro-serve/2" in text
+        assert "overload" in text
+        assert "parity" in text

@@ -151,16 +151,17 @@ class TestFigure6Command:
         assert main([
             "figure6", "--scale", "1", "--json", str(out_file),
             "--no-query-latency", "--no-incremental", "--no-checks",
-            "--no-parallel", "--no-kernels",
+            "--no-parallel", "--no-kernels", "--no-serving",
         ]) == 0
         assert "wrote JSON" in capsys.readouterr().out
         data = json.loads(out_file.read_text())
-        assert data["schema"] == "repro-figure6/6"
+        assert data["schema"] == "repro-figure6/7"
         assert data["query_latency"] is None  # suppressed by the flag
         assert data["incremental"] is None  # suppressed by the flag
         assert data["checks"] is None  # suppressed by the flag
         assert data["parallel"] is None  # suppressed by the flag
         assert data["kernels"] is None  # suppressed by the flag
+        assert data["serving"] is None  # suppressed by the flag
         assert data["scale"] == 1
         assert data["engine"] == "solver"
         assert set(data["geomean"]) == set(data["configurations"])

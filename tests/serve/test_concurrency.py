@@ -1,0 +1,242 @@
+"""Satellite: N concurrent clients stay bit-identical to sequential replay.
+
+Both serving stacks are exercised: the threaded repro-serve/1 TCP server
+and the async repro-serve/2 gateway.  Each client interleaves
+query/update/check ops; updates add edges into fresh sink variables
+(``cc_extra_<k>``) so they commute and never perturb query answers.
+Afterwards the same request log is replayed sequentially against a
+direct AnalysisService and every response must match bit for bit, the
+generation counter must have advanced monotonically by exactly the
+number of updates, and the relation digests of served and replayed
+state must agree.
+"""
+
+import hashlib
+import json
+import random
+import socket
+import threading
+
+import pytest
+
+from repro.core.config import config_by_name
+from repro.frontend.factgen import facts_from_source
+from repro.frontend.paper_programs import FIGURE_1
+from repro.serve.gateway import run_gateway_in_thread
+from repro.serve.registry import SnapshotRegistry
+from repro.service import AnalysisService
+from repro.service.server import ServiceTCPServer, handle_request
+from repro.service.snapshot import DERIVED_RELATIONS
+
+CLIENTS = 4
+OPS_PER_CLIENT = 30
+
+
+@pytest.fixture(scope="module")
+def snapshot_path(tmp_path_factory):
+    root = tmp_path_factory.mktemp("concurrency")
+    service = AnalysisService.from_facts(
+        facts_from_source(FIGURE_1), config_by_name("1-call")
+    )
+    path = str(root / "fig1.json")
+    service.save_snapshot(path)
+    return path
+
+
+def _client_script(client, snapshot_path):
+    """A deterministic interleaved query/update/check op sequence."""
+    service = AnalysisService.from_snapshot(snapshot_path)
+    variables = sorted({row[0] for row in service._backend.pts})
+    rng = random.Random(20260808 + client)
+    script = []
+    for step in range(OPS_PER_CLIENT):
+        request_id = client * 1000 + step
+        roll = rng.random()
+        if roll < 0.70:
+            script.append({
+                "id": request_id, "op": "points_to",
+                "var": rng.choice(variables),
+            })
+        elif roll < 0.85:
+            script.append({
+                "id": request_id, "op": "check", "name": "null-deref",
+            })
+        else:
+            # Commutative sink-variable update: nobody queries the new
+            # variable, so answers are interleaving-independent.
+            script.append({
+                "id": request_id, "op": "update",
+                "delta": {"added": {"assign": [[
+                    rng.choice(variables),
+                    f"cc_extra_{client}_{step}",
+                ]]}},
+            })
+    return script
+
+
+def _drive(host, port, script, results, client):
+    with socket.create_connection((host, port), timeout=30) as sock:
+        handle = sock.makefile("rw", encoding="utf-8")
+        for request in script:
+            handle.write(json.dumps(request) + "\n")
+        handle.flush()
+        answers = {}
+        for _ in script:
+            response = json.loads(handle.readline())
+            answers[response["id"]] = response
+        handle.close()
+    results[client] = answers
+
+
+def _run_concurrently(host, port, scripts):
+    results = {}
+    threads = [
+        threading.Thread(
+            target=_drive, args=(host, port, script, results, client)
+        )
+        for client, script in enumerate(scripts)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return results
+
+
+def _strip_meta(response):
+    return {k: v for k, v in response.items() if k != "meta"}
+
+
+def _replay_and_compare(snapshot_path, scripts, results):
+    """Sequential replay on a direct service must match every response."""
+    replay = AnalysisService.from_snapshot(snapshot_path)
+    updates = 0
+    for client, script in enumerate(scripts):
+        for request in script:
+            expected = handle_request(replay, request)
+            got = results[client][request["id"]]
+            if request["op"] == "update":
+                updates += 1
+                # Generation numbers depend on interleaving; everything
+                # else (delta effect summary, ok flag) must match.
+                assert got["ok"] and expected["ok"]
+                # Which update is *first* (and so pays the one-off
+                # incremental-solver upgrade) depends on interleaving;
+                # the derived-row effect of each delta does not.
+                assert (
+                    got["result"]["changed"]
+                    == expected["result"]["changed"]
+                ), request
+            elif request["op"] == "check":
+                # Timing ("seconds") and the generation/digest header
+                # vary with interleaving; the findings body must not.
+                assert got["ok"] and expected["ok"]
+                assert (
+                    got["result"]["body"] == expected["result"]["body"]
+                ), request
+            else:
+                assert _strip_meta(got) == _strip_meta(expected), request
+    return replay, updates
+
+
+def _final_digest(service):
+    """SHA-256 over *sorted* facts + derived rows.
+
+    The snapshot digest covers rows in insertion order, which varies
+    with update interleaving even when the sets are equal; sorting
+    first makes the fingerprint a pure function of analysis state.
+    """
+    state = {
+        name: sorted(repr(row) for row in getattr(service._backend, name))
+        for name, _arity in DERIVED_RELATIONS
+    }
+    state["facts"] = {
+        name: sorted(repr(row) for row in getattr(service.facts, name))
+        for name in service.facts.relation_names()
+    }
+    blob = json.dumps(state, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+class TestThreadedServer:
+    def test_concurrent_clients_match_sequential_replay(
+        self, snapshot_path
+    ):
+        scripts = [
+            _client_script(c, snapshot_path) for c in range(CLIENTS)
+        ]
+        service = AnalysisService.from_snapshot(snapshot_path)
+        server = ServiceTCPServer(("127.0.0.1", 0), service)
+        host, port = server.server_address[:2]
+        thread = threading.Thread(
+            target=server.serve_forever, daemon=True
+        )
+        thread.start()
+        try:
+            results = _run_concurrently(host, port, scripts)
+        finally:
+            server.shutdown()
+            server.server_close()
+
+        replay, updates = _replay_and_compare(
+            snapshot_path, scripts, results
+        )
+        # Generation advanced monotonically: one tick per update.
+        assert service.generation == updates
+        assert replay.generation == updates
+        # Final relation state is identical regardless of interleaving.
+        assert _final_digest(service) == _final_digest(replay)
+
+
+class TestAsyncGateway:
+    def test_concurrent_clients_match_sequential_replay(
+        self, snapshot_path
+    ):
+        scripts = [
+            _client_script(c, snapshot_path) for c in range(CLIENTS)
+        ]
+        registry = SnapshotRegistry()
+        digest = registry.register(snapshot_path, alias="prog")
+        gateway, (host, port), _thread, stop = run_gateway_in_thread(
+            registry
+        )
+        try:
+            results = _run_concurrently(host, port, scripts)
+            served = registry.acquire(digest)
+            replay, updates = _replay_and_compare(
+                snapshot_path, scripts, results
+            )
+            assert served.generation == updates
+            assert replay.generation == updates
+            assert _final_digest(served) == _final_digest(replay)
+        finally:
+            stop()
+
+    def test_update_generations_are_monotone_per_client(
+        self, snapshot_path
+    ):
+        scripts = [
+            _client_script(c, snapshot_path) for c in range(CLIENTS)
+        ]
+        registry = SnapshotRegistry()
+        registry.register(snapshot_path, alias="prog")
+        gateway, (host, port), _thread, stop = run_gateway_in_thread(
+            registry
+        )
+        try:
+            results = _run_concurrently(host, port, scripts)
+        finally:
+            stop()
+        all_generations = []
+        for client, script in enumerate(scripts):
+            generations = [
+                results[client][r["id"]]["result"]["generation"]
+                for r in script if r["op"] == "update"
+            ]
+            # Each client observes strictly increasing generations.
+            assert generations == sorted(set(generations))
+            all_generations.extend(generations)
+        # Globally: every update got a distinct generation tick.
+        assert sorted(all_generations) == list(
+            range(1, len(all_generations) + 1)
+        )

@@ -1,0 +1,342 @@
+"""AsyncGateway: pipelining, batching, admission control, drain."""
+
+import json
+import socket
+
+import pytest
+
+from repro.core.config import config_by_name
+from repro.frontend.factgen import facts_from_source
+from repro.frontend.paper_programs import FIGURE_1, FIGURE_5
+from repro.serve.gateway import GatewayConfig, run_gateway_in_thread
+from repro.serve.registry import SnapshotRegistry
+from repro.service import AnalysisService
+
+
+@pytest.fixture(scope="module")
+def snapshot_paths(tmp_path_factory):
+    root = tmp_path_factory.mktemp("gateway-snapshots")
+    paths = {}
+    for name, source in (("fig1", FIGURE_1), ("fig5", FIGURE_5)):
+        service = AnalysisService.from_facts(
+            facts_from_source(source), config_by_name("1-call")
+        )
+        path = str(root / f"{name}.json")
+        service.save_snapshot(path)
+        paths[name] = path
+    return paths
+
+
+class _Client:
+    """A blocking JSON-lines client for driving the gateway."""
+
+    def __init__(self, host, port):
+        self.sock = socket.create_connection((host, port), timeout=15)
+        self.stream = self.sock.makefile("rw", encoding="utf-8")
+
+    def send(self, request):
+        self.stream.write(json.dumps(request) + "\n")
+
+    def flush(self):
+        self.stream.flush()
+
+    def recv(self):
+        line = self.stream.readline()
+        return json.loads(line) if line else None
+
+    def call(self, request):
+        self.send(request)
+        self.flush()
+        return self.recv()
+
+    def close(self):
+        try:
+            self.stream.close()
+            self.sock.close()
+        except OSError:
+            pass
+
+
+def _gateway(snapshot_paths, config=None, tenants=("fig1",)):
+    registry = SnapshotRegistry()
+    for name in tenants:
+        registry.register(snapshot_paths[name], alias=name)
+    return run_gateway_in_thread(registry, config)
+
+
+class TestBasics:
+    def test_ping_answers_v2(self, snapshot_paths):
+        gateway, (host, port), _thread, stop = _gateway(snapshot_paths)
+        try:
+            client = _Client(host, port)
+            response = client.call({"id": 1, "op": "ping"})
+            assert response == {
+                "id": 1, "ok": True, "result": "repro-serve/2",
+            }
+            client.close()
+        finally:
+            stop()
+
+    def test_single_tenant_is_the_default(self, snapshot_paths):
+        gateway, (host, port), _thread, stop = _gateway(snapshot_paths)
+        try:
+            client = _Client(host, port)
+            response = client.call(
+                {"id": 1, "op": "points_to", "var": "T.main/a"}
+            )
+            assert response["ok"] and response["result"]
+            client.close()
+        finally:
+            stop()
+
+    def test_multi_tenant_routing(self, snapshot_paths):
+        gateway, (host, port), _thread, stop = _gateway(
+            snapshot_paths, tenants=("fig1", "fig5")
+        )
+        try:
+            client = _Client(host, port)
+            rows = client.call({"id": 1, "op": "tenants"})["result"]
+            assert len(rows) == 2
+            # Omitting the tenant with two registered is an error...
+            response = client.call(
+                {"id": 2, "op": "points_to", "var": "T.main/a"}
+            )
+            assert response["code"] == "unknown-tenant"
+            # ...naming one (alias or digest) routes correctly.
+            by_alias = client.call(
+                {"id": 3, "op": "points_to", "var": "T.main/a",
+                 "tenant": "fig1"}
+            )
+            by_digest = client.call(
+                {"id": 4, "op": "points_to", "var": "T.main/a",
+                 "tenant": rows[0]["digest"]}
+            )
+            assert by_alias["ok"] and by_digest["ok"]
+            client.close()
+        finally:
+            stop()
+
+    def test_unknown_tenant_code(self, snapshot_paths):
+        gateway, (host, port), _thread, stop = _gateway(snapshot_paths)
+        try:
+            client = _Client(host, port)
+            response = client.call(
+                {"id": 1, "op": "points_to", "var": "x", "tenant": "zzz"}
+            )
+            assert response["code"] == "unknown-tenant"
+            client.close()
+        finally:
+            stop()
+
+    def test_bad_json_and_validation_codes(self, snapshot_paths):
+        gateway, (host, port), _thread, stop = _gateway(snapshot_paths)
+        try:
+            client = _Client(host, port)
+            client.stream.write("{broken\n")
+            client.flush()
+            assert client.recv()["code"] == "bad-json"
+            assert client.call({"id": 2, "op": "zap"})["code"] == (
+                "unknown-op"
+            )
+            assert client.call({"id": 3, "op": "alias"})["code"] == (
+                "missing-field"
+            )
+            # The connection survived all three.
+            assert client.call({"id": 4, "op": "ping"})["ok"]
+            client.close()
+        finally:
+            stop()
+
+    def test_oversized_line_answered(self, snapshot_paths):
+        gateway, (host, port), _thread, stop = _gateway(
+            snapshot_paths, GatewayConfig(max_line_bytes=256)
+        )
+        try:
+            client = _Client(host, port)
+            client.stream.write("x" * 4096 + "\n")
+            client.flush()
+            response = client.recv()
+            assert response["code"] == "oversized"
+            client.close()
+        finally:
+            stop()
+
+
+class TestPipelining:
+    def test_pipelined_requests_all_answered_in_order(self, snapshot_paths):
+        gateway, (host, port), _thread, stop = _gateway(snapshot_paths)
+        try:
+            client = _Client(host, port)
+            count = 40
+            for index in range(count):
+                client.send(
+                    {"id": index, "op": "points_to", "var": "T.main/a"}
+                )
+            client.flush()
+            responses = [client.recv() for _ in range(count)]
+            # Same-tenant pipelined requests come back in arrival order.
+            assert [r["id"] for r in responses] == list(range(count))
+            assert all(r["ok"] for r in responses)
+            client.close()
+        finally:
+            stop()
+
+    def test_micro_batching_amortizes_hops(self, snapshot_paths):
+        gateway, (host, port), _thread, stop = _gateway(
+            snapshot_paths, GatewayConfig(max_batch=8, max_delay_ms=25.0)
+        )
+        try:
+            client = _Client(host, port)
+            for index in range(24):
+                client.send(
+                    {"id": index, "op": "points_to", "var": "T.main/a"}
+                )
+            client.flush()
+            for _ in range(24):
+                assert client.recv()["ok"]
+            stats = client.call({"id": 99, "op": "stats"})["result"]
+            batches = stats["batches"]
+            assert batches["batched_requests"] == 24
+            # Pipelined burst + generous delay => multi-request batches.
+            assert batches["count"] < 24
+            assert batches["max_size"] > 1
+            client.close()
+        finally:
+            stop()
+
+    def test_update_barrier_orders_and_increments_generation(
+        self, snapshot_paths
+    ):
+        gateway, (host, port), _thread, stop = _gateway(snapshot_paths)
+        try:
+            client = _Client(host, port)
+            client.send({"id": 0, "op": "points_to", "var": "T.main/a"})
+            client.send({
+                "id": 1, "op": "update",
+                "delta": {
+                    "added": {"assign": [["T.main/a", "gw_extra"]]}
+                },
+            })
+            client.send({"id": 2, "op": "points_to", "var": "gw_extra"})
+            client.flush()
+            first, update, after = [client.recv() for _ in range(3)]
+            assert first["ok"] and update["ok"] and after["ok"]
+            assert update["result"]["generation"] == 1
+            # The query behind the barrier sees the update's effect.
+            assert after["result"] == first["result"]
+            client.close()
+        finally:
+            stop()
+
+
+class TestAdmissionControl:
+    def test_overload_is_explicit(self, snapshot_paths):
+        gateway, (host, port), _thread, stop = _gateway(
+            snapshot_paths,
+            GatewayConfig(queue_limit=4, max_batch=2, max_delay_ms=1.0),
+        )
+        try:
+            client = _Client(host, port)
+            burst = 80
+            for index in range(burst):
+                client.send(
+                    {"id": index, "op": "points_to", "var": "T.main/a"}
+                )
+            client.flush()
+            responses = [client.recv() for _ in range(burst)]
+            overloads = [
+                r for r in responses
+                if not r["ok"] and r["code"] == "overload"
+            ]
+            served = [r for r in responses if r["ok"]]
+            assert len(responses) == burst  # nothing dropped
+            assert overloads, "burst past queue_limit must shed load"
+            assert served, "admitted requests must still be answered"
+            assert all(
+                r["ok"] or r["code"] == "overload" for r in responses
+            )
+            client.close()
+        finally:
+            stop()
+
+    def test_timeout_code_for_stale_queue_entries(self, snapshot_paths):
+        gateway, (host, port), _thread, stop = _gateway(
+            snapshot_paths,
+            # Zero patience: anything that waits at all times out.
+            GatewayConfig(op_timeout_s=0.0, max_delay_ms=50.0,
+                          max_batch=64),
+        )
+        try:
+            client = _Client(host, port)
+            response = client.call(
+                {"id": 1, "op": "points_to", "var": "T.main/a"}
+            )
+            assert not response["ok"] and response["code"] == "timeout"
+            client.close()
+        finally:
+            stop()
+
+    def test_draining_rejects_new_work(self, snapshot_paths):
+        gateway, (host, port), _thread, stop = _gateway(snapshot_paths)
+        try:
+            client = _Client(host, port)
+            # Connect *before* the drain starts: once it does, the
+            # listener closes and new connections are simply refused.
+            late = _Client(host, port)
+            bye = client.call({"id": 1, "op": "shutdown",
+                               "scope": "gateway"})
+            assert bye["result"] == "bye"
+            # The already-connected client gets an explicit "draining"
+            # answer (or a clean close once the drain finishes) rather
+            # than a hang.
+            try:
+                response = late.call(
+                    {"id": 2, "op": "points_to", "var": "T.main/a"}
+                )
+                if response is not None:
+                    assert response["code"] == "draining"
+            except (ConnectionError, OSError):
+                pass
+            late.close()
+            client.close()
+        finally:
+            stop()
+
+
+class TestStatsOp:
+    def test_gateway_stats_shape(self, snapshot_paths):
+        gateway, (host, port), _thread, stop = _gateway(snapshot_paths)
+        try:
+            client = _Client(host, port)
+            for index in range(5):
+                assert client.call(
+                    {"id": index, "op": "points_to", "var": "T.main/a"}
+                )["ok"]
+            stats = client.call({"id": 9, "op": "stats"})["result"]
+            assert stats["protocol"] == "repro-serve/2"
+            assert stats["answered"] >= 5
+            latency = stats["latency_us"]["points_to"]
+            assert latency["count"] == 5
+            assert latency["p50_us"] is not None
+            assert latency["p50_us"] <= latency["p95_us"] <= (
+                latency["p99_us"]
+            )
+            assert stats["queue"]["max_depth"] >= 1
+            assert stats["registry"]["tenants"] == 1
+            assert stats["registry"]["restores"] == 1
+            client.close()
+        finally:
+            stop()
+
+    def test_tenant_stats_is_the_service_surface(self, snapshot_paths):
+        gateway, (host, port), _thread, stop = _gateway(snapshot_paths)
+        try:
+            client = _Client(host, port)
+            stats = client.call(
+                {"id": 1, "op": "stats", "tenant": "fig1"}
+            )["result"]
+            assert stats["mode"] == "snapshot"
+            assert "generation" in stats and "cache" in stats
+            client.close()
+        finally:
+            stop()

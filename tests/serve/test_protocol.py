@@ -1,0 +1,88 @@
+"""repro-serve/2 protocol: classification, validation, error codes."""
+
+import pytest
+
+from repro.serve.protocol import (
+    ADMISSION_ERROR_CODES,
+    ALL_ERROR_CODES,
+    BARRIER_OPS,
+    BATCHABLE_OPS,
+    GATEWAY_OPS,
+    PROTOCOL_V2,
+    classify,
+    validate,
+)
+from repro.service.server import ERROR_CODES
+
+
+class TestConstants:
+    def test_protocol_version(self):
+        assert PROTOCOL_V2 == "repro-serve/2"
+
+    def test_admission_codes_extend_v1_codes(self):
+        assert set(ALL_ERROR_CODES) == (
+            set(ERROR_CODES) | set(ADMISSION_ERROR_CODES)
+        )
+        assert not set(ERROR_CODES) & set(ADMISSION_ERROR_CODES)
+
+    def test_op_classes_are_disjoint(self):
+        assert not BATCHABLE_OPS & BARRIER_OPS
+        # "stats" is deliberately on both sides of the tenant line.
+        assert (GATEWAY_OPS & BATCHABLE_OPS) <= {"stats"}
+
+
+class TestClassify:
+    @pytest.mark.parametrize("op", ["ping", "tenants", "shutdown"])
+    def test_gateway_ops(self, op):
+        assert classify({"op": op}) == "gateway"
+
+    def test_stats_without_tenant_is_gateway(self):
+        assert classify({"op": "stats"}) == "gateway"
+
+    def test_stats_with_tenant_is_batchable(self):
+        assert classify({"op": "stats", "tenant": "abc"}) == "batch"
+
+    @pytest.mark.parametrize(
+        "op", ["points_to", "alias", "callees", "fields_of", "check"]
+    )
+    def test_read_ops_batch(self, op):
+        assert classify({"op": op, "tenant": "abc"}) == "batch"
+
+    def test_update_is_a_barrier(self):
+        assert classify({"op": "update", "delta": {}}) == "barrier"
+
+    def test_garbage_is_invalid(self):
+        assert classify({"op": "zap"}) == "invalid"
+        assert classify(["not", "a", "dict"]) == "invalid"
+
+
+class TestValidate:
+    def test_good_request(self):
+        op, error = validate({"id": 1, "op": "points_to", "var": "x"})
+        assert op == "points_to" and error is None
+
+    def test_tenants_is_valid(self):
+        op, error = validate({"id": 1, "op": "tenants"})
+        assert op == "tenants" and error is None
+
+    def test_non_object(self):
+        op, error = validate("ping")
+        assert op is None and error["code"] == "bad-request"
+
+    def test_missing_op(self):
+        op, error = validate({"id": 3})
+        assert error["code"] == "bad-request" and error["id"] == 3
+
+    def test_unknown_op(self):
+        op, error = validate({"id": 4, "op": "frobnicate"})
+        assert error["code"] == "unknown-op" and error["id"] == 4
+
+    def test_missing_field(self):
+        op, error = validate({"id": 5, "op": "alias", "a": "x"})
+        assert error["code"] == "missing-field"
+        assert "b" in error["error"]
+
+    def test_error_shape_is_flat_and_stable(self):
+        _, error = validate({"id": 6, "op": "nope"})
+        assert set(error) == {"id", "ok", "code", "error"}
+        assert error["ok"] is False

@@ -1,0 +1,156 @@
+"""SnapshotRegistry: digest keys, aliases, LRU byte-budget eviction."""
+
+import pytest
+
+from repro.core.config import config_by_name
+from repro.frontend.factgen import facts_from_source
+from repro.frontend.paper_programs import FIGURE_1, FIGURE_5
+from repro.serve.registry import SnapshotRegistry, UnknownTenantError
+from repro.service import AnalysisService, load_snapshot_document
+from repro.service.snapshot import document_byte_size
+
+
+@pytest.fixture(scope="module")
+def snapshot_paths(tmp_path_factory):
+    root = tmp_path_factory.mktemp("snapshots")
+    paths = {}
+    for name, source in (("fig1", FIGURE_1), ("fig5", FIGURE_5)):
+        service = AnalysisService.from_facts(
+            facts_from_source(source), config_by_name("1-call")
+        )
+        path = str(root / f"{name}.json")
+        service.save_snapshot(path)
+        paths[name] = path
+    return paths
+
+
+class TestRegistration:
+    def test_register_keys_by_content_digest(self, snapshot_paths):
+        registry = SnapshotRegistry()
+        digest = registry.register(snapshot_paths["fig1"])
+        document = load_snapshot_document(snapshot_paths["fig1"])
+        assert digest == document["digest"]
+
+    def test_reregistration_is_idempotent(self, snapshot_paths):
+        registry = SnapshotRegistry()
+        first = registry.register(snapshot_paths["fig1"], alias="a")
+        second = registry.register(snapshot_paths["fig1"], alias="b")
+        assert first == second
+        assert len(registry.tenants()) == 1
+        assert set(registry.tenants()[0]["aliases"]) == {"a", "b"}
+
+    def test_alias_collision_rejected(self, snapshot_paths):
+        registry = SnapshotRegistry()
+        registry.register(snapshot_paths["fig1"], alias="prog")
+        with pytest.raises(ValueError, match="already bound"):
+            registry.register(snapshot_paths["fig5"], alias="prog")
+
+    def test_add_service_pins_a_solved_tenant(self, snapshot_paths):
+        registry = SnapshotRegistry(byte_budget=0)
+        service = AnalysisService.from_facts(
+            facts_from_source(FIGURE_1), config_by_name("1-call")
+        )
+        digest = registry.add_service(service, alias="live")
+        # Same content => same digest as the snapshot of the same solve.
+        assert digest == load_snapshot_document(
+            snapshot_paths["fig1"]
+        )["digest"]
+        row = registry.tenants()[0]
+        assert row["pinned"] and row["warm"]
+        # A zero budget never evicts a pinned tenant.
+        assert registry.acquire("live") is service
+        assert registry.describe()["evictions"] == 0
+
+    def test_add_service_requires_a_solved_service(self):
+        registry = SnapshotRegistry()
+        cold = AnalysisService.from_facts(
+            facts_from_source(FIGURE_1), config_by_name("1-call"),
+            solve=False,
+        )
+        with pytest.raises(ValueError, match="solved"):
+            registry.add_service(cold)
+
+
+class TestAcquire:
+    def test_first_acquire_restores_then_hits(self, snapshot_paths):
+        registry = SnapshotRegistry()
+        digest = registry.register(snapshot_paths["fig1"])
+        first = registry.acquire(digest)
+        second = registry.acquire(digest)
+        assert first is second
+        stats = registry.describe()
+        assert stats["restores"] == 1 and stats["hits"] == 1
+        assert stats["hit_rate"] == 0.5
+
+    def test_acquire_by_alias_and_prefix(self, snapshot_paths):
+        registry = SnapshotRegistry()
+        digest = registry.register(snapshot_paths["fig1"], alias="fig1")
+        assert registry.acquire("fig1") is registry.acquire(digest)
+        assert registry.resolve(digest[:10]) == digest
+
+    def test_unknown_tenant(self, snapshot_paths):
+        registry = SnapshotRegistry()
+        registry.register(snapshot_paths["fig1"])
+        with pytest.raises(UnknownTenantError):
+            registry.acquire("no-such-tenant")
+
+    def test_default_tenant_only_when_unambiguous(self, snapshot_paths):
+        registry = SnapshotRegistry()
+        digest = registry.register(snapshot_paths["fig1"])
+        assert registry.default_tenant() == digest
+        registry.register(snapshot_paths["fig5"])
+        assert registry.default_tenant() is None
+
+    def test_restored_service_answers_like_direct(self, snapshot_paths):
+        registry = SnapshotRegistry()
+        digest = registry.register(snapshot_paths["fig1"])
+        restored = registry.acquire(digest)
+        direct = AnalysisService.from_snapshot(snapshot_paths["fig1"])
+        assert set(restored._backend.pts) == set(direct._backend.pts)
+
+
+class TestEviction:
+    def test_lru_eviction_under_byte_budget(self, snapshot_paths):
+        size1 = document_byte_size(
+            load_snapshot_document(snapshot_paths["fig1"])
+        )
+        size5 = document_byte_size(
+            load_snapshot_document(snapshot_paths["fig5"])
+        )
+        # Budget fits either snapshot alone but not both warm at once.
+        registry = SnapshotRegistry(byte_budget=max(size1, size5))
+        d1 = registry.register(snapshot_paths["fig1"])
+        d5 = registry.register(snapshot_paths["fig5"])
+        registry.acquire(d1)
+        assert registry.warm_bytes() == size1
+        registry.acquire(d5)  # evicts fig1 (least recently used)
+        stats = registry.describe()
+        assert stats["evictions"] == 1
+        assert registry.warm_bytes() == size5
+        rows = {row["digest"]: row for row in registry.tenants()}
+        assert not rows[d1]["warm"] and rows[d5]["warm"]
+        # The evicted tenant restores again on demand.
+        registry.acquire(d1)
+        assert registry.describe()["restores"] == 3
+
+    def test_unbounded_budget_never_evicts(self, snapshot_paths):
+        registry = SnapshotRegistry()
+        registry.acquire(registry.register(snapshot_paths["fig1"]))
+        registry.acquire(registry.register(snapshot_paths["fig5"]))
+        assert registry.describe()["evictions"] == 0
+        assert registry.describe()["warm"] == 2
+
+    def test_single_oversized_tenant_still_serves(self, snapshot_paths):
+        registry = SnapshotRegistry(byte_budget=1)
+        digest = registry.register(snapshot_paths["fig1"])
+        service = registry.acquire(digest)
+        assert service.points_to("T.main/a")
+        # Over budget but irreducible: the just-restored tenant stays.
+        assert registry.describe()["warm"] == 1
+
+    def test_budget_charges_canonical_digested_bytes(self, snapshot_paths):
+        document = load_snapshot_document(snapshot_paths["fig1"])
+        registry = SnapshotRegistry()
+        registry.register(snapshot_paths["fig1"])
+        row = registry.tenants()[0]
+        assert row["bytes"] == document_byte_size(document)

@@ -12,8 +12,10 @@ from repro.core.config import config_by_name
 from repro.frontend.factgen import facts_from_source
 from repro.frontend.paper_programs import FIGURE_1
 from repro.service.server import (
+    ERROR_CODES,
     PROTOCOL,
     ServiceTCPServer,
+    handle_line,
     handle_request,
     serve_stdio,
 )
@@ -90,7 +92,8 @@ class TestStdio:
             json.loads(line) for line in out.getvalue().splitlines()
         ]
         assert first == {
-            "id": None, "ok": False, "error": first["error"],
+            "id": None, "ok": False, "code": "bad-json",
+            "error": first["error"],
         } and "bad JSON" in first["error"]
         assert second["ok"] and second["id"] == 7
 
@@ -99,16 +102,64 @@ class TestHandleRequest:
     def test_unknown_op(self, service):
         response = handle_request(service, {"id": 9, "op": "pointsto"})
         assert not response["ok"]
+        assert response["code"] == "unknown-op"
         assert "unknown op" in response["error"]
 
     def test_missing_field(self, service):
         response = handle_request(service, {"id": 9, "op": "points_to"})
         assert not response["ok"]
+        assert response["code"] == "missing-field"
         assert "var" in response["error"]
 
     def test_non_object_request(self, service):
         response = handle_request(service, ["op", "ping"])
         assert not response["ok"]
+        assert response["code"] == "bad-request"
+
+    def test_every_error_carries_a_stable_code(self, service):
+        cases = {
+            "bad-json": handle_line(service, "{nope"),
+            "bad-request": handle_request(service, {"id": 1}),
+            "unknown-op": handle_request(service, {"op": "zap"}),
+            "missing-field": handle_request(service, {"op": "alias"}),
+            "oversized": handle_line(
+                service, "x" * 64, max_line_bytes=32
+            ),
+        }
+        for code, response in cases.items():
+            assert response["ok"] is False, code
+            assert response["code"] == code
+            assert code in ERROR_CODES
+
+
+class TestLineBounds:
+    def test_oversized_line_answered(self, service):
+        line = json.dumps({"id": 1, "op": "ping", "pad": "x" * 100})
+        response = handle_line(service, line, max_line_bytes=32)
+        assert response["code"] == "oversized"
+        assert response["id"] is None
+
+    def test_within_bound_line_served(self, service):
+        response = handle_line(
+            service, '{"id": 1, "op": "ping"}', max_line_bytes=1024
+        )
+        assert response["ok"] and response["result"] == PROTOCOL
+
+    def test_stdio_respects_bound_and_recovers(self, service):
+        big = json.dumps({"id": 1, "op": "ping", "pad": "y" * 2048})
+        out = io.StringIO()
+        answered = serve_stdio(
+            service,
+            io.StringIO(big + "\n" + '{"id": 2, "op": "ping"}\n'),
+            out,
+            max_line_bytes=256,
+        )
+        assert answered == 2
+        first, second = [
+            json.loads(line) for line in out.getvalue().splitlines()
+        ]
+        assert first["code"] == "oversized"
+        assert second["ok"] and second["id"] == 2
 
     def test_fields_of_serializes_as_dict_of_lists(self, facts, service):
         heap = sorted(row[0] for row in facts.assign_new)[0]
@@ -157,6 +208,86 @@ class TestTCP:
                 assert first["ok"], var
                 assert first["result"], var
                 assert second["result"] == "bye"
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_oversized_line_recovers_on_the_wire(self, service):
+        server = ServiceTCPServer(
+            ("127.0.0.1", 0), service, max_line_bytes=256
+        )
+        host, port = server.server_address[:2]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            with socket.create_connection((host, port), timeout=5) as s:
+                handle = s.makefile("rw", encoding="utf-8")
+                handle.write("z" * 4096 + "\n")
+                handle.write('{"id": 2, "op": "ping"}\n')
+                handle.flush()
+                first = json.loads(handle.readline())
+                second = json.loads(handle.readline())
+            assert first["code"] == "oversized" and not first["ok"]
+            # The connection survived: the next request is served.
+            assert second["ok"] and second["id"] == 2
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_drain_stops_reading_further_requests(self, service):
+        server = ServiceTCPServer(("127.0.0.1", 0), service)
+        host, port = server.server_address[:2]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            with socket.create_connection((host, port), timeout=5) as s:
+                handle = s.makefile("rw", encoding="utf-8")
+                handle.write('{"id": 1, "op": "ping"}\n')
+                handle.flush()
+                assert json.loads(handle.readline())["ok"]
+                server.draining.set()
+                # A read already in flight when the flag went up still
+                # gets its answer (that is the "graceful" in the
+                # drain); a handler that re-checked the flag first
+                # closes cleanly instead.  Which happens is a race —
+                # both are correct, hanging or dying is not.
+                handle.write('{"id": 2, "op": "ping"}\n')
+                handle.flush()
+                line = handle.readline()
+                if line:
+                    assert json.loads(line)["id"] == 2
+                    # Served once more at most: the flag is re-checked
+                    # before the next read, which now closes.
+                    handle.write('{"id": 3, "op": "ping"}\n')
+                    handle.flush()
+                    assert handle.readline() == ""
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_active_connection_counter(self, service):
+        import time as time_module
+
+        server = ServiceTCPServer(("127.0.0.1", 0), service)
+        host, port = server.server_address[:2]
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            assert server.active_connections == 0
+            with socket.create_connection((host, port), timeout=5) as s:
+                handle = s.makefile("rw", encoding="utf-8")
+                handle.write('{"id": 1, "op": "ping"}\n')
+                handle.flush()
+                handle.readline()
+                assert server.active_connections == 1
+                handle.close()  # makefile holds the socket open
+            deadline = time_module.monotonic() + 5
+            while (
+                server.active_connections
+                and time_module.monotonic() < deadline
+            ):
+                time_module.sleep(0.01)
+            assert server.active_connections == 0
         finally:
             server.shutdown()
             server.server_close()

@@ -208,3 +208,58 @@ class TestThreadSafety:
         assert not errors
         total = service.stats()["cache"]
         assert total["hits"] + total["misses"] == 4 * len(variables)
+
+
+class TestKernelBackend:
+    """``from_facts(backend="kernel")`` must be bit-identical to the
+    worklist solver and report which engine actually ran."""
+
+    @pytest.mark.parametrize("source_name", sorted(PROGRAMS))
+    @pytest.mark.parametrize(
+        "abstraction", ["transformer-string", "context-string"]
+    )
+    def test_parity_with_worklist(self, source_name, abstraction):
+        facts = facts_from_source(PROGRAMS[source_name])
+        config = config_by_name("1-call", abstraction)
+        worklist = AnalysisService.from_facts(
+            facts, config, backend="worklist"
+        )
+        kernel = AnalysisService.from_facts(facts, config, backend="kernel")
+        for name in ("pts", "hpts", "call", "reach", "spts", "texc"):
+            assert (
+                set(getattr(worklist._backend, name))
+                == set(getattr(kernel._backend, name))
+            ), (source_name, abstraction, name)
+        assert worklist.stats()["solve_backend"] == "worklist"
+        assert kernel.stats()["solve_backend"] == "kernel"
+        for var in sorted(variables_of(facts))[:5]:
+            assert worklist.points_to(var) == kernel.points_to(var)
+
+    def test_incompatible_config_falls_back(self):
+        from dataclasses import replace
+
+        facts = facts_from_source(PROGRAMS["figure1"])
+        config = replace(config_by_name("1-call"), eliminate_subsumed=True)
+        service = AnalysisService.from_facts(facts, config, backend="kernel")
+        assert service.stats()["solve_backend"] == "worklist"
+
+    def test_unknown_backend_rejected(self):
+        facts = facts_from_source(PROGRAMS["figure1"])
+        with pytest.raises(ValueError, match="unknown solve backend"):
+            AnalysisService.from_facts(
+                facts, config_by_name("1-call"), backend="llvm"
+            )
+
+    def test_kernel_solved_service_snapshots_and_updates(self, tmp_path):
+        from repro.incremental import FactDelta
+
+        facts = facts_from_source(PROGRAMS["figure1"])
+        config = config_by_name("1-call")
+        service = AnalysisService.from_facts(facts, config, backend="kernel")
+        path = str(tmp_path / "kernel.json")
+        service.save_snapshot(path)
+        restored = AnalysisService.from_snapshot(path)
+        assert set(restored._backend.pts) == set(service._backend.pts)
+        before = service.generation
+        service.apply_delta(FactDelta())
+        assert service.generation == before + 1
