@@ -25,8 +25,9 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.checkers import CheckConfig, run_checks
 from repro.core.analysis import analyze
 from repro.core.config import PAPER_CONFIGURATIONS, config_by_name
-from repro.bench.workloads import DACAPO_NAMES, dacapo_program
-from repro.frontend.factgen import FactSet, generate_facts
+from repro.bench.workloads import DACAPO_NAMES
+from repro.frontend.factgen import FactSet
+from repro.perf.registry import corpus_facts
 
 #: The audit's default configuration column set: the insensitive
 #: baseline first (the superset every other column is judged against),
@@ -127,7 +128,7 @@ def run_check_audit(
     }
     for name in benchmarks:
         audit = run_precision_audit(
-            generate_facts(dacapo_program(name, scale)),
+            corpus_facts(name, scale),
             configurations=configurations,
         )
         out["benchmarks"][name] = {

@@ -27,12 +27,13 @@ additive ``incremental`` field of schema ``repro-figure6/7``.
 
 from __future__ import annotations
 
-import time
 from typing import Dict, Iterable, Optional
 
-from repro.bench.workloads import DACAPO_NAMES, dacapo_program
+from repro.bench.workloads import DACAPO_NAMES
 from repro.core.config import config_by_name
-from repro.frontend.factgen import FactSet, generate_facts
+from repro.frontend.factgen import FactSet
+from repro.perf.registry import corpus_facts
+from repro.perf.stats import stopwatch
 from repro.incremental import FactDelta, IncrementalSolver, copy_facts
 from repro.incremental.edits import random_edits
 
@@ -40,9 +41,8 @@ from repro.incremental.edits import random_edits
 def _scratch_seconds(facts: FactSet, config) -> float:
     from repro.core.analysis import PointerAnalysis
 
-    start = time.perf_counter()
-    PointerAnalysis(facts, config).run()
-    return time.perf_counter() - start
+    _, seconds = stopwatch(lambda: PointerAnalysis(facts, config).run())
+    return seconds
 
 
 def measure_churn(
@@ -150,7 +150,7 @@ def run_delta_churn(
     """The full edit-churn workload (the ``incremental`` export)."""
     results: Dict[str, Dict] = {}
     for benchmark in benchmarks:
-        facts = generate_facts(dacapo_program(benchmark, scale=scale))
+        facts = corpus_facts(benchmark, scale=scale)
         results[benchmark] = measure_churn(
             facts, configuration, abstraction, edits=edits, seed=seed
         )

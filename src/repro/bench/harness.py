@@ -11,14 +11,15 @@ formats the result in the paper's layout.
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.core.analysis import analyze
 from repro.core.config import PAPER_CONFIGURATIONS, config_by_name
-from repro.bench.workloads import DACAPO_NAMES, dacapo_program
-from repro.frontend.factgen import FactSet, generate_facts
+from repro.bench.workloads import DACAPO_NAMES
+from repro.frontend.factgen import FactSet
+from repro.perf.registry import corpus_facts
+from repro.perf.stats import best_of
 
 RELATIONS = ("pts", "hpts", "call")
 
@@ -76,11 +77,12 @@ class Cell:
 def _measure_solver(facts: FactSet, configuration: str, abstraction: str,
                     repetitions: int) -> Measurement:
     result = None
-    best = math.inf
-    for _ in range(max(1, repetitions)):
-        start = time.perf_counter()
+
+    def solve():
+        nonlocal result
         result = analyze(facts, config_by_name(configuration, abstraction))
-        best = min(best, time.perf_counter() - start)
+
+    best = best_of(solve, repetitions)
     return Measurement(
         sizes=result.relation_sizes(),
         ci_sizes=result.ci_sizes(),
@@ -108,12 +110,13 @@ def _measure_datalog(facts: FactSet, configuration: str, abstraction: str,
     )
     compiled = compiler(facts, config.flavour, config.m, config.h)
     engine = CompiledEngine(compiled.program, compiled.builtins)
-    best = math.inf
     raw = None
-    for _ in range(max(1, repetitions)):
-        start = time.perf_counter()
+
+    def solve():
+        nonlocal raw
         raw = engine.run()
-        best = min(best, time.perf_counter() - start)
+
+    best = best_of(solve, repetitions)
     relations = compiled.decoder(raw)
     sizes = {name: len(relations[name]) for name in RELATIONS}
     ci_sizes = {
@@ -213,7 +216,7 @@ def run_figure6(
     """
     table = Figure6()
     for benchmark in benchmarks:
-        facts = generate_facts(dacapo_program(benchmark, scale=scale))
+        facts = corpus_facts(benchmark, scale=scale)
         for configuration in configurations:
             table.cells.append(
                 run_cell(facts, benchmark, configuration, repetitions,

@@ -26,12 +26,11 @@ files (ROADMAP item 4).
 
 from __future__ import annotations
 
-import time
 from typing import Dict
 
-from repro.bench.workloads import dacapo_program
 from repro.core.config import config_by_name
-from repro.frontend.factgen import generate_facts
+from repro.perf.registry import corpus_facts
+from repro.perf.stats import stopwatch
 
 DEFAULT_BENCHMARK = "bloat"
 DEFAULT_CONFIGURATION = "2-object+H"
@@ -55,31 +54,31 @@ def run_kernel_block(
     from repro.datalog.parallel import ParallelEngine
 
     config = config_by_name(configuration)
-    facts = generate_facts(dacapo_program(benchmark, scale))
+    facts = corpus_facts(benchmark, scale)
     compiled = compile_transformer_analysis(
         facts, config.flavour, config.m, config.h
     )
 
-    start = time.perf_counter()
-    engine = Engine(compiled.program, compiled.builtins)
-    baseline = engine.run()
-    engine_seconds = time.perf_counter() - start
+    def _engine_run():
+        engine = Engine(compiled.program, compiled.builtins)
+        return engine, engine.run()
 
-    start = time.perf_counter()
-    kernel_engine = KernelEngine(compiled.program, compiled.builtins)
-    compile_seconds = time.perf_counter() - start
-    start = time.perf_counter()
-    kernel_results = kernel_engine.run()
-    solve_seconds = time.perf_counter() - start
+    (engine, baseline), engine_seconds = stopwatch(_engine_run)
+
+    kernel_engine, compile_seconds = stopwatch(
+        lambda: KernelEngine(compiled.program, compiled.builtins)
+    )
+    kernel_results, solve_seconds = stopwatch(kernel_engine.run)
     kernel_seconds = compile_seconds + solve_seconds
 
-    start = time.perf_counter()
-    sharded = ParallelEngine(
-        compiled.program, compiled.builtins, shards=shards,
-        processes=processes, kernels=True,
-    )
-    sharded_results = sharded.run()
-    sharded_seconds = time.perf_counter() - start
+    def _sharded_run():
+        sharded = ParallelEngine(
+            compiled.program, compiled.builtins, shards=shards,
+            processes=processes, kernels=True,
+        )
+        return sharded, sharded.run()
+
+    (sharded, sharded_results), sharded_seconds = stopwatch(_sharded_run)
     stats = sharded.stats
 
     def speedup(seconds: float):

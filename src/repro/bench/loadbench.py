@@ -48,9 +48,10 @@ import time
 from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.bench.workloads import dacapo_program
 from repro.core.config import config_by_name
-from repro.frontend.factgen import FactSet, generate_facts
+from repro.frontend.factgen import FactSet
+from repro.perf.registry import corpus_facts
+from repro.perf.stats import percentile, to_ms
 from repro.service.service import AnalysisService, variables_of
 
 DEFAULT_BENCHMARK = "bloat"
@@ -146,14 +147,9 @@ class _Sample:
     code: Optional[str]
 
 
-def _percentile(ordered: List[float], fraction: float) -> Optional[float]:
-    if not ordered:
-        return None
-    index = min(
-        len(ordered) - 1,
-        max(0, int(round(fraction * (len(ordered) - 1)))),
-    )
-    return ordered[index]
+# Shared arithmetic from the perf subsystem (one implementation for
+# every harness); the local names are kept for existing importers.
+_percentile = percentile
 
 
 async def _drive_connection(
@@ -328,8 +324,7 @@ def run_open_loop(
     }, answers
 
 
-def _ms(seconds: Optional[float]) -> Optional[float]:
-    return None if seconds is None else seconds * 1000
+_ms = to_ms
 
 
 # -- serving targets --------------------------------------------------------
@@ -472,7 +467,7 @@ def run_serving_block(
 
     spec = spec or LoadSpec()
     config = config_by_name(configuration)
-    facts = generate_facts(dacapo_program(benchmark, scale))
+    facts = corpus_facts(benchmark, scale)
 
     start = time.perf_counter()
     service = AnalysisService.from_facts(facts, config, backend="kernel")

@@ -22,12 +22,11 @@ files (ROADMAP item 4).
 
 from __future__ import annotations
 
-import time
 from typing import Dict, Optional, Sequence
 
-from repro.bench.workloads import dacapo_program
 from repro.core.config import config_by_name
-from repro.frontend.factgen import generate_facts
+from repro.perf.registry import corpus_facts
+from repro.perf.stats import stopwatch
 
 DEFAULT_BENCHMARK = "bloat"
 DEFAULT_CONFIGURATION = "2-object+H"
@@ -56,14 +55,14 @@ def run_parallel_fixpoint(
     if key is None:
         key = DEFAULT_KEY
     config = config_by_name(configuration)
-    facts = generate_facts(dacapo_program(benchmark, scale))
+    facts = corpus_facts(benchmark, scale)
     compiled = compile_transformer_analysis(
         facts, config.flavour, config.m, config.h
     )
 
-    start = time.perf_counter()
-    sequential = Engine(compiled.program, compiled.builtins).run()
-    sequential_seconds = time.perf_counter() - start
+    sequential, sequential_seconds = stopwatch(
+        lambda: Engine(compiled.program, compiled.builtins).run()
+    )
 
     spec = pointer_partition_spec(compiled.program, key)
     plan = build_shard_plan(compiled.program, spec, compiled.builtins)

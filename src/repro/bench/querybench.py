@@ -27,9 +27,11 @@ import time
 from typing import Dict, Iterable, List, Optional
 
 from repro.bench.harness import Measurement
-from repro.bench.workloads import DACAPO_NAMES, dacapo_program
+from repro.bench.workloads import DACAPO_NAMES
 from repro.core.config import config_by_name
-from repro.frontend.factgen import FactSet, generate_facts
+from repro.frontend.factgen import FactSet
+from repro.perf.registry import corpus_facts
+from repro.perf.stats import latency_summary_us
 from repro.service.service import AnalysisService, variables_of
 
 
@@ -75,18 +77,7 @@ def _cfl_points_to(facts: FactSet, variables: List[str]) -> Dict[str, int]:
         start = time.perf_counter()
         demand.query(var)
         samples.append(time.perf_counter() - start)
-    if not samples:
-        return {"count": 0, "p50_us": 0, "p95_us": 0}
-    ordered = sorted(samples)
-
-    def at(fraction: float) -> int:
-        index = min(
-            len(ordered) - 1,
-            max(0, int(round(fraction * (len(ordered) - 1)))),
-        )
-        return int(ordered[index] * 1e6)
-
-    return {"count": len(ordered), "p50_us": at(0.50), "p95_us": at(0.95)}
+    return latency_summary_us(samples)
 
 
 def measure_queries(
@@ -155,7 +146,7 @@ def run_query_latency(
     """The full query-latency workload (the ``query_latency`` export)."""
     results: Dict[str, Dict] = {}
     for benchmark in benchmarks:
-        facts = generate_facts(dacapo_program(benchmark, scale=scale))
+        facts = corpus_facts(benchmark, scale=scale)
         results[benchmark] = measure_queries(
             facts, configuration, abstraction, queries_per_kind
         )

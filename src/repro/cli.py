@@ -877,6 +877,8 @@ def cmd_lint(args) -> int:
         return _lint_snapshot(args.path)
     if _looks_like_check_report(args.path, source):
         return _lint_check_report(args.path)
+    if _looks_like_bench_document(args.path, source):
+        return _lint_bench_document(args.path)
 
     failed = False
     entries: list = []
@@ -930,6 +932,50 @@ def _lint_snapshot(path: str) -> int:
     print(f"  facts     {report['input_facts']} input facts")
     print(f"  relations {relations}")
     print("snapshot ok: 0 errors, 0 warnings")
+    return 0
+
+
+def _looks_like_bench_document(path: str, source: str) -> bool:
+    """Heuristic: JSON carrying the ``repro-bench/`` schema marker.
+
+    The marker includes the trailing slash, so trajectory files
+    (``repro-bench-trajectory/``) do not match and still lint as
+    ordinary JSON-free sources.  The whole source is scanned: rendered
+    documents sort ``schema`` after the (large) ``body`` key."""
+    stripped = source.lstrip()
+    return stripped.startswith("{") and '"repro-bench/' in stripped
+
+
+def _lint_bench_document(path: str) -> int:
+    """Self-check a ``repro-bench/1`` document: schema, digest,
+    fingerprint, entry-key consistency, warmup/steady split."""
+    from repro.perf import BenchDocumentError, describe_document
+
+    try:
+        report = describe_document(path)
+    except (BenchDocumentError, OSError) as error:
+        print(f"error[bench] in {path}: {error}", file=sys.stderr)
+        return 1
+    print(f"bench document: {path}")
+    print(f"  schema      {report['schema']}")
+    print(f"  suite       {report['suite']}")
+    print(f"  digest      {report['digest']} (verified)")
+    print(f"  commit      {report['commit'] or '(none)'}")
+    print(f"  fingerprint {report['fingerprint']}")
+    print(
+        f"  entries     {report['entries']}"
+        f" ({report['certified']} certified,"
+        f" {report['uncertified']} uncertified)"
+    )
+    print(f"  surfaces    {', '.join(report['surfaces'])}")
+    if report["uncertified"]:
+        print(
+            f"warning[bench] in {path}: {report['uncertified']}"
+            " entries are not certified against the worklist solver",
+            file=sys.stderr,
+        )
+    print("bench document ok: 0 errors,"
+          f" {1 if report['uncertified'] else 0} warnings")
     return 0
 
 
@@ -1084,6 +1130,190 @@ def cmd_figure6(args) -> int:
             ))
         print(f"\nwrote JSON to {args.json}")
     return 0
+
+
+def cmd_bench(args) -> int:
+    handlers = {
+        "run": _bench_run,
+        "compare": _bench_compare,
+        "gate": _bench_gate,
+        "record": _bench_record,
+        "trend": _bench_trend,
+    }
+    return handlers[args.bench_command](args)
+
+
+def _bench_run(args) -> int:
+    """``bench run``: execute a named suite; emit ``repro-bench/1``."""
+    from repro.perf import (
+        SUITES,
+        bench_document,
+        render_document,
+        run_suite,
+        validate_document,
+    )
+
+    suite = SUITES[args.suite]
+    results = run_suite(
+        suite,
+        progress=(
+            None if args.quiet
+            else lambda key: print(f"  running {key}", flush=True)
+        ),
+    )
+    document = bench_document(suite, results)
+    validate_document(document)
+    body = document["body"]
+    certified = sum(1 for r in results if r.certified)
+    print(
+        f"bench run: suite {suite.name}, {len(results)} entries over"
+        f" {len(suite.surfaces())} surfaces,"
+        f" {certified}/{len(results)} certified"
+    )
+    for result in results:
+        verdict = "certified" if result.certified else "UNCERTIFIED"
+        print(f"  {result.key:<40} best {result.best():.4f}s ({verdict})")
+    print(
+        f"  commit {body['environment']['commit'] or '(none)'}"
+        f"  fingerprint {body['environment']['fingerprint']}"
+    )
+    if args.json:
+        text = render_document(document)
+        if args.json == "-":
+            print(text, end="")
+        else:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"wrote bench document to {args.json}")
+    return 0 if certified == len(results) else 1
+
+
+def _bench_load(path: str):
+    from repro.perf import BenchDocumentError, load_document
+
+    try:
+        return load_document(path)
+    except (OSError, BenchDocumentError) as error:
+        print(f"repro bench: {path}: {error}", file=sys.stderr)
+        return None
+
+
+def _bench_compare(args) -> int:
+    """``bench compare``: side-by-side entries, no verdicts."""
+    from repro.perf import compare_documents
+    from repro.perf.gate import format_compare
+
+    current = _bench_load(args.current)
+    baseline = _bench_load(args.baseline)
+    if current is None or baseline is None:
+        return 1
+    mode, rows = compare_documents(current, baseline)
+    print(format_compare(mode, rows))
+    return 0
+
+
+def _bench_gate(args) -> int:
+    """``bench gate``: threshold a run against the committed baseline.
+
+    Exits 1 on any regression (timing, lost certification, or a
+    dropped entry).  ``--update-baseline`` re-pins instead of gating.
+    """
+    from repro.perf import gate_documents, render_document
+    from repro.perf.gate import format_gate
+
+    current = _bench_load(args.current)
+    if current is None:
+        return 1
+    if args.update_baseline:
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            handle.write(render_document(current))
+        print(f"bench gate: baseline re-pinned at {args.baseline}")
+        return 0
+    baseline = _bench_load(args.baseline)
+    if baseline is None:
+        return 1
+    per_entry = {}
+    for override in args.entry_tolerance or ():
+        key, _, value = override.rpartition("=")
+        try:
+            per_entry[key] = float(value)
+        except ValueError:
+            print(
+                f"repro bench: bad --entry-tolerance {override!r}"
+                " (want KEY=FLOAT)",
+                file=sys.stderr,
+            )
+            return 1
+    outcome = gate_documents(
+        current, baseline,
+        tolerance=args.tolerance,
+        per_entry_tolerance=per_entry,
+        inject_slowdown=args.inject_slowdown,
+    )
+    print(format_gate(outcome))
+    return 0 if outcome.passed else 1
+
+
+def _bench_record(args) -> int:
+    """``bench record``: append a certified trajectory point."""
+    import time as _time
+
+    from repro.perf import (
+        TrajectoryError,
+        append_point,
+        trajectory_point,
+    )
+
+    document = _bench_load(args.document)
+    if document is None:
+        return 1
+    point = trajectory_point(document)
+    if not point["certified"]:
+        uncertified = [
+            key for key, entry in point["entries"].items()
+            if not entry["certified"]
+        ]
+        print(
+            "repro bench: refusing to record an uncertified point"
+            f" (not bit-identical to the worklist solver:"
+            f" {', '.join(uncertified)})",
+            file=sys.stderr,
+        )
+        return 1
+    path = args.trajectory or _time.strftime("BENCH_%Y-%m-%d.json")
+    try:
+        append_point(path, point, description=args.description)
+    except TrajectoryError as error:
+        print(f"repro bench: {error}", file=sys.stderr)
+        return 1
+    print(
+        f"recorded certified point {point['run_id']}"
+        f" (commit {(point['commit'] or '?')[:8]}) in {path}"
+    )
+    return 0
+
+
+def _bench_trend(args) -> int:
+    """``bench trend``: render trajectory files (v1 migrated)."""
+    import glob as _glob
+
+    from repro.perf import TrajectoryError, format_trend, load_trajectory
+
+    paths = args.paths or sorted(_glob.glob("BENCH_*.json"))
+    if not paths:
+        print("repro bench: no trajectory files found", file=sys.stderr)
+        return 1
+    status = 0
+    for path in paths:
+        try:
+            document = load_trajectory(path)
+        except (OSError, TrajectoryError) as error:
+            print(f"repro bench: {path}: {error}", file=sys.stderr)
+            status = 1
+            continue
+        print(f"{path}:")
+        print(format_trend(document))
+    return status
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1414,6 +1644,86 @@ def build_parser() -> argparse.ArgumentParser:
         help="omit the open-loop serving workload from the JSON",
     )
     p_fig.set_defaults(func=cmd_figure6)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="benchmark corpus: run suites, gate regressions, record"
+        " trajectory points",
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+
+    b_run = bench_sub.add_parser(
+        "run", help="execute a named suite (emits repro-bench/1)"
+    )
+    b_run.add_argument(
+        "--suite", default="smoke", choices=("smoke", "micro", "corpus"),
+        help="which suite to run (default: smoke)",
+    )
+    b_run.add_argument(
+        "--json",
+        help="write the repro-bench/1 document here ('-' for stdout)",
+    )
+    b_run.add_argument(
+        "--quiet", action="store_true", help="no per-cell progress lines",
+    )
+
+    b_compare = bench_sub.add_parser(
+        "compare", help="side-by-side entries of two bench documents"
+    )
+    b_compare.add_argument("current", help="repro-bench/1 document")
+    b_compare.add_argument(
+        "baseline", nargs="?", default="benchmarks/baseline.json",
+        help="baseline document (default: benchmarks/baseline.json)",
+    )
+
+    b_gate = bench_sub.add_parser(
+        "gate", help="fail (exit 1) on regressions against the baseline"
+    )
+    b_gate.add_argument("current", help="repro-bench/1 document to gate")
+    b_gate.add_argument(
+        "--baseline", default="benchmarks/baseline.json",
+        help="committed baseline (default: benchmarks/baseline.json)",
+    )
+    b_gate.add_argument(
+        "--tolerance", type=float, default=1.0,
+        help="allowed slowdown fraction per entry (default: 1.0 = 2x)",
+    )
+    b_gate.add_argument(
+        "--entry-tolerance", action="append", metavar="KEY=FLOAT",
+        help="per-entry tolerance override (repeatable)",
+    )
+    b_gate.add_argument(
+        "--inject-slowdown", type=float, default=1.0, metavar="FACTOR",
+        help="multiply non-reference timings before gating (CI"
+        " self-test that the gate can fail)",
+    )
+    b_gate.add_argument(
+        "--update-baseline", action="store_true",
+        help="re-pin the baseline from the current document instead"
+        " of gating",
+    )
+
+    b_record = bench_sub.add_parser(
+        "record",
+        help="append a certified trajectory point to BENCH_<date>.json",
+    )
+    b_record.add_argument("document", help="repro-bench/1 document")
+    b_record.add_argument(
+        "--trajectory",
+        help="trajectory file (default: BENCH_<today>.json)",
+    )
+    b_record.add_argument(
+        "--description", help="set the trajectory file's description",
+    )
+
+    b_trend = bench_sub.add_parser(
+        "trend", help="render trajectory files (v1 files migrated)"
+    )
+    b_trend.add_argument(
+        "paths", nargs="*",
+        help="trajectory files (default: BENCH_*.json in cwd)",
+    )
+    p_bench.set_defaults(func=cmd_bench)
     return parser
 
 

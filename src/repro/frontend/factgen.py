@@ -47,6 +47,7 @@ when the frontend cannot resolve static types.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Set, Tuple
 
@@ -95,6 +96,33 @@ class FactSet:
     def counts(self) -> Dict[str, int]:
         """Sizes of all input relations (for reports and tests)."""
         return {name: len(getattr(self, name)) for name in self.relation_names()}
+
+    def digest(self) -> str:
+        """sha256 over the canonical serialisation of every relation.
+
+        Rows are sorted per relation and the auxiliary maps are sorted
+        by key, so the digest depends only on fact *content* — the
+        determinism anchor for benchmark inputs: same workload spec ⇒
+        same digest, across invocations and interpreters.
+        """
+        hasher = hashlib.sha256()
+        for name in self.relation_names():
+            hasher.update(name.encode("utf-8"))
+            hasher.update(b"\x00")
+            for row in sorted(getattr(self, name)):
+                hasher.update(repr(row).encode("utf-8"))
+                hasher.update(b"\x01")
+        for label, mapping in (
+            ("class_of", self.class_of),
+            ("invocation_parent", self.invocation_parent),
+        ):
+            hasher.update(label.encode("utf-8"))
+            hasher.update(b"\x00")
+            for key in sorted(mapping):
+                hasher.update(("%s=%s" % (key, mapping[key])).encode("utf-8"))
+                hasher.update(b"\x01")
+        hasher.update(("main=%s" % self.main_method).encode("utf-8"))
+        return hasher.hexdigest()
 
 
 class FactGenError(ValueError):

@@ -1,0 +1,214 @@
+"""The ``repro-bench/1`` document: byte-stable benchmark results.
+
+Layout (schema header + digested body, the repo's document idiom):
+
+.. code-block:: json
+
+    {
+      "schema": "repro-bench/1",
+      "digest": "sha256:<hex of canonical body>",
+      "created": "<ISO-8601 UTC, excluded from the digest>",
+      "body": {
+        "suite": "smoke",
+        "registry": {"bloat": 1, "...": 1},
+        "environment": {
+          "commit": "<40-hex sha or null>",
+          "fingerprint": "<12-hex host fingerprint>",
+          "host": {"python": "3.11.7", "...": "..."}
+        },
+        "entries": [ { "key": "bloat/kernel/1-call/s1", ... } ]
+      }
+    }
+
+The digest covers the canonical encoding of ``body`` only (keys
+sorted, no whitespace), so re-rendering the file never changes its
+identity and a timestamp never invalidates a digest.  Two runs of the
+same suite on the same commit and host differ only in timings — entry
+order, key order and rounding are all fixed.
+
+``validate_document`` is what ``repro lint`` calls: schema header,
+digest, environment fingerprint shape, entry-key consistency, and the
+warmup/steady split (steady stats must be derived from the steady
+samples alone).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from typing import Dict, List, Optional
+
+from repro.perf.env import capture_environment
+from repro.perf.registry import DEFAULT_REGISTRY
+from repro.perf.result import RunResult
+from repro.perf.suite import Suite
+
+BENCH_SCHEMA = "repro-bench/1"
+
+
+class BenchDocumentError(ValueError):
+    """A malformed, mis-digested or mis-shaped bench document."""
+
+
+def _digest(body: Dict) -> str:
+    canonical = json.dumps(
+        body, sort_keys=True, separators=(",", ":"), ensure_ascii=True
+    )
+    return "sha256:" + hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def bench_document(
+    suite: Suite,
+    results: List[RunResult],
+    environment: Optional[Dict] = None,
+    created: Optional[str] = None,
+) -> Dict:
+    """Assemble the full document for one suite run."""
+    body = {
+        "suite": suite.name,
+        "registry": DEFAULT_REGISTRY.versions(),
+        "environment": environment or capture_environment(),
+        "entries": [result.to_json() for result in results],
+    }
+    return {
+        "schema": BENCH_SCHEMA,
+        "digest": _digest(body),
+        "created": created or time.strftime(
+            "%Y-%m-%dT%H:%M:%SZ", time.gmtime()
+        ),
+        "body": body,
+    }
+
+
+def render_document(document: Dict) -> str:
+    """The byte-stable on-disk rendering."""
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def write_document(document: Dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_document(document))
+
+
+def load_document(path: str) -> Dict:
+    """Load + validate a bench document from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            document = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise BenchDocumentError(
+                "%s: not JSON (%s)" % (path, error)
+            ) from None
+    validate_document(document)
+    return document
+
+
+_REQUIRED_ENTRY_KEYS = (
+    "key", "benchmark", "surface", "configuration", "scale",
+    "warmup", "steady", "phases", "metrics", "certified", "reference",
+)
+
+
+def validate_document(document: Dict) -> None:
+    """Raise :class:`BenchDocumentError` on any shape/digest violation."""
+    if not isinstance(document, dict):
+        raise BenchDocumentError("document is not an object")
+    if document.get("schema") != BENCH_SCHEMA:
+        raise BenchDocumentError(
+            "schema is %r, expected %r"
+            % (document.get("schema"), BENCH_SCHEMA)
+        )
+    body = document.get("body")
+    if not isinstance(body, dict):
+        raise BenchDocumentError("body is missing or not an object")
+    digest = document.get("digest")
+    expected = _digest(body)
+    if digest != expected:
+        raise BenchDocumentError(
+            "digest mismatch: header %r, body %r" % (digest, expected)
+        )
+    for field in ("suite", "registry", "environment", "entries"):
+        if field not in body:
+            raise BenchDocumentError("body.%s is missing" % field)
+    environment = body["environment"]
+    fingerprint = environment.get("fingerprint")
+    if (
+        not isinstance(fingerprint, str)
+        or len(fingerprint) != 12
+        or any(c not in "0123456789abcdef" for c in fingerprint)
+    ):
+        raise BenchDocumentError(
+            "environment.fingerprint %r is not a 12-hex-digit digest"
+            % (fingerprint,)
+        )
+    commit = environment.get("commit")
+    if commit is not None and (
+        not isinstance(commit, str) or len(commit) != 40
+    ):
+        raise BenchDocumentError(
+            "environment.commit %r is neither null nor a 40-hex sha"
+            % (commit,)
+        )
+    entries = body["entries"]
+    if not isinstance(entries, list) or not entries:
+        raise BenchDocumentError("body.entries is empty")
+    seen = set()
+    for entry in entries:
+        for field in _REQUIRED_ENTRY_KEYS:
+            if field not in entry:
+                raise BenchDocumentError(
+                    "entry %r lacks %r" % (entry.get("key"), field)
+                )
+        key = "%s/%s/%s/s%d" % (
+            entry["benchmark"], entry["surface"],
+            entry["configuration"], entry["scale"],
+        )
+        if entry["key"] != key:
+            raise BenchDocumentError(
+                "entry key %r does not match its fields (%r)"
+                % (entry["key"], key)
+            )
+        if key in seen:
+            raise BenchDocumentError("duplicate entry key %r" % key)
+        seen.add(key)
+        steady = entry["steady"]
+        samples = steady.get("seconds", [])
+        if steady.get("n") != len(samples) or not samples:
+            raise BenchDocumentError(
+                "entry %r: steady.n disagrees with its samples" % key
+            )
+        if abs(steady.get("best", -1) - min(samples)) > 1e-9:
+            raise BenchDocumentError(
+                "entry %r: steady.best is not min(steady.seconds) — "
+                "warmup samples may have leaked into steady stats" % key
+            )
+        warmup = entry["warmup"]
+        if warmup.get("n") != len(warmup.get("seconds", [])):
+            raise BenchDocumentError(
+                "entry %r: warmup.n disagrees with its samples" % key
+            )
+
+
+def entries_by_key(document: Dict) -> Dict[str, Dict]:
+    """Index a (validated) document's entries by key."""
+    return {entry["key"]: entry for entry in document["body"]["entries"]}
+
+
+def describe_document(path: str) -> Dict:
+    """Load + verify; a summary dict for ``repro lint``."""
+    document = load_document(path)
+    body = document["body"]
+    entries = body["entries"]
+    certified = sum(1 for entry in entries if entry["certified"])
+    return {
+        "schema": document["schema"],
+        "suite": body["suite"],
+        "digest": document["digest"],
+        "commit": body["environment"].get("commit"),
+        "fingerprint": body["environment"]["fingerprint"],
+        "entries": len(entries),
+        "certified": certified,
+        "uncertified": len(entries) - certified,
+        "surfaces": sorted({entry["surface"] for entry in entries}),
+    }

@@ -1,0 +1,73 @@
+"""Environment capture: git sha and a stable host fingerprint.
+
+A benchmark number is only comparable to another number from the same
+machine.  Each ``repro-bench/1`` document therefore records the commit
+it measured and a short fingerprint of the host that measured it; the
+gate and the trajectory use the fingerprint to decide whether two
+points may be compared absolutely or only relatively (normalised by
+the sequential reference surface).
+
+The fingerprint hashes coarse, stable properties — interpreter
+version, implementation, OS, machine architecture, CPU count — not
+hostnames or anything personally identifying.  Two containers from the
+same image on the same hardware class fingerprint identically, which
+is exactly the granularity regression gating wants.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import platform
+import subprocess
+import sys
+from typing import Dict, Optional
+
+
+def git_sha(root: Optional[str] = None) -> Optional[str]:
+    """The current commit sha, or ``None`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=root or os.getcwd(),
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    if out.returncode != 0 or len(sha) != 40:
+        return None
+    return sha
+
+
+def host_properties() -> Dict[str, str]:
+    """The coarse host properties the fingerprint is derived from."""
+    return {
+        "python": "%d.%d.%d" % sys.version_info[:3],
+        "implementation": platform.python_implementation(),
+        "system": platform.system(),
+        "machine": platform.machine(),
+        "cpus": str(os.cpu_count() or 1),
+    }
+
+
+def host_fingerprint(properties: Optional[Dict[str, str]] = None) -> str:
+    """A 12-hex-digit digest of the host properties."""
+    props = properties if properties is not None else host_properties()
+    canonical = "|".join(
+        "%s=%s" % (key, props[key]) for key in sorted(props)
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
+
+
+def capture_environment(root: Optional[str] = None) -> Dict[str, object]:
+    """The ``environment`` block of a ``repro-bench/1`` document."""
+    props = host_properties()
+    return {
+        "commit": git_sha(root),
+        "fingerprint": host_fingerprint(props),
+        "host": props,
+    }

@@ -1,0 +1,258 @@
+"""Regression gating: a bench document against a committed baseline.
+
+The gate compares min-of-N steady-state seconds per entry — the
+minimum is the sample least disturbed by the machine, so it is the
+statistic with the least noise for a threshold test.  Two modes:
+
+* **absolute** — both documents carry the same host fingerprint: an
+  entry regresses when ``current.best > baseline.best * (1 + tol)``;
+* **relative** — fingerprints differ (another machine, CI runner
+  class, interpreter): absolute seconds are not comparable, so each
+  entry is first normalised by its *reference* entry (the ``worklist``
+  surface for the same benchmark/configuration/scale) in the *same*
+  document, and the normalised ratios are compared.  Reference entries
+  themselves are skipped in this mode — they define the yardstick.
+
+Beyond timing, the gate fails on: an entry present in the baseline but
+missing from the current document (a silently dropped benchmark is a
+regression), and an entry certified in the baseline but not now (a
+speedup that stopped being bit-identical to the worklist solver is not
+a speedup).  New entries absent from the baseline pass with a note —
+they gate once the baseline is re-pinned (``--update-baseline``).
+
+Noise thresholds default to 100% (``tolerance=1.0``): interpreter
+timings on shared CI runners routinely jitter 2×, and the gate's job
+is to catch the 5×-plus regressions that mean an algorithmic slip, not
+to flap on scheduler noise.  Per-entry overrides tighten specific
+cells where the workload is long enough to be stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.perf.document import entries_by_key
+
+#: Default per-entry tolerance: fail only on > 2x the baseline.
+DEFAULT_TOLERANCE = 1.0
+
+
+@dataclass
+class GateOutcome:
+    """The verdict for one gate run."""
+
+    mode: str                       # "absolute" | "relative"
+    passed: bool
+    regressions: List[Dict] = field(default_factory=list)
+    comparisons: List[Dict] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def to_json(self) -> Dict:
+        return {
+            "mode": self.mode,
+            "passed": self.passed,
+            "regressions": self.regressions,
+            "comparisons": self.comparisons,
+            "notes": self.notes,
+        }
+
+
+def _reference_key(entry: Dict) -> str:
+    return "%s/worklist/%s/s%d" % (
+        entry["benchmark"], entry["configuration"], entry["scale"],
+    )
+
+
+def _best(entry: Dict) -> float:
+    return float(entry["steady"]["best"])
+
+
+def _normalised(entry: Dict, entries: Dict[str, Dict]) -> Optional[float]:
+    """``best / reference.best`` within one document, or ``None``."""
+    reference = entries.get(_reference_key(entry))
+    if reference is None or _best(reference) <= 0:
+        return None
+    return _best(entry) / _best(reference)
+
+
+def compare_documents(
+    current: Dict, baseline: Dict
+) -> Tuple[str, List[Dict]]:
+    """Side-by-side rows for every baseline entry (no verdicts).
+
+    Returns ``(mode, rows)`` where each row carries both documents'
+    best/p50 and the ratio the gate would threshold.
+    """
+    current_env = current["body"]["environment"]
+    baseline_env = baseline["body"]["environment"]
+    mode = (
+        "absolute"
+        if current_env["fingerprint"] == baseline_env["fingerprint"]
+        else "relative"
+    )
+    current_entries = entries_by_key(current)
+    baseline_entries = entries_by_key(baseline)
+    rows: List[Dict] = []
+    for key, base in baseline_entries.items():
+        now = current_entries.get(key)
+        row = {
+            "key": key,
+            "reference": bool(base.get("reference")),
+            "baseline_best": _best(base),
+            "current_best": _best(now) if now else None,
+            "ratio": None,
+        }
+        if now is not None:
+            if mode == "absolute":
+                if _best(base) > 0:
+                    row["ratio"] = _best(now) / _best(base)
+            else:
+                now_norm = _normalised(now, current_entries)
+                base_norm = _normalised(base, baseline_entries)
+                if now_norm is not None and base_norm and base_norm > 0:
+                    row["ratio"] = now_norm / base_norm
+        rows.append(row)
+    for key in current_entries:
+        if key not in baseline_entries:
+            rows.append({
+                "key": key,
+                "reference": bool(current_entries[key].get("reference")),
+                "baseline_best": None,
+                "current_best": _best(current_entries[key]),
+                "ratio": None,
+            })
+    return mode, rows
+
+
+def gate_documents(
+    current: Dict,
+    baseline: Dict,
+    tolerance: float = DEFAULT_TOLERANCE,
+    per_entry_tolerance: Optional[Dict[str, float]] = None,
+    inject_slowdown: float = 1.0,
+) -> GateOutcome:
+    """Threshold ``current`` against ``baseline``.
+
+    ``inject_slowdown`` multiplies every non-reference current best
+    before comparison — the CI self-test that proves the gate trips
+    (a gate that cannot fail protects nothing).
+    """
+    per_entry = per_entry_tolerance or {}
+    current_entries = entries_by_key(current)
+    baseline_entries = entries_by_key(baseline)
+    mode, _rows = compare_documents(current, baseline)
+    outcome = GateOutcome(mode=mode, passed=True)
+    if inject_slowdown != 1.0:
+        outcome.notes.append(
+            "synthetic slowdown x%g injected into non-reference entries"
+            % inject_slowdown
+        )
+    if mode == "relative":
+        outcome.notes.append(
+            "host fingerprints differ: comparing worklist-normalised "
+            "ratios, reference entries skipped"
+        )
+
+    for key, base in baseline_entries.items():
+        now = current_entries.get(key)
+        if now is None:
+            outcome.regressions.append({
+                "key": key,
+                "kind": "missing",
+                "detail": "entry in baseline but absent from current run",
+            })
+            continue
+        if base.get("certified") and not now.get("certified"):
+            outcome.regressions.append({
+                "key": key,
+                "kind": "certification",
+                "detail": "baseline was certified bit-identical to the "
+                          "worklist solver; current run is not",
+            })
+        is_reference = bool(base.get("reference"))
+        if mode == "relative" and is_reference:
+            continue
+        slowdown = 1.0 if is_reference else inject_slowdown
+        if mode == "absolute":
+            base_value = _best(base)
+            now_value = _best(now) * slowdown
+        else:
+            base_value = _normalised(base, baseline_entries)
+            now_norm = _normalised(now, current_entries)
+            now_value = now_norm * slowdown if now_norm is not None else None
+        if not base_value or now_value is None:
+            continue
+        ratio = now_value / base_value
+        allowed = 1.0 + per_entry.get(key, tolerance)
+        comparison = {
+            "key": key,
+            "mode": mode,
+            "ratio": round(ratio, 4),
+            "allowed": round(allowed, 4),
+            "baseline": round(base_value, 6),
+            "current": round(now_value, 6),
+        }
+        outcome.comparisons.append(comparison)
+        if ratio > allowed:
+            outcome.regressions.append({
+                "key": key,
+                "kind": "timing",
+                "detail": "ratio %.3f exceeds allowed %.3f (%s mode)"
+                          % (ratio, allowed, mode),
+            })
+
+    for key in current_entries:
+        if key not in baseline_entries:
+            outcome.notes.append(
+                "new entry %s has no baseline (gates after re-pin)" % key
+            )
+    outcome.passed = not outcome.regressions
+    return outcome
+
+
+def format_gate(outcome: GateOutcome) -> str:
+    """Human-readable gate report."""
+    lines = [
+        "bench gate: %s mode, %d comparison(s)"
+        % (outcome.mode, len(outcome.comparisons)),
+    ]
+    for comparison in outcome.comparisons:
+        lines.append(
+            "  %-40s ratio %6.3f (allowed %.3f)"
+            % (comparison["key"], comparison["ratio"],
+               comparison["allowed"])
+        )
+    for note in outcome.notes:
+        lines.append("  note: %s" % note)
+    if outcome.passed:
+        lines.append("PASS: no regressions against baseline")
+    else:
+        lines.append("FAIL: %d regression(s)" % len(outcome.regressions))
+        for regression in outcome.regressions:
+            lines.append(
+                "  %s [%s]: %s"
+                % (regression["key"], regression["kind"],
+                   regression["detail"])
+            )
+    return "\n".join(lines)
+
+
+def format_compare(mode: str, rows: List[Dict]) -> str:
+    """Human-readable side-by-side comparison."""
+    lines = ["bench compare: %s mode" % mode]
+    for row in rows:
+        base = row["baseline_best"]
+        now = row["current_best"]
+        ratio = row["ratio"]
+        lines.append(
+            "  %-40s baseline %-10s current %-10s ratio %s%s"
+            % (
+                row["key"],
+                "%.4fs" % base if base is not None else "—",
+                "%.4fs" % now if now is not None else "—",
+                "%.3f" % ratio if ratio is not None else "—",
+                " (reference)" if row["reference"] else "",
+            )
+        )
+    return "\n".join(lines)

@@ -1,0 +1,126 @@
+"""RunResult: one benchmark × surface × configuration measurement.
+
+The DaCapo harness separates *warmup* iterations (run, timed, but not
+scored) from the *steady-state* iterations a paper may cite.  A
+:class:`RunResult` keeps both sample lists explicitly, plus per-phase
+timers and the certification verdict, and serialises to the ``entries``
+items of a ``repro-bench/1`` document.
+
+``certified`` means the timed run's relations were verified
+bit-identical to the sequential worklist solver on the same facts and
+configuration — a benchmark number for a solver that produced wrong
+points-to sets is worse than no number, so uncertified entries are
+rendered loudly and a certification *loss* is treated as a regression
+by the gate regardless of timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.perf.stats import percentile
+
+
+#: Phase names in reporting order.  Not every surface has every phase:
+#: interpreter surfaces have no ``compile``; serving has ``query`` but
+#: no ``solve`` per iteration.
+PHASE_NAMES = ("factgen", "compile", "solve", "query")
+
+
+@dataclass
+class RunResult:
+    """Timings and verdicts for one (benchmark, surface, config) cell."""
+
+    benchmark: str
+    surface: str
+    configuration: str
+    scale: int
+    warmup_seconds: List[float] = field(default_factory=list)
+    steady_seconds: List[float] = field(default_factory=list)
+    phases: Dict[str, float] = field(default_factory=dict)
+    metrics: Dict[str, object] = field(default_factory=dict)
+    certified: bool = False
+    reference: bool = False
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def key(self) -> str:
+        """Stable entry key: ``benchmark/surface/configuration/sN``."""
+        return "%s/%s/%s/s%d" % (
+            self.benchmark, self.surface, self.configuration, self.scale,
+        )
+
+    def best(self) -> float:
+        """Min-of-N over steady-state samples — the gated statistic."""
+        if not self.steady_seconds:
+            return 0.0
+        return min(self.steady_seconds)
+
+    def steady_stats(self) -> Dict[str, float]:
+        """Summary statistics over steady-state samples only."""
+        if not self.steady_seconds:
+            return {"n": 0, "best": 0.0, "p50": 0.0, "worst": 0.0}
+        ordered = sorted(self.steady_seconds)
+        return {
+            "n": len(ordered),
+            "best": ordered[0],
+            "p50": percentile(ordered, 0.50) or 0.0,
+            "worst": ordered[-1],
+        }
+
+    def to_json(self) -> Dict[str, object]:
+        """The canonical ``entries`` item of ``repro-bench/1``."""
+        stats = self.steady_stats()
+        return {
+            "key": self.key,
+            "benchmark": self.benchmark,
+            "surface": self.surface,
+            "configuration": self.configuration,
+            "scale": self.scale,
+            "warmup": {
+                "n": len(self.warmup_seconds),
+                "seconds": [round(s, 6) for s in self.warmup_seconds],
+            },
+            "steady": {
+                "n": stats["n"],
+                "seconds": [round(s, 6) for s in self.steady_seconds],
+                "best": round(stats["best"], 6),
+                "p50": round(stats["p50"], 6),
+                "worst": round(stats["worst"], 6),
+            },
+            "phases": {
+                name: round(self.phases[name], 6)
+                for name in PHASE_NAMES if name in self.phases
+            },
+            "metrics": self.metrics,
+            "certified": self.certified,
+            "reference": self.reference,
+            "notes": list(self.notes),
+        }
+
+    @classmethod
+    def from_json(cls, entry: Dict[str, object]) -> "RunResult":
+        return cls(
+            benchmark=str(entry["benchmark"]),
+            surface=str(entry["surface"]),
+            configuration=str(entry["configuration"]),
+            scale=int(entry["scale"]),
+            warmup_seconds=[float(s) for s in entry["warmup"]["seconds"]],
+            steady_seconds=[float(s) for s in entry["steady"]["seconds"]],
+            phases={k: float(v) for k, v in entry.get("phases", {}).items()},
+            metrics=dict(entry.get("metrics", {})),
+            certified=bool(entry.get("certified", False)),
+            reference=bool(entry.get("reference", False)),
+            notes=[str(n) for n in entry.get("notes", [])],
+        )
+
+
+def results_by_key(results: List[RunResult]) -> Dict[str, RunResult]:
+    """Index results by entry key, rejecting duplicates."""
+    indexed: Dict[str, RunResult] = {}
+    for result in results:
+        if result.key in indexed:
+            raise ValueError("duplicate benchmark entry %r" % result.key)
+        indexed[result.key] = result
+    return indexed

@@ -1,0 +1,110 @@
+"""Shared timing and percentile arithmetic for the benchmark harness.
+
+Every workload module used to carry its own copy of the same three
+idioms — nearest-rank percentiles over a sorted sample list, best-of-N
+wall-clock timing, and "time this thunk" stopwatches.  They live here
+once so the figure6 block runners, the corpus suite adapters, and the
+serving load generator all agree on the arithmetic (and so a fix lands
+everywhere at once).
+
+The percentile is the nearest-rank form used throughout the repo:
+``index = min(n-1, max(0, round(fraction * (n-1))))`` over the sorted
+samples.  It is exact for the small sample counts benchmarks produce
+and never interpolates, so summaries stay integer-stable.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+def percentile(ordered: Sequence[float], fraction: float) -> Optional[float]:
+    """Nearest-rank percentile of an already-sorted sample list.
+
+    Returns ``None`` on an empty list, matching the serving-path
+    convention where an absent percentile renders as ``null``.
+    """
+    if not ordered:
+        return None
+    index = min(
+        len(ordered) - 1,
+        max(0, int(round(fraction * (len(ordered) - 1)))),
+    )
+    return ordered[index]
+
+
+def latency_summary_us(samples: Sequence[float]) -> Dict[str, int]:
+    """``{count, p50_us, p95_us}`` (microsecond ints) for raw samples.
+
+    The shape served by :meth:`AnalysisService.metrics.latency_summary`
+    and embedded in the figure6 ``query_latency`` block.
+    """
+    if not samples:
+        return {"count": 0, "p50_us": 0, "p95_us": 0}
+    ordered = sorted(samples)
+
+    def at(fraction: float) -> int:
+        value = percentile(ordered, fraction)
+        return int(value * 1e6) if value is not None else 0
+
+    return {"count": len(ordered), "p50_us": at(0.50), "p95_us": at(0.95)}
+
+
+def to_ms(seconds: Optional[float]) -> Optional[float]:
+    """Seconds → milliseconds rounded to 3 places (``None`` passes)."""
+    if seconds is None:
+        return None
+    return round(seconds * 1000.0, 3)
+
+
+def stopwatch(fn: Callable[[], T]) -> Tuple[T, float]:
+    """Run ``fn`` once, returning ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def best_of(fn: Callable[[], object], repetitions: int) -> float:
+    """Minimum wall-clock seconds of ``fn`` over ``repetitions`` runs.
+
+    Min-of-N is the repo's steady-state estimator: the minimum is the
+    run least disturbed by the machine, which is what a regression gate
+    should compare.
+    """
+    best = float("inf")
+    for _ in range(max(1, repetitions)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def timed_samples(
+    fn: Callable[[], object],
+    warmup: int,
+    iterations: int,
+) -> Tuple[List[float], List[float]]:
+    """Run ``fn`` ``warmup + iterations`` times, splitting the timings.
+
+    Returns ``(warmup_seconds, steady_seconds)``.  Warmup runs are
+    timed (they are reported for transparency) but never enter
+    steady-state statistics.
+    """
+    warmup_seconds: List[float] = []
+    steady_seconds: List[float] = []
+    for i in range(max(0, warmup) + max(1, iterations)):
+        start = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - start
+        (warmup_seconds if i < warmup else steady_seconds).append(elapsed)
+    return warmup_seconds, steady_seconds
+
+
+def speedup(baseline_seconds: float, seconds: float) -> float:
+    """``baseline / seconds`` rounded to 2 places (0.0 if degenerate)."""
+    if seconds <= 0:
+        return 0.0
+    return round(baseline_seconds / seconds, 2)

@@ -1,0 +1,240 @@
+"""The committed perf trajectory: ``BENCH_<date>.json`` files, v2.
+
+The v1 layout (``repro-bench-trajectory/1``) was a hand-assembled
+per-PR description: one date, one coarse host dict, and free-form
+``workloads`` payloads pasted from figure6 blocks.  Two hygiene
+problems: points were keyed only by date (two runs on one day
+collide, and nothing tied a point to the commit it measured), and
+nothing marked a point taken on a different machine as non-comparable
+to its predecessor.
+
+``repro-bench-trajectory/2`` fixes both.  A trajectory file is:
+
+.. code-block:: json
+
+    {
+      "schema": "repro-bench-trajectory/2",
+      "date": "2026-08-08",
+      "description": "...",
+      "points": [
+        {
+          "run_id": "<first 12 hex of the bench document digest>",
+          "commit": "<40-hex sha or null>",
+          "date": "2026-08-08",
+          "suite": "smoke",
+          "fingerprint": "<12-hex host fingerprint>",
+          "host": {"python": "...", "...": "..."},
+          "comparable": true,
+          "certified": true,
+          "entries": {"bloat/kernel/1-call/s1": {"best": 0.01, ...}}
+        }
+      ]
+    }
+
+``run_id`` is derived from the bench document's digest, so a point is
+traceable to the exact document (and the document to the exact body
+bytes).  ``comparable`` is ``false`` whenever the point's host
+fingerprint differs from the previous point's — trend rendering still
+shows the point but refuses to draw a delta across the break.  The
+first point of a file has ``comparable: null`` (nothing to compare
+to).  ``certified`` is the conjunction of every entry's certification.
+
+:func:`load_trajectory` transparently migrates a v1 file: each legacy
+``workloads`` item becomes one point with ``run_id: "legacy-<i>"``,
+``commit: null``, a fingerprint derived from the v1 ``host`` dict
+(prefixed ``legacy-``, so it never equals a real 12-hex fingerprint
+and the first real point after migration is flagged non-comparable),
+and its payload preserved under ``legacy``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Dict, List, Optional
+
+TRAJECTORY_SCHEMA = "repro-bench-trajectory/2"
+_V1_SCHEMA = "repro-bench-trajectory/1"
+
+
+class TrajectoryError(ValueError):
+    """A malformed trajectory file or point."""
+
+
+def _legacy_fingerprint(host: Dict) -> str:
+    canonical = json.dumps(host, sort_keys=True, separators=(",", ":"))
+    digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:10]
+    return "legacy-%s" % digest
+
+
+def migrate_v1(document: Dict) -> Dict:
+    """A v1 trajectory document rebuilt in the v2 layout."""
+    host = document.get("host", {})
+    fingerprint = _legacy_fingerprint(host)
+    points: List[Dict] = []
+    for index, workload in enumerate(document.get("workloads", [])):
+        # v1 payloads spell certification differently per block: the
+        # parallel/kernel blocks carry "certified", the serving block
+        # carries "parity": {"ok": ...}.
+        certified = bool(workload.get("certified", False))
+        if not certified:
+            parity = workload.get("parity")
+            if isinstance(parity, dict):
+                certified = bool(parity.get("ok", False))
+        points.append({
+            "run_id": "legacy-%d" % index,
+            "commit": None,
+            "date": document.get("date"),
+            "suite": "legacy",
+            "fingerprint": fingerprint,
+            "host": dict(host),
+            "comparable": None if index == 0 else True,
+            "certified": certified,
+            "entries": {},
+            "legacy": workload,
+        })
+    return {
+        "schema": TRAJECTORY_SCHEMA,
+        "date": document.get("date"),
+        "description": document.get("description", ""),
+        "points": points,
+    }
+
+
+def load_trajectory(path: str) -> Dict:
+    """Load a trajectory file, migrating v1 layouts in memory."""
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            document = json.load(handle)
+        except json.JSONDecodeError as error:
+            raise TrajectoryError(
+                "%s: not JSON (%s)" % (path, error)
+            ) from None
+    schema = document.get("schema")
+    if schema == _V1_SCHEMA:
+        return migrate_v1(document)
+    if schema != TRAJECTORY_SCHEMA:
+        raise TrajectoryError(
+            "%s: schema %r is neither %r nor %r"
+            % (path, schema, TRAJECTORY_SCHEMA, _V1_SCHEMA)
+        )
+    if not isinstance(document.get("points"), list):
+        raise TrajectoryError("%s: points is not a list" % path)
+    return document
+
+
+def write_trajectory(document: Dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+
+def trajectory_point(bench_document: Dict) -> Dict:
+    """One v2 point summarising a validated ``repro-bench/1`` document."""
+    body = bench_document["body"]
+    environment = body["environment"]
+    entries: Dict[str, Dict] = {}
+    for entry in body["entries"]:
+        entries[entry["key"]] = {
+            "best": entry["steady"]["best"],
+            "p50": entry["steady"]["p50"],
+            "n": entry["steady"]["n"],
+            "certified": entry["certified"],
+        }
+    digest = bench_document["digest"]
+    return {
+        "run_id": digest.split(":", 1)[-1][:12],
+        "commit": environment.get("commit"),
+        "date": (bench_document.get("created") or "")[:10] or None,
+        "suite": body["suite"],
+        "fingerprint": environment["fingerprint"],
+        "host": dict(environment.get("host", {})),
+        "comparable": None,   # decided against the previous point on append
+        "certified": all(e["certified"] for e in entries.values()),
+        "entries": entries,
+    }
+
+
+def append_point(
+    path: str,
+    point: Dict,
+    description: Optional[str] = None,
+    date: Optional[str] = None,
+) -> Dict:
+    """Append ``point`` to the trajectory at ``path`` (created or
+    migrated as needed) and write it back.  Returns the document.
+
+    Duplicate run ids are rejected — one bench document, one point.
+    ``comparable`` is set here: ``false`` when the host fingerprint
+    differs from the previous point's, ``true`` when it matches,
+    ``null`` for the first point of a file.
+    """
+    if os.path.exists(path):
+        document = load_trajectory(path)
+    else:
+        document = {
+            "schema": TRAJECTORY_SCHEMA,
+            "date": date or point.get("date"),
+            "description": description or "",
+            "points": [],
+        }
+    if description:
+        document["description"] = description
+    points = document["points"]
+    if any(p["run_id"] == point["run_id"] for p in points):
+        raise TrajectoryError(
+            "run %s already recorded in %s" % (point["run_id"], path)
+        )
+    point = dict(point)
+    if not points:
+        point["comparable"] = None
+    else:
+        point["comparable"] = (
+            points[-1].get("fingerprint") == point["fingerprint"]
+        )
+    points.append(point)
+    write_trajectory(document, path)
+    return document
+
+
+def format_trend(document: Dict) -> str:
+    """Per-entry best-seconds across points, breaks marked at host
+    changes."""
+    lines = [
+        "trajectory (%s): %d point(s)"
+        % (document.get("date"), len(document["points"])),
+    ]
+    keys: List[str] = []
+    for point in document["points"]:
+        for key in point.get("entries", {}):
+            if key not in keys:
+                keys.append(key)
+    for point in document["points"]:
+        marker = {None: "·", True: " ", False: "✂"}[point.get("comparable")]
+        commit = (point.get("commit") or "")[:8] or "-"
+        lines.append(
+            "%s %s  %-10s commit %-8s suite %-8s %s"
+            % (
+                marker,
+                point.get("date") or "?",
+                point["run_id"][:10],
+                commit,
+                point.get("suite", "?"),
+                "certified" if point.get("certified") else "UNCERTIFIED",
+            )
+        )
+        if point.get("comparable") is False:
+            lines.append(
+                "    (host fingerprint changed — not comparable to the "
+                "previous point)"
+            )
+    for key in keys:
+        series = []
+        for point in document["points"]:
+            entry = point.get("entries", {}).get(key)
+            if entry is None:
+                series.append("—")
+            else:
+                series.append("%.4fs" % entry["best"])
+        lines.append("  %-40s %s" % (key, " -> ".join(series)))
+    return "\n".join(lines)

@@ -1,0 +1,129 @@
+"""The ``repro bench`` CLI: run, gate, record, trend, lint self-check."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def bench_doc(tmp_path_factory):
+    """One micro-suite run shared by the read-only CLI tests."""
+    path = str(tmp_path_factory.mktemp("bench") / "bench.json")
+    assert main(["bench", "run", "--suite", "micro", "--quiet",
+                 "--json", path]) == 0
+    return path
+
+
+class TestBenchRun:
+    def test_emits_a_valid_document(self, bench_doc):
+        with open(bench_doc, encoding="utf-8") as handle:
+            document = json.load(handle)
+        assert document["schema"] == "repro-bench/1"
+        keys = [e["key"] for e in document["body"]["entries"]]
+        assert keys == [
+            "luindex/worklist/1-call/s1",
+            "luindex/engine/1-call/s1",
+        ]
+
+    def test_progress_and_summary(self, tmp_path, capsys):
+        assert main(["bench", "run", "--suite", "micro"]) == 0
+        out = capsys.readouterr().out
+        assert "running luindex/worklist/1-call/s1" in out
+        assert "2/2 certified" in out
+
+
+class TestBenchGate:
+    def test_update_baseline_then_pass(self, bench_doc, tmp_path):
+        baseline = str(tmp_path / "baseline.json")
+        assert main(["bench", "gate", bench_doc,
+                     "--baseline", baseline, "--update-baseline"]) == 0
+        assert main(["bench", "gate", bench_doc,
+                     "--baseline", baseline]) == 0
+
+    def test_injected_slowdown_exits_nonzero(self, bench_doc, tmp_path):
+        baseline = str(tmp_path / "baseline.json")
+        main(["bench", "gate", bench_doc,
+              "--baseline", baseline, "--update-baseline"])
+        assert main(["bench", "gate", bench_doc,
+                     "--baseline", baseline,
+                     "--inject-slowdown", "10"]) == 1
+
+    def test_missing_baseline_reports(self, bench_doc, tmp_path, capsys):
+        missing = str(tmp_path / "nope.json")
+        assert main(["bench", "gate", bench_doc,
+                     "--baseline", missing]) == 1
+        assert "nope.json" in capsys.readouterr().err
+
+    def test_bad_entry_tolerance_rejected(self, bench_doc, tmp_path):
+        baseline = str(tmp_path / "baseline.json")
+        main(["bench", "gate", bench_doc,
+              "--baseline", baseline, "--update-baseline"])
+        assert main(["bench", "gate", bench_doc,
+                     "--baseline", baseline,
+                     "--entry-tolerance", "nonsense"]) == 1
+
+    def test_compare_renders(self, bench_doc, capsys):
+        assert main(["bench", "compare", bench_doc, bench_doc]) == 0
+        assert "absolute mode" in capsys.readouterr().out
+
+
+class TestBenchRecord:
+    def test_records_a_certified_point(self, bench_doc, tmp_path, capsys):
+        trajectory = str(tmp_path / "BENCH_x.json")
+        assert main(["bench", "record", bench_doc,
+                     "--trajectory", trajectory]) == 0
+        assert "recorded certified point" in capsys.readouterr().out
+        assert main(["bench", "trend", trajectory]) == 0
+
+    def test_duplicate_point_rejected(self, bench_doc, tmp_path):
+        trajectory = str(tmp_path / "BENCH_x.json")
+        assert main(["bench", "record", bench_doc,
+                     "--trajectory", trajectory]) == 0
+        assert main(["bench", "record", bench_doc,
+                     "--trajectory", trajectory]) == 1
+
+    def test_uncertified_document_refused(self, bench_doc, tmp_path,
+                                          capsys):
+        with open(bench_doc, encoding="utf-8") as handle:
+            document = json.load(handle)
+        for entry in document["body"]["entries"]:
+            entry["certified"] = False
+        from repro.perf.document import _digest
+
+        document["digest"] = _digest(document["body"])
+        tampered = str(tmp_path / "uncertified.json")
+        with open(tampered, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+        trajectory = str(tmp_path / "BENCH_y.json")
+        assert main(["bench", "record", tampered,
+                     "--trajectory", trajectory]) == 1
+        assert "refusing" in capsys.readouterr().err
+        assert not os.path.exists(trajectory)
+
+
+class TestLintSelfCheck:
+    def test_lint_accepts_a_bench_document(self, bench_doc, capsys):
+        assert main(["lint", bench_doc]) == 0
+        out = capsys.readouterr().out
+        assert "bench document ok" in out
+        assert "(verified)" in out
+
+    def test_lint_rejects_a_tampered_document(self, bench_doc, tmp_path,
+                                              capsys):
+        with open(bench_doc, encoding="utf-8") as handle:
+            document = json.load(handle)
+        document["body"]["entries"][0]["steady"]["seconds"][0] = 0.0
+        tampered = str(tmp_path / "tampered.json")
+        with open(tampered, "w", encoding="utf-8") as handle:
+            json.dump(document, handle)
+        assert main(["lint", tampered]) == 1
+        assert "digest mismatch" in capsys.readouterr().err
+
+    def test_trajectory_files_do_not_match_the_heuristic(self):
+        from repro.cli import _looks_like_bench_document
+
+        source = json.dumps({"schema": "repro-bench-trajectory/2"})
+        assert not _looks_like_bench_document("BENCH_x.json", source)

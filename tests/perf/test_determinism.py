@@ -1,0 +1,65 @@
+"""Workload determinism: benchmark inputs are stable by construction.
+
+Every corpus entry (the seven DaCapo analogues plus ``towers`` and
+``fanout``) must produce a byte-identical fact set for the same seed
+and scale across independent generator invocations — otherwise no two
+benchmark runs measure the same input and the whole baseline/gate
+machinery is comparing noise.
+"""
+
+import pytest
+
+from repro.bench.workloads import DACAPO_NAMES, dacapo_program
+from repro.frontend.factgen import generate_facts
+from repro.perf.registry import CORPUS_NAMES, DEFAULT_REGISTRY
+
+
+@pytest.mark.parametrize("name", CORPUS_NAMES)
+def test_fact_digest_stable_across_invocations(name):
+    definition = DEFAULT_REGISTRY.get(name)
+    assert definition.fact_digest(1) == definition.fact_digest(1)
+
+
+@pytest.mark.parametrize("name", DACAPO_NAMES)
+def test_registry_agrees_with_direct_generation(name):
+    # The registry route and the historical dacapo_program route must
+    # describe the same program.
+    direct = generate_facts(dacapo_program(name, 1)).digest()
+    assert DEFAULT_REGISTRY.get(name).fact_digest(1) == direct
+
+
+def test_scale_changes_the_digest():
+    definition = DEFAULT_REGISTRY.get("bloat")
+    assert definition.fact_digest(1) != definition.fact_digest(2)
+
+
+def test_benchmarks_have_distinct_digests():
+    digests = {
+        name: DEFAULT_REGISTRY.get(name).fact_digest(1)
+        for name in CORPUS_NAMES
+    }
+    assert len(set(digests.values())) == len(digests)
+
+
+class TestFactSetDigest:
+    def test_sensitive_to_rows(self):
+        facts_a = generate_facts(dacapo_program("luindex", 1))
+        facts_b = generate_facts(dacapo_program("luindex", 1))
+        assert facts_a.digest() == facts_b.digest()
+        facts_b.assign.add(("extra/x", "extra/y"))
+        assert facts_a.digest() != facts_b.digest()
+
+    def test_sensitive_to_auxiliary_maps(self):
+        facts_a = generate_facts(dacapo_program("luindex", 1))
+        facts_b = generate_facts(dacapo_program("luindex", 1))
+        facts_b.class_of["extra/h"] = "Extra"
+        assert facts_a.digest() != facts_b.digest()
+
+    def test_insertion_order_is_irrelevant(self):
+        facts = generate_facts(dacapo_program("luindex", 1))
+        digest = facts.digest()
+        rows = sorted(facts.assign)
+        facts.assign.clear()
+        for row in reversed(rows):
+            facts.assign.add(row)
+        assert facts.digest() == digest

@@ -1,0 +1,161 @@
+"""The repro-bench/1 document: byte stability, digests, validation."""
+
+import copy
+
+import pytest
+
+from repro.perf.document import (
+    BENCH_SCHEMA,
+    BenchDocumentError,
+    bench_document,
+    describe_document,
+    entries_by_key,
+    load_document,
+    render_document,
+    validate_document,
+    write_document,
+)
+from repro.perf.result import RunResult
+from repro.perf.suite import SUITES
+
+
+ENVIRONMENT = {
+    "commit": "a" * 40,
+    "fingerprint": "0" * 12,
+    "host": {"python": "3.11.7"},
+}
+
+
+def _results():
+    return [
+        RunResult(
+            benchmark="luindex", surface="worklist",
+            configuration="1-call", scale=1,
+            warmup_seconds=[0.2], steady_seconds=[0.1, 0.11],
+            phases={"solve": 0.1}, certified=True, reference=True,
+        ),
+        RunResult(
+            benchmark="luindex", surface="engine",
+            configuration="1-call", scale=1,
+            warmup_seconds=[], steady_seconds=[0.5],
+            phases={"compile": 0.05, "solve": 0.45}, certified=True,
+        ),
+    ]
+
+
+def _document(created="2026-08-08T00:00:00Z"):
+    return bench_document(
+        SUITES["micro"], _results(),
+        environment=copy.deepcopy(ENVIRONMENT), created=created,
+    )
+
+
+class TestByteStability:
+    def test_same_inputs_same_bytes(self):
+        assert render_document(_document()) == render_document(_document())
+
+    def test_created_excluded_from_digest(self):
+        a = _document(created="2026-08-08T00:00:00Z")
+        b = _document(created="2027-01-01T12:00:00Z")
+        assert a["digest"] == b["digest"]
+
+    def test_roundtrips_through_disk(self, tmp_path):
+        path = str(tmp_path / "bench.json")
+        document = _document()
+        write_document(document, path)
+        assert load_document(path) == document
+
+
+class TestValidation:
+    def test_valid_document_passes(self):
+        validate_document(_document())
+
+    def test_wrong_schema(self):
+        document = _document()
+        document["schema"] = "repro-bench/0"
+        with pytest.raises(BenchDocumentError, match="schema"):
+            validate_document(document)
+
+    def test_tampered_body_fails_digest(self):
+        document = _document()
+        document["body"]["entries"][0]["steady"]["seconds"][0] = 0.0001
+        with pytest.raises(BenchDocumentError, match="digest mismatch"):
+            validate_document(document)
+
+    def test_bad_fingerprint(self):
+        results = _results()
+        environment = copy.deepcopy(ENVIRONMENT)
+        environment["fingerprint"] = "not-a-digest"
+        document = bench_document(
+            SUITES["micro"], results, environment=environment
+        )
+        with pytest.raises(BenchDocumentError, match="fingerprint"):
+            validate_document(document)
+
+    def test_bad_commit(self):
+        environment = copy.deepcopy(ENVIRONMENT)
+        environment["commit"] = "abc"
+        document = bench_document(
+            SUITES["micro"], _results(), environment=environment
+        )
+        with pytest.raises(BenchDocumentError, match="commit"):
+            validate_document(document)
+
+    def test_warmup_leak_detected(self):
+        # A document whose steady.best is not min(steady.seconds) has
+        # mixed warmup into steady stats somewhere upstream.
+        document = _document()
+        entry = document["body"]["entries"][0]
+        entry["steady"]["best"] = 0.05
+        document["digest"] = _redigest(document)
+        with pytest.raises(BenchDocumentError, match="warmup"):
+            validate_document(document)
+
+    def test_duplicate_entry_keys(self):
+        results = _results()
+        results[1].surface = "worklist"
+        document = bench_document(
+            SUITES["micro"], results,
+            environment=copy.deepcopy(ENVIRONMENT),
+        )
+        with pytest.raises(BenchDocumentError, match="duplicate"):
+            validate_document(document)
+
+    def test_entry_key_must_match_fields(self):
+        document = _document()
+        document["body"]["entries"][0]["key"] = "other/worklist/1-call/s1"
+        document["digest"] = _redigest(document)
+        with pytest.raises(BenchDocumentError, match="does not match"):
+            validate_document(document)
+
+    def test_empty_entries(self):
+        document = _document()
+        document["body"]["entries"] = []
+        document["digest"] = _redigest(document)
+        with pytest.raises(BenchDocumentError, match="empty"):
+            validate_document(document)
+
+
+def _redigest(document):
+    from repro.perf.document import _digest
+
+    return _digest(document["body"])
+
+
+class TestDescribe:
+    def test_summary(self, tmp_path):
+        path = str(tmp_path / "bench.json")
+        write_document(_document(), path)
+        report = describe_document(path)
+        assert report["schema"] == BENCH_SCHEMA
+        assert report["suite"] == "micro"
+        assert report["entries"] == 2
+        assert report["certified"] == 2
+        assert report["uncertified"] == 0
+        assert report["surfaces"] == ["engine", "worklist"]
+
+    def test_entries_by_key(self):
+        indexed = entries_by_key(_document())
+        assert set(indexed) == {
+            "luindex/worklist/1-call/s1", "luindex/engine/1-call/s1",
+        }

@@ -1,0 +1,49 @@
+"""Environment capture: commit sha and the host fingerprint."""
+
+from repro.perf.env import (
+    capture_environment,
+    git_sha,
+    host_fingerprint,
+    host_properties,
+)
+
+
+class TestGitSha:
+    def test_shape_in_this_checkout(self):
+        sha = git_sha()
+        # The repo's tests run inside a checkout, so a sha is expected;
+        # the contract elsewhere is None.
+        assert sha is None or (
+            len(sha) == 40 and all(c in "0123456789abcdef" for c in sha)
+        )
+
+    def test_none_outside_a_checkout(self, tmp_path):
+        assert git_sha(str(tmp_path)) is None
+
+
+class TestFingerprint:
+    def test_stable_across_calls(self):
+        assert host_fingerprint() == host_fingerprint()
+
+    def test_twelve_hex_digits(self):
+        fingerprint = host_fingerprint()
+        assert len(fingerprint) == 12
+        assert all(c in "0123456789abcdef" for c in fingerprint)
+
+    def test_depends_on_properties(self):
+        props = dict(host_properties())
+        props["cpus"] = str(int(props["cpus"]) + 1)
+        assert host_fingerprint(props) != host_fingerprint()
+
+    def test_property_order_is_irrelevant(self):
+        props = host_properties()
+        reordered = dict(reversed(list(props.items())))
+        assert host_fingerprint(props) == host_fingerprint(reordered)
+
+
+class TestCaptureEnvironment:
+    def test_block_shape(self):
+        environment = capture_environment()
+        assert set(environment) == {"commit", "fingerprint", "host"}
+        assert environment["fingerprint"] == host_fingerprint()
+        assert environment["host"] == host_properties()

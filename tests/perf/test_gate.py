@@ -1,0 +1,171 @@
+"""Regression gating: absolute vs relative mode, thresholds, verdicts."""
+
+import copy
+
+import pytest
+
+from repro.perf.document import bench_document
+from repro.perf.gate import (
+    compare_documents,
+    format_compare,
+    format_gate,
+    gate_documents,
+)
+from repro.perf.result import RunResult
+from repro.perf.suite import SUITES
+
+
+def _entry(surface, best, certified=True, reference=False,
+           benchmark="luindex"):
+    return RunResult(
+        benchmark=benchmark, surface=surface,
+        configuration="1-call", scale=1,
+        steady_seconds=[best, best * 1.2],
+        phases={"solve": best},
+        certified=certified, reference=reference,
+    )
+
+
+def _document(entries, fingerprint="0" * 12, commit="a" * 40):
+    environment = {
+        "commit": commit,
+        "fingerprint": fingerprint,
+        "host": {"python": "3.11.7"},
+    }
+    return bench_document(
+        SUITES["micro"], entries, environment=environment,
+        created="2026-08-08T00:00:00Z",
+    )
+
+
+def _baseline(fingerprint="0" * 12):
+    return _document([
+        _entry("worklist", 0.1, reference=True),
+        _entry("engine", 0.5),
+    ], fingerprint=fingerprint)
+
+
+class TestAbsoluteMode:
+    def test_identical_documents_pass(self):
+        outcome = gate_documents(_baseline(), _baseline())
+        assert outcome.mode == "absolute"
+        assert outcome.passed is True
+
+    def test_within_tolerance_passes(self):
+        current = _document([
+            _entry("worklist", 0.1, reference=True),
+            _entry("engine", 0.9),   # 1.8x < 2x default
+        ])
+        assert gate_documents(current, _baseline()).passed is True
+
+    def test_regression_fails(self):
+        current = _document([
+            _entry("worklist", 0.1, reference=True),
+            _entry("engine", 1.2),   # 2.4x > 2x default
+        ])
+        outcome = gate_documents(current, _baseline())
+        assert outcome.passed is False
+        assert outcome.regressions[0]["kind"] == "timing"
+        assert "FAIL" in format_gate(outcome)
+
+    def test_per_entry_tolerance_override(self):
+        current = _document([
+            _entry("worklist", 0.1, reference=True),
+            _entry("engine", 0.8),   # 1.6x
+        ])
+        outcome = gate_documents(
+            current, _baseline(),
+            per_entry_tolerance={"luindex/engine/1-call/s1": 0.5},
+        )
+        assert outcome.passed is False
+
+    def test_injected_slowdown_trips_the_gate(self):
+        outcome = gate_documents(
+            _baseline(), _baseline(), inject_slowdown=10.0
+        )
+        assert outcome.passed is False
+        assert any("synthetic slowdown" in n for n in outcome.notes)
+
+    def test_injection_spares_reference_entries(self):
+        outcome = gate_documents(
+            _baseline(), _baseline(), inject_slowdown=10.0
+        )
+        keys = {r["key"] for r in outcome.regressions}
+        assert "luindex/worklist/1-call/s1" not in keys
+
+
+class TestRelativeMode:
+    def test_fingerprint_change_switches_mode(self):
+        current = _document([
+            # A 3x slower machine: both entries scale together, so the
+            # worklist-normalised ratio is unchanged.
+            _entry("worklist", 0.3, reference=True),
+            _entry("engine", 1.5),
+        ], fingerprint="f" * 12)
+        outcome = gate_documents(current, _baseline())
+        assert outcome.mode == "relative"
+        assert outcome.passed is True
+
+    def test_relative_regression_still_caught(self):
+        current = _document([
+            _entry("worklist", 0.1, reference=True),
+            _entry("engine", 1.2),   # normalised 12 vs baseline 5
+        ], fingerprint="f" * 12)
+        outcome = gate_documents(current, _baseline())
+        assert outcome.passed is False
+
+    def test_reference_entries_skipped(self):
+        current = _document([
+            _entry("worklist", 5.0, reference=True),
+            _entry("engine", 25.0),
+        ], fingerprint="f" * 12)
+        outcome = gate_documents(current, _baseline())
+        keys = {c["key"] for c in outcome.comparisons}
+        assert "luindex/worklist/1-call/s1" not in keys
+        assert outcome.passed is True
+
+
+class TestStructuralRegressions:
+    def test_missing_entry_fails(self):
+        current = _document([_entry("worklist", 0.1, reference=True)])
+        outcome = gate_documents(current, _baseline())
+        assert outcome.passed is False
+        assert outcome.regressions[0]["kind"] == "missing"
+
+    def test_lost_certification_fails(self):
+        current = _document([
+            _entry("worklist", 0.1, reference=True),
+            _entry("engine", 0.5, certified=False),
+        ])
+        outcome = gate_documents(current, _baseline())
+        assert outcome.passed is False
+        assert any(
+            r["kind"] == "certification" for r in outcome.regressions
+        )
+
+    def test_new_entry_noted_not_gated(self):
+        current = _document([
+            _entry("worklist", 0.1, reference=True),
+            _entry("engine", 0.5),
+            _entry("kernel", 9.9),
+        ])
+        outcome = gate_documents(current, _baseline())
+        assert outcome.passed is True
+        assert any("no baseline" in note for note in outcome.notes)
+
+
+class TestCompare:
+    def test_rows_cover_both_documents(self):
+        current = _document([
+            _entry("worklist", 0.1, reference=True),
+            _entry("kernel", 0.2),
+        ])
+        mode, rows = compare_documents(current, _baseline())
+        assert mode == "absolute"
+        keys = {row["key"] for row in rows}
+        assert keys == {
+            "luindex/worklist/1-call/s1",
+            "luindex/engine/1-call/s1",
+            "luindex/kernel/1-call/s1",
+        }
+        assert "bench compare" in format_compare(mode, rows)

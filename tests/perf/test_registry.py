@@ -1,0 +1,82 @@
+"""The benchmark registry: names, versions, and the two new entries."""
+
+import pytest
+
+from repro.bench.workloads import DACAPO_NAMES
+from repro.perf.registry import (
+    CORPUS_NAMES,
+    DEFAULT_REGISTRY,
+    EXTRA_NAMES,
+    BenchmarkDef,
+    BenchmarkRegistry,
+    corpus_facts,
+    corpus_program,
+)
+
+
+class TestDefaultRegistry:
+    def test_contains_every_dacapo_analogue(self):
+        for name in DACAPO_NAMES:
+            assert name in DEFAULT_REGISTRY
+
+    def test_contains_the_new_corpus_entries(self):
+        assert "towers" in DEFAULT_REGISTRY
+        assert "fanout" in DEFAULT_REGISTRY
+        assert EXTRA_NAMES == ("towers", "fanout")
+
+    def test_corpus_names_order(self):
+        assert CORPUS_NAMES == DACAPO_NAMES + ("towers", "fanout")
+
+    def test_every_entry_is_versioned(self):
+        versions = DEFAULT_REGISTRY.versions()
+        assert set(versions) == set(CORPUS_NAMES)
+        assert all(v >= 1 for v in versions.values())
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(KeyError, match="unknown benchmark"):
+            DEFAULT_REGISTRY.get("jruby")
+
+    def test_towers_is_chain_deep(self):
+        towers = DEFAULT_REGISTRY.get("towers").spec(1)
+        fanout = DEFAULT_REGISTRY.get("fanout").spec(1)
+        assert towers.chain_depth > fanout.chain_depth
+        assert fanout.hierarchy_width > towers.hierarchy_width
+
+    def test_scale_grows_the_program(self):
+        small = corpus_facts("towers", 1)
+        large = corpus_facts("towers", 2)
+        assert (
+            sum(large.counts().values()) > sum(small.counts().values())
+        )
+
+
+class TestRegistryMechanics:
+    def _definition(self, name="demo"):
+        from repro.bench.workloads import WorkloadSpec
+
+        return BenchmarkDef(
+            name=name, version=1, description="demo",
+            build_spec=lambda s: WorkloadSpec(name, seed=5),
+        )
+
+    def test_duplicate_registration_rejected(self):
+        registry = BenchmarkRegistry()
+        registry.register(self._definition())
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register(self._definition())
+
+    def test_iteration_preserves_order(self):
+        registry = BenchmarkRegistry()
+        registry.register(self._definition("b"))
+        registry.register(self._definition("a"))
+        assert registry.names() == ("b", "a")
+
+
+class TestCorpusHelpers:
+    def test_corpus_program_solves(self):
+        program = corpus_program("fanout", 1)
+        assert program.main_class is not None
+
+    def test_corpus_facts_nonempty(self):
+        facts = corpus_facts("bloat", 1)
+        assert sum(facts.counts().values()) > 0

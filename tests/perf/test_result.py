@@ -1,0 +1,83 @@
+"""RunResult: keys, steady-state discipline, serialisation."""
+
+import pytest
+
+from repro.perf.result import RunResult, results_by_key
+
+
+def _result(**overrides):
+    defaults = dict(
+        benchmark="bloat",
+        surface="kernel",
+        configuration="1-call",
+        scale=1,
+        warmup_seconds=[0.9],
+        steady_seconds=[0.5, 0.3, 0.4],
+        phases={"factgen": 0.01, "solve": 0.3},
+        certified=True,
+    )
+    defaults.update(overrides)
+    return RunResult(**defaults)
+
+
+class TestKey:
+    def test_shape(self):
+        assert _result().key == "bloat/kernel/1-call/s1"
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            results_by_key([_result(), _result()])
+
+    def test_distinct_keys_indexed(self):
+        indexed = results_by_key([
+            _result(), _result(surface="worklist"),
+        ])
+        assert set(indexed) == {
+            "bloat/kernel/1-call/s1", "bloat/worklist/1-call/s1",
+        }
+
+
+class TestSteadyStats:
+    def test_best_is_min_of_steady(self):
+        assert _result().best() == 0.3
+
+    def test_warmup_never_enters_stats(self):
+        # The warmup sample (0.9) is worse than every steady sample;
+        # if it leaked, worst would be 0.9.
+        stats = _result().steady_stats()
+        assert stats["n"] == 3
+        assert stats["worst"] == 0.5
+        assert stats["best"] == 0.3
+
+    def test_empty_steady(self):
+        result = _result(steady_seconds=[], warmup_seconds=[])
+        assert result.best() == 0.0
+        assert result.steady_stats()["n"] == 0
+
+
+class TestSerialisation:
+    def test_roundtrip(self):
+        original = _result(metrics={"facts": 100}, notes=["note"])
+        entry = original.to_json()
+        restored = RunResult.from_json(entry)
+        assert restored.key == original.key
+        assert restored.steady_seconds == [
+            round(s, 6) for s in original.steady_seconds
+        ]
+        assert restored.certified is True
+        assert restored.metrics == {"facts": 100}
+        assert restored.notes == ["note"]
+
+    def test_entry_shape(self):
+        entry = _result().to_json()
+        assert entry["key"] == "bloat/kernel/1-call/s1"
+        assert entry["warmup"]["n"] == 1
+        assert entry["steady"]["n"] == 3
+        assert entry["steady"]["best"] == 0.3
+        assert entry["phases"] == {"factgen": 0.01, "solve": 0.3}
+
+    def test_phases_follow_reporting_order(self):
+        entry = _result(
+            phases={"solve": 0.3, "compile": 0.1, "factgen": 0.01}
+        ).to_json()
+        assert list(entry["phases"]) == ["factgen", "compile", "solve"]

@@ -1,0 +1,97 @@
+"""Shared timing/percentile helpers: the one implementation everyone uses."""
+
+import pytest
+
+from repro.perf.stats import (
+    best_of,
+    latency_summary_us,
+    percentile,
+    speedup,
+    stopwatch,
+    timed_samples,
+    to_ms,
+)
+
+
+class TestPercentile:
+    def test_empty_is_none(self):
+        assert percentile([], 0.5) is None
+
+    def test_single_sample(self):
+        assert percentile([3.0], 0.99) == 3.0
+
+    def test_nearest_rank(self):
+        ordered = [float(v) for v in range(1, 101)]
+        assert percentile(ordered, 0.50) == 51.0
+        assert percentile(ordered, 0.99) == 99.0
+        assert percentile(ordered, 1.0) == 100.0
+
+    def test_zero_fraction_is_minimum(self):
+        assert percentile([1.0, 2.0, 3.0], 0.0) == 1.0
+
+    def test_matches_loadbench_alias(self):
+        # loadbench re-exports this implementation under its old name.
+        from repro.bench.loadbench import _percentile
+
+        assert _percentile is percentile
+
+
+class TestLatencySummary:
+    def test_empty(self):
+        assert latency_summary_us([]) == {
+            "count": 0, "p50_us": 0, "p95_us": 0,
+        }
+
+    def test_microsecond_ints(self):
+        summary = latency_summary_us([0.001, 0.002, 0.003])
+        assert summary == {"count": 3, "p50_us": 2000, "p95_us": 3000}
+
+    def test_accepts_unsorted_input(self):
+        assert (
+            latency_summary_us([0.003, 0.001, 0.002])
+            == latency_summary_us([0.001, 0.002, 0.003])
+        )
+
+
+class TestToMs:
+    def test_none_passes(self):
+        assert to_ms(None) is None
+
+    def test_rounds_to_three_places(self):
+        assert to_ms(0.0012345) == 1.234
+
+
+class TestTiming:
+    def test_stopwatch_returns_result_and_seconds(self):
+        value, seconds = stopwatch(lambda: 42)
+        assert value == 42
+        assert seconds >= 0.0
+
+    def test_best_of_is_minimum(self):
+        calls = []
+        best = best_of(lambda: calls.append(1), 5)
+        assert len(calls) == 5
+        assert best >= 0.0
+
+    def test_best_of_clamps_repetitions(self):
+        calls = []
+        best_of(lambda: calls.append(1), 0)
+        assert len(calls) == 1
+
+    def test_timed_samples_split(self):
+        warmup, steady = timed_samples(lambda: None, warmup=2, iterations=3)
+        assert len(warmup) == 2
+        assert len(steady) == 3
+
+    def test_timed_samples_without_warmup(self):
+        warmup, steady = timed_samples(lambda: None, warmup=0, iterations=1)
+        assert warmup == []
+        assert len(steady) == 1
+
+
+class TestSpeedup:
+    def test_ratio(self):
+        assert speedup(2.0, 1.0) == 2.0
+
+    def test_degenerate_is_zero(self):
+        assert speedup(1.0, 0.0) == 0.0

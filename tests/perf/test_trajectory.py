@@ -1,0 +1,164 @@
+"""Trajectory hygiene: run ids, comparability flags, v1 migration."""
+
+import json
+
+import pytest
+
+from repro.perf.document import bench_document
+from repro.perf.result import RunResult
+from repro.perf.suite import SUITES
+from repro.perf.trajectory import (
+    TRAJECTORY_SCHEMA,
+    TrajectoryError,
+    append_point,
+    format_trend,
+    load_trajectory,
+    migrate_v1,
+    trajectory_point,
+    write_trajectory,
+)
+
+
+def _bench(commit="a" * 40, fingerprint="0" * 12, best=0.1):
+    results = [RunResult(
+        benchmark="luindex", surface="worklist",
+        configuration="1-call", scale=1,
+        steady_seconds=[best], phases={"solve": best},
+        certified=True, reference=True,
+    )]
+    return bench_document(
+        SUITES["micro"], results,
+        environment={
+            "commit": commit, "fingerprint": fingerprint,
+            "host": {"python": "3.11.7"},
+        },
+        created="2026-08-08T00:00:00Z",
+    )
+
+
+class TestPoint:
+    def test_keyed_by_commit_and_run_id(self):
+        point = trajectory_point(_bench())
+        assert point["commit"] == "a" * 40
+        assert point["run_id"] == _bench()["digest"].split(":")[1][:12]
+        assert point["certified"] is True
+        assert point["date"] == "2026-08-08"
+
+    def test_run_id_tracks_the_document(self):
+        a = trajectory_point(_bench(best=0.1))
+        b = trajectory_point(_bench(best=0.2))
+        assert a["run_id"] != b["run_id"]
+
+
+class TestAppend:
+    def test_first_point_has_null_comparable(self, tmp_path):
+        path = str(tmp_path / "BENCH_t.json")
+        document = append_point(path, trajectory_point(_bench()))
+        assert document["schema"] == TRAJECTORY_SCHEMA
+        assert document["points"][0]["comparable"] is None
+
+    def test_same_host_is_comparable(self, tmp_path):
+        path = str(tmp_path / "BENCH_t.json")
+        append_point(path, trajectory_point(_bench(best=0.1)))
+        document = append_point(
+            path, trajectory_point(_bench(best=0.2))
+        )
+        assert document["points"][1]["comparable"] is True
+
+    def test_host_change_flags_non_comparable(self, tmp_path):
+        path = str(tmp_path / "BENCH_t.json")
+        append_point(path, trajectory_point(_bench()))
+        document = append_point(
+            path,
+            trajectory_point(_bench(best=0.2, fingerprint="f" * 12)),
+        )
+        assert document["points"][1]["comparable"] is False
+        assert "not comparable" in format_trend(document)
+
+    def test_duplicate_run_id_rejected(self, tmp_path):
+        path = str(tmp_path / "BENCH_t.json")
+        append_point(path, trajectory_point(_bench()))
+        with pytest.raises(TrajectoryError, match="already recorded"):
+            append_point(path, trajectory_point(_bench()))
+
+    def test_persisted_file_reloads(self, tmp_path):
+        path = str(tmp_path / "BENCH_t.json")
+        append_point(path, trajectory_point(_bench()))
+        assert len(load_trajectory(path)["points"]) == 1
+
+
+V1_DOCUMENT = {
+    "schema": "repro-bench-trajectory/1",
+    "date": "2026-08-08",
+    "description": "legacy",
+    "host": {"python": "3.11.7", "platform": "linux", "cpus": 1},
+    "workloads": [
+        {"benchmark": "bloat", "certified": True, "seconds": 12.0},
+        {"benchmark": "bloat", "parity": {"ok": True}, "seconds": 1.0},
+    ],
+}
+
+
+class TestMigration:
+    def test_v1_points_become_legacy_points(self):
+        document = migrate_v1(V1_DOCUMENT)
+        assert document["schema"] == TRAJECTORY_SCHEMA
+        points = document["points"]
+        assert [p["run_id"] for p in points] == ["legacy-0", "legacy-1"]
+        assert points[0]["commit"] is None
+        assert points[0]["comparable"] is None
+        assert points[1]["comparable"] is True
+        assert points[0]["legacy"]["seconds"] == 12.0
+
+    def test_parity_ok_counts_as_certified(self):
+        document = migrate_v1(V1_DOCUMENT)
+        assert document["points"][1]["certified"] is True
+
+    def test_load_migrates_transparently(self, tmp_path):
+        path = str(tmp_path / "BENCH_v1.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(V1_DOCUMENT, handle)
+        assert load_trajectory(path)["schema"] == TRAJECTORY_SCHEMA
+
+    def test_appending_to_v1_flags_host_break(self, tmp_path):
+        # A real fingerprint can never equal the "legacy-" prefixed
+        # one, so the first post-migration point is non-comparable.
+        path = str(tmp_path / "BENCH_v1.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(V1_DOCUMENT, handle)
+        document = append_point(path, trajectory_point(_bench()))
+        assert document["points"][-1]["comparable"] is False
+        reloaded = load_trajectory(path)
+        assert reloaded["schema"] == TRAJECTORY_SCHEMA
+        assert len(reloaded["points"]) == 3
+
+    def test_repo_trajectory_file_loads(self):
+        # The committed BENCH file must always stay loadable.
+        import glob
+
+        for path in sorted(glob.glob("BENCH_*.json")):
+            document = load_trajectory(path)
+            assert document["schema"] == TRAJECTORY_SCHEMA
+            assert document["points"]
+
+
+class TestValidationErrors:
+    def test_unknown_schema(self, tmp_path):
+        path = str(tmp_path / "BENCH_bad.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump({"schema": "repro-bench-trajectory/9"}, handle)
+        with pytest.raises(TrajectoryError, match="schema"):
+            load_trajectory(path)
+
+    def test_not_json(self, tmp_path):
+        path = str(tmp_path / "BENCH_bad.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("not json")
+        with pytest.raises(TrajectoryError, match="not JSON"):
+            load_trajectory(path)
+
+    def test_write_then_load(self, tmp_path):
+        path = str(tmp_path / "BENCH_rt.json")
+        document = migrate_v1(V1_DOCUMENT)
+        write_trajectory(document, path)
+        assert load_trajectory(path) == document
