@@ -19,7 +19,7 @@ and reports:
 * exact parity: every backend's row sets are compared against the
   generic engine's before any timing is reported.
 
-The block is additive in the figure6 JSON (schema ``repro-figure6/7``)
+The block is additive in the figure6 JSON (schema ``repro-figure6/8``)
 and is also a payload of the committed ``BENCH_*.json`` trajectory
 files (ROADMAP item 4).
 """
@@ -46,7 +46,7 @@ def run_kernel_block(
 ) -> Dict:
     """Generic engine vs kernel backend vs sharded kernels.
 
-    Returns the additive ``kernels`` block of ``repro-figure6/7``.
+    Returns the additive ``kernels`` block of ``repro-figure6/8``.
     """
     from repro.compile.emit import compile_transformer_analysis
     from repro.datalog.engine import Engine

@@ -15,7 +15,7 @@ promised and what the run certified:
 * exact parity: the parallel row sets are compared against the
   sequential engine's before any timing is reported.
 
-The block is additive in the figure6 JSON (schema ``repro-figure6/7``)
+The block is additive in the figure6 JSON (schema ``repro-figure6/8``)
 and is also the payload of the committed ``BENCH_*.json`` trajectory
 files (ROADMAP item 4).
 """
@@ -43,7 +43,7 @@ def run_parallel_fixpoint(
 ) -> Dict:
     """Sequential vs parallel figure6 numbers for one workload.
 
-    Returns the additive ``parallel`` block of ``repro-figure6/7``.
+    Returns the additive ``parallel`` block of ``repro-figure6/8``.
     """
     from repro.compile.emit import compile_transformer_analysis
     from repro.datalog.engine import Engine

@@ -134,8 +134,13 @@ def format_csv(table: Figure6) -> str:
 #: threaded ``repro-serve/1`` server vs asyncio ``repro-serve/2``
 #: gateway under fixed arrival rates, with steady-state latency
 #: percentiles, SLO attainment, overload behaviour, warm-start
-#: economics and response parity).
-JSON_SCHEMA = "repro-figure6/7"
+#: economics and response parity); ``/8`` adds the additive ``cost``
+#: field (the cost-ordered evaluation workload of
+#: :mod:`repro.bench.costbench`: source-order engine vs cost-ordered
+#: engine vs cost-ordered kernels, the DL5xx diagnostic counts, the
+#: predicted-vs-measured shard skew, and the configuration-closure
+#: certificate).
+JSON_SCHEMA = "repro-figure6/8"
 
 
 def _measurement_json(measurement: Measurement) -> Dict:
@@ -161,8 +166,9 @@ def figure6_json(
     parallel: Optional[Dict] = None,
     kernels: Optional[Dict] = None,
     serving: Optional[Dict] = None,
+    cost: Optional[Dict] = None,
 ) -> Dict:
-    """The table as a JSON-serializable dict (schema ``repro-figure6/7``).
+    """The table as a JSON-serializable dict (schema ``repro-figure6/8``).
 
     Top-level keys: ``schema``, the run parameters (``scale``,
     ``repetitions``, ``engine``; ``None`` when unknown), ``benchmarks``,
@@ -185,7 +191,12 @@ def figure6_json(
     open-loop serving workload of
     :func:`repro.bench.loadbench.run_serving_block`: threaded server vs
     async gateway throughput and latency percentiles at fixed arrival
-    rates, overload behaviour and warm-start economics).
+    rates, overload behaviour and warm-start economics) and ``cost``
+    (new in ``/8``, the cost-ordered evaluation workload of
+    :func:`repro.bench.costbench.run_cost_block`: source-order engine
+    vs cost-ordered engine vs cost-ordered kernels with exact parity,
+    DL5xx diagnostic counts, predicted-vs-measured shard skew, and the
+    configuration-closure certificate summary).
     Each cell carries
     both abstractions' measurements (sizes, CI sizes, total, seconds,
     and per-relation store counters when available) plus the derived
@@ -198,6 +209,7 @@ def figure6_json(
         "parallel": parallel,
         "kernels": kernels,
         "serving": serving,
+        "cost": cost,
         "schema": JSON_SCHEMA,
         "scale": scale,
         "repetitions": repetitions,
@@ -242,13 +254,15 @@ def format_json(
     parallel: Optional[Dict] = None,
     kernels: Optional[Dict] = None,
     serving: Optional[Dict] = None,
+    cost: Optional[Dict] = None,
 ) -> str:
     """:func:`figure6_json` serialized (indented, trailing newline)."""
     return json.dumps(
         figure6_json(table, scale=scale, repetitions=repetitions,
                      engine=engine, query_latency=query_latency,
                      incremental=incremental, checks=checks,
-                     parallel=parallel, kernels=kernels, serving=serving),
+                     parallel=parallel, kernels=kernels, serving=serving,
+                     cost=cost),
         indent=2,
     ) + "\n"
 

@@ -86,6 +86,8 @@ def _analysis_config(args):
 def cmd_analyze(args) -> int:
     if args.diff:
         return _analyze_diff(args)
+    if args.magic:
+        return _analyze_magic(args)
     if args.shards:
         return _analyze_shards(args)
     if args.backend and args.backend != "worklist":
@@ -277,6 +279,133 @@ def _analyze_shards(args) -> int:
         f" ownership violations {stats.ownership_violations}"
     )
     print(f"parity with sequential engine: {'ok' if parity else 'MISMATCH'}")
+    return 0 if parity else 1
+
+
+def _parse_magic_query(spec: str):
+    """Parse ``--magic``'s ``PRED(arg, _, ...)`` query syntax.
+
+    ``_`` (or an empty slot) is a free argument; anything else is a
+    bound constant — quotes are optional, since pointer-analysis
+    entity names (``T.main/x``) never contain commas or parens.
+    """
+    spec = spec.strip()
+    if "(" not in spec or not spec.endswith(")"):
+        raise SystemExit(
+            "error: --magic wants PRED(arg, ...) with '_' for free"
+            " arguments"
+        )
+    pred, _, rest = spec.partition("(")
+    inner = rest[:-1].strip()
+    parsed = []
+    if inner:
+        for token in inner.split(","):
+            token = token.strip()
+            if token in ("", "_", "?"):
+                parsed.append(None)
+            else:
+                parsed.append(token.strip("'\""))
+    return pred.strip(), tuple(parsed)
+
+
+def _analyze_magic(args) -> int:
+    """``analyze --magic PRED(args)``: demand-driven evaluation.
+
+    Emits the configuration's Datalog, runs the magic-sets
+    transformation for the query, evaluates the transformed program
+    under strict lint, and verifies the answers exactly match the full
+    solve's rows filtered by the query's bound constants.  The DL5xx
+    cost pass runs over the *transformed* program — the magic seed is
+    a body-less constant-head rule, so the demand predicates get
+    seed-derived cardinality bounds.  Exits 1 on a parity mismatch.
+    """
+    from repro.compile.emit import (
+        compile_context_string_analysis,
+        compile_transformer_analysis,
+    )
+    from repro.datalog.builtins import DEFAULT_BUILTINS
+    from repro.datalog.cost import analyze_cost
+    from repro.datalog.engine import Engine
+    from repro.datalog.magic import MagicSetError, magic_transform
+    from repro.lint.diagnostics import LintError
+
+    pred, query_args = _parse_magic_query(args.magic)
+    facts = _load_facts(args)
+    config = _analysis_config(args)
+    compiler = (
+        compile_transformer_analysis
+        if _ABSTRACTIONS[args.abstraction] == "transformer-string"
+        else compile_context_string_analysis
+    )
+    compiled = compiler(facts, config.flavour, config.m, config.h)
+    program, builtins = compiled.program, compiled.builtins
+
+    arities = {
+        rule.head.arity for rule in program.rules if rule.head.pred == pred
+    }
+    if arities and len(query_args) not in arities:
+        print(
+            f"repro analyze: --magic: {pred!r} has arity"
+            f" {sorted(arities)[0]}, query supplies {len(query_args)}"
+            " arguments",
+            file=sys.stderr,
+        )
+        return 2
+
+    full_engine = Engine(program, builtins)
+    full = full_engine.run()
+    builtin_names = set(DEFAULT_BUILTINS) | set(builtins or ())
+    try:
+        transformed, answer_pred = magic_transform(
+            program, pred, query_args, builtin_names
+        )
+    except MagicSetError as error:
+        print(f"repro analyze: --magic: {error}", file=sys.stderr)
+        return 2
+
+    try:
+        engine = Engine(transformed, builtins, strict=True)
+    except LintError as error:
+        print(f"repro analyze: --magic: {error}", file=sys.stderr)
+        return 1
+    results = engine.run()
+    answers = results.get(answer_pred, set())
+    expected = {
+        row for row in full.get(pred, set())
+        if all(
+            constant is None or row[position] == constant
+            for position, constant in enumerate(query_args)
+        )
+    }
+
+    shown = ", ".join(
+        "_" if constant is None else constant for constant in query_args
+    )
+    print(f"query {pred}({shown}): {len(answers)} answer(s)")
+    for row in sorted(answers):
+        print(f"  {pred}({', '.join(repr(value) for value in row)})")
+    print(
+        f"\nmagic program: {len(transformed.rules)} rules"
+        f" (from {len(program.rules)}),"
+        f" {engine.stats.facts_derived} facts derived vs"
+        f" {full_engine.stats.facts_derived} exhaustive"
+    )
+
+    plan = analyze_cost(transformed, builtins=builtins)
+    by_code: dict = {}
+    for diagnostic in plan.diagnostics:
+        by_code[diagnostic.code] = by_code.get(diagnostic.code, 0) + 1
+    codes = ", ".join(
+        f"{code}×{count}" for code, count in sorted(by_code.items())
+    ) or "clean"
+    print(
+        f"cost pass (DL5xx) over the magic program:"
+        f" {plan.reordered_count()}/{len(plan.rules)} rules reordered,"
+        f" diagnostics: {codes}"
+    )
+
+    parity = answers == expected
+    print(f"parity with full solve: {'ok' if parity else 'MISMATCH'}")
     return 0 if parity else 1
 
 
@@ -746,7 +875,7 @@ _LINT_MAX_LINES = 50
 LINT_JSON_SCHEMA = "repro-lint/1"
 
 
-def _lint_print(report, args, plan=None) -> bool:
+def _lint_print(report, args, plan=None, cost_plan=None) -> bool:
     """Print a report; returns True when it should fail the run."""
     from repro.lint.diagnostics import Severity
 
@@ -768,13 +897,23 @@ def _lint_print(report, args, plan=None) -> bool:
                 f" ({len(plan_lines) - len(shown)} more lines;"
                 " use --verbose)"
             )
+    if cost_plan is not None:
+        cost_lines = cost_plan.render().splitlines()
+        shown = cost_lines if args.verbose else cost_lines[:_LINT_MAX_LINES]
+        print("\n".join(shown))
+        if len(shown) < len(cost_lines):
+            print(
+                f"... cost plan truncated"
+                f" ({len(cost_lines) - len(shown)} more lines;"
+                " use --verbose)"
+            )
     print(report.summary())
     if args.strict_warnings:
         return bool(report.errors or report.warnings)
     return not report.ok
 
 
-def _lint_json_entry(report, plan=None):
+def _lint_json_entry(report, plan=None, cost_plan=None):
     """One ``subjects[]`` entry of the ``repro-lint/1`` document."""
     def sort_key(diagnostic):
         pos = diagnostic.pos
@@ -807,13 +946,15 @@ def _lint_json_entry(report, plan=None):
     }
     if plan is not None:
         entry["shard_plan"] = plan.to_json()
+    if cost_plan is not None:
+        entry["cost_plan"] = cost_plan.to_json()
     return entry
 
 
-def _lint_report(report, args, entries, plan=None) -> bool:
+def _lint_report(report, args, entries, plan=None, cost_plan=None) -> bool:
     """Route one report to text output and/or the JSON collector."""
-    entries.append(_lint_json_entry(report, plan))
-    return _lint_print(report, args, plan)
+    entries.append(_lint_json_entry(report, plan, cost_plan))
+    return _lint_print(report, args, plan, cost_plan)
 
 
 def _lint_shard_plan(program, builtins, args, report):
@@ -824,6 +965,16 @@ def _lint_shard_plan(program, builtins, args, report):
     plan, diagnostics = shard_plan_or_none(
         program, builtins, key=args.shard_key
     )
+    report.extend(diagnostics)
+    return plan
+
+
+def _lint_cost(program, builtins, report):
+    """``--cost``: merge DL5xx findings into ``report`` and return the
+    cost plan (or ``None`` when the program is unstratifiable)."""
+    from repro.lint.cost import cost_plan_or_none
+
+    plan, diagnostics = cost_plan_or_none(program, builtins)
     report.extend(diagnostics)
     return plan
 
@@ -879,6 +1030,10 @@ def cmd_lint(args) -> int:
         return _lint_check_report(args.path)
     if _looks_like_bench_document(args.path, source):
         return _lint_bench_document(args.path)
+    if _looks_like_cost_plan(args.path, source):
+        return _lint_cost_plan(args.path)
+    if _looks_like_kernel_cert(args.path, source):
+        return _lint_kernel_cert(args.path)
 
     failed = False
     entries: list = []
@@ -979,6 +1134,89 @@ def _lint_bench_document(path: str) -> int:
     return 0
 
 
+def _looks_like_cost_plan(path: str, source: str) -> bool:
+    """Heuristic: JSON carrying the ``repro-cost-plan/`` marker.  The
+    whole source is scanned — rendered documents sort ``schema`` after
+    the (large) ``body`` key."""
+    stripped = source.lstrip()
+    return stripped.startswith("{") and '"repro-cost-plan/' in stripped
+
+
+def _lint_cost_plan(path: str) -> int:
+    """Self-check a ``repro-cost-plan/1`` document: schema, digest,
+    rule/reorder counts."""
+    import json
+
+    from repro.datalog.cost import verify_cost_plan
+
+    try:
+        with open(path, encoding="utf-8") as handle:
+            document = json.load(handle)
+        report = verify_cost_plan(document)
+    except (OSError, ValueError) as error:
+        print(f"error[cost-plan] in {path}: {error}", file=sys.stderr)
+        return 1
+    print(f"cost plan: {path}")
+    print(f"  schema      {report['schema']}")
+    print(f"  digest      {report['digest']} (verified)")
+    print(
+        f"  rules       {report['rules']}"
+        f" ({report['reordered']} reordered)"
+    )
+    print(f"  profiles    {report['profiles']}")
+    print(f"  diagnostics {report['diagnostics']}")
+    print("cost plan ok: 0 errors, 0 warnings")
+    return 0
+
+
+def _looks_like_kernel_cert(path: str, source: str) -> bool:
+    """Heuristic: JSON carrying the ``repro-kernel-cert/`` marker."""
+    stripped = source.lstrip()
+    return stripped.startswith("{") and '"repro-kernel-cert/' in stripped
+
+
+def _lint_kernel_cert(path: str) -> int:
+    """Self-check a ``repro-kernel-cert/1`` certificate.  A document
+    that is internally consistent but records an *uncertified* compile
+    still fails the lint — DL505 means dropped derivations."""
+    import json
+
+    from repro.compile.closure import verify_kernel_cert
+
+    try:
+        with open(path, encoding="utf-8") as handle:
+            document = json.load(handle)
+        report = verify_kernel_cert(document)
+    except (OSError, ValueError) as error:
+        print(f"error[kernel-cert] in {path}: {error}", file=sys.stderr)
+        return 1
+    print(f"kernel certificate: {path}")
+    print(f"  schema      {report['schema']}")
+    print(f"  digest      {report['digest']} (verified)")
+    print(
+        f"  cell        {report['m']}-{report['flavour']}"
+        f"+{report['h']}H"
+    )
+    print(
+        f"  obligations {report['obligations']}"
+        f" ({report['violations']} violated)"
+    )
+    if report["variants"] is not None:
+        print(
+            f"  variants    {report['variants']} required"
+            f" ({report['missing']} missing)"
+        )
+    if not report["certified"]:
+        print(
+            f"error[kernel-cert] in {path}: compile is NOT certified"
+            " (DL505 — see the document's diagnostics)",
+            file=sys.stderr,
+        )
+        return 1
+    print("kernel certificate ok: 0 errors, 0 warnings")
+    return 0
+
+
 def _looks_like_check_report(path: str, source: str) -> bool:
     """Heuristic: JSON carrying the ``repro-check/`` schema marker."""
     head = source.lstrip()[:4096]
@@ -1028,7 +1266,10 @@ def _lint_path(source: str, args, entries) -> bool:
         plan = None
         if args.shard_plan:
             plan = _lint_shard_plan(program, None, args, report)
-        return _lint_report(report, args, entries, plan)
+        cost_plan = None
+        if args.cost:
+            cost_plan = _lint_cost(program, None, report)
+        return _lint_report(report, args, entries, plan, cost_plan)
 
     from repro.frontend.factgen import facts_from_source
     from repro.frontend.parser import parse_program
@@ -1042,7 +1283,7 @@ def _lint_path(source: str, args, entries) -> bool:
     names = []
     if args.all_configs:
         names = [n for n in _CONFIG_CHOICES if n != "insensitive"]
-    elif args.emitted or args.shard_plan:
+    elif args.emitted or args.shard_plan or args.cost:
         names = [args.config]
     if names:
         facts = facts_from_source(source)
@@ -1060,8 +1301,13 @@ def _lint_path(source: str, args, entries) -> bool:
                     plan = _lint_shard_plan(
                         compiled.program, compiled.builtins, args, report
                     )
+                cost_plan = None
+                if args.cost and compiled is not None:
+                    cost_plan = _lint_cost(
+                        compiled.program, compiled.builtins, report
+                    )
                 failed = _lint_report(
-                    report, args, entries, plan
+                    report, args, entries, plan, cost_plan
                 ) or failed
     return failed
 
@@ -1121,12 +1367,20 @@ def cmd_figure6(args) -> int:
             serving = run_serving_block(scale=args.scale)
             print()
             print(format_serving(serving))
+        cost = None
+        if not args.no_cost:
+            from repro.bench.costbench import format_cost, run_cost_block
+
+            cost = run_cost_block(scale=args.scale)
+            print()
+            print(format_cost(cost))
         with open(args.json, "w", encoding="utf-8") as handle:
             handle.write(format_json(
                 table, scale=args.scale, repetitions=args.repetitions,
                 engine="solver", query_latency=query_latency,
                 incremental=incremental, checks=checks,
                 parallel=parallel, kernels=kernels, serving=serving,
+                cost=cost,
             ))
         print(f"\nwrote JSON to {args.json}")
     return 0
@@ -1379,6 +1633,15 @@ def build_parser() -> argparse.ArgumentParser:
         " instead of forking worker processes",
     )
     p_analyze.add_argument(
+        "--magic", metavar="PRED(ARGS)",
+        help="demand-driven evaluation: run the magic-sets"
+        " transformation for this query (e.g."
+        " \"pts__e(T.main/x, _, _)\" — '_' marks a free argument),"
+        " evaluate under strict lint, run the DL5xx cost pass over the"
+        " transformed program, and verify parity against the full"
+        " solve",
+    )
+    p_analyze.add_argument(
         "--backend", choices=("worklist", "engine", "compiled", "kernel"),
         help="execution backend: the worklist solver (default), the"
         " semi-naive Datalog interpreter, the compiled tuple-row"
@@ -1604,6 +1867,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="partition key for --shard-plan (default: heap)",
     )
     p_lint.add_argument(
+        "--cost", action="store_true",
+        help="run the static cost & cardinality analysis (DL5xx),"
+        " print the join-order plan, and merge its diagnostics into"
+        " the report (lints the emitted --config for source files;"
+        " --json embeds the repro-cost-plan/1 document)",
+    )
+    p_lint.add_argument(
         "--json", metavar="PATH",
         help="write a byte-stable repro-lint/1 JSON document here"
         " ('-' = stdout); diagnostics sorted by line/column/code",
@@ -1617,7 +1887,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument(
         "--json",
         help="also write machine-readable JSON here"
-        " (schema repro-figure6/7, see docs/api.md)",
+        " (schema repro-figure6/8, see docs/api.md)",
     )
     p_fig.add_argument(
         "--no-query-latency", action="store_true",
@@ -1642,6 +1912,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument(
         "--no-serving", action="store_true",
         help="omit the open-loop serving workload from the JSON",
+    )
+    p_fig.add_argument(
+        "--no-cost", action="store_true",
+        help="omit the cost-ordered evaluation workload from the JSON",
     )
     p_fig.set_defaults(func=cmd_figure6)
 

@@ -56,7 +56,8 @@ class CompiledAnalysis:
     description: str
 
     def run(
-        self, backend: str = "interpreted", eliminate_dead: bool = False
+        self, backend: str = "interpreted", eliminate_dead: bool = False,
+        cost_order: bool = False,
     ) -> "CompiledResult":
         """Evaluate the program.
 
@@ -72,6 +73,11 @@ class CompiledAnalysis:
         of this flavour ever derives), shrinking the rule set the
         semi-naive loop re-evaluates each round.  Results are identical
         by construction (tested).
+
+        ``cost_order=True`` evaluates the cost-chosen body orders of
+        :mod:`repro.datalog.cost` instead of the emitted source order —
+        also bit-identical by construction (tested across the full
+        configuration sweep).
         """
         program = self.program
         if eliminate_dead:
@@ -79,15 +85,19 @@ class CompiledAnalysis:
 
             program, _ = eliminate_dead_rules(program, self.builtins)
         if backend == "interpreted":
-            engine = Engine(program, self.builtins)
+            engine = Engine(program, self.builtins, cost_order=cost_order)
         elif backend == "compiled":
             from repro.datalog.codegen import CompiledEngine
 
-            engine = CompiledEngine(program, self.builtins)
+            engine = CompiledEngine(
+                program, self.builtins, cost_order=cost_order
+            )
         elif backend == "kernel":
             from repro.datalog.kernel import KernelEngine
 
-            engine = KernelEngine(program, self.builtins)
+            engine = KernelEngine(
+                program, self.builtins, cost_order=cost_order
+            )
         else:
             raise ValueError(f"unknown backend {backend!r}")
         raw = engine.run()

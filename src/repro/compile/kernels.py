@@ -198,6 +198,7 @@ class _KernelCompiler:
         self.bound: Dict[Var, str] = {}
         self.fresh = itertools.count()
         self._used_columns: Dict[int, None] = {}
+        self._delta_index_lines: List[str] = []
 
     # -- plumbing ----------------------------------------------------------
 
@@ -272,6 +273,7 @@ class _KernelCompiler:
         preamble = [
             f"    _col{slot} = cols[{slot}]" for slot in self._used_columns
         ]
+        preamble += ["    " + line for line in self._delta_index_lines]
         self.lines[1:1] = preamble
         if len(self.lines) == 1:
             self.emit("pass")
@@ -319,8 +321,45 @@ class _KernelCompiler:
             self.emit_guard(" or ".join(pending_checks))
 
     def _emit_delta_scan(self, literal: Literal) -> None:
+        bound_positions = tuple(
+            position
+            for position, term in enumerate(literal.args)
+            if isinstance(term, Const) or term in self.bound
+        )
         rid = self.local("r")
-        self.open_loop(f"for {rid} in delta:")
+        if bound_positions:
+            # Bucket the delta ids by the probe's bound columns once per
+            # invocation (the build lands in the function preamble,
+            # before any outer loop opens).  Without it every prefix
+            # binding would rescan the whole delta behind equality
+            # guards — penalizing any body order that doesn't put the
+            # delta literal first.
+            build_rid = self.local("dr")
+            cells = [
+                f"{self._column(literal.pred, p)}[{build_rid}]"
+                for p in bound_positions
+            ]
+            build_key = (
+                cells[0] if len(cells) == 1
+                else "(" + ", ".join(cells) + ")"
+            )
+            self._delta_index_lines = [
+                "_dbuckets = {}",
+                f"for {build_rid} in delta:",
+                f"    _dbuckets.setdefault({build_key}, [])"
+                f".append({build_rid})",
+            ]
+            key_terms = [literal.args[p] for p in bound_positions]
+            if len(key_terms) == 1:
+                key = self._term_expr(key_terms[0])
+            else:
+                key = (
+                    "(" + ", ".join(self._term_expr(t) for t in key_terms)
+                    + ")"
+                )
+            self.open_loop(f"for {rid} in _dbuckets.get({key}, _EMPTY):")
+        else:
+            self.open_loop(f"for {rid} in delta:")
         self._destructure_columns(literal, rid)
 
     def _emit_lookup(self, literal: Literal) -> None:

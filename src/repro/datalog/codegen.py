@@ -260,10 +260,17 @@ class CompiledEngine:
 
     def __init__(self, program: Program,
                  builtins: Optional[Dict[str, BuiltinFn]] = None,
-                 strict: bool = False):
+                 strict: bool = False, cost_order: bool = False):
         self.builtins: Dict[str, BuiltinFn] = dict(DEFAULT_BUILTINS)
         if builtins:
             self.builtins.update(builtins)
+        if cost_order:
+            # Compile the cost-chosen body orders instead of source
+            # order; a legal permutation, so results are bit-identical.
+            from repro.datalog.cost import reorder_program
+
+            program = reorder_program(program, builtins=self.builtins)
+        self.cost_ordered = cost_order
         if strict:
             from repro.datalog.lint import lint_program
 

@@ -65,10 +65,20 @@ class Engine:
         program: Program,
         builtins: Optional[Dict[str, BuiltinFn]] = None,
         strict: bool = False,
+        cost_order: bool = False,
     ):
         self.builtins: Dict[str, BuiltinFn] = dict(DEFAULT_BUILTINS)
         if builtins:
             self.builtins.update(builtins)
+        if cost_order:
+            # Rewrite each rule body into the cost-chosen join order
+            # (a legal permutation under the same left-to-right binding
+            # discipline, so results are bit-identical — the index plan
+            # below then serves the *chosen* probes).
+            from repro.datalog.cost import reorder_program
+
+            program = reorder_program(program, builtins=self.builtins)
+        self.cost_ordered = cost_order
         if strict:
             # Full semantic analysis up front: rejects programs the
             # basic validate() accepts but that would fail mid-join
@@ -201,6 +211,14 @@ class Engine:
         self.stats.rule_evaluations += 1
         head = rule.head
 
+        # Per-evaluation hash index over the delta rows (built lazily,
+        # keyed by the probe's bound positions): without it every prefix
+        # binding would re-scan the whole delta set linearly, which
+        # penalizes any body order that doesn't put the delta literal
+        # first — the index makes the delta probe as cheap as a stable
+        # relation probe.
+        self._delta_index: Dict[Tuple[int, ...], Dict[Tuple, List[Tuple]]] = {}
+
         def substitute(bindings: Bindings) -> Tuple:
             return tuple(
                 bindings[t] if isinstance(t, Var) else t.value
@@ -247,13 +265,17 @@ class Engine:
                 key_values.append(bindings[term])
 
         if index == delta_position:
-            candidates: Sequence[Tuple] = [
-                row
-                for row in delta_rows
-                if all(
-                    row[p] == v for p, v in zip(bound_positions, key_values)
-                )
-            ]
+            positions = tuple(bound_positions)
+            buckets = self._delta_index.get(positions)
+            if buckets is None:
+                buckets = {}
+                for row in delta_rows:
+                    key = tuple(row[p] for p in positions)
+                    buckets.setdefault(key, []).append(row)
+                self._delta_index[positions] = buckets
+            candidates: Sequence[Tuple] = buckets.get(
+                tuple(key_values), ()
+            )
         else:
             relation = self.relations.get(literal.pred)
             if relation is None:
@@ -339,6 +361,9 @@ class Engine:
             )
 
 
-def evaluate(program: Program, builtins=None, strict: bool = False) -> Dict[str, Set[Tuple]]:
+def evaluate(
+    program: Program, builtins=None, strict: bool = False,
+    cost_order: bool = False,
+) -> Dict[str, Set[Tuple]]:
     """One-shot evaluation convenience wrapper."""
-    return Engine(program, builtins, strict=strict).run()
+    return Engine(program, builtins, strict=strict, cost_order=cost_order).run()

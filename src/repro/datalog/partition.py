@@ -303,6 +303,10 @@ class ShardPlan:
     replicated: FrozenSet[str]
     replicas: FrozenSet[str]
     diagnostics: List[Diagnostic] = field(default_factory=list)
+    #: Optional rule-index → cost weight (from
+    #: :meth:`repro.datalog.cost.CostPlan.rule_weights`); enables
+    #: :meth:`predicted_skew`, reported next to the measured skew.
+    weights: Optional[Dict[int, float]] = None
 
     SCHEMA = "repro-shard-plan/1"
 
@@ -336,8 +340,35 @@ class ShardPlan:
     def witness_count(self) -> int:
         return sum(len(plan.witnesses) for plan in self.rules)
 
+    def predicted_skew(self, shards: int) -> Optional[float]:
+        """Static max/mean load prediction from the cost weights.
+
+        Mirrors :meth:`repro.datalog.parallel.ParallelStats.skew` on
+        the *predicted* side: local, exchange and (non-pinned)
+        broadcast rules evaluate on every shard over partitioned data,
+        so their weight spreads evenly; a pinned rule's whole weight
+        lands on its one shard (``rule_index % shards`` — the parallel
+        executor's assignment).  ``None`` without cost weights.
+        """
+        if self.weights is None or shards <= 0:
+            return None
+        loads = [0.0] * shards
+        for plan in self.rules:
+            if plan.is_fact:
+                continue
+            weight = self.weights.get(plan.rule_index, 0.0)
+            if plan.pinned:
+                loads[plan.rule_index % shards] += weight
+            else:
+                for shard in range(shards):
+                    loads[shard] += weight / shards
+        total = sum(loads)
+        if total == 0:
+            return 1.0
+        return max(loads) / (total / shards)
+
     def to_json(self) -> Dict:
-        return {
+        out = {
             "schema": self.SCHEMA,
             "key": self.spec.key,
             "rules": len(self.rules),
@@ -358,6 +389,19 @@ class ShardPlan:
             ],
             "exchange_edges": self.exchange_edges(),
         }
+        if self.weights is not None:
+            # Additive: present only when a cost plan priced the rules.
+            out["predicted"] = {
+                "weights": {
+                    str(index): round(weight, 4)
+                    for index, weight in sorted(self.weights.items())
+                },
+                "skew_by_shards": {
+                    str(shards): round(self.predicted_skew(shards), 4)
+                    for shards in (2, 4, 8)
+                },
+            }
+        return out
 
     def render(self) -> str:
         counts = self.counts()
@@ -411,12 +455,15 @@ def build_shard_plan(
     program: Program,
     spec: PartitionSpec,
     builtins: Optional[Iterable[str]] = None,
+    weights: Optional[Dict[int, float]] = None,
 ) -> ShardPlan:
     """Classify every rule of ``program`` under ``spec``.
 
     ``builtins`` names builtin predicates (engine-style mappings are
     accepted); builtin literals are pure local computation and never
-    constrain locality.
+    constrain locality.  ``weights`` (rule index → cost, typically
+    :meth:`repro.datalog.cost.CostPlan.rule_weights`) switches on the
+    plan's static :meth:`ShardPlan.predicted_skew` prediction.
     """
     from repro.datalog.builtins import DEFAULT_BUILTINS
     from repro.datalog.stratify import dependency_graph, stratify
@@ -635,6 +682,7 @@ def build_shard_plan(
         ),
         replicas=frozenset(replicas),
         diagnostics=diagnostics,
+        weights=None if weights is None else dict(weights),
     )
 
 

@@ -27,6 +27,7 @@ from repro.lint.diagnostics import (
     LintReport,
     Severity,
 )
+from repro.lint.cost import check_cost, cost_plan_or_none
 from repro.lint.ircheck import check_ir
 from repro.lint.passes import binding_orders, eliminate_dead_rules, lint_program
 from repro.lint.shards import check_partition, shard_plan_or_none
@@ -37,8 +38,10 @@ __all__ = [
     "LintReport",
     "Severity",
     "binding_orders",
+    "check_cost",
     "check_ir",
     "check_partition",
+    "cost_plan_or_none",
     "eliminate_dead_rules",
     "lint_program",
     "shard_plan_or_none",

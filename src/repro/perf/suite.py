@@ -66,6 +66,9 @@ def _smoke_entries() -> Tuple[SuiteEntry, ...]:
         SuiteEntry("bloat", "kernel"),
         SuiteEntry("towers", "kernel"),
         SuiteEntry("fanout", "kernel"),
+        # fanout is the entry where DL5xx cost ordering wins and keeps
+        # winning as scale grows — the gate pins that it stays certified.
+        SuiteEntry("fanout", "kernel-cost"),
         SuiteEntry("bloat", "parallel-2"),
         SuiteEntry("fanout", "parallel-2"),
         SuiteEntry("bloat", "incremental"),

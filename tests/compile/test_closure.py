@@ -1,0 +1,183 @@
+"""Tests for the configuration-closure certifier (DL505).
+
+The specializer is only sound if the configuration universe at each
+sensitivity cell is closed under the rule families' symbolic
+operations, and the kernel compiler is only sound if every rule has
+its full-evaluation and delta variants.  These tests certify every
+supported (m, h) cell across the flavours, audit a real compiled
+kernel program, inject a coverage hole and check DL505 fires, and
+round-trip the byte-stable ``repro-kernel-cert/1`` document through
+its self-check.
+"""
+
+import pytest
+
+from repro.compile.closure import (
+    SCHEMA,
+    certify_kernels,
+    closure_obligations,
+    required_variant_keys,
+    verify_kernel_cert,
+)
+from repro.compile.emit import compile_transformer_analysis
+from repro.core.config import config_by_name
+from repro.core.sensitivity import Flavour
+from repro.datalog.kernel import KernelEngine
+from repro.frontend.factgen import facts_from_source
+from repro.frontend.paper_programs import FIGURE_1
+
+#: Every sensitivity cell the emitted configurations cover, per
+#: flavour — the named-configuration table's (m, h) grid.
+SUPPORTED_CELLS = [
+    (Flavour.CALL_SITE, 0, 0),
+    (Flavour.CALL_SITE, 1, 0),
+    (Flavour.CALL_SITE, 1, 1),
+    (Flavour.CALL_SITE, 2, 0),
+    (Flavour.CALL_SITE, 2, 1),
+    (Flavour.OBJECT, 1, 0),
+    (Flavour.OBJECT, 2, 1),
+    (Flavour.TYPE, 1, 0),
+    (Flavour.TYPE, 2, 1),
+    (Flavour.PLAIN_OBJECT, 1, 0),
+    (Flavour.PLAIN_OBJECT, 2, 1),
+    (Flavour.HYBRID, 1, 0),
+    (Flavour.HYBRID, 2, 1),
+    (Flavour.CALL_SITE, 3, 0),
+    (Flavour.CALL_SITE, 3, 2),
+    (Flavour.OBJECT, 3, 2),
+]
+
+
+@pytest.fixture(scope="module")
+def figure1_kernels():
+    config = config_by_name("2-object+H")
+    facts = facts_from_source(FIGURE_1)
+    compiled = compile_transformer_analysis(
+        facts, config.flavour, config.m, config.h
+    )
+    engine = KernelEngine(compiled.program, compiled.builtins)
+    return config, engine
+
+
+class TestClosureGrid:
+    @pytest.mark.parametrize(
+        "flavour,m,h", SUPPORTED_CELLS,
+        ids=[f"{m}-{f.value}+{h}H" for f, m, h in SUPPORTED_CELLS],
+    )
+    def test_every_supported_cell_is_closed(self, flavour, m, h):
+        certificate = certify_kernels(flavour, m, h)
+        assert certificate.closed, certificate.violations()
+        assert certificate.certified
+        # Closure-only certification: no variant audit was requested.
+        assert certificate.exhaustive is None
+        assert certificate.diagnostics == []
+
+    def test_obligations_cover_every_family(self):
+        obligations = closure_obligations(Flavour.OBJECT, 2, 1)
+        families = {o.family for o in obligations}
+        assert families >= {
+            "assign", "load", "throw", "catch", "store", "indirect",
+            "param", "return", "exception", "merge", "this", "static",
+            "reach", "new", "static_store", "static_load",
+        }
+
+    def test_obligation_order_is_deterministic(self):
+        first = closure_obligations(Flavour.CALL_SITE, 2, 1)
+        second = closure_obligations(Flavour.CALL_SITE, 2, 1)
+        assert first == second
+
+
+class TestVariantAudit:
+    def test_figure1_kernels_are_exhaustive(self, figure1_kernels):
+        config, engine = figure1_kernels
+        certificate = certify_kernels(
+            config.flavour, config.m, config.h,
+            program=engine.program, kernels=engine.kernels,
+            builtins=engine.builtins,
+        )
+        assert certificate.certified
+        assert certificate.exhaustive is True
+        assert certificate.missing == []
+        assert certificate.rules == len(
+            [r for r in engine.program.rules if not r.is_fact()]
+        )
+
+    def test_injected_hole_fires_dl505(self, figure1_kernels):
+        config, engine = figure1_kernels
+        required = required_variant_keys(
+            engine.program, builtins=engine.builtins
+        )
+        # Punch one delta variant out of the compiled program.
+        hole = next(key for key in required if key[1] is not None)
+        punched = dict(engine.kernels.variants_by_key)
+        del punched[hole]
+        engine.kernels.variants_by_key = punched
+        try:
+            certificate = certify_kernels(
+                config.flavour, config.m, config.h,
+                program=engine.program, kernels=engine.kernels,
+                builtins=engine.builtins,
+            )
+        finally:
+            # Rebuild the full key map from the variant list (the
+            # fixture is module-scoped).
+            engine.kernels.variants_by_key = {}
+            engine.kernels.__post_init__()
+        assert not certificate.certified
+        assert certificate.exhaustive is False
+        assert certificate.missing == [hole]
+        (diagnostic,) = certificate.diagnostics
+        assert diagnostic.code == "DL505"
+        assert "delta variant" in diagnostic.message
+        assert diagnostic.rule_index == hole[0]
+
+    def test_program_without_kernels_rejected(self, figure1_kernels):
+        config, engine = figure1_kernels
+        with pytest.raises(ValueError, match="both the program"):
+            certify_kernels(
+                config.flavour, config.m, config.h, program=engine.program
+            )
+
+    def test_required_keys_mirror_kernel_compiler(self, figure1_kernels):
+        _config, engine = figure1_kernels
+        required = set(
+            required_variant_keys(engine.program, builtins=engine.builtins)
+        )
+        assert required == set(engine.kernels.variants_by_key)
+
+
+class TestCertificateDocument:
+    def _certificate(self):
+        return certify_kernels(Flavour.CALL_SITE, 1, 1)
+
+    def test_round_trip_self_check(self):
+        summary = verify_kernel_cert(self._certificate().to_json())
+        assert summary["schema"] == SCHEMA
+        assert summary["certified"] is True
+        assert summary["violations"] == 0
+        assert summary["variants"] is None
+
+    def test_digest_is_byte_stable(self):
+        assert self._certificate().to_json() == self._certificate().to_json()
+
+    def test_tampered_digest_rejected(self):
+        document = self._certificate().to_json()
+        document["body"]["certified"] = False
+        with pytest.raises(ValueError, match="digest mismatch"):
+            verify_kernel_cert(document)
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(ValueError, match="expected schema"):
+            verify_kernel_cert({"schema": "repro-cost-plan/1"})
+
+    def test_audited_document_reports_variants(self, figure1_kernels):
+        config, engine = figure1_kernels
+        document = certify_kernels(
+            config.flavour, config.m, config.h,
+            program=engine.program, kernels=engine.kernels,
+            builtins=engine.builtins,
+        ).to_json()
+        summary = verify_kernel_cert(document)
+        assert summary["variants"] == len(engine.kernels.variants_by_key)
+        assert summary["missing"] == 0
+        assert summary["certified"] is True

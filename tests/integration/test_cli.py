@@ -155,7 +155,7 @@ class TestFigure6Command:
         ]) == 0
         assert "wrote JSON" in capsys.readouterr().out
         data = json.loads(out_file.read_text())
-        assert data["schema"] == "repro-figure6/7"
+        assert data["schema"] == "repro-figure6/8"
         assert data["query_latency"] is None  # suppressed by the flag
         assert data["incremental"] is None  # suppressed by the flag
         assert data["checks"] is None  # suppressed by the flag

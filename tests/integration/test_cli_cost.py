@@ -1,0 +1,136 @@
+"""CLI surfaces of the DL5xx cost analyzer and the closure certifier.
+
+``repro lint --cost`` (text and JSON), the self-check sniffers for
+``repro-cost-plan/1`` and ``repro-kernel-cert/1`` documents, and
+``repro analyze --magic`` — the demand-driven query path that runs the
+cost pass over the transformed program and parity-checks its answers
+against the full solve.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.datalog.cost import analyze_cost, verify_cost_plan
+from repro.datalog.parser import parse_datalog
+from repro.frontend.paper_programs import FIGURE_1
+
+#: A .dl program whose facts make one reorder clearly profitable
+#: (DL503) and whose second rule is a live cross product (DL501).
+COSTLY_DL = """
+big("a0", "b0"). big("a1", "b1"). big("a2", "b2"). big("a3", "b3").
+big("a4", "b0"). big("a5", "b1"). big("a6", "b2"). big("a7", "b3").
+tiny("a1").
+other("z0"). other("z1").
+
+goal(X, Y) :- big(X, Y), tiny(X).
+cross(X, Z) :- big(X, Y), other(Z).
+"""
+
+
+@pytest.fixture()
+def costly_file(tmp_path):
+    path = tmp_path / "costly.dl"
+    path.write_text(COSTLY_DL)
+    return str(path)
+
+
+@pytest.fixture()
+def figure1_file(tmp_path):
+    path = tmp_path / "figure1.java"
+    path.write_text(FIGURE_1)
+    return str(path)
+
+
+class TestLintCost:
+    def test_text_output_reports_plan_and_codes(self, costly_file, capsys):
+        assert main(["lint", costly_file, "--cost"]) == 0
+        out = capsys.readouterr().out
+        # The warning is printed in full; DL502/DL503/DL504 are notes,
+        # summarized in the closing count line.
+        assert "DL501" in out
+        assert "cost plan: 2 rules, 2 reordered" in out
+        assert "note(s)" in out
+
+    def test_json_embeds_verifiable_cost_plan(self, costly_file, tmp_path):
+        report_path = tmp_path / "lint.json"
+        assert main([
+            "lint", costly_file, "--cost", "--json", str(report_path),
+        ]) == 0
+        document = json.loads(report_path.read_text())
+        assert document["schema"] == "repro-lint/1"
+        (entry,) = document["subjects"]
+        summary = verify_cost_plan(entry["cost_plan"])
+        assert summary["reordered"] >= 1
+        codes = {d["code"] for d in entry["diagnostics"]}
+        assert {"DL501", "DL503"} <= codes
+
+    def test_without_flag_no_cost_findings(self, costly_file, capsys):
+        assert main(["lint", costly_file]) == 0
+        assert "DL503" not in capsys.readouterr().out
+
+
+class TestCostPlanSelfCheck:
+    def _plan_document(self):
+        program = parse_datalog(COSTLY_DL, validate=False)
+        return analyze_cost(program).to_json()
+
+    def test_valid_document_passes(self, tmp_path, capsys):
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(self._plan_document()))
+        assert main(["lint", str(path)]) == 0
+        assert "cost plan" in capsys.readouterr().out
+
+    def test_corrupted_digest_fails(self, tmp_path, capsys):
+        document = self._plan_document()
+        document["digest"] = "sha256:" + "0" * 64
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(document))
+        assert main(["lint", str(path)]) == 1
+        assert "digest" in capsys.readouterr().err
+
+
+class TestKernelCertSelfCheck:
+    def _cert_document(self):
+        from repro.compile.closure import certify_kernels
+        from repro.core.sensitivity import Flavour
+
+        return certify_kernels(Flavour.CALL_SITE, 1, 1).to_json()
+
+    def test_valid_certificate_passes(self, tmp_path, capsys):
+        path = tmp_path / "cert.json"
+        path.write_text(json.dumps(self._cert_document()))
+        assert main(["lint", str(path)]) == 0
+        assert "kernel certificate ok" in capsys.readouterr().out
+
+    def test_tampered_certificate_fails(self, tmp_path, capsys):
+        document = self._cert_document()
+        document["body"]["certified"] = False
+        path = tmp_path / "cert.json"
+        path.write_text(json.dumps(document))
+        assert main(["lint", str(path)]) == 1
+        assert "digest" in capsys.readouterr().err
+
+
+class TestAnalyzeMagic:
+    def test_query_parity_and_cost_pass(self, figure1_file, capsys):
+        assert main([
+            "analyze", figure1_file, "--config", "1-call",
+            "--magic", 'pts__("T.main/x", _)',
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "parity with full solve: ok" in out
+        assert "magic program:" in out
+        assert "cost pass (DL5xx)" in out
+
+    def test_malformed_query_exits_nonzero(self, figure1_file):
+        with pytest.raises(SystemExit):
+            main(["analyze", figure1_file, "--magic", "pts__"])
+
+    def test_wrong_arity_is_reported(self, figure1_file, capsys):
+        assert main([
+            "analyze", figure1_file, "--config", "1-call",
+            "--magic", "pts__(a, b, c, d, e)",
+        ]) == 2
+        assert "arity" in capsys.readouterr().err

@@ -69,6 +69,16 @@ class TestDatalogSurfaces:
         assert result.reference is False
 
 
+class TestKernelCost:
+    def test_certified_with_reorder_metric(self, luindex):
+        result = _run("kernel-cost", luindex)
+        assert result.surface == "kernel-cost"
+        assert result.certified is True
+        # Planning is charged to the compile phase, not the solve.
+        assert result.phases["compile"] > 0
+        assert result.metrics["reordered_rules"] >= 0
+
+
 class TestParallel:
     def test_two_shards_certified(self, luindex):
         result = _run(ParallelAdapter(2), luindex)
